@@ -1,0 +1,288 @@
+// Package age is the public API of this reproduction of "Protecting
+// Adaptive Sampling from Information Leakage on Low-Power Sensors" (Kannan &
+// Hoffmann, ASPLOS 2022).
+//
+// Adaptive sampling policies collect more measurements when a signal is
+// volatile and fewer when it is calm. Under batched, periodic communication
+// the resulting message sizes track the collection rate, so an attacker
+// observing the encrypted link can infer sensed events from sizes alone.
+// Adaptive Group Encoding (AGE) closes the side-channel: it is a drop-in
+// lossy encoder between the sampler and the cipher that packs every batch
+// into a fixed-length message, using measurement pruning, exponent-aware
+// grouping, and per-group fixed-point quantization to keep the added error
+// near zero.
+//
+// The package re-exports the building blocks a downstream user needs:
+//
+//   - encoders: NewAGEEncoder (the contribution), NewStandardEncoder,
+//     NewPaddedEncoder, and the ablation variants;
+//   - sampling policies: Uniform, Random, Linear, Deviation, and a
+//     trainable Skip RNN, plus offline threshold fitting;
+//   - the sensing workloads of the paper's Table 3;
+//   - the encrypted link (ChaCha20 or AES-128-CBC sealing with framing);
+//   - server-side reconstruction and error metrics;
+//   - the message-size attacker and leakage statistics (NMI);
+//   - the end-to-end simulator with MSP430/BLE energy accounting.
+//
+// See examples/quickstart for a five-minute tour.
+package age
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/fixedpoint"
+	"repro/internal/policy"
+	"repro/internal/reconstruct"
+	"repro/internal/seccomm"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+)
+
+// ---- Fixed-point formats and batches ----
+
+// Format is a signed fixed-point representation: Width total bits of which
+// NonFrac (including the sign bit) sit before the binary point.
+type Format = fixedpoint.Format
+
+// Batch is one communication window of collected measurements: the time
+// indices the policy chose and the corresponding d-feature values.
+type Batch = core.Batch
+
+// EncoderConfig describes the sensing task an encoder serves: the batch
+// length T, the feature count D, the native fixed-point Format, and — for
+// fixed-size encoders — the target message size in bytes.
+type EncoderConfig = core.Config
+
+// Encoder serializes batches; fixed-size implementations always emit the
+// configured number of bytes.
+type Encoder = core.Encoder
+
+// Decoder recovers batches from payloads.
+type Decoder = core.Decoder
+
+// NewAGEEncoder returns the Adaptive Group Encoding encoder/decoder (§4 of
+// the paper): every batch encodes to exactly cfg.TargetBytes. The returned
+// encoder also exposes EncodeRaw, an integer-only path matching the paper's
+// MCU implementation byte for byte.
+func NewAGEEncoder(cfg EncoderConfig) (*core.AGE, error) { return core.NewAGE(cfg) }
+
+// NewStandardEncoder returns the baseline variable-length encoder whose
+// message sizes leak the collection rate.
+func NewStandardEncoder(cfg EncoderConfig) (*core.Standard, error) { return core.NewStandard(cfg) }
+
+// NewPaddedEncoder returns the BuFLO-style defense: Standard encoding padded
+// to the largest possible batch.
+func NewPaddedEncoder(cfg EncoderConfig) (*core.Padded, error) { return core.NewPadded(cfg) }
+
+// NewSingleEncoder, NewUnshiftedEncoder, and NewPrunedEncoder are the §5.6
+// ablation variants of AGE.
+func NewSingleEncoder(cfg EncoderConfig) (*core.Single, error)       { return core.NewSingle(cfg) }
+func NewUnshiftedEncoder(cfg EncoderConfig) (*core.Unshifted, error) { return core.NewUnshifted(cfg) }
+func NewPrunedEncoder(cfg EncoderConfig) (*core.Pruned, error)       { return core.NewPruned(cfg) }
+
+// TargetBytesForRate returns the paper's M_B: the Standard payload size at a
+// given collection rate, the natural fixed target for that budget.
+func TargetBytesForRate(rate float64, T, d, width int) int {
+	return core.TargetBytesForRate(rate, T, d, width)
+}
+
+// ReduceTarget applies AGE's §4.5 communication reduction, which pays for
+// the encoder's compute energy by shrinking the radio payload.
+func ReduceTarget(target int) int { return core.ReduceTarget(target) }
+
+// ---- Sampling policies ----
+
+// Policy decides online which time steps of a sequence to collect.
+type Policy = policy.Policy
+
+// NewUniformPolicy collects an evenly spaced, data-independent fraction of
+// elements (no leakage, but no adaptivity).
+func NewUniformPolicy(rate float64) Policy { return policy.NewUniform(rate) }
+
+// NewRandomPolicy collects a random fixed-count subset.
+func NewRandomPolicy(rate float64) Policy { return policy.NewRandom(rate) }
+
+// NewLinearPolicy returns the Linear adaptive policy with a fitted
+// threshold (Chatterjea & Havinga).
+func NewLinearPolicy(threshold float64) Policy { return policy.NewLinear(threshold) }
+
+// NewDeviationPolicy returns the Deviation adaptive policy with a fitted
+// threshold (LiteSense).
+func NewDeviationPolicy(threshold float64) Policy { return policy.NewDeviation(threshold) }
+
+// PolicyKind names a threshold-based adaptive policy for fitting.
+type PolicyKind = policy.AdaptiveKind
+
+// The fit-able adaptive policies.
+const (
+	LinearPolicy    = policy.KindLinear
+	DeviationPolicy = policy.KindDeviation
+)
+
+// FitResult reports a fitted threshold and its achieved collection rate.
+type FitResult = policy.FitResult
+
+// FitPolicy bisects for the threshold at which the policy's mean collection
+// rate over the training sequences matches targetRate (the paper's offline
+// training step).
+func FitPolicy(kind PolicyKind, train [][][]float64, targetRate float64) (FitResult, error) {
+	return policy.Fit(kind, train, targetRate)
+}
+
+// SkipRNNModel is a trained neural sampling policy (§5.5).
+type SkipRNNModel = policy.SkipRNNModel
+
+// SkipRNNTrainConfig controls Skip RNN training.
+type SkipRNNTrainConfig = policy.SkipRNNTrainConfig
+
+// TrainSkipRNN trains the GRU predictor and sampling gate on the training
+// sequences; use FitBias on the result to target a budget.
+func TrainSkipRNN(train [][][]float64, cfg SkipRNNTrainConfig) (*SkipRNNModel, error) {
+	return policy.TrainSkipRNN(train, cfg)
+}
+
+// DefaultSkipRNNTrainConfig returns a training setup that converges in
+// seconds on the bundled workloads.
+func DefaultSkipRNNTrainConfig() SkipRNNTrainConfig { return policy.DefaultSkipRNNTrainConfig() }
+
+// ---- Datasets ----
+
+// Dataset is a labeled collection of sensing sequences.
+type Dataset = dataset.Dataset
+
+// DatasetMeta mirrors one row of the paper's Table 3.
+type DatasetMeta = dataset.Meta
+
+// DatasetOptions controls dataset generation (seed and optional
+// truncation).
+type DatasetOptions = dataset.Options
+
+// DatasetNames lists the nine evaluation workloads.
+func DatasetNames() []string { return dataset.Names() }
+
+// ReadDatasetCSV parses a dataset exported by Dataset.WriteCSV (or authored
+// by hand: a header row "name,seqLen,numFeatures,numLabels,width,nonFrac"
+// followed by one "label,v..." row per sequence), letting users run AGE on
+// their own recorded data.
+func ReadDatasetCSV(r io.Reader) (*Dataset, error) { return dataset.ReadCSV(r) }
+
+// LoadDataset generates one of the nine workloads.
+func LoadDataset(name string, opt DatasetOptions) (*Dataset, error) { return dataset.Load(name, opt) }
+
+// EventNames returns human-readable event labels for a dataset.
+func EventNames(name string) []string { return dataset.LabelNames(name) }
+
+// ---- Encrypted link ----
+
+// CipherKind selects the link cipher.
+type CipherKind = seccomm.CipherKind
+
+// The two supported ciphers.
+const (
+	ChaCha20 = seccomm.ChaCha20Stream
+	AES128   = seccomm.AES128Block
+)
+
+// Sealer encrypts payloads into wire messages.
+type Sealer = seccomm.Sealer
+
+// NewSealer builds a sealer (32-byte key for ChaCha20, 16 for AES-128).
+func NewSealer(kind CipherKind, key []byte) (Sealer, error) { return seccomm.NewSealer(kind, key) }
+
+// RoundTargetToCipher adapts a fixed target size to the cipher (§4.5):
+// unchanged for stream ciphers, block-filling for AES.
+func RoundTargetToCipher(target int, kind CipherKind) int {
+	return seccomm.RoundTargetToCipher(target, kind)
+}
+
+// ---- Reconstruction ----
+
+// Reconstruct rebuilds a full T-step sequence from collected measurements by
+// linear interpolation, the server side of the pipeline.
+func Reconstruct(indices []int, values [][]float64, T, d int) ([][]float64, error) {
+	return reconstruct.Linear(indices, values, T, d)
+}
+
+// MAE returns the mean absolute error between a reconstruction and the
+// ground truth.
+func MAE(recon, truth [][]float64) (float64, error) { return reconstruct.MAE(recon, truth) }
+
+// ---- Leakage analysis and the attack ----
+
+// NMI returns the normalized mutual information between event labels and
+// observed message sizes (0 = no leakage, 1 = sizes identify events).
+func NMI(labels, sizes []int) float64 { return stats.NMI(labels, sizes) }
+
+// AttackSample is one adversary observation: summary features of a window
+// of same-event message sizes.
+type AttackSample = attack.Sample
+
+// BuildAttackSamples assembles attack observations from per-event observed
+// sizes, as in §5.4.
+func BuildAttackSamples(sizesByLabel map[int][]int, n int, rng *rand.Rand) ([]AttackSample, error) {
+	return attack.BuildSamples(sizesByLabel, n, rng)
+}
+
+// AttackResult reports a cross-validated attack.
+type AttackResult = attack.CVResult
+
+// RunAttack trains and scores the AdaBoost message-size attacker with
+// stratified 5-fold cross-validation.
+func RunAttack(samples []AttackSample, numClasses int, rng *rand.Rand) (AttackResult, error) {
+	return attack.CrossValidate(samples, numClasses, 5, attack.DefaultAdaBoostConfig(), rng)
+}
+
+// ---- End-to-end simulation ----
+
+// EncoderKind names an encoder in simulator runs.
+type EncoderKind = simulator.EncoderKind
+
+// The evaluated encoders.
+const (
+	EncStandard  = simulator.EncStandard
+	EncPadded    = simulator.EncPadded
+	EncAGE       = simulator.EncAGE
+	EncSingle    = simulator.EncSingle
+	EncUnshifted = simulator.EncUnshifted
+	EncPruned    = simulator.EncPruned
+)
+
+// SimulationConfig configures an end-to-end run.
+type SimulationConfig = simulator.RunConfig
+
+// SimulationResult is a run's outcome: error, energy, violations, and the
+// attacker-observable message sizes.
+type SimulationResult = simulator.RunResult
+
+// Simulate runs the full pipeline in-process under an energy budget.
+func Simulate(cfg SimulationConfig) (*SimulationResult, error) { return simulator.Run(cfg) }
+
+// SimulateOverSocket runs the pipeline through a real TCP loopback
+// connection (sensor and server as separate actors).
+func SimulateOverSocket(cfg SimulationConfig) (*simulator.SocketResult, error) {
+	return simulator.RunOverSocket(cfg)
+}
+
+// FleetConfig drives a multi-sensor deployment: the dataset's sequences are
+// partitioned across concurrent sensors, each with its own key and TCP
+// connection to the server.
+type FleetConfig = simulator.FleetConfig
+
+// FleetResult aggregates a fleet run: per-sensor error plus the pooled
+// eavesdropper view.
+type FleetResult = simulator.FleetResult
+
+// SimulateFleet runs a concurrent multi-sensor deployment (FarmBeats fields,
+// ZebraNet herds) against one server.
+func SimulateFleet(cfg FleetConfig) (*FleetResult, error) { return simulator.RunFleet(cfg) }
+
+// EnergyModel holds the MSP430 FR5994 + HM-10 BLE trace constants.
+type EnergyModel = energy.Model
+
+// DefaultEnergyModel returns the constants derived from the paper.
+func DefaultEnergyModel() EnergyModel { return energy.Default() }

@@ -1,0 +1,180 @@
+// Black-box tests of the public API facade: everything a downstream user
+// touches must work through the root package alone.
+package age_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	age "repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	data, err := age.LoadDataset("epilepsy", age.DatasetOptions{Seed: 1, MaxSequences: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := data.Meta
+	var train [][][]float64
+	for _, s := range data.Sequences {
+		train = append(train, s.Values)
+	}
+	fit, err := age.FitPolicy(age.LinearPolicy, train, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := age.NewLinearPolicy(fit.Threshold)
+
+	target := age.ReduceTarget(age.TargetBytesForRate(0.7, meta.SeqLen, meta.NumFeatures, meta.Format.Width))
+	enc, err := age.NewAGEEncoder(age.EncoderConfig{
+		T: meta.SeqLen, D: meta.NumFeatures, Format: meta.Format, TargetBytes: target,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealer, err := age.NewSealer(age.ChaCha20, make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	seq := data.Sequences[0]
+	idx := pol.Sample(seq.Values, rng)
+	vals := make([][]float64, len(idx))
+	for i, ti := range idx {
+		vals[i] = seq.Values[ti]
+	}
+	payload, err := enc.Encode(age.Batch{Indices: idx, Values: vals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != target {
+		t.Fatalf("payload %dB, want %d", len(payload), target)
+	}
+	msg, err := sealer.Seal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := sealer.Open(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := enc.Decode(opened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := age.Reconstruct(batch.Indices, batch.Values, meta.SeqLen, meta.NumFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae, err := age.MAE(recon, seq.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae <= 0 || mae > 1 {
+		t.Errorf("MAE = %g out of plausible range", mae)
+	}
+}
+
+func TestFacadeSimulateAndAttack(t *testing.T) {
+	data, err := age.LoadDataset("epilepsy", age.DatasetOptions{Seed: 2, MaxSequences: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := age.Simulate(age.SimulationConfig{
+		Dataset: data,
+		Policy:  age.NewUniformPolicy(0.5),
+		Encoder: age.EncAGE,
+		Cipher:  age.ChaCha20,
+		Rate:    0.5,
+		Model:   age.DefaultEnergyModel(),
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels, sizes []int
+	for l, ss := range res.SizesByLabel {
+		for _, s := range ss {
+			labels = append(labels, l)
+			sizes = append(sizes, s)
+		}
+	}
+	if nmi := age.NMI(labels, sizes); nmi != 0 {
+		t.Errorf("facade AGE NMI = %g", nmi)
+	}
+	rng := rand.New(rand.NewSource(3))
+	samples, err := age.BuildAttackSamples(res.SizesByLabel, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := age.RunAttack(samples, data.Meta.NumLabels, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atk.MeanAccuracy > atk.Majority+0.05 {
+		t.Errorf("attack on fixed sizes: %g above majority %g", atk.MeanAccuracy, atk.Majority)
+	}
+}
+
+func TestFacadeDatasetNames(t *testing.T) {
+	if got := len(age.DatasetNames()); got != 9 {
+		t.Errorf("%d datasets", got)
+	}
+	if got := age.EventNames("epilepsy"); len(got) != 4 {
+		t.Errorf("epilepsy events = %v", got)
+	}
+}
+
+func TestFacadeCSV(t *testing.T) {
+	in := "x,2,1,2,16,3\n1,0.25,-0.25\n"
+	d, err := age.ReadDatasetCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Sequences) != 1 || d.Sequences[0].Label != 1 {
+		t.Fatalf("parsed %+v", d.Meta)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "x,2,1,2,16,3") {
+		t.Errorf("round trip header: %q", buf.String())
+	}
+}
+
+func TestFacadeRoundTargetToCipher(t *testing.T) {
+	if age.RoundTargetToCipher(100, age.ChaCha20) != 100 {
+		t.Error("stream target changed")
+	}
+	if got := age.RoundTargetToCipher(100, age.AES128); got%16 != 15 {
+		t.Errorf("block target %d not block-filling", got)
+	}
+}
+
+func TestFacadeSkipRNN(t *testing.T) {
+	data, err := age.LoadDataset("epilepsy", age.DatasetOptions{Seed: 4, MaxSequences: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train [][][]float64
+	for _, s := range data.Sequences {
+		train = append(train, s.Values)
+	}
+	cfg := age.SkipRNNTrainConfig{Hidden: 4, Epochs: 1, GateEpochs: 1, Seed: 1}
+	model, err := age.TrainSkipRNN(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, fit := model.FitBias(train, 0.6)
+	if fit.AchievedRate <= 0 {
+		t.Errorf("achieved rate %g", fit.AchievedRate)
+	}
+	rng := rand.New(rand.NewSource(5))
+	if idx := p.Sample(train[0], rng); len(idx) == 0 {
+		t.Error("skip RNN collected nothing")
+	}
+}

@@ -1,0 +1,493 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5). Each benchmark regenerates its experiment — workload
+// generation, policy fitting, simulation, and analysis — and reports the
+// headline quantities as custom metrics so `go test -bench=.` reproduces the
+// whole evaluation. Run with -v to see the rendered tables.
+//
+// The configurations are scaled to finish the full suite in minutes; raise
+// benchMaxSeq / benchAttackSamples toward the published sizes for a
+// higher-fidelity (slower) reproduction. EXPERIMENTS.md records the
+// paper-vs-measured comparison produced by this harness.
+package age_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/policy"
+	"repro/internal/seccomm"
+)
+
+const (
+	benchMaxSeq        = 64
+	benchTrainSeq      = 24
+	benchAttackSamples = 400
+	benchPermutations  = 10000
+)
+
+// benchConfig returns the evaluation configuration used by every benchmark.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.MaxSequences = benchMaxSeq
+	cfg.TrainSequences = benchTrainSeq
+	cfg.AttackSamples = benchAttackSamples
+	cfg.Permutations = benchPermutations
+	cfg.Cipher = seccomm.ChaCha20Stream
+	return cfg
+}
+
+// BenchmarkTable1MessageSizes reproduces Table 1: conditional message-size
+// distributions of the three adaptive policies on Epilepsy. Reported
+// metrics: the seizure-row standard deviation (the paper's headline: huge
+// variance) and the worst pairwise Welch p-value (must be tiny).
+func BenchmarkTable1MessageSizes(b *testing.B) {
+	cfg := benchConfig()
+	cfg.SkipRNN = policy.SkipRNNTrainConfig{Hidden: 8, Epochs: 2, GateEpochs: 1, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			b.ReportMetric(res.Stats["linear"][0].Std, "seizure-std-bytes")
+			b.ReportMetric(res.MaxPairwiseP["linear"], "max-welch-p")
+			if res.MaxPairwiseP["linear"] > 0.01 {
+				b.Errorf("per-event size distributions not separated: p=%g", res.MaxPairwiseP["linear"])
+			}
+		}
+	}
+}
+
+// BenchmarkFigure1AdaptiveExample reproduces Figure 1: the adaptive policy
+// reallocates samples from a calm walking window to a volatile running
+// window and cuts total error (the paper reports 2.9x on its examples).
+func BenchmarkFigure1AdaptiveExample(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			b.ReportMetric(res.TotalErrorRandom/res.TotalErrorAdaptive, "adaptive-error-advantage-x")
+			if res.TotalErrorAdaptive >= res.TotalErrorRandom {
+				b.Error("adaptive policy did not beat random sampling")
+			}
+		}
+	}
+}
+
+// BenchmarkTable4ReconstructionError reproduces Table 4: mean MAE across the
+// eight budgets for Uniform vs {Linear, Deviation} x {Std, Padded, AGE} on
+// all nine datasets. Reported metrics are the overall median percent error
+// vs Uniform (paper: linear-std -15.8%, linear-age -13.4%, padded +135%).
+func BenchmarkTable4ReconstructionError(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table45(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table4String())
+			b.ReportMetric(res.OverallPct["linear-std"], "linear-std-pct-vs-uniform")
+			b.ReportMetric(res.OverallPct["linear-age"], "linear-age-pct-vs-uniform")
+			b.ReportMetric(res.OverallPct["linear-padded"], "linear-padded-pct-vs-uniform")
+			b.ReportMetric(res.OverallPct["deviation-age"], "deviation-age-pct-vs-uniform")
+			if res.OverallPct["linear-age"] >= 0 {
+				b.Errorf("AGE-protected Linear (%+.1f%%) did not beat Uniform overall", res.OverallPct["linear-age"])
+			}
+			if res.OverallPct["linear-padded"] < 100 {
+				b.Errorf("Padded (%+.1f%%) unexpectedly competitive", res.OverallPct["linear-padded"])
+			}
+		}
+	}
+}
+
+// BenchmarkTable5WeightedError reproduces Table 5: the deviation-weighted
+// MAE, which emphasizes the high-variance sequences where AGE must compress
+// hardest.
+func BenchmarkTable5WeightedError(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table45(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table5String())
+			b.ReportMetric(res.OverallPctWeighted["linear-age"], "linear-age-weighted-pct")
+			b.ReportMetric(res.OverallPctWeighted["deviation-age"], "deviation-age-weighted-pct")
+		}
+	}
+}
+
+// BenchmarkFigure5ActivityCurve reproduces Figure 5: the MAE-vs-budget
+// curves on the Activity dataset.
+func BenchmarkFigure5ActivityCurve(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			last := res.Points[len(res.Points)-1]
+			first := res.Points[0]
+			b.ReportMetric(first.MAE["linear-age"], "mae-at-30pct")
+			b.ReportMetric(last.MAE["linear-age"], "mae-at-100pct")
+			// The Figure 5 shape: adaptive+AGE under Uniform across
+			// the sweep's tight budgets.
+			if first.MAE["linear-age"] >= first.MAE["uniform"] {
+				b.Error("linear+AGE not below Uniform at the tightest budget")
+			}
+		}
+	}
+}
+
+// BenchmarkTable6NMI reproduces Table 6: normalized mutual information
+// between message size and event label. Standard adaptive policies must
+// show significant nonzero NMI on every dataset; Padded and AGE exactly 0.
+func BenchmarkTable6NMI(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table6(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			var worstStd, worstAGE, sigSum float64
+			n := 0.0
+			for _, name := range res.Datasets {
+				c := res.Cells[name]
+				if v := c["linear-standard"].Max; v > worstStd {
+					worstStd = v
+				}
+				if v := c["linear-age"].Max; v > worstAGE {
+					worstAGE = v
+				}
+				if v := c["deviation-age"].Max; v > worstAGE {
+					worstAGE = v
+				}
+				sigSum += c["linear-standard"].SignificantFrac
+				n++
+				if c["linear-age"].Max != 0 || c["deviation-age"].Max != 0 {
+					b.Errorf("%s: AGE NMI nonzero", name)
+				}
+				if c["linear-standard"].Max == 0 {
+					b.Errorf("%s: standard policy shows no leakage", name)
+				}
+			}
+			b.ReportMetric(worstStd, "max-standard-nmi")
+			b.ReportMetric(worstAGE, "max-age-nmi")
+			b.ReportMetric(100*sigSum/n, "pct-budgets-significant")
+		}
+	}
+}
+
+// BenchmarkFigure6AttackAccuracy reproduces Figure 6: the AdaBoost attacker's
+// event-detection accuracy per dataset, with and without AGE.
+func BenchmarkFigure6AttackAccuracy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			var worstStd, worstAGEOverMaj float64
+			for _, name := range res.Datasets {
+				c := res.Cells[name]
+				if c["linear-std"].Max > worstStd {
+					worstStd = c["linear-std"].Max
+				}
+				if over := c["linear-age"].Max - c["linear-age"].MajorityPct; over > worstAGEOverMaj {
+					worstAGEOverMaj = over
+				}
+			}
+			b.ReportMetric(worstStd, "max-std-attack-pct")
+			b.ReportMetric(worstAGEOverMaj, "max-age-attack-over-majority-pct")
+			if worstStd < 90 {
+				b.Errorf("worst-case standard attack only %.1f%%; paper reports >94%%", worstStd)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7SeizureConfusion reproduces Figure 7: seizure-vs-other
+// confusion matrices for Linear with and without AGE.
+func BenchmarkFigure7SeizureConfusion(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			b.ReportMetric(res.Accuracy["std"]*100, "std-attack-pct")
+			b.ReportMetric(res.Accuracy["age"]*100, "age-attack-pct")
+			age := res.Confusion["age"]
+			if age[0][0]+age[1][0] != 0 {
+				b.Error("AGE left seizure predictions on the table")
+			}
+		}
+	}
+}
+
+// BenchmarkTable7SkipRNN reproduces Table 7: the Skip RNN policy's error,
+// NMI, and attack accuracy with and without AGE on every dataset. This is
+// the slowest benchmark: it trains nine GRU models with BPTT.
+func BenchmarkTable7SkipRNN(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxSequences = 40
+	cfg.TrainSequences = 16
+	cfg.SkipRNN = policy.SkipRNNTrainConfig{Hidden: 8, Epochs: 2, GateEpochs: 1, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table7(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.Table7String(rows))
+			var worstNMI, worstAtk float64
+			for _, r := range rows {
+				if r.NMIStd > worstNMI {
+					worstNMI = r.NMIStd
+				}
+				if r.AttackStd > worstAtk {
+					worstAtk = r.AttackStd
+				}
+				if r.NMIAGE != 0 {
+					b.Errorf("%s: Skip RNN with AGE leaks (NMI %g)", r.Dataset, r.NMIAGE)
+				}
+			}
+			b.ReportMetric(worstNMI, "max-skiprnn-nmi")
+			b.ReportMetric(worstAtk, "max-skiprnn-attack-pct")
+		}
+	}
+}
+
+// BenchmarkTable8Variants reproduces Table 8: the median percent error of
+// the Single, Unshifted, and Pruned ablation variants above full AGE.
+func BenchmarkTable8Variants(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table8(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			b.ReportMetric(res.Pct["single"]["linear"], "single-pct-above-age")
+			b.ReportMetric(res.Pct["unshifted"]["linear"], "unshifted-pct-above-age")
+			b.ReportMetric(res.Pct["pruned"]["linear"], "pruned-pct-above-age")
+			if res.Pct["pruned"]["linear"] < res.Pct["single"]["linear"] {
+				b.Log("note: pruned beat single on this configuration (paper has pruned far worse)")
+			}
+		}
+	}
+}
+
+// BenchmarkTable9MCUEnergy reproduces Table 9: mean energy per sequence on
+// the MCU configuration (75 sequences, AES-128, budgets at 40/70/100%).
+func BenchmarkTable9MCUEnergy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"activity", "tiselac"} {
+			res, err := experiments.TableMCU(cfg, name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Log("\n" + res.Table9String())
+				byName := map[string][]float64{}
+				for _, row := range res.Rows {
+					byName[row.Policy] = row.EnergyMJ
+				}
+				for bi := range res.Rates {
+					if byName["linear-age"][bi] >= byName["linear-padded"][bi] {
+						b.Errorf("%s budget %d: AGE energy not below padded", name, bi)
+					}
+				}
+				if name == "activity" {
+					b.ReportMetric(byName["linear-age"][1], "activity-age-mj-per-seq")
+					b.ReportMetric(byName["linear-padded"][1], "activity-padded-mj-per-seq")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable10MCUError reproduces Table 10: reconstruction error on the
+// MCU configuration.
+func BenchmarkTable10MCUError(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"activity", "tiselac"} {
+			res, err := experiments.TableMCU(cfg, name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Log("\n" + res.Table10String())
+				byName := map[string][]float64{}
+				for _, row := range res.Rows {
+					byName[row.Policy] = row.MAE
+				}
+				// Padded pays for its violations in error at tight
+				// budgets.
+				if byName["linear-padded"][0] <= byName["linear-age"][0] {
+					b.Errorf("%s: padded error not above AGE at the tight budget", name)
+				}
+				if name == "activity" {
+					b.ReportMetric(byName["linear-age"][0], "activity-age-mae-40pct")
+					b.ReportMetric(byName["linear-padded"][0], "activity-padded-mae-40pct")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSec58Overhead reproduces §5.8: AGE's encode energy versus a
+// direct buffer write, and the radio savings that pay for it.
+func BenchmarkSec58Overhead(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Sec58(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			b.ReportMetric(res.EncodeAGEMJ, "age-encode-mj")
+			b.ReportMetric(res.EncodeStandardMJ, "standard-encode-mj")
+			b.ReportMetric(res.CommSavedMJ, "comm-saved-mj")
+			if res.CommSavedMJ <= res.EncodeAGEMJ {
+				b.Error("radio savings do not cover AGE's compute energy")
+			}
+		}
+	}
+}
+
+// BenchmarkExtensionInferenceUtility measures the downstream task the
+// paper's system model motivates (§2.1): event-detection accuracy from
+// reconstructed sequences. AGE must preserve it.
+func BenchmarkExtensionInferenceUtility(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.InferenceUtility(cfg, "epilepsy", 0.7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			b.ReportMetric(res.Raw*100, "raw-detect-pct")
+			b.ReportMetric(res.Pipeline["linear-age"]*100, "age-detect-pct")
+		}
+	}
+}
+
+// BenchmarkExtensionMultiEvent verifies the §3.1 claim that AGE extends to
+// batches containing multiple events.
+func BenchmarkExtensionMultiEvent(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MultiEvent(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			b.ReportMetric(res.NMIStandard, "std-pair-nmi")
+			b.ReportMetric(res.NMIAGE, "age-pair-nmi")
+			if res.NMIAGE != 0 {
+				b.Error("AGE leaks on multi-event batches")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationG0 sweeps AGE's group floor over {4, 6, 8}; the paper
+// reports the choice does not matter (§4.3).
+func BenchmarkAblationG0(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationG0(cfg, "epilepsy")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			for _, p := range res.Points {
+				b.ReportMetric(p.MeanMAE, "mae-g0-"+itoa(p.Value))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationWMin sweeps the pruning width floor over {3, 5, 7}
+// (§4.2: the paper picks 5 because smaller floors raise quantization error).
+func BenchmarkAblationWMin(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationWMin(cfg, "epilepsy")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			for _, p := range res.Points {
+				b.ReportMetric(p.MeanMAE, "mae-wmin-"+itoa(p.Value))
+			}
+		}
+	}
+}
+
+func itoa(v int) string { return string(rune('0' + v)) }
+
+// BenchmarkDiscussionCompressionLeak quantifies §7's warning: lossless
+// delta+Huffman compression leaks events through sizes even under a
+// non-adaptive collect-everything policy.
+func BenchmarkDiscussionCompressionLeak(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CompressionLeakage(cfg, "epilepsy")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			b.ReportMetric(res.NMI, "compressed-nmi")
+			b.ReportMetric(res.AttackPct, "compressed-attack-pct")
+			b.ReportMetric(res.MeanRatio, "compression-ratio")
+			if res.NMI == 0 {
+				b.Error("compression shows no leakage")
+			}
+		}
+	}
+}
+
+// BenchmarkDiscussionBufferedDefense measures §7's rejected alternative:
+// buffering gives fixed sizes losslessly but pays in latency and drops.
+func BenchmarkDiscussionBufferedDefense(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.BufferedDefense(cfg, "epilepsy")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			b.ReportMetric(res.MeanLatency, "mean-latency-windows")
+			b.ReportMetric(res.DropFrac*100, "drop-pct")
+			b.ReportMetric(res.MAE, "buffered-mae")
+			b.ReportMetric(res.AGEMae, "age-mae")
+		}
+	}
+}

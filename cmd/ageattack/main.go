@@ -1,0 +1,114 @@
+// Command ageattack mounts the §5.4 message-size attack against one
+// configuration and prints the cross-validated accuracy, the majority
+// baseline, and the confusion matrix.
+//
+// Usage:
+//
+//	ageattack -dataset epilepsy -policy linear -encoder standard -rate 0.7
+//	ageattack -dataset epilepsy -policy linear -encoder age -rate 0.7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/policy"
+	"repro/internal/seccomm"
+	"repro/internal/simulator"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		dsName  = flag.String("dataset", "epilepsy", "dataset name")
+		polName = flag.String("policy", "linear", "uniform | linear | deviation")
+		encName = flag.String("encoder", "standard", "standard | padded | age")
+		rate    = flag.Float64("rate", 0.7, "budget collection rate")
+		maxSeq  = flag.Int("max-seq", 96, "sequences to simulate")
+		samples = flag.Int("samples", 1000, "attack windows")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	data, err := dataset.Load(*dsName, dataset.Options{Seed: *seed, MaxSequences: *maxSeq})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pol policy.Policy
+	switch *polName {
+	case "uniform":
+		pol = policy.NewUniform(*rate)
+	case "linear", "deviation":
+		var train [][][]float64
+		for _, s := range data.Sequences[:len(data.Sequences)/3] {
+			train = append(train, s.Values)
+		}
+		fit, err := policy.Fit(policy.AdaptiveKind(*polName), train, *rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pol, err = policy.NewAdaptive(policy.AdaptiveKind(*polName), fit.Threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown policy %q", *polName)
+	}
+
+	res, err := simulator.Run(simulator.RunConfig{
+		Dataset: data, Policy: pol, Encoder: simulator.EncoderKind(*encName),
+		Cipher: seccomm.ChaCha20Stream, Rate: *rate, Model: energy.Default(), Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	atkSamples, err := attack.BuildSamples(res.SizesByLabel, *samples, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cv, err := attack.CrossValidate(atkSamples, data.Meta.NumLabels, 5, attack.DefaultAdaBoostConfig(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("attack on %s / %s / %s @ %.0f%%\n", *dsName, *polName, *encName, *rate*100)
+	fmt.Printf("accuracy:  %.1f%% (folds: ", cv.MeanAccuracy*100)
+	for i, a := range cv.FoldAccuracies {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%.1f", a*100)
+	}
+	fmt.Printf(")\nmajority:  %.1f%%\n", cv.Majority*100)
+	fmt.Printf("advantage: %.2fx over guessing\n", cv.MeanAccuracy/cv.Majority)
+
+	events := dataset.LabelNames(*dsName)
+	fmt.Println("confusion (rows = truth, cols = prediction):")
+	fmt.Printf("%-14s", "")
+	for c := range cv.Confusion {
+		name := fmt.Sprintf("c%d", c)
+		if c < len(events) {
+			name = events[c]
+		}
+		fmt.Printf(" %10.10s", name)
+	}
+	fmt.Println()
+	for r, row := range cv.Confusion {
+		name := fmt.Sprintf("c%d", r)
+		if r < len(events) {
+			name = events[r]
+		}
+		fmt.Printf("%-14.14s", name)
+		for _, v := range row {
+			fmt.Printf(" %10d", v)
+		}
+		fmt.Println()
+	}
+}

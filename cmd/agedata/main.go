@@ -1,0 +1,103 @@
+// Command agedata inspects and exports the evaluation workloads.
+//
+// Usage:
+//
+//	agedata -list                                 # Table 3 summary
+//	agedata -dataset epilepsy -stats              # per-event statistics
+//	agedata -dataset epilepsy -export ep.csv      # CSV export
+//	agedata -dataset epilepsy -preview 3          # print a sequence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		list    = flag.Bool("list", false, "list datasets with their Table 3 shapes")
+		dsName  = flag.String("dataset", "", "dataset to operate on")
+		maxSeq  = flag.Int("max-seq", 96, "sequences to generate (0 = full size)")
+		seed    = flag.Int64("seed", 7, "generation seed")
+		doStats = flag.Bool("stats", false, "print per-event statistics")
+		export  = flag.String("export", "", "write the dataset to this CSV file")
+		preview = flag.Int("preview", -1, "print the values of sequence N")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %8s %8s %6s %7s %8s %8s\n", "dataset", "seqs", "seqlen", "feat", "labels", "format", "range")
+		for _, n := range dataset.Names() {
+			m, err := dataset.MetaFor(n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s %8d %8d %6d %7d %8v %8.1f\n",
+				n, m.NumSeq, m.SeqLen, m.NumFeatures, m.NumLabels, m.Format, m.Range)
+		}
+		return
+	}
+	if *dsName == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	d, err := dataset.Load(*dsName, dataset.Options{Seed: *seed, MaxSequences: *maxSeq})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *doStats {
+		events := dataset.LabelNames(*dsName)
+		byLabel := d.ByLabel()
+		fmt.Printf("%s: %d sequences of %d x %d\n", *dsName, len(d.Sequences), d.Meta.SeqLen, d.Meta.NumFeatures)
+		fmt.Printf("%-14s %6s %10s %10s %10s %10s\n", "event", "n", "mean", "std", "min", "max")
+		for l := 0; l < d.Meta.NumLabels; l++ {
+			var flat []float64
+			for _, si := range byLabel[l] {
+				flat = append(flat, d.Sequences[si].Flatten()...)
+			}
+			name := fmt.Sprintf("label %d", l)
+			if l < len(events) {
+				name = events[l]
+			}
+			fmt.Printf("%-14s %6d %10.3f %10.3f %10.3f %10.3f\n",
+				name, len(byLabel[l]), stats.Mean(flat), stats.PopStdDev(flat), stats.Min(flat), stats.Max(flat))
+		}
+	}
+
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := d.WriteCSV(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d sequences to %s\n", len(d.Sequences), *export)
+	}
+
+	if *preview >= 0 {
+		if *preview >= len(d.Sequences) {
+			log.Fatalf("sequence %d out of range (have %d)", *preview, len(d.Sequences))
+		}
+		s := d.Sequences[*preview]
+		fmt.Printf("sequence %d, label %d:\n", *preview, s.Label)
+		for t, row := range s.Values {
+			fmt.Printf("%5d:", t)
+			for _, v := range row {
+				fmt.Printf(" %9.4f", v)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Command agetables regenerates the paper's evaluation tables and figures
+// (§5). Each experiment prints rows shaped like the published ones so they
+// can be compared side by side; EXPERIMENTS.md records that comparison.
+//
+// Usage:
+//
+//	agetables -exp all                 # everything (minutes)
+//	agetables -exp table4 -datasets epilepsy,activity
+//	agetables -exp figure6 -max-seq 64 -attack-samples 400
+//
+// Experiments: table1, table4, table5, table6, table7, table8, table9,
+// table10, figure1, figure5, figure6, figure7, sec58, all — plus the
+// extensions utility (event-detection accuracy through each pipeline),
+// multievent (batches spanning two events, §3.1), ablation (w_min and G_0
+// sensitivity, §4.2-§4.3), compression (§7's lossless-compression leak), and
+// buffered (§7's buffering alternative and its latency/drop costs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (table1..table10, figure1..figure7, sec58, all)")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: all nine)")
+		maxSeq   = flag.Int("max-seq", 96, "sequences per dataset (0 = full published size)")
+		samples  = flag.Int("attack-samples", 600, "attack windows per evaluation")
+		perms    = flag.Int("perms", 10000, "permutations for NMI significance")
+		seed     = flag.Int64("seed", 7, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.MaxSequences = *maxSeq
+	cfg.AttackSamples = *samples
+	cfg.Permutations = *perms
+	cfg.Seed = *seed
+
+	var names []string
+	if *datasets != "" {
+		names = strings.Split(*datasets, ",")
+	}
+
+	want := func(id string) bool { return *exp == "all" || *exp == id }
+	ran := false
+	start := time.Now()
+
+	if want("table1") {
+		run("Table 1", func() (fmt.Stringer, error) { return experiments.Table1(cfg) })
+		ran = true
+	}
+	if want("figure1") {
+		run("Figure 1", func() (fmt.Stringer, error) { return experiments.Figure1(cfg) })
+		ran = true
+	}
+	if want("table4") || want("table5") {
+		res, err := experiments.Table45(cfg, names)
+		if err != nil {
+			log.Fatalf("tables 4/5: %v", err)
+		}
+		if want("table4") {
+			fmt.Println(res.Table4String())
+		}
+		if want("table5") {
+			fmt.Println(res.Table5String())
+		}
+		ran = true
+	}
+	if want("figure5") {
+		run("Figure 5", func() (fmt.Stringer, error) { return experiments.Figure5(cfg) })
+		ran = true
+	}
+	if want("table6") {
+		run("Table 6", func() (fmt.Stringer, error) { return experiments.Table6(cfg, names) })
+		ran = true
+	}
+	if want("figure6") {
+		run("Figure 6", func() (fmt.Stringer, error) { return experiments.Figure6(cfg, names) })
+		ran = true
+	}
+	if want("figure7") {
+		run("Figure 7", func() (fmt.Stringer, error) { return experiments.Figure7(cfg) })
+		ran = true
+	}
+	if want("table7") {
+		rows, err := experiments.Table7(cfg, names)
+		if err != nil {
+			log.Fatalf("table 7: %v", err)
+		}
+		fmt.Println(experiments.Table7String(rows))
+		ran = true
+	}
+	if want("table8") {
+		run("Table 8", func() (fmt.Stringer, error) { return experiments.Table8(cfg, names) })
+		ran = true
+	}
+	if want("table9") || want("table10") {
+		for _, name := range []string{"activity", "tiselac"} {
+			res, err := experiments.TableMCU(cfg, name)
+			if err != nil {
+				log.Fatalf("tables 9/10 (%s): %v", name, err)
+			}
+			if want("table9") {
+				fmt.Println(res.Table9String())
+			}
+			if want("table10") {
+				fmt.Println(res.Table10String())
+			}
+		}
+		ran = true
+	}
+	if want("sec58") {
+		run("Sec 5.8", func() (fmt.Stringer, error) { return experiments.Sec58(cfg) })
+		ran = true
+	}
+	if want("utility") {
+		run("Inference utility", func() (fmt.Stringer, error) { return experiments.InferenceUtility(cfg, "epilepsy", 0.7) })
+		ran = true
+	}
+	if want("multievent") {
+		run("Multi-event batches", func() (fmt.Stringer, error) { return experiments.MultiEvent(cfg) })
+		ran = true
+	}
+	if want("ablation") {
+		run("G0 ablation", func() (fmt.Stringer, error) { return experiments.AblationG0(cfg, "epilepsy") })
+		run("w_min ablation", func() (fmt.Stringer, error) { return experiments.AblationWMin(cfg, "epilepsy") })
+		ran = true
+	}
+	if want("compression") {
+		run("Compression leakage", func() (fmt.Stringer, error) { return experiments.CompressionLeakage(cfg, "epilepsy") })
+		ran = true
+	}
+	if want("buffered") {
+		run("Buffering defense", func() (fmt.Stringer, error) { return experiments.BufferedDefense(cfg, "epilepsy") })
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func run(title string, f func() (fmt.Stringer, error)) {
+	res, err := f()
+	if err != nil {
+		log.Fatalf("%s: %v", title, err)
+	}
+	fmt.Println(res.String())
+}

@@ -1,0 +1,91 @@
+// Command quickstart is a five-minute tour of the AGE library: sample a
+// sequence adaptively, encode the batch with the leaky Standard encoder and
+// with AGE, and compare message sizes and reconstruction error.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	age "repro"
+)
+
+func main() {
+	// Load a small slice of the Epilepsy workload (wrist accelerometer,
+	// four events: seizure, walking, running, sawing).
+	data, err := age.LoadDataset("epilepsy", age.DatasetOptions{Seed: 1, MaxSequences: 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+	meta := data.Meta
+	fmt.Printf("dataset %s: T=%d steps, d=%d features, format %v\n\n",
+		meta.Name, meta.SeqLen, meta.NumFeatures, meta.Format)
+
+	// Fit the Linear adaptive policy to a 70% average collection rate.
+	var train [][][]float64
+	for _, s := range data.Sequences {
+		train = append(train, s.Values)
+	}
+	fit, err := age.FitPolicy(age.LinearPolicy, train, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive := age.NewLinearPolicy(fit.Threshold)
+	fmt.Printf("fitted Linear policy: threshold %.4f, achieved rate %.2f\n\n",
+		fit.Threshold, fit.AchievedRate)
+
+	// Build both encoders. AGE targets the message size of an average
+	// 70% batch, minus the energy-saving reduction of §4.5.
+	target := age.ReduceTarget(age.TargetBytesForRate(0.7, meta.SeqLen, meta.NumFeatures, meta.Format.Width))
+	cfg := age.EncoderConfig{T: meta.SeqLen, D: meta.NumFeatures, Format: meta.Format, TargetBytes: target}
+	standard, err := age.NewStandardEncoder(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	protected, err := age.NewAGEEncoder(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	events := age.EventNames("epilepsy")
+	fmt.Printf("%-10s %10s %14s %14s %12s\n", "event", "collected", "standard (B)", "age (B)", "age MAE")
+	for _, seq := range data.Sequences[:8] {
+		idx := adaptive.Sample(seq.Values, rng)
+		vals := make([][]float64, len(idx))
+		for i, t := range idx {
+			vals[i] = seq.Values[t]
+		}
+		batch := age.Batch{Indices: idx, Values: vals}
+
+		stdPayload, err := standard.Encode(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agePayload, err := protected.Encode(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Decode AGE's fixed-size message and reconstruct the full
+		// sequence on the "server".
+		decoded, err := protected.Decode(agePayload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recon, err := age.Reconstruct(decoded.Indices, decoded.Values, meta.SeqLen, meta.NumFeatures)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mae, err := age.MAE(recon, seq.Values)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10d %14d %14d %12.4f\n",
+			events[seq.Label], len(idx), len(stdPayload), len(agePayload), mae)
+	}
+
+	fmt.Println("\nThe Standard column varies with the event (the side-channel);")
+	fmt.Println("the AGE column is constant: message size reveals nothing.")
+}

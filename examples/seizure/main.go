@@ -1,0 +1,75 @@
+// Command seizure reproduces the paper's most alarming result (§5.4,
+// Figure 7): a passive eavesdropper who only sees encrypted message sizes
+// can detect epileptic seizures from a medical wearable with perfect
+// accuracy — and AGE reduces that attacker to guessing the majority class.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	age "repro"
+)
+
+func main() {
+	data, err := age.LoadDataset("epilepsy", age.DatasetOptions{Seed: 2, MaxSequences: 96})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var train [][][]float64
+	for _, s := range data.Sequences[:32] {
+		train = append(train, s.Values)
+	}
+	const rate = 0.7
+	fit, err := age.FitPolicy(age.LinearPolicy, train, rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+
+	fmt.Println("seizure detection from encrypted message sizes (Linear policy @ 70%)")
+	for _, enc := range []age.EncoderKind{age.EncStandard, age.EncAGE} {
+		res, err := age.Simulate(age.SimulationConfig{
+			Dataset: data,
+			Policy:  age.NewLinearPolicy(fit.Threshold),
+			Encoder: enc,
+			Cipher:  age.ChaCha20,
+			Rate:    rate,
+			Model:   age.DefaultEnergyModel(),
+			Seed:    4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The attacker's task: seizure (label 0) vs everything else.
+		binary := map[int][]int{}
+		for l, sizes := range res.SizesByLabel {
+			b := 1
+			if l == 0 {
+				b = 0
+			}
+			binary[b] = append(binary[b], sizes...)
+		}
+		samples, err := age.BuildAttackSamples(binary, 600, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		atk, err := age.RunAttack(samples, 2, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("\n[%s] attack accuracy %.1f%% (majority baseline %.1f%%)\n",
+			enc, atk.MeanAccuracy*100, atk.Majority*100)
+		fmt.Println("  confusion (rows = truth, cols = prediction):")
+		fmt.Printf("             seizure   other\n")
+		fmt.Printf("  seizure %9d %7d\n", atk.Confusion[0][0], atk.Confusion[0][1])
+		fmt.Printf("  other   %9d %7d\n", atk.Confusion[1][0], atk.Confusion[1][1])
+	}
+
+	fmt.Println("\nWith Standard encoding the attacker recovers seizures from sizes")
+	fmt.Println("alone; with AGE every message looks identical and all predictions")
+	fmt.Println("collapse into the majority class.")
+}

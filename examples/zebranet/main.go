@@ -1,0 +1,70 @@
+// Command zebranet models the paper's wildlife-monitoring scenario (§3.3):
+// a herd of collar sensors (ZebraNet/TigerCENSE-style) streams accelerometer
+// batches concurrently to one base station. The poacher-threat version of
+// the attack pools every collar's encrypted message sizes to infer the
+// animals' activity; AGE makes the whole herd's traffic uniform.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	age "repro"
+)
+
+func main() {
+	// Activity windows stand in for the collars' accelerometer batches.
+	data, err := age.LoadDataset("activity", age.DatasetOptions{Seed: 17, MaxSequences: 96})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var train [][][]float64
+	for _, s := range data.Sequences[:32] {
+		train = append(train, s.Values)
+	}
+	const rate = 0.6
+	fit, err := age.FitPolicy(age.LinearPolicy, train, rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const herd = 8
+	for _, enc := range []age.EncoderKind{age.EncStandard, age.EncAGE} {
+		res, err := age.SimulateFleet(age.FleetConfig{
+			Base: age.SimulationConfig{
+				Dataset: data,
+				Policy:  age.NewLinearPolicy(fit.Threshold),
+				Encoder: enc,
+				Cipher:  age.ChaCha20,
+				Rate:    rate,
+				Model:   age.DefaultEnergyModel(),
+				Seed:    2,
+			},
+			Sensors: herd,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var labels, sizes []int
+		distinct := map[int]bool{}
+		for l, ss := range res.SizesByLabel {
+			for _, s := range ss {
+				labels = append(labels, l)
+				sizes = append(sizes, s)
+				distinct[s] = true
+			}
+		}
+		fmt.Printf("[%s] herd of %d collars, %d batches to the base station\n", enc, herd, res.Messages)
+		fmt.Printf("  distinct message sizes on the air: %d\n", len(distinct))
+		fmt.Printf("  pooled NMI(size, activity): %.3f\n", age.NMI(labels, sizes))
+		var worst float64
+		for _, mae := range res.PerSensorMAE {
+			if mae > worst {
+				worst = mae
+			}
+		}
+		fmt.Printf("  worst collar reconstruction MAE: %.4f\n\n", worst)
+	}
+	fmt.Println("With Standard encoding the herd's traffic is a readable activity")
+	fmt.Println("log; with AGE every collar's every batch is the same size.")
+}

@@ -1,0 +1,186 @@
+// Package attack implements the paper's practical adversary (§5.4): an
+// ensemble of depth-limited decision trees fit with AdaBoost (SAMME) on
+// features of observed encrypted message sizes, evaluated with stratified
+// five-fold cross-validation. A policy with no leakage forces this attacker
+// down to predicting the most frequent event.
+package attack
+
+import (
+	"math"
+	"sort"
+)
+
+// treeNode is one node of a weighted CART decision tree.
+type treeNode struct {
+	// Leaf fields.
+	leaf  bool
+	class int
+	// Split fields.
+	feature   int
+	threshold float64
+	left      *treeNode // feature value <= threshold
+	right     *treeNode
+}
+
+// Tree is a depth-limited decision tree trained with sample weights.
+type Tree struct {
+	root       *treeNode
+	numClasses int
+}
+
+// TrainTree fits a CART tree of at most maxDepth levels minimizing weighted
+// Gini impurity. X is row-major samples, y the class labels, w the sample
+// weights (need not be normalized).
+func TrainTree(X [][]float64, y []int, w []float64, numClasses, maxDepth int) *Tree {
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{numClasses: numClasses}
+	t.root = t.build(X, y, w, idx, maxDepth)
+	return t
+}
+
+// build recursively grows the tree over the samples in idx.
+func (t *Tree) build(X [][]float64, y []int, w []float64, idx []int, depth int) *treeNode {
+	major, pure := weightedMajority(y, w, idx, t.numClasses)
+	if depth == 0 || pure || len(idx) < 2 {
+		return &treeNode{leaf: true, class: major}
+	}
+	feature, threshold, ok := bestSplit(X, y, w, idx, t.numClasses)
+	if !ok {
+		return &treeNode{leaf: true, class: major}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return &treeNode{leaf: true, class: major}
+	}
+	return &treeNode{
+		feature:   feature,
+		threshold: threshold,
+		left:      t.build(X, y, w, left, depth-1),
+		right:     t.build(X, y, w, right, depth-1),
+	}
+}
+
+// weightedMajority returns the weight-heaviest class among idx and whether
+// the set is pure.
+func weightedMajority(y []int, w []float64, idx []int, numClasses int) (int, bool) {
+	counts := make([]float64, numClasses)
+	first := -1
+	pure := true
+	for _, i := range idx {
+		counts[y[i]] += w[i]
+		if first == -1 {
+			first = y[i]
+		} else if y[i] != first {
+			pure = false
+		}
+	}
+	best := 0
+	for c := 1; c < numClasses; c++ {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	return best, pure
+}
+
+// bestSplit scans every feature for the weighted-Gini-optimal threshold.
+func bestSplit(X [][]float64, y []int, w []float64, idx []int, numClasses int) (feature int, threshold float64, ok bool) {
+	if len(idx) == 0 {
+		return 0, 0, false
+	}
+	bestGain := 1e-12
+	parent := giniOf(y, w, idx, numClasses)
+	total := 0.0
+	for _, i := range idx {
+		total += w[i]
+	}
+	nf := len(X[idx[0]])
+	order := make([]int, len(idx))
+	for f := 0; f < nf; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		// Incremental class-weight tallies for the left partition.
+		leftCounts := make([]float64, numClasses)
+		rightCounts := make([]float64, numClasses)
+		for _, i := range order {
+			rightCounts[y[i]] += w[i]
+		}
+		var leftW float64
+		for pos := 0; pos < len(order)-1; pos++ {
+			i := order[pos]
+			leftCounts[y[i]] += w[i]
+			rightCounts[y[i]] -= w[i]
+			leftW += w[i]
+			// Only split between distinct feature values.
+			if X[order[pos+1]][f] <= X[i][f] {
+				continue
+			}
+			rightW := total - leftW
+			gain := parent - (leftW*giniFromCounts(leftCounts, leftW)+
+				rightW*giniFromCounts(rightCounts, rightW))/total
+			if gain > bestGain {
+				bestGain = gain
+				feature = f
+				threshold = (X[i][f] + X[order[pos+1]][f]) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+func giniOf(y []int, w []float64, idx []int, numClasses int) float64 {
+	counts := make([]float64, numClasses)
+	var total float64
+	for _, i := range idx {
+		counts[y[i]] += w[i]
+		total += w[i]
+	}
+	return giniFromCounts(counts, total)
+}
+
+func giniFromCounts(counts []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / total
+		g -= p * p
+	}
+	return g
+}
+
+// Predict returns the tree's class for a feature vector.
+func (t *Tree) Predict(x []float64) int {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+// Depth returns the tree's height (a single leaf has depth 0).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	return 1 + int(math.Max(float64(l), float64(r)))
+}

@@ -1,0 +1,163 @@
+// Package bitio provides bit-granular writing and reading over byte buffers.
+//
+// AGE packs fixed-point values at arbitrary per-group bit widths (§4.4), so
+// the encoder needs a stream that can emit, say, 5-bit and 6-bit fields
+// back-to-back with no padding between them. Bits are written MSB-first
+// within each byte, the natural order for radio payload layouts.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned by Reader when the stream has fewer bits
+// remaining than requested.
+var ErrShortBuffer = errors.New("bitio: not enough bits in buffer")
+
+// Writer accumulates bits into an internal byte buffer.
+type Writer struct {
+	buf  []byte
+	nbit uint // bits used in the final byte (0..7); 0 means byte-aligned
+}
+
+// NewWriter returns an empty Writer. The capacity hint sizes the internal
+// buffer in bytes and may be zero.
+func NewWriter(capacityHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacityHint)}
+}
+
+// WriteBits appends the low n bits of v, MSB-first. n must be in [0, 32].
+func (w *Writer) WriteBits(v uint32, n int) {
+	if n < 0 || n > 32 {
+		panic(fmt.Sprintf("bitio: WriteBits width %d out of range", n))
+	}
+	for n > 0 {
+		if w.nbit == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		free := 8 - w.nbit // free bits in the current byte
+		take := uint(n)
+		if take > free {
+			take = free
+		}
+		// Extract the top `take` of the remaining n bits of v.
+		chunk := byte(v >> uint(n-int(take)) & (1<<take - 1))
+		w.buf[len(w.buf)-1] |= chunk << (free - take)
+		w.nbit = (w.nbit + take) % 8
+		n -= int(take)
+	}
+}
+
+// WriteByte appends a full byte.
+func (w *Writer) WriteByte(b byte) error {
+	w.WriteBits(uint32(b), 8)
+	return nil
+}
+
+// WriteUint16 appends v big-endian.
+func (w *Writer) WriteUint16(v uint16) { w.WriteBits(uint32(v), 16) }
+
+// Align pads with zero bits to the next byte boundary.
+func (w *Writer) Align() {
+	if w.nbit != 0 {
+		w.WriteBits(0, int(8-w.nbit))
+	}
+}
+
+// PadTo extends the buffer with zero bytes until it is exactly n bytes long.
+// It panics if the buffer already exceeds n bytes: callers size their
+// payloads before writing, so overflow is a programming error.
+func (w *Writer) PadTo(n int) {
+	w.Align()
+	if len(w.buf) > n {
+		panic(fmt.Sprintf("bitio: buffer %dB exceeds pad target %dB", len(w.buf), n))
+	}
+	for len(w.buf) < n {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Len returns the current length in whole bytes (a partially filled final
+// byte counts as one byte).
+func (w *Writer) Len() int { return len(w.buf) }
+
+// BitLen returns the exact number of bits written.
+func (w *Writer) BitLen() int {
+	if w.nbit == 0 {
+		return len(w.buf) * 8
+	}
+	return (len(w.buf)-1)*8 + int(w.nbit)
+}
+
+// Bytes returns the accumulated buffer. The final partial byte, if any, is
+// zero-padded. The returned slice aliases the Writer's storage.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset clears the writer for reuse without reallocating.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// Reader consumes bits from a byte slice, MSB-first, mirroring Writer.
+type Reader struct {
+	buf []byte
+	pos int  // byte index
+	bit uint // bit offset within buf[pos] (0 = MSB)
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBits reads n bits (0..32) and returns them right-aligned.
+func (r *Reader) ReadBits(n int) (uint32, error) {
+	if n < 0 || n > 32 {
+		panic(fmt.Sprintf("bitio: ReadBits width %d out of range", n))
+	}
+	if r.Remaining() < n {
+		return 0, ErrShortBuffer
+	}
+	var v uint32
+	for n > 0 {
+		avail := 8 - r.bit
+		take := uint(n)
+		if take > avail {
+			take = avail
+		}
+		chunk := uint32(r.buf[r.pos]>>(avail-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		r.bit += take
+		if r.bit == 8 {
+			r.bit = 0
+			r.pos++
+		}
+		n -= int(take)
+	}
+	return v, nil
+}
+
+// ReadByte reads 8 bits as a byte.
+func (r *Reader) ReadByte() (byte, error) {
+	v, err := r.ReadBits(8)
+	return byte(v), err
+}
+
+// ReadUint16 reads a big-endian uint16.
+func (r *Reader) ReadUint16() (uint16, error) {
+	v, err := r.ReadBits(16)
+	return uint16(v), err
+}
+
+// Align skips to the next byte boundary.
+func (r *Reader) Align() {
+	if r.bit != 0 {
+		r.bit = 0
+		r.pos++
+	}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int {
+	return (len(r.buf)-r.pos)*8 - int(r.bit)
+}

@@ -1,0 +1,233 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadAlignedBytes(t *testing.T) {
+	w := NewWriter(4)
+	for _, b := range []byte{0xDE, 0xAD, 0xBE, 0xEF} {
+		if err := w.WriteByte(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(w.Bytes(), []byte{0xDE, 0xAD, 0xBE, 0xEF}) {
+		t.Fatalf("bytes = %x", w.Bytes())
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range []byte{0xDE, 0xAD, 0xBE, 0xEF} {
+		got, err := r.ReadByte()
+		if err != nil || got != want {
+			t.Fatalf("ReadByte = %x, %v; want %x", got, err, want)
+		}
+	}
+}
+
+func TestUnalignedFields(t *testing.T) {
+	// 3 bits, 5 bits, 7 bits, 9 bits = 24 bits = 3 bytes.
+	w := NewWriter(3)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0b11010, 5)
+	w.WriteBits(0b0110011, 7)
+	w.WriteBits(0b100000001, 9)
+	if w.BitLen() != 24 || w.Len() != 3 {
+		t.Fatalf("BitLen=%d Len=%d", w.BitLen(), w.Len())
+	}
+	r := NewReader(w.Bytes())
+	for _, c := range []struct {
+		n    int
+		want uint32
+	}{{3, 0b101}, {5, 0b11010}, {7, 0b0110011}, {9, 0b100000001}} {
+		got, err := r.ReadBits(c.n)
+		if err != nil || got != c.want {
+			t.Fatalf("ReadBits(%d) = %b, %v; want %b", c.n, got, err, c.want)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestMSBFirstLayout(t *testing.T) {
+	// Writing 1 bit of value 1 must set the MSB of the first byte.
+	w := NewWriter(1)
+	w.WriteBits(1, 1)
+	if w.Bytes()[0] != 0x80 {
+		t.Fatalf("first byte = %08b, want 10000000", w.Bytes()[0])
+	}
+}
+
+func TestWriteBitsMasksHighBits(t *testing.T) {
+	// Only the low n bits of v may be written.
+	w := NewWriter(1)
+	w.WriteBits(0xFFFFFFFF, 4)
+	w.Align()
+	if w.Bytes()[0] != 0xF0 {
+		t.Fatalf("byte = %02x, want f0", w.Bytes()[0])
+	}
+}
+
+func TestAlignAndPadTo(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0b1, 1)
+	w.Align()
+	if w.BitLen() != 8 {
+		t.Fatalf("BitLen after Align = %d", w.BitLen())
+	}
+	w.PadTo(5)
+	if w.Len() != 5 {
+		t.Fatalf("Len after PadTo = %d", w.Len())
+	}
+	for _, b := range w.Bytes()[1:] {
+		if b != 0 {
+			t.Fatalf("padding byte nonzero: %x", w.Bytes())
+		}
+	}
+}
+
+func TestPadToPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PadTo did not panic on overflow")
+		}
+	}()
+	w := NewWriter(4)
+	w.WriteUint16(0xABCD)
+	w.PadTo(1)
+}
+
+func TestReadBitsShortBuffer(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(9); err != ErrShortBuffer {
+		t.Errorf("err = %v, want ErrShortBuffer", err)
+	}
+	// After a failed read the stream must be unchanged.
+	v, err := r.ReadBits(8)
+	if err != nil || v != 0xFF {
+		t.Errorf("ReadBits(8) after failure = %x, %v", v, err)
+	}
+}
+
+func TestUint16RoundTrip(t *testing.T) {
+	w := NewWriter(2)
+	w.WriteBits(0b11, 2) // leave the stream unaligned
+	w.WriteUint16(0xBEEF)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadUint16()
+	if err != nil || got != 0xBEEF {
+		t.Fatalf("ReadUint16 = %04x, %v", got, err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0xFFFF, 16)
+	w.Reset()
+	if w.Len() != 0 || w.BitLen() != 0 {
+		t.Fatalf("after Reset: Len=%d BitLen=%d", w.Len(), w.BitLen())
+	}
+	w.WriteBits(0b1, 1)
+	if w.Bytes()[0] != 0x80 {
+		t.Fatalf("stale state after Reset: %x", w.Bytes())
+	}
+}
+
+func TestReaderAlign(t *testing.T) {
+	r := NewReader([]byte{0xFF, 0x0F})
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	r.Align()
+	v, err := r.ReadBits(8)
+	if err != nil || v != 0x0F {
+		t.Fatalf("after Align: %x, %v", v, err)
+	}
+}
+
+// TestRoundTripProperty writes a random sequence of (width, value) fields and
+// reads them back, checking bit-exact recovery.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%64) + 1
+		widths := make([]int, n)
+		values := make([]uint32, n)
+		w := NewWriter(n * 4)
+		for i := range widths {
+			widths[i] = rng.Intn(32) + 1
+			values[i] = rng.Uint32() & (1<<uint(widths[i]) - 1)
+			w.WriteBits(values[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range widths {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBitLenInvariant checks BitLen == sum of written widths.
+func TestBitLenInvariant(t *testing.T) {
+	prop := func(widths []uint8) bool {
+		w := NewWriter(0)
+		total := 0
+		for _, ww := range widths {
+			n := int(ww % 33) // 0..32 inclusive
+			w.WriteBits(0, n)
+			total += n
+		}
+		return w.BitLen() == total
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteBitsPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WriteBits(33) did not panic")
+		}
+	}()
+	NewWriter(0).WriteBits(0, 33)
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if w.Len() > 900 {
+			w.Reset()
+		}
+		w.WriteBits(0x15, 5)
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	w := NewWriter(1024)
+	for i := 0; i < 1000; i++ {
+		w.WriteBits(uint32(i), 13)
+	}
+	buf := w.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		for r.Remaining() >= 13 {
+			if _, err := r.ReadBits(13); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package chacha
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestPoly1305RFCVector checks the RFC 7539 §2.5.2 tag test vector.
+func TestPoly1305RFCVector(t *testing.T) {
+	var key [32]byte
+	copy(key[:], mustHex(t, "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b"))
+	msg := []byte("Cryptographic Forum Research Group")
+	tag := poly1305(&key, msg)
+	want := mustHex(t, "a8061dc1305136c6c22b8baf0c0127a9")
+	if !bytes.Equal(tag[:], want) {
+		t.Errorf("tag = %x, want %x", tag, want)
+	}
+}
+
+// TestPoly1305KeyGenVector checks the RFC 7539 §2.6.2 one-time key vector.
+func TestPoly1305KeyGenVector(t *testing.T) {
+	key := mustHex(t, "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+	nonce := mustHex(t, "000000000001020304050607")
+	otk, err := oneTimeKey(key, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustHex(t, "8ad5a08b905f81cc815040274ab29471a833b637e3fd0da508dbb8e2fdd1a646")
+	if !bytes.Equal(otk[:], want) {
+		t.Errorf("otk = %x\nwant  %x", otk, want)
+	}
+}
+
+// TestAEADRFCVector checks the full RFC 7539 §2.8.2 AEAD test vector.
+func TestAEADRFCVector(t *testing.T) {
+	key := mustHex(t, "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+	nonce := mustHex(t, "070000004041424344454647")
+	aad := mustHex(t, "50515253c0c1c2c3c4c5c6c7")
+	plaintext := []byte("Ladies and Gentlemen of the class of '99: If I could offer you " +
+		"only one tip for the future, sunscreen would be it.")
+	a, err := NewAEAD(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := a.Seal(nonce, plaintext, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCT := mustHex(t, "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6"+
+		"3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36"+
+		"92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc"+
+		"3ff4def08e4b7a9de576d26586cec64b6116")
+	wantTag := mustHex(t, "1ae10b594f09e26a7e902ecbd0600691")
+	if !bytes.Equal(sealed[:len(sealed)-TagSize], wantCT) {
+		t.Errorf("ciphertext mismatch")
+	}
+	if !bytes.Equal(sealed[len(sealed)-TagSize:], wantTag) {
+		t.Errorf("tag = %x, want %x", sealed[len(sealed)-TagSize:], wantTag)
+	}
+	got, err := a.Open(nonce, sealed, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plaintext) {
+		t.Error("round trip failed")
+	}
+}
+
+func TestAEADRejectsTampering(t *testing.T) {
+	key := make([]byte, KeySize)
+	nonce := make([]byte, NonceSize)
+	a, _ := NewAEAD(key)
+	sealed, err := a.Seal(nonce, []byte("batch payload"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, corrupt := range []int{0, len(sealed) / 2, len(sealed) - 1} {
+		bad := append([]byte(nil), sealed...)
+		bad[corrupt] ^= 0x01
+		if _, err := a.Open(nonce, bad, nil); err != ErrAuthFailed {
+			t.Errorf("tampered byte %d accepted (err=%v)", corrupt, err)
+		}
+	}
+	// Wrong AAD must fail too.
+	if _, err := a.Open(nonce, sealed, []byte("x")); err != ErrAuthFailed {
+		t.Error("wrong AAD accepted")
+	}
+	// Too-short message.
+	if _, err := a.Open(nonce, sealed[:8], nil); err != ErrAuthFailed {
+		t.Error("short message accepted")
+	}
+}
+
+func TestAEADRoundTripProperty(t *testing.T) {
+	key := make([]byte, KeySize)
+	for i := range key {
+		key[i] = byte(i * 3)
+	}
+	a, _ := NewAEAD(key)
+	var counter uint64
+	prop := func(msg, aad []byte) bool {
+		counter++
+		nonce := make([]byte, NonceSize)
+		for i := 0; i < 8; i++ {
+			nonce[i] = byte(counter >> (8 * i))
+		}
+		sealed, err := a.Seal(nonce, msg, aad)
+		if err != nil || len(sealed) != len(msg)+TagSize {
+			return false
+		}
+		got, err := a.Open(nonce, sealed, aad)
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoly1305BlockBoundaries(t *testing.T) {
+	// Exercise 0, partial, exact, and multi-block messages.
+	var key [32]byte
+	for i := range key {
+		key[i] = byte(i + 1)
+	}
+	seen := map[[TagSize]byte]bool{}
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 33, 64, 255} {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(n + i)
+		}
+		tag := poly1305(&key, msg)
+		if seen[tag] {
+			t.Errorf("duplicate tag for length %d", n)
+		}
+		seen[tag] = true
+	}
+}
+
+func TestNewAEADKeySize(t *testing.T) {
+	if _, err := NewAEAD(make([]byte, 16)); err == nil {
+		t.Error("short AEAD key accepted")
+	}
+}
+
+func BenchmarkAEADSeal1K(b *testing.B) {
+	key := make([]byte, KeySize)
+	nonce := make([]byte, NonceSize)
+	a, _ := NewAEAD(key)
+	msg := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Seal(nonce, msg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

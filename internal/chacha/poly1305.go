@@ -1,0 +1,128 @@
+package chacha
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Poly1305 one-time authenticator, RFC 7539 §2.5. The implementation uses
+// 64-bit limbs with 128-bit intermediate products via math/bits, processing
+// the message in 16-byte blocks with the usual 2^130-5 partial reduction.
+//
+// Together with the ChaCha20 cipher this completes the RFC's AEAD
+// construction (aead.go), giving the sensor link authenticated encryption —
+// an eavesdropper can still see message lengths, which is exactly the
+// channel AGE closes.
+
+// TagSize is the Poly1305 authenticator length in bytes.
+const TagSize = 16
+
+// poly1305 computes the 16-byte tag of msg under the 32-byte one-time key.
+func poly1305(key *[32]byte, msg []byte) [TagSize]byte {
+	// r is clamped per the RFC.
+	r0 := binary.LittleEndian.Uint64(key[0:8]) & 0x0FFFFFFC0FFFFFFF
+	r1 := binary.LittleEndian.Uint64(key[8:16]) & 0x0FFFFFFC0FFFFFFC
+	s0 := binary.LittleEndian.Uint64(key[16:24])
+	s1 := binary.LittleEndian.Uint64(key[24:32])
+
+	var h0, h1, h2 uint64
+	for len(msg) > 0 {
+		var block [16]byte
+		var hibit uint64
+		if len(msg) >= 16 {
+			copy(block[:], msg[:16])
+			msg = msg[16:]
+			hibit = 1
+		} else {
+			n := copy(block[:], msg)
+			block[n] = 1
+			msg = nil
+			hibit = 0
+		}
+		// h += block (with the high bit appended for full blocks).
+		var carry uint64
+		h0, carry = bits.Add64(h0, binary.LittleEndian.Uint64(block[0:8]), 0)
+		h1, carry = bits.Add64(h1, binary.LittleEndian.Uint64(block[8:16]), carry)
+		h2 += carry + hibit
+
+		// h *= r, modulo 2^130 - 5.
+		// Schoolbook multiply of (h2,h1,h0) by (r1,r0).
+		m0hi, m0lo := bits.Mul64(h0, r0)
+		m1hi, m1lo := bits.Mul64(h0, r1)
+		m2hi, m2lo := bits.Mul64(h1, r0)
+		m3hi, m3lo := bits.Mul64(h1, r1)
+		// h2 is small (< 8), so h2*r fits without 128-bit products.
+		m4 := h2 * r0
+		m5 := h2 * r1
+
+		// Accumulate into t0..t3 (256-bit product, top limb small).
+		t0 := m0lo
+		t1, c1 := bits.Add64(m0hi, m1lo, 0)
+		t2, c2 := bits.Add64(m1hi, m3lo, c1)
+		t3 := m3hi + c2
+		t1, c1 = bits.Add64(t1, m2lo, 0)
+		t2, c2 = bits.Add64(t2, m2hi, c1)
+		t3 += c2
+		t2, c2 = bits.Add64(t2, m4, 0)
+		t3 += c2 + m5
+
+		// Reduce modulo 2^130 - 5: the low 130 bits stay; the high part
+		// (t2>>2, t3) folds back multiplied by 5.
+		h0, h1, h2 = t0, t1, t2&3
+		fold0 := t2>>2 | t3<<62
+		fold1 := t3 >> 2
+		// h += fold*5 = fold*4 + fold.
+		var c uint64
+		h0, c = bits.Add64(h0, fold0, 0)
+		h1, c = bits.Add64(h1, fold1, c)
+		h2 += c
+		fold0, fold1 = fold0<<2, fold1<<2|fold0>>62
+		h0, c = bits.Add64(h0, fold0, 0)
+		h1, c = bits.Add64(h1, fold1, c)
+		h2 += c
+	}
+
+	// Final reduction: h mod 2^130 - 5.
+	h0, h1, h2 = reduce1305(h0, h1, h2)
+	// If h >= 2^130 - 5, subtract the modulus.
+	t0, b0 := bits.Sub64(h0, 0xFFFFFFFFFFFFFFFB, 0)
+	t1, b1 := bits.Sub64(h1, 0xFFFFFFFFFFFFFFFF, b0)
+	_, b2 := bits.Sub64(h2, 3, b1)
+	if b2 == 0 {
+		h0, h1 = t0, t1
+	}
+
+	// tag = (h + s) mod 2^128.
+	var c uint64
+	h0, c = bits.Add64(h0, s0, 0)
+	h1, _ = bits.Add64(h1, s1, c)
+	var tag [TagSize]byte
+	binary.LittleEndian.PutUint64(tag[0:8], h0)
+	binary.LittleEndian.PutUint64(tag[8:16], h1)
+	return tag
+}
+
+// reduce1305 folds any bits of h above 2^130 back via *5.
+func reduce1305(h0, h1, h2 uint64) (uint64, uint64, uint64) {
+	for h2 > 3 {
+		top := h2 >> 2
+		h2 &= 3
+		var c uint64
+		h0, c = bits.Add64(h0, top*5, 0)
+		h1, c = bits.Add64(h1, 0, c)
+		h2 += c
+	}
+	return h0, h1, h2
+}
+
+// oneTimeKey derives the per-message Poly1305 key: the first 32 bytes of the
+// ChaCha20 keystream at counter 0 (RFC 7539 §2.6).
+func oneTimeKey(key, nonce []byte) (*[32]byte, error) {
+	c, err := New(key, nonce, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out [32]byte
+	c.XORKeyStream(out[:], out[:])
+	return &out, nil
+}

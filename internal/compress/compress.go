@@ -1,0 +1,154 @@
+package compress
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+)
+
+// The codec: measurements are delta-encoded per feature (consecutive sensor
+// readings are close, so deltas concentrate near zero), deltas are zigzag
+// mapped to unsigned, split into a 4-bit "bucket" (the bit length) coded
+// with canonical Huffman plus raw remainder bits — the classic low-power
+// scheme of Marcelloni & Vecchio [72] and delta/RLE systems [90].
+//
+// Wire layout:
+//
+//	[2B count k] [1B features d]
+//	[33 x 6 bits: Huffman code length per bucket]
+//	per value (feature-major deltas): [huffman(bucket)] [bucket raw bits]
+//	[pad to byte]
+
+// numBuckets is the number of delta magnitude classes: one per possible
+// zigzagged bit length (0..32), covering every int32 delta losslessly.
+const numBuckets = 33
+
+// zigzag maps signed deltas to unsigned so small magnitudes get small codes.
+func zigzag(v int32) uint32 {
+	return uint32((v << 1) ^ (v >> 31))
+}
+
+func unzigzag(u uint32) int32 {
+	return int32(u>>1) ^ -int32(u&1)
+}
+
+// bucketOf returns the bit length of u (0 for 0), the Huffman symbol.
+func bucketOf(u uint32) int {
+	n := 0
+	for u > 0 {
+		n++
+		u >>= 1
+	}
+	return n
+}
+
+// Compress losslessly encodes raw fixed-point measurements (k rows x d
+// features). The output size depends on the data — which is precisely the
+// leak §7 warns about.
+func Compress(raw [][]int32) ([]byte, error) {
+	k := len(raw)
+	if k == 0 {
+		return []byte{0, 0, 0}, nil
+	}
+	d := len(raw[0])
+	if k > 0xFFFF || d > 0xFF {
+		return nil, fmt.Errorf("compress: batch %dx%d too large", k, d)
+	}
+	deltas := make([]uint32, 0, k*d)
+	freq := make([]int, numBuckets)
+	for f := 0; f < d; f++ {
+		prev := int32(0)
+		for t := 0; t < k; t++ {
+			if len(raw[t]) != d {
+				return nil, fmt.Errorf("compress: ragged row %d", t)
+			}
+			z := zigzag(raw[t][f] - prev)
+			prev = raw[t][f]
+			deltas = append(deltas, z)
+			freq[bucketOf(z)]++
+		}
+	}
+	lengths := buildCodeLengths(freq)
+	codes := canonicalCodes(lengths)
+
+	w := bitio.NewWriter(3 + 8 + k*d*2)
+	w.WriteUint16(uint16(k))
+	w.WriteBits(uint32(d), 8)
+	for _, l := range lengths {
+		w.WriteBits(uint32(l), 6)
+	}
+	for _, z := range deltas {
+		b := bucketOf(z)
+		c := codes[b]
+		if c.len == 0 {
+			return nil, fmt.Errorf("compress: no code for bucket %d", b)
+		}
+		w.WriteBits(c.bits, c.len)
+		if b > 1 {
+			// The bucket implies the top bit; store the b-1 below it.
+			w.WriteBits(z&(1<<uint(b-1)-1), b-1)
+		}
+	}
+	w.Align()
+	return w.Bytes(), nil
+}
+
+// Decompress inverts Compress.
+func Decompress(payload []byte) ([][]int32, error) {
+	r := bitio.NewReader(payload)
+	k16, err := r.ReadUint16()
+	if err != nil {
+		return nil, fmt.Errorf("compress: header: %w", err)
+	}
+	k := int(k16)
+	d8, err := r.ReadBits(8)
+	if err != nil {
+		return nil, fmt.Errorf("compress: header: %w", err)
+	}
+	d := int(d8)
+	if k == 0 {
+		return nil, nil
+	}
+	if d == 0 {
+		return nil, fmt.Errorf("compress: zero features with %d rows", k)
+	}
+	lengths := make([]int, numBuckets)
+	for i := range lengths {
+		l, err := r.ReadBits(6)
+		if err != nil {
+			return nil, fmt.Errorf("compress: code table: %w", err)
+		}
+		if int(l) > maxCodeLen {
+			return nil, fmt.Errorf("compress: code length %d out of range", l)
+		}
+		lengths[i] = int(l)
+	}
+	dec := newDecoder(lengths)
+	out := make([][]int32, k)
+	for t := range out {
+		out[t] = make([]int32, d)
+	}
+	for f := 0; f < d; f++ {
+		prev := int32(0)
+		for t := 0; t < k; t++ {
+			b, err := dec.read(r)
+			if err != nil {
+				return nil, err
+			}
+			var z uint32
+			if b > 0 {
+				z = 1 << uint(b-1) // the bucket's implicit top bit
+				if b > 1 {
+					rem, err := r.ReadBits(b - 1)
+					if err != nil {
+						return nil, fmt.Errorf("compress: remainder: %w", err)
+					}
+					z |= rem
+				}
+			}
+			prev += unzigzag(z)
+			out[t][f] = prev
+		}
+	}
+	return out, nil
+}

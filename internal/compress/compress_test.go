@@ -1,0 +1,284 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+	"repro/internal/dataset"
+	"repro/internal/fixedpoint"
+)
+
+func bitioNewWriterForTest() *bitio.Writer         { return bitio.NewWriter(16) }
+func bitioNewReaderForTest(b []byte) *bitio.Reader { return bitio.NewReader(b) }
+
+func TestZigzag(t *testing.T) {
+	cases := []struct {
+		v int32
+		u uint32
+	}{{0, 0}, {-1, 1}, {1, 2}, {-2, 3}, {2, 4}, {2147483647, 4294967294}, {-2147483648, 4294967295}}
+	for _, c := range cases {
+		if got := zigzag(c.v); got != c.u {
+			t.Errorf("zigzag(%d) = %d, want %d", c.v, got, c.u)
+		}
+		if got := unzigzag(c.u); got != c.v {
+			t.Errorf("unzigzag(%d) = %d, want %d", c.u, got, c.v)
+		}
+	}
+}
+
+func TestZigzagRoundTripProperty(t *testing.T) {
+	prop := func(v int32) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		u uint32
+		b int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9}, {4294967295, 32}}
+	for _, c := range cases {
+		if got := bucketOf(c.u); got != c.b {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.u, got, c.b)
+		}
+	}
+}
+
+func TestHuffmanCanonical(t *testing.T) {
+	// Frequencies force a known shape: one hot symbol gets a short code.
+	freq := make([]int, numBuckets)
+	freq[0] = 1000
+	freq[1] = 10
+	freq[2] = 10
+	lengths := buildCodeLengths(freq)
+	if lengths[0] >= lengths[1] {
+		t.Errorf("hot symbol length %d not shorter than cold %d", lengths[0], lengths[1])
+	}
+	codes := canonicalCodes(lengths)
+	// Codes must be prefix-free: check pairwise.
+	for a := range codes {
+		for b := range codes {
+			if a == b || codes[a].len == 0 || codes[b].len == 0 {
+				continue
+			}
+			if codes[a].len <= codes[b].len {
+				if codes[b].bits>>(uint(codes[b].len-codes[a].len)) == codes[a].bits {
+					t.Fatalf("code %d is a prefix of %d", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestHuffmanSingleSymbol(t *testing.T) {
+	freq := make([]int, numBuckets)
+	freq[5] = 42
+	lengths := buildCodeLengths(freq)
+	if lengths[5] != 1 {
+		t.Errorf("single symbol length = %d, want 1", lengths[5])
+	}
+}
+
+func TestCompressRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		k := rng.Intn(100) + 1
+		d := rng.Intn(5) + 1
+		raw := make([][]int32, k)
+		for i := range raw {
+			raw[i] = make([]int32, d)
+			for f := range raw[i] {
+				raw[i][f] = int32(rng.Intn(1<<16)) - 1<<15
+			}
+		}
+		payload, err := Compress(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decompress(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k {
+			t.Fatalf("rows %d, want %d", len(got), k)
+		}
+		for i := range raw {
+			for f := range raw[i] {
+				if got[i][f] != raw[i][f] {
+					t.Fatalf("trial %d: value [%d][%d] %d != %d", trial, i, f, got[i][f], raw[i][f])
+				}
+			}
+		}
+	}
+}
+
+func TestCompressExtremeDeltas(t *testing.T) {
+	raw := [][]int32{{0}, {2147483647}, {-2147483648}, {0}}
+	payload, err := Compress(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		if got[i][0] != raw[i][0] {
+			t.Fatalf("extreme value %d round-tripped to %d", raw[i][0], got[i][0])
+		}
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	payload, err := Compress(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Errorf("empty round trip = %v", got)
+	}
+}
+
+func TestCompressErrors(t *testing.T) {
+	if _, err := Compress([][]int32{{1, 2}, {3}}); err == nil {
+		t.Error("ragged input accepted")
+	}
+	if _, err := Decompress([]byte{0}); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := Decompress([]byte{0, 5, 0}); err == nil {
+		t.Error("zero features with rows accepted")
+	}
+}
+
+// TestSmoothDataCompresses: the design premise — adjacent sensor readings
+// are close, so delta+Huffman beats raw width on smooth signals.
+func TestSmoothDataCompresses(t *testing.T) {
+	d := dataset.MustLoad("strawberry", dataset.Options{Seed: 1, MaxSequences: 2})
+	seq := d.Sequences[0]
+	raw := make([][]int32, len(seq.Values))
+	for i, row := range seq.Values {
+		raw[i] = make([]int32, len(row))
+		for f, v := range row {
+			raw[i][f] = fixedpoint.FromFloat(v, d.Meta.Format).Raw
+		}
+	}
+	payload, err := Compress(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawBytes := len(raw) * len(raw[0]) * d.Meta.Format.Width / 8
+	if len(payload) >= rawBytes {
+		t.Errorf("compressed %dB >= raw %dB on smooth data", len(payload), rawBytes)
+	}
+}
+
+// TestCompressedSizeLeaks is §7's warning in miniature: the same sampling
+// count compresses to different sizes for calm vs violent events.
+func TestCompressedSizeLeaks(t *testing.T) {
+	d := dataset.MustLoad("epilepsy", dataset.Options{Seed: 2, MaxSequences: 40})
+	sizes := map[int][]int{}
+	for _, s := range d.Sequences {
+		raw := make([][]int32, len(s.Values))
+		for i, row := range s.Values {
+			raw[i] = make([]int32, len(row))
+			for f, v := range row {
+				raw[i][f] = fixedpoint.FromFloat(v, d.Meta.Format).Raw
+			}
+		}
+		payload, err := Compress(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[s.Label] = append(sizes[s.Label], len(payload))
+	}
+	mean := func(xs []int) float64 {
+		var t float64
+		for _, x := range xs {
+			t += float64(x)
+		}
+		return t / float64(len(xs))
+	}
+	walking, running := mean(sizes[1]), mean(sizes[2])
+	if running <= walking*1.1 {
+		t.Errorf("running compresses to %.0fB vs walking %.0fB; expected a clear size gap", running, walking)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	raw := make([][]int32, 206)
+	for i := range raw {
+		raw[i] = []int32{int32(rng.Intn(4096)), int32(rng.Intn(4096)), int32(rng.Intn(4096))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestHuffmanDeepTree drives the worst-case skew: Fibonacci-like frequencies
+// produce the deepest possible Huffman tree (~n-1 levels); codes must stay
+// prefix-free and decodable.
+func TestHuffmanDeepTree(t *testing.T) {
+	freq := make([]int, numBuckets)
+	a, b := 1, 1
+	for i := 0; i < numBuckets; i++ {
+		freq[i] = a
+		a, b = b, a+b
+		if a > 1<<40 { // keep ints sane; skew already extreme
+			a = 1 << 40
+		}
+	}
+	lengths := buildCodeLengths(freq)
+	maxLen := 0
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen <= 15 {
+		t.Fatalf("tree depth %d did not exceed 15; skew not extreme enough", maxLen)
+	}
+	if maxLen > maxCodeLen {
+		t.Fatalf("depth %d above bound %d", maxLen, maxCodeLen)
+	}
+	// Kraft equality for a full binary tree: sum 2^-l == 1.
+	var kraft float64
+	for _, l := range lengths {
+		if l > 0 {
+			kraft += 1 / float64(uint64(1)<<uint(l))
+		}
+	}
+	if kraft > 1+1e-12 || kraft < 1-1e-12 {
+		t.Fatalf("Kraft sum %g != 1; codes not a full prefix tree", kraft)
+	}
+	// Every symbol must decode back to itself.
+	codes := canonicalCodes(lengths)
+	dec := newDecoder(lengths)
+	for sym, c := range codes {
+		if c.len == 0 {
+			continue
+		}
+		w := bitioNewWriterForTest()
+		w.WriteBits(c.bits, c.len)
+		w.Align()
+		got, err := dec.read(bitioNewReaderForTest(w.Bytes()))
+		if err != nil {
+			t.Fatalf("symbol %d: %v", sym, err)
+		}
+		if got != sym {
+			t.Fatalf("symbol %d decoded as %d", sym, got)
+		}
+	}
+}

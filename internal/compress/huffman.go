@@ -1,0 +1,189 @@
+// Package compress implements the lossless compression pipeline common on
+// low-power sensors — delta encoding followed by Huffman coding (the
+// related-work systems [72, 90] the paper cites) — to demonstrate §7's
+// point: compressed message sizes depend on the plaintext content, so even
+// a sensor with a non-adaptive sampling policy leaks event information
+// through its (encrypted) message lengths. AGE deliberately rejects this
+// approach; it will even expand messages to hold its fixed target size.
+package compress
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+)
+
+// maxCodeLen bounds Huffman code lengths. A tree over n leaves is at most
+// n-1 deep, and we have 33 symbols, so 32 is a true bound — no length
+// clamping (which would break the prefix property) can ever trigger.
+const maxCodeLen = 32
+
+// huffCode is one symbol's canonical code.
+type huffCode struct {
+	bits uint32
+	len  int
+}
+
+// buildCodeLengths computes Huffman code lengths for the symbol frequencies
+// using a standard two-queue tree build, then canonicalizes.
+func buildCodeLengths(freq []int) []int {
+	type node struct {
+		weight      int
+		symbol      int // -1 for internal
+		left, right *node
+	}
+	var pq nodeHeap
+	for sym, f := range freq {
+		if f > 0 {
+			pq = append(pq, &nodeItem{weight: f, order: sym, payload: sym})
+		}
+	}
+	lengths := make([]int, len(freq))
+	switch len(pq) {
+	case 0:
+		return lengths
+	case 1:
+		lengths[pq[0].payload.(int)] = 1
+		return lengths
+	}
+	heap.Init(&pq)
+	order := len(freq)
+	for pq.Len() > 1 {
+		a := heap.Pop(&pq).(*nodeItem)
+		b := heap.Pop(&pq).(*nodeItem)
+		heap.Push(&pq, &nodeItem{
+			weight:  a.weight + b.weight,
+			order:   order,
+			payload: [2]*nodeItem{a, b},
+		})
+		order++
+	}
+	root := heap.Pop(&pq).(*nodeItem)
+	var walk func(n *nodeItem, depth int)
+	walk = func(n *nodeItem, depth int) {
+		switch p := n.payload.(type) {
+		case int:
+			if depth < 1 {
+				depth = 1
+			}
+			lengths[p] = depth
+		case [2]*nodeItem:
+			walk(p[0], depth+1)
+			walk(p[1], depth+1)
+		}
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// nodeItem / nodeHeap implement the Huffman priority queue with a stable
+// tie-break so encoding is deterministic.
+type nodeItem struct {
+	weight  int
+	order   int
+	payload interface{} // int symbol or [2]*nodeItem children
+}
+
+type nodeHeap []*nodeItem
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].order < h[j].order
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// canonicalCodes assigns canonical Huffman codes from code lengths: codes of
+// equal length are consecutive, ordered by symbol, so only the lengths need
+// to travel in the header.
+func canonicalCodes(lengths []int) []huffCode {
+	type sl struct{ sym, l int }
+	var syms []sl
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	codes := make([]huffCode, len(lengths))
+	code := uint32(0)
+	prevLen := 0
+	for _, s := range syms {
+		code <<= uint(s.l - prevLen)
+		codes[s.sym] = huffCode{bits: code, len: s.l}
+		code++
+		prevLen = s.l
+	}
+	return codes
+}
+
+// decoder is a canonical Huffman decoder table.
+type decoder struct {
+	// firstCode[l] is the first canonical code of length l; symbols[l]
+	// lists the symbols with that length in canonical order.
+	firstCode [maxCodeLen + 1]uint32
+	symbols   [maxCodeLen + 1][]int
+}
+
+func newDecoder(lengths []int) *decoder {
+	d := &decoder{}
+	codes := canonicalCodes(lengths)
+	for sym, c := range codes {
+		if c.len > 0 {
+			d.symbols[c.len] = append(d.symbols[c.len], sym)
+		}
+	}
+	// Canonical order within a length is ascending symbol; recompute the
+	// first code per length the same way canonicalCodes does.
+	code := uint32(0)
+	prevLen := 0
+	for l := 1; l <= maxCodeLen; l++ {
+		if len(d.symbols[l]) == 0 {
+			continue
+		}
+		code <<= uint(l - prevLen)
+		d.firstCode[l] = code
+		code += uint32(len(d.symbols[l]))
+		prevLen = l
+	}
+	return d
+}
+
+// read decodes one symbol from the bit reader.
+func (d *decoder) read(r *bitio.Reader) (int, error) {
+	code := uint32(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		b, err := r.ReadBits(1)
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | b
+		n := len(d.symbols[l])
+		if n == 0 {
+			continue
+		}
+		// 64-bit compare: firstCode+n overflows uint32 at full-width
+		// codes (a 32-long code range ending at 0xFFFFFFFF).
+		if uint64(code) >= uint64(d.firstCode[l]) && uint64(code) < uint64(d.firstCode[l])+uint64(n) {
+			return d.symbols[l][code-d.firstCode[l]], nil
+		}
+	}
+	return 0, fmt.Errorf("compress: invalid Huffman code")
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/fixedpoint"
+)
+
+// AGE implements Adaptive Group Encoding (§4): a lossy encoder that packs any
+// batch into exactly TargetBytes. The pipeline is
+//
+//	prune (§4.2) -> exponent-aware groups (§4.3) -> per-group quantization (§4.4)
+//
+// Wire layout (byte-aligned blocks; see DESIGN.md §5):
+//
+//	[2B collected count k'] [k' x ceil(log2 T) bits of indices]
+//	[1B group count G']
+//	G' x ([2B run length] [1B exponent n_i] [1B width w_i])
+//	packed values: group by group, Count(g_i)*d values at w_i bits
+//	zero padding to TargetBytes
+type AGE struct {
+	cfg Config
+}
+
+// NewAGE returns an AGE encoder/decoder producing cfg.TargetBytes messages.
+func NewAGE(cfg Config) (*AGE, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TargetBytes < minAGEBytes {
+		return nil, fmt.Errorf("core: AGE target %dB below minimum %dB", cfg.TargetBytes, minAGEBytes)
+	}
+	if cfg.MinWidth < 1 || cfg.MinWidth > cfg.Format.Width {
+		return nil, fmt.Errorf("core: MinWidth %d out of range [1, %d]", cfg.MinWidth, cfg.Format.Width)
+	}
+	return &AGE{cfg: cfg}, nil
+}
+
+// minAGEBytes is the smallest message that can hold the empty-batch header
+// (2-byte count + 1-byte group count).
+const minAGEBytes = 3
+
+// Name implements Encoder.
+func (a *AGE) Name() string { return "age" }
+
+// PayloadBytes returns the fixed message size M_B.
+func (a *AGE) PayloadBytes() int { return a.cfg.TargetBytes }
+
+// group is a run of consecutive measurements sharing an exponent, plus the
+// bit width assigned during quantization.
+type group struct {
+	count    int // measurements in the group
+	exponent int // non-fractional bits n_i
+	width    int // assigned bits per value w_i
+}
+
+// Encode implements Encoder. The result is always exactly TargetBytes long.
+func (a *AGE) Encode(b Batch) ([]byte, error) {
+	if err := b.Validate(a.cfg.T, a.cfg.D); err != nil {
+		return nil, err
+	}
+	idx, vals := a.prune(b.Indices, b.Values)
+	groups := a.formGroups(vals)
+	groups = a.assignWidths(groups, len(idx))
+
+	w := bitio.NewWriter(a.cfg.TargetBytes)
+	writeIndexBlock(w, idx, a.cfg.T)
+	w.Align()
+	w.WriteBits(uint32(len(groups)), 8)
+	for _, g := range groups {
+		w.WriteBits(uint32(g.count), 16)
+		w.WriteBits(uint32(g.exponent), 8)
+		w.WriteBits(uint32(g.width), 8)
+	}
+	row := 0
+	for _, g := range groups {
+		f := fixedpoint.Format{Width: g.width, NonFrac: g.exponent}
+		for i := 0; i < g.count; i++ {
+			for _, v := range vals[row] {
+				w.WriteBits(fixedpoint.FromFloat(v, f).Bits(), g.width)
+			}
+			row++
+		}
+	}
+	w.PadTo(a.cfg.TargetBytes)
+	return w.Bytes(), nil
+}
+
+// Decode implements Decoder.
+func (a *AGE) Decode(payload []byte) (Batch, error) {
+	r := bitio.NewReader(payload)
+	idx, err := readIndexBlock(r, a.cfg.T)
+	if err != nil {
+		return Batch{}, err
+	}
+	r.Align()
+	gc, err := r.ReadBits(8)
+	if err != nil {
+		return Batch{}, fmt.Errorf("core: age decode group count: %w", err)
+	}
+	groups := make([]group, gc)
+	total := 0
+	for i := range groups {
+		c, err1 := r.ReadBits(16)
+		e, err2 := r.ReadBits(8)
+		wd, err3 := r.ReadBits(8)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return Batch{}, fmt.Errorf("core: age decode group %d header", i)
+		}
+		groups[i] = group{count: int(c), exponent: int(e), width: int(wd)}
+		total += int(c)
+	}
+	if total != len(idx) {
+		return Batch{}, fmt.Errorf("core: age decode: groups cover %d measurements, indices say %d", total, len(idx))
+	}
+	vals := make([][]float64, 0, len(idx))
+	for gi, g := range groups {
+		if g.width < 1 || g.width > fixedpoint.MaxWidth || g.exponent < 1 {
+			return Batch{}, fmt.Errorf("core: age decode: group %d has invalid format (w=%d n=%d)", gi, g.width, g.exponent)
+		}
+		f := fixedpoint.Format{Width: g.width, NonFrac: g.exponent}
+		for i := 0; i < g.count; i++ {
+			row := make([]float64, a.cfg.D)
+			for fi := range row {
+				bitsv, err := r.ReadBits(g.width)
+				if err != nil {
+					return Batch{}, fmt.Errorf("core: age decode values: %w", err)
+				}
+				row[fi] = fixedpoint.FromBits(bitsv, f).Float()
+			}
+			vals = append(vals, row)
+		}
+	}
+	return Batch{Indices: idx, Values: vals}, nil
+}
+
+// maxKeep returns the largest number of measurements whose index block and
+// values (at MinWidth bits, single group) fit in TargetBytes (§4.2). The
+// index block cost is piecewise in k (explicit list vs bitmask), so the
+// bound is found by binary search on the monotone fit predicate.
+func (a *AGE) maxKeep() int {
+	fits := func(k int) bool {
+		// Index block + alignment slack + group count + one group
+		// header + values at the minimum width.
+		bits := indexBlockBits(k, a.cfg.T) + 7 + 8 + 32 + a.cfg.MinWidth*k*a.cfg.D
+		return bits <= 8*a.cfg.TargetBytes
+	}
+	lo, hi := 0, a.cfg.T
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// prune implements measurement pruning (§4.2): when the batch cannot give
+// every value at least MinWidth bits, drop the measurements with the
+// smallest distance scores
+//
+//	Dist(x_t) = |x_t - x_{t+1}|_1 + |alpha_t - alpha_{t+1}| / 8.
+//
+// Scores are computed once (the paper rejects incremental rescoring as not
+// worth the MCU overhead). The final measurement has no successor and is
+// never pruned, anchoring the sequence end.
+func (a *AGE) prune(idx []int, vals [][]float64) ([]int, [][]float64) {
+	return pruneByDistance(idx, vals, a.maxKeep())
+}
+
+// formGroups implements exponent-aware group formation (§4.3): compute each
+// measurement's exponent (the non-fractional bits its largest feature
+// needs), run-length encode the exponent sequence, and merge adjacent groups
+// until at most G remain, where G is the largest group count whose metadata
+// fits beside full-width values — but never below MinGroups (G_0).
+func (a *AGE) formGroups(vals [][]float64) []group {
+	if len(vals) == 0 {
+		return nil
+	}
+	groups := rleGroups(vals, a.cfg.Format.NonFrac)
+	g := a.groupCap(len(vals))
+	return mergeGroups(groups, g)
+}
+
+// rleGroups produces maximal runs of measurements sharing an exponent. Runs
+// are capped at 65535 measurements so the count fits its 2-byte field
+// (unreachable for the paper's T <= 1250, but kept for safety).
+func rleGroups(vals [][]float64, maxExp int) []group {
+	var out []group
+	for _, row := range vals {
+		e := 1
+		for _, v := range row {
+			if n := fixedpoint.NonFracBitsFor(v); n > e {
+				e = n
+			}
+		}
+		if e > maxExp {
+			e = maxExp // defensive: data beyond the native format clamps anyway
+		}
+		if n := len(out); n > 0 && out[n-1].exponent == e && out[n-1].count < 65535 {
+			out[n-1].count++
+		} else {
+			out = append(out, group{count: 1, exponent: e})
+		}
+	}
+	return out
+}
+
+// groupCap returns G for a batch of k measurements: the greatest number of
+// 3-byte group headers that fit in the space left after encoding every value
+// at the full native width, floored at MinGroups (§4.3).
+func (a *AGE) groupCap(k int) int {
+	m := (k*a.cfg.D*a.cfg.Format.Width + 7) / 8   // bytes at full width
+	fixed := (indexBlockBits(k, a.cfg.T)+7)/8 + 1 // index block + group count
+	free := a.cfg.TargetBytes - m - fixed
+	g := 0
+	if free > 0 {
+		g = free / 4 // 4-byte group headers
+	}
+	if g < a.cfg.MinGroups {
+		g = a.cfg.MinGroups
+	}
+	if g > 255 {
+		g = 255
+	}
+	return g
+}
+
+// mergeGroups greedily merges adjacent groups with the lowest initial scores
+//
+//	Score(g1, g2) = Count(g1) + Count(g2) + 2*|n1 - n2|
+//
+// until at most g groups remain. The merged group keeps max(n1, n2) so large
+// values never lose their integer bits. Scores are computed once from the
+// initial grouping, matching the paper's cheap MCU-friendly variant.
+func mergeGroups(groups []group, g int) []group {
+	if g < 1 {
+		g = 1
+	}
+	for len(groups) > g {
+		best := 0
+		bestScore := math.MaxInt
+		for i := 0; i+1 < len(groups); i++ {
+			s := groups[i].count + groups[i+1].count + 2*absInt(groups[i].exponent-groups[i+1].exponent)
+			if s < bestScore {
+				best, bestScore = i, s
+			}
+		}
+		merged := group{
+			count:    groups[best].count + groups[best+1].count,
+			exponent: maxInt(groups[best].exponent, groups[best+1].exponent),
+		}
+		groups = append(groups[:best], groups[best+1:]...)
+		groups[best] = merged
+	}
+	return groups
+}
+
+// assignWidths implements data quantization (§4.4): choose per-group bit
+// widths so the payload is at most TargetBytes while wasting as little space
+// as possible. All groups start at the uniform floor width; a round-robin
+// pass then grants +1 bit to groups (in order) while spare bits remain,
+// functionally mimicking fractional widths.
+func (a *AGE) assignWidths(groups []group, k int) []group {
+	if len(groups) == 0 {
+		return groups
+	}
+	header := func(g int) int {
+		ib := indexBlockBits(k, a.cfg.T)
+		return ib + roundUp8pad(ib) + 8 + 32*g
+	}
+	avail := 8*a.cfg.TargetBytes - header(len(groups))
+	totalVals := k * a.cfg.D
+	// If the header alone starves the data below MinWidth per value, give
+	// back header space by merging further (down to one group the pruning
+	// guarantee makes MinWidth feasible).
+	for len(groups) > 1 && avail/totalVals < a.cfg.MinWidth {
+		groups = mergeGroups(groups, len(groups)-1)
+		avail = 8*a.cfg.TargetBytes - header(len(groups))
+	}
+	base := avail / totalVals
+	if base > a.cfg.Format.Width {
+		base = a.cfg.Format.Width
+	}
+	if base < 1 {
+		base = 1
+	}
+	spare := avail
+	for i := range groups {
+		groups[i].width = base
+		spare -= base * groups[i].count * a.cfg.D
+	}
+	// Round-robin extra bits.
+	for changed := true; changed && spare > 0; {
+		changed = false
+		for i := range groups {
+			need := groups[i].count * a.cfg.D
+			if groups[i].width < a.cfg.Format.Width && spare >= need {
+				groups[i].width++
+				spare -= need
+				changed = true
+			}
+		}
+	}
+	return groups
+}
+
+// roundUp8pad returns the bits needed to pad bitCount up to a byte boundary.
+func roundUp8pad(bitCount int) int {
+	r := bitCount % 8
+	if r == 0 {
+		return 0
+	}
+	return 8 - r
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

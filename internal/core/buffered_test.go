@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fixedpoint"
+)
+
+func bufferedConfig() Config {
+	return Config{
+		T: 50, D: 2, Format: fixedpoint.Format{Width: 16, NonFrac: 3},
+		TargetBytes: TargetBytesForRate(0.5, 50, 2, 16),
+	}
+}
+
+func TestBufferedFixedSize(t *testing.T) {
+	cfg := bufferedConfig()
+	b, err := NewBuffered(cfg, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{0, 5, 25, 50} {
+		var batch Batch
+		if k > 0 {
+			batch = randomBatch(rng, cfg.T, cfg.D, k, 3)
+		}
+		msg, err := b.Push(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msg) != cfg.TargetBytes {
+			t.Fatalf("k=%d: %dB, want %d", k, len(msg), cfg.TargetBytes)
+		}
+	}
+}
+
+func TestBufferedLosslessDelivery(t *testing.T) {
+	cfg := bufferedConfig()
+	b, err := NewBuffered(cfg, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	batch := randomBatch(rng, cfg.T, cfg.D, 10, 3)
+	msg, err := b.Push(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBuffered(msg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("delivered %d of 10", len(got))
+	}
+	for i, m := range got {
+		if m.WindowAge != 0 || m.Index != batch.Indices[i] {
+			t.Fatalf("measurement %d: age %d index %d", i, m.WindowAge, m.Index)
+		}
+		for f := range m.Values {
+			diff := m.Values[f] - batch.Values[i][f]
+			if diff > cfg.Format.Resolution()/2 || diff < -cfg.Format.Resolution()/2 {
+				t.Fatalf("value error %g beyond native quantization", diff)
+			}
+		}
+	}
+}
+
+// TestBufferedLatencyGrowsUnderOversampling exercises the §7 failure mode:
+// sustained over-sampling queues measurements and delivery lags by more and
+// more windows.
+func TestBufferedLatencyGrowsUnderOversampling(t *testing.T) {
+	cfg := bufferedConfig() // capacity ~25 measurements per message
+	b, err := NewBuffered(cfg, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for w := 0; w < 10; w++ {
+		// Collect everything every window: 50 in, ~25 out.
+		if _, err := b.Push(randomBatch(rng, cfg.T, cfg.D, cfg.T, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Pending() == 0 {
+		t.Fatal("no backlog despite sustained over-sampling")
+	}
+	if b.MaxLatency < 2 {
+		t.Errorf("max latency %d windows; expected growing lag", b.MaxLatency)
+	}
+	if b.MeanLatency() <= 0.5 {
+		t.Errorf("mean latency %.2f windows; expected clear lag", b.MeanLatency())
+	}
+}
+
+// TestBufferedDropsWhenMemoryBound: with a realistic small buffer the same
+// workload must drop measurements.
+func TestBufferedDropsWhenMemoryBound(t *testing.T) {
+	cfg := bufferedConfig()
+	b, err := NewBuffered(cfg, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for w := 0; w < 10; w++ {
+		if _, err := b.Push(randomBatch(rng, cfg.T, cfg.D, cfg.T, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Dropped == 0 {
+		t.Error("no drops despite a bounded buffer and sustained over-sampling")
+	}
+}
+
+func TestBufferedUnderSamplingNoLatency(t *testing.T) {
+	cfg := bufferedConfig()
+	b, err := NewBuffered(cfg, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for w := 0; w < 5; w++ {
+		if _, err := b.Push(randomBatch(rng, cfg.T, cfg.D, 10, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.MeanLatency() != 0 || b.Dropped != 0 || b.Pending() != 0 {
+		t.Errorf("under-sampling: latency %.2f drops %d pending %d",
+			b.MeanLatency(), b.Dropped, b.Pending())
+	}
+}
+
+func TestBufferedConstructorErrors(t *testing.T) {
+	cfg := bufferedConfig()
+	cfg.TargetBytes = 2
+	if _, err := NewBuffered(cfg, 100); err == nil {
+		t.Error("tiny target accepted")
+	}
+	cfg = bufferedConfig()
+	if _, err := NewBuffered(cfg, 0); err == nil {
+		t.Error("zero buffer accepted")
+	}
+}
+
+func TestDecodeBufferedMalformed(t *testing.T) {
+	cfg := bufferedConfig()
+	if _, err := DecodeBuffered(nil, cfg); err == nil {
+		t.Error("empty payload accepted")
+	}
+	// Count claims measurements the payload cannot hold.
+	if _, err := DecodeBuffered([]byte{200, 0, 0}, cfg); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fixedpoint"
+)
+
+// testConfig returns a representative task config (Activity-like: T=50, d=6,
+// Q3.13) with the given target size.
+func testConfig(target int) Config {
+	return Config{
+		T:           50,
+		D:           6,
+		Format:      fixedpoint.Format{Width: 16, NonFrac: 3},
+		TargetBytes: target,
+	}
+}
+
+// randomBatch builds a batch of k measurements at sorted random indices with
+// values in [-lim, lim].
+func randomBatch(rng *rand.Rand, T, d, k int, lim float64) Batch {
+	perm := rng.Perm(T)[:k]
+	idx := append([]int(nil), perm...)
+	for i := 1; i < len(idx); i++ { // insertion sort (k is small)
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	vals := make([][]float64, k)
+	for i := range vals {
+		row := make([]float64, d)
+		for f := range row {
+			row[f] = (rng.Float64()*2 - 1) * lim
+		}
+		vals[i] = row
+	}
+	return Batch{Indices: idx, Values: vals}
+}
+
+func TestBatchValidate(t *testing.T) {
+	good := Batch{Indices: []int{0, 3, 7}, Values: [][]float64{{1, 2}, {3, 4}, {5, 6}}}
+	if err := good.Validate(10, 2); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+	cases := []Batch{
+		{Indices: []int{0, 1}, Values: [][]float64{{1, 2}}},            // length mismatch
+		{Indices: []int{3, 1}, Values: [][]float64{{1, 2}, {3, 4}}},    // not increasing
+		{Indices: []int{0, 0}, Values: [][]float64{{1, 2}, {3, 4}}},    // duplicate
+		{Indices: []int{0, 12}, Values: [][]float64{{1, 2}, {3, 4}}},   // out of range
+		{Indices: []int{0, 1}, Values: [][]float64{{1, 2}, {3, 4, 5}}}, // bad row
+	}
+	for i, b := range cases {
+		if err := b.Validate(10, 2); err == nil {
+			t.Errorf("case %d: invalid batch accepted", i)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	ok := testConfig(100)
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{T: 0, D: 1, Format: ok.Format},
+		{T: 10, D: 0, Format: ok.Format},
+		{T: 10, D: 1, Format: fixedpoint.Format{Width: 99, NonFrac: 1}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestIndexBits(t *testing.T) {
+	cases := []struct{ T, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {50, 6}, {206, 8}, {784, 10}, {1250, 11},
+	}
+	for _, c := range cases {
+		if got := indexBits(c.T); got != c.want {
+			t.Errorf("indexBits(%d) = %d, want %d", c.T, got, c.want)
+		}
+	}
+}
+
+func TestStandardPayloadBytesMonotone(t *testing.T) {
+	prev := 0
+	for k := 0; k <= 50; k++ {
+		got := StandardPayloadBytes(k, 50, 6, 16)
+		if got < prev {
+			t.Fatalf("payload size not monotone at k=%d", k)
+		}
+		prev = got
+	}
+	// k=50, d=6, w=16: dense batch uses the 50-bit index bitmask:
+	// 8 (flag) + 50 + 4800 bits = 4858 -> 608 bytes.
+	if got := StandardPayloadBytes(50, 50, 6, 16); got != 608 {
+		t.Errorf("full batch = %dB, want 608", got)
+	}
+	// Sparse batch uses the explicit list: 8 + 16 + 2*6 + 192 bits.
+	if got := StandardPayloadBytes(2, 50, 6, 16); got != (8+16+12+192+7)/8 {
+		t.Errorf("sparse batch = %dB", got)
+	}
+}
+
+func TestTargetBytesForRate(t *testing.T) {
+	if a, b := TargetBytesForRate(0.3, 50, 6, 16), TargetBytesForRate(1.0, 50, 6, 16); a >= b {
+		t.Errorf("target not increasing with rate: %d >= %d", a, b)
+	}
+	// Degenerate rates clamp.
+	if got := TargetBytesForRate(0, 50, 6, 16); got != StandardPayloadBytes(1, 50, 6, 16) {
+		t.Errorf("rate 0 target = %d", got)
+	}
+	if got := TargetBytesForRate(5, 50, 6, 16); got != StandardPayloadBytes(50, 50, 6, 16) {
+		t.Errorf("rate 5 target = %d", got)
+	}
+}
+
+func TestReduceTarget(t *testing.T) {
+	// §4.5: ~30 bytes plus 20 per 500-byte multiple.
+	if got := ReduceTarget(400); got != 370 {
+		t.Errorf("ReduceTarget(400) = %d, want 370", got)
+	}
+	if got := ReduceTarget(1000); got != 1000-30-40 {
+		t.Errorf("ReduceTarget(1000) = %d, want 930", got)
+	}
+	if got := ReduceTarget(10); got != 8 {
+		t.Errorf("ReduceTarget(10) = %d, want floor 8", got)
+	}
+}
+
+func TestStandardRoundTripLossyOnlyByFormat(t *testing.T) {
+	cfg := testConfig(0)
+	std, err := NewStandard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b := randomBatch(rng, cfg.T, cfg.D, 20, 3.5)
+	payload, err := std.Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := std.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != b.Len() {
+		t.Fatalf("decoded %d measurements, want %d", got.Len(), b.Len())
+	}
+	for i := range b.Indices {
+		if got.Indices[i] != b.Indices[i] {
+			t.Fatalf("index %d: %d != %d", i, got.Indices[i], b.Indices[i])
+		}
+		for f := range b.Values[i] {
+			// The only loss is native fixed-point quantization.
+			if math.Abs(got.Values[i][f]-b.Values[i][f]) > cfg.Format.Resolution()/2+1e-12 {
+				t.Fatalf("value [%d][%d]: %g != %g", i, f, got.Values[i][f], b.Values[i][f])
+			}
+		}
+	}
+}
+
+func TestStandardSizeProportionalToCount(t *testing.T) {
+	// The side-channel: message size grows with collection count.
+	cfg := testConfig(0)
+	std, _ := NewStandard(cfg)
+	rng := rand.New(rand.NewSource(2))
+	prev := -1
+	for _, k := range []int{1, 10, 25, 50} {
+		payload, err := std.Encode(randomBatch(rng, cfg.T, cfg.D, k, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(payload) <= prev {
+			t.Fatalf("size did not grow with k=%d", k)
+		}
+		if len(payload) != StandardPayloadBytes(k, cfg.T, cfg.D, cfg.Format.Width) {
+			t.Fatalf("size %d != predicted %d", len(payload), StandardPayloadBytes(k, cfg.T, cfg.D, cfg.Format.Width))
+		}
+		prev = len(payload)
+	}
+}
+
+func TestStandardEmptyBatch(t *testing.T) {
+	std, _ := NewStandard(testConfig(0))
+	payload, err := std.Encode(Batch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := std.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("decoded %d measurements from empty batch", got.Len())
+	}
+}
+
+func TestStandardRejectsInvalidBatch(t *testing.T) {
+	std, _ := NewStandard(testConfig(0))
+	if _, err := std.Encode(Batch{Indices: []int{5, 2}, Values: [][]float64{make([]float64, 6), make([]float64, 6)}}); err == nil {
+		t.Error("unsorted batch accepted")
+	}
+}
+
+func TestStandardDecodeCorruptCount(t *testing.T) {
+	std, _ := NewStandard(testConfig(0))
+	// Count claims 60 > T=50.
+	if _, err := std.Decode([]byte{0, 60, 0, 0}); err == nil {
+		t.Error("oversized count accepted")
+	}
+	// Truncated payload.
+	if _, err := std.Decode([]byte{0}); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestPaddedAlwaysMaxSize(t *testing.T) {
+	cfg := testConfig(0)
+	pad, err := NewPadded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	want := StandardPayloadBytes(cfg.T, cfg.T, cfg.D, cfg.Format.Width)
+	if pad.PayloadBytes() != want {
+		t.Fatalf("PayloadBytes = %d, want %d", pad.PayloadBytes(), want)
+	}
+	for _, k := range []int{0, 1, 17, 50} {
+		b := randomBatch(rng, cfg.T, cfg.D, k, 3)
+		payload, err := pad.Encode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(payload) != want {
+			t.Fatalf("k=%d: size %d, want fixed %d", k, len(payload), want)
+		}
+		got, err := pad.Decode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != k {
+			t.Fatalf("k=%d: decoded %d", k, got.Len())
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fixedpoint"
+)
+
+// The decoders run on the server against radio payloads that may be
+// corrupted in flight (AGE explicitly considers dropped/failed messages,
+// §4.5). These fuzz targets require every decoder to reject or cleanly
+// decode arbitrary bytes — never panic — and to be stable under
+// re-encoding.
+
+// fuzzConfigs returns a few representative task shapes.
+func fuzzConfigs() []Config {
+	return []Config{
+		{T: 50, D: 6, Format: fixedpoint.Format{Width: 16, NonFrac: 3}, TargetBytes: 150},
+		{T: 206, D: 3, Format: fixedpoint.Format{Width: 16, NonFrac: 3}, TargetBytes: 600},
+		{T: 784, D: 1, Format: fixedpoint.Format{Width: 9, NonFrac: 9}, TargetBytes: 300},
+		{T: 23, D: 10, Format: fixedpoint.Format{Width: 16, NonFrac: 16}, TargetBytes: 120},
+	}
+}
+
+// seedCorpus adds valid encodings of random batches so the fuzzer starts
+// from structurally plausible inputs.
+func seedCorpus(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range fuzzConfigs() {
+		a, err := NewAGE(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		k := rng.Intn(cfg.T) + 1
+		b := randomBatch(rng, cfg.T, cfg.D, k, 3)
+		payload, err := a.Encode(b)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+		s, err := NewStandard(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		payload, err = s.Encode(b)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+}
+
+// FuzzAGEDecode checks that AGE's decoder never panics and that anything it
+// accepts is a structurally valid batch that re-encodes to the fixed size.
+func FuzzAGEDecode(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		for _, cfg := range fuzzConfigs() {
+			a, err := NewAGE(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := a.Decode(payload)
+			if err != nil {
+				continue
+			}
+			if err := batch.Validate(cfg.T, cfg.D); err != nil {
+				t.Fatalf("accepted structurally invalid batch: %v", err)
+			}
+			re, err := a.Encode(batch)
+			if err != nil {
+				t.Fatalf("accepted batch fails re-encode: %v", err)
+			}
+			if len(re) != cfg.TargetBytes {
+				t.Fatalf("re-encode size %d != %d", len(re), cfg.TargetBytes)
+			}
+		}
+	})
+}
+
+// FuzzStandardDecode does the same for the Standard decoder.
+func FuzzStandardDecode(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		for _, cfg := range fuzzConfigs() {
+			s, err := NewStandard(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := s.Decode(payload)
+			if err != nil {
+				continue
+			}
+			if err := batch.Validate(cfg.T, cfg.D); err != nil {
+				t.Fatalf("accepted structurally invalid batch: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzVariantDecode covers the three ablation decoders.
+func FuzzVariantDecode(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		for _, cfg := range fuzzConfigs() {
+			for _, build := range []func(Config) (interface {
+				Decode([]byte) (Batch, error)
+			}, error){
+				func(c Config) (interface {
+					Decode([]byte) (Batch, error)
+				}, error) {
+					return NewSingle(c)
+				},
+				func(c Config) (interface {
+					Decode([]byte) (Batch, error)
+				}, error) {
+					return NewUnshifted(c)
+				},
+				func(c Config) (interface {
+					Decode([]byte) (Batch, error)
+				}, error) {
+					return NewPruned(c)
+				},
+			} {
+				dec, err := build(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				batch, err := dec.Decode(payload)
+				if err != nil {
+					continue
+				}
+				if err := batch.Validate(cfg.T, cfg.D); err != nil {
+					t.Fatalf("accepted structurally invalid batch: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixedpoint"
+)
+
+// rawBatch builds matching raw-mantissa and float batches: the floats are
+// exactly representable, so the two encoders must agree byte for byte.
+func rawBatch(rng *rand.Rand, cfg Config, k int) ([]int, [][]int32, Batch) {
+	perm := rng.Perm(cfg.T)[:k]
+	idx := append([]int(nil), perm...)
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	raw := make([][]int32, k)
+	vals := make([][]float64, k)
+	hi := int32(1)<<(cfg.Format.Width-1) - 1
+	for i := range raw {
+		raw[i] = make([]int32, cfg.D)
+		vals[i] = make([]float64, cfg.D)
+		for f := range raw[i] {
+			v := int32(rng.Intn(int(2*hi))) - hi
+			raw[i][f] = v
+			vals[i][f] = fixedpoint.Value{Raw: v, Format: cfg.Format}.Float()
+		}
+	}
+	return idx, raw, Batch{Indices: idx, Values: vals}
+}
+
+func TestRawNonFracBits(t *testing.T) {
+	// Against the float implementation across formats.
+	for _, frac := range []int{0, 4, 13, -3} {
+		for _, raw := range []int32{0, 1, -1, 7, 100, -4096, 1 << 20, -(1 << 20)} {
+			f := fixedpoint.Format{Width: 32, NonFrac: 32 - frac}
+			if f.Validate() != nil {
+				continue
+			}
+			want := fixedpoint.NonFracBitsFor(fixedpoint.Value{Raw: raw, Format: f}.Float())
+			if got := RawNonFracBits(raw, frac); got != want {
+				t.Errorf("RawNonFracBits(%d, frac=%d) = %d, want %d", raw, frac, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantizeRawMatchesFloat(t *testing.T) {
+	prop := func(raw int32, seeds [3]uint8) bool {
+		srcFrac := int(seeds[0]%20) - 2 // -2 .. 17
+		width := int(seeds[1]%16) + 1
+		nonFrac := int(seeds[2]%16) + 1
+		src := fixedpoint.Format{Width: 28, NonFrac: 28 - srcFrac}
+		dst := fixedpoint.Format{Width: width, NonFrac: nonFrac}
+		if src.Validate() != nil || dst.Validate() != nil {
+			return true
+		}
+		raw %= 1 << 27
+		x := fixedpoint.Value{Raw: raw, Format: src}.Float()
+		want := fixedpoint.FromFloat(x, dst).Bits()
+		got := quantizeRaw(raw, srcFrac, width, nonFrac)
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeRawByteIdentical is the MCU/simulator equivalence proof: for
+// exactly representable inputs, the integer-only encoder and the float
+// encoder emit identical messages, across shapes, targets, and fill levels.
+func TestEncodeRawByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cfgs := []Config{
+		{T: 50, D: 6, Format: fixedpoint.Format{Width: 16, NonFrac: 3}, TargetBytes: 220},
+		{T: 50, D: 6, Format: fixedpoint.Format{Width: 16, NonFrac: 3}, TargetBytes: 35},
+		{T: 206, D: 3, Format: fixedpoint.Format{Width: 16, NonFrac: 3}, TargetBytes: 640},
+		{T: 23, D: 10, Format: fixedpoint.Format{Width: 16, NonFrac: 16}, TargetBytes: 150},
+		{T: 784, D: 1, Format: fixedpoint.Format{Width: 9, NonFrac: 9}, TargetBytes: 280},
+	}
+	for _, cfg := range cfgs {
+		a, err := NewAGE(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 25; trial++ {
+			k := rng.Intn(cfg.T) + 1
+			idx, raw, batch := rawBatch(rng, cfg, k)
+			fromFloat, err := a.Encode(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromRaw, err := a.EncodeRaw(idx, raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fromFloat, fromRaw) {
+				t.Fatalf("cfg %+v k=%d: float and integer encoders diverge", cfg, k)
+			}
+		}
+	}
+}
+
+func TestStandardEncodeRawByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	cfg := Config{T: 50, D: 6, Format: fixedpoint.Format{Width: 16, NonFrac: 3}}
+	s, err := NewStandard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		k := rng.Intn(cfg.T) + 1
+		idx, raw, batch := rawBatch(rng, cfg, k)
+		fromFloat, err := s.Encode(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromRaw, err := s.EncodeRaw(idx, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fromFloat, fromRaw) {
+			t.Fatalf("k=%d: standard float and integer encoders diverge", k)
+		}
+	}
+}
+
+func TestEncodeRawDecodable(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	cfg := testConfig(180)
+	a := mustAGE(t, cfg)
+	idx, raw, _ := rawBatch(rng, cfg, 30)
+	payload, err := a.EncodeRaw(idx, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() == 0 || got.Len() > 30 {
+		t.Fatalf("decoded %d measurements", got.Len())
+	}
+}
+
+func TestEncodeRawValidation(t *testing.T) {
+	cfg := testConfig(100)
+	a := mustAGE(t, cfg)
+	if _, err := a.EncodeRaw([]int{0, 1}, [][]int32{{1, 2, 3, 4, 5, 6}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := a.EncodeRaw([]int{1, 0}, make([][]int32, 2)); err == nil {
+		t.Error("unsorted indices accepted")
+	}
+	if _, err := a.EncodeRaw([]int{0}, [][]int32{{1}}); err == nil {
+		t.Error("wrong feature count accepted")
+	}
+}
+
+func BenchmarkEncodeRawMCU(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := testConfig(TargetBytesForRate(0.7, 50, 6, 16))
+	a, _ := NewAGE(cfg)
+	idx, raw, _ := rawBatch(rng, cfg, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.EncodeRaw(idx, raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/fixedpoint"
+)
+
+// Standard is the paper's baseline encoder: it packs the collected count,
+// the time indices, and the raw fixed-point values into a payload whose size
+// is proportional to the collection count. This proportionality is exactly
+// the message-size side-channel (§2.2, observation 2).
+type Standard struct {
+	cfg Config
+}
+
+// NewStandard returns a Standard encoder/decoder for the task configuration.
+func NewStandard(cfg Config) (*Standard, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Standard{cfg: cfg}, nil
+}
+
+// Name implements Encoder.
+func (s *Standard) Name() string { return "standard" }
+
+// MaxPayloadBytes returns the size of a full batch (k = T), which the Padded
+// defense pads every message to.
+func (s *Standard) MaxPayloadBytes() int {
+	return StandardPayloadBytes(s.cfg.T, s.cfg.T, s.cfg.D, s.cfg.Format.Width)
+}
+
+// Encode implements Encoder.
+func (s *Standard) Encode(b Batch) ([]byte, error) {
+	if err := b.Validate(s.cfg.T, s.cfg.D); err != nil {
+		return nil, err
+	}
+	w := bitio.NewWriter(StandardPayloadBytes(b.Len(), s.cfg.T, s.cfg.D, s.cfg.Format.Width))
+	writeIndexBlock(w, b.Indices, s.cfg.T)
+	for _, row := range b.Values {
+		for _, v := range row {
+			w.WriteBits(fixedpoint.FromFloat(v, s.cfg.Format).Bits(), s.cfg.Format.Width)
+		}
+	}
+	w.Align()
+	return w.Bytes(), nil
+}
+
+// Decode implements Decoder.
+func (s *Standard) Decode(payload []byte) (Batch, error) {
+	r := bitio.NewReader(payload)
+	idx, err := readIndexBlock(r, s.cfg.T)
+	if err != nil {
+		return Batch{}, err
+	}
+	vals := make([][]float64, len(idx))
+	for i := range vals {
+		row := make([]float64, s.cfg.D)
+		for f := range row {
+			raw, err := r.ReadBits(s.cfg.Format.Width)
+			if err != nil {
+				return Batch{}, fmt.Errorf("core: standard decode: %w", err)
+			}
+			row[f] = fixedpoint.FromBits(raw, s.cfg.Format).Float()
+		}
+		vals[i] = row
+	}
+	return Batch{Indices: idx, Values: vals}, nil
+}
+
+// Index blocks carry which time steps were collected. Two encodings exist,
+// and the writer picks the cheaper one per batch (the flag byte says which):
+// an explicit list (2-byte count + k packed indices) for sparse batches, or
+// a T-bit presence bitmask for dense ones. For long sequences like MNIST
+// (T = 784) the bitmask costs a constant 98 bytes where explicit indices
+// would cost up to 980.
+const (
+	indexEncodingExplicit = 0
+	indexEncodingBitmask  = 1
+)
+
+// indexBlockBits returns the exact bit cost of the index block for k
+// collected measurements: the flag byte plus the cheaper encoding.
+func indexBlockBits(k, T int) int {
+	explicit := 16 + k*indexBits(T)
+	if T < explicit {
+		return 8 + T
+	}
+	return 8 + explicit
+}
+
+// writeIndexBlock writes the flag byte and the cheaper index encoding.
+func writeIndexBlock(w *bitio.Writer, indices []int, T int) {
+	if T < 16+len(indices)*indexBits(T) {
+		w.WriteBits(indexEncodingBitmask, 8)
+		pos := 0
+		for t := 0; t < T; t++ {
+			bit := uint32(0)
+			if pos < len(indices) && indices[pos] == t {
+				bit = 1
+				pos++
+			}
+			w.WriteBits(bit, 1)
+		}
+		return
+	}
+	w.WriteBits(indexEncodingExplicit, 8)
+	w.WriteUint16(uint16(len(indices)))
+	ib := indexBits(T)
+	for _, idx := range indices {
+		w.WriteBits(uint32(idx), ib)
+	}
+}
+
+// readIndexBlock reads either index encoding written by writeIndexBlock.
+func readIndexBlock(r *bitio.Reader, T int) ([]int, error) {
+	flag, err := r.ReadBits(8)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading index flag: %w", err)
+	}
+	switch flag {
+	case indexEncodingBitmask:
+		var idx []int
+		for t := 0; t < T; t++ {
+			bit, err := r.ReadBits(1)
+			if err != nil {
+				return nil, fmt.Errorf("core: reading index bitmask: %w", err)
+			}
+			if bit == 1 {
+				idx = append(idx, t)
+			}
+		}
+		return idx, nil
+	case indexEncodingExplicit:
+		k, err := r.ReadUint16()
+		if err != nil {
+			return nil, fmt.Errorf("core: reading count: %w", err)
+		}
+		if int(k) > T {
+			return nil, fmt.Errorf("core: count %d exceeds T = %d", k, T)
+		}
+		ib := indexBits(T)
+		idx := make([]int, k)
+		for i := range idx {
+			v, err := r.ReadBits(ib)
+			if err != nil {
+				return nil, fmt.Errorf("core: reading index %d: %w", i, err)
+			}
+			idx[i] = int(v)
+		}
+		return idx, nil
+	default:
+		return nil, fmt.Errorf("core: unknown index encoding %d", flag)
+	}
+}
+
+// Padded implements the message-padding defense the paper compares against
+// (analogous to BuFLO, §5.1): Standard encoding padded with zero bytes to
+// the largest possible batch size. It closes the side-channel but inflates
+// every message to the worst case, and the extra radio energy causes the
+// budget violations seen in Tables 4, 9, and 10.
+type Padded struct {
+	std *Standard
+	max int
+}
+
+// NewPadded returns a Padded encoder. Like the paper's setup, it pads to the
+// size of the largest batch (k = T).
+func NewPadded(cfg Config) (*Padded, error) {
+	std, err := NewStandard(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Padded{std: std, max: std.MaxPayloadBytes()}, nil
+}
+
+// Name implements Encoder.
+func (p *Padded) Name() string { return "padded" }
+
+// PayloadBytes returns the fixed message size (the maximum batch size).
+func (p *Padded) PayloadBytes() int { return p.max }
+
+// Encode implements Encoder.
+func (p *Padded) Encode(b Batch) ([]byte, error) {
+	raw, err := p.std.Encode(b)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, p.max)
+	copy(out, raw)
+	return out, nil
+}
+
+// Decode implements Decoder. The Standard header's count field makes the
+// padding self-delimiting.
+func (p *Padded) Decode(payload []byte) (Batch, error) { return p.std.Decode(payload) }

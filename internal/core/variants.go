@@ -1,0 +1,417 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitio"
+	"repro/internal/fixedpoint"
+)
+
+// This file implements the three AGE ablation variants of §5.6. All three
+// emit exactly TargetBytes (so they close the side-channel like AGE); they
+// differ in which of AGE's transformations they keep, and the evaluation
+// (Table 8) shows each missing piece costs reconstruction error.
+//
+//   - Single:    one uniform bit width, static exponent (no groups, no RLE).
+//   - Unshifted: six even groups with round-robin widths, static exponent.
+//   - Pruned:    pruning only; values stay at the native width.
+
+// Single quantizes every value with one global bit width and the native
+// number of non-fractional bits. When even one bit per value does not fit,
+// it must drop the whole batch — the §4.2 failure mode.
+type Single struct {
+	cfg Config
+}
+
+// NewSingle returns the single-width quantization variant.
+func NewSingle(cfg Config) (*Single, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TargetBytes < minAGEBytes {
+		return nil, fmt.Errorf("core: Single target %dB below minimum %dB", cfg.TargetBytes, minAGEBytes)
+	}
+	return &Single{cfg: cfg}, nil
+}
+
+// Name implements Encoder.
+func (s *Single) Name() string { return "single" }
+
+// PayloadBytes returns the fixed message size M_B.
+func (s *Single) PayloadBytes() int { return s.cfg.TargetBytes }
+
+// singleHeaderBits is the fixed header: index block + 1B width.
+func singleHeaderBits(k, T int) int {
+	h := indexBlockBits(k, T)
+	return h + roundUp8pad(h) + 8
+}
+
+// Encode implements Encoder.
+func (s *Single) Encode(b Batch) ([]byte, error) {
+	if err := b.Validate(s.cfg.T, s.cfg.D); err != nil {
+		return nil, err
+	}
+	idx, vals := b.Indices, b.Values
+	// Width from the whole-message budget; drop everything if no width >= 1
+	// exists (standard fixed-point quantization has no pruning fallback).
+	k := len(idx)
+	width := 0
+	if k > 0 {
+		width = (8*s.cfg.TargetBytes - singleHeaderBits(k, s.cfg.T)) / (k * s.cfg.D)
+	}
+	if width < 1 {
+		idx, vals = nil, nil
+		width = 0
+	}
+	if width > s.cfg.Format.Width {
+		width = s.cfg.Format.Width
+	}
+	w := bitio.NewWriter(s.cfg.TargetBytes)
+	writeIndexBlock(w, idx, s.cfg.T)
+	w.Align()
+	w.WriteBits(uint32(width), 8)
+	if width > 0 {
+		f := fixedpoint.Format{Width: width, NonFrac: s.cfg.Format.NonFrac}
+		for _, row := range vals {
+			for _, v := range row {
+				w.WriteBits(fixedpoint.FromFloat(v, f).Bits(), width)
+			}
+		}
+	}
+	w.PadTo(s.cfg.TargetBytes)
+	return w.Bytes(), nil
+}
+
+// Decode implements Decoder.
+func (s *Single) Decode(payload []byte) (Batch, error) {
+	r := bitio.NewReader(payload)
+	idx, err := readIndexBlock(r, s.cfg.T)
+	if err != nil {
+		return Batch{}, err
+	}
+	r.Align()
+	wd, err := r.ReadBits(8)
+	if err != nil {
+		return Batch{}, fmt.Errorf("core: single decode width: %w", err)
+	}
+	width := int(wd)
+	if width == 0 {
+		if len(idx) != 0 {
+			return Batch{}, fmt.Errorf("core: single decode: zero width with %d indices", len(idx))
+		}
+		return Batch{}, nil
+	}
+	if width > fixedpoint.MaxWidth {
+		return Batch{}, fmt.Errorf("core: single decode: width %d out of range", width)
+	}
+	f := fixedpoint.Format{Width: width, NonFrac: s.cfg.Format.NonFrac}
+	vals := make([][]float64, len(idx))
+	for i := range vals {
+		row := make([]float64, s.cfg.D)
+		for fi := range row {
+			bitsv, err := r.ReadBits(width)
+			if err != nil {
+				return Batch{}, fmt.Errorf("core: single decode values: %w", err)
+			}
+			row[fi] = fixedpoint.FromBits(bitsv, f).Float()
+		}
+		vals[i] = row
+	}
+	return Batch{Indices: idx, Values: vals}, nil
+}
+
+// Unshifted keeps AGE's group machinery for width assignment — six
+// even-sized groups with round-robin widths — but fixes every group's
+// exponent at the native n0, forgoing dynamic ranges (§5.6).
+type Unshifted struct {
+	cfg Config
+}
+
+// NewUnshifted returns the fixed-exponent grouped variant.
+func NewUnshifted(cfg Config) (*Unshifted, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TargetBytes < minAGEBytes {
+		return nil, fmt.Errorf("core: Unshifted target %dB below minimum %dB", cfg.TargetBytes, minAGEBytes)
+	}
+	return &Unshifted{cfg: cfg}, nil
+}
+
+// Name implements Encoder.
+func (u *Unshifted) Name() string { return "unshifted" }
+
+// PayloadBytes returns the fixed message size M_B.
+func (u *Unshifted) PayloadBytes() int { return u.cfg.TargetBytes }
+
+// unshiftedGroups splits k measurements into at most MinGroups even groups.
+func (u *Unshifted) unshiftedGroups(k int) []group {
+	if k == 0 {
+		return nil
+	}
+	n := u.cfg.MinGroups
+	if n > k {
+		n = k
+	}
+	base, rem := k/n, k%n
+	groups := make([]group, n)
+	for i := range groups {
+		c := base
+		if i < rem {
+			c++
+		}
+		groups[i] = group{count: c, exponent: u.cfg.Format.NonFrac}
+	}
+	return groups
+}
+
+// unshiftedHeaderBits: 2B count + indices + 1B group count + 3B per group
+// (2B run length + 1B width; no exponent field since it is static).
+func (u *Unshifted) headerBits(k, g int) int {
+	h := indexBlockBits(k, u.cfg.T)
+	return h + roundUp8pad(h) + 8 + 24*g
+}
+
+// Encode implements Encoder.
+func (u *Unshifted) Encode(b Batch) ([]byte, error) {
+	if err := b.Validate(u.cfg.T, u.cfg.D); err != nil {
+		return nil, err
+	}
+	idx, vals := b.Indices, b.Values
+	k := len(idx)
+	groups := u.unshiftedGroups(k)
+	if k > 0 {
+		avail := 8*u.cfg.TargetBytes - u.headerBits(k, len(groups))
+		base := 0
+		if avail > 0 {
+			base = avail / (k * u.cfg.D)
+		}
+		if base < 1 {
+			// No room for even one bit per value: drop the batch.
+			idx, vals, groups = nil, nil, nil
+		} else {
+			if base > u.cfg.Format.Width {
+				base = u.cfg.Format.Width
+			}
+			spare := avail
+			for i := range groups {
+				groups[i].width = base
+				spare -= base * groups[i].count * u.cfg.D
+			}
+			for changed := true; changed && spare > 0; {
+				changed = false
+				for i := range groups {
+					need := groups[i].count * u.cfg.D
+					if groups[i].width < u.cfg.Format.Width && spare >= need {
+						groups[i].width++
+						spare -= need
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	w := bitio.NewWriter(u.cfg.TargetBytes)
+	writeIndexBlock(w, idx, u.cfg.T)
+	w.Align()
+	w.WriteBits(uint32(len(groups)), 8)
+	for _, g := range groups {
+		w.WriteBits(uint32(g.count), 16)
+		w.WriteBits(uint32(g.width), 8)
+	}
+	row := 0
+	for _, g := range groups {
+		f := fixedpoint.Format{Width: g.width, NonFrac: u.cfg.Format.NonFrac}
+		for i := 0; i < g.count; i++ {
+			for _, v := range vals[row] {
+				w.WriteBits(fixedpoint.FromFloat(v, f).Bits(), g.width)
+			}
+			row++
+		}
+	}
+	w.PadTo(u.cfg.TargetBytes)
+	return w.Bytes(), nil
+}
+
+// Decode implements Decoder.
+func (u *Unshifted) Decode(payload []byte) (Batch, error) {
+	r := bitio.NewReader(payload)
+	idx, err := readIndexBlock(r, u.cfg.T)
+	if err != nil {
+		return Batch{}, err
+	}
+	r.Align()
+	gc, err := r.ReadBits(8)
+	if err != nil {
+		return Batch{}, fmt.Errorf("core: unshifted decode group count: %w", err)
+	}
+	groups := make([]group, gc)
+	total := 0
+	for i := range groups {
+		c, err1 := r.ReadBits(16)
+		wd, err2 := r.ReadBits(8)
+		if err1 != nil || err2 != nil {
+			return Batch{}, fmt.Errorf("core: unshifted decode group %d", i)
+		}
+		groups[i] = group{count: int(c), width: int(wd)}
+		total += int(c)
+	}
+	if total != len(idx) {
+		return Batch{}, fmt.Errorf("core: unshifted decode: groups cover %d, indices say %d", total, len(idx))
+	}
+	vals := make([][]float64, 0, len(idx))
+	for _, g := range groups {
+		if g.width < 1 || g.width > fixedpoint.MaxWidth {
+			return Batch{}, fmt.Errorf("core: unshifted decode: bad width %d", g.width)
+		}
+		f := fixedpoint.Format{Width: g.width, NonFrac: u.cfg.Format.NonFrac}
+		for i := 0; i < g.count; i++ {
+			row := make([]float64, u.cfg.D)
+			for fi := range row {
+				bitsv, err := r.ReadBits(g.width)
+				if err != nil {
+					return Batch{}, fmt.Errorf("core: unshifted decode values: %w", err)
+				}
+				row[fi] = fixedpoint.FromBits(bitsv, f).Float()
+			}
+			vals = append(vals, row)
+		}
+	}
+	return Batch{Indices: idx, Values: vals}, nil
+}
+
+// Pruned controls the message size with measurement pruning alone (§4.2's
+// transformation as a standalone defense): it drops low-score measurements
+// until the remainder fits at the full native width. Under tight targets it
+// must discard most of the batch, which Table 8 shows costs ~58% extra error.
+type Pruned struct {
+	cfg Config
+}
+
+// NewPruned returns the pruning-only variant.
+func NewPruned(cfg Config) (*Pruned, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TargetBytes < minAGEBytes {
+		return nil, fmt.Errorf("core: Pruned target %dB below minimum %dB", cfg.TargetBytes, minAGEBytes)
+	}
+	return &Pruned{cfg: cfg}, nil
+}
+
+// Name implements Encoder.
+func (p *Pruned) Name() string { return "pruned" }
+
+// PayloadBytes returns the fixed message size M_B.
+func (p *Pruned) PayloadBytes() int { return p.cfg.TargetBytes }
+
+// maxKeep returns how many measurements fit at the native width, by binary
+// search over the piecewise index-block cost.
+func (p *Pruned) maxKeep() int {
+	fits := func(k int) bool {
+		bits := indexBlockBits(k, p.cfg.T) + 7 + p.cfg.Format.Width*k*p.cfg.D
+		return bits <= 8*p.cfg.TargetBytes
+	}
+	lo, hi := 0, p.cfg.T
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Encode implements Encoder. Layout: index block, then full-width values,
+// then padding to TargetBytes.
+func (p *Pruned) Encode(b Batch) ([]byte, error) {
+	if err := b.Validate(p.cfg.T, p.cfg.D); err != nil {
+		return nil, err
+	}
+	idx, vals := pruneByDistance(b.Indices, b.Values, p.maxKeep())
+	w := bitio.NewWriter(p.cfg.TargetBytes)
+	writeIndexBlock(w, idx, p.cfg.T)
+	for _, row := range vals {
+		for _, v := range row {
+			w.WriteBits(fixedpoint.FromFloat(v, p.cfg.Format).Bits(), p.cfg.Format.Width)
+		}
+	}
+	w.PadTo(p.cfg.TargetBytes)
+	return w.Bytes(), nil
+}
+
+// Decode implements Decoder.
+func (p *Pruned) Decode(payload []byte) (Batch, error) {
+	r := bitio.NewReader(payload)
+	idx, err := readIndexBlock(r, p.cfg.T)
+	if err != nil {
+		return Batch{}, err
+	}
+	vals := make([][]float64, len(idx))
+	for i := range vals {
+		row := make([]float64, p.cfg.D)
+		for fi := range row {
+			bitsv, err := r.ReadBits(p.cfg.Format.Width)
+			if err != nil {
+				return Batch{}, fmt.Errorf("core: pruned decode values: %w", err)
+			}
+			row[fi] = fixedpoint.FromBits(bitsv, p.cfg.Format).Float()
+		}
+		vals[i] = row
+	}
+	return Batch{Indices: idx, Values: vals}, nil
+}
+
+// pruneByDistance is the shared §4.2 pruning rule: keep the `keep`
+// measurements with the largest distance scores (the last measurement is
+// always kept).
+func pruneByDistance(idx []int, vals [][]float64, keep int) ([]int, [][]float64) {
+	k := len(idx)
+	if k <= keep {
+		return idx, vals
+	}
+	if keep <= 0 {
+		return nil, nil
+	}
+	type scored struct {
+		pos  int
+		dist float64
+	}
+	scores := make([]scored, k)
+	for t := 0; t < k-1; t++ {
+		var l1 float64
+		for f := range vals[t] {
+			l1 += math.Abs(vals[t][f] - vals[t+1][f])
+		}
+		scores[t] = scored{pos: t, dist: l1 + float64(idx[t+1]-idx[t])/8}
+	}
+	scores[k-1] = scored{pos: k - 1, dist: math.Inf(1)}
+	// Ties break on position so the float and integer (MCU) encoders
+	// prune identically.
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].dist != scores[j].dist {
+			return scores[i].dist < scores[j].dist
+		}
+		return scores[i].pos < scores[j].pos
+	})
+	drop := make(map[int]bool, k-keep)
+	for _, s := range scores[:k-keep] {
+		drop[s.pos] = true
+	}
+	outIdx := make([]int, 0, keep)
+	outVals := make([][]float64, 0, keep)
+	for t := 0; t < k; t++ {
+		if !drop[t] {
+			outIdx = append(outIdx, idx[t])
+			outVals = append(outVals, vals[t])
+		}
+	}
+	return outIdx, outVals
+}

@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV import/export lets the synthetic workloads interoperate with external
+// tooling (plotting, the original artifact's Python analysis) and lets users
+// evaluate AGE on their own recorded data. The format is one row per
+// sequence: label, then SeqLen*NumFeatures values in time-major order.
+
+// WriteCSV serializes the dataset. The first record is a header:
+// name, seqLen, numFeatures, numLabels, formatWidth, formatNonFrac.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		d.Meta.Name,
+		strconv.Itoa(d.Meta.SeqLen),
+		strconv.Itoa(d.Meta.NumFeatures),
+		strconv.Itoa(d.Meta.NumLabels),
+		strconv.Itoa(d.Meta.Format.Width),
+		strconv.Itoa(d.Meta.Format.NonFrac),
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 1+d.Meta.SeqLen*d.Meta.NumFeatures)
+	for _, s := range d.Sequences {
+		row = row[:1]
+		row[0] = strconv.Itoa(s.Label)
+		for _, vals := range s.Values {
+			for _, v := range vals {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) != 6 {
+		return nil, fmt.Errorf("dataset: CSV header has %d fields, want 6", len(header))
+	}
+	ints := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		v, err := strconv.Atoi(header[i+1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV header field %d: %w", i+1, err)
+		}
+		ints[i] = v
+	}
+	d := &Dataset{}
+	d.Meta.Name = header[0]
+	d.Meta.SeqLen, d.Meta.NumFeatures, d.Meta.NumLabels = ints[0], ints[1], ints[2]
+	d.Meta.Format.Width, d.Meta.Format.NonFrac = ints[3], ints[4]
+	if err := d.Meta.Format.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Meta.SeqLen < 1 || d.Meta.NumFeatures < 1 || d.Meta.NumLabels < 1 {
+		return nil, fmt.Errorf("dataset: CSV header dimensions invalid: %v", ints)
+	}
+	want := 1 + d.Meta.SeqLen*d.Meta.NumFeatures
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+		if len(rec) != want {
+			return nil, fmt.Errorf("dataset: CSV line %d has %d fields, want %d", line, len(rec), want)
+		}
+		label, err := strconv.Atoi(rec[0])
+		if err != nil || label < 0 || label >= d.Meta.NumLabels {
+			return nil, fmt.Errorf("dataset: CSV line %d: bad label %q", line, rec[0])
+		}
+		seq := Sequence{Label: label, Values: make([][]float64, d.Meta.SeqLen)}
+		pos := 1
+		for t := 0; t < d.Meta.SeqLen; t++ {
+			row := make([]float64, d.Meta.NumFeatures)
+			for f := range row {
+				v, err := strconv.ParseFloat(rec[pos], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: CSV line %d field %d: %w", line, pos, err)
+				}
+				row[f] = v
+				pos++
+			}
+			seq.Values[t] = row
+		}
+		d.Sequences = append(d.Sequences, seq)
+	}
+	d.Meta.NumSeq = len(d.Sequences)
+	return d, nil
+}

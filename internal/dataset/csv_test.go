@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := MustLoad("epilepsy", Options{Seed: 3, MaxSequences: 8})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Name != d.Meta.Name || got.Meta.SeqLen != d.Meta.SeqLen ||
+		got.Meta.NumFeatures != d.Meta.NumFeatures || got.Meta.Format != d.Meta.Format {
+		t.Fatalf("meta mismatch: %+v vs %+v", got.Meta, d.Meta)
+	}
+	if len(got.Sequences) != len(d.Sequences) {
+		t.Fatalf("sequences %d vs %d", len(got.Sequences), len(d.Sequences))
+	}
+	for i := range d.Sequences {
+		if got.Sequences[i].Label != d.Sequences[i].Label {
+			t.Fatalf("label mismatch at %d", i)
+		}
+		for tt := range d.Sequences[i].Values {
+			for f := range d.Sequences[i].Values[tt] {
+				if got.Sequences[i].Values[tt][f] != d.Sequences[i].Values[tt][f] {
+					t.Fatalf("value mismatch at seq %d step %d", i, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"short header":      "name,1,2\n",
+		"non-numeric":       "name,a,1,1,16,3\n",
+		"bad dims":          "name,0,1,1,16,3\n",
+		"bad format":        "name,4,1,2,99,3\n",
+		"short row":         "name,2,1,2,16,3\n0,1.5\n",
+		"bad label":         "name,2,1,2,16,3\n7,1.5,2.5\n",
+		"negative label":    "name,2,1,2,16,3\n-1,1.5,2.5\n",
+		"non-numeric value": "name,2,1,2,16,3\n0,x,2.5\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadCSVMinimalValid(t *testing.T) {
+	in := "custom,2,2,3,16,3\n2,0.5,-0.5,1.5,-1.5\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Meta.NumSeq != 1 || d.Sequences[0].Label != 2 {
+		t.Fatalf("parsed %+v", d.Meta)
+	}
+	if d.Sequences[0].Values[1][1] != -1.5 {
+		t.Errorf("value = %g", d.Sequences[0].Values[1][1])
+	}
+}

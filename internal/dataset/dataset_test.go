@@ -1,0 +1,292 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// small loads a truncated dataset for fast tests.
+func small(t *testing.T, name string, n int) *Dataset {
+	t.Helper()
+	d, err := Load(name, Options{Seed: 42, MaxSequences: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNamesComplete(t *testing.T) {
+	if len(Names()) != 9 {
+		t.Fatalf("expected 9 datasets, got %d", len(Names()))
+	}
+	for _, n := range Names() {
+		if _, err := MetaFor(n); err != nil {
+			t.Errorf("MetaFor(%q): %v", n, err)
+		}
+		if _, err := generatorFor(n); err != nil {
+			t.Errorf("generatorFor(%q): %v", n, err)
+		}
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if _, err := Load("zebranet", Options{}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+// TestTable3Shape verifies every generated dataset matches its published
+// Table 3 row: sequence length, feature count, and label coverage.
+func TestTable3Shape(t *testing.T) {
+	for _, name := range Names() {
+		d := small(t, name, 60)
+		m := d.Meta
+		if len(d.Sequences) != 60 {
+			t.Errorf("%s: got %d sequences", name, len(d.Sequences))
+		}
+		seen := map[int]bool{}
+		for _, s := range d.Sequences {
+			if len(s.Values) != m.SeqLen {
+				t.Fatalf("%s: seq len %d, want %d", name, len(s.Values), m.SeqLen)
+			}
+			if len(s.Values[0]) != m.NumFeatures {
+				t.Fatalf("%s: features %d, want %d", name, len(s.Values[0]), m.NumFeatures)
+			}
+			if s.Label < 0 || s.Label >= m.NumLabels {
+				t.Fatalf("%s: label %d out of range", name, s.Label)
+			}
+			seen[s.Label] = true
+		}
+		if len(seen) != m.NumLabels {
+			t.Errorf("%s: only %d/%d labels present in 60 sequences", name, len(seen), m.NumLabels)
+		}
+	}
+}
+
+// TestFullSizesMatchTable3 checks the published dataset sizes without
+// generating the data.
+func TestFullSizesMatchTable3(t *testing.T) {
+	want := map[string]struct{ n, l, f, lab int }{
+		"activity":   {11119, 50, 6, 12},
+		"characters": {1436, 100, 3, 20},
+		"eog":        {362, 1250, 1, 12},
+		"epilepsy":   {138, 206, 3, 4},
+		"mnist":      {10000, 784, 1, 10},
+		"password":   {308, 1092, 1, 5},
+		"pavement":   {8864, 120, 1, 3},
+		"strawberry": {370, 235, 1, 2},
+		"tiselac":    {17973, 23, 10, 9},
+	}
+	for name, w := range want {
+		m, err := MetaFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumSeq != w.n || m.SeqLen != w.l || m.NumFeatures != w.f || m.NumLabels != w.lab {
+			t.Errorf("%s: meta %+v does not match Table 3 %+v", name, m, w)
+		}
+	}
+}
+
+// TestValuesFitFormat checks that generated values stay inside the dataset's
+// fixed-point representable range, as the paper's sensors store them.
+func TestValuesFitFormat(t *testing.T) {
+	for _, name := range Names() {
+		d := small(t, name, 30)
+		lo, hi := d.Meta.Format.Min(), d.Meta.Format.Max()
+		for _, s := range d.Sequences {
+			for _, row := range s.Values {
+				for _, v := range row {
+					if v < lo || v > hi {
+						t.Fatalf("%s: value %g outside format %v range [%g, %g]",
+							name, v, d.Meta.Format, lo, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range []string{"epilepsy", "tiselac"} {
+		a := small(t, name, 20)
+		b := small(t, name, 20)
+		for i := range a.Sequences {
+			if a.Sequences[i].Label != b.Sequences[i].Label {
+				t.Fatalf("%s: labels differ at %d", name, i)
+			}
+			for tt := range a.Sequences[i].Values {
+				for f := range a.Sequences[i].Values[tt] {
+					if a.Sequences[i].Values[tt][f] != b.Sequences[i].Values[tt][f] {
+						t.Fatalf("%s: values differ at seq %d", name, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Load("epilepsy", Options{Seed: 1, MaxSequences: 8})
+	b, _ := Load("epilepsy", Options{Seed: 2, MaxSequences: 8})
+	same := true
+	for i := range a.Sequences {
+		for tt := range a.Sequences[i].Values {
+			for f := range a.Sequences[i].Values[tt] {
+				if a.Sequences[i].Values[tt][f] != b.Sequences[i].Values[tt][f] {
+					same = false
+				}
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// TestPerLabelVarianceDiffers verifies the property the whole paper rests
+// on: measurement variance (and thus an adaptive policy's collection rate)
+// depends on the event. For each dataset, the most and least energetic
+// labels must have clearly different mean absolute step sizes.
+func TestPerLabelVarianceDiffers(t *testing.T) {
+	for _, name := range Names() {
+		d := small(t, name, 80)
+		perLabel := map[int][]float64{}
+		for _, s := range d.Sequences {
+			var stepSum float64
+			n := 0
+			for tt := 1; tt < len(s.Values); tt++ {
+				for f := range s.Values[tt] {
+					stepSum += math.Abs(s.Values[tt][f] - s.Values[tt-1][f])
+					n++
+				}
+			}
+			perLabel[s.Label] = append(perLabel[s.Label], stepSum/float64(n))
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, steps := range perLabel {
+			m := stats.Mean(steps)
+			if m < lo {
+				lo = m
+			}
+			if m > hi {
+				hi = m
+			}
+		}
+		if hi < lo*1.3 {
+			t.Errorf("%s: per-label step energy too uniform (lo=%g hi=%g); side-channel would not exist",
+				name, lo, hi)
+		}
+	}
+}
+
+// TestEpilepsySeizureVariance checks the Table 1 structure: the seizure
+// event has high *between-sequence* variance in total activity (quiet until
+// the burst), while walking is consistently quiet and running consistently
+// energetic.
+func TestEpilepsySeizureVariance(t *testing.T) {
+	d := small(t, "epilepsy", 80)
+	energy := map[int][]float64{}
+	for _, s := range d.Sequences {
+		var e float64
+		for tt := 1; tt < len(s.Values); tt++ {
+			for f := range s.Values[tt] {
+				e += math.Abs(s.Values[tt][f] - s.Values[tt-1][f])
+			}
+		}
+		energy[s.Label] = append(energy[s.Label], e)
+	}
+	walking, running, seizure := stats.Mean(energy[1]), stats.Mean(energy[2]), energy[0]
+	if walking >= running {
+		t.Errorf("walking energy %g >= running %g", walking, running)
+	}
+	// Seizure spreads between quiet and violent: its std must exceed
+	// walking's and running's.
+	if stats.StdDev(seizure) <= stats.StdDev(energy[1]) || stats.StdDev(seizure) <= stats.StdDev(energy[2]) {
+		t.Errorf("seizure energy std %g not the largest (walking %g, running %g)",
+			stats.StdDev(seizure), stats.StdDev(energy[1]), stats.StdDev(energy[2]))
+	}
+}
+
+func TestSplitStratified(t *testing.T) {
+	d := small(t, "epilepsy", 80)
+	rng := rand.New(rand.NewSource(1))
+	train, test := d.Split(0.75, rng)
+	if len(train.Sequences)+len(test.Sequences) != 80 {
+		t.Fatalf("split lost sequences: %d + %d", len(train.Sequences), len(test.Sequences))
+	}
+	trainBy := train.ByLabel()
+	testBy := test.ByLabel()
+	for l := 0; l < 4; l++ {
+		if len(trainBy[l]) == 0 || len(testBy[l]) == 0 {
+			t.Errorf("label %d missing from a split: train %d test %d", l, len(trainBy[l]), len(testBy[l]))
+		}
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	s := Sequence{Values: [][]float64{{1, 2}, {3, 4}, {5, 6}}}
+	got := s.Flatten()
+	want := []float64{1, 2, 3, 4, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Flatten = %v", got)
+		}
+	}
+	var empty Sequence
+	if empty.Flatten() != nil {
+		t.Error("Flatten of empty sequence should be nil")
+	}
+}
+
+func TestLabelNames(t *testing.T) {
+	if got := LabelNames("epilepsy"); len(got) != 4 || got[0] != "Seizure" {
+		t.Errorf("epilepsy labels = %v", got)
+	}
+	if got := LabelNames("activity"); len(got) != 12 {
+		t.Errorf("activity labels = %v", got)
+	}
+	if got := LabelNames("nonexistent"); got != nil {
+		t.Errorf("unknown dataset labels = %v", got)
+	}
+}
+
+func TestMNISTMostlyDark(t *testing.T) {
+	// Scanned digits must have long zero-ish margins — the structure that
+	// gives AGE's exponent RLE something to compress.
+	d := small(t, "mnist", 10)
+	var dark, total int
+	for _, s := range d.Sequences {
+		for _, row := range s.Values {
+			if row[0] < 16 {
+				dark++
+			}
+			total++
+		}
+	}
+	if frac := float64(dark) / float64(total); frac < 0.5 {
+		t.Errorf("only %.0f%% dark pixels; digits should be mostly background", frac*100)
+	}
+}
+
+func TestTiselacIntegers(t *testing.T) {
+	d := small(t, "tiselac", 9)
+	for _, s := range d.Sequences {
+		for _, row := range s.Values {
+			for _, v := range row {
+				if v != math.Trunc(v) || v < 0 {
+					t.Fatalf("tiselac value %g not a non-negative integer", v)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkGenerateEpilepsy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = Load("epilepsy", Options{Seed: int64(i), MaxSequences: 8})
+	}
+}

@@ -1,0 +1,353 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// generator synthesizes one sequence of the given label.
+type generator func(meta Meta, label int, rng *rand.Rand) [][]float64
+
+func generatorFor(name string) (generator, error) {
+	switch name {
+	case "activity":
+		return genActivity, nil
+	case "characters":
+		return genCharacters, nil
+	case "eog":
+		return genEOG, nil
+	case "epilepsy":
+		return genEpilepsy, nil
+	case "mnist":
+		return genMNIST, nil
+	case "password":
+		return genPassword, nil
+	case "pavement":
+		return genPavement, nil
+	case "strawberry":
+		return genStrawberry, nil
+	case "tiselac":
+		return genTiselac, nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown dataset %q", name)
+	}
+}
+
+// genActivity models smartphone accelerometer + gyroscope windows (UCI HAR,
+// 12 postural/locomotion activities). Low label indices are static postures
+// (near-constant gravity projection), high indices are dynamic activities
+// with strong periodic swing — the energy ordering the paper's Figure 1
+// illustrates with walking vs running.
+func genActivity(meta Meta, label int, rng *rand.Rand) [][]float64 {
+	out := alloc(meta.SeqLen, meta.NumFeatures)
+	// Activity energy rises with label index: 0..2 static, 3..7 walking
+	// family, 8..11 running/jumping family.
+	energy := 0.03 + 0.9*math.Pow(float64(label)/float64(meta.NumLabels-1), 1.6)
+	stride := 1.2 + 0.35*float64(label%5) // gait frequency (cycles/window)
+	j := jitter(rng, 0.25)
+	// Static gravity orientation differs per posture.
+	var gravity [3]float64
+	orient := float64(label) * 0.5
+	gravity[0] = math.Sin(orient)
+	gravity[1] = math.Cos(orient) * 0.8
+	gravity[2] = 0.4 * math.Sin(orient*1.7)
+	phase := rng.Float64() * 2 * math.Pi
+	noise := 0.02 + 0.25*energy
+	for t := 0; t < meta.SeqLen; t++ {
+		for f := 0; f < 3; f++ { // accelerometer
+			v := gravity[f] +
+				tone(t, meta.SeqLen, energy*j, stride*4, phase+float64(f)) +
+				tone(t, meta.SeqLen, 0.4*energy*j, stride*8, phase*1.3) +
+				noise*rng.NormFloat64()
+			out[t][f] = clamp(v, -3.9, 3.9)
+		}
+		for f := 3; f < meta.NumFeatures; f++ { // gyroscope
+			v := tone(t, meta.SeqLen, 1.6*energy*j, stride*4, phase+2.1*float64(f)) +
+				noise*1.5*rng.NormFloat64()
+			out[t][f] = clamp(v, -3.9, 3.9)
+		}
+	}
+	return out
+}
+
+// genCharacters models pen-tip velocity while writing one of 20 characters
+// (Williams et al.). Each character is a sequence of strokes separated by
+// pen lifts: bursts of low-order Fourier motion between near-idle pauses.
+// Characters differ in stroke count, which changes signal variance between
+// labels, and the idle pauses give adaptive samplers something to skip.
+func genCharacters(meta Meta, label int, rng *rand.Rand) [][]float64 {
+	out := alloc(meta.SeqLen, meta.NumFeatures)
+	strokes := 1 + label%4 // stroke count drives energy
+	amp := 0.5 + 0.14*float64(strokes) + 0.04*float64(label/4)
+	j := jitter(rng, 0.2)
+	phase := rng.Float64() * 0.6
+	// Each stroke occupies a window; between windows the pen is lifted.
+	segment := meta.SeqLen / (2*strokes + 1)
+	for t := 0; t < meta.SeqLen; t++ {
+		// Odd segments are strokes, even segments pen lifts.
+		seg := 0
+		if segment > 0 {
+			seg = t / segment
+		}
+		writing := seg%2 == 1 && seg < 2*strokes+1
+		for f := 0; f < meta.NumFeatures; f++ {
+			var v float64
+			if writing {
+				local := t % segment
+				env := math.Sin(math.Pi * float64(local) / float64(segment))
+				for s := 1; s <= strokes; s++ {
+					freq := float64(s) + 0.3*float64(label%7)
+					v += env * tone(t, segment*2, amp*j/float64(s), freq, phase+float64(f)*1.9+float64(label)*0.7)
+				}
+				v += 0.03 * rng.NormFloat64()
+			} else {
+				v = 0.01 * rng.NormFloat64() // pen lifted: near-idle
+			}
+			out[t][f] = clamp(v, -3.8, 3.8)
+		}
+	}
+	return out
+}
+
+// genEOG models electrooculography eye-writing traces (Fang & Shinozaki):
+// piecewise-constant gaze positions separated by fast saccade jumps. The
+// written symbol (label) fixes the number of strokes; more strokes mean more
+// jumps and higher variance.
+func genEOG(meta Meta, label int, rng *rand.Rand) [][]float64 {
+	out := alloc(meta.SeqLen, meta.NumFeatures)
+	nJumps := 3 + label // symbol complexity
+	// Fixations are nearly flat: gaze drift between saccades is tiny
+	// compared to the saccade amplitude.
+	level := walker{mu: 0, theta: 0.02, sigma: 0.9}
+	level.x = 200 * rng.NormFloat64()
+	// Choose jump times.
+	jumpAt := map[int]bool{}
+	for i := 0; i < nJumps; i++ {
+		jumpAt[rng.Intn(meta.SeqLen)] = true
+	}
+	target := level.x
+	for t := 0; t < meta.SeqLen; t++ {
+		if jumpAt[t] {
+			// Saccade: jump to a new gaze target.
+			target = (rng.Float64()*2 - 1) * 1200
+		}
+		// First-order response toward the target plus drift noise.
+		level.mu = target
+		level.theta = 0.25
+		v := level.next(rng)
+		out[t][0] = clamp(v, -1320, 1320)
+	}
+	return out
+}
+
+// genEpilepsy models a wrist accelerometer during four events (Villar et
+// al.): a seizure mimic and three daily activities. Walking is gentle and
+// periodic, running fast and large, sawing strong and regular, and a seizure
+// is near-still interrupted by a violent irregular burst — which is why the
+// paper's Table 1 shows seizure messages with a huge size variance.
+func genEpilepsy(meta Meta, label int, rng *rand.Rand) [][]float64 {
+	out := alloc(meta.SeqLen, meta.NumFeatures)
+	phase := rng.Float64() * 2 * math.Pi
+	j := jitter(rng, 0.2)
+	switch label {
+	case 0: // Seizure: quiet baseline + violent burst covering 20-80% of the window.
+		burst := randomBurst(meta.SeqLen, 0.2, 0.8, rng)
+		for t := 0; t < meta.SeqLen; t++ {
+			for f := 0; f < meta.NumFeatures; f++ {
+				v := 0.1*math.Sin(phase+float64(f)) + 0.03*rng.NormFloat64()
+				if burst.contains(t) {
+					v += tone(t, meta.SeqLen, 2.2*j, 22+3*float64(f), phase) +
+						0.9*rng.NormFloat64()
+				}
+				out[t][f] = clamp(v, -3.5, 3.5)
+			}
+		}
+	case 1: // Walking: low-amplitude periodic.
+		for t := 0; t < meta.SeqLen; t++ {
+			for f := 0; f < meta.NumFeatures; f++ {
+				v := 0.35*j*math.Sin(2*math.Pi*3.5*float64(t)/float64(meta.SeqLen)+phase+float64(f)*2) +
+					0.06*rng.NormFloat64()
+				out[t][f] = clamp(v, -3.5, 3.5)
+			}
+		}
+	case 2: // Running: high-amplitude fast periodic.
+		for t := 0; t < meta.SeqLen; t++ {
+			for f := 0; f < meta.NumFeatures; f++ {
+				v := 1.8*j*math.Sin(2*math.Pi*9*float64(t)/float64(meta.SeqLen)+phase+float64(f)*2) +
+					0.5*j*math.Sin(2*math.Pi*18*float64(t)/float64(meta.SeqLen)+phase) +
+					0.25*rng.NormFloat64()
+				out[t][f] = clamp(v, -3.5, 3.5)
+			}
+		}
+	default: // Sawing: strong regular reciprocation, slightly slower than running.
+		for t := 0; t < meta.SeqLen; t++ {
+			for f := 0; f < meta.NumFeatures; f++ {
+				saw := 2*math.Mod(6*float64(t)/float64(meta.SeqLen)+phase/(2*math.Pi), 1) - 1
+				v := 1.4*j*saw + 0.35*j*math.Sin(2*math.Pi*12*float64(t)/float64(meta.SeqLen)) +
+					0.15*rng.NormFloat64()
+				out[t][f] = clamp(v, -3.5, 3.5)
+			}
+		}
+	}
+	return out
+}
+
+// genMNIST models a 28x28 handwritten digit scanned row-major into a length
+// 784 sequence of 0..255 intensities: long zero runs at the margins with
+// bright stroke crossings in the middle rows. Digit identity (label) sets the
+// stroke-crossing pattern.
+func genMNIST(meta Meta, label int, rng *rand.Rand) [][]float64 {
+	const side = 28
+	out := alloc(meta.SeqLen, meta.NumFeatures)
+	// Each digit has 1-3 stroke centers per row band, derived
+	// deterministically from the label with per-sequence jitter.
+	centers := make([]float64, 3)
+	widths := make([]float64, 3)
+	for i := range centers {
+		centers[i] = 6 + math.Mod(float64(label)*4.7+float64(i)*9.3, 16) + rng.NormFloat64()*0.8
+		// Anti-aliased pen strokes are a few pixels wide.
+		widths[i] = 2.4 + math.Mod(float64(label)*1.3+float64(i)*0.9, 2.2)
+	}
+	nStrokes := 1 + label%3
+	top := 4 + rng.Intn(3)
+	bottom := side - 4 - rng.Intn(3)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			t := r*side + c
+			if t >= meta.SeqLen {
+				break
+			}
+			var v float64
+			// Digits leave many middle rows empty too (loop holes,
+			// stroke gaps); only about three quarters carry ink.
+			inked := (r*2+label)%8 != 0 && (r*2+label)%8 != 4
+			if r >= top && r < bottom && inked {
+				rowBend := 3 * math.Sin(float64(r)/float64(side)*math.Pi*(1+float64(label%4)))
+				for s := 0; s < nStrokes; s++ {
+					v += bump(c, centers[s]+rowBend, widths[s], 235)
+				}
+			}
+			v += math.Abs(rng.NormFloat64()) * 4 // sensor/scan noise
+			out[t][0] = clamp(v, 0, 255)
+		}
+	}
+	return out
+}
+
+// genPassword models stylus pressure while drawing one of five graphical
+// passwords: a label-specific sequence of pressure bumps over a long, mostly
+// idle trace.
+func genPassword(meta Meta, label int, rng *rand.Rand) [][]float64 {
+	out := alloc(meta.SeqLen, meta.NumFeatures)
+	nStrokes := 3 + label*2
+	j := jitter(rng, 0.15)
+	for t := 0; t < meta.SeqLen; t++ {
+		var v float64
+		for s := 0; s < nStrokes; s++ {
+			// Stroke centers are a deterministic function of the
+			// password (label), with small per-attempt shift.
+			c := float64(meta.SeqLen) * (0.08 + 0.84*math.Mod(float64(label)*0.37+float64(s)*0.213, 1))
+			c += rng.NormFloat64() * 4
+			w := 18 + 6*math.Mod(float64(label+s)*0.71, 1.5)
+			h := (5 + 3*math.Mod(float64(label*7+s*3), 4)) * j
+			v += bump(t, c, w, h)
+		}
+		v += 0.05 * rng.NormFloat64()
+		out[t][0] = clamp(v, -15.8, 15.8)
+	}
+	return out
+}
+
+// genPavement models a vehicle-mounted accelerometer over three asphalt
+// classes (Souza): flexible pavement is smooth, cobblestone adds strong
+// periodic jolts, dirt roads add large irregular bumps.
+func genPavement(meta Meta, label int, rng *rand.Rand) [][]float64 {
+	out := alloc(meta.SeqLen, meta.NumFeatures)
+	j := jitter(rng, 0.3)
+	var sigma, jolt float64
+	switch label {
+	case 0: // Flexible (smooth asphalt)
+		sigma, jolt = 1.2, 0
+	case 1: // Cobblestone: periodic jolts
+		sigma, jolt = 4.5, 14
+	default: // Dirt: irregular large bumps
+		sigma, jolt = 8.5, 22
+	}
+	w := walker{mu: 0, theta: 0.3, sigma: sigma * j}
+	phase := rng.Float64() * 2 * math.Pi
+	for t := 0; t < meta.SeqLen; t++ {
+		v := w.next(rng)
+		if label == 1 {
+			v += jolt * j * math.Max(0, math.Sin(2*math.Pi*14*float64(t)/float64(meta.SeqLen)+phase)-0.75) * 4
+		}
+		if label == 2 && rng.Float64() < 0.06 {
+			v += (rng.Float64()*2 - 1) * jolt * 2
+		}
+		out[t][0] = clamp(v, -31.8, 31.8)
+	}
+	return out
+}
+
+// genStrawberry models FTIR spectra of fruit purees (Holland et al., 2
+// classes: strawberry vs adulterated). Spectra are smooth sums of absorption
+// peaks; adulteration shifts peak heights and adds a subtle extra band.
+func genStrawberry(meta Meta, label int, rng *rand.Rand) [][]float64 {
+	out := alloc(meta.SeqLen, meta.NumFeatures)
+	type peak struct{ c, w, h float64 }
+	peaks := []peak{
+		{c: 0.12, w: 5, h: 1.4}, {c: 0.3, w: 9, h: 2.3},
+		{c: 0.52, w: 6, h: 1.1}, {c: 0.72, w: 11, h: 2.8},
+		{c: 0.9, w: 4, h: 0.9},
+	}
+	j := jitter(rng, 0.08)
+	adulterated := label == 1
+	for t := 0; t < meta.SeqLen; t++ {
+		var v float64
+		for i, p := range peaks {
+			h := p.h * j
+			if adulterated {
+				h *= 1 + 0.25*math.Sin(float64(i)*2.1) // reshaped peaks
+			}
+			v += bump(t, p.c*float64(meta.SeqLen), p.w, h)
+		}
+		if adulterated {
+			v += bump(t, 0.62*float64(meta.SeqLen), 8, 0.8*j) // adulterant band
+			// Adulterants (sucrose syrups) introduce fine absorption
+			// structure that roughens the spectrum.
+			v += 0.16 * j * math.Sin(2*math.Pi*34*float64(t)/float64(meta.SeqLen))
+		}
+		v += 0.01 * rng.NormFloat64()
+		out[t][0] = clamp(v, -3.9, 3.9)
+	}
+	return out
+}
+
+// genTiselac models per-pixel satellite image time series (23 acquisitions,
+// 10 spectral/derived features) over nine land-cover classes. Each class has
+// a characteristic reflectance level and seasonal profile; vegetated classes
+// swing strongly across the year, built surfaces stay flat.
+func genTiselac(meta Meta, label int, rng *rand.Rand) [][]float64 {
+	out := alloc(meta.SeqLen, meta.NumFeatures)
+	// Class "greenness": how strongly the seasonal cycle modulates
+	// reflectance. Urban (low) through dense forest (high).
+	green := float64(label) / float64(meta.NumLabels-1)
+	base := 400 + 250*float64(label%5)
+	j := jitter(rng, 0.15)
+	phase := rng.Float64() * 0.8
+	// Per-sequence acquisition offsets (atmosphere, illumination) move the
+	// whole series; per-step noise stays small because reflectance changes
+	// slowly between the 23 acquisitions.
+	offset := 80 * rng.NormFloat64()
+	for t := 0; t < meta.SeqLen; t++ {
+		season := math.Sin(2*math.Pi*float64(t)/float64(meta.SeqLen) + phase)
+		for f := 0; f < meta.NumFeatures; f++ {
+			fBase := base + 120*float64(f)
+			v := fBase*j + offset + green*700*season*(0.5+0.5*math.Cos(float64(f))) +
+				(8+45*green)*rng.NormFloat64()
+			// Reflectances are non-negative integers.
+			out[t][f] = math.Round(clamp(v, 0, 3379))
+		}
+	}
+	return out
+}

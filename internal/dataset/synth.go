@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file holds the signal-synthesis machinery shared by the nine dataset
+// generators. Each generator composes primitive signal components (tones,
+// random walks, bursts, bumps) into a per-label model whose variance
+// structure matches the qualitative description of the original data: calm
+// events produce flat traces, energetic events produce fast, large swings.
+
+// tone returns amp*sin(2π*freq*t/n + phase) evaluated at step t of n.
+func tone(t, n int, amp, freq, phase float64) float64 {
+	return amp * math.Sin(2*math.Pi*freq*float64(t)/float64(n)+phase)
+}
+
+// clamp limits x to [lo, hi].
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// walker produces a mean-reverting random walk (discrete Ornstein–Uhlenbeck):
+// x_{t+1} = x_t + theta*(mu - x_t) + sigma*N(0,1).
+type walker struct {
+	x, mu, theta, sigma float64
+}
+
+func (w *walker) next(rng *rand.Rand) float64 {
+	w.x += w.theta*(w.mu-w.x) + w.sigma*rng.NormFloat64()
+	return w.x
+}
+
+// burstWindow marks a contiguous sub-range [start, start+length) of a
+// sequence during which a generator injects high-energy activity, used for
+// seizure-style events.
+type burstWindow struct{ start, length int }
+
+func randomBurst(seqLen int, minFrac, maxFrac float64, rng *rand.Rand) burstWindow {
+	frac := minFrac + rng.Float64()*(maxFrac-minFrac)
+	length := int(frac * float64(seqLen))
+	if length < 1 {
+		length = 1
+	}
+	start := 0
+	if seqLen > length {
+		start = rng.Intn(seqLen - length)
+	}
+	return burstWindow{start: start, length: length}
+}
+
+func (b burstWindow) contains(t int) bool { return t >= b.start && t < b.start+b.length }
+
+// bump is a Gaussian bump centered at c with width w and height h, used for
+// spectra (Strawberry) and pressure strokes (Password).
+func bump(t int, c, w, h float64) float64 {
+	d := (float64(t) - c) / w
+	return h * math.Exp(-0.5*d*d)
+}
+
+// alloc returns a zeroed [seqLen][features] matrix.
+func alloc(seqLen, features int) [][]float64 {
+	backing := make([]float64, seqLen*features)
+	rows := make([][]float64, seqLen)
+	for i := range rows {
+		rows[i], backing = backing[:features:features], backing[features:]
+	}
+	return rows
+}
+
+// jitter returns a small multiplicative factor 1 ± scale, for per-sequence
+// variation within a label.
+func jitter(rng *rand.Rand, scale float64) float64 {
+	return 1 + (rng.Float64()*2-1)*scale
+}

@@ -1,0 +1,143 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultAnchoredToPaper(t *testing.T) {
+	m := Default()
+	// §2.1: an HM-10 consumes about 25 mJ to connect and send a 40-byte
+	// message.
+	if got := m.TransmitMJ(40); math.Abs(got-25) > 0.2 {
+		t.Errorf("40-byte transmit = %g mJ, want about 25", got)
+	}
+	// §5.8: cutting 30 bytes saves about 0.9 mJ.
+	if got := m.TransmitMJ(640) - m.TransmitMJ(610); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("30-byte saving = %g mJ, want 0.9", got)
+	}
+	// §5.8: encoding a full Activity sequence (300 values): AGE about
+	// 0.154 mJ (before the safety factor), direct write about 0.016 mJ.
+	if got := m.EncodeAGEUJPerValue * 300 / 1000; math.Abs(got-0.154) > 1e-9 {
+		t.Errorf("AGE encode = %g mJ, want 0.154", got)
+	}
+	if got := m.EncodeMJ(300, EncodeStandard); math.Abs(got-0.016) > 1e-9 {
+		t.Errorf("standard encode = %g mJ, want 0.016", got)
+	}
+	// The simulator conservatively multiplies AGE's compute by 4 (§5.1).
+	if got := m.EncodeMJ(300, EncodeAGE); math.Abs(got-0.154*4) > 1e-9 {
+		t.Errorf("scaled AGE encode = %g mJ, want %g", got, 0.154*4)
+	}
+}
+
+func TestSequenceMJComposition(t *testing.T) {
+	m := Default()
+	got := m.SequenceMJ(10, 3, 100, EncodeStandard)
+	want := m.BaselineMJ + m.CollectMJ(10) + m.EncodeMJ(30, EncodeStandard) + m.TransmitMJ(100)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("SequenceMJ = %g, want %g", got, want)
+	}
+}
+
+func TestSequenceMJMonotone(t *testing.T) {
+	m := Default()
+	prop := func(k1, k2, b1, b2 uint8) bool {
+		ka, kb := int(k1), int(k2)
+		ba, bb := int(b1), int(b2)
+		if ka > kb {
+			ka, kb = kb, ka
+		}
+		if ba > bb {
+			ba, bb = bb, ba
+		}
+		return m.SequenceMJ(ka, 2, ba, EncodeStandard) <= m.SequenceMJ(kb, 2, bb, EncodeStandard)+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	mt := NewMeter(100)
+	if !mt.Charge(60) {
+		t.Error("first charge flagged as exceeded")
+	}
+	if mt.RemainingMJ() != 40 {
+		t.Errorf("remaining = %g", mt.RemainingMJ())
+	}
+	if mt.Charge(50) {
+		t.Error("overcharge not flagged")
+	}
+	if !mt.Exceeded() {
+		t.Error("meter not exceeded after overcharge")
+	}
+	if mt.RemainingMJ() != 0 {
+		t.Errorf("remaining after exceed = %g, want 0", mt.RemainingMJ())
+	}
+}
+
+func TestMeterBoundaryExact(t *testing.T) {
+	mt := NewMeter(10)
+	mt.Charge(10)
+	if mt.Exceeded() {
+		t.Error("exact budget counted as exceeded")
+	}
+}
+
+func TestCollectCount(t *testing.T) {
+	cases := []struct {
+		T    int
+		rate float64
+		want int
+	}{
+		{50, 0.7, 35},
+		{50, 1.0, 50},
+		{50, 0.0, 1},  // floor at one
+		{50, 2.0, 50}, // cap at T
+		{23, 0.3, 6},
+		{25, 0.7, 17}, // the Figure 1 example
+	}
+	for _, c := range cases {
+		if got := CollectCount(c.T, c.rate); got != c.want {
+			t.Errorf("CollectCount(%d, %g) = %d, want %d", c.T, c.rate, got, c.want)
+		}
+	}
+}
+
+func TestUniformSequenceMJUsesPayload(t *testing.T) {
+	m := Default()
+	payload := func(k int) int { return 10 * k }
+	got := m.UniformSequenceMJ(50, 2, 0.5, payload)
+	want := m.SequenceMJ(25, 2, 250, EncodeStandard)
+	if got != want {
+		t.Errorf("UniformSequenceMJ = %g, want %g", got, want)
+	}
+}
+
+func TestBudgetGrid(t *testing.T) {
+	m := Default()
+	payload := func(k int) int { return 2 * k }
+	grid := m.BudgetGrid(50, 2, 100, payload)
+	if len(grid) != 8 {
+		t.Fatalf("grid size %d", len(grid))
+	}
+	for i, b := range grid {
+		if b.Rate != float64(i+3)/10 {
+			t.Errorf("budget %d rate = %g", i, b.Rate)
+		}
+		if math.Abs(b.TotalMJ-b.PerSeqMJ*100) > 1e-9 {
+			t.Errorf("budget %d total inconsistent", i)
+		}
+		if i > 0 && grid[i].PerSeqMJ <= grid[i-1].PerSeqMJ {
+			t.Errorf("budgets not increasing at %d", i)
+		}
+	}
+}
+
+func BenchmarkSequenceMJ(b *testing.B) {
+	m := Default()
+	for i := 0; i < b.N; i++ {
+		_ = m.SequenceMJ(35, 6, 640, EncodeAGE)
+	}
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/inference"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+)
+
+// This file holds experiments beyond the paper's tables: the downstream
+// inference-utility check its system model motivates (§2.1), the
+// multi-event-batch extension it claims but does not evaluate (§3.1), and
+// the w_min / G_0 sensitivity ablations behind the parameter choices of
+// §4.2-§4.3 ("we find that AGE's performance is not sensitive across
+// G0 = 4, 6, 8").
+
+// UtilityResult reports end-to-end event-detection accuracy (the server's
+// real job) from raw data and from reconstructions under each encoder.
+type UtilityResult struct {
+	Dataset string
+	Rate    float64
+	// Accuracy of a classifier trained on raw data, evaluated on raw test
+	// sequences and on reconstructions from each pipeline.
+	Raw      float64
+	Pipeline map[string]float64 // "uniform", "linear-std", "linear-age"
+}
+
+// InferenceUtility trains an event classifier on raw training sequences and
+// measures detection accuracy on test reconstructions produced by the
+// Uniform, Linear/Standard, and Linear/AGE pipelines.
+func InferenceUtility(cfg Config, name string, rate float64) (*UtilityResult, error) {
+	w, err := PrepareWorkload(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var trSeq [][][]float64
+	var trLab []int
+	n := len(w.Train)
+	for _, s := range w.Data.Sequences[:n] {
+		trSeq = append(trSeq, s.Values)
+		trLab = append(trLab, s.Label)
+	}
+	clf, err := inference.TrainClassifier(trSeq, trLab, w.Data.Meta.NumLabels, 5)
+	if err != nil {
+		return nil, err
+	}
+	// Test on the held-out tail.
+	test := w.Data.Sequences[n:]
+	if len(test) == 0 {
+		return nil, fmt.Errorf("experiments: no held-out sequences for %s", name)
+	}
+	res := &UtilityResult{Dataset: name, Rate: rate, Pipeline: map[string]float64{}}
+	correct := 0
+	for _, s := range test {
+		if clf.Predict(s.Values) == s.Label {
+			correct++
+		}
+	}
+	res.Raw = float64(correct) / float64(len(test))
+
+	testData := &dataset.Dataset{Meta: w.Data.Meta, Sequences: test}
+	for _, col := range []string{"uniform", "linear-std", "linear-age"} {
+		pk, enc := columnSpec(col)
+		p, err := w.PolicyAt(pk, rate)
+		if err != nil {
+			return nil, err
+		}
+		run, err := simulator.Run(simulator.RunConfig{
+			Dataset: testData, Policy: p, Encoder: enc, Cipher: cfg.Cipher,
+			Rate: rate, Model: energy.Default(), Seed: cfg.Seed, KeepRecons: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		correct := 0
+		total := 0
+		for i, sr := range run.Seqs {
+			if sr.Recon == nil {
+				continue // post-violation sequences carry no reconstruction
+			}
+			total++
+			if clf.Predict(sr.Recon) == test[i].Label {
+				correct++
+			}
+		}
+		if total > 0 {
+			res.Pipeline[col] = float64(correct) / float64(total)
+		}
+	}
+	return res, nil
+}
+
+func (r *UtilityResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Inference utility (%s @ %.0f%% budget): event-detection accuracy\n", r.Dataset, r.Rate*100)
+	fmt.Fprintf(&b, "  raw data     %.3f\n", r.Raw)
+	for _, col := range []string{"uniform", "linear-std", "linear-age"} {
+		fmt.Fprintf(&b, "  %-12s %.3f\n", col, r.Pipeline[col])
+	}
+	return b.String()
+}
+
+// MultiEventResult reports the §3.1 extension: batches spanning two events.
+type MultiEventResult struct {
+	// NMI between the (pair of events) label and the message size.
+	NMIStandard, NMIAGE float64
+	// Attack accuracy predicting the event *pair* from sizes.
+	AttackStandard, AttackAGE float64
+	MajorityPct               float64
+}
+
+// MultiEvent builds double-length Epilepsy batches whose windows span two
+// consecutive events and checks that (a) the Standard encoder still leaks
+// the pair composition through sizes and (b) AGE still closes the channel.
+func MultiEvent(cfg Config) (*MultiEventResult, error) {
+	w, err := PrepareWorkload("epilepsy", cfg)
+	if err != nil {
+		return nil, err
+	}
+	meta := w.Data.Meta
+	// Pair consecutive sequences into one 2T window; the label encodes the
+	// unordered event pair.
+	pairMeta := meta
+	pairMeta.Name = "epilepsy-pairs"
+	pairMeta.SeqLen = 2 * meta.SeqLen
+	pairMeta.NumLabels = meta.NumLabels * meta.NumLabels
+	paired := &dataset.Dataset{Meta: pairMeta}
+	seqs := w.Data.Sequences
+	for i := 0; i+1 < len(seqs); i += 2 {
+		vals := make([][]float64, 0, pairMeta.SeqLen)
+		vals = append(vals, seqs[i].Values...)
+		vals = append(vals, seqs[i+1].Values...)
+		a, b := seqs[i].Label, seqs[i+1].Label
+		if a > b {
+			a, b = b, a
+		}
+		paired.Sequences = append(paired.Sequences, dataset.Sequence{
+			Label:  a*meta.NumLabels + b,
+			Values: vals,
+		})
+	}
+	const rate = 0.7
+	res := &MultiEventResult{}
+	rng := cfg.newRNG("multievent")
+	for _, enc := range []simulator.EncoderKind{simulator.EncStandard, simulator.EncAGE} {
+		p, err := w.PolicyAt("linear", rate)
+		if err != nil {
+			return nil, err
+		}
+		run, err := simulator.Run(simulator.RunConfig{
+			Dataset: paired, Policy: p, Encoder: enc, Cipher: cfg.Cipher,
+			Rate: rate, Model: energy.Default(), Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		labels, sizes := labelsAndSizes(run)
+		nmi := stats.NMI(labels, sizes)
+		acc, maj, err := attackAccuracy(run.SizesByLabel, pairMeta.NumLabels, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		if enc == simulator.EncStandard {
+			res.NMIStandard, res.AttackStandard = nmi, acc*100
+		} else {
+			res.NMIAGE, res.AttackAGE = nmi, acc*100
+		}
+		if maj*100 > res.MajorityPct {
+			res.MajorityPct = maj * 100
+		}
+	}
+	return res, nil
+}
+
+func (r *MultiEventResult) String() string {
+	var b strings.Builder
+	b.WriteString("Multi-event batches (two events per window, Epilepsy pairs @ 70%)\n")
+	fmt.Fprintf(&b, "  standard: NMI %.2f, pair-attack %.1f%% (majority %.1f%%)\n",
+		r.NMIStandard, r.AttackStandard, r.MajorityPct)
+	fmt.Fprintf(&b, "  age:      NMI %.2f, pair-attack %.1f%%\n", r.NMIAGE, r.AttackAGE)
+	return b.String()
+}
+
+// AblationPoint is one parameter setting's aggregate error.
+type AblationPoint struct {
+	Value   int
+	MeanMAE float64
+}
+
+// AblationResult reports a parameter sensitivity sweep.
+type AblationResult struct {
+	Dataset   string
+	Parameter string // "G0" or "w_min"
+	Points    []AblationPoint
+}
+
+// AblationG0 sweeps AGE's maximum-group floor G_0 over {4, 6, 8} (the values
+// the paper reports as indistinguishable, §4.3).
+func AblationG0(cfg Config, name string) (*AblationResult, error) {
+	return ablate(cfg, name, "G0", []int{4, 6, 8}, func(rc *simulator.RunConfig, v int) {
+		rc.MinGroups = v
+	})
+}
+
+// AblationWMin sweeps the pruning width floor w_min over {3, 5, 7} (§4.2:
+// smaller minimums increase quantization error).
+func AblationWMin(cfg Config, name string) (*AblationResult, error) {
+	return ablate(cfg, name, "w_min", []int{3, 5, 7}, func(rc *simulator.RunConfig, v int) {
+		rc.MinWidth = v
+	})
+}
+
+func ablate(cfg Config, name, param string, values []int, apply func(*simulator.RunConfig, int)) (*AblationResult, error) {
+	w, err := PrepareWorkload(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Dataset: name, Parameter: param}
+	for _, v := range values {
+		var maes []float64
+		for _, rate := range cfg.Rates {
+			p, err := w.PolicyAt("linear", rate)
+			if err != nil {
+				return nil, err
+			}
+			rc := simulator.RunConfig{
+				Dataset: w.Data, Policy: p, Encoder: simulator.EncAGE,
+				Cipher: cfg.Cipher, Rate: rate, Model: energy.Default(), Seed: cfg.Seed,
+			}
+			apply(&rc, v)
+			run, err := simulator.Run(rc)
+			if err != nil {
+				return nil, err
+			}
+			maes = append(maes, run.MAE)
+		}
+		res.Points = append(res.Points, AblationPoint{Value: v, MeanMAE: stats.Mean(maes)})
+	}
+	return res, nil
+}
+
+func (r *AblationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: AGE %s sensitivity on %s (mean MAE across budgets)\n", r.Parameter, r.Dataset)
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %s = %d: %.4f\n", r.Parameter, p.Value, p.MeanMAE)
+	}
+	return b.String()
+}

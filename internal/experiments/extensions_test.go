@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInferenceUtility(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxSequences = 64
+	cfg.TrainSequences = 32
+	res, err := InferenceUtility(cfg, "epilepsy", 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Raw < 0.7 {
+		t.Errorf("raw event detection %.2f too weak to compare pipelines", res.Raw)
+	}
+	// AGE's reconstructions must preserve most of the detection accuracy.
+	if res.Pipeline["linear-age"] < res.Raw-0.25 {
+		t.Errorf("AGE pipeline accuracy %.2f far below raw %.2f", res.Pipeline["linear-age"], res.Raw)
+	}
+	// And stay close to the unprotected pipeline.
+	if res.Pipeline["linear-age"] < res.Pipeline["linear-std"]-0.15 {
+		t.Errorf("AGE pipeline %.2f well below standard %.2f",
+			res.Pipeline["linear-age"], res.Pipeline["linear-std"])
+	}
+	if !strings.Contains(res.String(), "utility") {
+		t.Error("render missing title")
+	}
+}
+
+func TestMultiEvent(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxSequences = 64
+	res, err := MultiEvent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NMIStandard <= 0 {
+		t.Error("multi-event batches show no leakage under Standard encoding")
+	}
+	if res.NMIAGE != 0 {
+		t.Errorf("AGE NMI = %g on multi-event batches, want 0", res.NMIAGE)
+	}
+	if res.AttackStandard <= res.MajorityPct {
+		t.Errorf("pair attack %.1f%% not above majority %.1f%%", res.AttackStandard, res.MajorityPct)
+	}
+	if res.AttackAGE > res.MajorityPct+10 {
+		t.Errorf("AGE pair attack %.1f%% well above majority %.1f%%", res.AttackAGE, res.MajorityPct)
+	}
+	if !strings.Contains(res.String(), "Multi-event") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationG0Insensitive(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := AblationG0(cfg, "epilepsy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// The paper's claim: performance is not sensitive across G0 = 4, 6, 8.
+	lo, hi := res.Points[0].MeanMAE, res.Points[0].MeanMAE
+	for _, p := range res.Points {
+		if p.MeanMAE < lo {
+			lo = p.MeanMAE
+		}
+		if p.MeanMAE > hi {
+			hi = p.MeanMAE
+		}
+	}
+	if hi > lo*1.10 {
+		t.Errorf("G0 sweep varies %.1f%%; paper reports insensitivity", 100*(hi-lo)/lo)
+	}
+	if !strings.Contains(res.String(), "G0") {
+		t.Error("render missing parameter")
+	}
+}
+
+func TestAblationWMin(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := AblationWMin(cfg, "epilepsy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.MeanMAE <= 0 {
+			t.Errorf("w_min=%d gave MAE %g", p.Value, p.MeanMAE)
+		}
+	}
+}
+
+func TestCompressionLeakage(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxSequences = 48
+	res, err := CompressionLeakage(cfg, "epilepsy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanRatio >= 1 {
+		t.Errorf("compression ratio %.2f did not shrink the data", res.MeanRatio)
+	}
+	if res.NMI <= 0 {
+		t.Error("compressed sizes show no leakage; the §7 warning would be empty")
+	}
+	if res.AttackPct <= res.MajorityPct {
+		t.Errorf("attack %.1f%% not above majority %.1f%% on compressed sizes",
+			res.AttackPct, res.MajorityPct)
+	}
+	if !strings.Contains(res.String(), "Compression") {
+		t.Error("render missing title")
+	}
+}
+
+func TestBufferedDefense(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxSequences = 48
+	res, err := BufferedDefense(cfg, "epilepsy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The defense must exhibit its §7 cost: nonzero latency.
+	if res.MeanLatency <= 0 {
+		t.Error("buffering showed no latency; over-sampling windows should queue")
+	}
+	if res.MAE <= 0 || res.AGEMae <= 0 {
+		t.Errorf("errors: buffered %g age %g", res.MAE, res.AGEMae)
+	}
+	if !strings.Contains(res.String(), "Buffering") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/policy"
+	"repro/internal/reconstruct"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+)
+
+// Figure1Series is one policy's outcome on one example sequence.
+type Figure1Series struct {
+	Collected int
+	Error     float64
+	Recon     [][]float64
+}
+
+// Figure1Result reproduces Figure 1: subsampling a calm (walking) and a
+// volatile (running) window with a Random policy versus an adaptive Linear
+// policy at a 70% budget. The adaptive policy reallocates samples from the
+// calm window to the volatile one, cutting total error.
+type Figure1Result struct {
+	// Truth, Random, Adaptive per event ("walking", "running").
+	Truth map[string][][]float64
+	Cases map[string]map[string]Figure1Series // event -> policy -> series
+	// TotalErrorRandom and TotalErrorAdaptive sum both windows.
+	TotalErrorRandom, TotalErrorAdaptive float64
+}
+
+// Figure1 runs the motivating example.
+func Figure1(cfg Config) (*Figure1Result, error) {
+	w, err := PrepareWorkload("epilepsy", cfg)
+	if err != nil {
+		return nil, err
+	}
+	byLabel := w.Data.ByLabel()
+	if len(byLabel[1]) == 0 || len(byLabel[2]) == 0 {
+		return nil, fmt.Errorf("experiments: missing walking/running sequences")
+	}
+	events := map[string][][]float64{
+		"walking": w.Data.Sequences[byLabel[1][0]].Values,
+		"running": w.Data.Sequences[byLabel[2][0]].Values,
+	}
+	const rate = 0.7
+	linFit := w.LinearFit[key(rate)]
+	policies := map[string]policy.Policy{
+		"random":   policy.NewRandom(rate),
+		"adaptive": policy.NewLinear(linFit.Threshold),
+	}
+	res := &Figure1Result{Truth: events, Cases: map[string]map[string]Figure1Series{}}
+	rng := cfg.newRNG("figure1")
+	d := w.Data.Meta.NumFeatures
+	for event, seq := range events {
+		res.Cases[event] = map[string]Figure1Series{}
+		for pname, p := range policies {
+			idx := p.Sample(seq, rng)
+			vals := make([][]float64, len(idx))
+			for i, t := range idx {
+				vals[i] = seq[t]
+			}
+			recon, err := reconstruct.Linear(idx, vals, len(seq), d)
+			if err != nil {
+				return nil, err
+			}
+			mae, err := reconstruct.MAE(recon, seq)
+			if err != nil {
+				return nil, err
+			}
+			res.Cases[event][pname] = Figure1Series{Collected: len(idx), Error: mae, Recon: recon}
+			if pname == "random" {
+				res.TotalErrorRandom += mae
+			} else {
+				res.TotalErrorAdaptive += mae
+			}
+		}
+	}
+	return res, nil
+}
+
+// Figure5Point is one budget's outcome on the Activity task.
+type Figure5Point struct {
+	Rate     float64
+	PerSeqMJ float64
+	// MAE per column ("uniform", "linear-std", "linear-age",
+	// "deviation-std", "deviation-age").
+	MAE map[string]float64
+}
+
+// Figure5Result reproduces Figure 5: MAE versus energy budget on Activity.
+type Figure5Result struct {
+	Points []Figure5Point
+}
+
+// Figure5Columns lists the five plotted policies.
+var Figure5Columns = []string{"uniform", "linear-std", "linear-age", "deviation-std", "deviation-age"}
+
+// Figure5 sweeps the Activity budgets.
+func Figure5(cfg Config) (*Figure5Result, error) {
+	w, err := PrepareWorkload("activity", cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure5Result{}
+	for _, rate := range cfg.Rates {
+		pt := Figure5Point{Rate: rate, MAE: map[string]float64{}}
+		for _, col := range Figure5Columns {
+			pk, enc := columnSpec(col)
+			run, err := w.RunCell(pk, enc, rate, simulator.ModeSimulation)
+			if err != nil {
+				return nil, err
+			}
+			pt.MAE[col] = run.MAE
+			pt.PerSeqMJ = run.BudgetMJ / float64(len(run.Seqs))
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// AttackSummary is one policy/encoder attack outcome over the budget grid.
+type AttackSummary struct {
+	Median, Q1, Q3, Max float64 // accuracies in percent
+	MajorityPct         float64
+}
+
+// Figure6Result reproduces Figure 6: attacker event-detection accuracy per
+// dataset for the adaptive policies with and without AGE.
+type Figure6Result struct {
+	Datasets []string
+	// Cells[dataset][column] with columns "linear-std", "linear-age",
+	// "deviation-std", "deviation-age".
+	Cells map[string]map[string]AttackSummary
+}
+
+// Figure6Columns lists the four attacked configurations.
+var Figure6Columns = []string{"linear-std", "linear-age", "deviation-std", "deviation-age"}
+
+// Figure6 runs the attack over every dataset and budget.
+func Figure6(cfg Config, datasets []string) (*Figure6Result, error) {
+	if datasets == nil {
+		datasets = dataset.Names()
+	}
+	res := &Figure6Result{Datasets: datasets, Cells: map[string]map[string]AttackSummary{}}
+	rng := cfg.newRNG("figure6")
+	for _, name := range datasets {
+		w, err := PrepareWorkload(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Cells[name] = map[string]AttackSummary{}
+		for _, col := range Figure6Columns {
+			pk, enc := columnSpec(col)
+			var accs []float64
+			var majority float64
+			for _, rate := range cfg.Rates {
+				run, err := w.RunCell(pk, enc, rate, simulator.ModeSimulation)
+				if err != nil {
+					return nil, err
+				}
+				acc, maj, err := attackAccuracy(run.SizesByLabel, w.Data.Meta.NumLabels, cfg, rng)
+				if err != nil {
+					return nil, err
+				}
+				accs = append(accs, acc*100)
+				if maj*100 > majority {
+					majority = maj * 100
+				}
+			}
+			res.Cells[name][col] = AttackSummary{
+				Median: stats.Median(accs), Q1: stats.Quantile(accs, 0.25),
+				Q3: stats.Quantile(accs, 0.75), Max: stats.Max(accs),
+				MajorityPct: majority,
+			}
+		}
+	}
+	return res, nil
+}
+
+// Figure7Result reproduces Figure 7: seizure-vs-other confusion matrices for
+// the Linear policy with and without AGE at one budget.
+type Figure7Result struct {
+	Rate float64
+	// Confusion[encoder][true][pred], encoders "std" and "age"; class 0
+	// is Seizure, class 1 Other.
+	Confusion map[string][][]int
+	Accuracy  map[string]float64
+}
+
+// Figure7 binarizes Epilepsy into seizure vs other and attacks both
+// encoders.
+func Figure7(cfg Config) (*Figure7Result, error) {
+	const rate = 0.7
+	w, err := PrepareWorkload("epilepsy", cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure7Result{Rate: rate, Confusion: map[string][][]int{}, Accuracy: map[string]float64{}}
+	rng := cfg.newRNG("figure7")
+	for _, enc := range []simulator.EncoderKind{simulator.EncStandard, simulator.EncAGE} {
+		run, err := w.RunCell("linear", enc, rate, simulator.ModeSimulation)
+		if err != nil {
+			return nil, err
+		}
+		// Binarize: label 0 (seizure) vs everything else.
+		binSizes := map[int][]int{}
+		for l, sizes := range run.SizesByLabel {
+			b := 1
+			if l == 0 {
+				b = 0
+			}
+			binSizes[b] = append(binSizes[b], sizes...)
+		}
+		samples, err := attack.BuildSamples(binSizes, cfg.AttackSamples, rng)
+		if err != nil {
+			return nil, err
+		}
+		cv, err := attack.CrossValidate(samples, 2, 5, attack.DefaultAdaBoostConfig(), rng)
+		if err != nil {
+			return nil, err
+		}
+		name := "std"
+		if enc == simulator.EncAGE {
+			name = "age"
+		}
+		res.Confusion[name] = cv.Confusion
+		res.Accuracy[name] = cv.MeanAccuracy
+	}
+	return res, nil
+}
+
+// Sec58Result reproduces the §5.8 overhead analysis: modeled encode energy
+// for AGE versus a direct buffer write on one Activity sequence, the radio
+// energy the §4.5 target reduction saves, and measured wall-clock encode
+// times from this implementation.
+type Sec58Result struct {
+	// Energies in millijoules (model, unscaled by the 4x safety factor).
+	EncodeStandardMJ, EncodeAGEMJ float64
+	// CommSavedMJ is the radio energy saved by the ~30-byte reduction.
+	CommSavedMJ float64
+	// ReductionBytes for the Activity target.
+	ReductionBytes int
+	// Measured wall-clock per encode in this Go implementation.
+	StandardNs, AGENs float64
+}
+
+// Sec58 computes the overhead analysis for the Activity workload.
+func Sec58(cfg Config) (*Sec58Result, error) {
+	meta, err := dataset.MetaFor("activity")
+	if err != nil {
+		return nil, err
+	}
+	model := energy.Default()
+	values := meta.SeqLen * meta.NumFeatures
+	mb := core.TargetBytesForRate(0.7, meta.SeqLen, meta.NumFeatures, meta.Format.Width)
+	reduced := core.ReduceTarget(mb)
+	res := &Sec58Result{
+		EncodeStandardMJ: model.EncodeStandardUJPerValue * float64(values) / 1000,
+		EncodeAGEMJ:      model.EncodeAGEUJPerValue * float64(values) / 1000,
+		CommSavedMJ:      model.PerByteMJ * float64(mb-reduced),
+		ReductionBytes:   mb - reduced,
+	}
+	// Measure this implementation's wall-clock encode cost.
+	coreCfg := core.Config{T: meta.SeqLen, D: meta.NumFeatures, Format: meta.Format, TargetBytes: reduced}
+	ageEnc, err := core.NewAGE(coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	stdEnc, err := core.NewStandard(coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	batch := fullBatch(meta.SeqLen, meta.NumFeatures, rng)
+	const iters = 200
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := stdEnc.Encode(batch); err != nil {
+			return nil, err
+		}
+	}
+	res.StandardNs = float64(time.Since(start).Nanoseconds()) / iters
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := ageEnc.Encode(batch); err != nil {
+			return nil, err
+		}
+	}
+	res.AGENs = float64(time.Since(start).Nanoseconds()) / iters
+	return res, nil
+}
+
+// fullBatch builds a complete batch of random in-range Activity values.
+func fullBatch(T, d int, rng *rand.Rand) core.Batch {
+	idx := make([]int, T)
+	vals := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		idx[t] = t
+		row := make([]float64, d)
+		for f := range row {
+			row[f] = rng.NormFloat64()
+		}
+		vals[t] = row
+	}
+	return core.Batch{Indices: idx, Values: vals}
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders experiment results as text tables shaped like the
+// paper's, so a reader can put them side by side with the published numbers
+// (EXPERIMENTS.md records that comparison).
+
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: mean (std) Standard message bytes by event, Epilepsy @ %.0f%% budget\n", r.Rate*100)
+	fmt.Fprintf(&b, "%-10s", "Event")
+	for _, p := range r.Policies {
+		fmt.Fprintf(&b, " %22s", p)
+	}
+	b.WriteString("\n")
+	for ei, ev := range r.Events {
+		fmt.Fprintf(&b, "%-10s", ev)
+		for _, p := range r.Policies {
+			s := r.Stats[p][ei]
+			fmt.Fprintf(&b, " %12.2f (±%6.2f)", s.Mean, s.Std)
+		}
+		b.WriteString("\n")
+	}
+	for _, p := range r.Policies {
+		fmt.Fprintf(&b, "max pairwise Welch p (%s): %.3g\n", p, r.MaxPairwiseP[p])
+	}
+	return b.String()
+}
+
+func (r *Table45Result) render(title string, mean map[string]map[string]float64, overall map[string]float64) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-12s", "Dataset")
+	for _, col := range ErrorColumns {
+		fmt.Fprintf(&b, " %16s", col)
+	}
+	b.WriteString("\n")
+	for _, name := range r.Sweep.Datasets {
+		fmt.Fprintf(&b, "%-12s", name)
+		for _, col := range ErrorColumns {
+			fmt.Fprintf(&b, " %16.4f", mean[name][col])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-12s", "Overall(%)")
+	for _, col := range ErrorColumns {
+		fmt.Fprintf(&b, " %+15.2f%%", overall[col])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Table4String renders the plain-MAE table.
+func (r *Table45Result) Table4String() string {
+	return r.render("Table 4: mean MAE across budgets", r.MeanMAE, r.OverallPct)
+}
+
+// Table5String renders the deviation-weighted table.
+func (r *Table45Result) Table5String() string {
+	return r.render("Table 5: mean deviation-weighted MAE across budgets", r.MeanWeighted, r.OverallPctWeighted)
+}
+
+func (r *Table6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 6: median / max NMI(size, event); sig = fraction of budgets significant at alpha=0.01\n")
+	fmt.Fprintf(&b, "%-12s %28s %28s\n", "Dataset", "Linear (std | padded | age)", "Deviation (std | padded | age)")
+	for _, name := range r.Datasets {
+		c := r.Cells[name]
+		ls, lp, la := c["linear-standard"], c["linear-padded"], c["linear-age"]
+		ds, dp, da := c["deviation-standard"], c["deviation-padded"], c["deviation-age"]
+		fmt.Fprintf(&b, "%-12s %.2f/%.2f sig=%.0f%% | %.2f | %.2f    %.2f/%.2f sig=%.0f%% | %.2f | %.2f\n",
+			name,
+			ls.Median, ls.Max, ls.SignificantFrac*100, lp.Max, la.Max,
+			ds.Median, ds.Max, ds.SignificantFrac*100, dp.Max, da.Max)
+	}
+	return b.String()
+}
+
+// Table7String renders the Skip RNN table.
+func Table7String(rows []Table7Row) string {
+	var b strings.Builder
+	b.WriteString("Table 7: Skip RNN — mean MAE, max NMI, max attack accuracy\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s %8s %8s %10s %10s %10s\n",
+		"Dataset", "MAE", "MAE+AGE", "NMI", "NMI+AGE", "Atk(%)", "Atk+AGE(%)", "Majority(%)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10.4f %10.4f %8.2f %8.2f %10.2f %10.2f %10.2f\n",
+			r.Dataset, r.MAEStd, r.MAEAGE, r.NMIStd, r.NMIAGE, r.AttackStd, r.AttackAGE, r.MajorityBaselinePct)
+	}
+	return b.String()
+}
+
+func (r *Table8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 8: median percent error above AGE (higher = worse variant)\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "Variant", "Linear", "Deviation")
+	for _, v := range []string{"single", "unshifted", "pruned"} {
+		fmt.Fprintf(&b, "%-10s %11.3f%% %11.3f%%\n", v, r.Pct[v]["linear"], r.Pct[v]["deviation"])
+	}
+	fmt.Fprintf(&b, "%-10s %11.3f%% %11.3f%%\n", "age", 0.0, 0.0)
+	return b.String()
+}
+
+// Table9String renders the MCU energy table.
+func (r *MCUResult) Table9String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 9 (%s): mean energy per sequence (mJ) under MCU budgets\n", r.Dataset)
+	fmt.Fprintf(&b, "%-18s", "Policy")
+	for i, bm := range r.BudgetsMJ {
+		fmt.Fprintf(&b, " %8.3fJ(%.0f%%)", bm/1000, r.Rates[i]*100)
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-18s", row.Policy)
+		for _, e := range row.EnergyMJ {
+			fmt.Fprintf(&b, " %15.2f", e)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table10String renders the MCU error table.
+func (r *MCUResult) Table10String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 10 (%s): MAE under MCU budgets\n", r.Dataset)
+	fmt.Fprintf(&b, "%-18s", "Policy")
+	for i, bm := range r.BudgetsMJ {
+		fmt.Fprintf(&b, " %8.3fJ(%.0f%%)", bm/1000, r.Rates[i]*100)
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-18s", row.Policy)
+		for _, e := range row.MAE {
+			fmt.Fprintf(&b, " %15.4f", e)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (r *Figure1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 1: subsampling example (Epilepsy walking vs running, 70% budget)\n")
+	for _, ev := range []string{"walking", "running"} {
+		rnd, adp := r.Cases[ev]["random"], r.Cases[ev]["adaptive"]
+		fmt.Fprintf(&b, "%-8s  random: #%2d err=%.4f   adaptive: #%2d err=%.4f\n",
+			ev, rnd.Collected, rnd.Error, adp.Collected, adp.Error)
+	}
+	fmt.Fprintf(&b, "total error: random %.4f, adaptive %.4f (%.2fx lower)\n",
+		r.TotalErrorRandom, r.TotalErrorAdaptive, r.TotalErrorRandom/r.TotalErrorAdaptive)
+	return b.String()
+}
+
+func (r *Figure5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: MAE per budget on Activity\n")
+	fmt.Fprintf(&b, "%-10s %10s", "Rate", "mJ/seq")
+	for _, col := range Figure5Columns {
+		fmt.Fprintf(&b, " %14s", col)
+	}
+	b.WriteString("\n")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%-10.1f %10.2f", pt.Rate, pt.PerSeqMJ)
+		for _, col := range Figure5Columns {
+			fmt.Fprintf(&b, " %14.4f", pt.MAE[col])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (r *Figure6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: attacker accuracy (%) median [q1,q3] max per dataset\n")
+	fmt.Fprintf(&b, "%-12s", "Dataset")
+	for _, col := range Figure6Columns {
+		fmt.Fprintf(&b, " %26s", col)
+	}
+	fmt.Fprintf(&b, " %10s\n", "majority")
+	for _, name := range r.Datasets {
+		fmt.Fprintf(&b, "%-12s", name)
+		var maj float64
+		for _, col := range Figure6Columns {
+			c := r.Cells[name][col]
+			fmt.Fprintf(&b, "  %5.1f [%5.1f,%5.1f] %5.1f", c.Median, c.Q1, c.Q3, c.Max)
+			if c.MajorityPct > maj {
+				maj = c.MajorityPct
+			}
+		}
+		fmt.Fprintf(&b, " %9.1f%%\n", maj)
+	}
+	return b.String()
+}
+
+func (r *Figure7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: seizure detection confusion (Linear @ %.0f%% budget)\n", r.Rate*100)
+	for _, enc := range []string{"std", "age"} {
+		cm := r.Confusion[enc]
+		fmt.Fprintf(&b, "[%s] accuracy %.3f\n", enc, r.Accuracy[enc])
+		fmt.Fprintf(&b, "            pred-seizure  pred-other\n")
+		fmt.Fprintf(&b, "  seizure %12d %11d\n", cm[0][0], cm[0][1])
+		fmt.Fprintf(&b, "  other   %12d %11d\n", cm[1][0], cm[1][1])
+	}
+	return b.String()
+}
+
+func (r *Sec58Result) String() string {
+	var b strings.Builder
+	b.WriteString("Sec 5.8: encoding overhead analysis (Activity, full sequence)\n")
+	fmt.Fprintf(&b, "modeled encode energy: standard %.4f mJ, AGE %.4f mJ (paper: 0.016 / 0.154)\n",
+		r.EncodeStandardMJ, r.EncodeAGEMJ)
+	fmt.Fprintf(&b, "target reduction: %d bytes -> saves %.2f mJ radio energy (paper: ~30B, ~0.9 mJ)\n",
+		r.ReductionBytes, r.CommSavedMJ)
+	fmt.Fprintf(&b, "measured wall-clock: standard %.0f ns, AGE %.0f ns (%.1fx)\n",
+		r.StandardNs, r.AGENs, r.AGENs/r.StandardNs)
+	return b.String()
+}

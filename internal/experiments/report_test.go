@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// syntheticSweep builds a small hand-authored sweep for reducer tests.
+func syntheticSweep() *ErrorSweep {
+	sweep := &ErrorSweep{
+		Datasets: []string{"toy"},
+		Rates:    []float64{0.5, 1.0},
+		Cells:    map[string]map[string][]ErrorCell{"toy": {}},
+	}
+	// Uniform: MAE 1.0 at both budgets. Columns scale it.
+	mk := func(scale float64) []ErrorCell {
+		return []ErrorCell{
+			{MAE: scale, WeightedMAE: 2 * scale},
+			{MAE: scale / 2, WeightedMAE: scale},
+		}
+	}
+	sweep.Cells["toy"]["uniform"] = mk(1.0)
+	sweep.Cells["toy"]["linear-std"] = mk(0.8)
+	sweep.Cells["toy"]["linear-padded"] = mk(3.0)
+	sweep.Cells["toy"]["linear-age"] = mk(0.9)
+	sweep.Cells["toy"]["deviation-std"] = mk(0.7)
+	sweep.Cells["toy"]["deviation-padded"] = mk(3.5)
+	sweep.Cells["toy"]["deviation-age"] = mk(0.75)
+	return sweep
+}
+
+func TestReduceTable45(t *testing.T) {
+	res := reduceTable45(syntheticSweep())
+	// Mean across the two budgets of column scale s is (s + s/2)/2 = 0.75s.
+	if got := res.MeanMAE["toy"]["linear-std"]; !near(got, 0.6) {
+		t.Errorf("mean linear-std = %g, want 0.6", got)
+	}
+	// Percent vs uniform is scale-1 at every budget; median = that.
+	if got := res.OverallPct["linear-std"]; !near(got, -20) {
+		t.Errorf("overall linear-std = %g%%, want -20", got)
+	}
+	if got := res.OverallPct["linear-padded"]; !near(got, 200) {
+		t.Errorf("overall linear-padded = %g%%, want +200", got)
+	}
+	if got := res.OverallPctWeighted["deviation-age"]; !near(got, -25) {
+		t.Errorf("overall weighted deviation-age = %g%%, want -25", got)
+	}
+	// Renders include the dataset and all columns.
+	out := res.Table4String()
+	for _, col := range ErrorColumns {
+		if !strings.Contains(out, col) {
+			t.Errorf("table 4 render missing column %s", col)
+		}
+	}
+}
+
+func TestColumnSpec(t *testing.T) {
+	for _, col := range ErrorColumns {
+		pk, enc := columnSpec(col)
+		if pk == "" || enc == "" {
+			t.Errorf("columnSpec(%s) = %q, %q", col, pk, enc)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown column did not panic")
+		}
+	}()
+	columnSpec("bogus")
+}
+
+func TestAttackAccuracySingleLabel(t *testing.T) {
+	cfg := tinyConfig()
+	rng := cfg.newRNG("test")
+	// One observable event: the attacker degenerates to the majority.
+	acc, maj, err := attackAccuracy(map[int][]int{0: {100, 100}}, 4, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 || maj != 1 {
+		t.Errorf("single-label attack = %g, %g; want 1, 1", acc, maj)
+	}
+}
+
+func TestNewRNGDistinctTags(t *testing.T) {
+	cfg := tinyConfig()
+	a := cfg.newRNG("alpha").Int63()
+	b := cfg.newRNG("beta").Int63()
+	if a == b {
+		t.Error("different tags produced identical streams")
+	}
+	c := cfg.newRNG("alpha").Int63()
+	if a != c {
+		t.Error("same tag not deterministic")
+	}
+}
+
+func TestDefaultRates(t *testing.T) {
+	rates := DefaultRates()
+	if len(rates) != 8 || rates[0] != 0.3 || rates[7] != 1.0 {
+		t.Errorf("rates = %v", rates)
+	}
+}

@@ -1,0 +1,474 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/seccomm"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+)
+
+// SizeStat summarizes a conditional message-size distribution.
+type SizeStat struct {
+	Mean, Std float64
+	N         int
+}
+
+// Table1Result reproduces Table 1: average (standard deviation) message size
+// of adaptive policies conditioned on the underlying event, on the Epilepsy
+// task. Welch reports the largest pairwise p-value between events per
+// policy (the paper finds all pairs significant at alpha = 0.01).
+type Table1Result struct {
+	Rate     float64
+	Events   []string
+	Policies []string
+	// Stats[policy][eventIdx]
+	Stats map[string][]SizeStat
+	// MaxPairwiseP[policy] is the largest Welch's t-test p-value over all
+	// event pairs.
+	MaxPairwiseP map[string]float64
+}
+
+// Table1 measures per-event message sizes for the three adaptive policies on
+// Epilepsy with the Standard encoder.
+func Table1(cfg Config) (*Table1Result, error) {
+	const rate = 0.7
+	w, err := PrepareWorkload("epilepsy", cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{
+		Rate:         rate,
+		Events:       dataset.LabelNames("epilepsy"),
+		Policies:     []string{"linear", "deviation", "skiprnn"},
+		Stats:        map[string][]SizeStat{},
+		MaxPairwiseP: map[string]float64{},
+	}
+	for _, pk := range res.Policies {
+		run, err := w.RunCell(pk, simulator.EncStandard, rate, simulator.ModeSimulation)
+		if err != nil {
+			return nil, err
+		}
+		perEvent := make([][]float64, len(res.Events))
+		for l, sizes := range run.SizesByLabel {
+			for _, s := range sizes {
+				perEvent[l] = append(perEvent[l], float64(s))
+			}
+		}
+		statsRow := make([]SizeStat, len(res.Events))
+		for l, sizes := range perEvent {
+			statsRow[l] = SizeStat{Mean: stats.Mean(sizes), Std: stats.StdDev(sizes), N: len(sizes)}
+		}
+		res.Stats[pk] = statsRow
+		maxP := 0.0
+		for a := 0; a < len(perEvent); a++ {
+			for b := a + 1; b < len(perEvent); b++ {
+				if p := stats.WelchTTest(perEvent[a], perEvent[b]).P; p > maxP {
+					maxP = p
+				}
+			}
+		}
+		res.MaxPairwiseP[pk] = maxP
+	}
+	return res, nil
+}
+
+// ErrorCell is one (policy, encoder, budget) outcome.
+type ErrorCell struct {
+	MAE, WeightedMAE float64
+	EnergyMJ         float64
+	BudgetMJ         float64
+	Violations       int
+}
+
+// ErrorColumns lists the seven policy/encoder columns of Tables 4 and 5.
+var ErrorColumns = []string{
+	"uniform",
+	"linear-std", "linear-padded", "linear-age",
+	"deviation-std", "deviation-padded", "deviation-age",
+}
+
+// columnSpec decomposes a column name into its simulator inputs.
+func columnSpec(col string) (policyKind string, enc simulator.EncoderKind) {
+	switch col {
+	case "uniform":
+		return "uniform", simulator.EncStandard
+	case "linear-std":
+		return "linear", simulator.EncStandard
+	case "linear-padded":
+		return "linear", simulator.EncPadded
+	case "linear-age":
+		return "linear", simulator.EncAGE
+	case "deviation-std":
+		return "deviation", simulator.EncStandard
+	case "deviation-padded":
+		return "deviation", simulator.EncPadded
+	case "deviation-age":
+		return "deviation", simulator.EncAGE
+	default:
+		panic("experiments: unknown column " + col)
+	}
+}
+
+// ErrorSweep holds the full Tables 4/5 grid.
+type ErrorSweep struct {
+	Datasets []string
+	Rates    []float64
+	// Cells[dataset][column][rateIdx]
+	Cells map[string]map[string][]ErrorCell
+}
+
+// RunErrorSweep runs every (dataset, column, rate) simulation of Tables 4-5.
+func RunErrorSweep(cfg Config, datasets []string) (*ErrorSweep, error) {
+	if datasets == nil {
+		datasets = dataset.Names()
+	}
+	sweep := &ErrorSweep{Datasets: datasets, Rates: cfg.Rates, Cells: map[string]map[string][]ErrorCell{}}
+	for _, name := range datasets {
+		w, err := PrepareWorkload(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sweep.Cells[name] = map[string][]ErrorCell{}
+		for _, col := range ErrorColumns {
+			pk, enc := columnSpec(col)
+			cells := make([]ErrorCell, 0, len(cfg.Rates))
+			for _, rate := range cfg.Rates {
+				run, err := w.RunCell(pk, enc, rate, simulator.ModeSimulation)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s/%s@%g: %w", name, col, rate, err)
+				}
+				cells = append(cells, ErrorCell{
+					MAE: run.MAE, WeightedMAE: run.WeightedMAE,
+					EnergyMJ: run.TotalEnergyMJ, BudgetMJ: run.BudgetMJ,
+					Violations: run.Violations,
+				})
+			}
+			sweep.Cells[name][col] = cells
+		}
+	}
+	return sweep, nil
+}
+
+// Table45Result carries Tables 4 and 5 (mean and weighted mean MAE across
+// budgets) plus the overall median-percent-vs-Uniform rows.
+type Table45Result struct {
+	Sweep *ErrorSweep
+	// MeanMAE[dataset][column] and MeanWeighted[dataset][column] average
+	// the 8 budgets.
+	MeanMAE, MeanWeighted map[string]map[string]float64
+	// OverallPct[column] is the median percent error above Uniform across
+	// every dataset and budget (negative = better than Uniform).
+	OverallPct, OverallPctWeighted map[string]float64
+}
+
+// Table45 runs the error sweep and reduces it to the published rows.
+func Table45(cfg Config, datasets []string) (*Table45Result, error) {
+	sweep, err := RunErrorSweep(cfg, datasets)
+	if err != nil {
+		return nil, err
+	}
+	return reduceTable45(sweep), nil
+}
+
+func reduceTable45(sweep *ErrorSweep) *Table45Result {
+	res := &Table45Result{
+		Sweep:              sweep,
+		MeanMAE:            map[string]map[string]float64{},
+		MeanWeighted:       map[string]map[string]float64{},
+		OverallPct:         map[string]float64{},
+		OverallPctWeighted: map[string]float64{},
+	}
+	pct := map[string][]float64{}
+	pctW := map[string][]float64{}
+	for _, name := range sweep.Datasets {
+		res.MeanMAE[name] = map[string]float64{}
+		res.MeanWeighted[name] = map[string]float64{}
+		for _, col := range ErrorColumns {
+			var m, wm []float64
+			for _, c := range sweep.Cells[name][col] {
+				m = append(m, c.MAE)
+				wm = append(wm, c.WeightedMAE)
+			}
+			res.MeanMAE[name][col] = stats.Mean(m)
+			res.MeanWeighted[name][col] = stats.Mean(wm)
+		}
+		for ri := range sweep.Rates {
+			base := sweep.Cells[name]["uniform"][ri]
+			for _, col := range ErrorColumns {
+				c := sweep.Cells[name][col][ri]
+				if base.MAE > 0 {
+					pct[col] = append(pct[col], 100*(c.MAE-base.MAE)/base.MAE)
+				}
+				if base.WeightedMAE > 0 {
+					pctW[col] = append(pctW[col], 100*(c.WeightedMAE-base.WeightedMAE)/base.WeightedMAE)
+				}
+			}
+		}
+	}
+	for _, col := range ErrorColumns {
+		res.OverallPct[col] = stats.Median(pct[col])
+		res.OverallPctWeighted[col] = stats.Median(pctW[col])
+	}
+	return res
+}
+
+// NMICell is one (policy, encoder) NMI summary for Table 6.
+type NMICell struct {
+	Median, Max float64
+	// SignificantFrac is the fraction of budgets whose permutation test
+	// puts the whole 95% CI below 0.01 (§5.3).
+	SignificantFrac float64
+}
+
+// Table6Result reproduces Table 6: NMI between message size and event label
+// for the Standard, Padded, and AGE encoders under both adaptive policies.
+type Table6Result struct {
+	Datasets []string
+	// Cells[dataset][policy-encoder], e.g. "linear-std", "linear-age".
+	Cells map[string]map[string]NMICell
+}
+
+// Table6 sweeps NMI across datasets, budgets, policies, and encoders.
+func Table6(cfg Config, datasets []string) (*Table6Result, error) {
+	if datasets == nil {
+		datasets = dataset.Names()
+	}
+	res := &Table6Result{Datasets: datasets, Cells: map[string]map[string]NMICell{}}
+	rng := cfg.newRNG("table6")
+	for _, name := range datasets {
+		w, err := PrepareWorkload(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Cells[name] = map[string]NMICell{}
+		for _, pk := range []string{"linear", "deviation"} {
+			for _, enc := range []simulator.EncoderKind{simulator.EncStandard, simulator.EncPadded, simulator.EncAGE} {
+				var nmis []float64
+				sig := 0
+				for _, rate := range cfg.Rates {
+					run, err := w.RunCell(pk, enc, rate, simulator.ModeSimulation)
+					if err != nil {
+						return nil, err
+					}
+					labels, sizes := labelsAndSizes(run)
+					nmis = append(nmis, stats.NMI(labels, sizes))
+					if enc == simulator.EncStandard && cfg.Permutations > 0 {
+						pt := stats.PermutationTestNMI(labels, sizes, cfg.Permutations, rng)
+						if pt.Significant(0.01) {
+							sig++
+						}
+					}
+				}
+				res.Cells[name][fmt.Sprintf("%s-%s", pk, enc)] = NMICell{
+					Median:          stats.Median(nmis),
+					Max:             stats.Max(nmis),
+					SignificantFrac: float64(sig) / float64(len(cfg.Rates)),
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table7Row is one dataset's Skip RNN outcome (§5.5).
+type Table7Row struct {
+	Dataset              string
+	MAEStd, MAEAGE       float64
+	NMIStd, NMIAGE       float64 // maxima across rates
+	AttackStd, AttackAGE float64 // max accuracy (percent)
+	MajorityBaselinePct  float64
+}
+
+// Table7 evaluates Skip RNNs with and without AGE on every dataset.
+func Table7(cfg Config, datasets []string) ([]Table7Row, error) {
+	if datasets == nil {
+		datasets = dataset.Names()
+	}
+	var rows []Table7Row
+	rng := cfg.newRNG("table7")
+	for _, name := range datasets {
+		w, err := PrepareWorkload(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Table7Row{Dataset: name}
+		var maeStd, maeAGE []float64
+		for _, rate := range cfg.Rates {
+			for _, enc := range []simulator.EncoderKind{simulator.EncStandard, simulator.EncAGE} {
+				run, err := w.RunCell("skiprnn", enc, rate, simulator.ModeSimulation)
+				if err != nil {
+					return nil, err
+				}
+				labels, sizes := labelsAndSizes(run)
+				nmi := stats.NMI(labels, sizes)
+				acc, maj, err := attackAccuracy(run.SizesByLabel, w.Data.Meta.NumLabels, cfg, rng)
+				if err != nil {
+					return nil, err
+				}
+				if enc == simulator.EncStandard {
+					maeStd = append(maeStd, run.MAE)
+					row.NMIStd = math.Max(row.NMIStd, nmi)
+					row.AttackStd = math.Max(row.AttackStd, acc*100)
+				} else {
+					maeAGE = append(maeAGE, run.MAE)
+					row.NMIAGE = math.Max(row.NMIAGE, nmi)
+					row.AttackAGE = math.Max(row.AttackAGE, acc*100)
+				}
+				row.MajorityBaselinePct = math.Max(row.MajorityBaselinePct, maj*100)
+			}
+		}
+		row.MAEStd = stats.Mean(maeStd)
+		row.MAEAGE = stats.Mean(maeAGE)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table8Result reproduces Table 8: the median percent error of each AGE
+// ablation variant above full AGE, across all datasets and budgets.
+type Table8Result struct {
+	// Pct[variant][policy], variants "single", "unshifted", "pruned".
+	Pct map[string]map[string]float64
+}
+
+// Table8 compares the §5.6 variants against full AGE.
+func Table8(cfg Config, datasets []string) (*Table8Result, error) {
+	if datasets == nil {
+		datasets = dataset.Names()
+	}
+	variants := []simulator.EncoderKind{simulator.EncSingle, simulator.EncUnshifted, simulator.EncPruned}
+	diffs := map[string]map[string][]float64{}
+	for _, v := range variants {
+		diffs[string(v)] = map[string][]float64{}
+	}
+	for _, name := range datasets {
+		w, err := PrepareWorkload(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, pk := range []string{"linear", "deviation"} {
+			for _, rate := range cfg.Rates {
+				base, err := w.RunCell(pk, simulator.EncAGE, rate, simulator.ModeSimulation)
+				if err != nil {
+					return nil, err
+				}
+				for _, v := range variants {
+					run, err := w.RunCell(pk, v, rate, simulator.ModeSimulation)
+					if err != nil {
+						return nil, err
+					}
+					if base.MAE > 0 {
+						diffs[string(v)][pk] = append(diffs[string(v)][pk],
+							100*(run.MAE-base.MAE)/base.MAE)
+					}
+				}
+			}
+		}
+	}
+	res := &Table8Result{Pct: map[string]map[string]float64{}}
+	for v, byPolicy := range diffs {
+		res.Pct[v] = map[string]float64{}
+		for pk, ds := range byPolicy {
+			res.Pct[v][pk] = stats.Median(ds)
+		}
+	}
+	return res, nil
+}
+
+// MCURow is one policy row of Tables 9 and 10 on one dataset.
+type MCURow struct {
+	Policy string // "uniform", "linear", "linear-padded", ...
+	// EnergyMJ[budgetIdx] is the mean energy per sequence; MAE[budgetIdx]
+	// the reconstruction error under that budget.
+	EnergyMJ []float64
+	MAE      []float64
+}
+
+// MCUResult reproduces Tables 9 and 10: per-sequence energy and error on the
+// MCU configuration (75 sequences, AES-128, budgets at 40/70/100%).
+type MCUResult struct {
+	Dataset   string
+	BudgetsMJ []float64 // total budget per run, in mJ (displayed as J in the paper)
+	Rates     []float64
+	Rows      []MCURow
+}
+
+// MCURowOrder lists the Tables 9/10 policy rows.
+var MCURowOrder = []string{
+	"uniform",
+	"linear-std", "linear-padded", "linear-age",
+	"deviation-std", "deviation-padded", "deviation-age",
+}
+
+// TableMCU runs the §5.7 hardware-configuration evaluation on one dataset.
+func TableMCU(cfg Config, name string) (*MCUResult, error) {
+	mcuCfg := cfg
+	mcuCfg.MaxSequences = 75
+	mcuCfg.Cipher = seccomm.AES128Block
+	mcuCfg.Rates = []float64{0.4, 0.7, 1.0}
+	w, err := PrepareWorkload(name, mcuCfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &MCUResult{Dataset: name, Rates: mcuCfg.Rates}
+	for _, col := range MCURowOrder {
+		pk, enc := columnSpec(col)
+		row := MCURow{Policy: col}
+		for _, rate := range mcuCfg.Rates {
+			run, err := w.RunCell(pk, enc, rate, simulator.ModeMCU)
+			if err != nil {
+				return nil, err
+			}
+			row.EnergyMJ = append(row.EnergyMJ, run.TotalEnergyMJ/float64(len(run.Seqs)))
+			row.MAE = append(row.MAE, run.MAE)
+			if col == "uniform" {
+				res.BudgetsMJ = append(res.BudgetsMJ, run.BudgetMJ)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// attackAccuracy runs the §5.4 attack on observed sizes and returns the CV
+// accuracy and the majority baseline. Labels missing from the size map (all
+// of their messages suppressed) make the attack infeasible as specified; the
+// attacker then only sees the remaining labels.
+func attackAccuracy(sizesByLabel map[int][]int, numClasses int, cfg Config, rng *rand.Rand) (acc, majority float64, err error) {
+	present := map[int][]int{}
+	for l, ss := range sizesByLabel {
+		if len(ss) > 0 {
+			present[l] = ss
+		}
+	}
+	if len(present) < 2 {
+		// One observable event: nothing to classify; the attacker is
+		// exactly at the majority baseline.
+		return 1, 1, nil
+	}
+	samples, err := attack.BuildSamples(present, cfg.AttackSamples, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := attack.CrossValidate(samples, numClasses, 5, attack.DefaultAdaBoostConfig(), rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.MeanAccuracy, res.Majority, nil
+}
+
+// sortedKeys returns map keys in ascending order (shared test helper).
+func sortedKeys(m map[int][]int) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

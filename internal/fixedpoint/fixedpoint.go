@@ -1,0 +1,146 @@
+// Package fixedpoint implements signed fixed-point (Q-format) arithmetic as
+// used by low-power microcontrollers and by the AGE encoder.
+//
+// A fixed-point format is described by a total bit width w and a number of
+// non-fractional bits n (paper notation: w0 and n0, §4.1). The n
+// non-fractional bits include the sign bit, so a format (w, n) represents
+// values in [-2^(n-1), 2^(n-1)) with a resolution of 2^-(w-n). The binary
+// point sits in the (w-n)th place. n may exceed w — AGE assigns narrow
+// widths to wide-ranged groups (§4.4) — in which case the stored integer
+// holds the top w bits of the value and the resolution 2^(n-w) is coarser
+// than one.
+package fixedpoint
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxWidth is the largest supported total bit width. The paper's datasets use
+// at most 20 bits per feature (EOG, Table 3); 32 leaves headroom while
+// keeping raw values in an int32.
+const MaxWidth = 32
+
+// Format describes a signed fixed-point representation.
+type Format struct {
+	// Width is the total number of bits, including the sign bit.
+	Width int
+	// NonFrac is the number of non-fractional bits, including the sign
+	// bit. Fractional bits = Width - NonFrac.
+	NonFrac int
+}
+
+// Validate reports whether the format is usable.
+func (f Format) Validate() error {
+	switch {
+	case f.Width < 1 || f.Width > MaxWidth:
+		return fmt.Errorf("fixedpoint: width %d out of range [1, %d]", f.Width, MaxWidth)
+	case f.NonFrac < 1 || f.NonFrac > MaxWidth:
+		return fmt.Errorf("fixedpoint: non-fractional bits %d out of range [1, %d]", f.NonFrac, MaxWidth)
+	}
+	return nil
+}
+
+// FracBits returns the number of fractional bits in the format. It is
+// negative when NonFrac exceeds Width (coarse, wide-range formats).
+func (f Format) FracBits() int { return f.Width - f.NonFrac }
+
+// Resolution returns the smallest positive representable increment.
+func (f Format) Resolution() float64 { return math.Pow(2, -float64(f.FracBits())) }
+
+// Max returns the largest representable value.
+func (f Format) Max() float64 {
+	return math.Pow(2, float64(f.NonFrac-1)) - f.Resolution()
+}
+
+// Min returns the smallest (most negative) representable value.
+func (f Format) Min() float64 { return -math.Pow(2, float64(f.NonFrac-1)) }
+
+// String implements fmt.Stringer using Q-notation, e.g. "Q3.13" for a
+// 16-bit value with 3 non-fractional (incl. sign) and 13 fractional bits.
+func (f Format) String() string {
+	return fmt.Sprintf("Q%d.%d", f.NonFrac, f.FracBits())
+}
+
+// Value is a quantity encoded in some fixed-point format. Raw is the signed
+// integer mantissa: the represented value is Raw * 2^-(Width-NonFrac).
+type Value struct {
+	Raw    int32
+	Format Format
+}
+
+// FromFloat quantizes x into format f, clamping to the representable range
+// and rounding to the nearest representable value (ties away from zero,
+// matching common MCU rounding).
+func FromFloat(x float64, f Format) Value {
+	scaled := x * math.Pow(2, float64(f.FracBits()))
+	r := math.Round(scaled)
+	hi := math.Pow(2, float64(f.Width-1)) - 1
+	lo := -math.Pow(2, float64(f.Width-1))
+	if r > hi {
+		r = hi
+	}
+	if r < lo {
+		r = lo
+	}
+	return Value{Raw: int32(r), Format: f}
+}
+
+// Float returns the real value represented by v.
+func (v Value) Float() float64 {
+	return float64(v.Raw) * math.Pow(2, -float64(v.Format.FracBits()))
+}
+
+// Convert re-quantizes v into format g. The result is the closest value in g
+// to v's represented value.
+func (v Value) Convert(g Format) Value { return FromFloat(v.Float(), g) }
+
+// QuantizationError returns |x - FromFloat(x, f).Float()|.
+func QuantizationError(x float64, f Format) float64 {
+	return math.Abs(x - FromFloat(x, f).Float())
+}
+
+// Bits returns the raw mantissa as an unsigned bit pattern of f.Width bits,
+// suitable for packing into a bit stream. The sign is stored in two's
+// complement truncated to the width.
+func (v Value) Bits() uint32 {
+	mask := uint32(1)<<uint(v.Format.Width) - 1
+	return uint32(v.Raw) & mask
+}
+
+// FromBits reconstructs a Value from a two's-complement bit pattern of
+// f.Width bits.
+func FromBits(bits uint32, f Format) Value {
+	w := uint(f.Width)
+	mask := uint32(1)<<w - 1
+	bits &= mask
+	raw := int32(bits)
+	if w < 32 && bits&(1<<(w-1)) != 0 { // sign-extend
+		raw = int32(bits | ^mask)
+	}
+	return Value{Raw: raw, Format: f}
+}
+
+// NonFracBitsFor returns the minimum number of non-fractional bits (including
+// the sign bit) needed so that x fits in a signed format without clamping.
+// This is the value's "exponent" in the paper's terminology (§4.3).
+func NonFracBitsFor(x float64) int {
+	a := math.Abs(x)
+	n := 1 // sign bit alone represents [-1, 1)
+	for n < MaxWidth && a >= math.Pow(2, float64(n-1)) {
+		n++
+	}
+	return n
+}
+
+// NonFracBitsForSlice returns the minimum non-fractional bits covering every
+// element of xs. It returns 1 for an empty slice.
+func NonFracBitsForSlice(xs []float64) int {
+	n := 1
+	for _, x := range xs {
+		if m := NonFracBitsFor(x); m > n {
+			n = m
+		}
+	}
+	return n
+}

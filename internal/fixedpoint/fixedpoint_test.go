@@ -1,0 +1,240 @@
+package fixedpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatValidate(t *testing.T) {
+	cases := []struct {
+		f  Format
+		ok bool
+	}{
+		{Format{Width: 16, NonFrac: 3}, true},
+		{Format{Width: 1, NonFrac: 1}, true},
+		{Format{Width: 32, NonFrac: 32}, true},
+		{Format{Width: 0, NonFrac: 0}, false},
+		{Format{Width: 33, NonFrac: 1}, false},
+		{Format{Width: 8, NonFrac: 0}, false},
+		{Format{Width: 8, NonFrac: 9}, true}, // coarse wide-range format (n > w)
+		{Format{Width: 8, NonFrac: 33}, false},
+		{Format{Width: -4, NonFrac: 1}, false},
+	}
+	for _, c := range cases {
+		err := c.f.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.f, err, c.ok)
+		}
+	}
+}
+
+func TestFormatDerived(t *testing.T) {
+	f := Format{Width: 16, NonFrac: 3} // Q3.13
+	if got := f.FracBits(); got != 13 {
+		t.Errorf("FracBits = %d, want 13", got)
+	}
+	if got := f.Resolution(); got != math.Pow(2, -13) {
+		t.Errorf("Resolution = %g", got)
+	}
+	if got := f.Max(); math.Abs(got-(4-math.Pow(2, -13))) > 1e-12 {
+		t.Errorf("Max = %g, want ~3.99988", got)
+	}
+	if got := f.Min(); got != -4 {
+		t.Errorf("Min = %g, want -4", got)
+	}
+	if got := f.String(); got != "Q3.13" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFromFloatExactValues(t *testing.T) {
+	f := Format{Width: 8, NonFrac: 4} // Q4.4: res 1/16, range [-8, 8)
+	cases := []struct {
+		in, out float64
+	}{
+		{0, 0},
+		{1.5, 1.5},
+		{-1.5, -1.5},
+		{7.9375, 7.9375},  // max representable
+		{100, 7.9375},     // clamp high
+		{-100, -8},        // clamp low
+		{0.03125, 0.0625}, // rounds away from zero at tie (0.5 ulp)
+		{-0.03125, -0.0625},
+		{0.01, 0}, // rounds down
+	}
+	for _, c := range cases {
+		got := FromFloat(c.in, f).Float()
+		if got != c.out {
+			t.Errorf("FromFloat(%g) = %g, want %g", c.in, got, c.out)
+		}
+	}
+}
+
+func TestRoundTripExactForRepresentable(t *testing.T) {
+	// Every representable value must round-trip with zero error.
+	f := Format{Width: 10, NonFrac: 3}
+	for raw := -512; raw <= 511; raw++ {
+		x := float64(raw) * f.Resolution()
+		v := FromFloat(x, f)
+		if v.Float() != x {
+			t.Fatalf("representable %g round-tripped to %g", x, v.Float())
+		}
+	}
+}
+
+func TestQuantizationErrorBound(t *testing.T) {
+	// Property: for in-range x, error <= half resolution.
+	f := Format{Width: 16, NonFrac: 3}
+	prop := func(x float64) bool {
+		x = math.Mod(x, 3.5) // keep within range
+		if math.IsNaN(x) {
+			return true
+		}
+		return QuantizationError(x, f) <= f.Resolution()/2+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	// Property: Bits/FromBits are inverse for every format width.
+	prop := func(raw int32, wseed uint8) bool {
+		w := int(wseed%MaxWidth) + 1
+		f := Format{Width: w, NonFrac: 1}
+		// Truncate raw into range for width w.
+		v := Value{Raw: raw, Format: f}
+		got := FromBits(v.Bits(), f)
+		// FromBits reconstructs raw mod 2^w with sign extension; check
+		// agreement on the low w bits.
+		mask := uint32(1)<<uint(w) - 1
+		return uint32(got.Raw)&mask == uint32(raw)&mask
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsSignExtension(t *testing.T) {
+	f := Format{Width: 5, NonFrac: 3}
+	v := FromFloat(-1.0, f) // raw = -4 in Q3.2
+	if v.Raw != -4 {
+		t.Fatalf("raw = %d, want -4", v.Raw)
+	}
+	bits := v.Bits()
+	if bits != 0b11100 {
+		t.Fatalf("bits = %05b, want 11100", bits)
+	}
+	back := FromBits(bits, f)
+	if back.Raw != -4 || back.Float() != -1.0 {
+		t.Errorf("FromBits = raw %d float %g", back.Raw, back.Float())
+	}
+}
+
+func TestConvertWiderNarrower(t *testing.T) {
+	wide := Format{Width: 16, NonFrac: 3}
+	narrow := Format{Width: 6, NonFrac: 3}
+	v := FromFloat(1.23456, wide)
+	n := v.Convert(narrow)
+	if math.Abs(n.Float()-1.23456) > narrow.Resolution()/2+1e-12 {
+		t.Errorf("narrow conversion error %g too large", math.Abs(n.Float()-1.23456))
+	}
+	// Converting back to wide must not change the value further.
+	w2 := n.Convert(wide)
+	if w2.Float() != n.Float() {
+		t.Errorf("widening changed value: %g -> %g", n.Float(), w2.Float())
+	}
+}
+
+func TestCoarseWideRangeFormat(t *testing.T) {
+	// n > w: a 9-bit value with 13 non-fractional bits stores the top 9
+	// bits; the step is 2^(13-9) = 16 but the range stays [-4096, 4096).
+	f := Format{Width: 9, NonFrac: 13}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Resolution(); got != 16 {
+		t.Errorf("Resolution = %g, want 16", got)
+	}
+	if got := f.Max(); got != 4096-16 {
+		t.Errorf("Max = %g, want 4080", got)
+	}
+	// Large values survive coarsely instead of clamping.
+	v := FromFloat(3300, f)
+	if math.Abs(v.Float()-3300) > 8 {
+		t.Errorf("3300 -> %g; error exceeds half step", v.Float())
+	}
+	// Bit round trip preserves the coarse value.
+	back := FromBits(v.Bits(), f)
+	if back.Float() != v.Float() {
+		t.Errorf("bit round trip changed value: %g -> %g", v.Float(), back.Float())
+	}
+}
+
+func TestNonFracBitsFor(t *testing.T) {
+	cases := []struct {
+		x float64
+		n int
+	}{
+		{0, 1},
+		{0.5, 1},
+		{0.999, 1},
+		{1.0, 2},
+		{1.5, 2},
+		{2.0, 3},
+		{3.99, 3},
+		{4.0, 4},
+		{-0.5, 1},
+		{-1.0, 2}, // conservative: -1.0 gets 2 bits
+		{-7.5, 4},
+		{255, 9},
+	}
+	for _, c := range cases {
+		if got := NonFracBitsFor(c.x); got != c.n {
+			t.Errorf("NonFracBitsFor(%g) = %d, want %d", c.x, got, c.n)
+		}
+	}
+}
+
+func TestNonFracBitsForProperty(t *testing.T) {
+	// Property: a format with NonFracBitsFor(x) non-fractional bits and
+	// plenty of fractional bits represents x without clamping error.
+	prop := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+			return true
+		}
+		n := NonFracBitsFor(x)
+		w := n + 20
+		if w > MaxWidth {
+			w = MaxWidth
+		}
+		f := Format{Width: w, NonFrac: n}
+		return x <= f.Max()+f.Resolution() && x >= f.Min()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNonFracBitsForSlice(t *testing.T) {
+	if got := NonFracBitsForSlice(nil); got != 1 {
+		t.Errorf("empty slice: %d, want 1", got)
+	}
+	if got := NonFracBitsForSlice([]float64{0.1, -3.5, 1.2}); got != 3 {
+		t.Errorf("got %d, want 3", got)
+	}
+}
+
+func BenchmarkFromFloat(b *testing.B) {
+	f := Format{Width: 16, NonFrac: 3}
+	for i := 0; i < b.N; i++ {
+		_ = FromFloat(1.234567, f)
+	}
+}
+
+func BenchmarkNonFracBitsFor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NonFracBitsFor(123.456)
+	}
+}

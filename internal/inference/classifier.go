@@ -1,0 +1,151 @@
+package inference
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Classifier predicts event labels from feature vectors. It combines
+// z-scored k-nearest-neighbors with a nearest-centroid fallback (used when
+// k exceeds the stored sample count).
+type Classifier struct {
+	k          int
+	numClasses int
+	mean, std  []float64   // feature scaling
+	samples    [][]float64 // scaled training features
+	labels     []int
+	centroids  [][]float64 // scaled per-class centroids
+}
+
+// TrainClassifier fits a classifier on labeled sequences. k is the
+// neighborhood size (0 means the default of 5).
+func TrainClassifier(seqs [][][]float64, labels []int, numClasses, k int) (*Classifier, error) {
+	if len(seqs) == 0 || len(seqs) != len(labels) {
+		return nil, fmt.Errorf("inference: bad training set (%d sequences, %d labels)", len(seqs), len(labels))
+	}
+	if k <= 0 {
+		k = 5
+	}
+	features := make([][]float64, len(seqs))
+	for i, s := range seqs {
+		features[i] = Extract(s)
+	}
+	nf := len(features[0])
+	c := &Classifier{k: k, numClasses: numClasses, mean: make([]float64, nf), std: make([]float64, nf)}
+	for _, fv := range features {
+		if len(fv) != nf {
+			return nil, fmt.Errorf("inference: inconsistent feature lengths")
+		}
+		for j, v := range fv {
+			c.mean[j] += v
+		}
+	}
+	n := float64(len(features))
+	for j := range c.mean {
+		c.mean[j] /= n
+	}
+	for _, fv := range features {
+		for j, v := range fv {
+			d := v - c.mean[j]
+			c.std[j] += d * d
+		}
+	}
+	for j := range c.std {
+		c.std[j] = math.Sqrt(c.std[j] / n)
+		if c.std[j] < 1e-9 {
+			c.std[j] = 1
+		}
+	}
+	counts := make([]float64, numClasses)
+	c.centroids = make([][]float64, numClasses)
+	for i := range c.centroids {
+		c.centroids[i] = make([]float64, nf)
+	}
+	for i, fv := range features {
+		scaled := c.scale(fv)
+		c.samples = append(c.samples, scaled)
+		c.labels = append(c.labels, labels[i])
+		if labels[i] < 0 || labels[i] >= numClasses {
+			return nil, fmt.Errorf("inference: label %d out of range", labels[i])
+		}
+		for j, v := range scaled {
+			c.centroids[labels[i]][j] += v
+		}
+		counts[labels[i]]++
+	}
+	for l := range c.centroids {
+		if counts[l] > 0 {
+			for j := range c.centroids[l] {
+				c.centroids[l][j] /= counts[l]
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c *Classifier) scale(fv []float64) []float64 {
+	out := make([]float64, len(fv))
+	for j, v := range fv {
+		out[j] = (v - c.mean[j]) / c.std[j]
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Predict classifies one sequence.
+func (c *Classifier) Predict(seq [][]float64) int {
+	fv := c.scale(Extract(seq))
+	if len(c.samples) < c.k {
+		// Too few samples for a meaningful neighborhood: nearest centroid.
+		best, bestD := 0, math.Inf(1)
+		for l, cen := range c.centroids {
+			if d := sqDist(fv, cen); d < bestD {
+				best, bestD = l, d
+			}
+		}
+		return best
+	}
+	type nd struct {
+		d float64
+		l int
+	}
+	nds := make([]nd, len(c.samples))
+	for i, s := range c.samples {
+		nds[i] = nd{d: sqDist(fv, s), l: c.labels[i]}
+	}
+	sort.Slice(nds, func(i, j int) bool { return nds[i].d < nds[j].d })
+	votes := make([]int, c.numClasses)
+	for _, v := range nds[:c.k] {
+		votes[v.l]++
+	}
+	best := 0
+	for l := 1; l < c.numClasses; l++ {
+		if votes[l] > votes[best] {
+			best = l
+		}
+	}
+	return best
+}
+
+// Accuracy returns the fraction of sequences classified correctly.
+func (c *Classifier) Accuracy(seqs [][][]float64, labels []int) float64 {
+	if len(seqs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, s := range seqs {
+		if c.Predict(s) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(seqs))
+}

@@ -1,0 +1,112 @@
+// Package inference implements the server-side event-detection pipeline of
+// the paper's system model (§2.1): the server reconstructs each batch into a
+// full sequence and classifies the event ("running", "seizure", ...) from
+// it. The paper measures reconstruction error as its proxy for utility; this
+// package closes the loop by measuring what actually matters downstream —
+// whether events detected from AGE-encoded reconstructions match those
+// detected from raw data.
+//
+// The classifier is deliberately classical and dependency-free: per-feature
+// time and frequency statistics feed a z-scored nearest-centroid / k-NN
+// classifier, the standard strong baseline for windowed human-activity
+// recognition.
+package inference
+
+import (
+	"math"
+)
+
+// FeaturesPerChannel is the number of statistics extracted per sensor
+// channel.
+const FeaturesPerChannel = 8
+
+// Extract summarizes a T x d sequence into a fixed-length feature vector of
+// d * FeaturesPerChannel values: mean, standard deviation, min, max, mean
+// absolute step, signal energy, zero crossings, and the dominant low-band
+// spectral power.
+func Extract(seq [][]float64) []float64 {
+	if len(seq) == 0 {
+		return nil
+	}
+	d := len(seq[0])
+	out := make([]float64, 0, d*FeaturesPerChannel)
+	channel := make([]float64, len(seq))
+	for f := 0; f < d; f++ {
+		for t := range seq {
+			channel[t] = seq[t][f]
+		}
+		out = append(out, channelFeatures(channel)...)
+	}
+	return out
+}
+
+// channelFeatures computes the eight per-channel statistics.
+func channelFeatures(x []float64) []float64 {
+	n := float64(len(x))
+	var mean float64
+	mn, mx := x[0], x[0]
+	for _, v := range x {
+		mean += v
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	mean /= n
+	var variance, energy float64
+	for _, v := range x {
+		dv := v - mean
+		variance += dv * dv
+		energy += v * v
+	}
+	variance /= n
+	var absStep float64
+	zeroCross := 0.0
+	for t := 1; t < len(x); t++ {
+		absStep += math.Abs(x[t] - x[t-1])
+		if (x[t]-mean)*(x[t-1]-mean) < 0 {
+			zeroCross++
+		}
+	}
+	if len(x) > 1 {
+		absStep /= n - 1
+	}
+	return []float64{
+		mean,
+		math.Sqrt(variance),
+		mn,
+		mx,
+		absStep,
+		energy / n,
+		zeroCross / n,
+		dominantBandPower(x, mean),
+	}
+}
+
+// dominantBandPower returns the largest Goertzel power among a handful of
+// low-frequency bins (1..8 cycles per window), normalized by length. Gait
+// and tremor frequencies live here, and the Goertzel recurrence needs no
+// FFT machinery.
+func dominantBandPower(x []float64, mean float64) float64 {
+	n := len(x)
+	if n < 4 {
+		return 0
+	}
+	best := 0.0
+	for bin := 1; bin <= 8; bin++ {
+		w := 2 * math.Pi * float64(bin) / float64(n)
+		c := 2 * math.Cos(w)
+		var s0, s1, s2 float64
+		for _, v := range x {
+			s0 = v - mean + c*s1 - s2
+			s2, s1 = s1, s0
+		}
+		power := s1*s1 + s2*s2 - c*s1*s2
+		if power > best {
+			best = power
+		}
+	}
+	return best / float64(n*n)
+}

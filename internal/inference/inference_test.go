@@ -1,0 +1,180 @@
+package inference
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/policy"
+	"repro/internal/reconstruct"
+)
+
+func TestExtractShape(t *testing.T) {
+	seq := [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	fv := Extract(seq)
+	if len(fv) != 2*FeaturesPerChannel {
+		t.Fatalf("feature length %d, want %d", len(fv), 2*FeaturesPerChannel)
+	}
+	if Extract(nil) != nil {
+		t.Error("empty sequence should give nil features")
+	}
+}
+
+func TestChannelFeaturesKnownValues(t *testing.T) {
+	fv := channelFeatures([]float64{1, 2, 3, 4})
+	if fv[0] != 2.5 {
+		t.Errorf("mean = %g", fv[0])
+	}
+	if math.Abs(fv[1]-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("std = %g", fv[1])
+	}
+	if fv[2] != 1 || fv[3] != 4 {
+		t.Errorf("min/max = %g/%g", fv[2], fv[3])
+	}
+	if fv[4] != 1 { // steps all 1
+		t.Errorf("mean abs step = %g", fv[4])
+	}
+	if math.Abs(fv[5]-7.5) > 1e-12 { // (1+4+9+16)/4
+		t.Errorf("energy = %g", fv[5])
+	}
+}
+
+func TestZeroCrossings(t *testing.T) {
+	// Alternating signal crosses its mean at every step.
+	fv := channelFeatures([]float64{1, -1, 1, -1, 1, -1})
+	if fv[6] != 5.0/6 {
+		t.Errorf("zero crossings = %g, want 5/6", fv[6])
+	}
+}
+
+func TestDominantBandPowerDetectsTone(t *testing.T) {
+	n := 64
+	calm := make([]float64, n)
+	tone := make([]float64, n)
+	for i := range tone {
+		tone[i] = math.Sin(2 * math.Pi * 3 * float64(i) / float64(n))
+	}
+	if dominantBandPower(tone, 0) <= dominantBandPower(calm, 0) {
+		t.Error("tone should have higher band power than silence")
+	}
+}
+
+func TestClassifierSeparatesSyntheticEvents(t *testing.T) {
+	d := dataset.MustLoad("epilepsy", dataset.Options{Seed: 5, MaxSequences: 80})
+	rng := rand.New(rand.NewSource(1))
+	train, test := d.Split(0.6, rng)
+	var trSeq [][][]float64
+	var trLab []int
+	for _, s := range train.Sequences {
+		trSeq = append(trSeq, s.Values)
+		trLab = append(trLab, s.Label)
+	}
+	c, err := TrainClassifier(trSeq, trLab, d.Meta.NumLabels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var teSeq [][][]float64
+	var teLab []int
+	for _, s := range test.Sequences {
+		teSeq = append(teSeq, s.Values)
+		teLab = append(teLab, s.Label)
+	}
+	acc := c.Accuracy(teSeq, teLab)
+	if acc < 0.8 {
+		t.Errorf("event-detection accuracy %.2f on raw data; classifier too weak", acc)
+	}
+}
+
+// TestInferenceSurvivesAGEReconstruction is the utility-preservation claim:
+// events detected from AGE-quantized, subsampled reconstructions should
+// match raw-data detection closely.
+func TestInferenceSurvivesAGEReconstruction(t *testing.T) {
+	d := dataset.MustLoad("epilepsy", dataset.Options{Seed: 6, MaxSequences: 80})
+	rng := rand.New(rand.NewSource(2))
+	train, test := d.Split(0.6, rng)
+	var trSeq [][][]float64
+	var trLab []int
+	for _, s := range train.Sequences {
+		trSeq = append(trSeq, s.Values)
+		trLab = append(trLab, s.Label)
+	}
+	c, err := TrainClassifier(trSeq, trLab, d.Meta.NumLabels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct test sequences from a 70% Linear sample.
+	var fit []([][]float64)
+	for _, s := range train.Sequences {
+		fit = append(fit, s.Values)
+	}
+	pf, err := policy.Fit(policy.KindLinear, fit, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := policy.NewLinear(pf.Threshold)
+	var rawAcc, reconAcc int
+	for _, s := range test.Sequences {
+		if c.Predict(s.Values) == s.Label {
+			rawAcc++
+		}
+		idx := pol.Sample(s.Values, rng)
+		vals := make([][]float64, len(idx))
+		for i, t := range idx {
+			vals[i] = s.Values[t]
+		}
+		recon, err := reconstruct.Linear(idx, vals, d.Meta.SeqLen, d.Meta.NumFeatures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Predict(recon) == s.Label {
+			reconAcc++
+		}
+	}
+	n := len(test.Sequences)
+	if float64(reconAcc) < 0.8*float64(rawAcc) {
+		t.Errorf("reconstruction accuracy %d/%d far below raw %d/%d", reconAcc, n, rawAcc, n)
+	}
+}
+
+func TestTrainClassifierErrors(t *testing.T) {
+	if _, err := TrainClassifier(nil, nil, 2, 5); err == nil {
+		t.Error("empty training set accepted")
+	}
+	seqs := [][][]float64{{{1}}, {{2}}}
+	if _, err := TrainClassifier(seqs, []int{0}, 2, 5); err == nil {
+		t.Error("label length mismatch accepted")
+	}
+	if _, err := TrainClassifier(seqs, []int{0, 9}, 2, 5); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestCentroidFallbackWithFewSamples(t *testing.T) {
+	// Two samples, k=5: must fall back to centroids and still separate.
+	seqs := [][][]float64{
+		{{0}, {0}, {0}, {0}},
+		{{5}, {-5}, {5}, {-5}},
+	}
+	c, err := TrainClassifier(seqs, []int{0, 1}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Predict([][]float64{{0.1}, {0}, {-0.1}, {0}}); got != 0 {
+		t.Errorf("calm sequence classified as %d", got)
+	}
+	if got := c.Predict([][]float64{{4}, {-4}, {4}, {-4}}); got != 1 {
+		t.Errorf("volatile sequence classified as %d", got)
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	seq := make([][]float64, 206)
+	for t := range seq {
+		seq[t] = []float64{math.Sin(float64(t)), math.Cos(float64(t)), 0.5}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Extract(seq)
+	}
+}

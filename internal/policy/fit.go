@@ -1,0 +1,115 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file implements the offline training step both threshold-based
+// adaptive policies require (§5.1): for each energy budget, choose the
+// threshold whose average collection rate over the training data matches the
+// budget's Uniform rate. Collection rate decreases monotonically in the
+// threshold for both Linear and Deviation, so a bisection search suffices.
+
+// AdaptiveKind names a threshold-based adaptive policy for fitting.
+type AdaptiveKind string
+
+// The two threshold-based adaptive policies.
+const (
+	KindLinear    AdaptiveKind = "linear"
+	KindDeviation AdaptiveKind = "deviation"
+)
+
+// NewAdaptive constructs a policy of the given kind with a threshold.
+func NewAdaptive(kind AdaptiveKind, threshold float64) (Policy, error) {
+	switch kind {
+	case KindLinear:
+		return NewLinear(threshold), nil
+	case KindDeviation:
+		return NewDeviation(threshold), nil
+	default:
+		return nil, fmt.Errorf("policy: unknown adaptive kind %q", kind)
+	}
+}
+
+// FitResult reports a fitted threshold and the collection rate it achieves
+// on the training data.
+type FitResult struct {
+	Threshold    float64
+	AchievedRate float64
+}
+
+// Fit bisects for the threshold at which the policy's mean collection rate
+// over train matches targetRate. train holds the training sequences (each
+// T x d). The fit is deterministic given the sequences.
+func Fit(kind AdaptiveKind, train [][][]float64, targetRate float64) (FitResult, error) {
+	if len(train) == 0 {
+		return FitResult{}, fmt.Errorf("policy: empty training set")
+	}
+	// Threshold upper bound: the largest consecutive L1 step in the data;
+	// beyond it the policy never resets and collects its minimum.
+	hi := 1e-9
+	for _, seq := range train {
+		for t := 1; t < len(seq); t++ {
+			if d := l1(seq[t], seq[t-1]); d > hi {
+				hi = d
+			}
+		}
+	}
+	hi *= float64(len(train[0][0])) // headroom for multi-feature EWMA sums
+	lo := 0.0
+	rate := func(th float64) float64 {
+		p, err := NewAdaptive(kind, th)
+		if err != nil {
+			panic(err) // kind was validated by the first NewAdaptive call
+		}
+		rng := rand.New(rand.NewSource(1)) // policies here are deterministic anyway
+		var collected, total int
+		for _, seq := range train {
+			collected += len(p.Sample(seq, rng))
+			total += len(seq)
+		}
+		return float64(collected) / float64(total)
+	}
+	if _, err := NewAdaptive(kind, 0); err != nil {
+		return FitResult{}, err
+	}
+	// Rate is monotone non-increasing in the threshold: rate(0) is the
+	// maximum, rate(hi) the minimum. Clamp unreachable targets.
+	if rate(hi) >= targetRate {
+		return FitResult{Threshold: hi, AchievedRate: rate(hi)}, nil
+	}
+	if rate(lo) <= targetRate {
+		return FitResult{Threshold: lo, AchievedRate: rate(lo)}, nil
+	}
+	for i := 0; i < 48; i++ {
+		mid := (lo + hi) / 2
+		if rate(mid) > targetRate {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	th := (lo + hi) / 2
+	return FitResult{Threshold: th, AchievedRate: rate(th)}, nil
+}
+
+// FitGrid fits thresholds for the paper's eight budgets (rates 0.3 to 1.0)
+// and returns them keyed by rate (rounded to one decimal).
+func FitGrid(kind AdaptiveKind, train [][][]float64) (map[float64]FitResult, error) {
+	out := make(map[float64]FitResult, 8)
+	for r := 3; r <= 10; r++ {
+		rate := float64(r) / 10
+		res, err := Fit(kind, train, rate)
+		if err != nil {
+			return nil, err
+		}
+		out[math.Round(rate*10)/10] = res
+	}
+	return out, nil
+}
+
+// Sequences extracts the raw value matrices from labeled sequences, the
+// form Fit consumes.
+func Sequences(values ...[][]float64) [][][]float64 { return values }

@@ -1,0 +1,231 @@
+// Package policy implements the sampling policies of the paper's evaluation
+// (§5.1): the non-adaptive Uniform and Random baselines and the adaptive
+// Linear [Chatterjea & Havinga] and Deviation [LiteSense] policies, plus the
+// offline per-budget threshold fitting both adaptive policies require. The
+// Skip RNN policy (§5.5) lives in skiprnn.go and builds on internal/rnn.
+//
+// A policy decides, online, which time steps of a T-step sequence to
+// collect. Adaptive policies see only the measurements they collected —
+// sampling is causal — and their collection counts therefore track the
+// signal's volatility, which is exactly the information the message-size
+// side-channel exposes.
+package policy
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Policy selects which time steps of a sequence to collect.
+type Policy interface {
+	// Name identifies the policy in reports ("uniform", "linear", ...).
+	Name() string
+	// Sample returns the collected indices, strictly increasing, each in
+	// [0, len(seq)). seq is the full T x d ground-truth sequence; adaptive
+	// implementations must only inspect rows they chose to collect.
+	Sample(seq [][]float64, rng *rand.Rand) []int
+}
+
+// l1 returns the L1 distance between two measurements.
+func l1(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Uniform collects k = floor(rate*T) elements at evenly spaced indices
+// t = r*ceil(T/k), topping up with random unused indices when k does not
+// divide T (§5.1). Its collection count is fixed, so it leaks nothing — the
+// paper's no-leakage baseline.
+type Uniform struct {
+	rate float64
+}
+
+// NewUniform returns a Uniform policy with the given collection rate.
+func NewUniform(rate float64) *Uniform { return &Uniform{rate: rate} }
+
+// Name implements Policy.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Rate returns the configured collection fraction.
+func (u *Uniform) Rate() float64 { return u.rate }
+
+// Sample implements Policy.
+func (u *Uniform) Sample(seq [][]float64, rng *rand.Rand) []int {
+	T := len(seq)
+	k := collectCount(T, u.rate)
+	step := (T + k - 1) / k // ceil(T/k)
+	used := make([]bool, T)
+	idx := make([]int, 0, k)
+	for r := 0; r*step < T && len(idx) < k; r++ {
+		idx = append(idx, r*step)
+		used[r*step] = true
+	}
+	// Top up with random unused indices, then restore sorted order.
+	for len(idx) < k {
+		t := rng.Intn(T)
+		if !used[t] {
+			used[t] = true
+			idx = append(idx, t)
+		}
+	}
+	insertionSort(idx)
+	return idx
+}
+
+// Random collects k = floor(rate*T) elements chosen uniformly at random
+// without replacement. The paper evaluates it but reports Uniform instead,
+// which dominates it (§5.1); it is included for the same comparison.
+type Random struct {
+	rate float64
+}
+
+// NewRandom returns a Random policy with the given collection rate.
+func NewRandom(rate float64) *Random { return &Random{rate: rate} }
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// Sample implements Policy.
+func (r *Random) Sample(seq [][]float64, rng *rand.Rand) []int {
+	T := len(seq)
+	k := collectCount(T, r.rate)
+	idx := rng.Perm(T)[:k]
+	out := append([]int(nil), idx...)
+	insertionSort(out)
+	return out
+}
+
+// Linear is the adaptive policy of Chatterjea & Havinga [25]: it compares
+// consecutive collected measurements; when the absolute difference exceeds
+// the threshold it resets the collection period to one (sample the next
+// element), otherwise it stretches the period by one step, up to a maximum
+// interval (the original algorithm likewise bounds the sampling interval so
+// a quiet signal cannot silence the sensor).
+type Linear struct {
+	threshold float64
+	maxPeriod int
+}
+
+// NewLinear returns a Linear policy with an already-fitted threshold.
+func NewLinear(threshold float64) *Linear { return &Linear{threshold: threshold, maxPeriod: 16} }
+
+// Name implements Policy.
+func (l *Linear) Name() string { return "linear" }
+
+// Threshold returns the fitted comparison threshold.
+func (l *Linear) Threshold() float64 { return l.threshold }
+
+// Sample implements Policy.
+func (l *Linear) Sample(seq [][]float64, rng *rand.Rand) []int {
+	T := len(seq)
+	idx := []int{0}
+	period := 1
+	prev := seq[0]
+	for t := period; t < T; {
+		cur := seq[t]
+		idx = append(idx, t)
+		if l1(cur, prev) > l.threshold {
+			period = 1
+		} else if period < l.maxPeriod {
+			period++
+		}
+		prev = cur
+		t += period
+	}
+	return idx
+}
+
+// Deviation is the adaptive policy of LiteSense [96]: exponentially weighted
+// moving estimates of the signal mean and deviation control the collection
+// period, which halves when the tracked deviation exceeds the threshold and
+// doubles when it stays below.
+type Deviation struct {
+	threshold float64
+	// gamma and beta are the EWMA weights for deviation and mean; the
+	// defaults follow LiteSense's recommended smoothing.
+	gamma, beta float64
+	maxPeriod   int
+}
+
+// NewDeviation returns a Deviation policy with an already-fitted threshold.
+func NewDeviation(threshold float64) *Deviation {
+	return &Deviation{threshold: threshold, gamma: 0.7, beta: 0.3, maxPeriod: 4}
+}
+
+// Name implements Policy.
+func (d *Deviation) Name() string { return "deviation" }
+
+// Threshold returns the fitted deviation threshold.
+func (d *Deviation) Threshold() float64 { return d.threshold }
+
+// Sample implements Policy.
+func (d *Deviation) Sample(seq [][]float64, rng *rand.Rand) []int {
+	T := len(seq)
+	if T == 0 {
+		return nil
+	}
+	nf := len(seq[0])
+	mean := append([]float64(nil), seq[0]...)
+	dev := 0.0
+	idx := []int{0}
+	period := 1
+	for t := period; t < T; {
+		cur := seq[t]
+		idx = append(idx, t)
+		// Update the tracked deviation before the mean, so the
+		// deviation measures surprise relative to the running estimate.
+		var dist float64
+		for f := 0; f < nf; f++ {
+			dist += math.Abs(cur[f] - mean[f])
+		}
+		dev = (1-d.gamma)*dev + d.gamma*dist
+		for f := 0; f < nf; f++ {
+			mean[f] = (1-d.beta)*mean[f] + d.beta*cur[f]
+		}
+		if dev > d.threshold {
+			period = maxInt(1, period/2)
+		} else {
+			period = minInt(d.maxPeriod, period*2)
+		}
+		t += period
+	}
+	return idx
+}
+
+// collectCount mirrors energy.CollectCount without importing it: floor(rate*T)
+// clamped to [1, T].
+func collectCount(T int, rate float64) int {
+	k := int(rate * float64(T))
+	if k < 1 {
+		k = 1
+	}
+	if k > T {
+		k = T
+	}
+	return k
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rnn"
+)
+
+// SkipRNN is the neural adaptive policy of §5.5 (Campos et al. [22]): a
+// recurrent model that learns when to sample. The trained GRU predictor's
+// hidden state feeds a logistic gate; the gate fires (collect) when recent
+// dynamics suggest the next measurement will be surprising. A per-budget
+// bias shifts the gate's operating point to hit a target collection rate,
+// and a gap ramp bounds how long the policy can skip.
+//
+// The paper uses pre-trained TensorFlow Skip RNNs; this reproduction trains
+// the model in-process (internal/rnn) — see DESIGN.md §4.
+type SkipRNN struct {
+	pred *rnn.Predictor
+	gate *rnn.Gate
+	bias float64
+}
+
+// NewSkipRNN wraps a trained predictor and gate with a rate bias.
+func NewSkipRNN(pred *rnn.Predictor, gate *rnn.Gate, bias float64) *SkipRNN {
+	return &SkipRNN{pred: pred, gate: gate, bias: bias}
+}
+
+// Name implements Policy.
+func (s *SkipRNN) Name() string { return "skiprnn" }
+
+// Bias returns the fitted rate-adjustment bias.
+func (s *SkipRNN) Bias() float64 { return s.bias }
+
+// WithBias returns a copy of the policy using a different rate bias; the
+// underlying model is shared.
+func (s *SkipRNN) WithBias(bias float64) *SkipRNN {
+	return &SkipRNN{pred: s.pred, gate: s.gate, bias: bias}
+}
+
+// Sample implements Policy. The policy is causal: the GRU state only
+// advances on measurements the policy chose to collect, so skipped values
+// are never observed.
+func (s *SkipRNN) Sample(seq [][]float64, rng *rand.Rand) []int {
+	T := len(seq)
+	if T == 0 {
+		return nil
+	}
+	h := make([]float64, s.pred.GRU.Hidden)
+	// Always collect the first element (the interpolation anchor).
+	h, _ = s.pred.GRU.Forward(s.pred.Normalize(seq[0]), h)
+	idx := []int{0}
+	last := 0
+	for t := 1; t < T; t++ {
+		gap := t - last
+		if s.gate.Logit(h, gap)+s.bias >= 0 {
+			h, _ = s.pred.GRU.Forward(s.pred.Normalize(seq[t]), h)
+			idx = append(idx, t)
+			last = t
+		}
+	}
+	return idx
+}
+
+// SkipRNNModel bundles a trained Skip RNN so one training run serves every
+// budget (only the bias changes per rate).
+type SkipRNNModel struct {
+	Pred *rnn.Predictor
+	Gate *rnn.Gate
+}
+
+// SkipRNNTrainConfig controls Skip RNN training.
+type SkipRNNTrainConfig struct {
+	Hidden     int
+	Epochs     int
+	GateEpochs int
+	Seed       int64
+}
+
+// DefaultSkipRNNTrainConfig returns a configuration that trains in seconds
+// on the evaluation workloads.
+func DefaultSkipRNNTrainConfig() SkipRNNTrainConfig {
+	return SkipRNNTrainConfig{Hidden: 12, Epochs: 3, GateEpochs: 2, Seed: 1}
+}
+
+// TrainSkipRNN trains the predictor and gate on the training sequences.
+func TrainSkipRNN(train [][][]float64, cfg SkipRNNTrainConfig) (*SkipRNNModel, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("policy: empty Skip RNN training set")
+	}
+	if len(train[0]) == 0 {
+		return nil, fmt.Errorf("policy: empty training sequence")
+	}
+	d := len(train[0][0])
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pred := rnn.NewPredictor(d, cfg.Hidden, rng)
+	tc := rnn.DefaultTrainConfig()
+	tc.Epochs = cfg.Epochs
+	tc.Seed = cfg.Seed
+	if _, err := pred.Train(train, tc); err != nil {
+		return nil, err
+	}
+	gate := rnn.TrainGate(pred, train, cfg.GateEpochs, 0.05, cfg.Seed)
+	return &SkipRNNModel{Pred: pred, Gate: gate}, nil
+}
+
+// FitBias bisects for the gate bias at which the Skip RNN's mean collection
+// rate over train matches targetRate. The rate is monotone non-decreasing in
+// the bias.
+func (m *SkipRNNModel) FitBias(train [][][]float64, targetRate float64) (*SkipRNN, FitResult) {
+	rate := func(bias float64) float64 {
+		p := NewSkipRNN(m.Pred, m.Gate, bias)
+		rng := rand.New(rand.NewSource(1))
+		var collected, total int
+		for _, seq := range train {
+			collected += len(p.Sample(seq, rng))
+			total += len(seq)
+		}
+		return float64(collected) / float64(total)
+	}
+	lo, hi := -30.0, 30.0
+	if rate(lo) >= targetRate {
+		return NewSkipRNN(m.Pred, m.Gate, lo), FitResult{Threshold: lo, AchievedRate: rate(lo)}
+	}
+	if rate(hi) <= targetRate {
+		return NewSkipRNN(m.Pred, m.Gate, hi), FitResult{Threshold: hi, AchievedRate: rate(hi)}
+	}
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if rate(mid) < targetRate {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	bias := (lo + hi) / 2
+	return NewSkipRNN(m.Pred, m.Gate, bias), FitResult{Threshold: bias, AchievedRate: rate(bias)}
+}

@@ -1,0 +1,136 @@
+// Package reconstruct implements the server side of the subsampling
+// pipeline: rebuilding a full T-step sequence from the subset of collected
+// measurements by linear interpolation (§5.1), and the error metrics of the
+// evaluation — mean absolute error (Tables 4, 7, 10) and deviation-weighted
+// MAE (Table 5).
+package reconstruct
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Linear rebuilds a full sequence of length T from measurements at the given
+// indices. Values between collected points are linearly interpolated;
+// values before the first (after the last) collected point hold the first
+// (last) collected value. An empty batch reconstructs to all zeros.
+func Linear(indices []int, values [][]float64, T, d int) ([][]float64, error) {
+	if len(indices) != len(values) {
+		return nil, fmt.Errorf("reconstruct: %d indices but %d value rows", len(indices), len(values))
+	}
+	out := make([][]float64, T)
+	for t := range out {
+		out[t] = make([]float64, d)
+	}
+	if len(indices) == 0 {
+		return out, nil
+	}
+	prev := -1
+	for i, idx := range indices {
+		if idx < 0 || idx >= T || idx <= prev {
+			return nil, fmt.Errorf("reconstruct: bad index %d at position %d", idx, i)
+		}
+		prev = idx
+		if len(values[i]) != d {
+			return nil, fmt.Errorf("reconstruct: row %d has %d features, want %d", i, len(values[i]), d)
+		}
+	}
+	// Head: hold the first collected value.
+	for t := 0; t < indices[0]; t++ {
+		copy(out[t], values[0])
+	}
+	// Interior: linear interpolation between consecutive collected points.
+	for i := 0; i+1 < len(indices); i++ {
+		lo, hi := indices[i], indices[i+1]
+		copy(out[lo], values[i])
+		span := float64(hi - lo)
+		for t := lo + 1; t < hi; t++ {
+			alpha := float64(t-lo) / span
+			for f := 0; f < d; f++ {
+				out[t][f] = values[i][f]*(1-alpha) + values[i+1][f]*alpha
+			}
+		}
+	}
+	// Tail: hold the last collected value.
+	last := indices[len(indices)-1]
+	for t := last; t < T; t++ {
+		copy(out[t], values[len(values)-1])
+	}
+	return out, nil
+}
+
+// MAE returns the mean absolute error between a reconstruction and the true
+// sequence, averaged over every time step and feature.
+func MAE(recon, truth [][]float64) (float64, error) {
+	if len(recon) != len(truth) {
+		return 0, fmt.Errorf("reconstruct: MAE length mismatch %d vs %d", len(recon), len(truth))
+	}
+	var sum float64
+	var n int
+	for t := range truth {
+		if len(recon[t]) != len(truth[t]) {
+			return 0, fmt.Errorf("reconstruct: MAE width mismatch at step %d", t)
+		}
+		for f := range truth[t] {
+			d := recon[t][f] - truth[t][f]
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / float64(n), nil
+}
+
+// SequenceStdDev returns the population standard deviation of all values in
+// a sequence, the per-sequence weight of Table 5's metric.
+func SequenceStdDev(seq [][]float64) float64 {
+	var flat []float64
+	for _, row := range seq {
+		flat = append(flat, row...)
+	}
+	return stats.PopStdDev(flat)
+}
+
+// Accumulator aggregates per-sequence errors into the evaluation's two
+// metrics: plain mean MAE and deviation-weighted MAE.
+type Accumulator struct {
+	sumMAE      float64
+	sumWeighted float64
+	sumWeights  float64
+	count       int
+}
+
+// Add records one sequence's MAE with the weight of its true-value standard
+// deviation.
+func (a *Accumulator) Add(mae, weight float64) {
+	a.sumMAE += mae
+	a.sumWeighted += mae * weight
+	a.sumWeights += weight
+	a.count++
+}
+
+// MAE returns the arithmetic mean of the recorded per-sequence MAEs.
+func (a *Accumulator) MAE() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return a.sumMAE / float64(a.count)
+}
+
+// WeightedMAE returns the deviation-weighted mean MAE (Table 5): each
+// sequence's error weighted by the standard deviation of its measurements.
+func (a *Accumulator) WeightedMAE() float64 {
+	if a.sumWeights == 0 {
+		return 0
+	}
+	return a.sumWeighted / a.sumWeights
+}
+
+// Count returns the number of recorded sequences.
+func (a *Accumulator) Count() int { return a.count }

@@ -1,0 +1,224 @@
+package reconstruct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearInterpolatesBetweenPoints(t *testing.T) {
+	recon, err := Linear([]int{0, 4}, [][]float64{{0}, {4}}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < 5; tt++ {
+		if recon[tt][0] != float64(tt) {
+			t.Errorf("recon[%d] = %g, want %d", tt, recon[tt][0], tt)
+		}
+	}
+}
+
+func TestLinearHoldsEnds(t *testing.T) {
+	recon, err := Linear([]int{2, 3}, [][]float64{{5, -1}, {7, 1}}, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < 2; tt++ {
+		if recon[tt][0] != 5 || recon[tt][1] != -1 {
+			t.Errorf("head not held at step %d: %v", tt, recon[tt])
+		}
+	}
+	for tt := 3; tt < 6; tt++ {
+		if recon[tt][0] != 7 || recon[tt][1] != 1 {
+			t.Errorf("tail not held at step %d: %v", tt, recon[tt])
+		}
+	}
+}
+
+func TestLinearFullCollectionExact(t *testing.T) {
+	// Collecting everything reconstructs exactly.
+	truth := [][]float64{{1, 2}, {-3, 0.5}, {2.5, 2.5}}
+	idx := []int{0, 1, 2}
+	recon, err := Linear(idx, truth, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae, err := MAE(recon, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae != 0 {
+		t.Errorf("full collection MAE = %g", mae)
+	}
+}
+
+func TestLinearEmptyBatch(t *testing.T) {
+	recon, err := Linear(nil, nil, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range recon {
+		for _, v := range row {
+			if v != 0 {
+				t.Fatal("empty batch should reconstruct to zeros")
+			}
+		}
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	if _, err := Linear([]int{0}, nil, 4, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Linear([]int{3, 1}, [][]float64{{1}, {2}}, 4, 1); err == nil {
+		t.Error("unsorted indices accepted")
+	}
+	if _, err := Linear([]int{9}, [][]float64{{1}}, 4, 1); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := Linear([]int{0}, [][]float64{{1, 2}}, 4, 1); err == nil {
+		t.Error("wrong feature count accepted")
+	}
+}
+
+func TestMAEKnownValue(t *testing.T) {
+	a := [][]float64{{0, 0}, {1, 1}}
+	b := [][]float64{{1, 0}, {1, 3}}
+	mae, err := MAE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae != 0.75 { // (1+0+0+2)/4
+		t.Errorf("MAE = %g, want 0.75", mae)
+	}
+}
+
+func TestMAEMismatch(t *testing.T) {
+	if _, err := MAE([][]float64{{1}}, [][]float64{{1}, {2}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MAE([][]float64{{1}}, [][]float64{{1, 2}}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+// TestMoreSamplesNeverWorse: on any sequence, adding a collected point can
+// only reduce (or keep) the interpolation MAE at the collected point itself.
+func TestMoreSamplesLowerErrorOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	T, d := 40, 2
+	truth := make([][]float64, T)
+	for tt := range truth {
+		truth[tt] = []float64{math.Sin(0.4 * float64(tt)), rng.NormFloat64()}
+	}
+	maeAt := func(k int) float64 {
+		idx := make([]int, 0, k)
+		step := T / k
+		for i := 0; i < k; i++ {
+			idx = append(idx, i*step)
+		}
+		vals := make([][]float64, len(idx))
+		for i, ix := range idx {
+			vals[i] = truth[ix]
+		}
+		recon, err := Linear(idx, vals, T, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mae, err := MAE(recon, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mae
+	}
+	if maeAt(20) >= maeAt(5) {
+		t.Errorf("denser sampling not better: k=20 %g vs k=5 %g", maeAt(20), maeAt(5))
+	}
+}
+
+func TestSequenceStdDev(t *testing.T) {
+	if got := SequenceStdDev([][]float64{{2}, {4}, {4}, {4}, {5}, {5}, {7}, {9}}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("std = %g, want 2", got)
+	}
+	if got := SequenceStdDev(nil); got != 0 {
+		t.Errorf("empty std = %g", got)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var acc Accumulator
+	acc.Add(1.0, 2.0)
+	acc.Add(3.0, 1.0)
+	if got := acc.MAE(); got != 2 {
+		t.Errorf("MAE = %g, want 2", got)
+	}
+	if got := acc.WeightedMAE(); math.Abs(got-5.0/3) > 1e-12 {
+		t.Errorf("WeightedMAE = %g, want 5/3", got)
+	}
+	if acc.Count() != 2 {
+		t.Errorf("Count = %d", acc.Count())
+	}
+	var empty Accumulator
+	if empty.MAE() != 0 || empty.WeightedMAE() != 0 {
+		t.Error("empty accumulator should return 0")
+	}
+}
+
+// TestLinearPropertyBounded: interpolated values never exceed the range of
+// the collected values (convexity of linear interpolation).
+func TestLinearPropertyBounded(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		T := rng.Intn(30) + 2
+		k := rng.Intn(T) + 1
+		perm := rng.Perm(T)[:k]
+		idx := append([]int(nil), perm...)
+		for i := 1; i < len(idx); i++ {
+			for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			}
+		}
+		vals := make([][]float64, k)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range vals {
+			v := rng.NormFloat64() * 5
+			vals[i] = []float64{v}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		recon, err := Linear(idx, vals, T, 1)
+		if err != nil {
+			return false
+		}
+		for _, row := range recon {
+			if row[0] < lo-1e-9 || row[0] > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLinearReconstruct(b *testing.B) {
+	T, d := 206, 3
+	idx := make([]int, 0, T/2)
+	vals := make([][]float64, 0, T/2)
+	for t := 0; t < T; t += 2 {
+		idx = append(idx, t)
+		vals = append(vals, []float64{1, 2, 3})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Linear(idx, vals, T, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package rnn implements the neural-network substrate for the Skip RNN
+// sampling policy (§5.5, Campos et al. [22]): dense matrix/vector math, a
+// GRU cell with full backpropagation through time, an Adam optimizer, and a
+// next-step sequence predictor whose hidden state drives a trainable skip
+// gate. Everything is written from scratch on the standard library; the
+// paper's artifact loads pre-trained TensorFlow models, which this package
+// replaces with in-process training (see DESIGN.md §4).
+package rnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat returns a zero matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatRandom returns a matrix with Xavier/Glorot-scaled uniform entries.
+func NewMatRandom(rows, cols int, rng *rand.Rand) *Mat {
+	m := NewMat(rows, cols)
+	scale := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// At returns m[r, c].
+func (m *Mat) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns m[r, c] = v.
+func (m *Mat) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// MulVec computes out = m * x. out must have length m.Rows and x length
+// m.Cols; it panics otherwise.
+func (m *Mat) MulVec(x, out []float64) {
+	if len(x) != m.Cols || len(out) != m.Rows {
+		panic(fmt.Sprintf("rnn: MulVec shape mismatch: (%dx%d) * %d -> %d", m.Rows, m.Cols, len(x), len(out)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		var s float64
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, v := range row {
+			s += v * x[c]
+		}
+		out[r] = s
+	}
+}
+
+// MulVecT computes out = m^T * x (x has length m.Rows, out length m.Cols),
+// accumulating into out.
+func (m *Mat) MulVecT(x, out []float64) {
+	if len(x) != m.Rows || len(out) != m.Cols {
+		panic(fmt.Sprintf("rnn: MulVecT shape mismatch: (%dx%d)^T * %d -> %d", m.Rows, m.Cols, len(x), len(out)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, v := range row {
+			out[c] += xr * v
+		}
+	}
+}
+
+// AddOuter accumulates m += a * b^T (a has length m.Rows, b length m.Cols),
+// the gradient of a MulVec.
+func (m *Mat) AddOuter(a, b []float64) {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		panic(fmt.Sprintf("rnn: AddOuter shape mismatch: %d x %d into (%dx%d)", len(a), len(b), m.Rows, m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		ar := a[r]
+		if ar == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c := range row {
+			row[c] += ar * b[c]
+		}
+	}
+}
+
+// Zero clears the matrix in place.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// vector helpers
+
+func zeros(n int) []float64 { return make([]float64, n) }
+
+func cloneVec(x []float64) []float64 { return append([]float64(nil), x...) }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func sigmoidVec(x []float64) {
+	for i := range x {
+		x[i] = sigmoid(x[i])
+	}
+}
+
+func tanhVec(x []float64) {
+	for i := range x {
+		x[i] = math.Tanh(x[i])
+	}
+}
+
+func addVec(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Adam implements the Adam optimizer over a flat parameter slice.
+type Adam struct {
+	lr, beta1, beta2, eps float64
+	m, v                  []float64
+	t                     int
+}
+
+// NewAdam returns an Adam optimizer for n parameters.
+func NewAdam(n int, lr float64) *Adam {
+	return &Adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: zeros(n), v: zeros(n)}
+}
+
+// Step applies one update: params -= lr * mhat / (sqrt(vhat) + eps).
+func (a *Adam) Step(params, grads []float64) {
+	if len(params) != len(a.m) || len(grads) != len(a.m) {
+		panic("rnn: Adam size mismatch")
+	}
+	a.t++
+	b1c := 1 - math.Pow(a.beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.beta2, float64(a.t))
+	for i := range params {
+		g := grads[i]
+		a.m[i] = a.beta1*a.m[i] + (1-a.beta1)*g
+		a.v[i] = a.beta2*a.v[i] + (1-a.beta2)*g*g
+		params[i] -= a.lr * (a.m[i] / b1c) / (math.Sqrt(a.v[i]/b2c) + a.eps)
+	}
+}
+
+// clipGrads scales grads in place so their L2 norm is at most maxNorm.
+func clipGrads(grads []float64, maxNorm float64) {
+	var n float64
+	for _, g := range grads {
+		n += g * g
+	}
+	n = math.Sqrt(n)
+	if n > maxNorm && n > 0 {
+		s := maxNorm / n
+		for i := range grads {
+			grads[i] *= s
+		}
+	}
+}

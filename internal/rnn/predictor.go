@@ -1,0 +1,273 @@
+package rnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Predictor is a next-step sequence model: a GRU over normalized
+// measurements with a linear readout predicting the next measurement. Its
+// hidden state summarizes recent signal dynamics; the Skip RNN's sampling
+// gate reads that state to decide whether the next step is worth collecting.
+type Predictor struct {
+	GRU *GRU
+	Wo  *Mat // (d x hidden) readout
+	Bo  []float64
+	// Mean and Std normalize inputs per feature; both are fitted on the
+	// training set.
+	Mean, Std []float64
+}
+
+// NewPredictor returns an untrained predictor for d-feature inputs.
+func NewPredictor(d, hidden int, rng *rand.Rand) *Predictor {
+	p := &Predictor{
+		GRU:  NewGRU(d, hidden, rng),
+		Wo:   NewMatRandom(d, hidden, rng),
+		Bo:   zeros(d),
+		Mean: zeros(d),
+		Std:  make([]float64, d),
+	}
+	for i := range p.Std {
+		p.Std[i] = 1
+	}
+	return p
+}
+
+// FitNormalizer estimates per-feature mean and std from the training
+// sequences.
+func (p *Predictor) FitNormalizer(seqs [][][]float64) {
+	d := len(p.Mean)
+	var n float64
+	sum := zeros(d)
+	sumSq := zeros(d)
+	for _, seq := range seqs {
+		for _, row := range seq {
+			for f := 0; f < d; f++ {
+				sum[f] += row[f]
+				sumSq[f] += row[f] * row[f]
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	for f := 0; f < d; f++ {
+		p.Mean[f] = sum[f] / n
+		v := sumSq[f]/n - p.Mean[f]*p.Mean[f]
+		if v < 1e-12 {
+			v = 1e-12
+		}
+		p.Std[f] = math.Sqrt(v)
+	}
+}
+
+// Normalize maps a raw measurement into model space.
+func (p *Predictor) Normalize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = (x[i] - p.Mean[i]) / p.Std[i]
+	}
+	return out
+}
+
+// predict computes the readout from a hidden state (normalized space).
+func (p *Predictor) predict(h []float64) []float64 {
+	out := zeros(p.Wo.Rows)
+	p.Wo.MulVec(h, out)
+	addVec(out, p.Bo)
+	return out
+}
+
+// TrainConfig controls predictor training.
+type TrainConfig struct {
+	Epochs       int
+	LearningRate float64
+	ClipNorm     float64
+	Seed         int64
+}
+
+// DefaultTrainConfig returns settings that converge on the synthetic
+// workloads in a few seconds.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 4, LearningRate: 5e-3, ClipNorm: 5, Seed: 1}
+}
+
+// Train fits the predictor to minimize squared next-step prediction error
+// with full backpropagation through time, one Adam step per sequence.
+// It returns the mean training loss of the final epoch.
+func (p *Predictor) Train(seqs [][][]float64, cfg TrainConfig) (float64, error) {
+	if len(seqs) == 0 {
+		return 0, fmt.Errorf("rnn: empty training set")
+	}
+	p.FitNormalizer(seqs)
+	params := append(p.GRU.params(), p.Wo.Data, p.Bo)
+	flatParams := flatten(params)
+	opt := NewAdam(len(flatParams), cfg.LearningRate)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := rng.Perm(len(seqs))
+		var total float64
+		var steps int
+		for _, si := range order {
+			seq := seqs[si]
+			if len(seq) < 2 {
+				continue
+			}
+			loss, grads := p.sequenceGrads(seq)
+			total += loss
+			steps += len(seq) - 1
+			flatGrads := flatten(grads)
+			clipGrads(flatGrads, cfg.ClipNorm)
+			opt.Step(flatParams, flatGrads)
+			// Write updated parameters back into the model; flatParams
+			// is the optimizer's source of truth.
+			unflatten(flatParams, params)
+		}
+		if steps > 0 {
+			lastLoss = total / float64(steps)
+		}
+	}
+	return lastLoss, nil
+}
+
+// sequenceGrads runs one forward+backward pass over a sequence and returns
+// the summed loss and gradients in parameter order (GRU params, Wo, Bo).
+func (p *Predictor) sequenceGrads(seq [][]float64) (float64, [][]float64) {
+	h := zeros(p.GRU.Hidden)
+	caches := make([]*GRUCache, 0, len(seq)-1)
+	preds := make([][]float64, 0, len(seq)-1)
+	norm := make([][]float64, len(seq))
+	for i, row := range seq {
+		norm[i] = p.Normalize(row)
+	}
+	var loss float64
+	for t := 0; t < len(seq)-1; t++ {
+		var cache *GRUCache
+		h, cache = p.GRU.Forward(norm[t], h)
+		caches = append(caches, cache)
+		yhat := p.predict(h)
+		preds = append(preds, yhat)
+		for f := range yhat {
+			dlt := yhat[f] - norm[t+1][f]
+			loss += 0.5 * dlt * dlt
+		}
+	}
+	gr := p.GRU.NewGrads()
+	dWo := NewMat(p.Wo.Rows, p.Wo.Cols)
+	dBo := zeros(len(p.Bo))
+	dhNext := zeros(p.GRU.Hidden)
+	for t := len(caches) - 1; t >= 0; t-- {
+		dy := zeros(len(p.Bo))
+		for f := range dy {
+			dy[f] = preds[t][f] - norm[t+1][f]
+		}
+		dWo.AddOuter(dy, caches[t].H)
+		addVec(dBo, dy)
+		dh := cloneVec(dhNext)
+		p.Wo.MulVecT(dy, dh)
+		dhNext, _ = p.GRU.Backward(caches[t], dh, gr)
+	}
+	grads := append(gr.slices(), dWo.Data, dBo)
+	return loss, grads
+}
+
+// HiddenStates runs the predictor over a full sequence (teacher forcing) and
+// returns the hidden state after each step plus the per-step next-value
+// prediction error (L1, normalized space). states[t] is the state after
+// consuming seq[t]; errs[t] is the error predicting seq[t+1] from states[t]
+// (errs has length len(seq)-1).
+func (p *Predictor) HiddenStates(seq [][]float64) (states [][]float64, errs []float64) {
+	h := zeros(p.GRU.Hidden)
+	states = make([][]float64, len(seq))
+	if len(seq) == 0 {
+		return states, nil
+	}
+	errs = make([]float64, len(seq)-1)
+	for t := 0; t < len(seq); t++ {
+		h, _ = p.GRU.Forward(p.Normalize(seq[t]), h)
+		states[t] = cloneVec(h)
+		if t < len(seq)-1 {
+			yhat := p.predict(h)
+			next := p.Normalize(seq[t+1])
+			var e float64
+			for f := range yhat {
+				e += math.Abs(yhat[f] - next[f])
+			}
+			errs[t] = e
+		}
+	}
+	return states, errs
+}
+
+// Gate is the Skip RNN's sampling head: a logistic unit over the predictor's
+// hidden state plus a gap ramp. The sample decision for step t is
+//
+//	collect  <=>  sigmoid(W . h + B + Kappa*(gap-1) + bias) >= 0.5
+//
+// where gap counts steps since the last collection and bias is the
+// per-budget rate adjustment fitted downstream.
+type Gate struct {
+	W     []float64
+	B     float64
+	Kappa float64
+}
+
+// Logit returns the gate pre-activation for a hidden state and gap.
+func (g *Gate) Logit(h []float64, gap int) float64 {
+	var s float64
+	for i := range g.W {
+		s += g.W[i] * h[i]
+	}
+	return s + g.B + g.Kappa*float64(gap-1)
+}
+
+// TrainGate fits the gate by logistic regression: teacher-forced hidden
+// states are labeled positive when the next-step prediction error exceeds
+// the median error (high surprise should trigger collection). Kappa is set
+// so that a gap of maxPeriod steps adds roughly 4 logits, bounding skips.
+func TrainGate(p *Predictor, seqs [][][]float64, epochs int, lr float64, seed int64) *Gate {
+	g := &Gate{W: zeros(p.GRU.Hidden), Kappa: 4.0 / 16.0}
+	// Collect (state, error) pairs.
+	var allStates [][]float64
+	var allErrs []float64
+	for _, seq := range seqs {
+		states, errs := p.HiddenStates(seq)
+		for t := 0; t < len(errs); t++ {
+			allStates = append(allStates, states[t])
+			allErrs = append(allErrs, errs[t])
+		}
+	}
+	if len(allErrs) == 0 {
+		return g
+	}
+	tau := medianOf(allErrs)
+	rng := rand.New(rand.NewSource(seed))
+	for epoch := 0; epoch < epochs; epoch++ {
+		for _, i := range rng.Perm(len(allStates)) {
+			target := 0.0
+			if allErrs[i] > tau {
+				target = 1.0
+			}
+			pred := sigmoid(g.Logit(allStates[i], 1))
+			grad := pred - target
+			for j := range g.W {
+				g.W[j] -= lr * grad * allStates[i][j]
+			}
+			g.B -= lr * grad
+		}
+	}
+	return g
+}
+
+func medianOf(xs []float64) float64 {
+	s := cloneVec(xs)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}

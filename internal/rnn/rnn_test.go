@@ -1,0 +1,396 @@
+package rnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulVec(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	out := make([]float64, 2)
+	m.MulVec([]float64{1, 0, -1}, out)
+	if out[0] != -2 || out[1] != -2 {
+		t.Errorf("MulVec = %v", out)
+	}
+}
+
+func TestMatMulVecT(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	out := make([]float64, 3)
+	m.MulVecT([]float64{1, 1}, out)
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("MulVecT = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestMatAddOuter(t *testing.T) {
+	m := NewMat(2, 2)
+	m.AddOuter([]float64{1, 2}, []float64{3, 4})
+	want := []float64{3, 4, 6, 8}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Errorf("AddOuter = %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestMatShapePanics(t *testing.T) {
+	m := NewMat(2, 3)
+	for name, f := range map[string]func(){
+		"MulVec":   func() { m.MulVec(make([]float64, 2), make([]float64, 2)) },
+		"MulVecT":  func() { m.MulVecT(make([]float64, 3), make([]float64, 3)) },
+		"AddOuter": func() { m.AddOuter(make([]float64, 3), make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on shape mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFlattenUnflattenRoundTrip(t *testing.T) {
+	prop := func(a, b []float64) bool {
+		parts := [][]float64{append([]float64(nil), a...), append([]float64(nil), b...)}
+		flat := flatten(parts)
+		if len(flat) != len(a)+len(b) {
+			return false
+		}
+		for i := range flat {
+			flat[i] += 1
+		}
+		unflatten(flat, parts)
+		for i := range a {
+			if parts[0][i] != a[i]+1 {
+				return false
+			}
+		}
+		for i := range b {
+			if parts[1][i] != b[i]+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(x) = (x-3)^2.
+	params := []float64{0}
+	opt := NewAdam(1, 0.1)
+	for i := 0; i < 500; i++ {
+		grad := []float64{2 * (params[0] - 3)}
+		opt.Step(params, grad)
+	}
+	if math.Abs(params[0]-3) > 0.01 {
+		t.Errorf("Adam converged to %g, want 3", params[0])
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	g := []float64{3, 4} // norm 5
+	clipGrads(g, 1)
+	if math.Abs(math.Hypot(g[0], g[1])-1) > 1e-12 {
+		t.Errorf("clipped norm = %g", math.Hypot(g[0], g[1]))
+	}
+	h := []float64{0.3, 0.4}
+	clipGrads(h, 1)
+	if h[0] != 0.3 || h[1] != 0.4 {
+		t.Errorf("under-norm grads modified: %v", h)
+	}
+}
+
+// TestGRUGradientCheck verifies the analytic BPTT gradients against central
+// finite differences on a 3-step unrolled loss — the canonical correctness
+// test for a hand-written backward pass.
+func TestGRUGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const (
+		din    = 3
+		hidden = 4
+		steps  = 3
+		eps    = 1e-5
+	)
+	g := NewGRU(din, hidden, rng)
+	xs := make([][]float64, steps)
+	for i := range xs {
+		xs[i] = make([]float64, din)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+	}
+	target := make([]float64, hidden)
+	for i := range target {
+		target[i] = rng.NormFloat64()
+	}
+	// Loss: 0.5*||h_T - target||^2 after `steps` GRU steps.
+	loss := func() float64 {
+		h := make([]float64, hidden)
+		for _, x := range xs {
+			h, _ = g.Forward(x, h)
+		}
+		var l float64
+		for i := range h {
+			d := h[i] - target[i]
+			l += 0.5 * d * d
+		}
+		return l
+	}
+	// Analytic gradients.
+	h := make([]float64, hidden)
+	caches := make([]*GRUCache, steps)
+	for i, x := range xs {
+		h, caches[i] = g.Forward(x, h)
+	}
+	gr := g.NewGrads()
+	dh := make([]float64, hidden)
+	for i := range dh {
+		dh[i] = h[i] - target[i]
+	}
+	for i := steps - 1; i >= 0; i-- {
+		dh, _ = g.Backward(caches[i], dh, gr)
+	}
+	analytic := flatten(gr.slices())
+	params := g.params()
+	flat := flatten(params)
+	checked := 0
+	for pi := 0; pi < len(flat); pi += 4 { // sample every 4th parameter
+		orig := flat[pi]
+		flat[pi] = orig + eps
+		unflatten(flat, params)
+		lPlus := loss()
+		flat[pi] = orig - eps
+		unflatten(flat, params)
+		lMinus := loss()
+		flat[pi] = orig
+		unflatten(flat, params)
+		numeric := (lPlus - lMinus) / (2 * eps)
+		if diff := math.Abs(numeric - analytic[pi]); diff > 1e-5*(1+math.Abs(numeric)) {
+			t.Fatalf("param %d: numeric %g vs analytic %g", pi, numeric, analytic[pi])
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d parameters checked", checked)
+	}
+}
+
+// TestGRUInputGradientCheck verifies dx from Backward.
+func TestGRUInputGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const (
+		din    = 2
+		hidden = 3
+		eps    = 1e-5
+	)
+	g := NewGRU(din, hidden, rng)
+	x := []float64{0.5, -0.3}
+	h0 := []float64{0.1, -0.2, 0.3}
+	target := []float64{0.4, 0.2, -0.1}
+	loss := func(xv []float64) float64 {
+		h, _ := g.Forward(xv, h0)
+		var l float64
+		for i := range h {
+			d := h[i] - target[i]
+			l += 0.5 * d * d
+		}
+		return l
+	}
+	h, cache := g.Forward(x, h0)
+	dh := make([]float64, hidden)
+	for i := range dh {
+		dh[i] = h[i] - target[i]
+	}
+	_, dx := g.Backward(cache, dh, g.NewGrads())
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xp[i] += eps
+		lPlus := loss(xp)
+		xp[i] -= 2 * eps
+		lMinus := loss(xp)
+		numeric := (lPlus - lMinus) / (2 * eps)
+		if math.Abs(numeric-dx[i]) > 1e-6*(1+math.Abs(numeric)) {
+			t.Fatalf("dx[%d]: numeric %g vs analytic %g", i, numeric, dx[i])
+		}
+	}
+}
+
+func TestGRUForwardDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	g := NewGRU(2, 3, rng)
+	x := []float64{1, -1}
+	h0 := []float64{0, 0, 0}
+	h1, _ := g.Forward(x, h0)
+	h2, _ := g.Forward(x, h0)
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("forward pass not deterministic")
+		}
+	}
+	// State must stay bounded (gates + tanh).
+	for i := range h1 {
+		if math.Abs(h1[i]) > 1 {
+			t.Errorf("|h[%d]| = %g > 1", i, math.Abs(h1[i]))
+		}
+	}
+}
+
+func TestPredictorTrainingReducesLoss(t *testing.T) {
+	// Learnable task: slow sinusoids. Next-step prediction loss after
+	// training must beat the untrained model.
+	rng := rand.New(rand.NewSource(45))
+	var seqs [][][]float64
+	for s := 0; s < 12; s++ {
+		seq := make([][]float64, 40)
+		phase := rng.Float64() * 6
+		for t := range seq {
+			seq[t] = []float64{math.Sin(0.3*float64(t) + phase)}
+		}
+		seqs = append(seqs, seq)
+	}
+	evalLoss := func(p *Predictor) float64 {
+		var total float64
+		var n int
+		for _, seq := range seqs {
+			_, errs := p.HiddenStates(seq)
+			for _, e := range errs {
+				total += e
+				n++
+			}
+		}
+		return total / float64(n)
+	}
+	p := NewPredictor(1, 8, rng)
+	p.FitNormalizer(seqs)
+	before := evalLoss(p)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 6
+	last, err := p.Train(seqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := evalLoss(p)
+	if after >= before {
+		t.Errorf("training did not reduce loss: before %g after %g (train loss %g)", before, after, last)
+	}
+}
+
+func TestPredictorEmptyTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	p := NewPredictor(1, 4, rng)
+	if _, err := p.Train(nil, DefaultTrainConfig()); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestNormalizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	p := NewPredictor(2, 4, rng)
+	seqs := [][][]float64{{{10, -5}, {12, -7}, {14, -3}, {8, -5}}}
+	p.FitNormalizer(seqs)
+	if math.Abs(p.Mean[0]-11) > 1e-9 || math.Abs(p.Mean[1]+5) > 1e-9 {
+		t.Errorf("means = %v", p.Mean)
+	}
+	n := p.Normalize([]float64{11, -5})
+	if math.Abs(n[0]) > 1e-9 || math.Abs(n[1]) > 1e-9 {
+		t.Errorf("normalized mean not ~0: %v", n)
+	}
+}
+
+func TestGateTrainingSeparates(t *testing.T) {
+	// After training, the gate should fire more on high-surprise states
+	// than low-surprise ones.
+	rng := rand.New(rand.NewSource(48))
+	var seqs [][][]float64
+	for s := 0; s < 10; s++ {
+		seq := make([][]float64, 60)
+		for t := range seq {
+			v := 0.05 * rng.NormFloat64()
+			if t >= 30 { // volatile second half
+				v = 2 * math.Sin(2.5*float64(t))
+			}
+			seq[t] = []float64{v}
+		}
+		seqs = append(seqs, seq)
+	}
+	p := NewPredictor(1, 8, rng)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 5
+	if _, err := p.Train(seqs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	g := TrainGate(p, seqs, 3, 0.05, 1)
+	var flatLogit, volLogit float64
+	var nf, nv int
+	for _, seq := range seqs {
+		states, _ := p.HiddenStates(seq)
+		for t, h := range states {
+			if t < 25 {
+				flatLogit += g.Logit(h, 1)
+				nf++
+			} else if t >= 35 {
+				volLogit += g.Logit(h, 1)
+				nv++
+			}
+		}
+	}
+	if volLogit/float64(nv) <= flatLogit/float64(nf) {
+		t.Errorf("gate does not separate: flat %g vs volatile %g",
+			flatLogit/float64(nf), volLogit/float64(nv))
+	}
+}
+
+func TestGateGapRamp(t *testing.T) {
+	g := &Gate{W: []float64{0}, Kappa: 0.25}
+	if g.Logit([]float64{0}, 1) != 0 {
+		t.Error("gap 1 should add nothing")
+	}
+	if g.Logit([]float64{0}, 17) != 4 {
+		t.Errorf("gap 17 logit = %g, want 4", g.Logit([]float64{0}, 17))
+	}
+}
+
+func BenchmarkGRUForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGRU(6, 12, rng)
+	x := make([]float64, 6)
+	h := make([]float64, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, _ = g.Forward(x, h)
+	}
+}
+
+func BenchmarkPredictorTrainEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var seqs [][][]float64
+	for s := 0; s < 4; s++ {
+		seq := make([][]float64, 50)
+		for t := range seq {
+			seq[t] = []float64{math.Sin(0.2 * float64(t))}
+		}
+		seqs = append(seqs, seq)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPredictor(1, 8, rng)
+		cfg := DefaultTrainConfig()
+		cfg.Epochs = 1
+		if _, err := p.Train(seqs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package seccomm implements the encrypted sensor-to-server link: message
+// sealing with either a ChaCha20 stream cipher (the simulator's cipher,
+// §5.1) or an AES-128 block cipher in CBC mode (the MCU's cipher, which has
+// a hardware AES accelerator, §5.7), plus length-prefixed framing for the
+// TCP transport.
+//
+// The cipher choice matters to the side-channel: a stream cipher preserves
+// the plaintext length exactly, while a block cipher rounds it up to the
+// block size — coarsening, but not closing, the leak. AGE supports both by
+// sizing its fixed target to the wire (§4.5): as given for a stream cipher,
+// rounded to a block for a block cipher.
+package seccomm
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/chacha"
+)
+
+// CipherKind selects the sealing algorithm.
+type CipherKind int
+
+// The evaluated ciphers. The paper's simulator uses the bare ChaCha20
+// stream and the MCU uses AES-128-CBC; the AEAD variant adds RFC 7539's
+// Poly1305 authentication, which deployments should prefer — its constant
+// 16-byte tag leaves the message-size side-channel exactly as exposed.
+const (
+	// ChaCha20Stream is the IETF RFC 7539 stream cipher (simulator).
+	ChaCha20Stream CipherKind = iota
+	// AES128Block is AES-128-CBC with PKCS#7 padding (MCU hardware).
+	AES128Block
+	// ChaCha20Poly1305 is the RFC 7539 AEAD.
+	ChaCha20Poly1305
+)
+
+// String implements fmt.Stringer.
+func (k CipherKind) String() string {
+	switch k {
+	case ChaCha20Stream:
+		return "chacha20"
+	case AES128Block:
+		return "aes128-cbc"
+	case ChaCha20Poly1305:
+		return "chacha20-poly1305"
+	default:
+		return fmt.Sprintf("cipher(%d)", int(k))
+	}
+}
+
+// Sealer encrypts payloads into wire messages and back. Implementations are
+// stateful (nonce counters) and not safe for concurrent use.
+type Sealer interface {
+	// Seal encrypts a payload into a wire message.
+	Seal(plaintext []byte) ([]byte, error)
+	// Open decrypts a wire message back into the payload.
+	Open(message []byte) ([]byte, error)
+	// WireSize predicts the sealed size for a payload length — the
+	// quantity the attacker observes.
+	WireSize(plaintextLen int) int
+	// Kind reports the cipher in use.
+	Kind() CipherKind
+}
+
+// NewSealer constructs a sealer of the given kind. key must be 32 bytes for
+// ChaCha20 and 16 bytes for AES-128. Peers must construct sealers with the
+// same key and kind; nonces/IVs travel in the message.
+func NewSealer(kind CipherKind, key []byte) (Sealer, error) {
+	switch kind {
+	case ChaCha20Stream:
+		if len(key) != chacha.KeySize {
+			return nil, fmt.Errorf("seccomm: chacha20 key must be %d bytes", chacha.KeySize)
+		}
+		return &chachaSealer{key: append([]byte(nil), key...)}, nil
+	case AES128Block:
+		if len(key) != 16 {
+			return nil, errors.New("seccomm: aes-128 key must be 16 bytes")
+		}
+		block, err := aes.NewCipher(key)
+		if err != nil {
+			return nil, err
+		}
+		return &aesSealer{block: block}, nil
+	case ChaCha20Poly1305:
+		aead, err := chacha.NewAEAD(key)
+		if err != nil {
+			return nil, err
+		}
+		return &aeadSealer{aead: aead}, nil
+	default:
+		return nil, fmt.Errorf("seccomm: unknown cipher kind %d", kind)
+	}
+}
+
+// chachaSealer seals with ChaCha20 using a 12-byte counter nonce carried in
+// the message, the standard low-power pattern (a message counter instead of
+// a random nonce avoids an RNG on the sensor).
+type chachaSealer struct {
+	key     []byte
+	counter uint64
+}
+
+func (s *chachaSealer) Kind() CipherKind { return ChaCha20Stream }
+
+func (s *chachaSealer) WireSize(plaintextLen int) int {
+	return chacha.NonceSize + plaintextLen
+}
+
+func (s *chachaSealer) Seal(plaintext []byte) ([]byte, error) {
+	nonce := make([]byte, chacha.NonceSize)
+	binary.BigEndian.PutUint64(nonce[4:], s.counter)
+	s.counter++
+	ct, err := chacha.Encrypt(s.key, nonce, plaintext)
+	if err != nil {
+		return nil, err
+	}
+	return append(nonce, ct...), nil
+}
+
+func (s *chachaSealer) Open(message []byte) ([]byte, error) {
+	if len(message) < chacha.NonceSize {
+		return nil, errors.New("seccomm: message shorter than nonce")
+	}
+	return chacha.Encrypt(s.key, message[:chacha.NonceSize], message[chacha.NonceSize:])
+}
+
+// aesSealer seals with AES-128-CBC and PKCS#7 padding; the IV is a counter
+// block carried in the message.
+type aesSealer struct {
+	block   cipher.Block
+	counter uint64
+}
+
+func (s *aesSealer) Kind() CipherKind { return AES128Block }
+
+func (s *aesSealer) WireSize(plaintextLen int) int {
+	padded := (plaintextLen/aes.BlockSize + 1) * aes.BlockSize // PKCS#7 always pads
+	return aes.BlockSize + padded
+}
+
+func (s *aesSealer) Seal(plaintext []byte) ([]byte, error) {
+	iv := make([]byte, aes.BlockSize)
+	binary.BigEndian.PutUint64(iv[8:], s.counter)
+	s.counter++
+	pad := aes.BlockSize - len(plaintext)%aes.BlockSize
+	padded := make([]byte, len(plaintext)+pad)
+	copy(padded, plaintext)
+	for i := len(plaintext); i < len(padded); i++ {
+		padded[i] = byte(pad)
+	}
+	out := make([]byte, aes.BlockSize+len(padded))
+	copy(out, iv)
+	cipher.NewCBCEncrypter(s.block, iv).CryptBlocks(out[aes.BlockSize:], padded)
+	return out, nil
+}
+
+func (s *aesSealer) Open(message []byte) ([]byte, error) {
+	if len(message) < 2*aes.BlockSize || (len(message)-aes.BlockSize)%aes.BlockSize != 0 {
+		return nil, errors.New("seccomm: malformed aes message")
+	}
+	iv := message[:aes.BlockSize]
+	ct := message[aes.BlockSize:]
+	pt := make([]byte, len(ct))
+	cipher.NewCBCDecrypter(s.block, iv).CryptBlocks(pt, ct)
+	pad := int(pt[len(pt)-1])
+	if pad < 1 || pad > aes.BlockSize || pad > len(pt) {
+		return nil, errors.New("seccomm: bad padding")
+	}
+	for _, b := range pt[len(pt)-pad:] {
+		if int(b) != pad {
+			return nil, errors.New("seccomm: bad padding")
+		}
+	}
+	return pt[:len(pt)-pad], nil
+}
+
+// aeadSealer seals with ChaCha20-Poly1305; the counter nonce and the tag
+// travel in the message.
+type aeadSealer struct {
+	aead    *chacha.AEAD
+	counter uint64
+}
+
+func (s *aeadSealer) Kind() CipherKind { return ChaCha20Poly1305 }
+
+func (s *aeadSealer) WireSize(plaintextLen int) int {
+	return chacha.NonceSize + plaintextLen + chacha.TagSize
+}
+
+func (s *aeadSealer) Seal(plaintext []byte) ([]byte, error) {
+	nonce := make([]byte, chacha.NonceSize)
+	binary.BigEndian.PutUint64(nonce[4:], s.counter)
+	s.counter++
+	sealed, err := s.aead.Seal(nonce, plaintext, nil)
+	if err != nil {
+		return nil, err
+	}
+	return append(nonce, sealed...), nil
+}
+
+func (s *aeadSealer) Open(message []byte) ([]byte, error) {
+	if len(message) < chacha.NonceSize+chacha.TagSize {
+		return nil, errors.New("seccomm: aead message too short")
+	}
+	return s.aead.Open(message[:chacha.NonceSize], message[chacha.NonceSize:], nil)
+}
+
+// RoundTargetToCipher adjusts AGE's target payload size so the *wire*
+// message has a clean fixed size under the given cipher (§4.5): unchanged
+// for a stream cipher, rounded down to fill whole AES blocks for a block
+// cipher (PKCS#7 always adds 1..16 bytes, so a target of 16k-1 payload
+// bytes yields exactly k blocks).
+func RoundTargetToCipher(target int, kind CipherKind) int {
+	if kind != AES128Block {
+		return target
+	}
+	blocks := (target + 1 + aes.BlockSize - 1) / aes.BlockSize
+	r := blocks*aes.BlockSize - 1
+	if r < 1 {
+		r = aes.BlockSize - 1
+	}
+	return r
+}
+
+// MaxFrameSize bounds a frame's payload, set by the 2-byte length prefix.
+const MaxFrameSize = 1<<16 - 1
+
+// WriteFrame writes a length-prefixed message: 2-byte big-endian length
+// followed by the bytes. The prefix models the link layer; the attacker
+// reads it (and the observable packet length) to learn the message size.
+func WriteFrame(w io.Writer, msg []byte) error {
+	if len(msg) > MaxFrameSize {
+		return fmt.Errorf("seccomm: frame %dB exceeds max %d", len(msg), MaxFrameSize)
+	}
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(msg)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	msg := make([]byte, binary.BigEndian.Uint16(hdr[:]))
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}

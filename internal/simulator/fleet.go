@@ -1,0 +1,235 @@
+package simulator
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/reconstruct"
+	"repro/internal/seccomm"
+)
+
+// Fleet simulation: the paper's deployments are networks of sensors —
+// FarmBeats fields, ZebraNet herds (§2.1, §3.3) — all reporting to one base
+// station over a shared medium. Each sensor holds its own key and encoder;
+// the server demultiplexes by a cleartext sensor id, which is realistic
+// (radio MACs identify senders) and is what lets the attacker attribute
+// messages to sensors, an assumption the threat model makes explicitly
+// (§3.1). RunFleet drives every sensor concurrently over one real TCP
+// connection per sensor and aggregates the eavesdropper's view across the
+// fleet.
+
+// FleetConfig drives a multi-sensor run. All sensors share the task shape
+// (T, d, format) and encoder kind but hold distinct keys.
+type FleetConfig struct {
+	// Base carries the shared task parameters (Dataset supplies the
+	// metadata and the per-sensor sequence partition).
+	Base RunConfig
+	// Sensors is the fleet size; the Base dataset's sequences are dealt
+	// round-robin across sensors.
+	Sensors int
+}
+
+// FleetResult aggregates the fleet run.
+type FleetResult struct {
+	// PerSensorMAE indexes reconstruction error by sensor id.
+	PerSensorMAE []float64
+	// SizesByLabel pools the eavesdropper's observations across the whole
+	// fleet (the attacker sees every flow).
+	SizesByLabel map[int][]int
+	// Messages counts frames the server demultiplexed.
+	Messages int
+}
+
+// RunFleet partitions the configured dataset across n concurrent sensors,
+// each streaming encrypted frames over its own TCP loopback connection to a
+// single server goroutine pool, and returns the pooled attacker view plus
+// per-sensor error.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	n := cfg.Sensors
+	if n < 1 {
+		return nil, fmt.Errorf("simulator: fleet needs at least one sensor")
+	}
+	if cfg.Base.Dataset == nil || len(cfg.Base.Dataset.Sequences) < n {
+		return nil, fmt.Errorf("simulator: dataset too small for %d sensors", n)
+	}
+	meta := cfg.Base.Dataset.Meta
+	coreCfg := core.Config{
+		T: meta.SeqLen, D: meta.NumFeatures, Format: meta.Format,
+		TargetBytes: core.TargetBytesForRate(cfg.Base.Rate, meta.SeqLen, meta.NumFeatures, meta.Format.Width),
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+
+	res := &FleetResult{
+		PerSensorMAE: make([]float64, n),
+		SizesByLabel: map[int][]int{},
+	}
+	var mu sync.Mutex // guards res aggregation from server goroutines
+
+	// Partition sequences round-robin.
+	parts := make([][]int, n) // sequence indices per sensor
+	for i := range cfg.Base.Dataset.Sequences {
+		parts[i%n] = append(parts[i%n], i)
+	}
+
+	var serverWG, sensorWG sync.WaitGroup
+	errs := make(chan error, 2*n)
+
+	// Server: accept one connection per sensor; each handler decodes,
+	// reconstructs, and aggregates.
+	serverWG.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer serverWG.Done()
+			conn, err := ln.Accept()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			if err := serveFleetSensor(conn, cfg, coreCfg, parts, res, &mu); err != nil {
+				errs <- err
+			}
+		}()
+	}
+
+	// Sensors: one goroutine each, own key and encoder state.
+	sensorWG.Add(n)
+	for s := 0; s < n; s++ {
+		go func(sensorID int) {
+			defer sensorWG.Done()
+			if err := runFleetSensor(sensorID, ln.Addr().String(), cfg, coreCfg, parts[sensorID]); err != nil {
+				errs <- err
+			}
+		}(s)
+	}
+
+	sensorWG.Wait()
+	serverWG.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// fleetKey derives a per-sensor key (shared out of band in a real system).
+func fleetKey(sensorID int, cipher seccomm.CipherKind) []byte {
+	n := 32
+	if cipher == seccomm.AES128Block {
+		n = 16
+	}
+	key := make([]byte, n)
+	for i := range key {
+		key[i] = byte(sensorID*31 + i*7 + 5)
+	}
+	return key
+}
+
+// runFleetSensor streams one sensor's assigned sequences.
+func runFleetSensor(sensorID int, addr string, cfg FleetConfig, coreCfg core.Config, seqIdx []int) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// Identify: 2-byte sensor id (cleartext, like a MAC address).
+	var hello [2]byte
+	binary.BigEndian.PutUint16(hello[:], uint16(sensorID))
+	if _, err := conn.Write(hello[:]); err != nil {
+		return err
+	}
+	encs, err := buildEncoder(cfg.Base.Encoder, coreCfg, cfg.Base.Cipher)
+	if err != nil {
+		return err
+	}
+	sealer, err := seccomm.NewSealer(cfg.Base.Cipher, fleetKey(sensorID, cfg.Base.Cipher))
+	if err != nil {
+		return err
+	}
+	rng := newSeededRand(cfg.Base.Seed + int64(sensorID))
+	for _, si := range seqIdx {
+		seq := cfg.Base.Dataset.Sequences[si]
+		idx := cfg.Base.Policy.Sample(seq.Values, rng)
+		vals := make([][]float64, len(idx))
+		for i, t := range idx {
+			vals[i] = seq.Values[t]
+		}
+		payload, err := encs.enc.Encode(core.Batch{Indices: idx, Values: vals})
+		if err != nil {
+			return err
+		}
+		msg, err := sealer.Seal(payload)
+		if err != nil {
+			return err
+		}
+		if err := seccomm.WriteFrame(conn, msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveFleetSensor handles one sensor's connection on the server.
+func serveFleetSensor(conn net.Conn, cfg FleetConfig, coreCfg core.Config, parts [][]int, res *FleetResult, mu *sync.Mutex) error {
+	var hello [2]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return fmt.Errorf("fleet server: hello: %w", err)
+	}
+	sensorID := int(binary.BigEndian.Uint16(hello[:]))
+	if sensorID < 0 || sensorID >= len(parts) {
+		return fmt.Errorf("fleet server: unknown sensor %d", sensorID)
+	}
+	encs, err := buildEncoder(cfg.Base.Encoder, coreCfg, cfg.Base.Cipher)
+	if err != nil {
+		return err
+	}
+	opener, err := seccomm.NewSealer(cfg.Base.Cipher, fleetKey(sensorID, cfg.Base.Cipher))
+	if err != nil {
+		return err
+	}
+	meta := cfg.Base.Dataset.Meta
+	var acc reconstruct.Accumulator
+	for _, si := range parts[sensorID] {
+		seq := cfg.Base.Dataset.Sequences[si]
+		msg, err := seccomm.ReadFrame(conn)
+		if err != nil {
+			return fmt.Errorf("fleet server: frame: %w", err)
+		}
+		payload, err := opener.Open(msg)
+		if err != nil {
+			return err
+		}
+		batch, err := encs.dec.Decode(payload)
+		if err != nil {
+			return err
+		}
+		recon, err := reconstruct.Linear(batch.Indices, batch.Values, meta.SeqLen, meta.NumFeatures)
+		if err != nil {
+			return err
+		}
+		mae, err := reconstruct.MAE(recon, seq.Values)
+		if err != nil {
+			return err
+		}
+		acc.Add(mae, 1)
+		mu.Lock()
+		res.SizesByLabel[seq.Label] = append(res.SizesByLabel[seq.Label], len(msg))
+		res.Messages++
+		mu.Unlock()
+	}
+	mu.Lock()
+	res.PerSensorMAE[sensorID] = acc.MAE()
+	mu.Unlock()
+	return nil
+}

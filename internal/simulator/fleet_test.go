@@ -1,0 +1,131 @@
+package simulator
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/policy"
+	"repro/internal/seccomm"
+	"repro/internal/stats"
+)
+
+func fleetConfig(t *testing.T, enc EncoderKind, sensors int) FleetConfig {
+	t.Helper()
+	d, p := fixture(t, 0.7)
+	return FleetConfig{
+		Base: RunConfig{
+			Dataset: d, Policy: p, Encoder: enc,
+			Cipher: seccomm.ChaCha20Stream, Rate: 0.7,
+			Model: energy.Default(), Seed: 1,
+		},
+		Sensors: sensors,
+	}
+}
+
+func TestFleetDeliversEverything(t *testing.T) {
+	cfg := fleetConfig(t, EncAGE, 4)
+	res, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != len(cfg.Base.Dataset.Sequences) {
+		t.Errorf("server saw %d messages, want %d", res.Messages, len(cfg.Base.Dataset.Sequences))
+	}
+	for s, mae := range res.PerSensorMAE {
+		if mae <= 0 {
+			t.Errorf("sensor %d MAE = %g", s, mae)
+		}
+	}
+}
+
+func TestFleetAGEZeroNMIAcrossSensors(t *testing.T) {
+	// The attacker pools observations across the whole fleet; AGE's
+	// protection must survive aggregation.
+	res, err := RunFleet(fleetConfig(t, EncAGE, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels, sizes []int
+	for l, ss := range res.SizesByLabel {
+		for _, s := range ss {
+			labels = append(labels, l)
+			sizes = append(sizes, s)
+		}
+	}
+	if nmi := stats.NMI(labels, sizes); nmi != 0 {
+		t.Errorf("fleet-wide AGE NMI = %g, want 0", nmi)
+	}
+}
+
+func TestFleetStandardLeaksAcrossSensors(t *testing.T) {
+	res, err := RunFleet(fleetConfig(t, EncStandard, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels, sizes []int
+	for l, ss := range res.SizesByLabel {
+		for _, s := range ss {
+			labels = append(labels, l)
+			sizes = append(sizes, s)
+		}
+	}
+	if nmi := stats.NMI(labels, sizes); nmi <= 0 {
+		t.Error("fleet-wide standard encoding shows no leakage")
+	}
+}
+
+func TestFleetKeysAreDistinct(t *testing.T) {
+	a := fleetKey(0, seccomm.ChaCha20Stream)
+	b := fleetKey(1, seccomm.ChaCha20Stream)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("sensors share a key")
+	}
+	if len(fleetKey(0, seccomm.AES128Block)) != 16 {
+		t.Error("AES fleet key not 16 bytes")
+	}
+}
+
+func TestFleetErrors(t *testing.T) {
+	cfg := fleetConfig(t, EncAGE, 0)
+	if _, err := RunFleet(cfg); err == nil {
+		t.Error("zero sensors accepted")
+	}
+	cfg = fleetConfig(t, EncAGE, 10000)
+	if _, err := RunFleet(cfg); err == nil {
+		t.Error("fleet larger than dataset accepted")
+	}
+}
+
+func TestFleetSingleSensorMatchesSocketPath(t *testing.T) {
+	// A fleet of one is the plain socket pipeline.
+	d := dataset.MustLoad("epilepsy", dataset.Options{Seed: 3, MaxSequences: 12})
+	var train [][][]float64
+	for _, s := range d.Sequences {
+		train = append(train, s.Values)
+	}
+	fit, err := policy.Fit(policy.KindLinear, train, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := FleetConfig{
+		Base: RunConfig{
+			Dataset: d, Policy: policy.NewLinear(fit.Threshold), Encoder: EncAGE,
+			Cipher: seccomm.ChaCha20Stream, Rate: 0.7, Model: energy.Default(), Seed: 1,
+		},
+		Sensors: 1,
+	}
+	res, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 12 {
+		t.Errorf("messages = %d", res.Messages)
+	}
+}

@@ -1,0 +1,7 @@
+package simulator
+
+import "math/rand"
+
+// newSeededRand returns a deterministic rand for per-sequence sampling in
+// socket mode, so the sensor's choices are reproducible across runs.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,172 @@
+package simulator
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/reconstruct"
+	"repro/internal/seccomm"
+)
+
+// This file implements the artifact's process topology: the sensor and the
+// server run as separate actors connected by a local (encrypted) socket. The
+// in-process Run is the fast path for parameter sweeps; RunOverSocket drives
+// the identical pipeline through a real TCP loopback connection, which the
+// integration tests and examples use.
+
+// Sensor samples sequences, encodes batches, seals them, and writes frames
+// to the connection.
+type Sensor struct {
+	cfg    RunConfig
+	enc    core.Encoder
+	sealer seccomm.Sealer
+}
+
+// Server reads frames, opens and decodes them, and reconstructs sequences.
+type Server struct {
+	meta   dataset.Meta
+	dec    core.Decoder
+	opener seccomm.Sealer
+}
+
+// ServerResult is what the server learns about one received batch.
+type ServerResult struct {
+	WireBytes int
+	Recon     [][]float64
+}
+
+// NewSensorServer builds a matched sensor/server pair for a run
+// configuration.
+func NewSensorServer(cfg RunConfig) (*Sensor, *Server, error) {
+	meta := cfg.Dataset.Meta
+	coreCfg := core.Config{
+		T: meta.SeqLen, D: meta.NumFeatures, Format: meta.Format,
+		TargetBytes: core.TargetBytesForRate(cfg.Rate, meta.SeqLen, meta.NumFeatures, meta.Format.Width),
+	}
+	encs, err := buildEncoder(cfg.Encoder, coreCfg, cfg.Cipher)
+	if err != nil {
+		return nil, nil, err
+	}
+	sealer, opener, err := sealerPair(cfg.Cipher)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Sensor{cfg: cfg, enc: encs.enc, sealer: sealer},
+		&Server{meta: meta, dec: encs.dec, opener: opener}, nil
+}
+
+// SendSequence samples one sequence with the sensor's policy, encodes and
+// seals the batch, and writes it as one frame. It returns the collected
+// count and the wire size.
+func (s *Sensor) SendSequence(conn net.Conn, seq [][]float64, seed int64) (collected, wireBytes int, err error) {
+	idx := s.cfg.Policy.Sample(seq, newSeededRand(seed))
+	vals := make([][]float64, len(idx))
+	for i, t := range idx {
+		vals[i] = seq[t]
+	}
+	payload, err := s.enc.Encode(core.Batch{Indices: idx, Values: vals})
+	if err != nil {
+		return 0, 0, fmt.Errorf("sensor: encode: %w", err)
+	}
+	msg, err := s.sealer.Seal(payload)
+	if err != nil {
+		return 0, 0, fmt.Errorf("sensor: seal: %w", err)
+	}
+	if err := seccomm.WriteFrame(conn, msg); err != nil {
+		return 0, 0, fmt.Errorf("sensor: write: %w", err)
+	}
+	return len(idx), len(msg), nil
+}
+
+// ReceiveSequence reads one frame, opens and decodes it, and reconstructs
+// the full sequence.
+func (s *Server) ReceiveSequence(conn net.Conn) (*ServerResult, error) {
+	msg, err := seccomm.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("server: read: %w", err)
+	}
+	payload, err := s.opener.Open(msg)
+	if err != nil {
+		return nil, fmt.Errorf("server: open: %w", err)
+	}
+	batch, err := s.dec.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("server: decode: %w", err)
+	}
+	recon, err := reconstruct.Linear(batch.Indices, batch.Values, s.meta.SeqLen, s.meta.NumFeatures)
+	if err != nil {
+		return nil, fmt.Errorf("server: reconstruct: %w", err)
+	}
+	return &ServerResult{WireBytes: len(msg), Recon: recon}, nil
+}
+
+// SocketResult aggregates a socket-mode run.
+type SocketResult struct {
+	MAE          float64
+	SizesByLabel map[int][]int
+}
+
+// RunOverSocket executes the pipeline over a real TCP loopback connection:
+// the sensor goroutine streams every sequence; the server (caller goroutine)
+// receives, reconstructs, and scores. Energy/budget accounting is the
+// in-process Run's job; this path validates the transport stack end to end.
+func RunOverSocket(cfg RunConfig) (*SocketResult, error) {
+	sensor, server, err := NewSensorServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	var sensorErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			sensorErr = err
+			return
+		}
+		defer conn.Close()
+		for i, seq := range cfg.Dataset.Sequences {
+			if _, _, err := sensor.SendSequence(conn, seq.Values, cfg.Seed+int64(i)); err != nil {
+				sensorErr = err
+				return
+			}
+		}
+	}()
+
+	conn, err := ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	res := &SocketResult{SizesByLabel: map[int][]int{}}
+	var acc reconstruct.Accumulator
+	for _, seq := range cfg.Dataset.Sequences {
+		sr, err := server.ReceiveSequence(conn)
+		if err != nil {
+			return nil, err
+		}
+		mae, err := reconstruct.MAE(sr.Recon, seq.Values)
+		if err != nil {
+			return nil, err
+		}
+		acc.Add(mae, 1)
+		res.SizesByLabel[seq.Label] = append(res.SizesByLabel[seq.Label], sr.WireBytes)
+	}
+	wg.Wait()
+	if sensorErr != nil {
+		return nil, fmt.Errorf("simulator: sensor: %w", sensorErr)
+	}
+	res.MAE = acc.MAE()
+	return res, nil
+}

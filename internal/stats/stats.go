@@ -1,0 +1,338 @@
+// Package stats implements the statistical machinery the paper's evaluation
+// relies on: Shannon entropy and normalized mutual information between
+// message sizes and event labels (§5.3, Eq. 3), approximate permutation tests
+// for NMI significance, Welch's t-test for conditional message-size
+// distributions (§3.2) and budget-violation detection (§5.7), and the
+// descriptive statistics (mean, std, median, IQR) used throughout.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance, or 0 when len < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// PopStdDev returns the population (n) standard deviation, used for the
+// deviation-weighted error metric in Table 5.
+func PopStdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy default).
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// IQR returns the interquartile range (Q3 - Q1).
+func IQR(xs []float64) float64 { return Quantile(xs, 0.75) - Quantile(xs, 0.25) }
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Entropy returns the Shannon entropy (bits) of the empirical distribution
+// of the discrete observations in labels.
+func Entropy(labels []int) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	counts := map[int]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	n := float64(len(labels))
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// MutualInformation returns the maximum-likelihood estimate of I(X;Y) in bits
+// between two paired discrete observation sequences. It panics if the slices
+// have different lengths.
+func MutualInformation(xs, ys []int) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: MutualInformation length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	n := float64(len(xs))
+	px := map[int]float64{}
+	py := map[int]float64{}
+	pxy := map[[2]int]float64{}
+	for i := range xs {
+		px[xs[i]]++
+		py[ys[i]]++
+		pxy[[2]int{xs[i], ys[i]}]++
+	}
+	var mi float64
+	for k, c := range pxy {
+		pj := c / n
+		mi += pj * math.Log2(pj/(px[k[0]]/n*py[k[1]]/n))
+	}
+	if mi < 0 { // guard tiny negative round-off
+		mi = 0
+	}
+	return mi
+}
+
+// NMI returns the normalized mutual information of the paper's Eq. 3:
+//
+//	NMI(L, M) = 2 I(L; M) / (H(L) + H(M))
+//
+// It is 0 when either marginal entropy is 0 (a constant sequence carries no
+// information, so nothing can leak).
+func NMI(labels, sizes []int) float64 {
+	hl := Entropy(labels)
+	hm := Entropy(sizes)
+	if hl+hm == 0 {
+		return 0
+	}
+	return 2 * MutualInformation(labels, sizes) / (hl + hm)
+}
+
+// PermutationTestResult reports the outcome of an approximate permutation
+// test on NMI (§5.3).
+type PermutationTestResult struct {
+	Observed float64 // NMI on the real pairing
+	PValue   float64 // fraction of permutations with NMI >= Observed
+	// CILow and CIHigh bound the 95% confidence interval
+	// p ± 1.96/(2*sqrt(n)) from Ojala & Garriga, as used in §5.3.
+	CILow, CIHigh float64
+	Permutations  int
+}
+
+// Significant reports whether the entire 95% confidence interval of the
+// p-value lies below alpha, the criterion the paper uses.
+func (r PermutationTestResult) Significant(alpha float64) bool {
+	return r.CIHigh < alpha
+}
+
+// PermutationTestNMI shuffles sizes n times and recomputes NMI against the
+// fixed labels. The null hypothesis is that the observed NMI arises from
+// random variation rather than any dependence of sizes on labels.
+func PermutationTestNMI(labels, sizes []int, n int, rng *rand.Rand) PermutationTestResult {
+	obs := NMI(labels, sizes)
+	perm := append([]int(nil), sizes...)
+	exceed := 0
+	for i := 0; i < n; i++ {
+		rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		if NMI(labels, perm) >= obs {
+			exceed++
+		}
+	}
+	// Add-one smoothing keeps the estimate away from an impossible 0.
+	p := (float64(exceed) + 1) / (float64(n) + 1)
+	half := 1.96 / (2 * math.Sqrt(float64(n)))
+	return PermutationTestResult{
+		Observed:     obs,
+		PValue:       p,
+		CILow:        math.Max(0, p-half),
+		CIHigh:       math.Min(1, p+half),
+		Permutations: n,
+	}
+}
+
+// WelchResult reports a two-sample Welch's t-test.
+type WelchResult struct {
+	T  float64 // t statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchTTest performs Welch's unequal-variances t-test between samples a and
+// b. The paper uses it to show the per-event message-size distributions
+// differ (§3.2, alpha=0.01) and to detect budget violations (§5.7,
+// one-sided alpha=0.05; halve P for the one-sided test).
+func WelchTTest(a, b []float64) WelchResult {
+	na, nb := float64(len(a)), float64(len(b))
+	if na < 2 || nb < 2 {
+		return WelchResult{P: 1}
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a)/na, Variance(b)/nb
+	if va+vb == 0 {
+		if ma == mb {
+			return WelchResult{P: 1, DF: na + nb - 2}
+		}
+		return WelchResult{T: math.Inf(sign(ma - mb)), DF: na + nb - 2, P: 0}
+	}
+	t := (ma - mb) / math.Sqrt(va+vb)
+	df := (va + vb) * (va + vb) / (va*va/(na-1) + vb*vb/(nb-1))
+	p := 2 * studentTSF(math.Abs(t), df)
+	return WelchResult{T: t, DF: df, P: p}
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTSF returns P(T > t) for Student's t distribution with df degrees of
+// freedom, via the regularized incomplete beta function.
+func studentTSF(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes §6.4).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
