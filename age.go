@@ -28,6 +28,7 @@
 package age
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -270,16 +271,37 @@ func SimulateOverSocket(cfg SimulationConfig) (*simulator.SocketResult, error) {
 
 // FleetConfig drives a multi-sensor deployment: the dataset's sequences are
 // partitioned across concurrent sensors, each with its own key and TCP
-// connection to the server.
+// connection to the server. Transport knobs (DialTimeout, DialAttempts,
+// DialBackoff, IOTimeout, WriteAttempts, Timeout) bound every network
+// operation; zero values select generous defaults.
 type FleetConfig = simulator.FleetConfig
 
 // FleetResult aggregates a fleet run: per-sensor error plus the pooled
-// eavesdropper view.
+// eavesdropper view. Sensors holds one FleetSensorStatus per sensor, so a
+// dead sensor degrades the result instead of aborting the run.
 type FleetResult = simulator.FleetResult
 
+// FleetSensorStatus records one sensor's delivery outcome: sequences
+// assigned vs delivered, dial attempts, and any sensor- or server-side error.
+type FleetSensorStatus = simulator.FleetSensorStatus
+
+// FleetFaults injects transport failures into a fleet run (sensors that
+// never dial, die or stall mid-stream, or whose link the server drops) for
+// resilience testing.
+type FleetFaults = simulator.FleetFaults
+
 // SimulateFleet runs a concurrent multi-sensor deployment (FarmBeats fields,
-// ZebraNet herds) against one server.
+// ZebraNet herds) against one server. Per-sensor failures land in
+// FleetResult.Sensors; it returns an error only when setup fails, every
+// sensor fails, or the run is cancelled.
 func SimulateFleet(cfg FleetConfig) (*FleetResult, error) { return simulator.RunFleet(cfg) }
+
+// SimulateFleetContext is SimulateFleet under a caller context: cancellation
+// closes the listener and every live connection, and the partial FleetResult
+// is returned alongside the cancellation error.
+func SimulateFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error) {
+	return simulator.RunFleetContext(ctx, cfg)
+}
 
 // EnergyModel holds the MSP430 FR5994 + HM-10 BLE trace constants.
 type EnergyModel = energy.Model

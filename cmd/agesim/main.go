@@ -6,6 +6,7 @@
 //
 //	agesim -dataset epilepsy -policy linear -encoder age -rate 0.7
 //	agesim -dataset tiselac -policy deviation -encoder padded -cipher aes -socket
+//	agesim -dataset activity -encoder age -fleet 20 -io-timeout 2s
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/energy"
@@ -33,7 +35,13 @@ func main() {
 		maxSeq  = flag.Int("max-seq", 96, "sequences to simulate (0 = full dataset)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		socket  = flag.Bool("socket", false, "run sensor and server over a real TCP loopback socket")
+		fleet   = flag.Int("fleet", 0, "run N concurrent sensors against one server (0 = single sensor)")
 		list    = flag.Bool("list", false, "list datasets and exit")
+
+		ioTimeout    = flag.Duration("io-timeout", 0, "per-frame read/write deadline in socket/fleet mode (0 = default 5s)")
+		dialTimeout  = flag.Duration("dial-timeout", 0, "fleet: single TCP connect attempt bound (0 = default 2s)")
+		dialAttempts = flag.Int("dial-attempts", 0, "fleet: connect attempts per sensor with exponential backoff (0 = default 4)")
+		runTimeout   = flag.Duration("run-timeout", 0, "fleet: whole-run bound; on expiry the partial result is reported (0 = none)")
 	)
 	flag.Parse()
 	if *list {
@@ -58,13 +66,24 @@ func main() {
 		ck = seccomm.AES128Block
 	}
 	cfg := simulator.RunConfig{
-		Dataset: data,
-		Policy:  pol,
-		Encoder: simulator.EncoderKind(*encName),
-		Cipher:  ck,
-		Rate:    *rate,
-		Model:   energy.Default(),
-		Seed:    *seed,
+		Dataset:   data,
+		Policy:    pol,
+		Encoder:   simulator.EncoderKind(*encName),
+		Cipher:    ck,
+		Rate:      *rate,
+		Model:     energy.Default(),
+		Seed:      *seed,
+		IOTimeout: *ioTimeout,
+	}
+
+	if *fleet > 0 {
+		runFleet(cfg, *fleet, *dsName, *encName, fleetTransport{
+			dialTimeout:  *dialTimeout,
+			dialAttempts: *dialAttempts,
+			ioTimeout:    *ioTimeout,
+			runTimeout:   *runTimeout,
+		})
+		return
 	}
 
 	if *socket {
@@ -89,6 +108,52 @@ func main() {
 	fmt.Printf("energy:         %.1f mJ (budget %.1f mJ)\n", res.TotalEnergyMJ, res.BudgetMJ)
 	fmt.Printf("violations:     %d\n", res.Violations)
 	printSizes(res.SizesByLabel, *dsName)
+}
+
+// fleetTransport carries the command-line transport knobs into a FleetConfig.
+type fleetTransport struct {
+	dialTimeout  time.Duration
+	dialAttempts int
+	ioTimeout    time.Duration
+	runTimeout   time.Duration
+}
+
+// runFleet drives N concurrent sensors against one server over real TCP
+// loopback connections and reports per-sensor delivery alongside the pooled
+// attacker view. Per-sensor failures degrade the run; only setup errors,
+// full-fleet failure, or a run timeout abort it.
+func runFleet(base simulator.RunConfig, sensors int, dsName, encName string, tr fleetTransport) {
+	fcfg := simulator.FleetConfig{
+		Base:         base,
+		Sensors:      sensors,
+		DialTimeout:  tr.dialTimeout,
+		DialAttempts: tr.dialAttempts,
+		IOTimeout:    tr.ioTimeout,
+		Timeout:      tr.runTimeout,
+	}
+	res, err := simulator.RunFleet(fcfg)
+	if err != nil {
+		if res == nil {
+			log.Fatal(err)
+		}
+		// Partial result (cancellation or full-fleet failure): report what
+		// arrived, then the error.
+		defer log.Fatal(err)
+	}
+	fmt.Printf("fleet run: %s / %s, %d sensors, %d frames delivered, %d sensors failed\n",
+		dsName, encName, sensors, res.Messages, res.Failed)
+	for _, st := range res.Sensors {
+		line := fmt.Sprintf("  sensor %3d: %d/%d frames, %d dial attempt(s), MAE %.4f",
+			st.Sensor, st.Delivered, st.Assigned, st.DialAttempts, res.PerSensorMAE[st.Sensor])
+		if e := st.Err(); e != "" {
+			line += "  [" + e + "]"
+		}
+		fmt.Println(line)
+	}
+	for _, u := range res.Unattributed {
+		fmt.Printf("  unattributed connection: %s\n", u)
+	}
+	printSizes(res.SizesByLabel, dsName)
 }
 
 func buildPolicy(name string, data *dataset.Dataset, rate float64, seed int64) (policy.Policy, error) {

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	age "repro"
 )
@@ -41,6 +42,12 @@ func main() {
 				Seed:    2,
 			},
 			Sensors: herd,
+			// Wildlife links are intermittent; bound every frame and every
+			// connect attempt so a quiet collar degrades the run instead of
+			// hanging the base station.
+			IOTimeout:    2 * time.Second,
+			DialTimeout:  time.Second,
+			DialAttempts: 3,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -67,4 +74,40 @@ func main() {
 	}
 	fmt.Println("With Standard encoding the herd's traffic is a readable activity")
 	fmt.Println("log; with AGE every collar's every batch is the same size.")
+
+	// Herds lose collars: one runs out of battery before the window, one
+	// dies mid-stream. The run degrades — surviving collars deliver and the
+	// base station reports exactly which collars went dark and why.
+	fmt.Println("\nfault injection: collar 2 never dials, collar 5 dies after 1 batch")
+	res, err := age.SimulateFleet(age.FleetConfig{
+		Base: age.SimulationConfig{
+			Dataset: data,
+			Policy:  age.NewLinearPolicy(fit.Threshold),
+			Encoder: age.EncAGE,
+			Cipher:  age.ChaCha20,
+			Rate:    rate,
+			Model:   age.DefaultEnergyModel(),
+			Seed:    2,
+		},
+		Sensors:      herd,
+		IOTimeout:    time.Second,
+		DialTimeout:  500 * time.Millisecond,
+		DialAttempts: 2,
+		Faults: &age.FleetFaults{
+			NeverDial:      map[int]bool{2: true},
+			DieAfterFrames: map[int]int{5: 1},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range res.Sensors {
+		status := "ok"
+		if e := st.Err(); e != "" {
+			status = e
+		}
+		fmt.Printf("  collar %d: %d/%d batches (%s)\n", st.Sensor, st.Delivered, st.Assigned, status)
+	}
+	fmt.Printf("%d of %d collars degraded; the other %d delivered everything.\n",
+		res.Failed, herd, herd-res.Failed)
 }

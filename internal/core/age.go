@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"math"
+	"sort"
 
 	"repro/internal/bitio"
 	"repro/internal/fixedpoint"
@@ -89,8 +89,13 @@ func (a *AGE) Encode(b Batch) ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-// Decode implements Decoder.
+// Decode implements Decoder. AGE's contract is that every message is exactly
+// TargetBytes on the wire, so a truncated or padded payload is corruption by
+// definition and is rejected before any field is parsed.
 func (a *AGE) Decode(payload []byte) (Batch, error) {
+	if len(payload) != a.cfg.TargetBytes {
+		return Batch{}, fmt.Errorf("core: age decode: payload %dB, want exactly %dB", len(payload), a.cfg.TargetBytes)
+	}
 	r := bitio.NewReader(payload)
 	idx, err := readIndexBlock(r, a.cfg.T)
 	if err != nil {
@@ -231,34 +236,55 @@ func (a *AGE) groupCap(k int) int {
 	return g
 }
 
-// mergeGroups greedily merges adjacent groups with the lowest initial scores
+// mergeGroups merges adjacent groups with the lowest initial scores
 //
 //	Score(g1, g2) = Count(g1) + Count(g2) + 2*|n1 - n2|
 //
 // until at most g groups remain. The merged group keeps max(n1, n2) so large
 // values never lose their integer bits. Scores are computed once from the
-// initial grouping, matching the paper's cheap MCU-friendly variant.
+// initial grouping, matching the paper's cheap MCU-friendly variant: the
+// len-1 adjacent-pair scores are ranked a single time and the cheapest
+// boundaries are dissolved in one pass, with no rescoring after merges (ties
+// dissolve the leftmost boundary first, keeping the float and integer
+// encoders byte-identical).
 func mergeGroups(groups []group, g int) []group {
 	if g < 1 {
 		g = 1
 	}
-	for len(groups) > g {
-		best := 0
-		bestScore := math.MaxInt
-		for i := 0; i+1 < len(groups); i++ {
-			s := groups[i].count + groups[i+1].count + 2*absInt(groups[i].exponent-groups[i+1].exponent)
-			if s < bestScore {
-				best, bestScore = i, s
-			}
-		}
-		merged := group{
-			count:    groups[best].count + groups[best+1].count,
-			exponent: maxInt(groups[best].exponent, groups[best+1].exponent),
-		}
-		groups = append(groups[:best], groups[best+1:]...)
-		groups[best] = merged
+	n := len(groups)
+	if n <= g {
+		return groups
 	}
-	return groups
+	type boundary struct{ pos, score int }
+	bs := make([]boundary, n-1)
+	for i := 0; i+1 < n; i++ {
+		bs[i] = boundary{
+			pos:   i,
+			score: groups[i].count + groups[i+1].count + 2*absInt(groups[i].exponent-groups[i+1].exponent),
+		}
+	}
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].score != bs[j].score {
+			return bs[i].score < bs[j].score
+		}
+		return bs[i].pos < bs[j].pos
+	})
+	dissolve := make([]bool, n-1)
+	for _, b := range bs[:n-g] {
+		dissolve[b.pos] = true
+	}
+	out := make([]group, 0, g)
+	cur := groups[0]
+	for i := 1; i < n; i++ {
+		if dissolve[i-1] {
+			cur.count += groups[i].count
+			cur.exponent = maxInt(cur.exponent, groups[i].exponent)
+		} else {
+			out = append(out, cur)
+			cur = groups[i]
+		}
+	}
+	return append(out, cur)
 }
 
 // assignWidths implements data quantization (§4.4): choose per-group bit

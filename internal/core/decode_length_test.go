@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The fixed-size contract cuts both ways: encoders must always emit
+// TargetBytes, and decoders must refuse anything else. A decoder that
+// silently accepts a truncated or padded payload would mask framing bugs in
+// the transport and weaken the side-channel argument (a deployment that let
+// sizes drift would leak again).
+func TestFixedSizeDecodersRejectWrongLength(t *testing.T) {
+	cfg := testConfig(220)
+	build := []struct {
+		name string
+		mk   func() (Encoder, Decoder, error)
+	}{
+		{"age", func() (Encoder, Decoder, error) { a, err := NewAGE(cfg); return a, a, err }},
+		{"single", func() (Encoder, Decoder, error) { s, err := NewSingle(cfg); return s, s, err }},
+		{"unshifted", func() (Encoder, Decoder, error) { u, err := NewUnshifted(cfg); return u, u, err }},
+		{"pruned", func() (Encoder, Decoder, error) { p, err := NewPruned(cfg); return p, p, err }},
+		{"padded", func() (Encoder, Decoder, error) { p, err := NewPadded(cfg); return p, p, err }},
+	}
+	rng := rand.New(rand.NewSource(7))
+	batch := randomBatch(rng, cfg.T, cfg.D, 12, 3.5)
+	for _, tc := range build {
+		t.Run(tc.name, func(t *testing.T) {
+			enc, dec, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload, err := enc.Encode(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dec.Decode(payload); err != nil {
+				t.Fatalf("exact-size decode failed: %v", err)
+			}
+			short := payload[:len(payload)-1]
+			if _, err := dec.Decode(short); err == nil {
+				t.Errorf("decode accepted %dB payload, want exactly %dB rejected", len(short), len(payload))
+			}
+			long := append(append([]byte(nil), payload...), 0)
+			if _, err := dec.Decode(long); err == nil {
+				t.Errorf("decode accepted %dB payload, want exactly %dB rejected", len(long), len(payload))
+			}
+			if _, err := dec.Decode(nil); err == nil {
+				t.Error("decode accepted empty payload")
+			}
+		})
+	}
+}
+
+func TestMergeGroupsSinglePassScoring(t *testing.T) {
+	// Boundary scores are computed once over the original grouping, then
+	// the n-g cheapest boundaries dissolve (leftmost wins ties). Four
+	// identical groups at g = 2 therefore collapse the two leftmost
+	// boundaries into [{3}, {1}]. An implementation that re-scored after
+	// each merge would produce [{2}, {2}] instead, because the first merge
+	// raises the cost of the adjacent boundary.
+	groups := []group{
+		{count: 1, exponent: 0},
+		{count: 1, exponent: 0},
+		{count: 1, exponent: 0},
+		{count: 1, exponent: 0},
+	}
+	merged := mergeGroups(groups, 2)
+	if len(merged) != 2 || merged[0].count != 3 || merged[1].count != 1 {
+		t.Fatalf("merged = %+v, want counts [3 1] (single-pass scoring)", merged)
+	}
+}

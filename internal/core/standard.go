@@ -195,5 +195,12 @@ func (p *Padded) Encode(b Batch) ([]byte, error) {
 }
 
 // Decode implements Decoder. The Standard header's count field makes the
-// padding self-delimiting.
-func (p *Padded) Decode(payload []byte) (Batch, error) { return p.std.Decode(payload) }
+// padding self-delimiting, but the envelope itself is fixed-size: any other
+// length violates the contract and is rejected like in the other fixed-size
+// decoders.
+func (p *Padded) Decode(payload []byte) (Batch, error) {
+	if len(payload) != p.max {
+		return Batch{}, fmt.Errorf("core: padded decode: payload %dB, want exactly %dB", len(payload), p.max)
+	}
+	return p.std.Decode(payload)
+}

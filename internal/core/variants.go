@@ -85,8 +85,12 @@ func (s *Single) Encode(b Batch) ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-// Decode implements Decoder.
+// Decode implements Decoder. Like AGE, Single's fixed-size contract makes
+// any other payload length corruption; reject it up front.
 func (s *Single) Decode(payload []byte) (Batch, error) {
+	if len(payload) != s.cfg.TargetBytes {
+		return Batch{}, fmt.Errorf("core: single decode: payload %dB, want exactly %dB", len(payload), s.cfg.TargetBytes)
+	}
 	r := bitio.NewReader(payload)
 	idx, err := readIndexBlock(r, s.cfg.T)
 	if err != nil {
@@ -237,8 +241,12 @@ func (u *Unshifted) Encode(b Batch) ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-// Decode implements Decoder.
+// Decode implements Decoder. Wrong-length payloads violate the fixed-size
+// contract and are rejected.
 func (u *Unshifted) Decode(payload []byte) (Batch, error) {
+	if len(payload) != u.cfg.TargetBytes {
+		return Batch{}, fmt.Errorf("core: unshifted decode: payload %dB, want exactly %dB", len(payload), u.cfg.TargetBytes)
+	}
 	r := bitio.NewReader(payload)
 	idx, err := readIndexBlock(r, u.cfg.T)
 	if err != nil {
@@ -347,8 +355,12 @@ func (p *Pruned) Encode(b Batch) ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-// Decode implements Decoder.
+// Decode implements Decoder. Wrong-length payloads violate the fixed-size
+// contract and are rejected.
 func (p *Pruned) Decode(payload []byte) (Batch, error) {
+	if len(payload) != p.cfg.TargetBytes {
+		return Batch{}, fmt.Errorf("core: pruned decode: payload %dB, want exactly %dB", len(payload), p.cfg.TargetBytes)
+	}
 	r := bitio.NewReader(payload)
 	idx, err := readIndexBlock(r, p.cfg.T)
 	if err != nil {

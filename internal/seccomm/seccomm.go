@@ -14,10 +14,13 @@ package seccomm
 import (
 	"crypto/aes"
 	"crypto/cipher"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"time"
 
 	"repro/internal/chacha"
 )
@@ -158,22 +161,36 @@ func (s *aesSealer) Seal(plaintext []byte) ([]byte, error) {
 	return out, nil
 }
 
+// errAESMalformed is the single error for every malformed AES-CBC message.
+// Length and padding failures are deliberately indistinguishable: distinct
+// errors (or early returns keyed on secret pad bytes) are the classic
+// padding-oracle shape, and a low-power link gives the attacker plenty of
+// queries.
+var errAESMalformed = errors.New("seccomm: malformed aes message")
+
 func (s *aesSealer) Open(message []byte) ([]byte, error) {
 	if len(message) < 2*aes.BlockSize || (len(message)-aes.BlockSize)%aes.BlockSize != 0 {
-		return nil, errors.New("seccomm: malformed aes message")
+		return nil, errAESMalformed
 	}
 	iv := message[:aes.BlockSize]
 	ct := message[aes.BlockSize:]
 	pt := make([]byte, len(ct))
 	cipher.NewCBCDecrypter(s.block, iv).CryptBlocks(pt, ct)
-	pad := int(pt[len(pt)-1])
-	if pad < 1 || pad > aes.BlockSize || pad > len(pt) {
-		return nil, errors.New("seccomm: bad padding")
+	// Constant-time PKCS#7 check: validate the pad length range and every
+	// in-pad byte without branching on plaintext, so timing does not leak
+	// which byte was wrong. len(pt) >= BlockSize >= pad holds by the length
+	// check above.
+	padByte := pt[len(pt)-1]
+	pad := int(padByte)
+	valid := subtle.ConstantTimeLessOrEq(1, pad) & subtle.ConstantTimeLessOrEq(pad, aes.BlockSize)
+	bad := 0
+	for i := 1; i <= aes.BlockSize; i++ {
+		inPad := subtle.ConstantTimeLessOrEq(i, pad)
+		eq := subtle.ConstantTimeByteEq(pt[len(pt)-i], padByte)
+		bad |= inPad & (eq ^ 1)
 	}
-	for _, b := range pt[len(pt)-pad:] {
-		if int(b) != pad {
-			return nil, errors.New("seccomm: bad padding")
-		}
+	if valid&(bad^1) != 1 {
+		return nil, errAESMalformed
 	}
 	return pt[:len(pt)-pad], nil
 }
@@ -232,16 +249,16 @@ const MaxFrameSize = 1<<16 - 1
 // WriteFrame writes a length-prefixed message: 2-byte big-endian length
 // followed by the bytes. The prefix models the link layer; the attacker
 // reads it (and the observable packet length) to learn the message size.
+// Header and body go out in a single Write so a timed-out attempt that
+// transmitted nothing can be retried without corrupting the stream.
 func WriteFrame(w io.Writer, msg []byte) error {
 	if len(msg) > MaxFrameSize {
 		return fmt.Errorf("seccomm: frame %dB exceeds max %d", len(msg), MaxFrameSize)
 	}
-	var hdr [2]byte
-	binary.BigEndian.PutUint16(hdr[:], uint16(len(msg)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(msg)
+	buf := make([]byte, 2+len(msg))
+	binary.BigEndian.PutUint16(buf[:2], uint16(len(msg)))
+	copy(buf[2:], msg)
+	_, err := w.Write(buf)
 	return err
 }
 
@@ -256,4 +273,56 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return msg, nil
+}
+
+// Deadline-aware framing: the hardened transport path used by the fleet and
+// socket simulators. A frame-level timeout bounds how long a peer can stall
+// the pipeline — the lossy, intermittent links of the paper's deployments
+// (FarmBeats fields, ZebraNet herds, §2.1/§3.3) make "the other side went
+// quiet" a normal event the server must survive, not a hang.
+
+// ReadFrameDeadline reads one frame from conn, failing with a net timeout
+// error if the whole frame has not arrived within timeout. A timeout <= 0
+// reads without a deadline. The deadline is cleared before returning so the
+// connection can keep being used by deadline-free code.
+func ReadFrameDeadline(conn net.Conn, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		return ReadFrame(conn)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	msg, err := ReadFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	return msg, err
+}
+
+// WriteFrameDeadline writes one frame to conn, failing with a net timeout
+// error if the write has not completed within timeout. A timeout <= 0 writes
+// without a deadline.
+func WriteFrameDeadline(conn net.Conn, msg []byte, timeout time.Duration) error {
+	if timeout <= 0 {
+		return WriteFrame(conn, msg)
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	err := WriteFrame(conn, msg)
+	conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// ReadFullDeadline fills buf from conn under the same deadline discipline;
+// the fleet server uses it for the cleartext hello that precedes framing.
+func ReadFullDeadline(conn net.Conn, buf []byte, timeout time.Duration) error {
+	if timeout <= 0 {
+		_, err := io.ReadFull(conn, buf)
+		return err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	_, err := io.ReadFull(conn, buf)
+	conn.SetReadDeadline(time.Time{})
+	return err
 }

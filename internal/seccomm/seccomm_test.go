@@ -3,8 +3,11 @@ package seccomm
 import (
 	"bytes"
 	"crypto/aes"
+	"errors"
+	"net"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func chachaKey() []byte {
@@ -241,4 +244,103 @@ func BenchmarkSealAES(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func TestAESOpenUniformError(t *testing.T) {
+	s, err := NewSealer(AES128Block, aesKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural failures (bad length) must return the same error as
+	// padding failures: a distinguishable error is a padding oracle.
+	structural := map[string][]byte{
+		"empty":       nil,
+		"iv only":     make([]byte, 16),
+		"not aligned": make([]byte, 17),
+	}
+	for name, msg := range structural {
+		if _, err := s.Open(msg); !errors.Is(err, errAESMalformed) {
+			t.Errorf("%s: err = %v, want the uniform malformed error", name, err)
+		}
+	}
+	sealed, err := s.Seal([]byte("ten bytes!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupting the final ciphertext block garbles the decrypted padding.
+	// Every corruption that fails must fail with the same uniform error.
+	failures := 0
+	for delta := 1; delta < 256; delta++ {
+		tampered := append([]byte(nil), sealed...)
+		tampered[len(tampered)-1] ^= byte(delta)
+		if _, err := s.Open(tampered); err != nil {
+			failures++
+			if !errors.Is(err, errAESMalformed) {
+				t.Fatalf("delta %d: err = %v, want the uniform malformed error", delta, err)
+			}
+		}
+	}
+	if failures == 0 {
+		t.Error("no ciphertext corruption produced an error")
+	}
+}
+
+func TestFrameDeadlineExpiry(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	var nerr net.Error
+	// net.Pipe is unbuffered, so with no reader the write must time out.
+	err := WriteFrameDeadline(client, []byte("payload"), 30*time.Millisecond)
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("write with absent peer: err = %v, want timeout", err)
+	}
+	if _, err := ReadFrameDeadline(server, 30*time.Millisecond); !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("read with absent peer: err = %v, want timeout", err)
+	}
+}
+
+func TestFrameDeadlineClearedAfterUse(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	msg := []byte("deadline frame")
+	errc := make(chan error, 1)
+	go func() { errc <- WriteFrameDeadline(client, msg, time.Second) }()
+	got, err := ReadFrameDeadline(server, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("frame = %q, want %q", got, msg)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	// The helpers clear the deadline on the way out: after sleeping past
+	// the previous timeout the connection must still carry plain frames.
+	time.Sleep(80 * time.Millisecond)
+	go func() { errc <- WriteFrame(client, msg) }()
+	got, err = ReadFrame(server)
+	if err != nil {
+		t.Fatalf("read after expired deadline window: %v (deadline not cleared?)", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("frame = %q, want %q", got, msg)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFullDeadlineExpiry(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	buf := make([]byte, 4)
+	var nerr net.Error
+	if err := ReadFullDeadline(server, buf, 30*time.Millisecond); !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	_ = client
 }

@@ -1,11 +1,14 @@
 package simulator
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/reconstruct"
@@ -21,6 +24,25 @@ import (
 // (§3.1). RunFleet drives every sensor concurrently over one real TCP
 // connection per sensor and aggregates the eavesdropper's view across the
 // fleet.
+//
+// The links those deployments run over are lossy and intermittent, so the
+// transport is built to degrade instead of hang: every read and write
+// carries a deadline, sensors dial with bounded exponential backoff and
+// retry timed-out frame writes, the whole run is driven by a
+// context.Context whose cancellation closes the listener and every live
+// connection, and a sensor that dies mid-stream (or never shows up) is
+// reported in its FleetSensorStatus while the rest of the fleet completes.
+
+// Transport defaults, applied when the corresponding FleetConfig knob is
+// zero. They are deliberately generous: tests that exercise failure paths
+// set much tighter values.
+const (
+	defaultDialTimeout   = 2 * time.Second
+	defaultDialAttempts  = 4
+	defaultDialBackoff   = 25 * time.Millisecond
+	defaultIOTimeout     = 5 * time.Second
+	defaultWriteAttempts = 2
+)
 
 // FleetConfig drives a multi-sensor run. All sensors share the task shape
 // (T, d, format) and encoder kind but hold distinct keys.
@@ -31,24 +53,184 @@ type FleetConfig struct {
 	// Sensors is the fleet size; the Base dataset's sequences are dealt
 	// round-robin across sensors.
 	Sensors int
+
+	// DialTimeout bounds a single TCP connect attempt (default 2s).
+	DialTimeout time.Duration
+	// DialAttempts is how many connect attempts a sensor makes before
+	// reporting failure (default 4). Attempts are separated by an
+	// exponential backoff starting at DialBackoff (default 25ms, doubling).
+	DialAttempts int
+	DialBackoff  time.Duration
+	// IOTimeout is the per-frame read/write deadline on both sides of the
+	// link (default 5s). A peer that stalls longer than this fails its own
+	// status instead of hanging the run.
+	IOTimeout time.Duration
+	// WriteAttempts bounds per-frame write retries: a frame write that
+	// times out without transmitting is retried up to WriteAttempts times
+	// in total (default 2). Non-timeout errors are never retried.
+	WriteAttempts int
+	// Timeout, when nonzero, bounds the whole run; on expiry the run is
+	// cancelled and RunFleet returns the partial result with an error.
+	Timeout time.Duration
+
+	// Faults injects transport failures for resilience testing (nil = none).
+	Faults *FleetFaults
+}
+
+// withTransportDefaults fills zero-valued transport knobs.
+func (cfg FleetConfig) withTransportDefaults() FleetConfig {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = defaultDialTimeout
+	}
+	if cfg.DialAttempts <= 0 {
+		cfg.DialAttempts = defaultDialAttempts
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = defaultDialBackoff
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = defaultIOTimeout
+	}
+	if cfg.WriteAttempts <= 0 {
+		cfg.WriteAttempts = defaultWriteAttempts
+	}
+	return cfg
+}
+
+// FleetFaults injects transport faults by sensor id, modelling the failure
+// modes of a lossy deployment: a node that dies mid-stream, a node that
+// never comes up, a radio that goes quiet, a base station that drops a link.
+type FleetFaults struct {
+	// NeverDial marks sensors that never connect.
+	NeverDial map[int]bool
+	// DieAfterFrames closes the sensor's connection abruptly after it has
+	// written the given number of frames.
+	DieAfterFrames map[int]int
+	// StallAfterFrames keeps the sensor's connection open but silent after
+	// the given number of frames, forcing the server's read deadline to
+	// fire. The stall is bounded (a little over two IO timeouts), so the
+	// run still terminates.
+	StallAfterFrames map[int]int
+	// ServerCloseAfterFrames makes the server drop the sensor's connection
+	// after processing the given number of frames.
+	ServerCloseAfterFrames map[int]int
+}
+
+// FleetSensorStatus reports one sensor's outcome, successful or not. A run
+// with a dead sensor completes with that sensor's status carrying the error
+// while the rest of the fleet delivers normally.
+type FleetSensorStatus struct {
+	// Sensor is the sensor id.
+	Sensor int
+	// Assigned is how many sequences the partition gave this sensor.
+	Assigned int
+	// Delivered is how many frames the server successfully decoded and
+	// reconstructed.
+	Delivered int
+	// DialAttempts is how many TCP connect attempts the sensor made.
+	DialAttempts int
+	// SensorErr and ServerErr carry the two sides' failures ("" = none).
+	SensorErr string
+	ServerErr string
+}
+
+// OK reports whether the sensor delivered everything with no errors.
+func (st FleetSensorStatus) OK() bool {
+	return st.SensorErr == "" && st.ServerErr == "" && st.Delivered == st.Assigned
+}
+
+// Err summarizes the status's failures, or "" when OK.
+func (st FleetSensorStatus) Err() string {
+	switch {
+	case st.SensorErr != "" && st.ServerErr != "":
+		return fmt.Sprintf("sensor: %s; server: %s", st.SensorErr, st.ServerErr)
+	case st.SensorErr != "":
+		return "sensor: " + st.SensorErr
+	case st.ServerErr != "":
+		return "server: " + st.ServerErr
+	case st.Delivered != st.Assigned:
+		return fmt.Sprintf("delivered %d of %d frames", st.Delivered, st.Assigned)
+	}
+	return ""
 }
 
 // FleetResult aggregates the fleet run.
 type FleetResult struct {
-	// PerSensorMAE indexes reconstruction error by sensor id.
+	// PerSensorMAE indexes reconstruction error by sensor id (the mean over
+	// the frames that actually arrived; 0 when none did).
 	PerSensorMAE []float64
 	// SizesByLabel pools the eavesdropper's observations across the whole
 	// fleet (the attacker sees every flow).
 	SizesByLabel map[int][]int
 	// Messages counts frames the server demultiplexed.
 	Messages int
+	// Sensors reports per-sensor delivery status, including failures.
+	Sensors []FleetSensorStatus
+	// Failed counts sensors whose status is not OK.
+	Failed int
+	// Unattributed records connection failures that happened before the
+	// hello identified a sensor (e.g. a peer that connected and went
+	// silent).
+	Unattributed []string
+}
+
+// connRegistry tracks live connections so run cancellation can unblock
+// every in-flight read and write by closing them.
+type connRegistry struct {
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+func newConnRegistry() *connRegistry {
+	return &connRegistry{conns: map[net.Conn]struct{}{}}
+}
+
+// add registers a connection; if the registry is already closed (the run is
+// shutting down) the connection is closed immediately.
+func (r *connRegistry) add(c net.Conn) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		c.Close()
+		return
+	}
+	r.conns[c] = struct{}{}
+	r.mu.Unlock()
+}
+
+func (r *connRegistry) remove(c net.Conn) {
+	r.mu.Lock()
+	delete(r.conns, c)
+	r.mu.Unlock()
+}
+
+func (r *connRegistry) closeAll() {
+	r.mu.Lock()
+	r.closed = true
+	for c := range r.conns {
+		c.Close()
+	}
+	r.conns = map[net.Conn]struct{}{}
+	r.mu.Unlock()
 }
 
 // RunFleet partitions the configured dataset across n concurrent sensors,
 // each streaming encrypted frames over its own TCP loopback connection to a
-// single server goroutine pool, and returns the pooled attacker view plus
-// per-sensor error.
+// context-driven server, and returns the pooled attacker view plus
+// per-sensor status. Individual sensor failures degrade the result (see
+// FleetResult.Sensors) rather than aborting the run; RunFleet returns a
+// non-nil error only for setup failures, run cancellation, or a fleet in
+// which every sensor failed.
 func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	return RunFleetContext(context.Background(), cfg)
+}
+
+// RunFleetContext is RunFleet under a caller-supplied context. Cancelling
+// the context closes the listener and every live connection, unblocking all
+// goroutines; the partial result gathered so far is returned with the
+// context's error.
+func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error) {
 	n := cfg.Sensors
 	if n < 1 {
 		return nil, fmt.Errorf("simulator: fleet needs at least one sensor")
@@ -56,6 +238,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	if cfg.Base.Dataset == nil || len(cfg.Base.Dataset.Sequences) < n {
 		return nil, fmt.Errorf("simulator: dataset too small for %d sensors", n)
 	}
+	cfg = cfg.withTransportDefaults()
 	meta := cfg.Base.Dataset.Meta
 	coreCfg := core.Config{
 		T: meta.SeqLen, D: meta.NumFeatures, Format: meta.Format,
@@ -66,13 +249,14 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer ln.Close()
 
-	res := &FleetResult{
-		PerSensorMAE: make([]float64, n),
-		SizesByLabel: map[int][]int{},
+	var cancel context.CancelFunc
+	if cfg.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
 	}
-	var mu sync.Mutex // guards res aggregation from server goroutines
+	defer cancel()
 
 	// Partition sequences round-robin.
 	parts := make([][]int, n) // sequence indices per sensor
@@ -80,45 +264,130 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		parts[i%n] = append(parts[i%n], i)
 	}
 
-	var serverWG, sensorWG sync.WaitGroup
-	errs := make(chan error, 2*n)
+	res := &FleetResult{
+		PerSensorMAE: make([]float64, n),
+		SizesByLabel: map[int][]int{},
+		Sensors:      make([]FleetSensorStatus, n),
+	}
+	for i := range res.Sensors {
+		res.Sensors[i].Sensor = i
+		res.Sensors[i].Assigned = len(parts[i])
+	}
+	var mu sync.Mutex // guards res and claimed from server/sensor goroutines
+	claimed := make([]bool, n)
 
-	// Server: accept one connection per sensor; each handler decodes,
-	// reconstructs, and aggregates.
-	serverWG.Add(n)
-	for i := 0; i < n; i++ {
-		go func() {
-			defer serverWG.Done()
-			conn, err := ln.Accept()
-			if err != nil {
-				errs <- err
-				return
-			}
-			defer conn.Close()
-			if err := serveFleetSensor(conn, cfg, coreCfg, parts, res, &mu); err != nil {
-				errs <- err
-			}
-		}()
+	reg := newConnRegistry()
+	// Cancellation (parent context, Timeout expiry, or a fatal accept
+	// error) closes the listener and every live connection, so no read,
+	// write, accept, or backoff sleep outlives the run.
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+		reg.closeAll()
+	}()
+
+	var fatalMu sync.Mutex
+	var fatalErr error
+	setFatal := func(err error) {
+		fatalMu.Lock()
+		if fatalErr == nil {
+			fatalErr = err
+		}
+		fatalMu.Unlock()
+		cancel()
 	}
 
-	// Sensors: one goroutine each, own key and encoder state.
+	// Server: one accept loop; each accepted connection gets a handler that
+	// reads the hello under a deadline, demultiplexes, and serves frames.
+	// established counts successful sensor dials and accepted counts
+	// server-side accepts: the shutdown sequence below uses them to drain
+	// the accept queue before closing the listener, so handlerWG.Add can
+	// never race handlerWG.Wait.
+	var established, accepted atomic.Int64
+	var acceptWG, handlerWG, sensorWG sync.WaitGroup
+	acceptWG.Add(1)
+	go func() {
+		defer acceptWG.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+					return // clean shutdown
+				}
+				setFatal(fmt.Errorf("fleet server: accept: %w", err))
+				return
+			}
+			reg.add(conn)
+			accepted.Add(1)
+			handlerWG.Add(1)
+			go func() {
+				defer handlerWG.Done()
+				defer func() {
+					conn.Close()
+					reg.remove(conn)
+				}()
+				serveFleetConn(conn, cfg, coreCfg, parts, res, &mu, claimed)
+			}()
+		}
+	}()
+
+	// Sensors: one goroutine each, own key and encoder state. A sensor
+	// failure lands in its status; it never tears down the rest of the run.
 	sensorWG.Add(n)
 	for s := 0; s < n; s++ {
 		go func(sensorID int) {
 			defer sensorWG.Done()
-			if err := runFleetSensor(sensorID, ln.Addr().String(), cfg, coreCfg, parts[sensorID]); err != nil {
-				errs <- err
+			dials, err := runFleetSensor(ctx, sensorID, ln.Addr().String(), cfg, coreCfg, parts[sensorID], reg, &established)
+			mu.Lock()
+			res.Sensors[sensorID].DialAttempts = dials
+			if err != nil {
+				res.Sensors[sensorID].SensorErr = err.Error()
 			}
+			mu.Unlock()
 		}(s)
 	}
 
+	// Shutdown sequence, every step bounded. (1) Sensors finish (dial
+	// attempts and IO deadlines bound them). (2) Drain the accept queue: a
+	// sensor can complete all its writes before the server accepts the
+	// connection, so wait — briefly — until every established connection
+	// has been accepted before closing the listener. (3) Close the
+	// listener and join the accept loop, after which no handler can be
+	// added. (4) Join the handlers (per-frame read deadlines bound them).
 	sensorWG.Wait()
-	serverWG.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return nil, err
+	drainDeadline := time.Now().Add(cfg.IOTimeout)
+	for accepted.Load() < established.Load() && time.Now().Before(drainDeadline) && ctx.Err() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	ln.Close()
+	acceptWG.Wait()
+	handlerWG.Wait()
+	cause := ctx.Err() // read before our own cancel() below masks it
+	cancel()
+
+	// Count failures on every path so a partial result returned alongside
+	// an error still carries an accurate Failed tally.
+	var firstFailure string
+	for _, st := range res.Sensors {
+		if !st.OK() {
+			res.Failed++
+			if firstFailure == "" {
+				firstFailure = fmt.Sprintf("sensor %d: %s", st.Sensor, st.Err())
+			}
 		}
+	}
+
+	fatalMu.Lock()
+	err = fatalErr
+	fatalMu.Unlock()
+	if err != nil {
+		return res, fmt.Errorf("simulator: fleet: %w", err)
+	}
+	if cause != nil {
+		return res, fmt.Errorf("simulator: fleet cancelled: %w", cause)
+	}
+	if res.Failed == n {
+		return res, fmt.Errorf("simulator: all %d sensors failed (%s)", n, firstFailure)
 	}
 	return res, nil
 }
@@ -136,29 +405,93 @@ func fleetKey(sensorID int, cipher seccomm.CipherKind) []byte {
 	return key
 }
 
-// runFleetSensor streams one sensor's assigned sequences.
-func runFleetSensor(sensorID int, addr string, cfg FleetConfig, coreCfg core.Config, seqIdx []int) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
+// dialWithBackoff connects to addr, retrying with exponential backoff up to
+// cfg.DialAttempts times. It returns the connection and the number of
+// attempts made.
+func dialWithBackoff(ctx context.Context, addr string, cfg FleetConfig) (net.Conn, int, error) {
+	backoff := cfg.DialBackoff
+	var lastErr error
+	for attempt := 1; attempt <= cfg.DialAttempts; attempt++ {
+		d := net.Dialer{Timeout: cfg.DialTimeout}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, attempt, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || attempt == cfg.DialAttempts {
+			return nil, attempt, fmt.Errorf("dial (attempt %d/%d): %w", attempt, cfg.DialAttempts, lastErr)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, attempt, fmt.Errorf("dial cancelled after attempt %d: %w", attempt, ctx.Err())
+		case <-time.After(backoff):
+		}
+		backoff *= 2
 	}
-	defer conn.Close()
-	// Identify: 2-byte sensor id (cleartext, like a MAC address).
+	return nil, cfg.DialAttempts, fmt.Errorf("dial: %w", lastErr)
+}
+
+// writeFrameRetry writes one frame with the per-frame deadline, retrying a
+// timed-out write up to cfg.WriteAttempts times in total. WriteFrame sends
+// header and body in one Write, so a timeout that transmitted nothing is
+// safe to retry; any other error aborts immediately.
+func writeFrameRetry(ctx context.Context, conn net.Conn, msg []byte, cfg FleetConfig) error {
+	var err error
+	for attempt := 1; attempt <= cfg.WriteAttempts; attempt++ {
+		err = seccomm.WriteFrameDeadline(conn, msg, cfg.IOTimeout)
+		if err == nil {
+			return nil
+		}
+		var ne net.Error
+		if ctx.Err() != nil || !errors.As(err, &ne) || !ne.Timeout() {
+			return err
+		}
+	}
+	return fmt.Errorf("write after %d attempts: %w", cfg.WriteAttempts, err)
+}
+
+// runFleetSensor streams one sensor's assigned sequences, honoring the
+// configured fault plan. It returns the number of dial attempts made.
+func runFleetSensor(ctx context.Context, sensorID int, addr string, cfg FleetConfig, coreCfg core.Config, seqIdx []int, reg *connRegistry, established *atomic.Int64) (int, error) {
+	if cfg.Faults != nil && cfg.Faults.NeverDial[sensorID] {
+		return 0, errors.New("fault injection: sensor never dialed")
+	}
+	conn, dials, err := dialWithBackoff(ctx, addr, cfg)
+	if err != nil {
+		return dials, err
+	}
+	established.Add(1)
+	reg.add(conn)
+	defer func() {
+		conn.Close()
+		reg.remove(conn)
+	}()
+	// Identify: 2-byte sensor id (cleartext, like a MAC address), under the
+	// same write deadline as every frame.
 	var hello [2]byte
 	binary.BigEndian.PutUint16(hello[:], uint16(sensorID))
-	if _, err := conn.Write(hello[:]); err != nil {
-		return err
+	if err := writeFullDeadline(conn, hello[:], cfg.IOTimeout); err != nil {
+		return dials, fmt.Errorf("hello: %w", err)
 	}
 	encs, err := buildEncoder(cfg.Base.Encoder, coreCfg, cfg.Base.Cipher)
 	if err != nil {
-		return err
+		return dials, err
 	}
 	sealer, err := seccomm.NewSealer(cfg.Base.Cipher, fleetKey(sensorID, cfg.Base.Cipher))
 	if err != nil {
-		return err
+		return dials, err
 	}
 	rng := newSeededRand(cfg.Base.Seed + int64(sensorID))
-	for _, si := range seqIdx {
+	for fi, si := range seqIdx {
+		if cfg.Faults != nil {
+			if k, ok := cfg.Faults.DieAfterFrames[sensorID]; ok && fi >= k {
+				return dials, fmt.Errorf("fault injection: died after %d frames", k)
+			}
+			if k, ok := cfg.Faults.StallAfterFrames[sensorID]; ok && fi >= k {
+				stallSensor(ctx, cfg.IOTimeout)
+				return dials, fmt.Errorf("fault injection: stalled after %d frames", k)
+			}
+		}
 		seq := cfg.Base.Dataset.Sequences[si]
 		idx := cfg.Base.Policy.Sample(seq.Values, rng)
 		vals := make([][]float64, len(idx))
@@ -167,69 +500,129 @@ func runFleetSensor(sensorID int, addr string, cfg FleetConfig, coreCfg core.Con
 		}
 		payload, err := encs.enc.Encode(core.Batch{Indices: idx, Values: vals})
 		if err != nil {
-			return err
+			return dials, err
 		}
 		msg, err := sealer.Seal(payload)
 		if err != nil {
-			return err
+			return dials, err
 		}
-		if err := seccomm.WriteFrame(conn, msg); err != nil {
-			return err
+		if err := writeFrameRetry(ctx, conn, msg, cfg); err != nil {
+			return dials, err
 		}
 	}
-	return nil
+	return dials, nil
 }
 
-// serveFleetSensor handles one sensor's connection on the server.
-func serveFleetSensor(conn net.Conn, cfg FleetConfig, coreCfg core.Config, parts [][]int, res *FleetResult, mu *sync.Mutex) error {
+// stallSensor holds the connection open and silent long enough for the
+// server's read deadline to fire, then returns so the run can finish.
+func stallSensor(ctx context.Context, ioTimeout time.Duration) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(2*ioTimeout + 50*time.Millisecond):
+	}
+}
+
+// writeFullDeadline writes buf to conn under a write deadline (the raw
+// cleartext hello; frames use seccomm.WriteFrameDeadline).
+func writeFullDeadline(conn net.Conn, buf []byte, timeout time.Duration) error {
+	if timeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	_, err := conn.Write(buf)
+	return err
+}
+
+// serveFleetConn handles one accepted connection: hello under a deadline,
+// sensor id claim, then the per-sensor frame loop. Failures land in the
+// sensor's status (or in Unattributed when no hello arrived).
+func serveFleetConn(conn net.Conn, cfg FleetConfig, coreCfg core.Config, parts [][]int, res *FleetResult, mu *sync.Mutex, claimed []bool) {
 	var hello [2]byte
-	if _, err := io.ReadFull(conn, hello[:]); err != nil {
-		return fmt.Errorf("fleet server: hello: %w", err)
+	if err := seccomm.ReadFullDeadline(conn, hello[:], cfg.IOTimeout); err != nil {
+		mu.Lock()
+		res.Unattributed = append(res.Unattributed, fmt.Sprintf("hello: %v", err))
+		mu.Unlock()
+		return
 	}
 	sensorID := int(binary.BigEndian.Uint16(hello[:]))
 	if sensorID < 0 || sensorID >= len(parts) {
-		return fmt.Errorf("fleet server: unknown sensor %d", sensorID)
+		mu.Lock()
+		res.Unattributed = append(res.Unattributed, fmt.Sprintf("unknown sensor %d", sensorID))
+		mu.Unlock()
+		return
+	}
+	mu.Lock()
+	if claimed[sensorID] {
+		res.Sensors[sensorID].ServerErr = "duplicate connection for sensor"
+		mu.Unlock()
+		return
+	}
+	claimed[sensorID] = true
+	mu.Unlock()
+
+	setServerErr := func(err error) {
+		mu.Lock()
+		res.Sensors[sensorID].ServerErr = err.Error()
+		mu.Unlock()
 	}
 	encs, err := buildEncoder(cfg.Base.Encoder, coreCfg, cfg.Base.Cipher)
 	if err != nil {
-		return err
+		setServerErr(err)
+		return
 	}
 	opener, err := seccomm.NewSealer(cfg.Base.Cipher, fleetKey(sensorID, cfg.Base.Cipher))
 	if err != nil {
-		return err
+		setServerErr(err)
+		return
 	}
 	meta := cfg.Base.Dataset.Meta
 	var acc reconstruct.Accumulator
-	for _, si := range parts[sensorID] {
+	finish := func() {
+		mu.Lock()
+		res.PerSensorMAE[sensorID] = acc.MAE()
+		mu.Unlock()
+	}
+	defer finish()
+	for fi, si := range parts[sensorID] {
+		if cfg.Faults != nil {
+			if k, ok := cfg.Faults.ServerCloseAfterFrames[sensorID]; ok && fi >= k {
+				setServerErr(fmt.Errorf("fault injection: server closed link after %d frames", k))
+				return
+			}
+		}
 		seq := cfg.Base.Dataset.Sequences[si]
-		msg, err := seccomm.ReadFrame(conn)
+		msg, err := seccomm.ReadFrameDeadline(conn, cfg.IOTimeout)
 		if err != nil {
-			return fmt.Errorf("fleet server: frame: %w", err)
+			setServerErr(fmt.Errorf("frame %d: %w", fi, err))
+			return
 		}
 		payload, err := opener.Open(msg)
 		if err != nil {
-			return err
+			setServerErr(fmt.Errorf("frame %d: %w", fi, err))
+			return
 		}
 		batch, err := encs.dec.Decode(payload)
 		if err != nil {
-			return err
+			setServerErr(fmt.Errorf("frame %d: %w", fi, err))
+			return
 		}
 		recon, err := reconstruct.Linear(batch.Indices, batch.Values, meta.SeqLen, meta.NumFeatures)
 		if err != nil {
-			return err
+			setServerErr(fmt.Errorf("frame %d: %w", fi, err))
+			return
 		}
 		mae, err := reconstruct.MAE(recon, seq.Values)
 		if err != nil {
-			return err
+			setServerErr(fmt.Errorf("frame %d: %w", fi, err))
+			return
 		}
 		acc.Add(mae, 1)
 		mu.Lock()
 		res.SizesByLabel[seq.Label] = append(res.SizesByLabel[seq.Label], len(msg))
 		res.Messages++
+		res.Sensors[sensorID].Delivered++
 		mu.Unlock()
 	}
-	mu.Lock()
-	res.PerSensorMAE[sensorID] = acc.MAE()
-	mu.Unlock()
-	return nil
 }

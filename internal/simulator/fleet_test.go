@@ -1,7 +1,11 @@
 package simulator
 
 import (
+	"context"
+	"net"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/energy"
@@ -36,6 +40,317 @@ func TestFleetDeliversEverything(t *testing.T) {
 		if mae <= 0 {
 			t.Errorf("sensor %d MAE = %g", s, mae)
 		}
+	}
+	if res.Failed != 0 {
+		t.Errorf("healthy fleet reports %d failed sensors", res.Failed)
+	}
+	for _, st := range res.Sensors {
+		if !st.OK() {
+			t.Errorf("sensor %d not OK: %s", st.Sensor, st.Err())
+		}
+		if st.DialAttempts < 1 {
+			t.Errorf("sensor %d reports %d dial attempts", st.Sensor, st.DialAttempts)
+		}
+	}
+}
+
+// fastFaultConfig tightens the transport knobs so failure paths resolve in
+// well under the 5-second budget the acceptance criteria demand.
+func fastFaultConfig(t *testing.T, sensors int, faults *FleetFaults) FleetConfig {
+	t.Helper()
+	cfg := fleetConfig(t, EncAGE, sensors)
+	cfg.IOTimeout = 300 * time.Millisecond
+	cfg.DialTimeout = 300 * time.Millisecond
+	cfg.DialAttempts = 2
+	cfg.DialBackoff = 10 * time.Millisecond
+	cfg.Faults = faults
+	return cfg
+}
+
+// runBounded fails the test if RunFleet does not return within the
+// acceptance deadline (a hang is exactly the bug this PR fixes).
+func runBounded(t *testing.T, cfg FleetConfig) (*FleetResult, error) {
+	t.Helper()
+	type out struct {
+		res *FleetResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := RunFleet(cfg)
+		done <- out{res, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunFleet hung past the 5s acceptance deadline")
+		return nil, nil
+	}
+}
+
+func TestFleetSensorDiesMidStream(t *testing.T) {
+	const victim = 1
+	cfg := fastFaultConfig(t, 4, &FleetFaults{DieAfterFrames: map[int]int{victim: 1}})
+	res, err := runBounded(t, cfg)
+	if err != nil {
+		t.Fatalf("one dead sensor must degrade, not abort: %v", err)
+	}
+	if res.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1 (statuses: %+v)", res.Failed, res.Sensors)
+	}
+	st := res.Sensors[victim]
+	if st.OK() || !strings.Contains(st.SensorErr, "died after 1 frames") {
+		t.Errorf("victim status = %+v", st)
+	}
+	if st.Delivered != 1 {
+		t.Errorf("victim delivered %d frames, want the 1 sent before dying", st.Delivered)
+	}
+	for _, other := range res.Sensors {
+		if other.Sensor == victim {
+			continue
+		}
+		if !other.OK() {
+			t.Errorf("healthy sensor %d degraded: %s", other.Sensor, other.Err())
+		}
+	}
+	// The pooled attacker view contains everything that was delivered.
+	want := 0
+	for _, st := range res.Sensors {
+		want += st.Delivered
+	}
+	if res.Messages != want {
+		t.Errorf("Messages = %d, want %d", res.Messages, want)
+	}
+}
+
+func TestFleetSensorNeverDials(t *testing.T) {
+	const ghost = 2
+	cfg := fastFaultConfig(t, 4, &FleetFaults{NeverDial: map[int]bool{ghost: true}})
+	res, err := runBounded(t, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Sensors[ghost]
+	if st.SensorErr == "" || st.Delivered != 0 || st.DialAttempts != 0 {
+		t.Errorf("ghost status = %+v", st)
+	}
+	if res.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", res.Failed)
+	}
+	if res.PerSensorMAE[ghost] != 0 {
+		t.Errorf("ghost MAE = %g, want 0", res.PerSensorMAE[ghost])
+	}
+}
+
+func TestFleetSensorStallsReadDeadlineFires(t *testing.T) {
+	const quiet = 0
+	cfg := fastFaultConfig(t, 3, &FleetFaults{StallAfterFrames: map[int]int{quiet: 1}})
+	res, err := runBounded(t, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Sensors[quiet]
+	if st.OK() {
+		t.Fatalf("stalled sensor reported OK: %+v", st)
+	}
+	// The server must have been unblocked by its read deadline, not EOF.
+	if !strings.Contains(st.ServerErr, "timeout") && !strings.Contains(st.ServerErr, "deadline") {
+		t.Errorf("server error %q does not look like a deadline expiry", st.ServerErr)
+	}
+}
+
+func TestFleetServerClosesEarly(t *testing.T) {
+	const dropped = 0
+	cfg := fastFaultConfig(t, 3, &FleetFaults{ServerCloseAfterFrames: map[int]int{dropped: 1}})
+	res, err := runBounded(t, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Sensors[dropped]
+	if st.OK() || !strings.Contains(st.ServerErr, "server closed link") {
+		t.Errorf("dropped status = %+v", st)
+	}
+	if res.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", res.Failed)
+	}
+}
+
+func TestFleetAllSensorsFailReturnsError(t *testing.T) {
+	cfg := fastFaultConfig(t, 3, &FleetFaults{
+		NeverDial: map[int]bool{0: true, 1: true, 2: true},
+	})
+	res, err := runBounded(t, cfg)
+	if err == nil {
+		t.Fatal("a fleet in which every sensor failed must surface an error")
+	}
+	if !strings.Contains(err.Error(), "all 3 sensors failed") {
+		t.Errorf("error %q not descriptive", err)
+	}
+	if res == nil || res.Failed != 3 {
+		t.Errorf("partial result missing or wrong: %+v", res)
+	}
+}
+
+func TestFleetContextCancellation(t *testing.T) {
+	cfg := fastFaultConfig(t, 3, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the run starts
+	start := time.Now()
+	_, err := RunFleetContext(ctx, cfg)
+	if err == nil {
+		t.Fatal("cancelled context must produce an error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+}
+
+func TestFleetRunTimeout(t *testing.T) {
+	cfg := fastFaultConfig(t, 3, nil)
+	cfg.Timeout = time.Nanosecond
+	_, err := runBounded(t, cfg)
+	if err == nil {
+		t.Fatal("an expired run deadline must produce an error")
+	}
+	if !strings.Contains(err.Error(), "cancelled") {
+		t.Errorf("timeout error %q not descriptive", err)
+	}
+}
+
+func TestDialWithBackoff(t *testing.T) {
+	// Grab a loopback port that is guaranteed dead, then check both the
+	// bounded-failure and immediate-success paths.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	live, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	go func() {
+		for {
+			c, err := live.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	cases := []struct {
+		name        string
+		addr        string
+		wantErr     bool
+		wantDials   int
+		minDuration time.Duration
+	}{
+		{"dead address retries with backoff", deadAddr, true, 3, 25 * time.Millisecond},
+		{"live address connects first try", live.Addr().String(), false, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := FleetConfig{
+				DialTimeout:  200 * time.Millisecond,
+				DialAttempts: 3,
+				DialBackoff:  10 * time.Millisecond,
+			}.withTransportDefaults()
+			start := time.Now()
+			conn, dials, err := dialWithBackoff(context.Background(), tc.addr, cfg)
+			elapsed := time.Since(start)
+			if conn != nil {
+				conn.Close()
+			}
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+			if dials != tc.wantDials {
+				t.Errorf("dials = %d, want %d", dials, tc.wantDials)
+			}
+			// Two failed attempts sleep 10ms then 20ms before the third.
+			if elapsed < tc.minDuration {
+				t.Errorf("elapsed %v below backoff floor %v", elapsed, tc.minDuration)
+			}
+		})
+	}
+}
+
+func TestWriteFrameRetryRecoversFromTimeout(t *testing.T) {
+	// net.Pipe is unbuffered: the first write attempt times out with zero
+	// bytes moved, then a late reader lets the bounded retry succeed.
+	client, srv := net.Pipe()
+	defer client.Close()
+	defer srv.Close()
+	cfg := FleetConfig{IOTimeout: 100 * time.Millisecond, WriteAttempts: 3}.withTransportDefaults()
+
+	msg := []byte("sealed sensor frame")
+	got := make(chan []byte, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond) // outlive attempt 1's deadline
+		frame, err := seccomm.ReadFrame(srv)
+		if err != nil {
+			got <- nil
+			return
+		}
+		got <- frame
+	}()
+	if err := writeFrameRetry(context.Background(), client, msg, cfg); err != nil {
+		t.Fatalf("bounded retry failed: %v", err)
+	}
+	if frame := <-got; string(frame) != string(msg) {
+		t.Errorf("reader got %q, want %q", frame, msg)
+	}
+}
+
+func TestWriteFrameRetryGivesUp(t *testing.T) {
+	client, srv := net.Pipe()
+	defer client.Close()
+	defer srv.Close() // no reader ever appears
+	cfg := FleetConfig{IOTimeout: 30 * time.Millisecond, WriteAttempts: 2}.withTransportDefaults()
+	start := time.Now()
+	err := writeFrameRetry(context.Background(), client, []byte("frame"), cfg)
+	if err == nil {
+		t.Fatal("write against a dead peer succeeded")
+	}
+	if !strings.Contains(err.Error(), "2 attempts") {
+		t.Errorf("error %q does not report the attempt budget", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("bounded retry took %v", elapsed)
+	}
+}
+
+func TestFleet200SensorsRace(t *testing.T) {
+	// The acceptance-scale smoke test: 200 concurrent sensors, one server,
+	// default transport knobs, clean under -race.
+	d := dataset.MustLoad("activity", dataset.Options{Seed: 9, MaxSequences: 200})
+	cfg := FleetConfig{
+		Base: RunConfig{
+			Dataset: d, Policy: policy.NewUniform(0.5), Encoder: EncAGE,
+			Cipher: seccomm.ChaCha20Stream, Rate: 0.5,
+			Model: energy.Default(), Seed: 1,
+		},
+		Sensors: 200,
+	}
+	res, err := runBounded(t, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		for _, st := range res.Sensors {
+			if !st.OK() {
+				t.Errorf("sensor %d: %s", st.Sensor, st.Err())
+			}
+		}
+		t.Fatalf("%d of 200 sensors failed", res.Failed)
+	}
+	if res.Messages != 200 {
+		t.Errorf("Messages = %d, want 200", res.Messages)
 	}
 }
 

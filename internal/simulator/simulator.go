@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -71,6 +72,10 @@ type RunConfig struct {
 	// KeepRecons stores each sequence's server-side reconstruction in the
 	// result (memory-heavy; used by the inference-utility experiment).
 	KeepRecons bool
+	// IOTimeout bounds each frame read/write in socket mode (RunOverSocket
+	// and the Sensor/Server actors); zero selects a generous default. The
+	// in-process Run ignores it.
+	IOTimeout time.Duration
 }
 
 // SequenceResult records one sequence's outcome.

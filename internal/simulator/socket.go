@@ -1,9 +1,11 @@
 package simulator
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -20,16 +22,18 @@ import (
 // Sensor samples sequences, encodes batches, seals them, and writes frames
 // to the connection.
 type Sensor struct {
-	cfg    RunConfig
-	enc    core.Encoder
-	sealer seccomm.Sealer
+	cfg     RunConfig
+	enc     core.Encoder
+	sealer  seccomm.Sealer
+	timeout time.Duration
 }
 
 // Server reads frames, opens and decodes them, and reconstructs sequences.
 type Server struct {
-	meta   dataset.Meta
-	dec    core.Decoder
-	opener seccomm.Sealer
+	meta    dataset.Meta
+	dec     core.Decoder
+	opener  seccomm.Sealer
+	timeout time.Duration
 }
 
 // ServerResult is what the server learns about one received batch.
@@ -54,8 +58,12 @@ func NewSensorServer(cfg RunConfig) (*Sensor, *Server, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Sensor{cfg: cfg, enc: encs.enc, sealer: sealer},
-		&Server{meta: meta, dec: encs.dec, opener: opener}, nil
+	timeout := cfg.IOTimeout
+	if timeout <= 0 {
+		timeout = defaultIOTimeout
+	}
+	return &Sensor{cfg: cfg, enc: encs.enc, sealer: sealer, timeout: timeout},
+		&Server{meta: meta, dec: encs.dec, opener: opener, timeout: timeout}, nil
 }
 
 // SendSequence samples one sequence with the sensor's policy, encodes and
@@ -75,7 +83,7 @@ func (s *Sensor) SendSequence(conn net.Conn, seq [][]float64, seed int64) (colle
 	if err != nil {
 		return 0, 0, fmt.Errorf("sensor: seal: %w", err)
 	}
-	if err := seccomm.WriteFrame(conn, msg); err != nil {
+	if err := seccomm.WriteFrameDeadline(conn, msg, s.timeout); err != nil {
 		return 0, 0, fmt.Errorf("sensor: write: %w", err)
 	}
 	return len(idx), len(msg), nil
@@ -84,7 +92,7 @@ func (s *Sensor) SendSequence(conn net.Conn, seq [][]float64, seed int64) (colle
 // ReceiveSequence reads one frame, opens and decodes it, and reconstructs
 // the full sequence.
 func (s *Server) ReceiveSequence(conn net.Conn) (*ServerResult, error) {
-	msg, err := seccomm.ReadFrame(conn)
+	msg, err := seccomm.ReadFrameDeadline(conn, s.timeout)
 	if err != nil {
 		return nil, fmt.Errorf("server: read: %w", err)
 	}
@@ -113,6 +121,9 @@ type SocketResult struct {
 // the sensor goroutine streams every sequence; the server (caller goroutine)
 // receives, reconstructs, and scores. Energy/budget accounting is the
 // in-process Run's job; this path validates the transport stack end to end.
+// Every frame carries the RunConfig.IOTimeout read/write deadline, and a
+// server-side failure closes the connection and waits for the sensor
+// goroutine before returning, so neither side can leak or hang the caller.
 func RunOverSocket(cfg RunConfig) (*SocketResult, error) {
 	sensor, server, err := NewSensorServer(cfg)
 	if err != nil {
@@ -126,6 +137,8 @@ func RunOverSocket(cfg RunConfig) (*SocketResult, error) {
 
 	var wg sync.WaitGroup
 	var sensorErr error
+	var sensorConnMu sync.Mutex
+	var sensorConn net.Conn
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -134,6 +147,9 @@ func RunOverSocket(cfg RunConfig) (*SocketResult, error) {
 			sensorErr = err
 			return
 		}
+		sensorConnMu.Lock()
+		sensorConn = conn
+		sensorConnMu.Unlock()
 		defer conn.Close()
 		for i, seq := range cfg.Dataset.Sequences {
 			if _, _, err := sensor.SendSequence(conn, seq.Values, cfg.Seed+int64(i)); err != nil {
@@ -142,10 +158,28 @@ func RunOverSocket(cfg RunConfig) (*SocketResult, error) {
 			}
 		}
 	}()
+	// abort tears the transport down and joins the sensor goroutine so a
+	// server-side failure cannot leak it mid-write.
+	abort := func(serverErr error) error {
+		ln.Close()
+		sensorConnMu.Lock()
+		if sensorConn != nil {
+			sensorConn.Close()
+		}
+		sensorConnMu.Unlock()
+		wg.Wait()
+		if sensorErr != nil {
+			return errors.Join(
+				fmt.Errorf("simulator: server: %w", serverErr),
+				fmt.Errorf("simulator: sensor: %w", sensorErr),
+			)
+		}
+		return fmt.Errorf("simulator: server: %w", serverErr)
+	}
 
 	conn, err := ln.Accept()
 	if err != nil {
-		return nil, err
+		return nil, abort(err)
 	}
 	defer conn.Close()
 
@@ -154,11 +188,11 @@ func RunOverSocket(cfg RunConfig) (*SocketResult, error) {
 	for _, seq := range cfg.Dataset.Sequences {
 		sr, err := server.ReceiveSequence(conn)
 		if err != nil {
-			return nil, err
+			return nil, abort(err)
 		}
 		mae, err := reconstruct.MAE(sr.Recon, seq.Values)
 		if err != nil {
-			return nil, err
+			return nil, abort(err)
 		}
 		acc.Add(mae, 1)
 		res.SizesByLabel[seq.Label] = append(res.SizesByLabel[seq.Label], sr.WireBytes)
