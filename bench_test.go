@@ -11,12 +11,17 @@
 package age_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/policy"
 	"repro/internal/seccomm"
 )
+
+// benchCtx is the context for experiment runs; benchmarks are never
+// canceled.
+var benchCtx = context.Background()
 
 const (
 	benchMaxSeq        = 64
@@ -44,7 +49,7 @@ func BenchmarkTable1MessageSizes(b *testing.B) {
 	cfg := benchConfig()
 	cfg.SkipRNN = policy.SkipRNNTrainConfig{Hidden: 8, Epochs: 2, GateEpochs: 1, Seed: 1}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table1(cfg)
+		res, err := experiments.Table1(benchCtx, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,7 +70,7 @@ func BenchmarkTable1MessageSizes(b *testing.B) {
 func BenchmarkFigure1AdaptiveExample(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure1(cfg)
+		res, err := experiments.Figure1(benchCtx, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +91,7 @@ func BenchmarkFigure1AdaptiveExample(b *testing.B) {
 func BenchmarkTable4ReconstructionError(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table45(cfg, nil)
+		res, err := experiments.Table45(benchCtx, cfg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +117,7 @@ func BenchmarkTable4ReconstructionError(b *testing.B) {
 func BenchmarkTable5WeightedError(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table45(cfg, nil)
+		res, err := experiments.Table45(benchCtx, cfg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +134,7 @@ func BenchmarkTable5WeightedError(b *testing.B) {
 func BenchmarkFigure5ActivityCurve(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure5(cfg)
+		res, err := experiments.Figure5(benchCtx, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +159,7 @@ func BenchmarkFigure5ActivityCurve(b *testing.B) {
 func BenchmarkTable6NMI(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table6(cfg, nil)
+		res, err := experiments.Table6(benchCtx, cfg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -194,7 +199,7 @@ func BenchmarkTable6NMI(b *testing.B) {
 func BenchmarkFigure6AttackAccuracy(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure6(cfg, nil)
+		res, err := experiments.Figure6(benchCtx, cfg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -224,7 +229,7 @@ func BenchmarkFigure6AttackAccuracy(b *testing.B) {
 func BenchmarkFigure7SeizureConfusion(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure7(cfg)
+		res, err := experiments.Figure7(benchCtx, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -249,7 +254,7 @@ func BenchmarkTable7SkipRNN(b *testing.B) {
 	cfg.TrainSequences = 16
 	cfg.SkipRNN = policy.SkipRNNTrainConfig{Hidden: 8, Epochs: 2, GateEpochs: 1, Seed: 1}
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table7(cfg, nil)
+		rows, err := experiments.Table7(benchCtx, cfg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -278,7 +283,7 @@ func BenchmarkTable7SkipRNN(b *testing.B) {
 func BenchmarkTable8Variants(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table8(cfg, nil)
+		res, err := experiments.Table8(benchCtx, cfg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -300,7 +305,7 @@ func BenchmarkTable9MCUEnergy(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		for _, name := range []string{"activity", "tiselac"} {
-			res, err := experiments.TableMCU(cfg, name)
+			res, err := experiments.TableMCU(benchCtx, cfg, name)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -330,7 +335,7 @@ func BenchmarkTable10MCUError(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
 		for _, name := range []string{"activity", "tiselac"} {
-			res, err := experiments.TableMCU(cfg, name)
+			res, err := experiments.TableMCU(benchCtx, cfg, name)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -359,7 +364,7 @@ func BenchmarkTable10MCUError(b *testing.B) {
 func BenchmarkSec58Overhead(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Sec58(cfg)
+		res, err := experiments.Sec58(benchCtx, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -381,7 +386,7 @@ func BenchmarkSec58Overhead(b *testing.B) {
 func BenchmarkExtensionInferenceUtility(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.InferenceUtility(cfg, "epilepsy", 0.7)
+		res, err := experiments.InferenceUtility(benchCtx, cfg, "epilepsy", 0.7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -398,7 +403,7 @@ func BenchmarkExtensionInferenceUtility(b *testing.B) {
 func BenchmarkExtensionMultiEvent(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.MultiEvent(cfg)
+		res, err := experiments.MultiEvent(benchCtx, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -418,7 +423,7 @@ func BenchmarkExtensionMultiEvent(b *testing.B) {
 func BenchmarkAblationG0(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationG0(cfg, "epilepsy")
+		res, err := experiments.AblationG0(benchCtx, cfg, "epilepsy")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -436,7 +441,7 @@ func BenchmarkAblationG0(b *testing.B) {
 func BenchmarkAblationWMin(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationWMin(cfg, "epilepsy")
+		res, err := experiments.AblationWMin(benchCtx, cfg, "epilepsy")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -457,7 +462,7 @@ func itoa(v int) string { return string(rune('0' + v)) }
 func BenchmarkDiscussionCompressionLeak(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.CompressionLeakage(cfg, "epilepsy")
+		res, err := experiments.CompressionLeakage(benchCtx, cfg, "epilepsy")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -478,7 +483,7 @@ func BenchmarkDiscussionCompressionLeak(b *testing.B) {
 func BenchmarkDiscussionBufferedDefense(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.BufferedDefense(cfg, "epilepsy")
+		res, err := experiments.BufferedDefense(benchCtx, cfg, "epilepsy")
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	agetables -exp all                 # everything (minutes)
+//	agetables -exp all -workers 8      # parallel sweep, identical output
 //	agetables -exp table4 -datasets epilepsy,activity
 //	agetables -exp figure6 -max-seq 64 -attack-samples 400
 //
@@ -14,40 +15,86 @@
 // multievent (batches spanning two events, §3.1), ablation (w_min and G_0
 // sensitivity, §4.2-§4.3), compression (§7's lossless-compression leak), and
 // buffered (§7's buffering alternative and its latency/drop costs).
+//
+// Output is byte-identical for any -workers value at the same seed: every
+// cell's RNG derives from the seed and the cell's name, and results merge in
+// canonical cell order (see internal/experiments/runner.go).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+// benchReport is the -bench-json payload: per-experiment wall-clock plus the
+// Sec 5.8 encoder timings, for CI trend tracking.
+type benchReport struct {
+	Workers           int                `json:"workers"`
+	GOMAXPROCS        int                `json:"gomaxprocs"`
+	ExperimentSeconds map[string]float64 `json:"experiment_seconds"`
+	TotalSeconds      float64            `json:"total_seconds"`
+	EncoderNsPerOp    map[string]float64 `json:"encoder_ns_per_op,omitempty"`
+}
+
 func main() {
 	log.SetFlags(0)
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (table1..table10, figure1..figure7, sec58, all)")
-		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: all nine)")
-		maxSeq   = flag.Int("max-seq", 96, "sequences per dataset (0 = full published size)")
-		samples  = flag.Int("attack-samples", 600, "attack windows per evaluation")
-		perms    = flag.Int("perms", 10000, "permutations for NMI significance")
-		seed     = flag.Int64("seed", 7, "random seed")
+		exp       = flag.String("exp", "all", "experiment to run (table1..table10, figure1..figure7, sec58, all)")
+		datasets  = flag.String("datasets", "", "comma-separated dataset subset (default: all nine)")
+		maxSeq    = flag.Int("max-seq", 96, "sequences per dataset (0 = full published size)")
+		samples   = flag.Int("attack-samples", 600, "attack windows per evaluation")
+		perms     = flag.Int("perms", 10000, "permutations for NMI significance")
+		seed      = flag.Int64("seed", 7, "random seed")
+		workers   = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS); output is identical for any value")
+		progress  = flag.Bool("progress", false, "report per-cell progress on stderr")
+		benchJSON = flag.String("bench-json", "", "write wall-clock timings to this JSON file")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := experiments.DefaultConfig()
 	cfg.MaxSequences = *maxSeq
 	cfg.AttackSamples = *samples
 	cfg.Permutations = *perms
 	cfg.Seed = *seed
+	cfg.Workers = *workers
+	if *progress {
+		cfg.Progress = func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, label)
+		}
+	}
 
 	var names []string
 	if *datasets != "" {
 		names = strings.Split(*datasets, ",")
+	}
+
+	report := benchReport{
+		Workers:           *workers,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		ExperimentSeconds: map[string]float64{},
+	}
+	run := func(id, title string, f func() (fmt.Stringer, error)) {
+		start := time.Now()
+		res, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", title, err)
+		}
+		report.ExperimentSeconds[id] = time.Since(start).Seconds()
+		fmt.Println(res.String())
 	}
 
 	want := func(id string) bool { return *exp == "all" || *exp == id }
@@ -55,18 +102,20 @@ func main() {
 	start := time.Now()
 
 	if want("table1") {
-		run("Table 1", func() (fmt.Stringer, error) { return experiments.Table1(cfg) })
+		run("table1", "Table 1", func() (fmt.Stringer, error) { return experiments.Table1(ctx, cfg) })
 		ran = true
 	}
 	if want("figure1") {
-		run("Figure 1", func() (fmt.Stringer, error) { return experiments.Figure1(cfg) })
+		run("figure1", "Figure 1", func() (fmt.Stringer, error) { return experiments.Figure1(ctx, cfg) })
 		ran = true
 	}
 	if want("table4") || want("table5") {
-		res, err := experiments.Table45(cfg, names)
+		t45Start := time.Now()
+		res, err := experiments.Table45(ctx, cfg, names)
 		if err != nil {
 			log.Fatalf("tables 4/5: %v", err)
 		}
+		report.ExperimentSeconds["table45"] = time.Since(t45Start).Seconds()
 		if want("table4") {
 			fmt.Println(res.Table4String())
 		}
@@ -76,36 +125,39 @@ func main() {
 		ran = true
 	}
 	if want("figure5") {
-		run("Figure 5", func() (fmt.Stringer, error) { return experiments.Figure5(cfg) })
+		run("figure5", "Figure 5", func() (fmt.Stringer, error) { return experiments.Figure5(ctx, cfg) })
 		ran = true
 	}
 	if want("table6") {
-		run("Table 6", func() (fmt.Stringer, error) { return experiments.Table6(cfg, names) })
+		run("table6", "Table 6", func() (fmt.Stringer, error) { return experiments.Table6(ctx, cfg, names) })
 		ran = true
 	}
 	if want("figure6") {
-		run("Figure 6", func() (fmt.Stringer, error) { return experiments.Figure6(cfg, names) })
+		run("figure6", "Figure 6", func() (fmt.Stringer, error) { return experiments.Figure6(ctx, cfg, names) })
 		ran = true
 	}
 	if want("figure7") {
-		run("Figure 7", func() (fmt.Stringer, error) { return experiments.Figure7(cfg) })
+		run("figure7", "Figure 7", func() (fmt.Stringer, error) { return experiments.Figure7(ctx, cfg) })
 		ran = true
 	}
 	if want("table7") {
-		rows, err := experiments.Table7(cfg, names)
+		t7Start := time.Now()
+		rows, err := experiments.Table7(ctx, cfg, names)
 		if err != nil {
 			log.Fatalf("table 7: %v", err)
 		}
+		report.ExperimentSeconds["table7"] = time.Since(t7Start).Seconds()
 		fmt.Println(experiments.Table7String(rows))
 		ran = true
 	}
 	if want("table8") {
-		run("Table 8", func() (fmt.Stringer, error) { return experiments.Table8(cfg, names) })
+		run("table8", "Table 8", func() (fmt.Stringer, error) { return experiments.Table8(ctx, cfg, names) })
 		ran = true
 	}
 	if want("table9") || want("table10") {
+		mcuStart := time.Now()
 		for _, name := range []string{"activity", "tiselac"} {
-			res, err := experiments.TableMCU(cfg, name)
+			res, err := experiments.TableMCU(ctx, cfg, name)
 			if err != nil {
 				log.Fatalf("tables 9/10 (%s): %v", name, err)
 			}
@@ -116,31 +168,39 @@ func main() {
 				fmt.Println(res.Table10String())
 			}
 		}
+		report.ExperimentSeconds["tablemcu"] = time.Since(mcuStart).Seconds()
 		ran = true
 	}
 	if want("sec58") {
-		run("Sec 5.8", func() (fmt.Stringer, error) { return experiments.Sec58(cfg) })
+		s58Start := time.Now()
+		res, err := experiments.Sec58(ctx, cfg)
+		if err != nil {
+			log.Fatalf("Sec 5.8: %v", err)
+		}
+		report.ExperimentSeconds["sec58"] = time.Since(s58Start).Seconds()
+		report.EncoderNsPerOp = map[string]float64{"standard": res.StandardNs, "age": res.AGENs}
+		fmt.Println(res.String())
 		ran = true
 	}
 	if want("utility") {
-		run("Inference utility", func() (fmt.Stringer, error) { return experiments.InferenceUtility(cfg, "epilepsy", 0.7) })
+		run("utility", "Inference utility", func() (fmt.Stringer, error) { return experiments.InferenceUtility(ctx, cfg, "epilepsy", 0.7) })
 		ran = true
 	}
 	if want("multievent") {
-		run("Multi-event batches", func() (fmt.Stringer, error) { return experiments.MultiEvent(cfg) })
+		run("multievent", "Multi-event batches", func() (fmt.Stringer, error) { return experiments.MultiEvent(ctx, cfg) })
 		ran = true
 	}
 	if want("ablation") {
-		run("G0 ablation", func() (fmt.Stringer, error) { return experiments.AblationG0(cfg, "epilepsy") })
-		run("w_min ablation", func() (fmt.Stringer, error) { return experiments.AblationWMin(cfg, "epilepsy") })
+		run("ablation-g0", "G0 ablation", func() (fmt.Stringer, error) { return experiments.AblationG0(ctx, cfg, "epilepsy") })
+		run("ablation-wmin", "w_min ablation", func() (fmt.Stringer, error) { return experiments.AblationWMin(ctx, cfg, "epilepsy") })
 		ran = true
 	}
 	if want("compression") {
-		run("Compression leakage", func() (fmt.Stringer, error) { return experiments.CompressionLeakage(cfg, "epilepsy") })
+		run("compression", "Compression leakage", func() (fmt.Stringer, error) { return experiments.CompressionLeakage(ctx, cfg, "epilepsy") })
 		ran = true
 	}
 	if want("buffered") {
-		run("Buffering defense", func() (fmt.Stringer, error) { return experiments.BufferedDefense(cfg, "epilepsy") })
+		run("buffered", "Buffering defense", func() (fmt.Stringer, error) { return experiments.BufferedDefense(ctx, cfg, "epilepsy") })
 		ran = true
 	}
 	if !ran {
@@ -148,13 +208,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
-}
-
-func run(title string, f func() (fmt.Stringer, error)) {
-	res, err := f()
-	if err != nil {
-		log.Fatalf("%s: %v", title, err)
+	total := time.Since(start)
+	report.TotalSeconds = total.Seconds()
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatalf("bench-json: %v", err)
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("bench-json: %v", err)
+		}
 	}
-	fmt.Println(res.String())
+	fmt.Printf("done in %s\n", total.Round(time.Millisecond))
 }

@@ -100,6 +100,15 @@ func (w *Writer) Reset() {
 	w.nbit = 0
 }
 
+// ResetTo clears the writer and makes it write into dst's storage. While the
+// written bits fit in cap(dst) no allocation occurs; past that the buffer
+// grows as usual. Callers hand the writer a buffer they own (typically the
+// previous payload, truncated) to keep steady-state encoding allocation-free.
+func (w *Writer) ResetTo(dst []byte) {
+	w.buf = dst[:0]
+	w.nbit = 0
+}
+
 // Reader consumes bits from a byte slice, MSB-first, mirroring Writer.
 type Reader struct {
 	buf []byte
@@ -109,6 +118,14 @@ type Reader struct {
 
 // NewReader returns a Reader over buf. The Reader does not copy buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Reset repoints the reader at buf, restarting at the first bit. It lets hot
+// paths keep a stack-allocated Reader instead of constructing one per payload.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+	r.bit = 0
+}
 
 // ReadBits reads n bits (0..32) and returns them right-aligned.
 func (r *Reader) ReadBits(n int) (uint32, error) {

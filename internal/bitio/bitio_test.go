@@ -138,6 +138,36 @@ func TestReset(t *testing.T) {
 	}
 }
 
+func TestResetTo(t *testing.T) {
+	// Writing into a caller-owned buffer reuses its storage and clears any
+	// stale bytes in the rewritten region.
+	dst := []byte{0xAA, 0xAA, 0xAA, 0xAA}
+	w := NewWriter(0)
+	w.ResetTo(dst)
+	w.WriteBits(0b1, 1)
+	w.WriteBits(0, 7)
+	got := w.Bytes()
+	if len(got) != 1 || got[0] != 0x80 {
+		t.Fatalf("ResetTo write = %x, want 80", got)
+	}
+	if &got[0] != &dst[0] {
+		t.Error("ResetTo did not reuse the destination storage")
+	}
+	// Growing past cap(dst) must still work (append semantics).
+	w.ResetTo(dst)
+	for i := 0; i < 8; i++ {
+		w.WriteBits(uint32(i), 8)
+	}
+	if w.Len() != 8 {
+		t.Fatalf("grown length = %d, want 8", w.Len())
+	}
+	for i, b := range w.Bytes() {
+		if b != byte(i) {
+			t.Fatalf("grown bytes = %x", w.Bytes())
+		}
+	}
+}
+
 func TestReaderAlign(t *testing.T) {
 	r := NewReader([]byte{0xFF, 0x0F})
 	if _, err := r.ReadBits(3); err != nil {

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"slices"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/fixedpoint"
@@ -22,6 +24,11 @@ import (
 //	zero padding to TargetBytes
 type AGE struct {
 	cfg Config
+	// scratch pools the per-encode working set (prune survivors, groups,
+	// merge boundaries) so steady-state Encode/Decode stops allocating per
+	// batch. A pool rather than a single scratch keeps the encoder safe for
+	// concurrent use across sweep workers.
+	scratch sync.Pool
 }
 
 // NewAGE returns an AGE encoder/decoder producing cfg.TargetBytes messages.
@@ -36,12 +43,25 @@ func NewAGE(cfg Config) (*AGE, error) {
 	if cfg.MinWidth < 1 || cfg.MinWidth > cfg.Format.Width {
 		return nil, fmt.Errorf("core: MinWidth %d out of range [1, %d]", cfg.MinWidth, cfg.Format.Width)
 	}
-	return &AGE{cfg: cfg}, nil
+	a := &AGE{cfg: cfg}
+	a.scratch.New = func() any { return new(ageScratch) }
+	return a, nil
 }
 
 // minAGEBytes is the smallest message that can hold the empty-batch header
 // (2-byte count + 1-byte group count).
 const minAGEBytes = 3
+
+// maxRunLen is the largest measurement count one group header can carry in
+// its 16-bit run-length field. rleGroups caps runs here, and mergeGroups
+// refuses merges that would exceed it, so no group ever silently truncates
+// on the wire.
+const maxRunLen = 65535
+
+// maxWireGroups is the largest group count the 1-byte header field can
+// carry. Batches that cannot merge below it (only possible past ~16M
+// measurements, where every group is pinned at maxRunLen) are rejected.
+const maxWireGroups = 255
 
 // Name implements Encoder.
 func (a *AGE) Name() string { return "age" }
@@ -57,17 +77,50 @@ type group struct {
 	width    int // assigned bits per value w_i
 }
 
+// boundary scores the gap between adjacent groups for merging.
+type boundary struct{ pos, score int }
+
+// ageScratch is the reusable working set of one Encode or Decode call.
+type ageScratch struct {
+	idx      []int
+	vals     [][]float64
+	scores   []pruneScore
+	keep     []bool
+	groups   []group
+	bounds   []boundary
+	dissolve []bool
+}
+
+// release returns the scratch to the pool, dropping references to caller
+// data so pooled scratches never pin batch rows against the GC.
+func (a *AGE) release(sc *ageScratch) {
+	vals := sc.vals[:cap(sc.vals)]
+	clear(vals)
+	sc.vals = vals[:0]
+	a.scratch.Put(sc)
+}
+
 // Encode implements Encoder. The result is always exactly TargetBytes long.
-func (a *AGE) Encode(b Batch) ([]byte, error) {
+func (a *AGE) Encode(b Batch) ([]byte, error) { return a.AppendEncode(nil, b) }
+
+// AppendEncode implements AppendEncoder: it writes the payload into dst's
+// storage, allocating only when dst cannot hold TargetBytes.
+func (a *AGE) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	if err := b.Validate(a.cfg.T, a.cfg.D); err != nil {
 		return nil, err
 	}
-	idx, vals := a.prune(b.Indices, b.Values)
-	groups := a.formGroups(vals)
-	groups = a.assignWidths(groups, len(idx))
-
-	w := bitio.NewWriter(a.cfg.TargetBytes)
-	writeIndexBlock(w, idx, a.cfg.T)
+	sc := a.scratch.Get().(*ageScratch)
+	defer a.release(sc)
+	idx, vals := sc.prune(b.Indices, b.Values, a.maxKeep())
+	groups := a.formGroups(sc, vals)
+	groups = a.assignWidths(sc, groups, len(idx))
+	if len(groups) > maxWireGroups {
+		return nil, fmt.Errorf("core: age encode: %d measurements need %d groups, wire format caps at %d",
+			len(idx), len(groups), maxWireGroups)
+	}
+	var w bitio.Writer
+	w.ResetTo(dst)
+	writeIndexBlock(&w, idx, a.cfg.T)
 	w.Align()
 	w.WriteBits(uint32(len(groups)), 8)
 	for _, g := range groups {
@@ -93,64 +146,100 @@ func (a *AGE) Encode(b Batch) ([]byte, error) {
 // TargetBytes on the wire, so a truncated or padded payload is corruption by
 // definition and is rejected before any field is parsed.
 func (a *AGE) Decode(payload []byte) (Batch, error) {
-	if len(payload) != a.cfg.TargetBytes {
-		return Batch{}, fmt.Errorf("core: age decode: payload %dB, want exactly %dB", len(payload), a.cfg.TargetBytes)
-	}
-	r := bitio.NewReader(payload)
-	idx, err := readIndexBlock(r, a.cfg.T)
-	if err != nil {
+	var b Batch
+	if err := a.DecodeInto(&b, payload); err != nil {
 		return Batch{}, err
+	}
+	return b, nil
+}
+
+// DecodeInto implements IntoDecoder: it overwrites *b, reusing its index and
+// value storage when capacities allow. On error *b's contents are
+// unspecified.
+func (a *AGE) DecodeInto(b *Batch, payload []byte) error {
+	if len(payload) != a.cfg.TargetBytes {
+		return fmt.Errorf("core: age decode: payload %dB, want exactly %dB", len(payload), a.cfg.TargetBytes)
+	}
+	var r bitio.Reader
+	r.Reset(payload)
+	idx, err := readIndexBlockInto(&r, a.cfg.T, b.Indices[:0])
+	b.Indices = idx
+	if err != nil {
+		return err
 	}
 	r.Align()
 	gc, err := r.ReadBits(8)
 	if err != nil {
-		return Batch{}, fmt.Errorf("core: age decode group count: %w", err)
+		return fmt.Errorf("core: age decode group count: %w", err)
 	}
-	groups := make([]group, gc)
+	sc := a.scratch.Get().(*ageScratch)
+	defer a.release(sc)
+	groups := slices.Grow(sc.groups[:0], int(gc))[:gc]
+	sc.groups = groups
 	total := 0
 	for i := range groups {
 		c, err1 := r.ReadBits(16)
 		e, err2 := r.ReadBits(8)
 		wd, err3 := r.ReadBits(8)
 		if err1 != nil || err2 != nil || err3 != nil {
-			return Batch{}, fmt.Errorf("core: age decode group %d header", i)
+			return fmt.Errorf("core: age decode group %d header", i)
 		}
 		groups[i] = group{count: int(c), exponent: int(e), width: int(wd)}
 		total += int(c)
 	}
 	if total != len(idx) {
-		return Batch{}, fmt.Errorf("core: age decode: groups cover %d measurements, indices say %d", total, len(idx))
+		return fmt.Errorf("core: age decode: groups cover %d measurements, indices say %d", total, len(idx))
 	}
-	vals := make([][]float64, 0, len(idx))
+	vals := b.Values[:0]
 	for gi, g := range groups {
-		if g.width < 1 || g.width > fixedpoint.MaxWidth || g.exponent < 1 {
-			return Batch{}, fmt.Errorf("core: age decode: group %d has invalid format (w=%d n=%d)", gi, g.width, g.exponent)
+		// A corrupt payload can carry any width or exponent byte; both must
+		// land in fixedpoint's representable range or the constructed
+		// Format would be invalid (§4.4 assigns 1..Format.Width and
+		// 1..NonFrac only).
+		if g.width < 1 || g.width > fixedpoint.MaxWidth ||
+			g.exponent < 1 || g.exponent > fixedpoint.MaxWidth {
+			b.Values = vals
+			return fmt.Errorf("core: age decode: group %d has invalid format (w=%d n=%d)", gi, g.width, g.exponent)
 		}
 		f := fixedpoint.Format{Width: g.width, NonFrac: g.exponent}
 		for i := 0; i < g.count; i++ {
-			row := make([]float64, a.cfg.D)
+			vals = appendRow(vals, a.cfg.D)
+			row := vals[len(vals)-1]
 			for fi := range row {
 				bitsv, err := r.ReadBits(g.width)
 				if err != nil {
-					return Batch{}, fmt.Errorf("core: age decode values: %w", err)
+					b.Values = vals
+					return fmt.Errorf("core: age decode values: %w", err)
 				}
 				row[fi] = fixedpoint.FromBits(bitsv, f).Float()
 			}
-			vals = append(vals, row)
 		}
 	}
-	return Batch{Indices: idx, Values: vals}, nil
+	b.Values = vals
+	return nil
+}
+
+// prune is the scratch-free pruning stage (§4.2), kept for tests and callers
+// outside the hot path.
+func (a *AGE) prune(idx []int, vals [][]float64) ([]int, [][]float64) {
+	return pruneByDistance(idx, vals, a.maxKeep())
 }
 
 // maxKeep returns the largest number of measurements whose index block and
-// values (at MinWidth bits, single group) fit in TargetBytes (§4.2). The
+// values (at MinWidth bits, minimal groups) fit in TargetBytes (§4.2). The
 // index block cost is piecewise in k (explicit list vs bitmask), so the
 // bound is found by binary search on the monotone fit predicate.
 func (a *AGE) maxKeep() int {
 	fits := func(k int) bool {
-		// Index block + alignment slack + group count + one group
-		// header + values at the minimum width.
-		bits := indexBlockBits(k, a.cfg.T) + 7 + 8 + 32 + a.cfg.MinWidth*k*a.cfg.D
+		// Index block + alignment slack + group count + group headers +
+		// values at the minimum width. The 16-bit run-length field caps a
+		// group at maxRunLen measurements, so a batch beyond that carries
+		// ceil(k/maxRunLen) headers even after maximal merging.
+		g := 1
+		if k > maxRunLen {
+			g = (k + maxRunLen - 1) / maxRunLen
+		}
+		bits := indexBlockBits(k, a.cfg.T) + 7 + 8 + 32*g + a.cfg.MinWidth*k*a.cfg.D
 		return bits <= 8*a.cfg.TargetBytes
 	}
 	lo, hi := 0, a.cfg.T
@@ -165,17 +254,78 @@ func (a *AGE) maxKeep() int {
 	return lo
 }
 
-// prune implements measurement pruning (§4.2): when the batch cannot give
-// every value at least MinWidth bits, drop the measurements with the
-// smallest distance scores
+// pruneScore pairs a measurement position with its §4.2 distance score.
+type pruneScore struct {
+	pos  int
+	dist float64
+}
+
+// prune implements measurement pruning (§4.2) on the scratch: when the batch
+// cannot give every value at least MinWidth bits, drop the measurements with
+// the smallest distance scores
 //
 //	Dist(x_t) = |x_t - x_{t+1}|_1 + |alpha_t - alpha_{t+1}| / 8.
 //
 // Scores are computed once (the paper rejects incremental rescoring as not
 // worth the MCU overhead). The final measurement has no successor and is
-// never pruned, anchoring the sequence end.
-func (a *AGE) prune(idx []int, vals [][]float64) ([]int, [][]float64) {
-	return pruneByDistance(idx, vals, a.maxKeep())
+// never pruned, anchoring the sequence end. When nothing needs dropping the
+// inputs are returned unchanged; otherwise survivors are gathered into the
+// scratch slices.
+func (sc *ageScratch) prune(idx []int, vals [][]float64, keep int) ([]int, [][]float64) {
+	k := len(idx)
+	if k <= keep {
+		return idx, vals
+	}
+	if keep <= 0 {
+		return nil, nil
+	}
+	scorePrune(sc, idx, vals, keep)
+	outIdx := sc.idx[:0]
+	outVals := sc.vals[:0]
+	for t := 0; t < k; t++ {
+		if sc.keep[t] {
+			outIdx = append(outIdx, idx[t])
+			outVals = append(outVals, vals[t])
+		}
+	}
+	sc.idx, sc.vals = outIdx, outVals
+	return outIdx, outVals
+}
+
+// scorePrune fills sc.keep with the §4.2 survivor set: the keep measurements
+// with the largest distance scores, ties broken toward earlier positions so
+// the float and integer (MCU) encoders prune identically.
+func scorePrune(sc *ageScratch, idx []int, vals [][]float64, keep int) {
+	k := len(idx)
+	scores := slices.Grow(sc.scores[:0], k)
+	for t := 0; t < k-1; t++ {
+		var l1 float64
+		for f := range vals[t] {
+			l1 += math.Abs(vals[t][f] - vals[t+1][f])
+		}
+		scores = append(scores, pruneScore{pos: t, dist: l1 + float64(idx[t+1]-idx[t])/8})
+	}
+	// The last measurement has no successor and always survives.
+	scores = append(scores, pruneScore{pos: k - 1, dist: math.Inf(1)})
+	sc.scores = scores
+	slices.SortFunc(scores, func(a, b pruneScore) int {
+		switch {
+		case a.dist < b.dist:
+			return -1
+		case a.dist > b.dist:
+			return 1
+		default:
+			return a.pos - b.pos
+		}
+	})
+	keepMask := slices.Grow(sc.keep[:0], k)[:k]
+	sc.keep = keepMask
+	for i := range keepMask {
+		keepMask[i] = true
+	}
+	for _, s := range scores[:k-keep] {
+		keepMask[s.pos] = false
+	}
 }
 
 // formGroups implements exponent-aware group formation (§4.3): compute each
@@ -183,20 +333,26 @@ func (a *AGE) prune(idx []int, vals [][]float64) ([]int, [][]float64) {
 // needs), run-length encode the exponent sequence, and merge adjacent groups
 // until at most G remain, where G is the largest group count whose metadata
 // fits beside full-width values — but never below MinGroups (G_0).
-func (a *AGE) formGroups(vals [][]float64) []group {
+func (a *AGE) formGroups(sc *ageScratch, vals [][]float64) []group {
 	if len(vals) == 0 {
 		return nil
 	}
-	groups := rleGroups(vals, a.cfg.Format.NonFrac)
+	groups := rleGroupsInto(sc.groups[:0], vals, a.cfg.Format.NonFrac)
+	sc.groups = groups
 	g := a.groupCap(len(vals))
-	return mergeGroups(groups, g)
+	return mergeGroupsInto(groups[:0], groups, g, sc)
 }
 
 // rleGroups produces maximal runs of measurements sharing an exponent. Runs
-// are capped at 65535 measurements so the count fits its 2-byte field
-// (unreachable for the paper's T <= 1250, but kept for safety).
+// are capped at maxRunLen measurements so the count fits its 2-byte field
+// (unreachable for the paper's T <= 1250, but load-bearing for large T).
 func rleGroups(vals [][]float64, maxExp int) []group {
-	var out []group
+	return rleGroupsInto(nil, vals, maxExp)
+}
+
+// rleGroupsInto is rleGroups appending into dst.
+func rleGroupsInto(dst []group, vals [][]float64, maxExp int) []group {
+	out := dst
 	for _, row := range vals {
 		e := 1
 		for _, v := range row {
@@ -207,7 +363,7 @@ func rleGroups(vals [][]float64, maxExp int) []group {
 		if e > maxExp {
 			e = maxExp // defensive: data beyond the native format clamps anyway
 		}
-		if n := len(out); n > 0 && out[n-1].exponent == e && out[n-1].count < 65535 {
+		if n := len(out); n > 0 && out[n-1].exponent == e && out[n-1].count < maxRunLen {
 			out[n-1].count++
 		} else {
 			out = append(out, group{count: 1, exponent: e})
@@ -230,8 +386,8 @@ func (a *AGE) groupCap(k int) int {
 	if g < a.cfg.MinGroups {
 		g = a.cfg.MinGroups
 	}
-	if g > 255 {
-		g = 255
+	if g > maxWireGroups {
+		g = maxWireGroups
 	}
 	return g
 }
@@ -246,37 +402,69 @@ func (a *AGE) groupCap(k int) int {
 // len-1 adjacent-pair scores are ranked a single time and the cheapest
 // boundaries are dissolved in one pass, with no rescoring after merges (ties
 // dissolve the leftmost boundary first, keeping the float and integer
-// encoders byte-identical).
+// encoders byte-identical). A boundary whose merge would push the combined
+// run past maxRunLen is never dissolved — the 16-bit run-length field cannot
+// carry it — so the result can exceed g when a batch is large enough to pin
+// groups at the cap.
 func mergeGroups(groups []group, g int) []group {
+	return mergeGroupsInto(make([]group, 0, len(groups)), groups, g, nil)
+}
+
+// mergeGroupsInto is mergeGroups appending into dst. dst may alias
+// groups[:0]: output position j is only written after input position j has
+// been consumed, so in-place compaction is safe. sc, when non-nil, provides
+// reusable boundary scratch.
+func mergeGroupsInto(dst, groups []group, g int, sc *ageScratch) []group {
 	if g < 1 {
 		g = 1
 	}
 	n := len(groups)
 	if n <= g {
-		return groups
+		return append(dst, groups...)
 	}
-	type boundary struct{ pos, score int }
-	bs := make([]boundary, n-1)
+	var bs []boundary
+	var dissolve []bool
+	if sc != nil {
+		bs = sc.bounds[:0]
+		dissolve = slices.Grow(sc.dissolve[:0], n-1)[:n-1]
+	} else {
+		bs = make([]boundary, 0, n-1)
+		dissolve = make([]bool, n-1)
+	}
+	for i := range dissolve {
+		dissolve[i] = false
+	}
 	for i := 0; i+1 < n; i++ {
-		bs[i] = boundary{
+		if groups[i].count+groups[i+1].count > maxRunLen {
+			continue // merging would overflow the 16-bit run length
+		}
+		bs = append(bs, boundary{
 			pos:   i,
 			score: groups[i].count + groups[i+1].count + 2*absInt(groups[i].exponent-groups[i+1].exponent),
-		}
+		})
 	}
-	sort.Slice(bs, func(i, j int) bool {
-		if bs[i].score != bs[j].score {
-			return bs[i].score < bs[j].score
+	if sc != nil {
+		sc.bounds, sc.dissolve = bs, dissolve
+	}
+	slices.SortFunc(bs, func(a, b boundary) int {
+		if a.score != b.score {
+			return a.score - b.score
 		}
-		return bs[i].pos < bs[j].pos
+		return a.pos - b.pos
 	})
-	dissolve := make([]bool, n-1)
-	for _, b := range bs[:n-g] {
+	want := n - g
+	if want > len(bs) {
+		want = len(bs)
+	}
+	for _, b := range bs[:want] {
 		dissolve[b.pos] = true
 	}
-	out := make([]group, 0, g)
+	out := dst
 	cur := groups[0]
 	for i := 1; i < n; i++ {
-		if dissolve[i-1] {
+		// Re-check the cap against the accumulated run: two individually
+		// eligible boundaries can chain into an oversized merge.
+		if dissolve[i-1] && cur.count+groups[i].count <= maxRunLen {
 			cur.count += groups[i].count
 			cur.exponent = maxInt(cur.exponent, groups[i].exponent)
 		} else {
@@ -292,7 +480,7 @@ func mergeGroups(groups []group, g int) []group {
 // as possible. All groups start at the uniform floor width; a round-robin
 // pass then grants +1 bit to groups (in order) while spare bits remain,
 // functionally mimicking fractional widths.
-func (a *AGE) assignWidths(groups []group, k int) []group {
+func (a *AGE) assignWidths(sc *ageScratch, groups []group, k int) []group {
 	if len(groups) == 0 {
 		return groups
 	}
@@ -303,10 +491,15 @@ func (a *AGE) assignWidths(groups []group, k int) []group {
 	avail := 8*a.cfg.TargetBytes - header(len(groups))
 	totalVals := k * a.cfg.D
 	// If the header alone starves the data below MinWidth per value, give
-	// back header space by merging further (down to one group the pruning
-	// guarantee makes MinWidth feasible).
+	// back header space by merging further (down to the fewest groups the
+	// run-length cap permits; the pruning guarantee makes MinWidth feasible
+	// there).
 	for len(groups) > 1 && avail/totalVals < a.cfg.MinWidth {
-		groups = mergeGroups(groups, len(groups)-1)
+		merged := mergeGroupsInto(groups[:0], groups, len(groups)-1, sc)
+		if len(merged) == len(groups) {
+			break // every remaining boundary is pinned by the run-length cap
+		}
+		groups = merged
 		avail = 8*a.cfg.TargetBytes - header(len(groups))
 	}
 	base := avail / totalVals

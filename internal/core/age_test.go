@@ -318,8 +318,9 @@ func TestAGEWidthsMimicFractionalBits(t *testing.T) {
 		}
 		vals[i] = row
 	}
-	groups := a.formGroups(vals)
-	groups = a.assignWidths(groups, k)
+	sc := new(ageScratch)
+	groups := a.formGroups(sc, vals)
+	groups = a.assignWidths(sc, groups, k)
 	if len(groups) < 2 {
 		t.Skip("merging produced one group; fractional mimicry not exercised")
 	}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math/rand"
+	"runtime/debug"
+	"testing"
+)
+
+// The reuse contract: steady-state AppendEncode/DecodeInto must not allocate
+// per batch once the scratch pools and caller buffers are warm. GC is
+// disabled during measurement so a collection cannot empty the sync.Pool
+// mid-run and show up as a spurious allocation.
+func measureAllocs(t *testing.T, f func()) float64 {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race instrumentation")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	f() // warm pools and buffers
+	return testing.AllocsPerRun(50, f)
+}
+
+func TestAGEEncodeDecodeAllocs(t *testing.T) {
+	cfg := testConfig(TargetBytesForRate(0.7, 50, 6, 16))
+	a := mustAGE(t, cfg)
+	rng := rand.New(rand.NewSource(21))
+	batch := randomBatch(rng, cfg.T, cfg.D, 40, 3.5)
+	var payload []byte
+	var dec Batch
+
+	if got := measureAllocs(t, func() {
+		var err error
+		payload, err = a.AppendEncode(payload[:0], batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("AGE.AppendEncode steady state allocates %.1f/op, want 0", got)
+	}
+	if got := measureAllocs(t, func() {
+		if err := a.DecodeInto(&dec, payload); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("AGE.DecodeInto steady state allocates %.1f/op, want 0", got)
+	}
+	// The reuse path must produce the same bytes as the allocating path.
+	direct, err := a.Encode(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(direct) != string(payload) {
+		t.Error("AppendEncode output differs from Encode")
+	}
+}
+
+func TestStandardEncodeDecodeAllocs(t *testing.T) {
+	cfg := testConfig(0)
+	s, err := NewStandard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	batch := randomBatch(rng, cfg.T, cfg.D, 40, 3.5)
+	var payload []byte
+	var dec Batch
+
+	if got := measureAllocs(t, func() {
+		var err error
+		payload, err = s.AppendEncode(payload[:0], batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("Standard.AppendEncode steady state allocates %.1f/op, want 0", got)
+	}
+	if got := measureAllocs(t, func() {
+		if err := s.DecodeInto(&dec, payload); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("Standard.DecodeInto steady state allocates %.1f/op, want 0", got)
+	}
+}
+
+// All package encoders must offer both reuse interfaces so the simulator's
+// hot loop never falls back to the allocating path.
+func TestAllEncodersImplementReusePaths(t *testing.T) {
+	cfg := testConfig(220)
+	age := mustAGE(t, cfg)
+	std, _ := NewStandard(cfg)
+	pad, _ := NewPadded(cfg)
+	single, _ := NewSingle(cfg)
+	unsh, _ := NewUnshifted(cfg)
+	pruned, _ := NewPruned(cfg)
+	for _, e := range []Encoder{age, std, pad, single, unsh, pruned} {
+		if _, ok := e.(AppendEncoder); !ok {
+			t.Errorf("%s does not implement AppendEncoder", e.Name())
+		}
+		if _, ok := e.(IntoDecoder); !ok {
+			t.Errorf("%s does not implement IntoDecoder", e.Name())
+		}
+	}
+}
+
+// TestReusePathsMatchAllocatingPaths round-trips every encoder through both
+// paths and requires byte- and value-identical results: the de-allocation
+// refactor must be invisible on the wire.
+func TestReusePathsMatchAllocatingPaths(t *testing.T) {
+	cfg := testConfig(220)
+	age := mustAGE(t, cfg)
+	std, _ := NewStandard(cfg)
+	pad, _ := NewPadded(cfg)
+	single, _ := NewSingle(cfg)
+	unsh, _ := NewUnshifted(cfg)
+	pruned, _ := NewPruned(cfg)
+	rng := rand.New(rand.NewSource(23))
+	for _, e := range []Encoder{age, std, pad, single, unsh, pruned} {
+		var buf []byte
+		var dec Batch
+		for trial := 0; trial < 20; trial++ {
+			k := rng.Intn(cfg.T) + 1
+			b := randomBatch(rng, cfg.T, cfg.D, k, 3.5)
+			direct, err := e.Encode(b)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name(), err)
+			}
+			buf, err = e.(AppendEncoder).AppendEncode(buf[:0], b)
+			if err != nil {
+				t.Fatalf("%s append: %v", e.Name(), err)
+			}
+			if string(direct) != string(buf) {
+				t.Fatalf("%s trial %d: AppendEncode bytes differ from Encode", e.Name(), trial)
+			}
+			want, err := e.(Decoder).Decode(direct)
+			if err != nil {
+				t.Fatalf("%s decode: %v", e.Name(), err)
+			}
+			if err := e.(IntoDecoder).DecodeInto(&dec, buf); err != nil {
+				t.Fatalf("%s decode into: %v", e.Name(), err)
+			}
+			if len(dec.Indices) != len(want.Indices) {
+				t.Fatalf("%s trial %d: DecodeInto %d indices, Decode %d", e.Name(), trial, len(dec.Indices), len(want.Indices))
+			}
+			for i := range want.Indices {
+				if dec.Indices[i] != want.Indices[i] {
+					t.Fatalf("%s trial %d: index %d differs", e.Name(), trial, i)
+				}
+				for f := range want.Values[i] {
+					if dec.Values[i][f] != want.Values[i][f] {
+						t.Fatalf("%s trial %d: value [%d][%d] differs", e.Name(), trial, i, f)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAGEAppendEncodeActivity(b *testing.B) {
+	cfg := testConfig(TargetBytesForRate(0.7, 50, 6, 16))
+	a, _ := NewAGE(cfg)
+	rng := rand.New(rand.NewSource(1))
+	batch := randomBatch(rng, cfg.T, cfg.D, 40, 3.5)
+	var payload []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if payload, err = a.AppendEncode(payload[:0], batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAGEDecodeIntoActivity(b *testing.B) {
+	cfg := testConfig(TargetBytesForRate(0.7, 50, 6, 16))
+	a, _ := NewAGE(cfg)
+	rng := rand.New(rand.NewSource(1))
+	payload, err := a.Encode(randomBatch(rng, cfg.T, cfg.D, 40, 3.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dec Batch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.DecodeInto(&dec, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStandardAppendEncodeActivity(b *testing.B) {
+	cfg := testConfig(0)
+	s, _ := NewStandard(cfg)
+	rng := rand.New(rand.NewSource(1))
+	batch := randomBatch(rng, cfg.T, cfg.D, 40, 3.5)
+	var payload []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if payload, err = s.AppendEncode(payload[:0], batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStandardDecodeIntoActivity(b *testing.B) {
+	cfg := testConfig(0)
+	s, _ := NewStandard(cfg)
+	rng := rand.New(rand.NewSource(1))
+	payload, err := s.Encode(randomBatch(rng, cfg.T, cfg.D, 40, 3.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dec Batch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.DecodeInto(&dec, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -104,6 +104,43 @@ type Decoder interface {
 	Decode(payload []byte) (Batch, error)
 }
 
+// AppendEncoder is an Encoder with an allocation-free steady-state path:
+// AppendEncode writes the payload into dst's storage (growing it only when
+// the capacity is insufficient) and returns the resulting slice. Callers that
+// feed the previous payload back in as dst — like the simulator's per-batch
+// loop — stop paying a buffer allocation per Encode. All encoders in this
+// package implement it; Encode(b) is AppendEncode(nil, b).
+type AppendEncoder interface {
+	Encoder
+	AppendEncode(dst []byte, b Batch) ([]byte, error)
+}
+
+// IntoDecoder is a Decoder with a reuse path: DecodeInto overwrites *b,
+// reusing its index and value storage (including the per-row slices) when
+// capacities allow. All decoders in this package implement it; Decode is
+// DecodeInto on a zero Batch.
+type IntoDecoder interface {
+	Decoder
+	DecodeInto(b *Batch, payload []byte) error
+}
+
+// appendRow extends vals by one d-length row, reusing spare slice capacity
+// and any previously allocated row storage before falling back to make. The
+// returned row is zeroed only as far as the caller overwrites it, so callers
+// must assign every feature.
+func appendRow(vals [][]float64, d int) [][]float64 {
+	if cap(vals) > len(vals) {
+		vals = vals[:len(vals)+1]
+		if row := vals[len(vals)-1]; cap(row) >= d {
+			vals[len(vals)-1] = row[:d]
+			return vals
+		}
+		vals[len(vals)-1] = make([]float64, d)
+		return vals
+	}
+	return append(vals, make([]float64, d))
+}
+
 // indexBits returns the bits needed to store one time index in [0, T).
 func indexBits(T int) int {
 	if T <= 1 {

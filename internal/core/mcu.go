@@ -88,7 +88,7 @@ func (a *AGE) EncodeRaw(indices []int, raw [][]int32) ([]byte, error) {
 		if e > a.cfg.Format.NonFrac {
 			e = a.cfg.Format.NonFrac
 		}
-		if n := len(groups); n > 0 && groups[n-1].exponent == e && groups[n-1].count < 65535 {
+		if n := len(groups); n > 0 && groups[n-1].exponent == e && groups[n-1].count < maxRunLen {
 			groups[n-1].count++
 		} else {
 			groups = append(groups, group{count: 1, exponent: e})
@@ -97,7 +97,11 @@ func (a *AGE) EncodeRaw(indices []int, raw [][]int32) ([]byte, error) {
 	if len(vals) > 0 {
 		groups = mergeGroups(groups, a.groupCap(len(vals)))
 	}
-	groups = a.assignWidths(groups, len(idx))
+	groups = a.assignWidths(new(ageScratch), groups, len(idx))
+	if len(groups) > maxWireGroups {
+		return nil, fmt.Errorf("core: age encode: %d measurements need %d groups, wire format caps at %d",
+			len(idx), len(groups), maxWireGroups)
+	}
 
 	w := bitio.NewWriter(a.cfg.TargetBytes)
 	writeIndexBlock(w, idx, a.cfg.T)

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/fixedpoint"
+)
+
+// overflowConfig is a synthetic task big enough to overflow the 16-bit group
+// run-length field: T beyond 65535 with alternating exponents collapses (under
+// MinGroups=1) into a single merged group whose count cannot fit on the wire.
+func overflowConfig() Config {
+	return Config{
+		T:           70000,
+		D:           1,
+		Format:      fixedpoint.Format{Width: 8, NonFrac: 2},
+		TargetBytes: 18000,
+		MinWidth:    1,
+		MinGroups:   1,
+	}
+}
+
+// overflowBatch alternates values with exponents 1 and 2 so rleGroups emits
+// T single-measurement groups that all merge toward one group.
+func overflowBatch(T int) Batch {
+	idx := make([]int, T)
+	vals := make([][]float64, T)
+	for i := range idx {
+		idx[i] = i
+		if i%2 == 0 {
+			vals[i] = []float64{0.4} // exponent 1
+		} else {
+			vals[i] = []float64{1.7} // exponent 2
+		}
+	}
+	return Batch{Indices: idx, Values: vals}
+}
+
+// TestAGERunLengthOverflowRegression pins the 16-bit run-length fix: before
+// it, the fully merged group's count (70000) was masked to 70000-65536 in the
+// 2-byte field and the payload decoded as a short, corrupt batch. Merging
+// must now stop at the field's capacity and the round trip must survive.
+func TestAGERunLengthOverflowRegression(t *testing.T) {
+	cfg := overflowConfig()
+	a := mustAGE(t, cfg)
+	b := overflowBatch(cfg.T)
+	payload, err := a.Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != cfg.TargetBytes {
+		t.Fatalf("payload %dB, want %dB", len(payload), cfg.TargetBytes)
+	}
+	got, err := a.Decode(payload)
+	if err != nil {
+		t.Fatalf("round trip failed (run length truncated?): %v", err)
+	}
+	if got.Len() != b.Len() {
+		t.Fatalf("decoded %d measurements, want %d", got.Len(), b.Len())
+	}
+	for i := range b.Indices {
+		if got.Indices[i] != b.Indices[i] {
+			t.Fatalf("index %d decoded as %d, want %d", i, got.Indices[i], b.Indices[i])
+		}
+	}
+}
+
+// TestMergeGroupsNeverExceedsRunLength drives mergeGroups directly at counts
+// that straddle the cap: pairs summing past 65535 must stay split even when
+// the requested group count is 1.
+func TestMergeGroupsNeverExceedsRunLength(t *testing.T) {
+	groups := []group{
+		{count: 40000, exponent: 1},
+		{count: 30000, exponent: 1}, // 40000+30000 > 65535: boundary pinned
+		{count: 20000, exponent: 1}, // 30000+20000 <= 65535: merges
+	}
+	merged := mergeGroups(append([]group(nil), groups...), 1)
+	total := 0
+	for _, g := range merged {
+		if g.count > maxRunLen {
+			t.Fatalf("merged group count %d exceeds wire cap %d", g.count, maxRunLen)
+		}
+		total += g.count
+	}
+	if total != 90000 {
+		t.Fatalf("merge lost measurements: total %d, want 90000", total)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("merged to %d groups, want 2 (one pinned boundary)", len(merged))
+	}
+}
+
+// TestMergeGroupsChainedOverflow checks the accumulation re-check: two
+// boundaries that are each individually mergeable must not chain into one
+// oversized group.
+func TestMergeGroupsChainedOverflow(t *testing.T) {
+	groups := []group{
+		{count: 30000, exponent: 1},
+		{count: 30000, exponent: 1},
+		{count: 30000, exponent: 1},
+	}
+	merged := mergeGroups(append([]group(nil), groups...), 1)
+	total := 0
+	for _, g := range merged {
+		if g.count > maxRunLen {
+			t.Fatalf("chained merge produced count %d > %d", g.count, maxRunLen)
+		}
+		total += g.count
+	}
+	if total != 90000 {
+		t.Fatalf("total %d, want 90000", total)
+	}
+}
+
+// TestAGEDecodeRejectsOversizedExponent hand-crafts a payload whose group
+// exponent byte exceeds fixedpoint.MaxWidth. Before the fix Decode only
+// checked exponent >= 1 and built an invalid fixedpoint.Format from it.
+func TestAGEDecodeRejectsOversizedExponent(t *testing.T) {
+	cfg := Config{
+		T:           8,
+		D:           1,
+		Format:      fixedpoint.Format{Width: 8, NonFrac: 2},
+		TargetBytes: 20,
+		MinWidth:    1,
+		MinGroups:   1,
+	}
+	a := mustAGE(t, cfg)
+	build := func(exponent uint32) []byte {
+		w := bitio.NewWriter(cfg.TargetBytes)
+		// T=8 < 16 bits, so the index block is always the bitmask form.
+		w.WriteBits(indexEncodingBitmask, 8)
+		w.WriteBits(0b10000000, 8) // one measurement at t=0
+		w.Align()
+		w.WriteBits(1, 8) // one group
+		w.WriteBits(1, 16)
+		w.WriteBits(exponent, 8)
+		w.WriteBits(8, 8) // full native width
+		w.WriteBits(0x2A, 8)
+		w.PadTo(cfg.TargetBytes)
+		return w.Bytes()
+	}
+	if _, err := a.Decode(build(2)); err != nil {
+		t.Fatalf("control payload with valid exponent rejected: %v", err)
+	}
+	for _, exp := range []uint32{fixedpoint.MaxWidth + 1, 40, 255} {
+		if _, err := a.Decode(build(exp)); err == nil {
+			t.Errorf("exponent %d beyond MaxWidth accepted", exp)
+		} else if !strings.Contains(err.Error(), "invalid format") {
+			t.Errorf("exponent %d: unexpected error %v", exp, err)
+		}
+	}
+}
+
+// TestAGEDecodeMutatedPayloads corrupts every byte of a valid payload with a
+// few adversarial values; Decode must either fail cleanly or return a
+// structurally valid batch — never panic or construct an invalid format.
+func TestAGEDecodeMutatedPayloads(t *testing.T) {
+	cfg := testConfig(120)
+	a := mustAGE(t, cfg)
+	rng := rand.New(rand.NewSource(11))
+	payload, err := a.Encode(randomBatch(rng, cfg.T, cfg.D, 30, 3.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := make([]byte, len(payload))
+	for pos := range payload {
+		for _, v := range []byte{0x00, 0xFF, 0x28, payload[pos] ^ 0x80} {
+			copy(mut, payload)
+			mut[pos] = v
+			got, err := a.Decode(mut)
+			if err != nil {
+				continue
+			}
+			if verr := got.Validate(cfg.T, cfg.D); verr != nil {
+				t.Fatalf("byte %d = %#x: decode accepted structurally invalid batch: %v", pos, v, verr)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/bitio"
 	"repro/internal/fixedpoint"
@@ -34,12 +35,16 @@ func (s *Standard) MaxPayloadBytes() int {
 }
 
 // Encode implements Encoder.
-func (s *Standard) Encode(b Batch) ([]byte, error) {
+func (s *Standard) Encode(b Batch) ([]byte, error) { return s.AppendEncode(nil, b) }
+
+// AppendEncode implements AppendEncoder.
+func (s *Standard) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	if err := b.Validate(s.cfg.T, s.cfg.D); err != nil {
 		return nil, err
 	}
-	w := bitio.NewWriter(StandardPayloadBytes(b.Len(), s.cfg.T, s.cfg.D, s.cfg.Format.Width))
-	writeIndexBlock(w, b.Indices, s.cfg.T)
+	var w bitio.Writer
+	w.ResetTo(dst)
+	writeIndexBlock(&w, b.Indices, s.cfg.T)
 	for _, row := range b.Values {
 		for _, v := range row {
 			w.WriteBits(fixedpoint.FromFloat(v, s.cfg.Format).Bits(), s.cfg.Format.Width)
@@ -51,24 +56,37 @@ func (s *Standard) Encode(b Batch) ([]byte, error) {
 
 // Decode implements Decoder.
 func (s *Standard) Decode(payload []byte) (Batch, error) {
-	r := bitio.NewReader(payload)
-	idx, err := readIndexBlock(r, s.cfg.T)
-	if err != nil {
+	var b Batch
+	if err := s.DecodeInto(&b, payload); err != nil {
 		return Batch{}, err
 	}
-	vals := make([][]float64, len(idx))
-	for i := range vals {
-		row := make([]float64, s.cfg.D)
+	return b, nil
+}
+
+// DecodeInto implements IntoDecoder. On error *b's contents are unspecified.
+func (s *Standard) DecodeInto(b *Batch, payload []byte) error {
+	var r bitio.Reader
+	r.Reset(payload)
+	idx, err := readIndexBlockInto(&r, s.cfg.T, b.Indices[:0])
+	b.Indices = idx
+	if err != nil {
+		return err
+	}
+	vals := b.Values[:0]
+	for range idx {
+		vals = appendRow(vals, s.cfg.D)
+		row := vals[len(vals)-1]
 		for f := range row {
 			raw, err := r.ReadBits(s.cfg.Format.Width)
 			if err != nil {
-				return Batch{}, fmt.Errorf("core: standard decode: %w", err)
+				b.Values = vals
+				return fmt.Errorf("core: standard decode: %w", err)
 			}
 			row[f] = fixedpoint.FromBits(raw, s.cfg.Format).Float()
 		}
-		vals[i] = row
 	}
-	return Batch{Indices: idx, Values: vals}, nil
+	b.Values = vals
+	return nil
 }
 
 // Index blocks carry which time steps were collected. Two encodings exist,
@@ -117,43 +135,48 @@ func writeIndexBlock(w *bitio.Writer, indices []int, T int) {
 
 // readIndexBlock reads either index encoding written by writeIndexBlock.
 func readIndexBlock(r *bitio.Reader, T int) ([]int, error) {
+	return readIndexBlockInto(r, T, nil)
+}
+
+// readIndexBlockInto is readIndexBlock appending into dst. On error the
+// partially filled dst is returned alongside it so callers can keep the
+// storage.
+func readIndexBlockInto(r *bitio.Reader, T int, dst []int) ([]int, error) {
 	flag, err := r.ReadBits(8)
 	if err != nil {
-		return nil, fmt.Errorf("core: reading index flag: %w", err)
+		return dst, fmt.Errorf("core: reading index flag: %w", err)
 	}
 	switch flag {
 	case indexEncodingBitmask:
-		var idx []int
 		for t := 0; t < T; t++ {
 			bit, err := r.ReadBits(1)
 			if err != nil {
-				return nil, fmt.Errorf("core: reading index bitmask: %w", err)
+				return dst, fmt.Errorf("core: reading index bitmask: %w", err)
 			}
 			if bit == 1 {
-				idx = append(idx, t)
+				dst = append(dst, t)
 			}
 		}
-		return idx, nil
+		return dst, nil
 	case indexEncodingExplicit:
 		k, err := r.ReadUint16()
 		if err != nil {
-			return nil, fmt.Errorf("core: reading count: %w", err)
+			return dst, fmt.Errorf("core: reading count: %w", err)
 		}
 		if int(k) > T {
-			return nil, fmt.Errorf("core: count %d exceeds T = %d", k, T)
+			return dst, fmt.Errorf("core: count %d exceeds T = %d", k, T)
 		}
 		ib := indexBits(T)
-		idx := make([]int, k)
-		for i := range idx {
+		for i := 0; i < int(k); i++ {
 			v, err := r.ReadBits(ib)
 			if err != nil {
-				return nil, fmt.Errorf("core: reading index %d: %w", i, err)
+				return dst, fmt.Errorf("core: reading index %d: %w", i, err)
 			}
-			idx[i] = int(v)
+			dst = append(dst, int(v))
 		}
-		return idx, nil
+		return dst, nil
 	default:
-		return nil, fmt.Errorf("core: unknown index encoding %d", flag)
+		return dst, fmt.Errorf("core: unknown index encoding %d", flag)
 	}
 }
 
@@ -184,14 +207,18 @@ func (p *Padded) Name() string { return "padded" }
 func (p *Padded) PayloadBytes() int { return p.max }
 
 // Encode implements Encoder.
-func (p *Padded) Encode(b Batch) ([]byte, error) {
-	raw, err := p.std.Encode(b)
+func (p *Padded) Encode(b Batch) ([]byte, error) { return p.AppendEncode(nil, b) }
+
+// AppendEncode implements AppendEncoder.
+func (p *Padded) AppendEncode(dst []byte, b Batch) ([]byte, error) {
+	raw, err := p.std.AppendEncode(dst, b)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, p.max)
-	copy(out, raw)
-	return out, nil
+	n := len(raw)
+	raw = slices.Grow(raw, p.max-n)[:p.max]
+	clear(raw[n:])
+	return raw, nil
 }
 
 // Decode implements Decoder. The Standard header's count field makes the
@@ -203,4 +230,12 @@ func (p *Padded) Decode(payload []byte) (Batch, error) {
 		return Batch{}, fmt.Errorf("core: padded decode: payload %dB, want exactly %dB", len(payload), p.max)
 	}
 	return p.std.Decode(payload)
+}
+
+// DecodeInto implements IntoDecoder.
+func (p *Padded) DecodeInto(b *Batch, payload []byte) error {
+	if len(payload) != p.max {
+		return fmt.Errorf("core: padded decode: payload %dB, want exactly %dB", len(payload), p.max)
+	}
+	return p.std.DecodeInto(b, payload)
 }

@@ -2,8 +2,7 @@ package core
 
 import (
 	"fmt"
-	"math"
-	"sort"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/fixedpoint"
@@ -50,7 +49,10 @@ func singleHeaderBits(k, T int) int {
 }
 
 // Encode implements Encoder.
-func (s *Single) Encode(b Batch) ([]byte, error) {
+func (s *Single) Encode(b Batch) ([]byte, error) { return s.AppendEncode(nil, b) }
+
+// AppendEncode implements AppendEncoder.
+func (s *Single) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	if err := b.Validate(s.cfg.T, s.cfg.D); err != nil {
 		return nil, err
 	}
@@ -69,8 +71,9 @@ func (s *Single) Encode(b Batch) ([]byte, error) {
 	if width > s.cfg.Format.Width {
 		width = s.cfg.Format.Width
 	}
-	w := bitio.NewWriter(s.cfg.TargetBytes)
-	writeIndexBlock(w, idx, s.cfg.T)
+	var w bitio.Writer
+	w.ResetTo(dst)
+	writeIndexBlock(&w, idx, s.cfg.T)
 	w.Align()
 	w.WriteBits(uint32(width), 8)
 	if width > 0 {
@@ -88,43 +91,58 @@ func (s *Single) Encode(b Batch) ([]byte, error) {
 // Decode implements Decoder. Like AGE, Single's fixed-size contract makes
 // any other payload length corruption; reject it up front.
 func (s *Single) Decode(payload []byte) (Batch, error) {
-	if len(payload) != s.cfg.TargetBytes {
-		return Batch{}, fmt.Errorf("core: single decode: payload %dB, want exactly %dB", len(payload), s.cfg.TargetBytes)
-	}
-	r := bitio.NewReader(payload)
-	idx, err := readIndexBlock(r, s.cfg.T)
-	if err != nil {
+	var b Batch
+	if err := s.DecodeInto(&b, payload); err != nil {
 		return Batch{}, err
+	}
+	return b, nil
+}
+
+// DecodeInto implements IntoDecoder. On error *b's contents are unspecified.
+func (s *Single) DecodeInto(b *Batch, payload []byte) error {
+	if len(payload) != s.cfg.TargetBytes {
+		return fmt.Errorf("core: single decode: payload %dB, want exactly %dB", len(payload), s.cfg.TargetBytes)
+	}
+	var r bitio.Reader
+	r.Reset(payload)
+	idx, err := readIndexBlockInto(&r, s.cfg.T, b.Indices[:0])
+	b.Indices = idx
+	b.Values = b.Values[:0]
+	if err != nil {
+		return err
 	}
 	r.Align()
 	wd, err := r.ReadBits(8)
 	if err != nil {
-		return Batch{}, fmt.Errorf("core: single decode width: %w", err)
+		return fmt.Errorf("core: single decode width: %w", err)
 	}
 	width := int(wd)
 	if width == 0 {
 		if len(idx) != 0 {
-			return Batch{}, fmt.Errorf("core: single decode: zero width with %d indices", len(idx))
+			return fmt.Errorf("core: single decode: zero width with %d indices", len(idx))
 		}
-		return Batch{}, nil
+		b.Indices = nil
+		return nil
 	}
 	if width > fixedpoint.MaxWidth {
-		return Batch{}, fmt.Errorf("core: single decode: width %d out of range", width)
+		return fmt.Errorf("core: single decode: width %d out of range", width)
 	}
 	f := fixedpoint.Format{Width: width, NonFrac: s.cfg.Format.NonFrac}
-	vals := make([][]float64, len(idx))
-	for i := range vals {
-		row := make([]float64, s.cfg.D)
+	vals := b.Values
+	for range idx {
+		vals = appendRow(vals, s.cfg.D)
+		row := vals[len(vals)-1]
 		for fi := range row {
 			bitsv, err := r.ReadBits(width)
 			if err != nil {
-				return Batch{}, fmt.Errorf("core: single decode values: %w", err)
+				b.Values = vals
+				return fmt.Errorf("core: single decode values: %w", err)
 			}
 			row[fi] = fixedpoint.FromBits(bitsv, f).Float()
 		}
-		vals[i] = row
 	}
-	return Batch{Indices: idx, Values: vals}, nil
+	b.Values = vals
+	return nil
 }
 
 // Unshifted keeps AGE's group machinery for width assignment — six
@@ -181,7 +199,10 @@ func (u *Unshifted) headerBits(k, g int) int {
 }
 
 // Encode implements Encoder.
-func (u *Unshifted) Encode(b Batch) ([]byte, error) {
+func (u *Unshifted) Encode(b Batch) ([]byte, error) { return u.AppendEncode(nil, b) }
+
+// AppendEncode implements AppendEncoder.
+func (u *Unshifted) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	if err := b.Validate(u.cfg.T, u.cfg.D); err != nil {
 		return nil, err
 	}
@@ -219,8 +240,9 @@ func (u *Unshifted) Encode(b Batch) ([]byte, error) {
 			}
 		}
 	}
-	w := bitio.NewWriter(u.cfg.TargetBytes)
-	writeIndexBlock(w, idx, u.cfg.T)
+	var w bitio.Writer
+	w.ResetTo(dst)
+	writeIndexBlock(&w, idx, u.cfg.T)
 	w.Align()
 	w.WriteBits(uint32(len(groups)), 8)
 	for _, g := range groups {
@@ -244,18 +266,30 @@ func (u *Unshifted) Encode(b Batch) ([]byte, error) {
 // Decode implements Decoder. Wrong-length payloads violate the fixed-size
 // contract and are rejected.
 func (u *Unshifted) Decode(payload []byte) (Batch, error) {
-	if len(payload) != u.cfg.TargetBytes {
-		return Batch{}, fmt.Errorf("core: unshifted decode: payload %dB, want exactly %dB", len(payload), u.cfg.TargetBytes)
-	}
-	r := bitio.NewReader(payload)
-	idx, err := readIndexBlock(r, u.cfg.T)
-	if err != nil {
+	var b Batch
+	if err := u.DecodeInto(&b, payload); err != nil {
 		return Batch{}, err
+	}
+	return b, nil
+}
+
+// DecodeInto implements IntoDecoder. On error *b's contents are unspecified.
+func (u *Unshifted) DecodeInto(b *Batch, payload []byte) error {
+	if len(payload) != u.cfg.TargetBytes {
+		return fmt.Errorf("core: unshifted decode: payload %dB, want exactly %dB", len(payload), u.cfg.TargetBytes)
+	}
+	var r bitio.Reader
+	r.Reset(payload)
+	idx, err := readIndexBlockInto(&r, u.cfg.T, b.Indices[:0])
+	b.Indices = idx
+	b.Values = b.Values[:0]
+	if err != nil {
+		return err
 	}
 	r.Align()
 	gc, err := r.ReadBits(8)
 	if err != nil {
-		return Batch{}, fmt.Errorf("core: unshifted decode group count: %w", err)
+		return fmt.Errorf("core: unshifted decode group count: %w", err)
 	}
 	groups := make([]group, gc)
 	total := 0
@@ -263,33 +297,36 @@ func (u *Unshifted) Decode(payload []byte) (Batch, error) {
 		c, err1 := r.ReadBits(16)
 		wd, err2 := r.ReadBits(8)
 		if err1 != nil || err2 != nil {
-			return Batch{}, fmt.Errorf("core: unshifted decode group %d", i)
+			return fmt.Errorf("core: unshifted decode group %d", i)
 		}
 		groups[i] = group{count: int(c), width: int(wd)}
 		total += int(c)
 	}
 	if total != len(idx) {
-		return Batch{}, fmt.Errorf("core: unshifted decode: groups cover %d, indices say %d", total, len(idx))
+		return fmt.Errorf("core: unshifted decode: groups cover %d, indices say %d", total, len(idx))
 	}
-	vals := make([][]float64, 0, len(idx))
+	vals := b.Values
 	for _, g := range groups {
 		if g.width < 1 || g.width > fixedpoint.MaxWidth {
-			return Batch{}, fmt.Errorf("core: unshifted decode: bad width %d", g.width)
+			b.Values = vals
+			return fmt.Errorf("core: unshifted decode: bad width %d", g.width)
 		}
 		f := fixedpoint.Format{Width: g.width, NonFrac: u.cfg.Format.NonFrac}
 		for i := 0; i < g.count; i++ {
-			row := make([]float64, u.cfg.D)
+			vals = appendRow(vals, u.cfg.D)
+			row := vals[len(vals)-1]
 			for fi := range row {
 				bitsv, err := r.ReadBits(g.width)
 				if err != nil {
-					return Batch{}, fmt.Errorf("core: unshifted decode values: %w", err)
+					b.Values = vals
+					return fmt.Errorf("core: unshifted decode values: %w", err)
 				}
 				row[fi] = fixedpoint.FromBits(bitsv, f).Float()
 			}
-			vals = append(vals, row)
 		}
 	}
-	return Batch{Indices: idx, Values: vals}, nil
+	b.Values = vals
+	return nil
 }
 
 // Pruned controls the message size with measurement pruning alone (§4.2's
@@ -297,7 +334,8 @@ func (u *Unshifted) Decode(payload []byte) (Batch, error) {
 // until the remainder fits at the full native width. Under tight targets it
 // must discard most of the batch, which Table 8 shows costs ~58% extra error.
 type Pruned struct {
-	cfg Config
+	cfg     Config
+	scratch sync.Pool // *ageScratch, for the shared prune step
 }
 
 // NewPruned returns the pruning-only variant.
@@ -309,7 +347,9 @@ func NewPruned(cfg Config) (*Pruned, error) {
 	if cfg.TargetBytes < minAGEBytes {
 		return nil, fmt.Errorf("core: Pruned target %dB below minimum %dB", cfg.TargetBytes, minAGEBytes)
 	}
-	return &Pruned{cfg: cfg}, nil
+	p := &Pruned{cfg: cfg}
+	p.scratch.New = func() any { return new(ageScratch) }
+	return p, nil
 }
 
 // Name implements Encoder.
@@ -339,13 +379,24 @@ func (p *Pruned) maxKeep() int {
 
 // Encode implements Encoder. Layout: index block, then full-width values,
 // then padding to TargetBytes.
-func (p *Pruned) Encode(b Batch) ([]byte, error) {
+func (p *Pruned) Encode(b Batch) ([]byte, error) { return p.AppendEncode(nil, b) }
+
+// AppendEncode implements AppendEncoder.
+func (p *Pruned) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	if err := b.Validate(p.cfg.T, p.cfg.D); err != nil {
 		return nil, err
 	}
-	idx, vals := pruneByDistance(b.Indices, b.Values, p.maxKeep())
-	w := bitio.NewWriter(p.cfg.TargetBytes)
-	writeIndexBlock(w, idx, p.cfg.T)
+	sc := p.scratch.Get().(*ageScratch)
+	defer func() {
+		vals := sc.vals[:cap(sc.vals)]
+		clear(vals)
+		sc.vals = vals[:0]
+		p.scratch.Put(sc)
+	}()
+	idx, vals := sc.prune(b.Indices, b.Values, p.maxKeep())
+	var w bitio.Writer
+	w.ResetTo(dst)
+	writeIndexBlock(&w, idx, p.cfg.T)
 	for _, row := range vals {
 		for _, v := range row {
 			w.WriteBits(fixedpoint.FromFloat(v, p.cfg.Format).Bits(), p.cfg.Format.Width)
@@ -358,72 +409,47 @@ func (p *Pruned) Encode(b Batch) ([]byte, error) {
 // Decode implements Decoder. Wrong-length payloads violate the fixed-size
 // contract and are rejected.
 func (p *Pruned) Decode(payload []byte) (Batch, error) {
-	if len(payload) != p.cfg.TargetBytes {
-		return Batch{}, fmt.Errorf("core: pruned decode: payload %dB, want exactly %dB", len(payload), p.cfg.TargetBytes)
-	}
-	r := bitio.NewReader(payload)
-	idx, err := readIndexBlock(r, p.cfg.T)
-	if err != nil {
+	var b Batch
+	if err := p.DecodeInto(&b, payload); err != nil {
 		return Batch{}, err
 	}
-	vals := make([][]float64, len(idx))
-	for i := range vals {
-		row := make([]float64, p.cfg.D)
+	return b, nil
+}
+
+// DecodeInto implements IntoDecoder. On error *b's contents are unspecified.
+func (p *Pruned) DecodeInto(b *Batch, payload []byte) error {
+	if len(payload) != p.cfg.TargetBytes {
+		return fmt.Errorf("core: pruned decode: payload %dB, want exactly %dB", len(payload), p.cfg.TargetBytes)
+	}
+	var r bitio.Reader
+	r.Reset(payload)
+	idx, err := readIndexBlockInto(&r, p.cfg.T, b.Indices[:0])
+	b.Indices = idx
+	if err != nil {
+		return err
+	}
+	vals := b.Values[:0]
+	for range idx {
+		vals = appendRow(vals, p.cfg.D)
+		row := vals[len(vals)-1]
 		for fi := range row {
 			bitsv, err := r.ReadBits(p.cfg.Format.Width)
 			if err != nil {
-				return Batch{}, fmt.Errorf("core: pruned decode values: %w", err)
+				b.Values = vals
+				return fmt.Errorf("core: pruned decode values: %w", err)
 			}
 			row[fi] = fixedpoint.FromBits(bitsv, p.cfg.Format).Float()
 		}
-		vals[i] = row
 	}
-	return Batch{Indices: idx, Values: vals}, nil
+	b.Values = vals
+	return nil
 }
 
 // pruneByDistance is the shared §4.2 pruning rule: keep the `keep`
 // measurements with the largest distance scores (the last measurement is
-// always kept).
+// always kept). Hot paths call (*ageScratch).prune directly to reuse the
+// working set; this wrapper allocates a fresh one per call.
 func pruneByDistance(idx []int, vals [][]float64, keep int) ([]int, [][]float64) {
-	k := len(idx)
-	if k <= keep {
-		return idx, vals
-	}
-	if keep <= 0 {
-		return nil, nil
-	}
-	type scored struct {
-		pos  int
-		dist float64
-	}
-	scores := make([]scored, k)
-	for t := 0; t < k-1; t++ {
-		var l1 float64
-		for f := range vals[t] {
-			l1 += math.Abs(vals[t][f] - vals[t+1][f])
-		}
-		scores[t] = scored{pos: t, dist: l1 + float64(idx[t+1]-idx[t])/8}
-	}
-	scores[k-1] = scored{pos: k - 1, dist: math.Inf(1)}
-	// Ties break on position so the float and integer (MCU) encoders
-	// prune identically.
-	sort.Slice(scores, func(i, j int) bool {
-		if scores[i].dist != scores[j].dist {
-			return scores[i].dist < scores[j].dist
-		}
-		return scores[i].pos < scores[j].pos
-	})
-	drop := make(map[int]bool, k-keep)
-	for _, s := range scores[:k-keep] {
-		drop[s.pos] = true
-	}
-	outIdx := make([]int, 0, keep)
-	outVals := make([][]float64, 0, keep)
-	for t := 0; t < k; t++ {
-		if !drop[t] {
-			outIdx = append(outIdx, idx[t])
-			outVals = append(outVals, vals[t])
-		}
-	}
-	return outIdx, outVals
+	var sc ageScratch
+	return sc.prune(idx, vals, keep)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,9 +36,40 @@ type CompressionResult struct {
 }
 
 // CompressionLeakage compresses every fully collected sequence of a dataset
-// and attacks the resulting sizes.
-func CompressionLeakage(cfg Config, name string) (*CompressionResult, error) {
+// and attacks the resulting sizes. Per-sequence compression runs as parallel
+// cells; the size lists are assembled in sequence order, so the NMI and
+// attack results match the original sequential implementation exactly.
+func CompressionLeakage(ctx context.Context, cfg Config, name string) (*CompressionResult, error) {
 	d, err := dataset.Load(name, dataset.Options{Seed: cfg.Seed, MaxSequences: cfg.MaxSequences})
+	if err != nil {
+		return nil, err
+	}
+	type cellOut struct {
+		size  int
+		ratio float64
+	}
+	cellLabels := make([]string, len(d.Sequences))
+	for i := range d.Sequences {
+		cellLabels[i] = fmt.Sprintf("compress/%s/%d", name, i)
+	}
+	out := make([]cellOut, len(d.Sequences))
+	err = cfg.sweep(ctx, cellLabels, func(ctx context.Context, i int) error {
+		s := d.Sequences[i]
+		raw := make([][]int32, len(s.Values))
+		for j, row := range s.Values {
+			raw[j] = make([]int32, len(row))
+			for f, v := range row {
+				raw[j][f] = fixedpoint.FromFloat(v, d.Meta.Format).Raw
+			}
+		}
+		payload, err := compress.Compress(raw)
+		if err != nil {
+			return err
+		}
+		rawBytes := len(raw) * d.Meta.NumFeatures * d.Meta.Format.Width / 8
+		out[i] = cellOut{size: len(payload), ratio: float64(len(payload)) / float64(rawBytes)}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -45,23 +77,11 @@ func CompressionLeakage(cfg Config, name string) (*CompressionResult, error) {
 	sizesByLabel := map[int][]int{}
 	var labels, sizes []int
 	var ratioSum float64
-	for _, s := range d.Sequences {
-		raw := make([][]int32, len(s.Values))
-		for i, row := range s.Values {
-			raw[i] = make([]int32, len(row))
-			for f, v := range row {
-				raw[i][f] = fixedpoint.FromFloat(v, d.Meta.Format).Raw
-			}
-		}
-		payload, err := compress.Compress(raw)
-		if err != nil {
-			return nil, err
-		}
-		rawBytes := len(raw) * d.Meta.NumFeatures * d.Meta.Format.Width / 8
-		ratioSum += float64(len(payload)) / float64(rawBytes)
-		sizesByLabel[s.Label] = append(sizesByLabel[s.Label], len(payload))
+	for i, s := range d.Sequences {
+		ratioSum += out[i].ratio
+		sizesByLabel[s.Label] = append(sizesByLabel[s.Label], out[i].size)
 		labels = append(labels, s.Label)
-		sizes = append(sizes, len(payload))
+		sizes = append(sizes, out[i].size)
 	}
 	res.NMI = stats.NMI(labels, sizes)
 	res.MeanRatio = ratioSum / float64(len(d.Sequences))
@@ -103,13 +123,16 @@ type BufferedResult struct {
 
 // BufferedDefense runs the Linear policy's batches through the buffering
 // encoder with an 8 KiB-class memory bound and measures latency, drops, and
-// the resulting reconstruction error, next to AGE under the same budget.
-func BufferedDefense(cfg Config, name string) (*BufferedResult, error) {
+// the resulting reconstruction error, next to AGE under the same budget. The
+// window pipeline is inherently stateful (the buffer carries measurements
+// across windows), so it stays sequential; ctx is honored between windows.
+func BufferedDefense(ctx context.Context, cfg Config, name string) (*BufferedResult, error) {
 	const rate = 0.7
-	w, err := PrepareWorkload(name, cfg)
+	ws, err := prepareWorkloads(ctx, cfg, []string{name}, false)
 	if err != nil {
 		return nil, err
 	}
+	w := ws[name]
 	meta := w.Data.Meta
 	pol, err := w.PolicyAt("linear", rate)
 	if err != nil {
@@ -140,6 +163,9 @@ func BufferedDefense(cfg Config, name string) (*BufferedResult, error) {
 		return nil
 	}
 	for _, seq := range w.Data.Sequences {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		idx := pol.Sample(seq.Values, rng)
 		vals := make([][]float64, len(idx))
 		for i, t := range idx {

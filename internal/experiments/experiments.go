@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/energy"
@@ -42,6 +43,12 @@ type Config struct {
 	Cipher seccomm.CipherKind
 	// SkipRNN training configuration.
 	SkipRNN policy.SkipRNNTrainConfig
+	// Workers bounds the sweep worker pool (0 = GOMAXPROCS). Results are
+	// identical for any value; see runner.go for the determinism contract.
+	Workers int
+	// Progress, when set, is called after each completed sweep cell. Calls
+	// are serialized and done is monotonic within one sweep.
+	Progress func(done, total int, label string)
 }
 
 // DefaultConfig returns an evaluation sized to run the full sweep in
@@ -84,7 +91,9 @@ type Workload struct {
 	// LinearFit and DeviationFit map a budget rate to a fitted threshold.
 	LinearFit, DeviationFit map[float64]policy.FitResult
 
+	skipOnce  sync.Once
 	skipModel *policy.SkipRNNModel
+	skipErr   error
 	cfg       Config
 }
 
@@ -161,16 +170,13 @@ func (w *Workload) PolicyAt(kind string, rate float64) (policy.Policy, error) {
 	}
 }
 
-// SkipModel lazily trains the workload's Skip RNN.
+// SkipModel lazily trains the workload's Skip RNN. Training runs at most
+// once even when sweep workers race to the first call.
 func (w *Workload) SkipModel() (*policy.SkipRNNModel, error) {
-	if w.skipModel == nil {
-		m, err := policy.TrainSkipRNN(w.Train, w.cfg.SkipRNN)
-		if err != nil {
-			return nil, err
-		}
-		w.skipModel = m
-	}
-	return w.skipModel, nil
+	w.skipOnce.Do(func() {
+		w.skipModel, w.skipErr = policy.TrainSkipRNN(w.Train, w.cfg.SkipRNN)
+	})
+	return w.skipModel, w.skipErr
 }
 
 // RunCell executes one (policy, encoder, rate) simulation on the workload.

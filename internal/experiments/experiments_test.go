@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -55,7 +56,7 @@ func TestPrepareWorkload(t *testing.T) {
 
 func TestTable1Shape(t *testing.T) {
 	cfg := tinyConfig()
-	res, err := Table1(cfg)
+	res, err := Table1(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestTable1Shape(t *testing.T) {
 
 func TestTable45SmallSweep(t *testing.T) {
 	cfg := tinyConfig()
-	res, err := Table45(cfg, []string{"epilepsy"})
+	res, err := Table45(context.Background(), cfg, []string{"epilepsy"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestTable45SmallSweep(t *testing.T) {
 
 func TestTable6SmallSweep(t *testing.T) {
 	cfg := tinyConfig()
-	res, err := Table6(cfg, []string{"epilepsy"})
+	res, err := Table6(context.Background(), cfg, []string{"epilepsy"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestTable6SmallSweep(t *testing.T) {
 
 func TestTable8SmallSweep(t *testing.T) {
 	cfg := tinyConfig()
-	res, err := Table8(cfg, []string{"epilepsy"})
+	res, err := Table8(context.Background(), cfg, []string{"epilepsy"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestTable8SmallSweep(t *testing.T) {
 
 func TestTableMCU(t *testing.T) {
 	cfg := tinyConfig()
-	res, err := TableMCU(cfg, "tiselac")
+	res, err := TableMCU(context.Background(), cfg, "tiselac")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestTableMCU(t *testing.T) {
 }
 
 func TestFigure1(t *testing.T) {
-	res, err := Figure1(tinyConfig())
+	res, err := Figure1(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestFigure1(t *testing.T) {
 }
 
 func TestFigure5(t *testing.T) {
-	res, err := Figure5(tinyConfig())
+	res, err := Figure5(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestFigure5(t *testing.T) {
 }
 
 func TestFigure6(t *testing.T) {
-	res, err := Figure6(tinyConfig(), []string{"epilepsy"})
+	res, err := Figure6(context.Background(), tinyConfig(), []string{"epilepsy"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestFigure6(t *testing.T) {
 }
 
 func TestFigure7(t *testing.T) {
-	res, err := Figure7(tinyConfig())
+	res, err := Figure7(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestFigure7(t *testing.T) {
 }
 
 func TestSec58(t *testing.T) {
-	res, err := Sec58(tinyConfig())
+	res, err := Sec58(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestSec58(t *testing.T) {
 
 func TestTable7SingleDataset(t *testing.T) {
 	cfg := tinyConfig()
-	rows, err := Table7(cfg, []string{"epilepsy"})
+	rows, err := Table7(context.Background(), cfg, []string{"epilepsy"})
 	if err != nil {
 		t.Fatal(err)
 	}

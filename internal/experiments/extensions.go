@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -32,11 +33,12 @@ type UtilityResult struct {
 // InferenceUtility trains an event classifier on raw training sequences and
 // measures detection accuracy on test reconstructions produced by the
 // Uniform, Linear/Standard, and Linear/AGE pipelines.
-func InferenceUtility(cfg Config, name string, rate float64) (*UtilityResult, error) {
-	w, err := PrepareWorkload(name, cfg)
+func InferenceUtility(ctx context.Context, cfg Config, name string, rate float64) (*UtilityResult, error) {
+	ws, err := prepareWorkloads(ctx, cfg, []string{name}, false)
 	if err != nil {
 		return nil, err
 	}
+	w := ws[name]
 	var trSeq [][][]float64
 	var trLab []int
 	n := len(w.Train)
@@ -63,32 +65,51 @@ func InferenceUtility(cfg Config, name string, rate float64) (*UtilityResult, er
 	res.Raw = float64(correct) / float64(len(test))
 
 	testData := &dataset.Dataset{Meta: w.Data.Meta, Sequences: test}
-	for _, col := range []string{"uniform", "linear-std", "linear-age"} {
-		pk, enc := columnSpec(col)
+	cols := []string{"uniform", "linear-std", "linear-age"}
+	type cellOut struct {
+		acc float64
+		ok  bool
+	}
+	labels := make([]string, len(cols))
+	for i, col := range cols {
+		labels[i] = fmt.Sprintf("utility/%s/%s@%g", name, col, rate)
+	}
+	out := make([]cellOut, len(cols))
+	err = cfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
+		pk, enc := columnSpec(cols[i])
 		p, err := w.PolicyAt(pk, rate)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run, err := simulator.Run(simulator.RunConfig{
 			Dataset: testData, Policy: p, Encoder: enc, Cipher: cfg.Cipher,
 			Rate: rate, Model: energy.Default(), Seed: cfg.Seed, KeepRecons: true,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		correct := 0
 		total := 0
-		for i, sr := range run.Seqs {
+		for j, sr := range run.Seqs {
 			if sr.Recon == nil {
 				continue // post-violation sequences carry no reconstruction
 			}
 			total++
-			if clf.Predict(sr.Recon) == test[i].Label {
+			if clf.Predict(sr.Recon) == test[j].Label {
 				correct++
 			}
 		}
 		if total > 0 {
-			res.Pipeline[col] = float64(correct) / float64(total)
+			out[i] = cellOut{acc: float64(correct) / float64(total), ok: true}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, col := range cols {
+		if out[i].ok {
+			res.Pipeline[col] = out[i].acc
 		}
 	}
 	return res, nil
@@ -116,11 +137,12 @@ type MultiEventResult struct {
 // MultiEvent builds double-length Epilepsy batches whose windows span two
 // consecutive events and checks that (a) the Standard encoder still leaks
 // the pair composition through sizes and (b) AGE still closes the channel.
-func MultiEvent(cfg Config) (*MultiEventResult, error) {
-	w, err := PrepareWorkload("epilepsy", cfg)
+func MultiEvent(ctx context.Context, cfg Config) (*MultiEventResult, error) {
+	ws, err := prepareWorkloads(ctx, cfg, []string{"epilepsy"}, false)
 	if err != nil {
 		return nil, err
 	}
+	w := ws["epilepsy"]
 	meta := w.Data.Meta
 	// Pair consecutive sequences into one 2T window; the label encodes the
 	// unordered event pair.
@@ -144,33 +166,42 @@ func MultiEvent(cfg Config) (*MultiEventResult, error) {
 		})
 	}
 	const rate = 0.7
-	res := &MultiEventResult{}
-	rng := cfg.newRNG("multievent")
-	for _, enc := range []simulator.EncoderKind{simulator.EncStandard, simulator.EncAGE} {
+	encoders := []simulator.EncoderKind{simulator.EncStandard, simulator.EncAGE}
+	type cellOut struct {
+		nmi, accPct, majPct float64
+	}
+	labels := []string{"multievent/std", "multievent/age"}
+	out := make([]cellOut, len(encoders))
+	err = cfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
 		p, err := w.PolicyAt("linear", rate)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run, err := simulator.Run(simulator.RunConfig{
-			Dataset: paired, Policy: p, Encoder: enc, Cipher: cfg.Cipher,
+			Dataset: paired, Policy: p, Encoder: encoders[i], Cipher: cfg.Cipher,
 			Rate: rate, Model: energy.Default(), Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		labels, sizes := labelsAndSizes(run)
-		nmi := stats.NMI(labels, sizes)
-		acc, maj, err := attackAccuracy(run.SizesByLabel, pairMeta.NumLabels, cfg, rng)
+		lbls, sizes := labelsAndSizes(run)
+		acc, maj, err := attackAccuracy(run.SizesByLabel, pairMeta.NumLabels, cfg, cfg.newRNG(labels[i]))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if enc == simulator.EncStandard {
-			res.NMIStandard, res.AttackStandard = nmi, acc*100
-		} else {
-			res.NMIAGE, res.AttackAGE = nmi, acc*100
-		}
-		if maj*100 > res.MajorityPct {
-			res.MajorityPct = maj * 100
+		out[i] = cellOut{nmi: stats.NMI(lbls, sizes), accPct: acc * 100, majPct: maj * 100}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &MultiEventResult{
+		NMIStandard: out[0].nmi, AttackStandard: out[0].accPct,
+		NMIAGE: out[1].nmi, AttackAGE: out[1].accPct,
+	}
+	for _, c := range out {
+		if c.majPct > res.MajorityPct {
+			res.MajorityPct = c.majPct
 		}
 	}
 	return res, nil
@@ -200,43 +231,67 @@ type AblationResult struct {
 
 // AblationG0 sweeps AGE's maximum-group floor G_0 over {4, 6, 8} (the values
 // the paper reports as indistinguishable, §4.3).
-func AblationG0(cfg Config, name string) (*AblationResult, error) {
-	return ablate(cfg, name, "G0", []int{4, 6, 8}, func(rc *simulator.RunConfig, v int) {
+func AblationG0(ctx context.Context, cfg Config, name string) (*AblationResult, error) {
+	return ablate(ctx, cfg, name, "G0", []int{4, 6, 8}, func(rc *simulator.RunConfig, v int) {
 		rc.MinGroups = v
 	})
 }
 
 // AblationWMin sweeps the pruning width floor w_min over {3, 5, 7} (§4.2:
 // smaller minimums increase quantization error).
-func AblationWMin(cfg Config, name string) (*AblationResult, error) {
-	return ablate(cfg, name, "w_min", []int{3, 5, 7}, func(rc *simulator.RunConfig, v int) {
+func AblationWMin(ctx context.Context, cfg Config, name string) (*AblationResult, error) {
+	return ablate(ctx, cfg, name, "w_min", []int{3, 5, 7}, func(rc *simulator.RunConfig, v int) {
 		rc.MinWidth = v
 	})
 }
 
-func ablate(cfg Config, name, param string, values []int, apply func(*simulator.RunConfig, int)) (*AblationResult, error) {
-	w, err := PrepareWorkload(name, cfg)
+func ablate(ctx context.Context, cfg Config, name, param string, values []int, apply func(*simulator.RunConfig, int)) (*AblationResult, error) {
+	ws, err := prepareWorkloads(ctx, cfg, []string{name}, false)
+	if err != nil {
+		return nil, err
+	}
+	w := ws[name]
+	type cellKey struct {
+		value int
+		rate  float64
+	}
+	var keys []cellKey
+	var labels []string
+	for _, v := range values {
+		for _, rate := range cfg.Rates {
+			keys = append(keys, cellKey{v, rate})
+			labels = append(labels, fmt.Sprintf("ablate-%s/%s/%d@%g", param, name, v, rate))
+		}
+	}
+	out := make([]float64, len(keys))
+	err = cfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
+		k := keys[i]
+		p, err := w.PolicyAt("linear", k.rate)
+		if err != nil {
+			return err
+		}
+		rc := simulator.RunConfig{
+			Dataset: w.Data, Policy: p, Encoder: simulator.EncAGE,
+			Cipher: cfg.Cipher, Rate: k.rate, Model: energy.Default(), Seed: cfg.Seed,
+		}
+		apply(&rc, k.value)
+		run, err := simulator.Run(rc)
+		if err != nil {
+			return err
+		}
+		out[i] = run.MAE
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	res := &AblationResult{Dataset: name, Parameter: param}
+	i := 0
 	for _, v := range values {
 		var maes []float64
-		for _, rate := range cfg.Rates {
-			p, err := w.PolicyAt("linear", rate)
-			if err != nil {
-				return nil, err
-			}
-			rc := simulator.RunConfig{
-				Dataset: w.Data, Policy: p, Encoder: simulator.EncAGE,
-				Cipher: cfg.Cipher, Rate: rate, Model: energy.Default(), Seed: cfg.Seed,
-			}
-			apply(&rc, v)
-			run, err := simulator.Run(rc)
-			if err != nil {
-				return nil, err
-			}
-			maes = append(maes, run.MAE)
+		for range cfg.Rates {
+			maes = append(maes, out[i])
+			i++
 		}
 		res.Points = append(res.Points, AblationPoint{Value: v, MeanMAE: stats.Mean(maes)})
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestInferenceUtility(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.MaxSequences = 64
 	cfg.TrainSequences = 32
-	res, err := InferenceUtility(cfg, "epilepsy", 0.7)
+	res, err := InferenceUtility(context.Background(), cfg, "epilepsy", 0.7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestInferenceUtility(t *testing.T) {
 func TestMultiEvent(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.MaxSequences = 64
-	res, err := MultiEvent(cfg)
+	res, err := MultiEvent(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestMultiEvent(t *testing.T) {
 
 func TestAblationG0Insensitive(t *testing.T) {
 	cfg := tinyConfig()
-	res, err := AblationG0(cfg, "epilepsy")
+	res, err := AblationG0(context.Background(), cfg, "epilepsy")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestAblationG0Insensitive(t *testing.T) {
 
 func TestAblationWMin(t *testing.T) {
 	cfg := tinyConfig()
-	res, err := AblationWMin(cfg, "epilepsy")
+	res, err := AblationWMin(context.Background(), cfg, "epilepsy")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestAblationWMin(t *testing.T) {
 func TestCompressionLeakage(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.MaxSequences = 48
-	res, err := CompressionLeakage(cfg, "epilepsy")
+	res, err := CompressionLeakage(context.Background(), cfg, "epilepsy")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestCompressionLeakage(t *testing.T) {
 func TestBufferedDefense(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.MaxSequences = 48
-	res, err := BufferedDefense(cfg, "epilepsy")
+	res, err := BufferedDefense(context.Background(), cfg, "epilepsy")
 	if err != nil {
 		t.Fatal(err)
 	}

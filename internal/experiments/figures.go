@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -34,12 +35,15 @@ type Figure1Result struct {
 	TotalErrorRandom, TotalErrorAdaptive float64
 }
 
-// Figure1 runs the motivating example.
-func Figure1(cfg Config) (*Figure1Result, error) {
-	w, err := PrepareWorkload("epilepsy", cfg)
+// Figure1 runs the motivating example. Each (event, policy) case draws from
+// its own tagged RNG — the previous shared RNG made the result depend on map
+// iteration order.
+func Figure1(ctx context.Context, cfg Config) (*Figure1Result, error) {
+	ws, err := prepareWorkloads(ctx, cfg, []string{"epilepsy"}, false)
 	if err != nil {
 		return nil, err
 	}
+	w := ws["epilepsy"]
 	byLabel := w.Data.ByLabel()
 	if len(byLabel[1]) == 0 || len(byLabel[2]) == 0 {
 		return nil, fmt.Errorf("experiments: missing walking/running sequences")
@@ -54,31 +58,51 @@ func Figure1(cfg Config) (*Figure1Result, error) {
 		"random":   policy.NewRandom(rate),
 		"adaptive": policy.NewLinear(linFit.Threshold),
 	}
-	res := &Figure1Result{Truth: events, Cases: map[string]map[string]Figure1Series{}}
-	rng := cfg.newRNG("figure1")
+	eventOrder := []string{"walking", "running"}
+	policyOrder := []string{"random", "adaptive"}
+	type cellKey struct{ event, pname string }
+	var keys []cellKey
+	var labels []string
+	for _, event := range eventOrder {
+		for _, pname := range policyOrder {
+			keys = append(keys, cellKey{event, pname})
+			labels = append(labels, fmt.Sprintf("figure1/%s/%s", event, pname))
+		}
+	}
+	out := make([]Figure1Series, len(keys))
 	d := w.Data.Meta.NumFeatures
-	for event, seq := range events {
-		res.Cases[event] = map[string]Figure1Series{}
-		for pname, p := range policies {
-			idx := p.Sample(seq, rng)
-			vals := make([][]float64, len(idx))
-			for i, t := range idx {
-				vals[i] = seq[t]
-			}
-			recon, err := reconstruct.Linear(idx, vals, len(seq), d)
-			if err != nil {
-				return nil, err
-			}
-			mae, err := reconstruct.MAE(recon, seq)
-			if err != nil {
-				return nil, err
-			}
-			res.Cases[event][pname] = Figure1Series{Collected: len(idx), Error: mae, Recon: recon}
-			if pname == "random" {
-				res.TotalErrorRandom += mae
-			} else {
-				res.TotalErrorAdaptive += mae
-			}
+	err = cfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
+		k := keys[i]
+		seq := events[k.event]
+		idx := policies[k.pname].Sample(seq, cfg.newRNG(labels[i]))
+		vals := make([][]float64, len(idx))
+		for j, t := range idx {
+			vals[j] = seq[t]
+		}
+		recon, err := reconstruct.Linear(idx, vals, len(seq), d)
+		if err != nil {
+			return err
+		}
+		mae, err := reconstruct.MAE(recon, seq)
+		if err != nil {
+			return err
+		}
+		out[i] = Figure1Series{Collected: len(idx), Error: mae, Recon: recon}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure1Result{Truth: events, Cases: map[string]map[string]Figure1Series{}}
+	for i, k := range keys {
+		if res.Cases[k.event] == nil {
+			res.Cases[k.event] = map[string]Figure1Series{}
+		}
+		res.Cases[k.event][k.pname] = out[i]
+		if k.pname == "random" {
+			res.TotalErrorRandom += out[i].Error
+		} else {
+			res.TotalErrorAdaptive += out[i].Error
 		}
 	}
 	return res, nil
@@ -102,22 +126,49 @@ type Figure5Result struct {
 var Figure5Columns = []string{"uniform", "linear-std", "linear-age", "deviation-std", "deviation-age"}
 
 // Figure5 sweeps the Activity budgets.
-func Figure5(cfg Config) (*Figure5Result, error) {
-	w, err := PrepareWorkload("activity", cfg)
+func Figure5(ctx context.Context, cfg Config) (*Figure5Result, error) {
+	ws, err := prepareWorkloads(ctx, cfg, []string{"activity"}, false)
+	if err != nil {
+		return nil, err
+	}
+	w := ws["activity"]
+	type cellKey struct {
+		rate float64
+		col  string
+	}
+	type cellOut struct {
+		mae, perSeqMJ float64
+	}
+	var keys []cellKey
+	var labels []string
+	for _, rate := range cfg.Rates {
+		for _, col := range Figure5Columns {
+			keys = append(keys, cellKey{rate, col})
+			labels = append(labels, fmt.Sprintf("figure5/%s@%g", col, rate))
+		}
+	}
+	out := make([]cellOut, len(keys))
+	err = cfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
+		k := keys[i]
+		pk, enc := columnSpec(k.col)
+		run, err := w.RunCell(pk, enc, k.rate, simulator.ModeSimulation)
+		if err != nil {
+			return err
+		}
+		out[i] = cellOut{mae: run.MAE, perSeqMJ: run.BudgetMJ / float64(len(run.Seqs))}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	res := &Figure5Result{}
+	i := 0
 	for _, rate := range cfg.Rates {
 		pt := Figure5Point{Rate: rate, MAE: map[string]float64{}}
 		for _, col := range Figure5Columns {
-			pk, enc := columnSpec(col)
-			run, err := w.RunCell(pk, enc, rate, simulator.ModeSimulation)
-			if err != nil {
-				return nil, err
-			}
-			pt.MAE[col] = run.MAE
-			pt.PerSeqMJ = run.BudgetMJ / float64(len(run.Seqs))
+			pt.MAE[col] = out[i].mae
+			pt.PerSeqMJ = out[i].perSeqMJ
+			i++
 		}
 		res.Points = append(res.Points, pt)
 	}
@@ -143,35 +194,63 @@ type Figure6Result struct {
 var Figure6Columns = []string{"linear-std", "linear-age", "deviation-std", "deviation-age"}
 
 // Figure6 runs the attack over every dataset and budget.
-func Figure6(cfg Config, datasets []string) (*Figure6Result, error) {
+func Figure6(ctx context.Context, cfg Config, datasets []string) (*Figure6Result, error) {
 	if datasets == nil {
 		datasets = dataset.Names()
 	}
-	res := &Figure6Result{Datasets: datasets, Cells: map[string]map[string]AttackSummary{}}
-	rng := cfg.newRNG("figure6")
+	ws, err := prepareWorkloads(ctx, cfg, datasets, false)
+	if err != nil {
+		return nil, err
+	}
+	type cellKey struct {
+		name, col string
+		rate      float64
+	}
+	type cellOut struct {
+		accPct, majPct float64
+	}
+	var keys []cellKey
+	var labels []string
 	for _, name := range datasets {
-		w, err := PrepareWorkload(name, cfg)
-		if err != nil {
-			return nil, err
+		for _, col := range Figure6Columns {
+			for _, rate := range cfg.Rates {
+				keys = append(keys, cellKey{name, col, rate})
+				labels = append(labels, fmt.Sprintf("figure6/%s/%s@%g", name, col, rate))
+			}
 		}
+	}
+	out := make([]cellOut, len(keys))
+	err = cfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
+		k := keys[i]
+		w := ws[k.name]
+		pk, enc := columnSpec(k.col)
+		run, err := w.RunCell(pk, enc, k.rate, simulator.ModeSimulation)
+		if err != nil {
+			return err
+		}
+		acc, maj, err := attackAccuracy(run.SizesByLabel, w.Data.Meta.NumLabels, cfg, cfg.newRNG(labels[i]))
+		if err != nil {
+			return err
+		}
+		out[i] = cellOut{accPct: acc * 100, majPct: maj * 100}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure6Result{Datasets: datasets, Cells: map[string]map[string]AttackSummary{}}
+	i := 0
+	for _, name := range datasets {
 		res.Cells[name] = map[string]AttackSummary{}
 		for _, col := range Figure6Columns {
-			pk, enc := columnSpec(col)
 			var accs []float64
 			var majority float64
-			for _, rate := range cfg.Rates {
-				run, err := w.RunCell(pk, enc, rate, simulator.ModeSimulation)
-				if err != nil {
-					return nil, err
+			for range cfg.Rates {
+				accs = append(accs, out[i].accPct)
+				if out[i].majPct > majority {
+					majority = out[i].majPct
 				}
-				acc, maj, err := attackAccuracy(run.SizesByLabel, w.Data.Meta.NumLabels, cfg, rng)
-				if err != nil {
-					return nil, err
-				}
-				accs = append(accs, acc*100)
-				if maj*100 > majority {
-					majority = maj * 100
-				}
+				i++
 			}
 			res.Cells[name][col] = AttackSummary{
 				Median: stats.Median(accs), Q1: stats.Quantile(accs, 0.25),
@@ -195,18 +274,28 @@ type Figure7Result struct {
 
 // Figure7 binarizes Epilepsy into seizure vs other and attacks both
 // encoders.
-func Figure7(cfg Config) (*Figure7Result, error) {
+func Figure7(ctx context.Context, cfg Config) (*Figure7Result, error) {
 	const rate = 0.7
-	w, err := PrepareWorkload("epilepsy", cfg)
+	ws, err := prepareWorkloads(ctx, cfg, []string{"epilepsy"}, false)
 	if err != nil {
 		return nil, err
 	}
-	res := &Figure7Result{Rate: rate, Confusion: map[string][][]int{}, Accuracy: map[string]float64{}}
-	rng := cfg.newRNG("figure7")
-	for _, enc := range []simulator.EncoderKind{simulator.EncStandard, simulator.EncAGE} {
-		run, err := w.RunCell("linear", enc, rate, simulator.ModeSimulation)
+	w := ws["epilepsy"]
+	encoders := []simulator.EncoderKind{simulator.EncStandard, simulator.EncAGE}
+	names := []string{"std", "age"}
+	type cellOut struct {
+		confusion [][]int
+		accuracy  float64
+	}
+	labels := make([]string, len(encoders))
+	for i, name := range names {
+		labels[i] = "figure7/" + name
+	}
+	out := make([]cellOut, len(encoders))
+	err = cfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
+		run, err := w.RunCell("linear", encoders[i], rate, simulator.ModeSimulation)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Binarize: label 0 (seizure) vs everything else.
 		binSizes := map[int][]int{}
@@ -217,20 +306,25 @@ func Figure7(cfg Config) (*Figure7Result, error) {
 			}
 			binSizes[b] = append(binSizes[b], sizes...)
 		}
+		rng := cfg.newRNG(labels[i])
 		samples, err := attack.BuildSamples(binSizes, cfg.AttackSamples, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cv, err := attack.CrossValidate(samples, 2, 5, attack.DefaultAdaBoostConfig(), rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		name := "std"
-		if enc == simulator.EncAGE {
-			name = "age"
-		}
-		res.Confusion[name] = cv.Confusion
-		res.Accuracy[name] = cv.MeanAccuracy
+		out[i] = cellOut{confusion: cv.Confusion, accuracy: cv.MeanAccuracy}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure7Result{Rate: rate, Confusion: map[string][][]int{}, Accuracy: map[string]float64{}}
+	for i, name := range names {
+		res.Confusion[name] = out[i].confusion
+		res.Accuracy[name] = out[i].accuracy
 	}
 	return res, nil
 }
@@ -250,8 +344,13 @@ type Sec58Result struct {
 	StandardNs, AGENs float64
 }
 
-// Sec58 computes the overhead analysis for the Activity workload.
-func Sec58(cfg Config) (*Sec58Result, error) {
+// Sec58 computes the overhead analysis for the Activity workload. The timing
+// loops are intentionally sequential — concurrent cells would contend for
+// cores and corrupt the wall-clock measurement.
+func Sec58(ctx context.Context, cfg Config) (*Sec58Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	meta, err := dataset.MetaFor("activity")
 	if err != nil {
 		return nil, err

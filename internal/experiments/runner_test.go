@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSweepRunsEveryCell checks every cell runs exactly once and progress is
+// monotonic with each label reported exactly once.
+func TestSweepRunsEveryCell(t *testing.T) {
+	const n = 23
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("cell-%d", i)
+	}
+	var mu sync.Mutex
+	seen := make([]int, n)
+	var progressDone []int
+	progressLabels := map[string]int{}
+	cfg := Config{Workers: 4, Progress: func(done, total int, label string) {
+		if total != n {
+			t.Errorf("progress total = %d, want %d", total, n)
+		}
+		progressDone = append(progressDone, done)
+		progressLabels[label]++
+	}}
+	err := cfg.sweep(context.Background(), labels, func(ctx context.Context, i int) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("cell %d ran %d times", i, c)
+		}
+	}
+	if len(progressDone) != n {
+		t.Fatalf("progress called %d times, want %d", len(progressDone), n)
+	}
+	for i, d := range progressDone {
+		if d != i+1 {
+			t.Errorf("progress done[%d] = %d, want %d (not monotonic)", i, d, i+1)
+		}
+	}
+	for _, l := range labels {
+		if progressLabels[l] != 1 {
+			t.Errorf("label %q reported %d times", l, progressLabels[l])
+		}
+	}
+}
+
+// TestSweepLowestCellError checks the reported error comes from the
+// lowest-numbered failing cell regardless of worker count: cell 0 always
+// starts before cancellation can propagate, so when it fails its error wins.
+func TestSweepLowestCellError(t *testing.T) {
+	labels := make([]string, 16)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("cell-%d", i)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		cfg := Config{Workers: workers}
+		err := cfg.sweep(context.Background(), labels, func(ctx context.Context, i int) error {
+			return fmt.Errorf("cell %d failed", i)
+		})
+		if err == nil || err.Error() != "cell 0 failed" {
+			t.Errorf("workers=%d: err = %v, want cell 0's error", workers, err)
+		}
+	}
+}
+
+// TestSweepErrorCancelsRemaining checks a failing cell stops the sweep: with
+// one worker, cells after the failure never run.
+func TestSweepErrorCancelsRemaining(t *testing.T) {
+	labels := make([]string, 10)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("cell-%d", i)
+	}
+	var ran []int
+	cfg := Config{Workers: 1}
+	err := cfg.sweep(context.Background(), labels, func(ctx context.Context, i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 4 {
+		t.Errorf("ran %v; cells after the failure should not run", ran)
+	}
+}
+
+// TestSweepContextCancellation checks a canceled parent context aborts the
+// sweep and surfaces ctx.Err().
+func TestSweepContextCancellation(t *testing.T) {
+	labels := make([]string, 100)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("cell-%d", i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var count int
+	var mu sync.Mutex
+	cfg := Config{Workers: 2}
+	err := cfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
+		mu.Lock()
+		count++
+		if count == 5 {
+			cancel()
+		}
+		mu.Unlock()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count == 100 {
+		t.Error("cancellation did not stop the sweep")
+	}
+}
+
+// TestSweepCellContextPropagates checks cells observe cancellation through
+// the context they are handed.
+func TestSweepCellContextPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Workers: 2}
+	start := time.Now()
+	err := cfg.sweep(ctx, []string{"a", "b", "c"}, func(ctx context.Context, i int) error {
+		<-ctx.Done() // must already be closed
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("sweep hung on canceled context")
+	}
+}
+
+// TestSweepDeterminism is the tentpole's acceptance check: the rendered
+// tables must be byte-identical for any worker count at the same seed,
+// because per-cell RNGs derive from cell tags and results merge in canonical
+// order. Run under -race in CI, this also exercises the concurrent paths.
+func TestSweepDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		cfg := tinyConfig()
+		cfg.Workers = workers
+		ctx := context.Background()
+		t45, err := Table45(ctx, cfg, []string{"epilepsy"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t6, err := Table6(ctx, cfg, []string{"epilepsy"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1, err := Figure1(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return t45.Table4String() + t45.Table5String() + t6.String() + f1.String()
+	}
+	sequential := render(1)
+	for _, workers := range []int{2, 4} {
+		if got := render(workers); got != sequential {
+			t.Errorf("workers=%d output differs from sequential (Workers=1)", workers)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -36,12 +37,13 @@ type Table1Result struct {
 
 // Table1 measures per-event message sizes for the three adaptive policies on
 // Epilepsy with the Standard encoder.
-func Table1(cfg Config) (*Table1Result, error) {
+func Table1(ctx context.Context, cfg Config) (*Table1Result, error) {
 	const rate = 0.7
-	w, err := PrepareWorkload("epilepsy", cfg)
+	ws, err := prepareWorkloads(ctx, cfg, []string{"epilepsy"}, true)
 	if err != nil {
 		return nil, err
 	}
+	w := ws["epilepsy"]
 	res := &Table1Result{
 		Rate:         rate,
 		Events:       dataset.LabelNames("epilepsy"),
@@ -49,10 +51,19 @@ func Table1(cfg Config) (*Table1Result, error) {
 		Stats:        map[string][]SizeStat{},
 		MaxPairwiseP: map[string]float64{},
 	}
-	for _, pk := range res.Policies {
-		run, err := w.RunCell(pk, simulator.EncStandard, rate, simulator.ModeSimulation)
+	type cell struct {
+		stats []SizeStat
+		maxP  float64
+	}
+	out := make([]cell, len(res.Policies))
+	labels := make([]string, len(res.Policies))
+	for i, pk := range res.Policies {
+		labels[i] = fmt.Sprintf("table1/%s@%g", pk, rate)
+	}
+	err = cfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
+		run, err := w.RunCell(res.Policies[i], simulator.EncStandard, rate, simulator.ModeSimulation)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		perEvent := make([][]float64, len(res.Events))
 		for l, sizes := range run.SizesByLabel {
@@ -60,20 +71,26 @@ func Table1(cfg Config) (*Table1Result, error) {
 				perEvent[l] = append(perEvent[l], float64(s))
 			}
 		}
-		statsRow := make([]SizeStat, len(res.Events))
+		c := cell{stats: make([]SizeStat, len(res.Events))}
 		for l, sizes := range perEvent {
-			statsRow[l] = SizeStat{Mean: stats.Mean(sizes), Std: stats.StdDev(sizes), N: len(sizes)}
+			c.stats[l] = SizeStat{Mean: stats.Mean(sizes), Std: stats.StdDev(sizes), N: len(sizes)}
 		}
-		res.Stats[pk] = statsRow
-		maxP := 0.0
 		for a := 0; a < len(perEvent); a++ {
 			for b := a + 1; b < len(perEvent); b++ {
-				if p := stats.WelchTTest(perEvent[a], perEvent[b]).P; p > maxP {
-					maxP = p
+				if p := stats.WelchTTest(perEvent[a], perEvent[b]).P; p > c.maxP {
+					c.maxP = p
 				}
 			}
 		}
-		res.MaxPairwiseP[pk] = maxP
+		out[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pk := range res.Policies {
+		res.Stats[pk] = out[i].stats
+		res.MaxPairwiseP[pk] = out[i].maxP
 	}
 	return res, nil
 }
@@ -124,32 +141,53 @@ type ErrorSweep struct {
 }
 
 // RunErrorSweep runs every (dataset, column, rate) simulation of Tables 4-5.
-func RunErrorSweep(cfg Config, datasets []string) (*ErrorSweep, error) {
+func RunErrorSweep(ctx context.Context, cfg Config, datasets []string) (*ErrorSweep, error) {
 	if datasets == nil {
 		datasets = dataset.Names()
 	}
-	sweep := &ErrorSweep{Datasets: datasets, Rates: cfg.Rates, Cells: map[string]map[string][]ErrorCell{}}
+	ws, err := prepareWorkloads(ctx, cfg, datasets, false)
+	if err != nil {
+		return nil, err
+	}
+	type cellKey struct {
+		name, col string
+		rate      float64
+	}
+	var keys []cellKey
+	var labels []string
 	for _, name := range datasets {
-		w, err := PrepareWorkload(name, cfg)
-		if err != nil {
-			return nil, err
+		for _, col := range ErrorColumns {
+			for _, rate := range cfg.Rates {
+				keys = append(keys, cellKey{name, col, rate})
+				labels = append(labels, fmt.Sprintf("sweep/%s/%s@%g", name, col, rate))
+			}
 		}
+	}
+	out := make([]ErrorCell, len(keys))
+	err = cfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
+		k := keys[i]
+		pk, enc := columnSpec(k.col)
+		run, err := ws[k.name].RunCell(pk, enc, k.rate, simulator.ModeSimulation)
+		if err != nil {
+			return fmt.Errorf("experiments: %s/%s@%g: %w", k.name, k.col, k.rate, err)
+		}
+		out[i] = ErrorCell{
+			MAE: run.MAE, WeightedMAE: run.WeightedMAE,
+			EnergyMJ: run.TotalEnergyMJ, BudgetMJ: run.BudgetMJ,
+			Violations: run.Violations,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sweep := &ErrorSweep{Datasets: datasets, Rates: cfg.Rates, Cells: map[string]map[string][]ErrorCell{}}
+	i := 0
+	for _, name := range datasets {
 		sweep.Cells[name] = map[string][]ErrorCell{}
 		for _, col := range ErrorColumns {
-			pk, enc := columnSpec(col)
-			cells := make([]ErrorCell, 0, len(cfg.Rates))
-			for _, rate := range cfg.Rates {
-				run, err := w.RunCell(pk, enc, rate, simulator.ModeSimulation)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s/%s@%g: %w", name, col, rate, err)
-				}
-				cells = append(cells, ErrorCell{
-					MAE: run.MAE, WeightedMAE: run.WeightedMAE,
-					EnergyMJ: run.TotalEnergyMJ, BudgetMJ: run.BudgetMJ,
-					Violations: run.Violations,
-				})
-			}
-			sweep.Cells[name][col] = cells
+			sweep.Cells[name][col] = out[i : i+len(cfg.Rates) : i+len(cfg.Rates)]
+			i += len(cfg.Rates)
 		}
 	}
 	return sweep, nil
@@ -168,8 +206,8 @@ type Table45Result struct {
 }
 
 // Table45 runs the error sweep and reduces it to the published rows.
-func Table45(cfg Config, datasets []string) (*Table45Result, error) {
-	sweep, err := RunErrorSweep(cfg, datasets)
+func Table45(ctx context.Context, cfg Config, datasets []string) (*Table45Result, error) {
+	sweep, err := RunErrorSweep(ctx, cfg, datasets)
 	if err != nil {
 		return nil, err
 	}
@@ -234,36 +272,73 @@ type Table6Result struct {
 	Cells map[string]map[string]NMICell
 }
 
-// Table6 sweeps NMI across datasets, budgets, policies, and encoders.
-func Table6(cfg Config, datasets []string) (*Table6Result, error) {
+// Table6 sweeps NMI across datasets, budgets, policies, and encoders. Each
+// (dataset, policy, encoder, budget) cell draws its permutation-test RNG from
+// its own tag, so results are identical for any worker count.
+func Table6(ctx context.Context, cfg Config, datasets []string) (*Table6Result, error) {
 	if datasets == nil {
 		datasets = dataset.Names()
 	}
-	res := &Table6Result{Datasets: datasets, Cells: map[string]map[string]NMICell{}}
-	rng := cfg.newRNG("table6")
+	ws, err := prepareWorkloads(ctx, cfg, datasets, false)
+	if err != nil {
+		return nil, err
+	}
+	policies := []string{"linear", "deviation"}
+	encoders := []simulator.EncoderKind{simulator.EncStandard, simulator.EncPadded, simulator.EncAGE}
+	type cellKey struct {
+		name, pk string
+		enc      simulator.EncoderKind
+		rate     float64
+	}
+	type cellOut struct {
+		nmi float64
+		sig bool
+	}
+	var keys []cellKey
+	var labels []string
 	for _, name := range datasets {
-		w, err := PrepareWorkload(name, cfg)
-		if err != nil {
-			return nil, err
+		for _, pk := range policies {
+			for _, enc := range encoders {
+				for _, rate := range cfg.Rates {
+					keys = append(keys, cellKey{name, pk, enc, rate})
+					labels = append(labels, fmt.Sprintf("table6/%s/%s-%s@%g", name, pk, enc, rate))
+				}
+			}
 		}
+	}
+	out := make([]cellOut, len(keys))
+	err = cfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
+		k := keys[i]
+		run, err := ws[k.name].RunCell(k.pk, k.enc, k.rate, simulator.ModeSimulation)
+		if err != nil {
+			return err
+		}
+		lbls, sizes := labelsAndSizes(run)
+		c := cellOut{nmi: stats.NMI(lbls, sizes)}
+		if k.enc == simulator.EncStandard && cfg.Permutations > 0 {
+			pt := stats.PermutationTestNMI(lbls, sizes, cfg.Permutations, cfg.newRNG(labels[i]))
+			c.sig = pt.Significant(0.01)
+		}
+		out[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table6Result{Datasets: datasets, Cells: map[string]map[string]NMICell{}}
+	i := 0
+	for _, name := range datasets {
 		res.Cells[name] = map[string]NMICell{}
-		for _, pk := range []string{"linear", "deviation"} {
-			for _, enc := range []simulator.EncoderKind{simulator.EncStandard, simulator.EncPadded, simulator.EncAGE} {
+		for _, pk := range policies {
+			for _, enc := range encoders {
 				var nmis []float64
 				sig := 0
-				for _, rate := range cfg.Rates {
-					run, err := w.RunCell(pk, enc, rate, simulator.ModeSimulation)
-					if err != nil {
-						return nil, err
+				for range cfg.Rates {
+					nmis = append(nmis, out[i].nmi)
+					if out[i].sig {
+						sig++
 					}
-					labels, sizes := labelsAndSizes(run)
-					nmis = append(nmis, stats.NMI(labels, sizes))
-					if enc == simulator.EncStandard && cfg.Permutations > 0 {
-						pt := stats.PermutationTestNMI(labels, sizes, cfg.Permutations, rng)
-						if pt.Significant(0.01) {
-							sig++
-						}
-					}
+					i++
 				}
 				res.Cells[name][fmt.Sprintf("%s-%s", pk, enc)] = NMICell{
 					Median:          stats.Median(nmis),
@@ -286,41 +361,71 @@ type Table7Row struct {
 }
 
 // Table7 evaluates Skip RNNs with and without AGE on every dataset.
-func Table7(cfg Config, datasets []string) ([]Table7Row, error) {
+func Table7(ctx context.Context, cfg Config, datasets []string) ([]Table7Row, error) {
 	if datasets == nil {
 		datasets = dataset.Names()
 	}
-	var rows []Table7Row
-	rng := cfg.newRNG("table7")
+	ws, err := prepareWorkloads(ctx, cfg, datasets, true)
+	if err != nil {
+		return nil, err
+	}
+	encoders := []simulator.EncoderKind{simulator.EncStandard, simulator.EncAGE}
+	type cellKey struct {
+		name string
+		rate float64
+		enc  simulator.EncoderKind
+	}
+	type cellOut struct {
+		mae, nmi, acc, maj float64
+	}
+	var keys []cellKey
+	var labels []string
 	for _, name := range datasets {
-		w, err := PrepareWorkload(name, cfg)
-		if err != nil {
-			return nil, err
+		for _, rate := range cfg.Rates {
+			for _, enc := range encoders {
+				keys = append(keys, cellKey{name, rate, enc})
+				labels = append(labels, fmt.Sprintf("table7/%s/%s@%g", name, enc, rate))
+			}
 		}
+	}
+	out := make([]cellOut, len(keys))
+	err = cfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
+		k := keys[i]
+		w := ws[k.name]
+		run, err := w.RunCell("skiprnn", k.enc, k.rate, simulator.ModeSimulation)
+		if err != nil {
+			return err
+		}
+		lbls, sizes := labelsAndSizes(run)
+		acc, maj, err := attackAccuracy(run.SizesByLabel, w.Data.Meta.NumLabels, cfg, cfg.newRNG(labels[i]))
+		if err != nil {
+			return err
+		}
+		out[i] = cellOut{mae: run.MAE, nmi: stats.NMI(lbls, sizes), acc: acc, maj: maj}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table7Row
+	i := 0
+	for _, name := range datasets {
 		row := Table7Row{Dataset: name}
 		var maeStd, maeAGE []float64
-		for _, rate := range cfg.Rates {
-			for _, enc := range []simulator.EncoderKind{simulator.EncStandard, simulator.EncAGE} {
-				run, err := w.RunCell("skiprnn", enc, rate, simulator.ModeSimulation)
-				if err != nil {
-					return nil, err
-				}
-				labels, sizes := labelsAndSizes(run)
-				nmi := stats.NMI(labels, sizes)
-				acc, maj, err := attackAccuracy(run.SizesByLabel, w.Data.Meta.NumLabels, cfg, rng)
-				if err != nil {
-					return nil, err
-				}
+		for range cfg.Rates {
+			for _, enc := range encoders {
+				c := out[i]
+				i++
 				if enc == simulator.EncStandard {
-					maeStd = append(maeStd, run.MAE)
-					row.NMIStd = math.Max(row.NMIStd, nmi)
-					row.AttackStd = math.Max(row.AttackStd, acc*100)
+					maeStd = append(maeStd, c.mae)
+					row.NMIStd = math.Max(row.NMIStd, c.nmi)
+					row.AttackStd = math.Max(row.AttackStd, c.acc*100)
 				} else {
-					maeAGE = append(maeAGE, run.MAE)
-					row.NMIAGE = math.Max(row.NMIAGE, nmi)
-					row.AttackAGE = math.Max(row.AttackAGE, acc*100)
+					maeAGE = append(maeAGE, c.mae)
+					row.NMIAGE = math.Max(row.NMIAGE, c.nmi)
+					row.AttackAGE = math.Max(row.AttackAGE, c.acc*100)
 				}
-				row.MajorityBaselinePct = math.Max(row.MajorityBaselinePct, maj*100)
+				row.MajorityBaselinePct = math.Max(row.MajorityBaselinePct, c.maj*100)
 			}
 		}
 		row.MAEStd = stats.Mean(maeStd)
@@ -338,37 +443,69 @@ type Table8Result struct {
 }
 
 // Table8 compares the §5.6 variants against full AGE.
-func Table8(cfg Config, datasets []string) (*Table8Result, error) {
+func Table8(ctx context.Context, cfg Config, datasets []string) (*Table8Result, error) {
 	if datasets == nil {
 		datasets = dataset.Names()
 	}
+	ws, err := prepareWorkloads(ctx, cfg, datasets, false)
+	if err != nil {
+		return nil, err
+	}
 	variants := []simulator.EncoderKind{simulator.EncSingle, simulator.EncUnshifted, simulator.EncPruned}
+	policies := []string{"linear", "deviation"}
+	type cellKey struct {
+		name, pk string
+		rate     float64
+	}
+	type cellOut struct {
+		diffs [3]float64
+		valid bool
+	}
+	var keys []cellKey
+	var labels []string
+	for _, name := range datasets {
+		for _, pk := range policies {
+			for _, rate := range cfg.Rates {
+				keys = append(keys, cellKey{name, pk, rate})
+				labels = append(labels, fmt.Sprintf("table8/%s/%s@%g", name, pk, rate))
+			}
+		}
+	}
+	out := make([]cellOut, len(keys))
+	err = cfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
+		k := keys[i]
+		w := ws[k.name]
+		base, err := w.RunCell(k.pk, simulator.EncAGE, k.rate, simulator.ModeSimulation)
+		if err != nil {
+			return err
+		}
+		if base.MAE <= 0 {
+			return nil
+		}
+		c := cellOut{valid: true}
+		for vi, v := range variants {
+			run, err := w.RunCell(k.pk, v, k.rate, simulator.ModeSimulation)
+			if err != nil {
+				return err
+			}
+			c.diffs[vi] = 100 * (run.MAE - base.MAE) / base.MAE
+		}
+		out[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	diffs := map[string]map[string][]float64{}
 	for _, v := range variants {
 		diffs[string(v)] = map[string][]float64{}
 	}
-	for _, name := range datasets {
-		w, err := PrepareWorkload(name, cfg)
-		if err != nil {
-			return nil, err
+	for i, k := range keys {
+		if !out[i].valid {
+			continue
 		}
-		for _, pk := range []string{"linear", "deviation"} {
-			for _, rate := range cfg.Rates {
-				base, err := w.RunCell(pk, simulator.EncAGE, rate, simulator.ModeSimulation)
-				if err != nil {
-					return nil, err
-				}
-				for _, v := range variants {
-					run, err := w.RunCell(pk, v, rate, simulator.ModeSimulation)
-					if err != nil {
-						return nil, err
-					}
-					if base.MAE > 0 {
-						diffs[string(v)][pk] = append(diffs[string(v)][pk],
-							100*(run.MAE-base.MAE)/base.MAE)
-					}
-				}
-			}
+		for vi, v := range variants {
+			diffs[string(v)][k.pk] = append(diffs[string(v)][k.pk], out[i].diffs[vi])
 		}
 	}
 	res := &Table8Result{Pct: map[string]map[string]float64{}}
@@ -407,29 +544,62 @@ var MCURowOrder = []string{
 }
 
 // TableMCU runs the §5.7 hardware-configuration evaluation on one dataset.
-func TableMCU(cfg Config, name string) (*MCUResult, error) {
+func TableMCU(ctx context.Context, cfg Config, name string) (*MCUResult, error) {
 	mcuCfg := cfg
 	mcuCfg.MaxSequences = 75
 	mcuCfg.Cipher = seccomm.AES128Block
 	mcuCfg.Rates = []float64{0.4, 0.7, 1.0}
-	w, err := PrepareWorkload(name, mcuCfg)
+	ws, err := prepareWorkloads(ctx, mcuCfg, []string{name}, false)
+	if err != nil {
+		return nil, err
+	}
+	w := ws[name]
+	type cellOut struct {
+		energyMJ, mae, budgetMJ float64
+	}
+	var keys []struct {
+		col  string
+		rate float64
+	}
+	var labels []string
+	for _, col := range MCURowOrder {
+		for _, rate := range mcuCfg.Rates {
+			keys = append(keys, struct {
+				col  string
+				rate float64
+			}{col, rate})
+			labels = append(labels, fmt.Sprintf("mcu/%s/%s@%g", name, col, rate))
+		}
+	}
+	out := make([]cellOut, len(keys))
+	err = mcuCfg.sweep(ctx, labels, func(ctx context.Context, i int) error {
+		k := keys[i]
+		pk, enc := columnSpec(k.col)
+		run, err := w.RunCell(pk, enc, k.rate, simulator.ModeMCU)
+		if err != nil {
+			return err
+		}
+		out[i] = cellOut{
+			energyMJ: run.TotalEnergyMJ / float64(len(run.Seqs)),
+			mae:      run.MAE,
+			budgetMJ: run.BudgetMJ,
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	res := &MCUResult{Dataset: name, Rates: mcuCfg.Rates}
+	i := 0
 	for _, col := range MCURowOrder {
-		pk, enc := columnSpec(col)
 		row := MCURow{Policy: col}
-		for _, rate := range mcuCfg.Rates {
-			run, err := w.RunCell(pk, enc, rate, simulator.ModeMCU)
-			if err != nil {
-				return nil, err
-			}
-			row.EnergyMJ = append(row.EnergyMJ, run.TotalEnergyMJ/float64(len(run.Seqs)))
-			row.MAE = append(row.MAE, run.MAE)
+		for range mcuCfg.Rates {
+			row.EnergyMJ = append(row.EnergyMJ, out[i].energyMJ)
+			row.MAE = append(row.MAE, out[i].mae)
 			if col == "uniform" {
-				res.BudgetsMJ = append(res.BudgetsMJ, run.BudgetMJ)
+				res.BudgetsMJ = append(res.BudgetsMJ, out[i].budgetMJ)
 			}
+			i++
 		}
 		res.Rows = append(res.Rows, row)
 	}

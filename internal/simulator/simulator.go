@@ -192,6 +192,17 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		BudgetMJ:     budget,
 		SizesByLabel: map[int][]int{},
 	}
+	// Per-run scratch: the encode buffer, the gathered value rows, and the
+	// decoded batch are reused across sequences so the steady-state loop
+	// stops allocating per batch (the encoders' AppendEncode/DecodeInto
+	// reuse paths make this safe; non-reusable encoders fall back to the
+	// allocating path).
+	appender, canAppend := encs.enc.(core.AppendEncoder)
+	intoDec, canDecodeInto := encs.dec.(core.IntoDecoder)
+	var payloadBuf []byte
+	var vals [][]float64
+	var decoded core.Batch
+
 	var acc reconstruct.Accumulator
 	violated := false
 	for _, seq := range cfg.Dataset.Sequences {
@@ -206,11 +217,18 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			continue
 		}
 		idx := cfg.Policy.Sample(seq.Values, rng)
-		vals := make([][]float64, len(idx))
-		for i, t := range idx {
-			vals[i] = seq.Values[t]
+		vals = vals[:0]
+		for _, t := range idx {
+			vals = append(vals, seq.Values[t])
 		}
-		payload, err := encs.enc.Encode(core.Batch{Indices: idx, Values: vals})
+		var payload []byte
+		var err error
+		if canAppend {
+			payload, err = appender.AppendEncode(payloadBuf[:0], core.Batch{Indices: idx, Values: vals})
+			payloadBuf = payload
+		} else {
+			payload, err = encs.enc.Encode(core.Batch{Indices: idx, Values: vals})
+		}
 		if err != nil {
 			return nil, fmt.Errorf("simulator: encode: %w", err)
 		}
@@ -229,9 +247,17 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("simulator: open: %w", err)
 		}
-		batch, err := encs.dec.Decode(opened)
-		if err != nil {
-			return nil, fmt.Errorf("simulator: decode: %w", err)
+		var batch core.Batch
+		if canDecodeInto {
+			if err := intoDec.DecodeInto(&decoded, opened); err != nil {
+				return nil, fmt.Errorf("simulator: decode: %w", err)
+			}
+			batch = decoded
+		} else {
+			batch, err = encs.dec.Decode(opened)
+			if err != nil {
+				return nil, fmt.Errorf("simulator: decode: %w", err)
+			}
 		}
 		recon, err := reconstruct.Linear(batch.Indices, batch.Values, meta.SeqLen, meta.NumFeatures)
 		if err != nil {
