@@ -7,17 +7,20 @@
 //	agesim -dataset epilepsy -policy linear -encoder age -rate 0.7
 //	agesim -dataset tiselac -policy deviation -encoder padded -cipher aes -socket
 //	agesim -dataset activity -encoder age -fleet 20 -io-timeout 2s
+//	agesim -fleet 8 -metrics-addr 127.0.0.1:8080 -metrics-hold 30s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/energy"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/seccomm"
 	"repro/internal/simulator"
@@ -42,6 +45,9 @@ func main() {
 		dialTimeout  = flag.Duration("dial-timeout", 0, "fleet: single TCP connect attempt bound (0 = default 2s)")
 		dialAttempts = flag.Int("dial-attempts", 0, "fleet: connect attempts per sensor with exponential backoff (0 = default 4)")
 		runTimeout   = flag.Duration("run-timeout", 0, "fleet: whole-run bound; on expiry the partial result is reported (0 = none)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (snapshot JSON) and /debug/pprof on this address (e.g. 127.0.0.1:8080); observation-only, results are unchanged")
+		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the run finishes (lets scrapers read the final state)")
 	)
 	flag.Parse()
 	if *list {
@@ -65,6 +71,18 @@ func main() {
 	if *cipher == "aes" {
 		ck = seccomm.AES128Block
 	}
+	// The registry exists only when observation was asked for; a nil registry
+	// keeps every instrument a no-op throughout the pipeline.
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		srv, err := reg.ListenAndServe(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr)
+	}
 	cfg := simulator.RunConfig{
 		Dataset:   data,
 		Policy:    pol,
@@ -74,19 +92,18 @@ func main() {
 		Model:     energy.Default(),
 		Seed:      *seed,
 		IOTimeout: *ioTimeout,
+		Metrics:   reg,
 	}
 
-	if *fleet > 0 {
+	switch {
+	case *fleet > 0:
 		runFleet(cfg, *fleet, *dsName, *encName, fleetTransport{
 			dialTimeout:  *dialTimeout,
 			dialAttempts: *dialAttempts,
 			ioTimeout:    *ioTimeout,
 			runTimeout:   *runTimeout,
 		})
-		return
-	}
-
-	if *socket {
+	case *socket:
 		res, err := simulator.RunOverSocket(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -94,20 +111,31 @@ func main() {
 		fmt.Printf("socket run: %s / %s / %s @ %.0f%%\n", *dsName, *polName, *encName, *rate*100)
 		fmt.Printf("MAE: %.4f\n", res.MAE)
 		printSizes(res.SizesByLabel, *dsName)
-		return
+	default:
+		res, err := simulator.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run: %s / %s / %s / %s @ %.0f%% over %d sequences\n",
+			*dsName, *polName, *encName, ck, *rate*100, len(res.Seqs))
+		fmt.Printf("MAE:            %.4f\n", res.MAE)
+		fmt.Printf("weighted MAE:   %.4f\n", res.WeightedMAE)
+		fmt.Printf("energy:         %.1f mJ (budget %.1f mJ)\n", res.TotalEnergyMJ, res.BudgetMJ)
+		fmt.Printf("violations:     %d\n", res.Violations)
+		printSizes(res.SizesByLabel, *dsName)
 	}
 
-	res, err := simulator.Run(cfg)
-	if err != nil {
-		log.Fatal(err)
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "final metrics snapshot:")
+		if err := reg.Snapshot().WriteJSON(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(os.Stderr)
+		if *metricsHold > 0 {
+			fmt.Fprintf(os.Stderr, "metrics: holding the endpoint open for %s\n", *metricsHold)
+			time.Sleep(*metricsHold)
+		}
 	}
-	fmt.Printf("run: %s / %s / %s / %s @ %.0f%% over %d sequences\n",
-		*dsName, *polName, *encName, ck, *rate*100, len(res.Seqs))
-	fmt.Printf("MAE:            %.4f\n", res.MAE)
-	fmt.Printf("weighted MAE:   %.4f\n", res.WeightedMAE)
-	fmt.Printf("energy:         %.1f mJ (budget %.1f mJ)\n", res.TotalEnergyMJ, res.BudgetMJ)
-	fmt.Printf("violations:     %d\n", res.Violations)
-	printSizes(res.SizesByLabel, *dsName)
 }
 
 // fleetTransport carries the command-line transport knobs into a FleetConfig.

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 // benchReport is the -bench-json payload: per-experiment wall-clock plus the
@@ -59,6 +60,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS); output is identical for any value")
 		progress  = flag.Bool("progress", false, "report per-cell progress on stderr")
 		benchJSON = flag.String("bench-json", "", "write wall-clock timings to this JSON file")
+		every     = flag.Duration("metrics-every", 0, "print a sweep metrics summary to stderr at this interval (0 = off); observation-only, output tables are unchanged")
 	)
 	flag.Parse()
 
@@ -75,6 +77,17 @@ func main() {
 		cfg.Progress = func(done, total int, label string) {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, label)
 		}
+	}
+	if *every > 0 {
+		reg := metrics.NewRegistry()
+		cfg.Metrics = reg
+		ticker := time.NewTicker(*every)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				fmt.Fprintf(os.Stderr, "metrics: %s\n", reg.Snapshot().Summary())
+			}
+		}()
 	}
 
 	var names []string

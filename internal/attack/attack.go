@@ -132,10 +132,28 @@ func CrossValidate(samples []Sample, numClasses, k int, cfg AdaBoostConfig, rng 
 	if len(samples) < k {
 		return CVResult{}, fmt.Errorf("attack: %d samples cannot fill %d folds", len(samples), k)
 	}
+	if numClasses < 2 {
+		return CVResult{}, fmt.Errorf("attack: need numClasses >= 2, got %d", numClasses)
+	}
 	// Stratify: deal each label's samples round-robin into folds.
 	byLabel := map[int][]int{}
 	for i, s := range samples {
+		if s.Label < 0 || s.Label >= numClasses {
+			return CVResult{}, fmt.Errorf("attack: sample %d has label %d outside [0, %d)", i, s.Label, numClasses)
+		}
 		byLabel[s.Label] = append(byLabel[s.Label], i)
+	}
+	// A classifier cross-validated on one class is vacuous (every fold is
+	// single-class and accuracy is trivially 1), and a label rarer than k
+	// leaves it absent from some training splits, silently skewing the folds.
+	// Both are almost certainly caller bugs, so fail loudly.
+	if len(byLabel) < 2 {
+		return CVResult{}, fmt.Errorf("attack: samples contain %d distinct label(s); stratified CV needs at least 2", len(byLabel))
+	}
+	for l, idx := range byLabel {
+		if len(idx) < k {
+			return CVResult{}, fmt.Errorf("attack: label %d has %d sample(s), fewer than k=%d — some folds would miss the class", l, len(idx), k)
+		}
 	}
 	folds := make([][]int, k)
 	for l := 0; l <= maxKeySamples(byLabel); l++ {

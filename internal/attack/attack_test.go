@@ -3,6 +3,7 @@ package attack
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -252,12 +253,44 @@ func TestCrossValidateConfusionTotals(t *testing.T) {
 }
 
 func TestCrossValidateErrors(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
-	if _, err := CrossValidate(nil, 2, 5, DefaultAdaBoostConfig(), rng); err == nil {
-		t.Error("empty samples accepted")
+	// twoClass builds n valid samples alternating between labels 0 and 1.
+	twoClass := func(n int) []Sample {
+		s := make([]Sample, n)
+		for i := range s {
+			s[i] = Sample{Features: []float64{float64(i)}, Label: i % 2}
+		}
+		return s
 	}
-	if _, err := CrossValidate(make([]Sample, 10), 2, 1, DefaultAdaBoostConfig(), rng); err == nil {
-		t.Error("k=1 accepted")
+	cases := []struct {
+		name       string
+		samples    []Sample
+		numClasses int
+		k          int
+		wantErr    string
+	}{
+		{"empty samples", nil, 2, 5, "cannot fill"},
+		{"k below 2", twoClass(10), 2, 1, "need k >= 2"},
+		{"k exceeds sample count", twoClass(3), 2, 5, "cannot fill 5 folds"},
+		{"numClasses below 2", twoClass(10), 1, 5, "numClasses >= 2"},
+		{"single-class samples", []Sample{
+			{Features: []float64{1}, Label: 0}, {Features: []float64{2}, Label: 0},
+			{Features: []float64{3}, Label: 0}, {Features: []float64{4}, Label: 0},
+		}, 2, 2, "distinct label"},
+		{"negative label", append(twoClass(10), Sample{Features: []float64{9}, Label: -1}), 2, 5, "outside [0, 2)"},
+		{"label beyond numClasses", append(twoClass(10), Sample{Features: []float64{9}, Label: 2}), 2, 5, "outside [0, 2)"},
+		{"label rarer than k", append(twoClass(10), Sample{Features: []float64{9}, Label: 2}), 3, 5, "fewer than k=5"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(8))
+			_, err := CrossValidate(tc.samples, tc.numClasses, tc.k, DefaultAdaBoostConfig(), rng)
+			if err == nil {
+				t.Fatal("invalid input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// The instrumented reuse paths must stay allocation-free: attaching metrics
+// to the fleet's encoder hot loop cannot reintroduce per-frame garbage.
+func TestInstrumentedAGEAllocs(t *testing.T) {
+	cfg := testConfig(TargetBytesForRate(0.7, 50, 6, 16))
+	a := mustAGE(t, cfg)
+	reg := metrics.NewRegistry()
+	a.InstrumentPipeline(reg.Counter("core.age.groups"), reg.Counter("core.age.pruned"))
+	enc, dec := InstrumentCodec(a, a, NewCodecMetrics(reg, "age"))
+	app := enc.(AppendEncoder)
+	into := dec.(IntoDecoder)
+	rng := rand.New(rand.NewSource(31))
+	batch := randomBatch(rng, cfg.T, cfg.D, 40, 3.5)
+	var payload []byte
+	var decoded Batch
+
+	if got := measureAllocs(t, func() {
+		var err error
+		payload, err = app.AppendEncode(payload[:0], batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("instrumented AGE AppendEncode allocates %.1f/op, want 0", got)
+	}
+	if got := measureAllocs(t, func() {
+		if err := into.DecodeInto(&decoded, payload); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("instrumented AGE DecodeInto allocates %.1f/op, want 0", got)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["core.age.encodes"] == 0 || snap.Counters["core.age.decodes"] == 0 {
+		t.Errorf("codec counters not updated: %v", snap.Counters)
+	}
+	if snap.Counters["core.age.groups"] == 0 {
+		t.Errorf("pipeline group counter not updated: %v", snap.Counters)
+	}
+	if snap.Histograms["core.age.encode_ns"].Count == 0 {
+		t.Error("encode latency histogram empty")
+	}
+	if snap.Counters["core.age.payload_bytes"] == 0 {
+		t.Error("payload byte counter empty")
+	}
+}
+
+func TestInstrumentedStandardAllocs(t *testing.T) {
+	cfg := testConfig(0)
+	s, err := NewStandard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	enc, dec := InstrumentCodec(s, s, NewCodecMetrics(reg, "standard"))
+	app := enc.(AppendEncoder)
+	into := dec.(IntoDecoder)
+	rng := rand.New(rand.NewSource(32))
+	batch := randomBatch(rng, cfg.T, cfg.D, 40, 3.5)
+	var payload []byte
+	var decoded Batch
+
+	if got := measureAllocs(t, func() {
+		var err error
+		payload, err = app.AppendEncode(payload[:0], batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("instrumented Standard AppendEncode allocates %.1f/op, want 0", got)
+	}
+	if got := measureAllocs(t, func() {
+		if err := into.DecodeInto(&decoded, payload); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("instrumented Standard DecodeInto allocates %.1f/op, want 0", got)
+	}
+}
+
+// Instrumentation must be invisible on the wire: same bytes, same decode.
+func TestInstrumentedCodecIsWireIdentical(t *testing.T) {
+	cfg := testConfig(220)
+	a := mustAGE(t, cfg)
+	reg := metrics.NewRegistry()
+	enc, dec := InstrumentCodec(a, a, NewCodecMetrics(reg, "age"))
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 10; trial++ {
+		b := randomBatch(rng, cfg.T, cfg.D, rng.Intn(cfg.T)+1, 3.5)
+		plain, err := a.Encode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrapped, err := enc.Encode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(plain) != string(wrapped) {
+			t.Fatalf("trial %d: instrumented bytes differ from plain", trial)
+		}
+		got, err := dec.Decode(wrapped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := a.Decode(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Indices) != len(want.Indices) {
+			t.Fatalf("trial %d: instrumented decode differs", trial)
+		}
+	}
+	if enc.Name() != "age" {
+		t.Errorf("wrapper name = %q", enc.Name())
+	}
+}
+
+// With a nil metrics family the wrapper must vanish entirely.
+func TestInstrumentCodecNilPassThrough(t *testing.T) {
+	cfg := testConfig(220)
+	a := mustAGE(t, cfg)
+	enc, dec := InstrumentCodec(a, a, nil)
+	if enc != Encoder(a) || dec != Decoder(a) {
+		t.Error("nil metrics did not pass the codec through untouched")
+	}
+	if NewCodecMetrics(nil, "age") != nil {
+		t.Error("NewCodecMetrics(nil) should be nil")
+	}
+}
+
+// Error paths must be counted as errors, not successes.
+func TestInstrumentedCodecCountsErrors(t *testing.T) {
+	cfg := testConfig(220)
+	a := mustAGE(t, cfg)
+	reg := metrics.NewRegistry()
+	_, dec := InstrumentCodec(a, a, NewCodecMetrics(reg, "age"))
+	if _, err := dec.Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["core.age.decode_errors"] != 1 {
+		t.Errorf("decode_errors = %d, want 1", snap.Counters["core.age.decode_errors"])
+	}
+	if snap.Counters["core.age.decodes"] != 0 {
+		t.Errorf("decodes = %d, want 0", snap.Counters["core.age.decodes"])
+	}
+}

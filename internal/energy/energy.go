@@ -16,7 +16,10 @@
 // energy a Uniform sampler would spend collecting p of all elements.
 package energy
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // EncoderKind identifies how a batch is encoded, which determines the
 // MCU-side computation energy.
@@ -30,6 +33,24 @@ const (
 	// EncodePadded writes directly, then pads; compute cost is standard.
 	EncodePadded
 )
+
+// Valid reports whether k names a known encoder class.
+func (k EncoderKind) Valid() bool {
+	return k == EncodeStandard || k == EncodeAGE || k == EncodePadded
+}
+
+// String names the encoder class for error messages and reports.
+func (k EncoderKind) String() string {
+	switch k {
+	case EncodeStandard:
+		return "standard"
+	case EncodeAGE:
+		return "age"
+	case EncodePadded:
+		return "padded"
+	}
+	return fmt.Sprintf("EncoderKind(%d)", int(k))
+}
 
 // Model holds the energy trace constants, all in millijoules unless noted.
 type Model struct {
@@ -72,29 +93,59 @@ func Default() Model {
 }
 
 // EncodeMJ returns the MCU energy to encode `values` scalar values with the
-// given encoder, including the safety factor for AGE.
-func (m Model) EncodeMJ(values int, kind EncoderKind) float64 {
-	switch kind {
-	case EncodeAGE:
-		return m.EncodeAGEUJPerValue * float64(values) / 1000 * m.AGESafetyFactor
-	default:
-		return m.EncodeStandardUJPerValue * float64(values) / 1000
+// given encoder, including the safety factor for AGE. A negative count or an
+// unknown encoder kind is a caller bug and returns an error — silently
+// charging a garbage kind at the standard rate would understate AGE
+// deployments by the safety factor.
+func (m Model) EncodeMJ(values int, kind EncoderKind) (float64, error) {
+	if values < 0 {
+		return 0, fmt.Errorf("energy: encode of %d values (count must be non-negative)", values)
 	}
+	if !kind.Valid() {
+		return 0, fmt.Errorf("energy: unknown encoder kind %s", kind)
+	}
+	if kind == EncodeAGE {
+		return m.EncodeAGEUJPerValue * float64(values) / 1000 * m.AGESafetyFactor, nil
+	}
+	return m.EncodeStandardUJPerValue * float64(values) / 1000, nil
 }
 
 // TransmitMJ returns the radio energy to send one batched message of the
 // given payload size.
-func (m Model) TransmitMJ(payloadBytes int) float64 {
-	return m.RadioConnectMJ + m.PerByteMJ*float64(payloadBytes)
+func (m Model) TransmitMJ(payloadBytes int) (float64, error) {
+	if payloadBytes < 0 {
+		return 0, fmt.Errorf("energy: transmit of %d bytes (payload must be non-negative)", payloadBytes)
+	}
+	return m.RadioConnectMJ + m.PerByteMJ*float64(payloadBytes), nil
 }
 
 // CollectMJ returns the sensing energy for k captured measurements.
-func (m Model) CollectMJ(k int) float64 { return m.PerSampleMJ * float64(k) }
+func (m Model) CollectMJ(k int) (float64, error) {
+	if k < 0 {
+		return 0, fmt.Errorf("energy: collect of %d measurements (count must be non-negative)", k)
+	}
+	return m.PerSampleMJ * float64(k), nil
+}
 
 // SequenceMJ returns the full energy for one sequence: collect k
 // measurements (k*d values), encode them, and transmit payloadBytes.
-func (m Model) SequenceMJ(k, d, payloadBytes int, kind EncoderKind) float64 {
-	return m.BaselineMJ + m.CollectMJ(k) + m.EncodeMJ(k*d, kind) + m.TransmitMJ(payloadBytes)
+func (m Model) SequenceMJ(k, d, payloadBytes int, kind EncoderKind) (float64, error) {
+	if d < 1 {
+		return 0, fmt.Errorf("energy: sequence with %d features (need at least 1)", d)
+	}
+	collect, err := m.CollectMJ(k)
+	if err != nil {
+		return 0, err
+	}
+	encode, err := m.EncodeMJ(k*d, kind)
+	if err != nil {
+		return 0, err
+	}
+	transmit, err := m.TransmitMJ(payloadBytes)
+	if err != nil {
+		return 0, err
+	}
+	return m.BaselineMJ + collect + encode + transmit, nil
 }
 
 // Meter tracks spending against a budget in millijoules.
@@ -123,7 +174,16 @@ func (t *Meter) RemainingMJ() float64 { return math.Max(0, t.BudgetMJ-t.SpentMJ)
 // collecting a fraction rate of a T-step, d-feature sequence whose standard
 // message payload is sized by payloadBytes (a function of the collected
 // count). This defines the paper's budget scale (§5.1).
-func (m Model) UniformSequenceMJ(T, d int, rate float64, payloadBytes func(k int) int) float64 {
+func (m Model) UniformSequenceMJ(T, d int, rate float64, payloadBytes func(k int) int) (float64, error) {
+	if T < 1 {
+		return 0, fmt.Errorf("energy: uniform sequence over %d steps (need at least 1)", T)
+	}
+	if math.IsNaN(rate) {
+		return 0, fmt.Errorf("energy: uniform sequence rate is NaN")
+	}
+	if payloadBytes == nil {
+		return 0, fmt.Errorf("energy: uniform sequence needs a payload size function")
+	}
 	k := CollectCount(T, rate)
 	return m.SequenceMJ(k, d, payloadBytes(k), EncodeStandard)
 }
@@ -154,12 +214,18 @@ type Budget struct {
 
 // BudgetGrid returns the paper's eight budgets (rates 0.3, 0.4, ..., 1.0)
 // for a workload of numSeq sequences.
-func (m Model) BudgetGrid(T, d, numSeq int, payloadBytes func(k int) int) []Budget {
+func (m Model) BudgetGrid(T, d, numSeq int, payloadBytes func(k int) int) ([]Budget, error) {
+	if numSeq < 1 {
+		return nil, fmt.Errorf("energy: budget grid for %d sequences (need at least 1)", numSeq)
+	}
 	var out []Budget
 	for r := 3; r <= 10; r++ {
 		rate := float64(r) / 10
-		per := m.UniformSequenceMJ(T, d, rate, payloadBytes)
+		per, err := m.UniformSequenceMJ(T, d, rate, payloadBytes)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, Budget{Rate: rate, PerSeqMJ: per, TotalMJ: per * float64(numSeq)})
 	}
-	return out
+	return out, nil
 }

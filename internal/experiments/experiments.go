@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/energy"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/seccomm"
 	"repro/internal/simulator"
@@ -49,6 +50,11 @@ type Config struct {
 	// Progress, when set, is called after each completed sweep cell. Calls
 	// are serialized and done is monotonic within one sweep.
 	Progress func(done, total int, label string)
+	// Metrics, when non-nil, receives sweep instrumentation (exp.cells_*,
+	// exp.workers, exp.cell_ns) and is forwarded to simulation runs.
+	// Observation-only: metrics never influence seeding, cell order, or
+	// results, so the determinism contract is unaffected.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns an evaluation sized to run the full sweep in
@@ -194,6 +200,7 @@ func (w *Workload) RunCell(policyKind string, enc simulator.EncoderKind, rate fl
 		Model:   energy.Default(),
 		Mode:    mode,
 		Seed:    w.cfg.Seed,
+		Metrics: w.cfg.Metrics,
 	})
 }
 

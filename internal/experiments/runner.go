@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // This file implements the deterministic parallel sweep runner. Every
@@ -44,6 +47,18 @@ func (c Config) sweep(ctx context.Context, labels []string, run func(ctx context
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// Sweep instrumentation (all instruments are nil-safe no-ops without a
+	// registry). exp.workers_busy tracks utilization: its value at any
+	// instant is the number of workers inside run().
+	cellsTotal := c.Metrics.Counter("exp.cells_total")
+	cellsDone := c.Metrics.Counter("exp.cells_done")
+	cellsFailed := c.Metrics.Counter("exp.cells_failed")
+	cellNs := c.Metrics.Histogram("exp.cell_ns", metrics.LatencyBuckets()...)
+	busy := c.Metrics.Gauge("exp.workers_busy")
+	if c.Metrics != nil {
+		c.Metrics.Gauge("exp.workers").Set(int64(workers))
+	}
+	cellsTotal.Add(int64(n))
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
@@ -61,21 +76,29 @@ func (c Config) sweep(ctx context.Context, labels []string, run func(ctx context
 				if i >= n || cctx.Err() != nil {
 					return
 				}
+				busy.Add(1)
+				start := time.Now()
 				err := run(cctx, i)
+				cellNs.ObserveSince(start)
+				busy.Add(-1)
 				mu.Lock()
 				if err != nil {
 					// Cancellation fallout from another cell's failure is
 					// not this cell's error; real errors keep the lowest
 					// cell index so the reported failure is
 					// schedule-independent.
-					if !errors.Is(err, context.Canceled) && i < firstIdx {
-						firstErr, firstIdx = err, i
+					if !errors.Is(err, context.Canceled) {
+						cellsFailed.Inc()
+						if i < firstIdx {
+							firstErr, firstIdx = err, i
+						}
 					}
 					mu.Unlock()
 					cancel()
 					continue
 				}
 				done++
+				cellsDone.Inc()
 				if c.Progress != nil {
 					// Serialized under the mutex so callbacks observe a
 					// monotonic done count.

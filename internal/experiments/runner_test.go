@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // TestSweepRunsEveryCell checks every cell runs exactly once and progress is
@@ -177,5 +179,68 @@ func TestSweepDeterminism(t *testing.T) {
 		if got := render(workers); got != sequential {
 			t.Errorf("workers=%d output differs from sequential (Workers=1)", workers)
 		}
+	}
+}
+
+// TestSweepMetrics checks the sweep's instruments reconcile with what
+// actually ran, and that enabling them leaves cell execution untouched.
+func TestSweepMetrics(t *testing.T) {
+	const n = 17
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("cell-%d", i)
+	}
+	reg := metrics.NewRegistry()
+	cfg := Config{Workers: 4, Metrics: reg}
+	var mu sync.Mutex
+	ran := 0
+	err := cfg.sweep(context.Background(), labels, func(ctx context.Context, i int) error {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["exp.cells_total"]; got != n {
+		t.Errorf("cells_total = %d, want %d", got, n)
+	}
+	if got := snap.Counters["exp.cells_done"]; got != int64(ran) {
+		t.Errorf("cells_done = %d, ran %d", got, ran)
+	}
+	if got := snap.Counters["exp.cells_failed"]; got != 0 {
+		t.Errorf("cells_failed = %d on a clean sweep", got)
+	}
+	if got := snap.Gauges["exp.workers"]; got != 4 {
+		t.Errorf("workers gauge = %d, want 4", got)
+	}
+	if got := snap.Gauges["exp.workers_busy"]; got != 0 {
+		t.Errorf("workers_busy = %d after the sweep drained", got)
+	}
+	if got := snap.Histograms["exp.cell_ns"].Count; got != n {
+		t.Errorf("cell_ns observations = %d, want %d", got, n)
+	}
+
+	// A failing sweep counts exactly the real failures, not the
+	// cancellation fallout of other cells.
+	reg2 := metrics.NewRegistry()
+	cfg2 := Config{Workers: 1, Metrics: reg2}
+	err = cfg2.sweep(context.Background(), labels, func(ctx context.Context, i int) error {
+		if i == 2 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("failing sweep returned nil")
+	}
+	snap = reg2.Snapshot()
+	if got := snap.Counters["exp.cells_failed"]; got != 1 {
+		t.Errorf("cells_failed = %d, want the 1 real failure", got)
+	}
+	if got := snap.Counters["exp.cells_done"]; got != 2 {
+		t.Errorf("cells_done = %d, want the 2 cells before the failure", got)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chacha"
@@ -69,16 +70,29 @@ type Sealer interface {
 	Kind() CipherKind
 }
 
+// sealerInstance hands out a process-unique 4-byte prefix per sealer. The
+// prefix occupies the nonce/IV bytes the per-message counter does not use,
+// so two sealers built from the same key — a real shape in the fleet, where
+// a sensor may be re-created or redial after a fault — can never emit the
+// same (key, nonce) pair even though both counters restart at zero. That
+// makes counter-nonce keystream reuse structurally impossible instead of a
+// caller discipline. The counter wraps only after 2^32 sealers in one
+// process, far beyond any fleet run.
+var sealerInstance atomic.Uint32
+
 // NewSealer constructs a sealer of the given kind. key must be 32 bytes for
 // ChaCha20 and 16 bytes for AES-128. Peers must construct sealers with the
-// same key and kind; nonces/IVs travel in the message.
+// same key and kind; nonces/IVs travel in the message, so the receiver does
+// not need to know the sender's instance prefix. Each sealer seals with
+// nonces no other sealer in this process will ever produce.
 func NewSealer(kind CipherKind, key []byte) (Sealer, error) {
+	id := sealerInstance.Add(1)
 	switch kind {
 	case ChaCha20Stream:
 		if len(key) != chacha.KeySize {
 			return nil, fmt.Errorf("seccomm: chacha20 key must be %d bytes", chacha.KeySize)
 		}
-		return &chachaSealer{key: append([]byte(nil), key...)}, nil
+		return &chachaSealer{key: append([]byte(nil), key...), instance: id}, nil
 	case AES128Block:
 		if len(key) != 16 {
 			return nil, errors.New("seccomm: aes-128 key must be 16 bytes")
@@ -87,24 +101,27 @@ func NewSealer(kind CipherKind, key []byte) (Sealer, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &aesSealer{block: block}, nil
+		return &aesSealer{block: block, instance: id}, nil
 	case ChaCha20Poly1305:
 		aead, err := chacha.NewAEAD(key)
 		if err != nil {
 			return nil, err
 		}
-		return &aeadSealer{aead: aead}, nil
+		return &aeadSealer{aead: aead, instance: id}, nil
 	default:
 		return nil, fmt.Errorf("seccomm: unknown cipher kind %d", kind)
 	}
 }
 
-// chachaSealer seals with ChaCha20 using a 12-byte counter nonce carried in
-// the message, the standard low-power pattern (a message counter instead of
-// a random nonce avoids an RNG on the sensor).
+// chachaSealer seals with ChaCha20 using a 12-byte nonce carried in the
+// message: 4 bytes of process-unique instance prefix, then the 8-byte
+// message counter — the standard low-power pattern (a counter instead of a
+// random nonce avoids an RNG on the sensor), with the prefix closing the
+// counter-restart reuse hole.
 type chachaSealer struct {
-	key     []byte
-	counter uint64
+	key      []byte
+	instance uint32
+	counter  uint64
 }
 
 func (s *chachaSealer) Kind() CipherKind { return ChaCha20Stream }
@@ -115,6 +132,7 @@ func (s *chachaSealer) WireSize(plaintextLen int) int {
 
 func (s *chachaSealer) Seal(plaintext []byte) ([]byte, error) {
 	nonce := make([]byte, chacha.NonceSize)
+	binary.BigEndian.PutUint32(nonce[:4], s.instance)
 	binary.BigEndian.PutUint64(nonce[4:], s.counter)
 	s.counter++
 	ct, err := chacha.Encrypt(s.key, nonce, plaintext)
@@ -131,11 +149,12 @@ func (s *chachaSealer) Open(message []byte) ([]byte, error) {
 	return chacha.Encrypt(s.key, message[:chacha.NonceSize], message[chacha.NonceSize:])
 }
 
-// aesSealer seals with AES-128-CBC and PKCS#7 padding; the IV is a counter
-// block carried in the message.
+// aesSealer seals with AES-128-CBC and PKCS#7 padding; the IV carried in
+// the message is [4B instance prefix][4B zero][8B message counter].
 type aesSealer struct {
-	block   cipher.Block
-	counter uint64
+	block    cipher.Block
+	instance uint32
+	counter  uint64
 }
 
 func (s *aesSealer) Kind() CipherKind { return AES128Block }
@@ -147,6 +166,7 @@ func (s *aesSealer) WireSize(plaintextLen int) int {
 
 func (s *aesSealer) Seal(plaintext []byte) ([]byte, error) {
 	iv := make([]byte, aes.BlockSize)
+	binary.BigEndian.PutUint32(iv[:4], s.instance)
 	binary.BigEndian.PutUint64(iv[8:], s.counter)
 	s.counter++
 	pad := aes.BlockSize - len(plaintext)%aes.BlockSize
@@ -195,11 +215,12 @@ func (s *aesSealer) Open(message []byte) ([]byte, error) {
 	return pt[:len(pt)-pad], nil
 }
 
-// aeadSealer seals with ChaCha20-Poly1305; the counter nonce and the tag
-// travel in the message.
+// aeadSealer seals with ChaCha20-Poly1305; the prefixed counter nonce and
+// the tag travel in the message.
 type aeadSealer struct {
-	aead    *chacha.AEAD
-	counter uint64
+	aead     *chacha.AEAD
+	instance uint32
+	counter  uint64
 }
 
 func (s *aeadSealer) Kind() CipherKind { return ChaCha20Poly1305 }
@@ -210,6 +231,7 @@ func (s *aeadSealer) WireSize(plaintextLen int) int {
 
 func (s *aeadSealer) Seal(plaintext []byte) ([]byte, error) {
 	nonce := make([]byte, chacha.NonceSize)
+	binary.BigEndian.PutUint32(nonce[:4], s.instance)
 	binary.BigEndian.PutUint64(nonce[4:], s.counter)
 	s.counter++
 	sealed, err := s.aead.Seal(nonce, plaintext, nil)

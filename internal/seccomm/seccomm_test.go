@@ -127,6 +127,68 @@ func TestNoncesAdvance(t *testing.T) {
 	}
 }
 
+// Regression: two sealers built with the same key (the fleet shape when a
+// sensor is re-created or redials after a fault) must never repeat a
+// (key, nonce) pair. Before the instance-prefix fix both counters restarted
+// at zero and this test failed with identical nonces on the first message.
+func TestSealersWithSameKeyNeverRepeatNonces(t *testing.T) {
+	const perSealer = 64
+	for _, kind := range []CipherKind{ChaCha20Stream, AES128Block, ChaCha20Poly1305} {
+		key := chachaKey()
+		nonceLen := 12 // chacha-family nonce
+		if kind == AES128Block {
+			key = aesKey()
+			nonceLen = aes.BlockSize // CBC IV
+		}
+		seen := make(map[string]int)
+		for inst := 0; inst < 3; inst++ {
+			s, err := NewSealer(kind, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < perSealer; i++ {
+				sealed, err := s.Seal([]byte("same plaintext every time"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				nonce := string(sealed[:nonceLen])
+				if prev, dup := seen[nonce]; dup {
+					t.Fatalf("%v: sealer %d repeated nonce %x first used by sealer %d",
+						kind, inst, nonce, prev)
+				}
+				seen[nonce] = inst
+			}
+		}
+	}
+}
+
+// The keystream-reuse consequence, stated directly: with a stream cipher,
+// reused nonces XOR two ciphertexts into the XOR of the plaintexts. With
+// distinct nonces the ciphertext bodies of the same plaintext under two
+// same-key sealers must differ.
+func TestSameKeySealersProduceDistinctCiphertexts(t *testing.T) {
+	key := chachaKey()
+	s1, _ := NewSealer(ChaCha20Stream, key)
+	s2, _ := NewSealer(ChaCha20Stream, key)
+	msg := []byte("secret sensor batch payload")
+	a, _ := s1.Seal(msg)
+	b, _ := s2.Seal(msg)
+	if bytes.Equal(a[12:], b[12:]) {
+		t.Fatal("same-key sealers reused a keystream for their first message")
+	}
+	// Cross-opening still works: the nonce travels in the message.
+	opener, _ := NewSealer(ChaCha20Stream, key)
+	for _, sealed := range [][]byte{a, b} {
+		got, err := opener.Open(sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatal("instance-prefixed message did not open")
+		}
+	}
+}
+
 func TestOpenRejectsMalformed(t *testing.T) {
 	c, _ := NewSealer(ChaCha20Stream, chachaKey())
 	if _, err := c.Open([]byte{1, 2, 3}); err == nil {

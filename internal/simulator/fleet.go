@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/reconstruct"
 	"repro/internal/seccomm"
 )
@@ -27,11 +29,21 @@ import (
 //
 // The links those deployments run over are lossy and intermittent, so the
 // transport is built to degrade instead of hang: every read and write
-// carries a deadline, sensors dial with bounded exponential backoff and
-// retry timed-out frame writes, the whole run is driven by a
+// carries a deadline, sensors dial with bounded exponential backoff, retry
+// timed-out frame writes, and (when ReconnectAttempts allows) redial and
+// resume a stream the link dropped; the whole run is driven by a
 // context.Context whose cancellation closes the listener and every live
 // connection, and a sensor that dies mid-stream (or never shows up) is
 // reported in its FleetSensorStatus while the rest of the fleet completes.
+//
+// Link protocol: the sensor sends a 2-byte cleartext hello (its id); the
+// server replies with a 2-byte resume index — the number of frames it has
+// already delivered for that sensor — and the sensor streams the remaining
+// frames, length-prefixed and sealed. On a fresh connection the resume
+// index is 0 and the exchange reduces to the original hello. The sensor
+// keeps ONE sealer for its whole lifetime, so the nonce counter stays
+// monotonic across redials and a resumed stream can never repeat a
+// (key, nonce) pair.
 
 // Transport defaults, applied when the corresponding FleetConfig knob is
 // zero. They are deliberately generous: tests that exercise failure paths
@@ -48,7 +60,8 @@ const (
 // (T, d, format) and encoder kind but hold distinct keys.
 type FleetConfig struct {
 	// Base carries the shared task parameters (Dataset supplies the
-	// metadata and the per-sensor sequence partition).
+	// metadata and the per-sensor sequence partition). Base.Metrics, when
+	// set, receives the fleet's transport and codec instrumentation.
 	Base RunConfig
 	// Sensors is the fleet size; the Base dataset's sequences are dealt
 	// round-robin across sensors.
@@ -69,6 +82,12 @@ type FleetConfig struct {
 	// times out without transmitting is retried up to WriteAttempts times
 	// in total (default 2). Non-timeout errors are never retried.
 	WriteAttempts int
+	// ReconnectAttempts is how many times a sensor may redial and resume
+	// after a transport failure mid-stream (default 0: a dropped link fails
+	// the sensor, the pre-resume behavior). Injected sensor faults
+	// (NeverDial, DieAfterFrames, StallAfterFrames) are never resumed — a
+	// dead node stays dead.
+	ReconnectAttempts int
 	// Timeout, when nonzero, bounds the whole run; on expiry the run is
 	// cancelled and RunFleet returns the partial result with an error.
 	Timeout time.Duration
@@ -104,7 +123,8 @@ type FleetFaults struct {
 	// NeverDial marks sensors that never connect.
 	NeverDial map[int]bool
 	// DieAfterFrames closes the sensor's connection abruptly after it has
-	// written the given number of frames.
+	// written the given number of frames (counted across the sensor's
+	// lifetime: a dead node does not come back).
 	DieAfterFrames map[int]int
 	// StallAfterFrames keeps the sensor's connection open but silent after
 	// the given number of frames, forcing the server's read deadline to
@@ -112,7 +132,9 @@ type FleetFaults struct {
 	// run still terminates.
 	StallAfterFrames map[int]int
 	// ServerCloseAfterFrames makes the server drop the sensor's connection
-	// after processing the given number of frames.
+	// after processing the given number of frames on it. The count is per
+	// connection — a flaky base station link, not a banned sensor — so a
+	// sensor with ReconnectAttempts can redial and make progress.
 	ServerCloseAfterFrames map[int]int
 }
 
@@ -127,8 +149,12 @@ type FleetSensorStatus struct {
 	// Delivered is how many frames the server successfully decoded and
 	// reconstructed.
 	Delivered int
-	// DialAttempts is how many TCP connect attempts the sensor made.
+	// DialAttempts is how many TCP connect attempts the sensor made,
+	// summed across reconnects.
 	DialAttempts int
+	// Reconnects is how many times the sensor redialed and resumed after a
+	// transport failure.
+	Reconnects int
 	// SensorErr and ServerErr carry the two sides' failures ("" = none).
 	SensorErr string
 	ServerErr string
@@ -173,6 +199,66 @@ type FleetResult struct {
 	// silent).
 	Unattributed []string
 }
+
+// fleetMetrics bundles the fleet's resolved instruments. Every field is
+// nil-safe: with no registry configured all of them are nil and every update
+// is a no-op, so the hot paths carry no conditional instrumentation code.
+// Metrics are observation-only — nothing here feeds back into sampling,
+// encoding, or scheduling.
+type fleetMetrics struct {
+	framesSent        *metrics.Counter
+	framesDelivered   *metrics.Counter
+	wireBytesSent     *metrics.Counter
+	wireBytesReceived *metrics.Counter
+	dialAttempts      *metrics.Counter
+	dialFailures      *metrics.Counter
+	writeRetries      *metrics.Counter
+	readDeadlineHits  *metrics.Counter
+	writeDeadlineHits *metrics.Counter
+	reconnects        *metrics.Counter
+	unattributed      *metrics.Counter
+	frameBytes        *metrics.Histogram
+
+	sensorFramesSent      *metrics.Series
+	sensorFramesDelivered *metrics.Series
+	sensorWireBytes       *metrics.Series
+	sensorRetries         *metrics.Series
+	sensorDeadlineHits    *metrics.Series
+	sensorReconnects      *metrics.Series
+	sensorDials           *metrics.Series
+}
+
+// newFleetMetrics resolves the fleet instrument family in reg. A nil
+// registry yields a fully no-op set.
+func newFleetMetrics(reg *metrics.Registry) *fleetMetrics {
+	return &fleetMetrics{
+		framesSent:        reg.Counter("fleet.frames_sent"),
+		framesDelivered:   reg.Counter("fleet.frames_delivered"),
+		wireBytesSent:     reg.Counter("fleet.wire_bytes_sent"),
+		wireBytesReceived: reg.Counter("fleet.wire_bytes_received"),
+		dialAttempts:      reg.Counter("fleet.dial_attempts"),
+		dialFailures:      reg.Counter("fleet.dial_failures"),
+		writeRetries:      reg.Counter("fleet.write_retries"),
+		readDeadlineHits:  reg.Counter("fleet.read_deadline_hits"),
+		writeDeadlineHits: reg.Counter("fleet.write_deadline_hits"),
+		reconnects:        reg.Counter("fleet.reconnects"),
+		unattributed:      reg.Counter("fleet.unattributed"),
+		frameBytes:        reg.Histogram("fleet.frame_bytes", metrics.SizeBuckets()...),
+
+		sensorFramesSent:      reg.Series("fleet.sensor.frames_sent"),
+		sensorFramesDelivered: reg.Series("fleet.sensor.frames_delivered"),
+		sensorWireBytes:       reg.Series("fleet.sensor.wire_bytes"),
+		sensorRetries:         reg.Series("fleet.sensor.write_retries"),
+		sensorDeadlineHits:    reg.Series("fleet.sensor.deadline_hits"),
+		sensorReconnects:      reg.Series("fleet.sensor.reconnects"),
+		sensorDials:           reg.Series("fleet.sensor.dial_attempts"),
+	}
+}
+
+// fleetFrameHook, when non-nil, observes every sealed frame the server
+// reads, before it is opened. Tests use it to capture wire nonces; it must
+// be set before the run starts and not mutated during it.
+var fleetFrameHook func(sensorID int, msg []byte)
 
 // connRegistry tracks live connections so run cancellation can unblock
 // every in-flight read and write by closing them.
@@ -244,6 +330,10 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 		T: meta.SeqLen, D: meta.NumFeatures, Format: meta.Format,
 		TargetBytes: core.TargetBytesForRate(cfg.Base.Rate, meta.SeqLen, meta.NumFeatures, meta.Format.Width),
 	}
+	m := newFleetMetrics(cfg.Base.Metrics)
+	if reg := cfg.Base.Metrics; reg != nil {
+		reg.Gauge("fleet.sensors").Set(int64(n))
+	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -273,8 +363,12 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 		res.Sensors[i].Sensor = i
 		res.Sensors[i].Assigned = len(parts[i])
 	}
-	var mu sync.Mutex // guards res and claimed from server/sensor goroutines
-	claimed := make([]bool, n)
+	var mu sync.Mutex // guards res, active, and accs from server/sensor goroutines
+	// active marks sensors with a live handler; a handler releases its
+	// sensor on exit so a reconnecting sensor can claim it again. accs
+	// accumulate per-sensor reconstruction error across connections.
+	active := make([]bool, n)
+	accs := make([]reconstruct.Accumulator, n)
 
 	reg := newConnRegistry()
 	// Cancellation (parent context, Timeout expiry, or a fatal accept
@@ -326,7 +420,7 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 					conn.Close()
 					reg.remove(conn)
 				}()
-				serveFleetConn(conn, cfg, coreCfg, parts, res, &mu, claimed)
+				serveFleetConn(conn, cfg, coreCfg, parts, res, &mu, active, accs, m)
 			}()
 		}
 	}()
@@ -337,9 +431,10 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 	for s := 0; s < n; s++ {
 		go func(sensorID int) {
 			defer sensorWG.Done()
-			dials, err := runFleetSensor(ctx, sensorID, ln.Addr().String(), cfg, coreCfg, parts[sensorID], reg, &established)
+			dials, reconnects, err := runFleetSensor(ctx, sensorID, ln.Addr().String(), cfg, coreCfg, parts[sensorID], reg, &established, m)
 			mu.Lock()
 			res.Sensors[sensorID].DialAttempts = dials
+			res.Sensors[sensorID].Reconnects = reconnects
 			if err != nil {
 				res.Sensors[sensorID].SensorErr = err.Error()
 			}
@@ -364,6 +459,12 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 	handlerWG.Wait()
 	cause := ctx.Err() // read before our own cancel() below masks it
 	cancel()
+
+	// All handlers have joined: fold the per-sensor accumulators into the
+	// result without further locking.
+	for i := range accs {
+		res.PerSensorMAE[i] = accs[i].MAE()
+	}
 
 	// Count failures on every path so a partial result returned alongside
 	// an error still carries an accurate Failed tally.
@@ -431,33 +532,92 @@ func dialWithBackoff(ctx context.Context, addr string, cfg FleetConfig) (net.Con
 	return nil, cfg.DialAttempts, fmt.Errorf("dial: %w", lastErr)
 }
 
+// isNetTimeout reports whether err is a network timeout (a deadline expiry).
+func isNetTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // writeFrameRetry writes one frame with the per-frame deadline, retrying a
 // timed-out write up to cfg.WriteAttempts times in total. WriteFrame sends
 // header and body in one Write, so a timeout that transmitted nothing is
-// safe to retry; any other error aborts immediately.
-func writeFrameRetry(ctx context.Context, conn net.Conn, msg []byte, cfg FleetConfig) error {
+// safe to retry; any other error aborts immediately. It returns the number
+// of attempts made so callers can account retries and deadline expiries.
+func writeFrameRetry(ctx context.Context, conn net.Conn, msg []byte, cfg FleetConfig) (int, error) {
 	var err error
 	for attempt := 1; attempt <= cfg.WriteAttempts; attempt++ {
 		err = seccomm.WriteFrameDeadline(conn, msg, cfg.IOTimeout)
 		if err == nil {
-			return nil
+			return attempt, nil
 		}
-		var ne net.Error
-		if ctx.Err() != nil || !errors.As(err, &ne) || !ne.Timeout() {
-			return err
+		if ctx.Err() != nil || !isNetTimeout(err) {
+			return attempt, err
 		}
 	}
-	return fmt.Errorf("write after %d attempts: %w", cfg.WriteAttempts, err)
+	return cfg.WriteAttempts, fmt.Errorf("write after %d attempts: %w", cfg.WriteAttempts, err)
 }
 
+// nonResumableError marks sensor-side failures no redial can fix: injected
+// sensor faults, encode/seal failures, and protocol violations. Transport
+// errors stay resumable.
+type nonResumableError struct{ err error }
+
+func (e nonResumableError) Error() string { return e.err.Error() }
+func (e nonResumableError) Unwrap() error { return e.err }
+
 // runFleetSensor streams one sensor's assigned sequences, honoring the
-// configured fault plan. It returns the number of dial attempts made.
-func runFleetSensor(ctx context.Context, sensorID int, addr string, cfg FleetConfig, coreCfg core.Config, seqIdx []int, reg *connRegistry, established *atomic.Int64) (int, error) {
+// configured fault plan and redialing up to cfg.ReconnectAttempts times on
+// transport failures. It returns total dial attempts and reconnects.
+func runFleetSensor(ctx context.Context, sensorID int, addr string, cfg FleetConfig, coreCfg core.Config, seqIdx []int, reg *connRegistry, established *atomic.Int64, m *fleetMetrics) (int, int, error) {
 	if cfg.Faults != nil && cfg.Faults.NeverDial[sensorID] {
-		return 0, errors.New("fault injection: sensor never dialed")
+		return 0, 0, errors.New("fault injection: sensor never dialed")
 	}
-	conn, dials, err := dialWithBackoff(ctx, addr, cfg)
+	encs, err := buildInstrumentedEncoder(cfg.Base.Encoder, coreCfg, cfg.Base.Cipher, cfg.Base.Metrics)
 	if err != nil {
+		return 0, 0, err
+	}
+	// ONE sealer for the sensor's lifetime: the nonce counter advances
+	// monotonically across redials, so resumed streams never reuse a
+	// (key, nonce) pair (seccomm's per-sealer instance prefix is the
+	// structural backstop should a caller ever re-create one).
+	sealer, err := seccomm.NewSealer(cfg.Base.Cipher, fleetKey(sensorID, cfg.Base.Cipher))
+	if err != nil {
+		return 0, 0, err
+	}
+	label := strconv.Itoa(sensorID)
+	dials, reconnects := 0, 0
+	for try := 0; ; try++ {
+		attemptDials, err := streamFleetFrames(ctx, sensorID, label, addr, cfg, encs, sealer, seqIdx, reg, established, m)
+		dials += attemptDials
+		if err == nil {
+			return dials, reconnects, nil
+		}
+		var terminal nonResumableError
+		if errors.As(err, &terminal) || ctx.Err() != nil || try >= cfg.ReconnectAttempts {
+			return dials, reconnects, err
+		}
+		reconnects++
+		m.reconnects.Inc()
+		m.sensorReconnects.Counter(label).Inc()
+		// Give the server a beat to retire the dropped connection's
+		// handler before the new hello arrives.
+		select {
+		case <-ctx.Done():
+			return dials, reconnects, err
+		case <-time.After(cfg.DialBackoff):
+		}
+	}
+}
+
+// streamFleetFrames performs one connection attempt: dial, hello, resume
+// ack, then stream the assigned frames from the server's resume index. It
+// returns the dial attempts this connection consumed.
+func streamFleetFrames(ctx context.Context, sensorID int, label string, addr string, cfg FleetConfig, encs encoderSet, sealer seccomm.Sealer, seqIdx []int, reg *connRegistry, established *atomic.Int64, m *fleetMetrics) (int, error) {
+	conn, dials, err := dialWithBackoff(ctx, addr, cfg)
+	m.dialAttempts.Add(int64(dials))
+	m.sensorDials.Counter(label).Add(int64(dials))
+	if err != nil {
+		m.dialFailures.Inc()
 		return dials, err
 	}
 	established.Add(1)
@@ -473,23 +633,35 @@ func runFleetSensor(ctx context.Context, sensorID int, addr string, cfg FleetCon
 	if err := writeFullDeadline(conn, hello[:], cfg.IOTimeout); err != nil {
 		return dials, fmt.Errorf("hello: %w", err)
 	}
-	encs, err := buildEncoder(cfg.Base.Encoder, coreCfg, cfg.Base.Cipher)
-	if err != nil {
-		return dials, err
+	// The server acks with the index of the first frame it has not
+	// delivered; a fresh connection resumes at 0.
+	var ack [2]byte
+	if err := seccomm.ReadFullDeadline(conn, ack[:], cfg.IOTimeout); err != nil {
+		return dials, fmt.Errorf("hello ack: %w", err)
 	}
-	sealer, err := seccomm.NewSealer(cfg.Base.Cipher, fleetKey(sensorID, cfg.Base.Cipher))
-	if err != nil {
-		return dials, err
+	resume := int(binary.BigEndian.Uint16(ack[:]))
+	if resume > len(seqIdx) {
+		return dials, nonResumableError{fmt.Errorf("server resume index %d beyond %d assigned frames", resume, len(seqIdx))}
 	}
+	// Replay the sampling stream up to the resume point so the remaining
+	// sequences are sampled exactly as an uninterrupted run would sample
+	// them — resume is invisible in the delivered data.
 	rng := newSeededRand(cfg.Base.Seed + int64(sensorID))
-	for fi, si := range seqIdx {
+	for _, si := range seqIdx[:resume] {
+		cfg.Base.Policy.Sample(cfg.Base.Dataset.Sequences[si].Values, rng)
+	}
+	framesC := m.sensorFramesSent.Counter(label)
+	retriesC := m.sensorRetries.Counter(label)
+	deadlineC := m.sensorDeadlineHits.Counter(label)
+	for fi := resume; fi < len(seqIdx); fi++ {
+		si := seqIdx[fi]
 		if cfg.Faults != nil {
 			if k, ok := cfg.Faults.DieAfterFrames[sensorID]; ok && fi >= k {
-				return dials, fmt.Errorf("fault injection: died after %d frames", k)
+				return dials, nonResumableError{fmt.Errorf("fault injection: died after %d frames", k)}
 			}
 			if k, ok := cfg.Faults.StallAfterFrames[sensorID]; ok && fi >= k {
 				stallSensor(ctx, cfg.IOTimeout)
-				return dials, fmt.Errorf("fault injection: stalled after %d frames", k)
+				return dials, nonResumableError{fmt.Errorf("fault injection: stalled after %d frames", k)}
 			}
 		}
 		seq := cfg.Base.Dataset.Sequences[si]
@@ -500,15 +672,42 @@ func runFleetSensor(ctx context.Context, sensorID int, addr string, cfg FleetCon
 		}
 		payload, err := encs.enc.Encode(core.Batch{Indices: idx, Values: vals})
 		if err != nil {
-			return dials, err
+			return dials, nonResumableError{err}
 		}
 		msg, err := sealer.Seal(payload)
 		if err != nil {
-			return dials, err
+			return dials, nonResumableError{err}
 		}
-		if err := writeFrameRetry(ctx, conn, msg, cfg); err != nil {
-			return dials, err
+		attempts, err := writeFrameRetry(ctx, conn, msg, cfg)
+		if r := attempts - 1; r > 0 {
+			m.writeRetries.Add(int64(r))
+			retriesC.Add(int64(r))
+			// Every retry was preceded by a write deadline expiry.
+			m.writeDeadlineHits.Add(int64(r))
+			deadlineC.Add(int64(r))
 		}
+		if err != nil {
+			if isNetTimeout(err) {
+				m.writeDeadlineHits.Inc()
+				deadlineC.Inc()
+			}
+			return dials, fmt.Errorf("frame %d: %w", fi, err)
+		}
+		m.framesSent.Inc()
+		m.wireBytesSent.Add(int64(len(msg)))
+		framesC.Inc()
+	}
+	// Delivery confirmation: frame writes can land in the TCP buffer after
+	// the server has dropped the link, so "every write succeeded" does not
+	// mean "everything was delivered". The server confirms completion with
+	// a 2-byte final count; a missing or short confirmation is a transport
+	// failure, which a reconnect can resume from the true delivered index.
+	var fin [2]byte
+	if err := seccomm.ReadFullDeadline(conn, fin[:], cfg.IOTimeout); err != nil {
+		return dials, fmt.Errorf("final ack: %w", err)
+	}
+	if got := int(binary.BigEndian.Uint16(fin[:])); got != len(seqIdx) {
+		return dials, fmt.Errorf("final ack: server delivered %d of %d frames", got, len(seqIdx))
 	}
 	return dials, nil
 }
@@ -523,7 +722,7 @@ func stallSensor(ctx context.Context, ioTimeout time.Duration) {
 }
 
 // writeFullDeadline writes buf to conn under a write deadline (the raw
-// cleartext hello; frames use seccomm.WriteFrameDeadline).
+// cleartext hello/ack; frames use seccomm.WriteFrameDeadline).
 func writeFullDeadline(conn net.Conn, buf []byte, timeout time.Duration) error {
 	if timeout > 0 {
 		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
@@ -535,12 +734,38 @@ func writeFullDeadline(conn net.Conn, buf []byte, timeout time.Duration) error {
 	return err
 }
 
+// claimSensor marks the sensor's handler slot active, waiting briefly for a
+// finished handler to release it first: a redialing sensor can be accepted
+// before its previous handler has fully exited. It reports whether the
+// claim succeeded; on failure the duplicate-connection error is recorded.
+func claimSensor(mu *sync.Mutex, active []bool, res *FleetResult, sensorID int, wait time.Duration) bool {
+	deadline := time.Now().Add(wait)
+	for {
+		mu.Lock()
+		if !active[sensorID] {
+			active[sensorID] = true
+			mu.Unlock()
+			return true
+		}
+		mu.Unlock()
+		if time.Now().After(deadline) {
+			mu.Lock()
+			res.Sensors[sensorID].ServerErr = "duplicate connection for sensor"
+			mu.Unlock()
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // serveFleetConn handles one accepted connection: hello under a deadline,
-// sensor id claim, then the per-sensor frame loop. Failures land in the
-// sensor's status (or in Unattributed when no hello arrived).
-func serveFleetConn(conn net.Conn, cfg FleetConfig, coreCfg core.Config, parts [][]int, res *FleetResult, mu *sync.Mutex, claimed []bool) {
+// sensor id claim, resume ack, then the per-sensor frame loop starting at
+// the first undelivered frame. Failures land in the sensor's status (or in
+// Unattributed when no hello arrived); a later reconnect supersedes them.
+func serveFleetConn(conn net.Conn, cfg FleetConfig, coreCfg core.Config, parts [][]int, res *FleetResult, mu *sync.Mutex, active []bool, accs []reconstruct.Accumulator, m *fleetMetrics) {
 	var hello [2]byte
 	if err := seccomm.ReadFullDeadline(conn, hello[:], cfg.IOTimeout); err != nil {
+		m.unattributed.Inc()
 		mu.Lock()
 		res.Unattributed = append(res.Unattributed, fmt.Sprintf("hello: %v", err))
 		mu.Unlock()
@@ -548,26 +773,39 @@ func serveFleetConn(conn net.Conn, cfg FleetConfig, coreCfg core.Config, parts [
 	}
 	sensorID := int(binary.BigEndian.Uint16(hello[:]))
 	if sensorID < 0 || sensorID >= len(parts) {
+		m.unattributed.Inc()
 		mu.Lock()
 		res.Unattributed = append(res.Unattributed, fmt.Sprintf("unknown sensor %d", sensorID))
 		mu.Unlock()
 		return
 	}
-	mu.Lock()
-	if claimed[sensorID] {
-		res.Sensors[sensorID].ServerErr = "duplicate connection for sensor"
-		mu.Unlock()
+	if !claimSensor(mu, active, res, sensorID, cfg.IOTimeout) {
 		return
 	}
-	claimed[sensorID] = true
-	mu.Unlock()
+	defer func() {
+		mu.Lock()
+		active[sensorID] = false
+		mu.Unlock()
+	}()
 
 	setServerErr := func(err error) {
 		mu.Lock()
 		res.Sensors[sensorID].ServerErr = err.Error()
 		mu.Unlock()
 	}
-	encs, err := buildEncoder(cfg.Base.Encoder, coreCfg, cfg.Base.Cipher)
+	// Ack the hello with the resume index and clear any failure a previous
+	// connection left behind — this connection supersedes it.
+	mu.Lock()
+	resume := res.Sensors[sensorID].Delivered
+	res.Sensors[sensorID].ServerErr = ""
+	mu.Unlock()
+	var ack [2]byte
+	binary.BigEndian.PutUint16(ack[:], uint16(resume))
+	if err := writeFullDeadline(conn, ack[:], cfg.IOTimeout); err != nil {
+		setServerErr(fmt.Errorf("hello ack: %w", err))
+		return
+	}
+	encs, err := buildInstrumentedEncoder(cfg.Base.Encoder, coreCfg, cfg.Base.Cipher, cfg.Base.Metrics)
 	if err != nil {
 		setServerErr(err)
 		return
@@ -578,25 +816,31 @@ func serveFleetConn(conn net.Conn, cfg FleetConfig, coreCfg core.Config, parts [
 		return
 	}
 	meta := cfg.Base.Dataset.Meta
-	var acc reconstruct.Accumulator
-	finish := func() {
-		mu.Lock()
-		res.PerSensorMAE[sensorID] = acc.MAE()
-		mu.Unlock()
-	}
-	defer finish()
-	for fi, si := range parts[sensorID] {
+	label := strconv.Itoa(sensorID)
+	framesC := m.sensorFramesDelivered.Counter(label)
+	bytesC := m.sensorWireBytes.Counter(label)
+	deadlineC := m.sensorDeadlineHits.Counter(label)
+	part := parts[sensorID]
+	connFrames := 0 // frames processed on THIS connection (fault accounting)
+	for fi := resume; fi < len(part); fi++ {
 		if cfg.Faults != nil {
-			if k, ok := cfg.Faults.ServerCloseAfterFrames[sensorID]; ok && fi >= k {
+			if k, ok := cfg.Faults.ServerCloseAfterFrames[sensorID]; ok && connFrames >= k {
 				setServerErr(fmt.Errorf("fault injection: server closed link after %d frames", k))
 				return
 			}
 		}
-		seq := cfg.Base.Dataset.Sequences[si]
+		seq := cfg.Base.Dataset.Sequences[part[fi]]
 		msg, err := seccomm.ReadFrameDeadline(conn, cfg.IOTimeout)
 		if err != nil {
+			if isNetTimeout(err) {
+				m.readDeadlineHits.Inc()
+				deadlineC.Inc()
+			}
 			setServerErr(fmt.Errorf("frame %d: %w", fi, err))
 			return
+		}
+		if fleetFrameHook != nil {
+			fleetFrameHook(sensorID, msg)
 		}
 		payload, err := opener.Open(msg)
 		if err != nil {
@@ -618,11 +862,24 @@ func serveFleetConn(conn net.Conn, cfg FleetConfig, coreCfg core.Config, parts [
 			setServerErr(fmt.Errorf("frame %d: %w", fi, err))
 			return
 		}
-		acc.Add(mae, 1)
+		connFrames++
+		m.framesDelivered.Inc()
+		m.wireBytesReceived.Add(int64(len(msg)))
+		m.frameBytes.Observe(int64(len(msg)))
+		framesC.Inc()
+		bytesC.Add(int64(len(msg)))
 		mu.Lock()
+		accs[sensorID].Add(mae, 1)
 		res.SizesByLabel[seq.Label] = append(res.SizesByLabel[seq.Label], len(msg))
 		res.Messages++
 		res.Sensors[sensorID].Delivered++
 		mu.Unlock()
+	}
+	// Confirm completion so the sensor can distinguish "delivered" from
+	// "buffered into a dead socket".
+	var fin [2]byte
+	binary.BigEndian.PutUint16(fin[:], uint16(len(part)))
+	if err := writeFullDeadline(conn, fin[:], cfg.IOTimeout); err != nil {
+		setServerErr(fmt.Errorf("final ack: %w", err))
 	}
 }

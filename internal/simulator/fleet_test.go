@@ -299,8 +299,12 @@ func TestWriteFrameRetryRecoversFromTimeout(t *testing.T) {
 		}
 		got <- frame
 	}()
-	if err := writeFrameRetry(context.Background(), client, msg, cfg); err != nil {
+	attempts, err := writeFrameRetry(context.Background(), client, msg, cfg)
+	if err != nil {
 		t.Fatalf("bounded retry failed: %v", err)
+	}
+	if attempts < 2 {
+		t.Errorf("attempts = %d, want at least 2 (first write must have timed out)", attempts)
 	}
 	if frame := <-got; string(frame) != string(msg) {
 		t.Errorf("reader got %q, want %q", frame, msg)
@@ -313,7 +317,7 @@ func TestWriteFrameRetryGivesUp(t *testing.T) {
 	defer srv.Close() // no reader ever appears
 	cfg := FleetConfig{IOTimeout: 30 * time.Millisecond, WriteAttempts: 2}.withTransportDefaults()
 	start := time.Now()
-	err := writeFrameRetry(context.Background(), client, []byte("frame"), cfg)
+	_, err := writeFrameRetry(context.Background(), client, []byte("frame"), cfg)
 	if err == nil {
 		t.Fatal("write against a dead peer succeeded")
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/energy"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/reconstruct"
 	"repro/internal/seccomm"
@@ -76,6 +77,12 @@ type RunConfig struct {
 	// and the Sensor/Server actors); zero selects a generous default. The
 	// in-process Run ignores it.
 	IOTimeout time.Duration
+	// Metrics, when non-nil, receives codec and transport instrumentation
+	// (encode/decode latency, frame and byte counts, per-sensor series in
+	// fleet mode). Metrics are observation-only: they never feed back into
+	// sampling, encoding, or scheduling, so enabling them cannot change any
+	// run's output.
+	Metrics *metrics.Registry
 }
 
 // SequenceResult records one sequence's outcome.
@@ -144,6 +151,27 @@ func buildEncoder(kind EncoderKind, cfg core.Config, cipher seccomm.CipherKind) 
 	}
 }
 
+// buildInstrumentedEncoder is buildEncoder plus the registry's codec
+// instrument family for the encoder kind: Encode/Decode latency histograms
+// and throughput counters under core.<kind>.*, and for AGE the §4 pipeline
+// counters (groups formed, measurements pruned). A nil registry returns the
+// bare codec. The wrapper preserves the zero-alloc reuse paths and is
+// invisible on the wire.
+func buildInstrumentedEncoder(kind EncoderKind, cfg core.Config, cipher seccomm.CipherKind, reg *metrics.Registry) (encoderSet, error) {
+	encs, err := buildEncoder(kind, cfg, cipher)
+	if err != nil || reg == nil {
+		return encs, err
+	}
+	if a, ok := encs.enc.(*core.AGE); ok {
+		a.InstrumentPipeline(
+			reg.Counter("core.age.groups_formed"),
+			reg.Counter("core.age.pruned_measurements"),
+		)
+	}
+	encs.enc, encs.dec = core.InstrumentCodec(encs.enc, encs.dec, core.NewCodecMetrics(reg, string(kind)))
+	return encs, nil
+}
+
 // computeKind maps an encoder to its MCU compute-energy class: the
 // multi-step quantizing encoders pay AGE's encode cost, the direct writers
 // pay the standard cost.
@@ -168,7 +196,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		TargetBytes: core.TargetBytesForRate(cfg.Rate, meta.SeqLen, meta.NumFeatures, meta.Format.Width),
 		MinWidth:    cfg.MinWidth, MinGroups: cfg.MinGroups,
 	}
-	encs, err := buildEncoder(cfg.Encoder, coreCfg, cfg.Cipher)
+	encs, err := buildInstrumentedEncoder(cfg.Encoder, coreCfg, cfg.Cipher, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +209,10 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	payloadAt := func(k int) int {
 		return sealer.WireSize(core.StandardPayloadBytes(k, meta.SeqLen, meta.NumFeatures, meta.Format.Width))
 	}
-	perSeq := cfg.Model.UniformSequenceMJ(meta.SeqLen, meta.NumFeatures, cfg.Rate, payloadAt)
+	perSeq, err := cfg.Model.UniformSequenceMJ(meta.SeqLen, meta.NumFeatures, cfg.Rate, payloadAt)
+	if err != nil {
+		return nil, fmt.Errorf("simulator: budget: %w", err)
+	}
 	budget := perSeq * float64(len(cfg.Dataset.Sequences))
 	meter := energy.NewMeter(budget)
 
@@ -238,7 +269,10 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		}
 		sr.Collected = len(idx)
 		sr.WireBytes = len(msg)
-		sr.EnergyMJ = cfg.Model.SequenceMJ(len(idx), meta.NumFeatures, len(msg), computeKind(cfg.Encoder))
+		sr.EnergyMJ, err = cfg.Model.SequenceMJ(len(idx), meta.NumFeatures, len(msg), computeKind(cfg.Encoder))
+		if err != nil {
+			return nil, fmt.Errorf("simulator: energy: %w", err)
+		}
 		meter.Charge(sr.EnergyMJ)
 		res.TotalEnergyMJ += sr.EnergyMJ
 

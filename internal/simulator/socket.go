@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/metrics"
 	"repro/internal/reconstruct"
 	"repro/internal/seccomm"
 )
@@ -26,6 +27,9 @@ type Sensor struct {
 	enc     core.Encoder
 	sealer  seccomm.Sealer
 	timeout time.Duration
+	// nil-safe instruments (RunConfig.Metrics).
+	frames *metrics.Counter
+	bytes  *metrics.Counter
 }
 
 // Server reads frames, opens and decodes them, and reconstructs sequences.
@@ -34,6 +38,8 @@ type Server struct {
 	dec     core.Decoder
 	opener  seccomm.Sealer
 	timeout time.Duration
+	frames  *metrics.Counter
+	bytes   *metrics.Counter
 }
 
 // ServerResult is what the server learns about one received batch.
@@ -50,7 +56,7 @@ func NewSensorServer(cfg RunConfig) (*Sensor, *Server, error) {
 		T: meta.SeqLen, D: meta.NumFeatures, Format: meta.Format,
 		TargetBytes: core.TargetBytesForRate(cfg.Rate, meta.SeqLen, meta.NumFeatures, meta.Format.Width),
 	}
-	encs, err := buildEncoder(cfg.Encoder, coreCfg, cfg.Cipher)
+	encs, err := buildInstrumentedEncoder(cfg.Encoder, coreCfg, cfg.Cipher, cfg.Metrics)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -62,8 +68,11 @@ func NewSensorServer(cfg RunConfig) (*Sensor, *Server, error) {
 	if timeout <= 0 {
 		timeout = defaultIOTimeout
 	}
-	return &Sensor{cfg: cfg, enc: encs.enc, sealer: sealer, timeout: timeout},
-		&Server{meta: meta, dec: encs.dec, opener: opener, timeout: timeout}, nil
+	reg := cfg.Metrics
+	return &Sensor{cfg: cfg, enc: encs.enc, sealer: sealer, timeout: timeout,
+			frames: reg.Counter("socket.frames_sent"), bytes: reg.Counter("socket.wire_bytes_sent")},
+		&Server{meta: meta, dec: encs.dec, opener: opener, timeout: timeout,
+			frames: reg.Counter("socket.frames_received"), bytes: reg.Counter("socket.wire_bytes_received")}, nil
 }
 
 // SendSequence samples one sequence with the sensor's policy, encodes and
@@ -86,6 +95,8 @@ func (s *Sensor) SendSequence(conn net.Conn, seq [][]float64, seed int64) (colle
 	if err := seccomm.WriteFrameDeadline(conn, msg, s.timeout); err != nil {
 		return 0, 0, fmt.Errorf("sensor: write: %w", err)
 	}
+	s.frames.Inc()
+	s.bytes.Add(int64(len(msg)))
 	return len(idx), len(msg), nil
 }
 
@@ -96,6 +107,8 @@ func (s *Server) ReceiveSequence(conn net.Conn) (*ServerResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: read: %w", err)
 	}
+	s.frames.Inc()
+	s.bytes.Add(int64(len(msg)))
 	payload, err := s.opener.Open(msg)
 	if err != nil {
 		return nil, fmt.Errorf("server: open: %w", err)
