@@ -37,11 +37,35 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/energy"
 	"repro/internal/fixedpoint"
+	"repro/internal/ingest"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/reconstruct"
 	"repro/internal/seccomm"
 	"repro/internal/simulator"
 	"repro/internal/stats"
+)
+
+// ---- Sentinel errors ----
+
+// The facade's sentinel errors. Every constructor and decoder wraps one of
+// these (via %w) into a descriptive message, so callers branch with
+// errors.Is while the error text keeps its diagnostic detail.
+var (
+	// ErrPayloadLength marks a decode attempt on a payload whose length
+	// violates the encoder's wire contract.
+	ErrPayloadLength = core.ErrPayloadLength
+	// ErrTargetTooSmall marks an EncoderConfig whose TargetBytes cannot
+	// hold even the encoder's fixed header.
+	ErrTargetTooSmall = core.ErrTargetTooSmall
+	// ErrUnknownEncoder marks an EncoderKind outside the six variants.
+	ErrUnknownEncoder = core.ErrUnknownEncoder
+	// ErrBadKey marks a cipher key whose length does not match the cipher.
+	ErrBadKey = seccomm.ErrBadKey
+	// ErrServerClosed marks use of an ingest Server after Close (or a stop
+	// already in progress); it is also what Serve returns after a
+	// deliberate shutdown, mirroring net/http's ErrServerClosed.
+	ErrServerClosed = ingest.ErrClosed
 )
 
 // ---- Fixed-point formats and batches ----
@@ -85,6 +109,20 @@ func NewPaddedEncoder(cfg EncoderConfig) (*core.Padded, error) { return core.New
 func NewSingleEncoder(cfg EncoderConfig) (*core.Single, error)       { return core.NewSingle(cfg) }
 func NewUnshiftedEncoder(cfg EncoderConfig) (*core.Unshifted, error) { return core.NewUnshifted(cfg) }
 func NewPrunedEncoder(cfg EncoderConfig) (*core.Pruned, error)       { return core.NewPruned(cfg) }
+
+// NewEncoder is the unified factory over all six encoder variants: one call
+// site builds the kind's matched encoder/decoder pair. cfg.TargetBytes is
+// honored as given for the fixed-size kinds (every kind but EncStandard);
+// derive it the way the paper does with TargetBytesForRate, ReduceTarget,
+// and RoundTargetToCipher. An unknown kind reports ErrUnknownEncoder and an
+// unachievable target reports ErrTargetTooSmall, both matchable with
+// errors.Is.
+func NewEncoder(kind EncoderKind, cfg EncoderConfig) (Encoder, Decoder, error) {
+	return core.NewEncoder(kind, cfg)
+}
+
+// EncoderKinds lists the six encoder kinds, for sweeps over variants.
+func EncoderKinds() []EncoderKind { return core.Kinds() }
 
 // TargetBytesForRate returns the paper's M_B: the Standard payload size at a
 // given collection rate, the natural fixed target for that budget.
@@ -260,13 +298,32 @@ type SimulationConfig = simulator.RunConfig
 // attacker-observable message sizes.
 type SimulationResult = simulator.RunResult
 
+// SocketResult is a socket-mode run's outcome: server-side error plus the
+// attacker-observable message sizes.
+type SocketResult = simulator.SocketResult
+
 // Simulate runs the full pipeline in-process under an energy budget.
 func Simulate(cfg SimulationConfig) (*SimulationResult, error) { return simulator.Run(cfg) }
 
+// SimulateContext is Simulate under a caller context, mirroring
+// SimulateFleetContext: cancellation is honored between sequences, and the
+// partial result folded so far is returned alongside the cancellation
+// error.
+func SimulateContext(ctx context.Context, cfg SimulationConfig) (*SimulationResult, error) {
+	return simulator.RunContext(ctx, cfg)
+}
+
 // SimulateOverSocket runs the pipeline through a real TCP loopback
 // connection (sensor and server as separate actors).
-func SimulateOverSocket(cfg SimulationConfig) (*simulator.SocketResult, error) {
+func SimulateOverSocket(cfg SimulationConfig) (*SocketResult, error) {
 	return simulator.RunOverSocket(cfg)
+}
+
+// SimulateOverSocketContext is SimulateOverSocket under a caller context,
+// mirroring SimulateFleetContext: cancellation closes the listener and both
+// live connections and reports the cancellation as the run's error.
+func SimulateOverSocketContext(ctx context.Context, cfg SimulationConfig) (*SocketResult, error) {
+	return simulator.RunOverSocketContext(ctx, cfg)
 }
 
 // FleetConfig drives a multi-sensor deployment: the dataset's sequences are
@@ -302,6 +359,104 @@ func SimulateFleet(cfg FleetConfig) (*FleetResult, error) { return simulator.Run
 func SimulateFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error) {
 	return simulator.RunFleetContext(ctx, cfg)
 }
+
+// ---- Long-lived ingest server and client ----
+
+// Server is the long-lived sharded ingest server the fleet simulator runs
+// on: accepted connections are spread across accept loops and per-shard
+// worker pools with bounded queues, overload is answered with a typed
+// reject instead of an unbounded goroutine, and sessions keyed by sensor ID
+// support resume after a dropped link. Lifecycle mirrors net/http.Server:
+// Listen, then Serve (blocking), then Drain or Close; Serve returns
+// ErrServerClosed after a deliberate stop.
+type Server = ingest.Server
+
+// ServerConfig sizes a Server: the session Handler, shard and worker
+// counts, per-shard queue depth, I/O deadlines, and an optional metrics
+// registry for the ingest.* instrument family. Zero values select sensible
+// defaults.
+type ServerConfig = ingest.ServerConfig
+
+// NewServer validates cfg and returns an idle Server; call Listen then
+// Serve to start it.
+func NewServer(cfg ServerConfig) (*Server, error) { return ingest.NewServer(cfg) }
+
+// Client streams one sensor's sealed frames to an ingest Server, redialing
+// and resuming from the server's delivered index on transport failures and
+// backing off on typed rejects.
+type Client = ingest.Client
+
+// ClientConfig configures a Client: the server address, the sensor ID sent
+// in the hello, dial/write/reconnect/reject budgets, and an optional
+// metrics registry for the ingest.client.* instrument family. Zero values
+// select the fleet simulator's historical defaults.
+type ClientConfig = ingest.ClientConfig
+
+// ClientStats counts one Run's transport work, for callers that fold
+// delivery accounting into their own reporting.
+type ClientStats = ingest.ClientStats
+
+// FrameSource produces the sealed frames one Client run streams; Seek
+// positions it at the server's resume index after a reconnect.
+type FrameSource = ingest.FrameSource
+
+// NewClient returns a Client for cfg (defaults applied).
+func NewClient(cfg ClientConfig) *Client { return ingest.NewClient(cfg) }
+
+// IngestHandler is the server-side application: it opens a Session per
+// accepted sensor connection and hears about rejected and unattributable
+// ones.
+type IngestHandler = ingest.Handler
+
+// IngestHandlerFuncs adapts free functions to an IngestHandler.
+type IngestHandlerFuncs = ingest.HandlerFuncs
+
+// IngestSession consumes one sensor connection's frames.
+type IngestSession = ingest.Session
+
+// IngestStatus is the typed accept/reject code the server sends in every
+// hello and final ack.
+type IngestStatus = ingest.Status
+
+// The wire statuses. Transient() reports which rejects a client may retry.
+const (
+	StatusAccept     = ingest.StatusAccept
+	StatusOverloaded = ingest.StatusOverloaded
+	StatusDuplicate  = ingest.StatusDuplicate
+	StatusDraining   = ingest.StatusDraining
+	StatusRefused    = ingest.StatusRefused
+)
+
+// RejectedError is the error a Client run reports when the server answers
+// its hello with a reject status.
+type RejectedError = ingest.RejectedError
+
+// FrameError attributes a server-side session failure to the frame index
+// being read when it happened.
+type FrameError = ingest.FrameError
+
+// Terminal marks err as non-resumable: a Client run that sees it stops
+// without spending its reconnect budget. FrameSource implementations use it
+// to distinguish "my data is broken" from "the link is broken".
+func Terminal(err error) error { return ingest.Terminal(err) }
+
+// IsTerminal reports whether err (or anything it wraps) was marked
+// Terminal.
+func IsTerminal(err error) bool { return ingest.IsTerminal(err) }
+
+// ---- Metrics ----
+
+// MetricsRegistry collects the pipeline's observation-only instruments
+// (codec latency, transport counters, the ingest.* server family). Pass one
+// in SimulationConfig, FleetConfig, ServerConfig, or ClientConfig and read
+// it back with Snapshot. A nil registry disables collection at zero cost.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's instruments.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // EnergyModel holds the MSP430 FR5994 + HM-10 BLE trace constants.
 type EnergyModel = energy.Model

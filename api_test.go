@@ -4,6 +4,8 @@ package age_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -152,6 +154,131 @@ func TestFacadeRoundTargetToCipher(t *testing.T) {
 	}
 	if got := age.RoundTargetToCipher(100, age.AES128); got%16 != 15 {
 		t.Errorf("block target %d not block-filling", got)
+	}
+}
+
+func TestFacadeSentinelErrors(t *testing.T) {
+	format := age.Format{Width: 16, NonFrac: 3}
+	goodCfg := age.EncoderConfig{
+		T: 16, D: 1, Format: format,
+		TargetBytes: age.TargetBytesForRate(0.5, 16, 1, format.Width),
+	}
+
+	if _, _, err := age.NewEncoder(age.EncoderKind("bogus"), goodCfg); !errors.Is(err, age.ErrUnknownEncoder) {
+		t.Errorf("unknown kind error = %v, want ErrUnknownEncoder", err)
+	}
+	tiny := goodCfg
+	tiny.TargetBytes = 1
+	if _, _, err := age.NewEncoder(age.EncAGE, tiny); !errors.Is(err, age.ErrTargetTooSmall) {
+		t.Errorf("tiny target error = %v, want ErrTargetTooSmall", err)
+	}
+	if _, err := age.NewSealer(age.ChaCha20, make([]byte, 5)); !errors.Is(err, age.ErrBadKey) {
+		t.Errorf("short key error = %v, want ErrBadKey", err)
+	}
+	_, dec, err := age.NewEncoder(age.EncAGE, goodCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode([]byte{1, 2, 3}); !errors.Is(err, age.ErrPayloadLength) {
+		t.Errorf("truncated payload error = %v, want ErrPayloadLength", err)
+	}
+	for _, kind := range age.EncoderKinds() {
+		if _, _, err := age.NewEncoder(kind, goodCfg); err != nil {
+			t.Errorf("NewEncoder(%s) failed: %v", kind, err)
+		}
+	}
+}
+
+func TestFacadeSimulateContext(t *testing.T) {
+	data, err := age.LoadDataset("epilepsy", age.DatasetOptions{Seed: 6, MaxSequences: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := age.SimulationConfig{
+		Dataset: data,
+		Policy:  age.NewUniformPolicy(0.5),
+		Encoder: age.EncAGE,
+		Cipher:  age.ChaCha20,
+		Rate:    0.5,
+		Model:   age.DefaultEnergyModel(),
+		Seed:    1,
+	}
+	want, err := age.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := age.SimulateContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MAE != want.MAE {
+		t.Errorf("SimulateContext MAE %g != Simulate MAE %g", got.MAE, want.MAE)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := age.SimulateContext(cancelled, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run error = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Seqs) != 0 {
+		t.Errorf("pre-cancelled run folded %v sequences", res)
+	}
+}
+
+func TestFacadeSimulateOverSocketContext(t *testing.T) {
+	data, err := age.LoadDataset("epilepsy", age.DatasetOptions{Seed: 7, MaxSequences: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := age.SimulationConfig{
+		Dataset: data,
+		Policy:  age.NewUniformPolicy(0.5),
+		Encoder: age.EncAGE,
+		Cipher:  age.ChaCha20,
+		Rate:    0.5,
+		Model:   age.DefaultEnergyModel(),
+		Seed:    1,
+	}
+	res, err := age.SimulateOverSocketContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MAE <= 0 {
+		t.Errorf("socket MAE = %g", res.MAE)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := age.SimulateOverSocketContext(cancelled, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled socket run error = %v, want context.Canceled", err)
+	}
+}
+
+func TestFacadeServerLifecycle(t *testing.T) {
+	srv, err := age.NewServer(age.ServerConfig{
+		Handler: age.IngestHandlerFuncs{
+			OpenFunc: func(sensorID, delivered int) (age.IngestSession, error) {
+				return nil, errors.New("no sessions in this test")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, age.ErrServerClosed) {
+		t.Errorf("Serve after Close = %v, want ErrServerClosed", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); !errors.Is(err, age.ErrServerClosed) {
+		t.Errorf("Listen after Close = %v, want ErrServerClosed", err)
 	}
 }
 

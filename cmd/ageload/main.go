@@ -1,0 +1,261 @@
+// Command ageload drives a synthetic sensor fleet against the ingest server
+// to measure sustained throughput and latency under high concurrency. Every
+// sensor is a real ingest.Client on its own TCP connection streaming
+// fixed-size frames; the server runs the production shard/queue/backpressure
+// path, so overload shows up as typed soft rejects (and bounded memory)
+// rather than goroutine pileups.
+//
+// Usage:
+//
+//	ageload -sensors 1000 -frames 20 -frame-bytes 64 -out BENCH_ingest.json
+//	ageload -sensors 2000 -shards 8 -workers 32 -queue 64
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/metrics"
+)
+
+// loadSession discards frames, counting them. One exists per accepted
+// connection; the shared counters aggregate across the whole run.
+type loadSession struct {
+	total  int
+	frames *atomic.Int64
+	bytes  *atomic.Int64
+}
+
+func (s *loadSession) Total() int { return s.total }
+
+func (s *loadSession) Frame(index int, msg []byte) error {
+	s.frames.Add(1)
+	s.bytes.Add(int64(len(msg)))
+	return nil
+}
+
+func (s *loadSession) Close(err error) {}
+
+// genSource synthesizes one sensor's frames on demand: a single reused
+// buffer stamped with the sensor and frame index, so memory stays flat no
+// matter how large the run is. Seek just repositions the counter — the
+// content of frame i is a pure function of (sensor, i), which is exactly
+// the resume contract.
+type genSource struct {
+	sensorID int
+	total    int
+	next     int
+	buf      []byte
+}
+
+func (g *genSource) Total() int            { return g.total }
+func (g *genSource) Seek(resume int) error { g.next = resume; return nil }
+
+func (g *genSource) Next(ctx context.Context) ([]byte, error) {
+	for i := range g.buf {
+		g.buf[i] = byte(g.sensorID*31 + g.next*7 + i)
+	}
+	g.next++
+	return g.buf, nil
+}
+
+// percentiles summarizes a latency distribution in milliseconds.
+type percentiles struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+func summarize(durs []time.Duration) percentiles {
+	if len(durs) == 0 {
+		return percentiles{}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	at := func(p float64) float64 {
+		idx := int(p*float64(len(durs))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(durs) {
+			idx = len(durs) - 1
+		}
+		return float64(durs[idx]) / float64(time.Millisecond)
+	}
+	return percentiles{
+		P50: at(0.50),
+		P90: at(0.90),
+		P99: at(0.99),
+		Max: float64(durs[len(durs)-1]) / float64(time.Millisecond),
+	}
+}
+
+// report is the -out JSON payload.
+type report struct {
+	Sensors         int `json:"sensors"`
+	FramesPerSensor int `json:"frames_per_sensor"`
+	FrameBytes      int `json:"frame_bytes"`
+	Shards          int `json:"shards"`
+	WorkersPerShard int `json:"workers_per_shard"`
+	QueueDepth      int `json:"queue_depth"`
+
+	WallSeconds    float64     `json:"wall_seconds"`
+	FramesPerSec   float64     `json:"frames_per_sec"`
+	MBPerSec       float64     `json:"mb_per_sec"`
+	SessionLatency percentiles `json:"session_latency"`
+
+	Completed   int   `json:"completed_sensors"`
+	Failed      int   `json:"failed_sensors"`
+	SoftRejects int64 `json:"soft_rejects"`
+	Reconnects  int64 `json:"reconnects"`
+
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		sensors    = flag.Int("sensors", 1000, "concurrent sensors to run")
+		frames     = flag.Int("frames", 20, "frames each sensor streams")
+		frameBytes = flag.Int("frame-bytes", 64, "payload bytes per frame")
+
+		shards  = flag.Int("shards", 4, "server accept shards")
+		workers = flag.Int("workers", 64, "workers per shard (concurrent sessions = shards*workers)")
+		queue   = flag.Int("queue", 128, "per-shard pending-connection queue depth")
+
+		ioTimeout      = flag.Duration("io-timeout", 5*time.Second, "per-frame read/write deadline")
+		rejectAttempts = flag.Int("reject-attempts", 64, "client budget for transient server rejects")
+		reconnects     = flag.Int("reconnect-attempts", 2, "client budget for redial+resume after a dropped link")
+		runTimeout     = flag.Duration("run-timeout", 2*time.Minute, "whole-run bound")
+		out            = flag.String("out", "BENCH_ingest.json", "write the throughput/latency report to this JSON file (empty = skip)")
+	)
+	flag.Parse()
+	if *sensors <= 0 || *frames <= 0 || *frameBytes <= 0 {
+		log.Fatal("ageload: -sensors, -frames, and -frame-bytes must be positive")
+	}
+
+	reg := metrics.NewRegistry()
+	var gotFrames, gotBytes atomic.Int64
+	srv, err := ingest.NewServer(ingest.ServerConfig{
+		Handler: ingest.HandlerFuncs{
+			OpenFunc: func(sensorID, delivered int) (ingest.Session, error) {
+				return &loadSession{total: *frames, frames: &gotFrames, bytes: &gotBytes}, nil
+			},
+		},
+		Shards:          *shards,
+		WorkersPerShard: *workers,
+		QueueDepth:      *queue,
+		IOTimeout:       *ioTimeout,
+		Metrics:         reg,
+	})
+	if err != nil {
+		log.Fatalf("ageload: %v", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		log.Fatalf("ageload: listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *runTimeout)
+	defer cancel()
+
+	durs := make([]time.Duration, *sensors)
+	errs := make([]error, *sensors)
+	var softRejects, reconnectCount atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *sensors; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client := ingest.NewClient(ingest.ClientConfig{
+				Addr:              srv.Addr().String(),
+				SensorID:          id,
+				IOTimeout:         *ioTimeout,
+				DialAttempts:      6,
+				RejectAttempts:    *rejectAttempts,
+				ReconnectAttempts: *reconnects,
+				Metrics:           reg,
+			})
+			src := &genSource{sensorID: id, total: *frames, buf: make([]byte, *frameBytes)}
+			t0 := time.Now()
+			stats, err := client.Run(ctx, src)
+			durs[id] = time.Since(t0)
+			errs[id] = err
+			softRejects.Add(int64(stats.SoftRejects))
+			reconnectCount.Add(int64(stats.Reconnects))
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 2*(*ioTimeout))
+	defer drainCancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Fatalf("ageload: drain: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, ingest.ErrClosed) {
+		log.Fatalf("ageload: serve: %v", err)
+	}
+
+	rep := report{
+		Sensors:         *sensors,
+		FramesPerSensor: *frames,
+		FrameBytes:      *frameBytes,
+		Shards:          *shards,
+		WorkersPerShard: *workers,
+		QueueDepth:      *queue,
+		WallSeconds:     wall.Seconds(),
+		SoftRejects:     softRejects.Load(),
+		Reconnects:      reconnectCount.Load(),
+		Metrics:         reg.Snapshot(),
+	}
+	var okDurs []time.Duration
+	for i, err := range errs {
+		if err != nil {
+			rep.Failed++
+			if rep.Failed <= 3 {
+				log.Printf("ageload: sensor %d: %v", i, err)
+			}
+			continue
+		}
+		rep.Completed++
+		okDurs = append(okDurs, durs[i])
+	}
+	rep.SessionLatency = summarize(okDurs)
+	if wall > 0 {
+		rep.FramesPerSec = float64(gotFrames.Load()) / wall.Seconds()
+		rep.MBPerSec = float64(gotBytes.Load()) / wall.Seconds() / 1e6
+	}
+
+	fmt.Printf("ageload: %d/%d sensors completed, %d frames (%.0f frames/s, %.2f MB/s) in %.2fs\n",
+		rep.Completed, rep.Sensors, gotFrames.Load(), rep.FramesPerSec, rep.MBPerSec, rep.WallSeconds)
+	fmt.Printf("ageload: session latency p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms; %d soft rejects, %d reconnects\n",
+		rep.SessionLatency.P50, rep.SessionLatency.P90, rep.SessionLatency.P99, rep.SessionLatency.Max,
+		rep.SoftRejects, rep.Reconnects)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("ageload: report: %v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("ageload: report: %v", err)
+		}
+		fmt.Printf("ageload: wrote %s\n", *out)
+	}
+	if rep.Failed > 0 {
+		log.Fatalf("ageload: %d sensors failed", rep.Failed)
+	}
+}

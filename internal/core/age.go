@@ -44,7 +44,7 @@ func NewAGE(cfg Config) (*AGE, error) {
 		return nil, err
 	}
 	if cfg.TargetBytes < minAGEBytes {
-		return nil, fmt.Errorf("core: AGE target %dB below minimum %dB", cfg.TargetBytes, minAGEBytes)
+		return nil, fmt.Errorf("core: AGE target %dB below minimum %dB: %w", cfg.TargetBytes, minAGEBytes, ErrTargetTooSmall)
 	}
 	if cfg.MinWidth < 1 || cfg.MinWidth > cfg.Format.Width {
 		return nil, fmt.Errorf("core: MinWidth %d out of range [1, %d]", cfg.MinWidth, cfg.Format.Width)
@@ -174,7 +174,7 @@ func (a *AGE) Decode(payload []byte) (Batch, error) {
 // unspecified.
 func (a *AGE) DecodeInto(b *Batch, payload []byte) error {
 	if len(payload) != a.cfg.TargetBytes {
-		return fmt.Errorf("core: age decode: payload %dB, want exactly %dB", len(payload), a.cfg.TargetBytes)
+		return fmt.Errorf("core: age decode: payload %dB, want exactly %dB: %w", len(payload), a.cfg.TargetBytes, ErrPayloadLength)
 	}
 	var r bitio.Reader
 	r.Reset(payload)

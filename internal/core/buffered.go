@@ -59,7 +59,7 @@ func NewBuffered(cfg Config, bufferLimit int) (*Buffered, error) {
 	}
 	per := buffMeasurementsPerMessage(cfg)
 	if per < 1 {
-		return nil, fmt.Errorf("core: buffered target %dB cannot hold one measurement", cfg.TargetBytes)
+		return nil, fmt.Errorf("core: buffered target %dB cannot hold one measurement: %w", cfg.TargetBytes, ErrTargetTooSmall)
 	}
 	if bufferLimit < 1 {
 		return nil, fmt.Errorf("core: buffer limit %d must be positive", bufferLimit)

@@ -1,0 +1,24 @@
+package core
+
+import "errors"
+
+// Sentinel errors for the failure classes a downstream caller can sensibly
+// branch on. Every constructor and decoder in this package wraps one of
+// these (via %w) into its descriptive message, so callers test with
+// errors.Is while the error text keeps its diagnostic detail. The root
+// package re-exports them.
+var (
+	// ErrPayloadLength marks a decode attempt on a payload whose length
+	// violates the encoder's wire contract. For the fixed-size encoders a
+	// wrong-length payload is corruption by definition: every valid message
+	// is exactly TargetBytes.
+	ErrPayloadLength = errors.New("payload length violates the wire format")
+
+	// ErrTargetTooSmall marks a Config whose TargetBytes cannot hold even
+	// the encoder's fixed header.
+	ErrTargetTooSmall = errors.New("target size too small")
+
+	// ErrUnknownEncoder marks an encoder Kind this package does not
+	// implement.
+	ErrUnknownEncoder = errors.New("unknown encoder kind")
+)

@@ -227,7 +227,7 @@ func (p *Padded) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 // decoders.
 func (p *Padded) Decode(payload []byte) (Batch, error) {
 	if len(payload) != p.max {
-		return Batch{}, fmt.Errorf("core: padded decode: payload %dB, want exactly %dB", len(payload), p.max)
+		return Batch{}, fmt.Errorf("core: padded decode: payload %dB, want exactly %dB: %w", len(payload), p.max, ErrPayloadLength)
 	}
 	return p.std.Decode(payload)
 }
@@ -235,7 +235,7 @@ func (p *Padded) Decode(payload []byte) (Batch, error) {
 // DecodeInto implements IntoDecoder.
 func (p *Padded) DecodeInto(b *Batch, payload []byte) error {
 	if len(payload) != p.max {
-		return fmt.Errorf("core: padded decode: payload %dB, want exactly %dB", len(payload), p.max)
+		return fmt.Errorf("core: padded decode: payload %dB, want exactly %dB: %w", len(payload), p.max, ErrPayloadLength)
 	}
 	return p.std.DecodeInto(b, payload)
 }

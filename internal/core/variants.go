@@ -31,7 +31,7 @@ func NewSingle(cfg Config) (*Single, error) {
 		return nil, err
 	}
 	if cfg.TargetBytes < minAGEBytes {
-		return nil, fmt.Errorf("core: Single target %dB below minimum %dB", cfg.TargetBytes, minAGEBytes)
+		return nil, fmt.Errorf("core: Single target %dB below minimum %dB: %w", cfg.TargetBytes, minAGEBytes, ErrTargetTooSmall)
 	}
 	return &Single{cfg: cfg}, nil
 }
@@ -101,7 +101,7 @@ func (s *Single) Decode(payload []byte) (Batch, error) {
 // DecodeInto implements IntoDecoder. On error *b's contents are unspecified.
 func (s *Single) DecodeInto(b *Batch, payload []byte) error {
 	if len(payload) != s.cfg.TargetBytes {
-		return fmt.Errorf("core: single decode: payload %dB, want exactly %dB", len(payload), s.cfg.TargetBytes)
+		return fmt.Errorf("core: single decode: payload %dB, want exactly %dB: %w", len(payload), s.cfg.TargetBytes, ErrPayloadLength)
 	}
 	var r bitio.Reader
 	r.Reset(payload)
@@ -159,7 +159,7 @@ func NewUnshifted(cfg Config) (*Unshifted, error) {
 		return nil, err
 	}
 	if cfg.TargetBytes < minAGEBytes {
-		return nil, fmt.Errorf("core: Unshifted target %dB below minimum %dB", cfg.TargetBytes, minAGEBytes)
+		return nil, fmt.Errorf("core: Unshifted target %dB below minimum %dB: %w", cfg.TargetBytes, minAGEBytes, ErrTargetTooSmall)
 	}
 	return &Unshifted{cfg: cfg}, nil
 }
@@ -276,7 +276,7 @@ func (u *Unshifted) Decode(payload []byte) (Batch, error) {
 // DecodeInto implements IntoDecoder. On error *b's contents are unspecified.
 func (u *Unshifted) DecodeInto(b *Batch, payload []byte) error {
 	if len(payload) != u.cfg.TargetBytes {
-		return fmt.Errorf("core: unshifted decode: payload %dB, want exactly %dB", len(payload), u.cfg.TargetBytes)
+		return fmt.Errorf("core: unshifted decode: payload %dB, want exactly %dB: %w", len(payload), u.cfg.TargetBytes, ErrPayloadLength)
 	}
 	var r bitio.Reader
 	r.Reset(payload)
@@ -345,7 +345,7 @@ func NewPruned(cfg Config) (*Pruned, error) {
 		return nil, err
 	}
 	if cfg.TargetBytes < minAGEBytes {
-		return nil, fmt.Errorf("core: Pruned target %dB below minimum %dB", cfg.TargetBytes, minAGEBytes)
+		return nil, fmt.Errorf("core: Pruned target %dB below minimum %dB: %w", cfg.TargetBytes, minAGEBytes, ErrTargetTooSmall)
 	}
 	p := &Pruned{cfg: cfg}
 	p.scratch.New = func() any { return new(ageScratch) }
@@ -419,7 +419,7 @@ func (p *Pruned) Decode(payload []byte) (Batch, error) {
 // DecodeInto implements IntoDecoder. On error *b's contents are unspecified.
 func (p *Pruned) DecodeInto(b *Batch, payload []byte) error {
 	if len(payload) != p.cfg.TargetBytes {
-		return fmt.Errorf("core: pruned decode: payload %dB, want exactly %dB", len(payload), p.cfg.TargetBytes)
+		return fmt.Errorf("core: pruned decode: payload %dB, want exactly %dB: %w", len(payload), p.cfg.TargetBytes, ErrPayloadLength)
 	}
 	var r bitio.Reader
 	r.Reset(payload)

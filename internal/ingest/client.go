@@ -1,0 +1,331 @@
+package ingest
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/seccomm"
+)
+
+// Client transport defaults, applied when the corresponding ClientConfig
+// knob is zero. They match the fleet simulator's historical defaults.
+const (
+	defaultDialTimeout     = 2 * time.Second
+	defaultDialAttempts    = 4
+	defaultDialBackoff     = 25 * time.Millisecond
+	defaultClientIOTimeout = 5 * time.Second
+	defaultWriteAttempts   = 2
+	defaultRejectAttempts  = 8
+)
+
+// ClientConfig configures one sensor's Client.
+type ClientConfig struct {
+	// Addr is the server's address.
+	Addr string
+	// SensorID identifies the sensor in the cleartext hello.
+	SensorID int
+
+	// DialTimeout bounds a single TCP connect attempt (default 2s).
+	DialTimeout time.Duration
+	// DialAttempts is how many connect attempts one stream makes before
+	// reporting failure (default 4), separated by an exponential backoff
+	// starting at DialBackoff (default 25ms, doubling).
+	DialAttempts int
+	DialBackoff  time.Duration
+	// IOTimeout is the per-frame read/write deadline (default 5s).
+	IOTimeout time.Duration
+	// WriteAttempts bounds per-frame write retries on a timeout (default
+	// 2). Non-timeout errors are never retried.
+	WriteAttempts int
+	// ReconnectAttempts is how many times Run may redial and resume after
+	// a transport failure mid-stream (default 0: a dropped link fails the
+	// run). Terminal errors are never resumed.
+	ReconnectAttempts int
+	// RejectAttempts is how many transient server rejects (overloaded,
+	// draining, duplicate) Run retries before giving up (default 8).
+	// Rejects spend this budget, not ReconnectAttempts: a loaded server
+	// asking for backoff is not a broken link.
+	RejectAttempts int
+	// RejectBackoff is the pause after a transient reject (default
+	// DialBackoff). Unlike dial backoff it does not grow: the server
+	// already sheds load; the client only needs to spread retries.
+	RejectBackoff time.Duration
+
+	// Metrics, when set, receives the ingest.client.* instrument family.
+	Metrics *metrics.Registry
+}
+
+func (cfg ClientConfig) withDefaults() ClientConfig {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = defaultDialTimeout
+	}
+	if cfg.DialAttempts <= 0 {
+		cfg.DialAttempts = defaultDialAttempts
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = defaultDialBackoff
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = defaultClientIOTimeout
+	}
+	if cfg.WriteAttempts <= 0 {
+		cfg.WriteAttempts = defaultWriteAttempts
+	}
+	if cfg.RejectAttempts <= 0 {
+		cfg.RejectAttempts = defaultRejectAttempts
+	}
+	if cfg.RejectBackoff <= 0 {
+		cfg.RejectBackoff = cfg.DialBackoff
+	}
+	return cfg
+}
+
+// FrameSource produces the sealed frames one sensor streams. Run calls
+// Total once per connection, Seek after learning the server's resume
+// index, then Next for each remaining frame. Implementations own encoding
+// and sealing; returning Terminal(err) from Next aborts the run without
+// spending the reconnect budget.
+type FrameSource interface {
+	// Total is the number of frames assigned over the stream's lifetime.
+	Total() int
+	// Seek positions the source so the next Next call produces frame
+	// `resume`. It is called once per connection; a reconnect may seek
+	// forward past frames an earlier connection delivered. Sources whose
+	// frame content depends on history (sampling RNG, nonce counters)
+	// must reproduce it exactly, so resume stays invisible in the data.
+	Seek(resume int) error
+	// Next returns the next sealed frame.
+	Next(ctx context.Context) ([]byte, error)
+}
+
+// ClientStats counts one Run's transport work, for callers that aggregate
+// their own accounting (the fleet simulator translates these into its
+// fleet.* metrics).
+type ClientStats struct {
+	DialAttempts      int
+	DialFailures      int
+	FramesSent        int
+	WireBytesSent     int
+	WriteRetries      int
+	WriteDeadlineHits int
+	Reconnects        int
+	SoftRejects       int
+}
+
+// clientMetrics is the nil-safe ingest.client.* instrument family.
+type clientMetrics struct {
+	dialAttempts *metrics.Counter
+	dialFailures *metrics.Counter
+	framesSent   *metrics.Counter
+	wireBytes    *metrics.Counter
+	writeRetries *metrics.Counter
+	reconnects   *metrics.Counter
+	softRejects  *metrics.Counter
+}
+
+func newClientMetrics(reg *metrics.Registry) clientMetrics {
+	return clientMetrics{
+		dialAttempts: reg.Counter("ingest.client.dial_attempts"),
+		dialFailures: reg.Counter("ingest.client.dial_failures"),
+		framesSent:   reg.Counter("ingest.client.frames_sent"),
+		wireBytes:    reg.Counter("ingest.client.wire_bytes_sent"),
+		writeRetries: reg.Counter("ingest.client.write_retries"),
+		reconnects:   reg.Counter("ingest.client.reconnects"),
+		softRejects:  reg.Counter("ingest.client.soft_rejects"),
+	}
+}
+
+// Client streams one sensor's frames to an ingest Server, redialing and
+// resuming on transport failures and backing off on typed server rejects.
+type Client struct {
+	cfg ClientConfig
+	m   clientMetrics
+}
+
+// NewClient returns a Client for cfg (defaults applied).
+func NewClient(cfg ClientConfig) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{cfg: cfg, m: newClientMetrics(cfg.Metrics)}
+}
+
+// Run streams src's frames until the server confirms full delivery,
+// reconnecting on transport failures (up to ReconnectAttempts) and
+// retrying transient rejects (up to RejectAttempts). It returns the
+// transport stats alongside the first unrecoverable error, if any.
+// Cancelling ctx closes the live connection and aborts promptly.
+func (c *Client) Run(ctx context.Context, src FrameSource) (ClientStats, error) {
+	var st ClientStats
+	rejects := 0
+	for try := 0; ; try++ {
+		err := c.stream(ctx, src, &st)
+		if err == nil {
+			return st, nil
+		}
+		var rej *RejectedError
+		if errors.As(err, &rej) && rej.Status.Transient() {
+			// Typed backpressure, not a broken link: spend the reject
+			// budget and leave the reconnect budget alone.
+			try--
+			rejects++
+			st.SoftRejects++
+			c.m.softRejects.Inc()
+			if rejects > c.cfg.RejectAttempts || ctx.Err() != nil {
+				return st, err
+			}
+			if !sleepCtx(ctx.Done(), c.cfg.RejectBackoff) {
+				return st, err
+			}
+			continue
+		}
+		if IsTerminal(err) || ctx.Err() != nil || try >= c.cfg.ReconnectAttempts {
+			return st, err
+		}
+		st.Reconnects++
+		c.m.reconnects.Inc()
+		// Give the server a beat to retire the dropped connection's
+		// session before the new hello arrives.
+		if !sleepCtx(ctx.Done(), c.cfg.DialBackoff) {
+			return st, err
+		}
+	}
+}
+
+// stream performs one connection attempt: dial, hello, resume ack, frame
+// loop from the server's resume index, final delivery confirmation.
+func (c *Client) stream(ctx context.Context, src FrameSource, st *ClientStats) error {
+	cfg := c.cfg
+	conn, dials, err := dialWithBackoff(ctx, cfg)
+	st.DialAttempts += dials
+	c.m.dialAttempts.Add(int64(dials))
+	if err != nil {
+		st.DialFailures++
+		c.m.dialFailures.Inc()
+		return err
+	}
+	defer conn.Close()
+	// Cancellation must unblock a read or write immediately, not at the
+	// next deadline expiry.
+	streamDone := make(chan struct{})
+	defer close(streamDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-streamDone:
+		}
+	}()
+
+	var hello [helloLen]byte
+	hello[0] = helloMagic
+	binary.BigEndian.PutUint32(hello[1:], uint32(cfg.SensorID))
+	if err := writeFullDeadline(conn, hello[:], cfg.IOTimeout); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	status, resume, err := readAck(conn, cfg.IOTimeout)
+	if err != nil {
+		return fmt.Errorf("hello ack: %w", err)
+	}
+	if status != StatusAccept {
+		rerr := &RejectedError{Status: status}
+		if !status.Transient() {
+			return Terminal(rerr)
+		}
+		return rerr
+	}
+	total := src.Total()
+	if resume > total {
+		return Terminal(fmt.Errorf("server resume index %d beyond %d assigned frames", resume, total))
+	}
+	if err := src.Seek(resume); err != nil {
+		return Terminal(fmt.Errorf("seek to frame %d: %w", resume, err))
+	}
+	for fi := resume; fi < total; fi++ {
+		msg, err := src.Next(ctx)
+		if err != nil {
+			return err
+		}
+		attempts, err := writeFrameRetry(ctx, conn, msg, cfg)
+		if r := attempts - 1; r > 0 {
+			st.WriteRetries += r
+			// Every retry was preceded by a write deadline expiry.
+			st.WriteDeadlineHits += r
+			c.m.writeRetries.Add(int64(r))
+		}
+		if err != nil {
+			if seccomm.IsTimeout(err) {
+				st.WriteDeadlineHits++
+			}
+			return fmt.Errorf("frame %d: %w", fi, err)
+		}
+		st.FramesSent++
+		st.WireBytesSent += len(msg)
+		c.m.framesSent.Inc()
+		c.m.wireBytes.Add(int64(len(msg)))
+	}
+	// Delivery confirmation: frame writes can land in the TCP buffer after
+	// the server has dropped the link, so "every write succeeded" does not
+	// mean "everything was delivered". A missing or short confirmation is
+	// a transport failure, which a reconnect can resume from the true
+	// delivered index.
+	status, delivered, err := readAck(conn, cfg.IOTimeout)
+	if err != nil {
+		return fmt.Errorf("final ack: %w", err)
+	}
+	if status != StatusAccept {
+		return Terminal(fmt.Errorf("final ack: %w", &RejectedError{Status: status}))
+	}
+	if delivered != total {
+		return fmt.Errorf("final ack: server delivered %d of %d frames", delivered, total)
+	}
+	return nil
+}
+
+// dialWithBackoff connects to cfg.Addr, retrying with exponential backoff
+// up to cfg.DialAttempts times. It returns the connection and the number
+// of attempts made.
+func dialWithBackoff(ctx context.Context, cfg ClientConfig) (net.Conn, int, error) {
+	backoff := cfg.DialBackoff
+	var lastErr error
+	for attempt := 1; attempt <= cfg.DialAttempts; attempt++ {
+		d := net.Dialer{Timeout: cfg.DialTimeout}
+		conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+		if err == nil {
+			return conn, attempt, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || attempt == cfg.DialAttempts {
+			return nil, attempt, fmt.Errorf("dial (attempt %d/%d): %w", attempt, cfg.DialAttempts, lastErr)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, attempt, fmt.Errorf("dial cancelled after attempt %d: %w", attempt, ctx.Err())
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+	return nil, cfg.DialAttempts, fmt.Errorf("dial: %w", lastErr)
+}
+
+// writeFrameRetry writes one frame with the per-frame deadline, retrying a
+// timed-out write up to cfg.WriteAttempts times in total. WriteFrame sends
+// header and body in one Write, so a timeout that transmitted nothing is
+// safe to retry; any other error aborts immediately. It returns the number
+// of attempts made so callers can account retries and deadline expiries.
+func writeFrameRetry(ctx context.Context, conn net.Conn, msg []byte, cfg ClientConfig) (int, error) {
+	var err error
+	for attempt := 1; attempt <= cfg.WriteAttempts; attempt++ {
+		err = seccomm.WriteFrameDeadline(conn, msg, cfg.IOTimeout)
+		if err == nil {
+			return attempt, nil
+		}
+		if ctx.Err() != nil || !seccomm.IsTimeout(err) {
+			return attempt, err
+		}
+	}
+	return cfg.WriteAttempts, fmt.Errorf("write after %d attempts: %w", cfg.WriteAttempts, err)
+}

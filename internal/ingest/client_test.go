@@ -1,0 +1,166 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/seccomm"
+)
+
+func TestDialWithBackoff(t *testing.T) {
+	// Grab a loopback port that is guaranteed dead, then check both the
+	// bounded-failure and immediate-success paths.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	live, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	go func() {
+		for {
+			c, err := live.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	cases := []struct {
+		name        string
+		addr        string
+		wantErr     bool
+		wantDials   int
+		minDuration time.Duration
+	}{
+		{"dead address retries with backoff", deadAddr, true, 3, 25 * time.Millisecond},
+		{"live address connects first try", live.Addr().String(), false, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ClientConfig{
+				Addr:         tc.addr,
+				DialTimeout:  200 * time.Millisecond,
+				DialAttempts: 3,
+				DialBackoff:  10 * time.Millisecond,
+			}.withDefaults()
+			start := time.Now()
+			conn, dials, err := dialWithBackoff(context.Background(), cfg)
+			elapsed := time.Since(start)
+			if conn != nil {
+				conn.Close()
+			}
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+			if dials != tc.wantDials {
+				t.Errorf("dials = %d, want %d", dials, tc.wantDials)
+			}
+			// Two failed attempts sleep 10ms then 20ms before the third.
+			if elapsed < tc.minDuration {
+				t.Errorf("elapsed %v below backoff floor %v", elapsed, tc.minDuration)
+			}
+		})
+	}
+}
+
+func TestWriteFrameRetryRecoversFromTimeout(t *testing.T) {
+	// net.Pipe is unbuffered: the first write attempt times out with zero
+	// bytes moved, then a late reader lets the bounded retry succeed.
+	client, srv := net.Pipe()
+	defer client.Close()
+	defer srv.Close()
+	cfg := ClientConfig{IOTimeout: 100 * time.Millisecond, WriteAttempts: 3}.withDefaults()
+
+	msg := []byte("sealed sensor frame")
+	got := make(chan []byte, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond) // outlive attempt 1's deadline
+		frame, err := seccomm.ReadFrame(srv)
+		if err != nil {
+			got <- nil
+			return
+		}
+		got <- frame
+	}()
+	attempts, err := writeFrameRetry(context.Background(), client, msg, cfg)
+	if err != nil {
+		t.Fatalf("bounded retry failed: %v", err)
+	}
+	if attempts < 2 {
+		t.Errorf("attempts = %d, want at least 2 (first write must have timed out)", attempts)
+	}
+	if frame := <-got; string(frame) != string(msg) {
+		t.Errorf("reader got %q, want %q", frame, msg)
+	}
+}
+
+func TestWriteFrameRetryGivesUp(t *testing.T) {
+	client, srv := net.Pipe()
+	defer client.Close()
+	defer srv.Close() // no reader ever appears
+	cfg := ClientConfig{IOTimeout: 30 * time.Millisecond, WriteAttempts: 2}.withDefaults()
+	start := time.Now()
+	_, err := writeFrameRetry(context.Background(), client, []byte("frame"), cfg)
+	if err == nil {
+		t.Fatal("write against a dead peer succeeded")
+	}
+	if !strings.Contains(err.Error(), "2 attempts") {
+		t.Errorf("error %q does not report the attempt budget", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("bounded retry took %v", elapsed)
+	}
+}
+
+func TestTerminalMarksAndUnwraps(t *testing.T) {
+	base := &RejectedError{Status: StatusRefused}
+	err := Terminal(base)
+	if !IsTerminal(err) {
+		t.Fatal("Terminal-wrapped error not recognized by IsTerminal")
+	}
+	var rej *RejectedError
+	if got := err.Error(); !strings.Contains(got, "refused") {
+		t.Errorf("error text %q lost the status", got)
+	}
+	if !errors.As(err, &rej) {
+		t.Error("Terminal wrapper hides the RejectedError from errors.As")
+	}
+	if IsTerminal(base) {
+		t.Error("unwrapped error reported terminal")
+	}
+	if Terminal(nil) != nil {
+		t.Error("Terminal(nil) should be nil")
+	}
+}
+
+func TestStatusStringsAndTransience(t *testing.T) {
+	transient := map[Status]bool{
+		StatusAccept:     false,
+		StatusOverloaded: true,
+		StatusDuplicate:  true,
+		StatusDraining:   true,
+		StatusRefused:    false,
+	}
+	for st, want := range transient {
+		if st.Transient() != want {
+			t.Errorf("%v.Transient() = %v, want %v", st, st.Transient(), want)
+		}
+		if strings.HasPrefix(st.String(), "status(") {
+			t.Errorf("status %d has no name", uint8(st))
+		}
+	}
+	if got := Status(99).String(); got != "status(99)" {
+		t.Errorf("unknown status prints %q", got)
+	}
+}

@@ -1,0 +1,554 @@
+package ingest
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/seccomm"
+)
+
+// Server defaults, applied when the corresponding ServerConfig knob is zero.
+const (
+	defaultShards          = 4
+	defaultWorkersPerShard = 8
+	defaultQueueDepth      = 32
+	defaultServerIOTimeout = 5 * time.Second
+	// defaultRejecters bounds the goroutines that write typed rejects to
+	// shed connections; past that, shed connections are dropped outright.
+	defaultRejecters = 32
+)
+
+// ServerConfig configures a Server. Handler is required; everything else
+// has a sensible default.
+type ServerConfig struct {
+	// Handler opens sessions for identified connections.
+	Handler Handler
+	// Shards is the number of accept loops, each owning one connection
+	// queue and worker pool (default 4).
+	Shards int
+	// WorkersPerShard is the session worker count per shard (default 8).
+	// Shards*WorkersPerShard bounds the concurrently served connections.
+	WorkersPerShard int
+	// QueueDepth is the per-shard bounded queue of accepted-but-unserved
+	// connections (default 32). When every queue is full new connections
+	// are shed with StatusOverloaded.
+	QueueDepth int
+	// IOTimeout is the per-read/per-write deadline on every connection
+	// (default 5s). A silent peer fails its own session, never a worker.
+	IOTimeout time.Duration
+	// ClaimWait bounds how long a new connection waits for the sensor
+	// id's previous owner to release its claim before the connection is
+	// refused with StatusDuplicate (default IOTimeout).
+	ClaimWait time.Duration
+	// Metrics, when set, receives the ingest.* instrument family. Nil is
+	// fine: every instrument degrades to a no-op.
+	Metrics *metrics.Registry
+}
+
+func (cfg ServerConfig) withDefaults() ServerConfig {
+	if cfg.Shards <= 0 {
+		cfg.Shards = defaultShards
+	}
+	if cfg.WorkersPerShard <= 0 {
+		cfg.WorkersPerShard = defaultWorkersPerShard
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = defaultServerIOTimeout
+	}
+	if cfg.ClaimWait <= 0 {
+		cfg.ClaimWait = cfg.IOTimeout
+	}
+	return cfg
+}
+
+// serverMetrics bundles the server's resolved instruments; with no registry
+// all of them are nil and every update is a no-op.
+type serverMetrics struct {
+	accepted          *metrics.Counter
+	sessionsStarted   *metrics.Counter
+	sessionsCompleted *metrics.Counter
+	frames            *metrics.Counter
+	wireBytes         *metrics.Counter
+	shedOverload      *metrics.Counter
+	shedDropped       *metrics.Counter
+	rejectedDuplicate *metrics.Counter
+	rejectedDraining  *metrics.Counter
+	rejectedRefused   *metrics.Counter
+	unattributed      *metrics.Counter
+	activeSessions    *metrics.Gauge
+	frameBytes        *metrics.Histogram
+}
+
+func newServerMetrics(reg *metrics.Registry) serverMetrics {
+	return serverMetrics{
+		accepted:          reg.Counter("ingest.accepted"),
+		sessionsStarted:   reg.Counter("ingest.sessions_started"),
+		sessionsCompleted: reg.Counter("ingest.sessions_completed"),
+		frames:            reg.Counter("ingest.frames"),
+		wireBytes:         reg.Counter("ingest.wire_bytes"),
+		shedOverload:      reg.Counter("ingest.shed_overload"),
+		shedDropped:       reg.Counter("ingest.shed_dropped"),
+		rejectedDuplicate: reg.Counter("ingest.rejected_duplicate"),
+		rejectedDraining:  reg.Counter("ingest.rejected_draining"),
+		rejectedRefused:   reg.Counter("ingest.rejected_refused"),
+		unattributed:      reg.Counter("ingest.unattributed"),
+		activeSessions:    reg.Gauge("ingest.active_sessions"),
+		frameBytes:        reg.Histogram("ingest.frame_bytes", metrics.SizeBuckets()...),
+	}
+}
+
+// sessionEntry is one sensor's registry state.
+type sessionEntry struct {
+	delivered int  // frames delivered across all of the sensor's connections
+	active    bool // a live connection currently owns the sensor
+}
+
+// sessionRegistry keys session state by sensor id. delivered is the resume
+// index handed to a reconnecting sensor; active serializes connections per
+// sensor so two links can never interleave one stream.
+type sessionRegistry struct {
+	mu sync.Mutex
+	s  map[int]*sessionEntry
+}
+
+// claim marks sensorID owned and returns its delivered count, waiting up to
+// wait for a previous owner (a dying predecessor connection) to release it
+// first. abort short-circuits the wait (server closing).
+func (r *sessionRegistry) claim(sensorID int, wait time.Duration, abort func() bool) (int, bool) {
+	deadline := time.Now().Add(wait)
+	for {
+		r.mu.Lock()
+		e := r.s[sensorID]
+		if e == nil {
+			e = &sessionEntry{}
+			r.s[sensorID] = e
+		}
+		if !e.active {
+			e.active = true
+			delivered := e.delivered
+			r.mu.Unlock()
+			return delivered, true
+		}
+		r.mu.Unlock()
+		if time.Now().After(deadline) || abort() {
+			return 0, false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (r *sessionRegistry) release(sensorID int) {
+	r.mu.Lock()
+	r.s[sensorID].active = false
+	r.mu.Unlock()
+}
+
+func (r *sessionRegistry) advance(sensorID int) {
+	r.mu.Lock()
+	r.s[sensorID].delivered++
+	r.mu.Unlock()
+}
+
+// Server is a long-lived, sharded ingest endpoint. Create with NewServer,
+// bind with Listen, run with Serve, and stop with Drain or Close. All
+// methods are safe for concurrent use.
+type Server struct {
+	cfg ServerConfig
+	m   serverMetrics
+
+	queues   []chan net.Conn
+	sessions sessionRegistry
+
+	rejectSem chan struct{}
+
+	mu        sync.Mutex
+	ln        net.Listener
+	conns     map[net.Conn]struct{}
+	serving   bool
+	stopping  bool  // Drain/Close began: listener closed, nothing new accepted
+	closed    bool  // hard stop: live connections severed
+	acceptErr error // first fatal accept failure
+
+	acceptWG sync.WaitGroup
+	workerWG sync.WaitGroup
+	rejectWG sync.WaitGroup
+
+	// finished closes when teardown is complete: accept loops joined,
+	// queues drained, workers and rejecters exited.
+	finished   chan struct{}
+	finishOnce sync.Once
+}
+
+// NewServer validates cfg, fills defaults, and returns an unbound Server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Handler == nil {
+		return nil, errors.New("ingest: ServerConfig.Handler is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		m:         newServerMetrics(cfg.Metrics),
+		queues:    make([]chan net.Conn, cfg.Shards),
+		sessions:  sessionRegistry{s: map[int]*sessionEntry{}},
+		rejectSem: make(chan struct{}, defaultRejecters),
+		conns:     map[net.Conn]struct{}{},
+		finished:  make(chan struct{}),
+	}
+	for i := range s.queues {
+		s.queues[i] = make(chan net.Conn, cfg.QueueDepth)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.GaugeFunc("ingest.queue_depth", func() int64 {
+			var n int64
+			for _, q := range s.queues {
+				n += int64(len(q))
+			}
+			return n
+		})
+	}
+	return s, nil
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0"). It does not start
+// serving; call Serve.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping || s.closed {
+		ln.Close()
+		return ErrClosed
+	}
+	if s.ln != nil {
+		ln.Close()
+		return errors.New("ingest: server already listening")
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listener address, or nil before Listen.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve runs the accept loops and worker pools, blocking until the server
+// is stopped. Like http.Server.Serve it returns ErrClosed after a
+// deliberate Drain/Close, and the underlying accept error if the listener
+// failed.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	if s.ln == nil {
+		s.mu.Unlock()
+		return errors.New("ingest: Serve before Listen")
+	}
+	if s.serving {
+		s.mu.Unlock()
+		return errors.New("ingest: Serve called twice")
+	}
+	if s.stopping || s.closed {
+		s.mu.Unlock()
+		s.finishOnce.Do(func() { close(s.finished) })
+		return ErrClosed
+	}
+	s.serving = true
+	ln := s.ln
+	s.mu.Unlock()
+
+	for i := range s.queues {
+		q := s.queues[i]
+		for w := 0; w < s.cfg.WorkersPerShard; w++ {
+			s.workerWG.Add(1)
+			go s.worker(q)
+		}
+		s.acceptWG.Add(1)
+		go s.acceptLoop(i, ln)
+	}
+
+	// Teardown runs here, exactly once, whatever triggered the stop: join
+	// the accept loops (listener closed), close the queues so workers
+	// drain and exit, then join workers and in-flight rejecters.
+	s.acceptWG.Wait()
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.workerWG.Wait()
+	s.rejectWG.Wait()
+	s.finishOnce.Do(func() { close(s.finished) })
+
+	s.mu.Lock()
+	err := s.acceptErr
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ErrClosed
+}
+
+// Drain gracefully stops the server: the listener closes, queued
+// connections that never started are refused with StatusDraining, and
+// in-flight sessions run to completion. If ctx expires first, Drain
+// escalates to a hard Close so teardown stays bounded, and returns the
+// context's error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.beginStop(false)
+	select {
+	case <-s.finished:
+		return nil
+	case <-ctx.Done():
+		s.beginStop(true)
+		<-s.finished
+		return ctx.Err()
+	}
+}
+
+// Close hard-stops the server: the listener closes and every live
+// connection is severed, failing in-flight sessions with their read/write
+// errors. Close waits for all server goroutines to exit. It is idempotent.
+func (s *Server) Close() error {
+	s.beginStop(true)
+	<-s.finished
+	return nil
+}
+
+// beginStop transitions to stopping (and, when kill is set, to closed,
+// severing live connections). If Serve was never started there is no
+// teardown to wait for, so finished closes here.
+func (s *Server) beginStop(kill bool) {
+	s.mu.Lock()
+	if !s.stopping {
+		s.stopping = true
+		if s.ln != nil {
+			s.ln.Close()
+		}
+	}
+	if kill && !s.closed {
+		s.closed = true
+		for c := range s.conns {
+			c.Close()
+		}
+	}
+	serving := s.serving
+	s.mu.Unlock()
+	if !serving {
+		s.finishOnce.Do(func() { close(s.finished) })
+	}
+}
+
+func (s *Server) isStopping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopping
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// track registers a live connection for Close to sever; it reports false —
+// and closes the connection — when the server is already closed.
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close()
+		return false
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// acceptLoop accepts into this shard's queue, sweeping the other shards
+// when it is full; with every queue full the connection is shed with a
+// typed reject instead of an unbounded goroutine.
+func (s *Server) acceptLoop(shard int, ln net.Listener) {
+	defer s.acceptWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isStopping() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.mu.Lock()
+			if s.acceptErr == nil {
+				s.acceptErr = fmt.Errorf("ingest: accept: %w", err)
+			}
+			s.mu.Unlock()
+			s.beginStop(false)
+			return
+		}
+		s.m.accepted.Inc()
+		if !s.track(conn) {
+			return
+		}
+		if s.enqueue(shard, conn) {
+			continue
+		}
+		s.shed(conn)
+	}
+}
+
+// enqueue offers conn to this shard's queue first, then sweeps the others.
+func (s *Server) enqueue(shard int, conn net.Conn) bool {
+	n := len(s.queues)
+	for off := 0; off < n; off++ {
+		select {
+		case s.queues[(shard+off)%n] <- conn:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// shed rejects an overload-shed connection with StatusOverloaded. The
+// reject itself costs a bounded goroutine (it must read the hello before
+// answering — closing with the hello unread would send a TCP reset that
+// can destroy the in-flight reject bytes); past the rejecter bound the
+// connection is dropped outright.
+func (s *Server) shed(conn net.Conn) {
+	s.m.shedOverload.Inc()
+	select {
+	case s.rejectSem <- struct{}{}:
+		s.rejectWG.Add(1)
+		go func() {
+			defer s.rejectWG.Done()
+			defer func() { <-s.rejectSem }()
+			s.rejectConn(conn, StatusOverloaded)
+		}()
+	default:
+		s.m.shedDropped.Inc()
+		s.untrack(conn)
+		conn.Close()
+	}
+}
+
+// rejectConn consumes the peer's hello (best effort, short deadline) and
+// answers with a typed reject status before closing.
+func (s *Server) rejectConn(conn net.Conn, st Status) {
+	defer func() {
+		s.untrack(conn)
+		conn.Close()
+	}()
+	timeout := s.cfg.IOTimeout
+	if timeout > time.Second {
+		timeout = time.Second
+	}
+	var hello [helloLen]byte
+	if err := seccomm.ReadFullDeadline(conn, hello[:], timeout); err != nil {
+		return
+	}
+	writeAck(conn, st, 0, timeout)
+}
+
+// worker serves queued connections until the queue closes. During a drain,
+// connections that never started a session are refused with StatusDraining;
+// after a hard close they are dropped (Close already severed them).
+func (s *Server) worker(q chan net.Conn) {
+	defer s.workerWG.Done()
+	for conn := range q {
+		switch {
+		case s.isClosed():
+			s.untrack(conn)
+			conn.Close()
+		case s.isStopping():
+			s.m.rejectedDraining.Inc()
+			s.rejectConn(conn, StatusDraining)
+		default:
+			s.serveConn(conn)
+		}
+	}
+}
+
+// serveConn runs one connection's full lifecycle: hello, claim, session
+// open, resume ack, frame loop, final ack.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.untrack(conn)
+		conn.Close()
+	}()
+	timeout := s.cfg.IOTimeout
+	var hello [helloLen]byte
+	if err := seccomm.ReadFullDeadline(conn, hello[:], timeout); err != nil {
+		s.m.unattributed.Inc()
+		s.cfg.Handler.Unattributed(fmt.Errorf("hello: %w", err))
+		return
+	}
+	if hello[0] != helloMagic {
+		s.m.unattributed.Inc()
+		s.cfg.Handler.Unattributed(fmt.Errorf("hello: bad magic 0x%02x", hello[0]))
+		return
+	}
+	sensorID := int(binary.BigEndian.Uint32(hello[1:]))
+	delivered, ok := s.sessions.claim(sensorID, s.cfg.ClaimWait, s.isClosed)
+	if !ok {
+		s.m.rejectedDuplicate.Inc()
+		s.cfg.Handler.Rejected(sensorID, StatusDuplicate)
+		writeAck(conn, StatusDuplicate, 0, timeout)
+		return
+	}
+	defer s.sessions.release(sensorID)
+
+	sess, err := s.cfg.Handler.Open(sensorID, delivered)
+	if err != nil {
+		s.m.rejectedRefused.Inc()
+		writeAck(conn, StatusRefused, 0, timeout)
+		return
+	}
+	s.m.sessionsStarted.Inc()
+	s.m.activeSessions.Add(1)
+	defer s.m.activeSessions.Add(-1)
+
+	if err := writeAck(conn, StatusAccept, uint32(delivered), timeout); err != nil {
+		sess.Close(fmt.Errorf("hello ack: %w", err))
+		return
+	}
+	total := sess.Total()
+	for fi := delivered; fi < total; fi++ {
+		msg, err := seccomm.ReadFrameDeadline(conn, timeout)
+		if err != nil {
+			sess.Close(&FrameError{Index: fi, Err: err})
+			return
+		}
+		if err := sess.Frame(fi, msg); err != nil {
+			sess.Close(err)
+			return
+		}
+		s.sessions.advance(sensorID)
+		s.m.frames.Inc()
+		s.m.wireBytes.Add(int64(len(msg)))
+		s.m.frameBytes.Observe(int64(len(msg)))
+	}
+	if err := writeAck(conn, StatusAccept, uint32(total), timeout); err != nil {
+		sess.Close(fmt.Errorf("final ack: %w", err))
+		return
+	}
+	s.m.sessionsCompleted.Inc()
+	sess.Close(nil)
+}

@@ -80,6 +80,11 @@ type Sealer interface {
 // process, far beyond any fleet run.
 var sealerInstance atomic.Uint32
 
+// ErrBadKey marks a key whose length does not fit the requested cipher.
+// NewSealer wraps it into its descriptive per-cipher message so callers can
+// branch with errors.Is; the root package re-exports it.
+var ErrBadKey = errors.New("key length invalid for cipher")
+
 // NewSealer constructs a sealer of the given kind. key must be 32 bytes for
 // ChaCha20 and 16 bytes for AES-128. Peers must construct sealers with the
 // same key and kind; nonces/IVs travel in the message, so the receiver does
@@ -90,12 +95,12 @@ func NewSealer(kind CipherKind, key []byte) (Sealer, error) {
 	switch kind {
 	case ChaCha20Stream:
 		if len(key) != chacha.KeySize {
-			return nil, fmt.Errorf("seccomm: chacha20 key must be %d bytes", chacha.KeySize)
+			return nil, fmt.Errorf("seccomm: chacha20 key must be %d bytes, got %d: %w", chacha.KeySize, len(key), ErrBadKey)
 		}
 		return &chachaSealer{key: append([]byte(nil), key...), instance: id}, nil
 	case AES128Block:
 		if len(key) != 16 {
-			return nil, errors.New("seccomm: aes-128 key must be 16 bytes")
+			return nil, fmt.Errorf("seccomm: aes-128 key must be 16 bytes, got %d: %w", len(key), ErrBadKey)
 		}
 		block, err := aes.NewCipher(key)
 		if err != nil {
@@ -103,6 +108,9 @@ func NewSealer(kind CipherKind, key []byte) (Sealer, error) {
 		}
 		return &aesSealer{block: block, instance: id}, nil
 	case ChaCha20Poly1305:
+		if len(key) != chacha.KeySize {
+			return nil, fmt.Errorf("seccomm: chacha20-poly1305 key must be %d bytes, got %d: %w", chacha.KeySize, len(key), ErrBadKey)
+		}
 		aead, err := chacha.NewAEAD(key)
 		if err != nil {
 			return nil, err
@@ -332,6 +340,13 @@ func WriteFrameDeadline(conn net.Conn, msg []byte, timeout time.Duration) error 
 	err := WriteFrame(conn, msg)
 	conn.SetWriteDeadline(time.Time{})
 	return err
+}
+
+// IsTimeout reports whether err is a network timeout (a deadline expiry) —
+// the one transport failure the hardened paths treat as retryable.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // ReadFullDeadline fills buf from conn under the same deadline discipline;

@@ -2,16 +2,15 @@ package simulator
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"net"
+	"math/rand"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/reconstruct"
 	"repro/internal/seccomm"
@@ -23,27 +22,25 @@ import (
 // the server demultiplexes by a cleartext sensor id, which is realistic
 // (radio MACs identify senders) and is what lets the attacker attribute
 // messages to sensors, an assumption the threat model makes explicitly
-// (§3.1). RunFleet drives every sensor concurrently over one real TCP
-// connection per sensor and aggregates the eavesdropper's view across the
-// fleet.
+// (§3.1). RunFleet drives every sensor concurrently over its own real TCP
+// connection and aggregates the eavesdropper's view across the fleet.
 //
-// The links those deployments run over are lossy and intermittent, so the
-// transport is built to degrade instead of hang: every read and write
-// carries a deadline, sensors dial with bounded exponential backoff, retry
-// timed-out frame writes, and (when ReconnectAttempts allows) redial and
-// resume a stream the link dropped; the whole run is driven by a
-// context.Context whose cancellation closes the listener and every live
-// connection, and a sensor that dies mid-stream (or never shows up) is
-// reported in its FleetSensorStatus while the rest of the fleet completes.
+// The transport is the ingest package: the base station is an
+// ingest.Server (sharded accept loops, bounded queues, typed backpressure,
+// a session registry that hands reconnecting sensors their resume index),
+// and each sensor is an ingest.Client (dial backoff, per-frame deadlines,
+// write retries, redial-and-resume). The fleet's job here reduces to the
+// domain halves of that contract: a FrameSource that samples, encodes, and
+// seals on the sensor side, and a Handler/Session pair that opens, decodes,
+// and reconstructs on the server side. The sensor keeps ONE sealer for its
+// whole lifetime, so the nonce counter stays monotonic across redials and a
+// resumed stream can never repeat a (key, nonce) pair.
 //
-// Link protocol: the sensor sends a 2-byte cleartext hello (its id); the
-// server replies with a 2-byte resume index — the number of frames it has
-// already delivered for that sensor — and the sensor streams the remaining
-// frames, length-prefixed and sealed. On a fresh connection the resume
-// index is 0 and the exchange reduces to the original hello. The sensor
-// keeps ONE sealer for its whole lifetime, so the nonce counter stays
-// monotonic across redials and a resumed stream can never repeat a
-// (key, nonce) pair.
+// The server is deliberately sized so a healthy fleet never sees
+// backpressure (enough workers for every sensor): fleet results must be
+// byte-identical to the direct pipeline at a fixed seed, and a shed
+// connection would perturb delivery. Overload behavior is exercised by
+// cmd/ageload and the ingest package's own tests, not here.
 
 // Transport defaults, applied when the corresponding FleetConfig knob is
 // zero. They are deliberately generous: tests that exercise failure paths
@@ -260,51 +257,10 @@ func newFleetMetrics(reg *metrics.Registry) *fleetMetrics {
 // be set before the run starts and not mutated during it.
 var fleetFrameHook func(sensorID int, msg []byte)
 
-// connRegistry tracks live connections so run cancellation can unblock
-// every in-flight read and write by closing them.
-type connRegistry struct {
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-}
-
-func newConnRegistry() *connRegistry {
-	return &connRegistry{conns: map[net.Conn]struct{}{}}
-}
-
-// add registers a connection; if the registry is already closed (the run is
-// shutting down) the connection is closed immediately.
-func (r *connRegistry) add(c net.Conn) {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		c.Close()
-		return
-	}
-	r.conns[c] = struct{}{}
-	r.mu.Unlock()
-}
-
-func (r *connRegistry) remove(c net.Conn) {
-	r.mu.Lock()
-	delete(r.conns, c)
-	r.mu.Unlock()
-}
-
-func (r *connRegistry) closeAll() {
-	r.mu.Lock()
-	r.closed = true
-	for c := range r.conns {
-		c.Close()
-	}
-	r.conns = map[net.Conn]struct{}{}
-	r.mu.Unlock()
-}
-
 // RunFleet partitions the configured dataset across n concurrent sensors,
-// each streaming encrypted frames over its own TCP loopback connection to a
-// context-driven server, and returns the pooled attacker view plus
-// per-sensor status. Individual sensor failures degrade the result (see
+// each streaming encrypted frames over its own TCP loopback connection to an
+// ingest.Server, and returns the pooled attacker view plus per-sensor
+// status. Individual sensor failures degrade the result (see
 // FleetResult.Sensors) rather than aborting the run; RunFleet returns a
 // non-nil error only for setup failures, run cancellation, or a fleet in
 // which every sensor failed.
@@ -313,9 +269,9 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 }
 
 // RunFleetContext is RunFleet under a caller-supplied context. Cancelling
-// the context closes the listener and every live connection, unblocking all
-// goroutines; the partial result gathered so far is returned with the
-// context's error.
+// the context hard-closes the server (listener and every live connection)
+// and aborts every sensor, unblocking all goroutines; the partial result
+// gathered so far is returned with the context's error.
 func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error) {
 	n := cfg.Sensors
 	if n < 1 {
@@ -335,19 +291,6 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 		reg.Gauge("fleet.sensors").Set(int64(n))
 	}
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-
-	var cancel context.CancelFunc
-	if cfg.Timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
-	} else {
-		ctx, cancel = context.WithCancel(ctx)
-	}
-	defer cancel()
-
 	// Partition sequences round-robin.
 	parts := make([][]int, n) // sequence indices per sensor
 	for i := range cfg.Base.Dataset.Sequences {
@@ -363,75 +306,73 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 		res.Sensors[i].Sensor = i
 		res.Sensors[i].Assigned = len(parts[i])
 	}
-	var mu sync.Mutex // guards res, active, and accs from server/sensor goroutines
-	// active marks sensors with a live handler; a handler releases its
-	// sensor on exit so a reconnecting sensor can claim it again. accs
-	// accumulate per-sensor reconstruction error across connections.
-	active := make([]bool, n)
+	var mu sync.Mutex // guards res and accs from server/sensor goroutines
+	// accs accumulate per-sensor reconstruction error across connections.
 	accs := make([]reconstruct.Accumulator, n)
 
-	reg := newConnRegistry()
-	// Cancellation (parent context, Timeout expiry, or a fatal accept
-	// error) closes the listener and every live connection, so no read,
-	// write, accept, or backoff sleep outlives the run.
-	go func() {
-		<-ctx.Done()
-		ln.Close()
-		reg.closeAll()
-	}()
-
-	var fatalMu sync.Mutex
-	var fatalErr error
-	setFatal := func(err error) {
-		fatalMu.Lock()
-		if fatalErr == nil {
-			fatalErr = err
-		}
-		fatalMu.Unlock()
-		cancel()
+	handler := &fleetHandler{
+		cfg: cfg, coreCfg: coreCfg, parts: parts,
+		res: res, mu: &mu, accs: accs, m: m,
 	}
+	// Size the server so a healthy fleet never queues or sheds: enough
+	// workers for every sensor plus reconnect transients. Results must be
+	// byte-identical to the direct pipeline; backpressure is exercised by
+	// cmd/ageload and the ingest tests, not here.
+	shards := 4
+	if n < shards {
+		shards = n
+	}
+	srv, err := ingest.NewServer(ingest.ServerConfig{
+		Handler:         handler,
+		Shards:          shards,
+		WorkersPerShard: (2*n+shards-1)/shards + 1,
+		QueueDepth:      2 * n,
+		IOTimeout:       cfg.IOTimeout,
+		ClaimWait:       cfg.IOTimeout,
+		Metrics:         cfg.Base.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	addr := srv.Addr().String()
 
-	// Server: one accept loop; each accepted connection gets a handler that
-	// reads the hello under a deadline, demultiplexes, and serves frames.
-	// established counts successful sensor dials and accepted counts
-	// server-side accepts: the shutdown sequence below uses them to drain
-	// the accept queue before closing the listener, so handlerWG.Add can
-	// never race handlerWG.Wait.
-	var established, accepted atomic.Int64
-	var acceptWG, handlerWG, sensorWG sync.WaitGroup
-	acceptWG.Add(1)
+	var cancel context.CancelFunc
+	if cfg.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	// Cancellation (parent context or Timeout expiry) hard-closes the
+	// server — listener and every live connection — so no server-side
+	// read or write outlives the run. Sensor-side connections are closed
+	// by the client's own context watchdog.
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
 	go func() {
-		defer acceptWG.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
-					return // clean shutdown
-				}
-				setFatal(fmt.Errorf("fleet server: accept: %w", err))
-				return
-			}
-			reg.add(conn)
-			accepted.Add(1)
-			handlerWG.Add(1)
-			go func() {
-				defer handlerWG.Done()
-				defer func() {
-					conn.Close()
-					reg.remove(conn)
-				}()
-				serveFleetConn(conn, cfg, coreCfg, parts, res, &mu, active, accs, m)
-			}()
+		defer watchWG.Done()
+		select {
+		case <-ctx.Done():
+			srv.Close()
+		case <-watchDone:
 		}
 	}()
 
 	// Sensors: one goroutine each, own key and encoder state. A sensor
 	// failure lands in its status; it never tears down the rest of the run.
+	var sensorWG sync.WaitGroup
 	sensorWG.Add(n)
 	for s := 0; s < n; s++ {
 		go func(sensorID int) {
 			defer sensorWG.Done()
-			dials, reconnects, err := runFleetSensor(ctx, sensorID, ln.Addr().String(), cfg, coreCfg, parts[sensorID], reg, &established, m)
+			dials, reconnects, err := runFleetSensor(ctx, sensorID, addr, cfg, coreCfg, parts[sensorID], m)
 			mu.Lock()
 			res.Sensors[sensorID].DialAttempts = dials
 			res.Sensors[sensorID].Reconnects = reconnects
@@ -442,25 +383,26 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 		}(s)
 	}
 
-	// Shutdown sequence, every step bounded. (1) Sensors finish (dial
-	// attempts and IO deadlines bound them). (2) Drain the accept queue: a
-	// sensor can complete all its writes before the server accepts the
-	// connection, so wait — briefly — until every established connection
-	// has been accepted before closing the listener. (3) Close the
-	// listener and join the accept loop, after which no handler can be
-	// added. (4) Join the handlers (per-frame read deadlines bound them).
+	// Shutdown sequence, every step bounded. Sensors finish first (dial
+	// attempts and IO deadlines bound them); because the protocol blocks
+	// each sensor on its hello ack, a returned sensor means its connection
+	// was either fully served or is in deadline-bounded error teardown —
+	// which is exactly what Drain waits for. The drain context is a
+	// backstop: on expiry Drain escalates to a hard close.
 	sensorWG.Wait()
-	drainDeadline := time.Now().Add(cfg.IOTimeout)
-	for accepted.Load() < established.Load() && time.Now().Before(drainDeadline) && ctx.Err() == nil {
-		time.Sleep(time.Millisecond)
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 2*cfg.IOTimeout+time.Second)
+	srv.Drain(drainCtx)
+	drainCancel()
+	close(watchDone)
+	watchWG.Wait()
+	err = <-serveErr
+	if errors.Is(err, ingest.ErrClosed) {
+		err = nil // deliberate shutdown, not a fault
 	}
-	ln.Close()
-	acceptWG.Wait()
-	handlerWG.Wait()
 	cause := ctx.Err() // read before our own cancel() below masks it
 	cancel()
 
-	// All handlers have joined: fold the per-sensor accumulators into the
+	// All sessions have closed: fold the per-sensor accumulators into the
 	// result without further locking.
 	for i := range accs {
 		res.PerSensorMAE[i] = accs[i].MAE()
@@ -478,9 +420,6 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 		}
 	}
 
-	fatalMu.Lock()
-	err = fatalErr
-	fatalMu.Unlock()
 	if err != nil {
 		return res, fmt.Errorf("simulator: fleet: %w", err)
 	}
@@ -506,69 +445,163 @@ func fleetKey(sensorID int, cipher seccomm.CipherKind) []byte {
 	return key
 }
 
-// dialWithBackoff connects to addr, retrying with exponential backoff up to
-// cfg.DialAttempts times. It returns the connection and the number of
-// attempts made.
-func dialWithBackoff(ctx context.Context, addr string, cfg FleetConfig) (net.Conn, int, error) {
-	backoff := cfg.DialBackoff
-	var lastErr error
-	for attempt := 1; attempt <= cfg.DialAttempts; attempt++ {
-		d := net.Dialer{Timeout: cfg.DialTimeout}
-		conn, err := d.DialContext(ctx, "tcp", addr)
-		if err == nil {
-			return conn, attempt, nil
-		}
-		lastErr = err
-		if ctx.Err() != nil || attempt == cfg.DialAttempts {
-			return nil, attempt, fmt.Errorf("dial (attempt %d/%d): %w", attempt, cfg.DialAttempts, lastErr)
-		}
-		select {
-		case <-ctx.Done():
-			return nil, attempt, fmt.Errorf("dial cancelled after attempt %d: %w", attempt, ctx.Err())
-		case <-time.After(backoff):
-		}
-		backoff *= 2
+// fleetHandler is the base station's application logic behind the ingest
+// server: it validates sensor ids, builds the per-sensor decode pipeline,
+// and records outcomes in the shared FleetResult.
+type fleetHandler struct {
+	cfg     FleetConfig
+	coreCfg core.Config
+	parts   [][]int
+	res     *FleetResult
+	mu      *sync.Mutex
+	accs    []reconstruct.Accumulator
+	m       *fleetMetrics
+}
+
+func (h *fleetHandler) setServerErr(sensorID int, err error) {
+	h.mu.Lock()
+	h.res.Sensors[sensorID].ServerErr = err.Error()
+	h.mu.Unlock()
+}
+
+// Open implements ingest.Handler: it admits known sensors, builds their
+// decoder and opener, and clears any failure a previous connection left
+// behind — this connection supersedes it.
+func (h *fleetHandler) Open(sensorID, delivered int) (ingest.Session, error) {
+	if sensorID < 0 || sensorID >= len(h.parts) {
+		err := fmt.Errorf("unknown sensor %d", sensorID)
+		h.m.unattributed.Inc()
+		h.mu.Lock()
+		h.res.Unattributed = append(h.res.Unattributed, err.Error())
+		h.mu.Unlock()
+		return nil, err
 	}
-	return nil, cfg.DialAttempts, fmt.Errorf("dial: %w", lastErr)
+	encs, err := buildInstrumentedEncoder(h.cfg.Base.Encoder, h.coreCfg, h.cfg.Base.Cipher, h.cfg.Base.Metrics)
+	if err != nil {
+		h.setServerErr(sensorID, err)
+		return nil, err
+	}
+	opener, err := seccomm.NewSealer(h.cfg.Base.Cipher, fleetKey(sensorID, h.cfg.Base.Cipher))
+	if err != nil {
+		h.setServerErr(sensorID, err)
+		return nil, err
+	}
+	h.mu.Lock()
+	h.res.Sensors[sensorID].ServerErr = ""
+	h.mu.Unlock()
+	label := strconv.Itoa(sensorID)
+	return &fleetSession{
+		h:         h,
+		sensorID:  sensorID,
+		encs:      encs,
+		opener:    opener,
+		framesC:   h.m.sensorFramesDelivered.Counter(label),
+		bytesC:    h.m.sensorWireBytes.Counter(label),
+		deadlineC: h.m.sensorDeadlineHits.Counter(label),
+	}, nil
 }
 
-// isNetTimeout reports whether err is a network timeout (a deadline expiry).
-func isNetTimeout(err error) bool {
-	var ne net.Error
-	return errors.As(err, &ne) && ne.Timeout()
+// Rejected implements ingest.Handler. Only duplicates reach it: a sensor
+// id still claimed by a live connection after the claim wait.
+func (h *fleetHandler) Rejected(sensorID int, status ingest.Status) {
+	if status == ingest.StatusDuplicate && sensorID >= 0 && sensorID < len(h.res.Sensors) {
+		h.mu.Lock()
+		h.res.Sensors[sensorID].ServerErr = "duplicate connection for sensor"
+		h.mu.Unlock()
+	}
 }
 
-// writeFrameRetry writes one frame with the per-frame deadline, retrying a
-// timed-out write up to cfg.WriteAttempts times in total. WriteFrame sends
-// header and body in one Write, so a timeout that transmitted nothing is
-// safe to retry; any other error aborts immediately. It returns the number
-// of attempts made so callers can account retries and deadline expiries.
-func writeFrameRetry(ctx context.Context, conn net.Conn, msg []byte, cfg FleetConfig) (int, error) {
-	var err error
-	for attempt := 1; attempt <= cfg.WriteAttempts; attempt++ {
-		err = seccomm.WriteFrameDeadline(conn, msg, cfg.IOTimeout)
-		if err == nil {
-			return attempt, nil
-		}
-		if ctx.Err() != nil || !isNetTimeout(err) {
-			return attempt, err
+// Unattributed implements ingest.Handler: a connection that failed before
+// its hello identified a sensor.
+func (h *fleetHandler) Unattributed(err error) {
+	h.m.unattributed.Inc()
+	h.mu.Lock()
+	h.res.Unattributed = append(h.res.Unattributed, err.Error())
+	h.mu.Unlock()
+}
+
+// fleetSession decodes and reconstructs one connection's frames. The
+// ingest server owns the wire; the session owns open → decode →
+// reconstruct → accumulate, plus the server-side fault injection.
+type fleetSession struct {
+	h          *fleetHandler
+	sensorID   int
+	encs       encoderSet
+	opener     seccomm.Sealer
+	framesC    *metrics.Counter
+	bytesC     *metrics.Counter
+	deadlineC  *metrics.Counter
+	connFrames int // frames processed on THIS connection (fault accounting)
+}
+
+// Total implements ingest.Session.
+func (s *fleetSession) Total() int { return len(s.h.parts[s.sensorID]) }
+
+// Frame implements ingest.Session: open, decode, reconstruct, score, and
+// fold frame fi into the shared result.
+func (s *fleetSession) Frame(fi int, msg []byte) error {
+	h := s.h
+	if h.cfg.Faults != nil {
+		if k, ok := h.cfg.Faults.ServerCloseAfterFrames[s.sensorID]; ok && s.connFrames >= k {
+			return fmt.Errorf("fault injection: server closed link after %d frames", k)
 		}
 	}
-	return cfg.WriteAttempts, fmt.Errorf("write after %d attempts: %w", cfg.WriteAttempts, err)
+	if fleetFrameHook != nil {
+		fleetFrameHook(s.sensorID, msg)
+	}
+	seq := h.cfg.Base.Dataset.Sequences[h.parts[s.sensorID][fi]]
+	payload, err := s.opener.Open(msg)
+	if err != nil {
+		return fmt.Errorf("frame %d: %w", fi, err)
+	}
+	batch, err := s.encs.dec.Decode(payload)
+	if err != nil {
+		return fmt.Errorf("frame %d: %w", fi, err)
+	}
+	meta := h.cfg.Base.Dataset.Meta
+	recon, err := reconstruct.Linear(batch.Indices, batch.Values, meta.SeqLen, meta.NumFeatures)
+	if err != nil {
+		return fmt.Errorf("frame %d: %w", fi, err)
+	}
+	mae, err := reconstruct.MAE(recon, seq.Values)
+	if err != nil {
+		return fmt.Errorf("frame %d: %w", fi, err)
+	}
+	s.connFrames++
+	h.m.framesDelivered.Inc()
+	h.m.wireBytesReceived.Add(int64(len(msg)))
+	h.m.frameBytes.Observe(int64(len(msg)))
+	s.framesC.Inc()
+	s.bytesC.Add(int64(len(msg)))
+	h.mu.Lock()
+	h.accs[s.sensorID].Add(mae, 1)
+	h.res.SizesByLabel[seq.Label] = append(h.res.SizesByLabel[seq.Label], len(msg))
+	h.res.Messages++
+	h.res.Sensors[s.sensorID].Delivered++
+	h.mu.Unlock()
+	return nil
 }
 
-// nonResumableError marks sensor-side failures no redial can fix: injected
-// sensor faults, encode/seal failures, and protocol violations. Transport
-// errors stay resumable.
-type nonResumableError struct{ err error }
+// Close implements ingest.Session: a failed connection's error lands in
+// the sensor's status (a later reconnect supersedes it), and a frame-read
+// deadline expiry is counted as the server-side deadline hit it is.
+func (s *fleetSession) Close(err error) {
+	if err == nil {
+		return
+	}
+	var fe *ingest.FrameError
+	if errors.As(err, &fe) && seccomm.IsTimeout(fe.Err) {
+		s.h.m.readDeadlineHits.Inc()
+		s.deadlineC.Inc()
+	}
+	s.h.setServerErr(s.sensorID, err)
+}
 
-func (e nonResumableError) Error() string { return e.err.Error() }
-func (e nonResumableError) Unwrap() error { return e.err }
-
-// runFleetSensor streams one sensor's assigned sequences, honoring the
-// configured fault plan and redialing up to cfg.ReconnectAttempts times on
-// transport failures. It returns total dial attempts and reconnects.
-func runFleetSensor(ctx context.Context, sensorID int, addr string, cfg FleetConfig, coreCfg core.Config, seqIdx []int, reg *connRegistry, established *atomic.Int64, m *fleetMetrics) (int, int, error) {
+// runFleetSensor streams one sensor's assigned sequences through an
+// ingest.Client, honoring the configured fault plan, then folds the
+// client's transport stats into the fleet metrics. It returns total dial
+// attempts and reconnects.
+func runFleetSensor(ctx context.Context, sensorID int, addr string, cfg FleetConfig, coreCfg core.Config, seqIdx []int, m *fleetMetrics) (int, int, error) {
 	if cfg.Faults != nil && cfg.Faults.NeverDial[sensorID] {
 		return 0, 0, errors.New("fault injection: sensor never dialed")
 	}
@@ -584,132 +617,101 @@ func runFleetSensor(ctx context.Context, sensorID int, addr string, cfg FleetCon
 	if err != nil {
 		return 0, 0, err
 	}
+	src := &fleetFrameSource{cfg: cfg, sensorID: sensorID, seqIdx: seqIdx, encs: encs, sealer: sealer}
+	client := ingest.NewClient(ingest.ClientConfig{
+		Addr:              addr,
+		SensorID:          sensorID,
+		DialTimeout:       cfg.DialTimeout,
+		DialAttempts:      cfg.DialAttempts,
+		DialBackoff:       cfg.DialBackoff,
+		IOTimeout:         cfg.IOTimeout,
+		WriteAttempts:     cfg.WriteAttempts,
+		ReconnectAttempts: cfg.ReconnectAttempts,
+	})
+	stats, err := client.Run(ctx, src)
+
+	// Translate the client's transport accounting into the fleet metric
+	// family (the server-side counters are updated live by fleetSession).
 	label := strconv.Itoa(sensorID)
-	dials, reconnects := 0, 0
-	for try := 0; ; try++ {
-		attemptDials, err := streamFleetFrames(ctx, sensorID, label, addr, cfg, encs, sealer, seqIdx, reg, established, m)
-		dials += attemptDials
-		if err == nil {
-			return dials, reconnects, nil
-		}
-		var terminal nonResumableError
-		if errors.As(err, &terminal) || ctx.Err() != nil || try >= cfg.ReconnectAttempts {
-			return dials, reconnects, err
-		}
-		reconnects++
-		m.reconnects.Inc()
-		m.sensorReconnects.Counter(label).Inc()
-		// Give the server a beat to retire the dropped connection's
-		// handler before the new hello arrives.
-		select {
-		case <-ctx.Done():
-			return dials, reconnects, err
-		case <-time.After(cfg.DialBackoff):
-		}
+	m.framesSent.Add(int64(stats.FramesSent))
+	m.wireBytesSent.Add(int64(stats.WireBytesSent))
+	m.dialAttempts.Add(int64(stats.DialAttempts))
+	m.dialFailures.Add(int64(stats.DialFailures))
+	m.writeRetries.Add(int64(stats.WriteRetries))
+	m.writeDeadlineHits.Add(int64(stats.WriteDeadlineHits))
+	m.reconnects.Add(int64(stats.Reconnects))
+	m.sensorFramesSent.Counter(label).Add(int64(stats.FramesSent))
+	m.sensorDials.Counter(label).Add(int64(stats.DialAttempts))
+	if stats.WriteRetries > 0 {
+		m.sensorRetries.Counter(label).Add(int64(stats.WriteRetries))
 	}
+	if stats.WriteDeadlineHits > 0 {
+		m.sensorDeadlineHits.Counter(label).Add(int64(stats.WriteDeadlineHits))
+	}
+	if stats.Reconnects > 0 {
+		m.sensorReconnects.Counter(label).Add(int64(stats.Reconnects))
+	}
+	return stats.DialAttempts, stats.Reconnects, err
 }
 
-// streamFleetFrames performs one connection attempt: dial, hello, resume
-// ack, then stream the assigned frames from the server's resume index. It
-// returns the dial attempts this connection consumed.
-func streamFleetFrames(ctx context.Context, sensorID int, label string, addr string, cfg FleetConfig, encs encoderSet, sealer seccomm.Sealer, seqIdx []int, reg *connRegistry, established *atomic.Int64, m *fleetMetrics) (int, error) {
-	conn, dials, err := dialWithBackoff(ctx, addr, cfg)
-	m.dialAttempts.Add(int64(dials))
-	m.sensorDials.Counter(label).Add(int64(dials))
+// fleetFrameSource produces one sensor's sealed frames for the ingest
+// client: sample under the replayable RNG, encode, seal. Client-side fault
+// injection lives here — a die or stall is a property of the sensor, not
+// of the transport.
+type fleetFrameSource struct {
+	cfg      FleetConfig
+	sensorID int
+	seqIdx   []int
+	encs     encoderSet
+	sealer   seccomm.Sealer
+	rng      *rand.Rand
+	next     int
+}
+
+// Total implements ingest.FrameSource.
+func (s *fleetFrameSource) Total() int { return len(s.seqIdx) }
+
+// Seek implements ingest.FrameSource: replay the sampling stream up to the
+// resume point so the remaining sequences are sampled exactly as an
+// uninterrupted run would sample them — resume is invisible in the
+// delivered data.
+func (s *fleetFrameSource) Seek(resume int) error {
+	s.rng = newSeededRand(s.cfg.Base.Seed + int64(s.sensorID))
+	for _, si := range s.seqIdx[:resume] {
+		s.cfg.Base.Policy.Sample(s.cfg.Base.Dataset.Sequences[si].Values, s.rng)
+	}
+	s.next = resume
+	return nil
+}
+
+// Next implements ingest.FrameSource.
+func (s *fleetFrameSource) Next(ctx context.Context) ([]byte, error) {
+	fi := s.next
+	if s.cfg.Faults != nil {
+		if k, ok := s.cfg.Faults.DieAfterFrames[s.sensorID]; ok && fi >= k {
+			return nil, ingest.Terminal(fmt.Errorf("fault injection: died after %d frames", k))
+		}
+		if k, ok := s.cfg.Faults.StallAfterFrames[s.sensorID]; ok && fi >= k {
+			stallSensor(ctx, s.cfg.IOTimeout)
+			return nil, ingest.Terminal(fmt.Errorf("fault injection: stalled after %d frames", k))
+		}
+	}
+	seq := s.cfg.Base.Dataset.Sequences[s.seqIdx[fi]]
+	idx := s.cfg.Base.Policy.Sample(seq.Values, s.rng)
+	vals := make([][]float64, len(idx))
+	for i, t := range idx {
+		vals[i] = seq.Values[t]
+	}
+	payload, err := s.encs.enc.Encode(core.Batch{Indices: idx, Values: vals})
 	if err != nil {
-		m.dialFailures.Inc()
-		return dials, err
+		return nil, ingest.Terminal(err)
 	}
-	established.Add(1)
-	reg.add(conn)
-	defer func() {
-		conn.Close()
-		reg.remove(conn)
-	}()
-	// Identify: 2-byte sensor id (cleartext, like a MAC address), under the
-	// same write deadline as every frame.
-	var hello [2]byte
-	binary.BigEndian.PutUint16(hello[:], uint16(sensorID))
-	if err := writeFullDeadline(conn, hello[:], cfg.IOTimeout); err != nil {
-		return dials, fmt.Errorf("hello: %w", err)
+	msg, err := s.sealer.Seal(payload)
+	if err != nil {
+		return nil, ingest.Terminal(err)
 	}
-	// The server acks with the index of the first frame it has not
-	// delivered; a fresh connection resumes at 0.
-	var ack [2]byte
-	if err := seccomm.ReadFullDeadline(conn, ack[:], cfg.IOTimeout); err != nil {
-		return dials, fmt.Errorf("hello ack: %w", err)
-	}
-	resume := int(binary.BigEndian.Uint16(ack[:]))
-	if resume > len(seqIdx) {
-		return dials, nonResumableError{fmt.Errorf("server resume index %d beyond %d assigned frames", resume, len(seqIdx))}
-	}
-	// Replay the sampling stream up to the resume point so the remaining
-	// sequences are sampled exactly as an uninterrupted run would sample
-	// them — resume is invisible in the delivered data.
-	rng := newSeededRand(cfg.Base.Seed + int64(sensorID))
-	for _, si := range seqIdx[:resume] {
-		cfg.Base.Policy.Sample(cfg.Base.Dataset.Sequences[si].Values, rng)
-	}
-	framesC := m.sensorFramesSent.Counter(label)
-	retriesC := m.sensorRetries.Counter(label)
-	deadlineC := m.sensorDeadlineHits.Counter(label)
-	for fi := resume; fi < len(seqIdx); fi++ {
-		si := seqIdx[fi]
-		if cfg.Faults != nil {
-			if k, ok := cfg.Faults.DieAfterFrames[sensorID]; ok && fi >= k {
-				return dials, nonResumableError{fmt.Errorf("fault injection: died after %d frames", k)}
-			}
-			if k, ok := cfg.Faults.StallAfterFrames[sensorID]; ok && fi >= k {
-				stallSensor(ctx, cfg.IOTimeout)
-				return dials, nonResumableError{fmt.Errorf("fault injection: stalled after %d frames", k)}
-			}
-		}
-		seq := cfg.Base.Dataset.Sequences[si]
-		idx := cfg.Base.Policy.Sample(seq.Values, rng)
-		vals := make([][]float64, len(idx))
-		for i, t := range idx {
-			vals[i] = seq.Values[t]
-		}
-		payload, err := encs.enc.Encode(core.Batch{Indices: idx, Values: vals})
-		if err != nil {
-			return dials, nonResumableError{err}
-		}
-		msg, err := sealer.Seal(payload)
-		if err != nil {
-			return dials, nonResumableError{err}
-		}
-		attempts, err := writeFrameRetry(ctx, conn, msg, cfg)
-		if r := attempts - 1; r > 0 {
-			m.writeRetries.Add(int64(r))
-			retriesC.Add(int64(r))
-			// Every retry was preceded by a write deadline expiry.
-			m.writeDeadlineHits.Add(int64(r))
-			deadlineC.Add(int64(r))
-		}
-		if err != nil {
-			if isNetTimeout(err) {
-				m.writeDeadlineHits.Inc()
-				deadlineC.Inc()
-			}
-			return dials, fmt.Errorf("frame %d: %w", fi, err)
-		}
-		m.framesSent.Inc()
-		m.wireBytesSent.Add(int64(len(msg)))
-		framesC.Inc()
-	}
-	// Delivery confirmation: frame writes can land in the TCP buffer after
-	// the server has dropped the link, so "every write succeeded" does not
-	// mean "everything was delivered". The server confirms completion with
-	// a 2-byte final count; a missing or short confirmation is a transport
-	// failure, which a reconnect can resume from the true delivered index.
-	var fin [2]byte
-	if err := seccomm.ReadFullDeadline(conn, fin[:], cfg.IOTimeout); err != nil {
-		return dials, fmt.Errorf("final ack: %w", err)
-	}
-	if got := int(binary.BigEndian.Uint16(fin[:])); got != len(seqIdx) {
-		return dials, fmt.Errorf("final ack: server delivered %d of %d frames", got, len(seqIdx))
-	}
-	return dials, nil
+	s.next++
+	return msg, nil
 }
 
 // stallSensor holds the connection open and silent long enough for the
@@ -718,168 +720,5 @@ func stallSensor(ctx context.Context, ioTimeout time.Duration) {
 	select {
 	case <-ctx.Done():
 	case <-time.After(2*ioTimeout + 50*time.Millisecond):
-	}
-}
-
-// writeFullDeadline writes buf to conn under a write deadline (the raw
-// cleartext hello/ack; frames use seccomm.WriteFrameDeadline).
-func writeFullDeadline(conn net.Conn, buf []byte, timeout time.Duration) error {
-	if timeout > 0 {
-		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
-			return err
-		}
-		defer conn.SetWriteDeadline(time.Time{})
-	}
-	_, err := conn.Write(buf)
-	return err
-}
-
-// claimSensor marks the sensor's handler slot active, waiting briefly for a
-// finished handler to release it first: a redialing sensor can be accepted
-// before its previous handler has fully exited. It reports whether the
-// claim succeeded; on failure the duplicate-connection error is recorded.
-func claimSensor(mu *sync.Mutex, active []bool, res *FleetResult, sensorID int, wait time.Duration) bool {
-	deadline := time.Now().Add(wait)
-	for {
-		mu.Lock()
-		if !active[sensorID] {
-			active[sensorID] = true
-			mu.Unlock()
-			return true
-		}
-		mu.Unlock()
-		if time.Now().After(deadline) {
-			mu.Lock()
-			res.Sensors[sensorID].ServerErr = "duplicate connection for sensor"
-			mu.Unlock()
-			return false
-		}
-		time.Sleep(time.Millisecond)
-	}
-}
-
-// serveFleetConn handles one accepted connection: hello under a deadline,
-// sensor id claim, resume ack, then the per-sensor frame loop starting at
-// the first undelivered frame. Failures land in the sensor's status (or in
-// Unattributed when no hello arrived); a later reconnect supersedes them.
-func serveFleetConn(conn net.Conn, cfg FleetConfig, coreCfg core.Config, parts [][]int, res *FleetResult, mu *sync.Mutex, active []bool, accs []reconstruct.Accumulator, m *fleetMetrics) {
-	var hello [2]byte
-	if err := seccomm.ReadFullDeadline(conn, hello[:], cfg.IOTimeout); err != nil {
-		m.unattributed.Inc()
-		mu.Lock()
-		res.Unattributed = append(res.Unattributed, fmt.Sprintf("hello: %v", err))
-		mu.Unlock()
-		return
-	}
-	sensorID := int(binary.BigEndian.Uint16(hello[:]))
-	if sensorID < 0 || sensorID >= len(parts) {
-		m.unattributed.Inc()
-		mu.Lock()
-		res.Unattributed = append(res.Unattributed, fmt.Sprintf("unknown sensor %d", sensorID))
-		mu.Unlock()
-		return
-	}
-	if !claimSensor(mu, active, res, sensorID, cfg.IOTimeout) {
-		return
-	}
-	defer func() {
-		mu.Lock()
-		active[sensorID] = false
-		mu.Unlock()
-	}()
-
-	setServerErr := func(err error) {
-		mu.Lock()
-		res.Sensors[sensorID].ServerErr = err.Error()
-		mu.Unlock()
-	}
-	// Ack the hello with the resume index and clear any failure a previous
-	// connection left behind — this connection supersedes it.
-	mu.Lock()
-	resume := res.Sensors[sensorID].Delivered
-	res.Sensors[sensorID].ServerErr = ""
-	mu.Unlock()
-	var ack [2]byte
-	binary.BigEndian.PutUint16(ack[:], uint16(resume))
-	if err := writeFullDeadline(conn, ack[:], cfg.IOTimeout); err != nil {
-		setServerErr(fmt.Errorf("hello ack: %w", err))
-		return
-	}
-	encs, err := buildInstrumentedEncoder(cfg.Base.Encoder, coreCfg, cfg.Base.Cipher, cfg.Base.Metrics)
-	if err != nil {
-		setServerErr(err)
-		return
-	}
-	opener, err := seccomm.NewSealer(cfg.Base.Cipher, fleetKey(sensorID, cfg.Base.Cipher))
-	if err != nil {
-		setServerErr(err)
-		return
-	}
-	meta := cfg.Base.Dataset.Meta
-	label := strconv.Itoa(sensorID)
-	framesC := m.sensorFramesDelivered.Counter(label)
-	bytesC := m.sensorWireBytes.Counter(label)
-	deadlineC := m.sensorDeadlineHits.Counter(label)
-	part := parts[sensorID]
-	connFrames := 0 // frames processed on THIS connection (fault accounting)
-	for fi := resume; fi < len(part); fi++ {
-		if cfg.Faults != nil {
-			if k, ok := cfg.Faults.ServerCloseAfterFrames[sensorID]; ok && connFrames >= k {
-				setServerErr(fmt.Errorf("fault injection: server closed link after %d frames", k))
-				return
-			}
-		}
-		seq := cfg.Base.Dataset.Sequences[part[fi]]
-		msg, err := seccomm.ReadFrameDeadline(conn, cfg.IOTimeout)
-		if err != nil {
-			if isNetTimeout(err) {
-				m.readDeadlineHits.Inc()
-				deadlineC.Inc()
-			}
-			setServerErr(fmt.Errorf("frame %d: %w", fi, err))
-			return
-		}
-		if fleetFrameHook != nil {
-			fleetFrameHook(sensorID, msg)
-		}
-		payload, err := opener.Open(msg)
-		if err != nil {
-			setServerErr(fmt.Errorf("frame %d: %w", fi, err))
-			return
-		}
-		batch, err := encs.dec.Decode(payload)
-		if err != nil {
-			setServerErr(fmt.Errorf("frame %d: %w", fi, err))
-			return
-		}
-		recon, err := reconstruct.Linear(batch.Indices, batch.Values, meta.SeqLen, meta.NumFeatures)
-		if err != nil {
-			setServerErr(fmt.Errorf("frame %d: %w", fi, err))
-			return
-		}
-		mae, err := reconstruct.MAE(recon, seq.Values)
-		if err != nil {
-			setServerErr(fmt.Errorf("frame %d: %w", fi, err))
-			return
-		}
-		connFrames++
-		m.framesDelivered.Inc()
-		m.wireBytesReceived.Add(int64(len(msg)))
-		m.frameBytes.Observe(int64(len(msg)))
-		framesC.Inc()
-		bytesC.Add(int64(len(msg)))
-		mu.Lock()
-		accs[sensorID].Add(mae, 1)
-		res.SizesByLabel[seq.Label] = append(res.SizesByLabel[seq.Label], len(msg))
-		res.Messages++
-		res.Sensors[sensorID].Delivered++
-		mu.Unlock()
-	}
-	// Confirm completion so the sensor can distinguish "delivered" from
-	// "buffered into a dead socket".
-	var fin [2]byte
-	binary.BigEndian.PutUint16(fin[:], uint16(len(part)))
-	if err := writeFullDeadline(conn, fin[:], cfg.IOTimeout); err != nil {
-		setServerErr(fmt.Errorf("final ack: %w", err))
 	}
 }

@@ -2,14 +2,16 @@ package simulator
 
 import (
 	"context"
-	"net"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/energy"
 	"repro/internal/policy"
+	"repro/internal/reconstruct"
 	"repro/internal/seccomm"
 	"repro/internal/stats"
 )
@@ -218,117 +220,6 @@ func TestFleetRunTimeout(t *testing.T) {
 	}
 }
 
-func TestDialWithBackoff(t *testing.T) {
-	// Grab a loopback port that is guaranteed dead, then check both the
-	// bounded-failure and immediate-success paths.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	deadAddr := ln.Addr().String()
-	ln.Close()
-
-	live, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer live.Close()
-	go func() {
-		for {
-			c, err := live.Accept()
-			if err != nil {
-				return
-			}
-			c.Close()
-		}
-	}()
-
-	cases := []struct {
-		name        string
-		addr        string
-		wantErr     bool
-		wantDials   int
-		minDuration time.Duration
-	}{
-		{"dead address retries with backoff", deadAddr, true, 3, 25 * time.Millisecond},
-		{"live address connects first try", live.Addr().String(), false, 1, 0},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			cfg := FleetConfig{
-				DialTimeout:  200 * time.Millisecond,
-				DialAttempts: 3,
-				DialBackoff:  10 * time.Millisecond,
-			}.withTransportDefaults()
-			start := time.Now()
-			conn, dials, err := dialWithBackoff(context.Background(), tc.addr, cfg)
-			elapsed := time.Since(start)
-			if conn != nil {
-				conn.Close()
-			}
-			if (err != nil) != tc.wantErr {
-				t.Fatalf("err = %v, wantErr = %v", err, tc.wantErr)
-			}
-			if dials != tc.wantDials {
-				t.Errorf("dials = %d, want %d", dials, tc.wantDials)
-			}
-			// Two failed attempts sleep 10ms then 20ms before the third.
-			if elapsed < tc.minDuration {
-				t.Errorf("elapsed %v below backoff floor %v", elapsed, tc.minDuration)
-			}
-		})
-	}
-}
-
-func TestWriteFrameRetryRecoversFromTimeout(t *testing.T) {
-	// net.Pipe is unbuffered: the first write attempt times out with zero
-	// bytes moved, then a late reader lets the bounded retry succeed.
-	client, srv := net.Pipe()
-	defer client.Close()
-	defer srv.Close()
-	cfg := FleetConfig{IOTimeout: 100 * time.Millisecond, WriteAttempts: 3}.withTransportDefaults()
-
-	msg := []byte("sealed sensor frame")
-	got := make(chan []byte, 1)
-	go func() {
-		time.Sleep(150 * time.Millisecond) // outlive attempt 1's deadline
-		frame, err := seccomm.ReadFrame(srv)
-		if err != nil {
-			got <- nil
-			return
-		}
-		got <- frame
-	}()
-	attempts, err := writeFrameRetry(context.Background(), client, msg, cfg)
-	if err != nil {
-		t.Fatalf("bounded retry failed: %v", err)
-	}
-	if attempts < 2 {
-		t.Errorf("attempts = %d, want at least 2 (first write must have timed out)", attempts)
-	}
-	if frame := <-got; string(frame) != string(msg) {
-		t.Errorf("reader got %q, want %q", frame, msg)
-	}
-}
-
-func TestWriteFrameRetryGivesUp(t *testing.T) {
-	client, srv := net.Pipe()
-	defer client.Close()
-	defer srv.Close() // no reader ever appears
-	cfg := FleetConfig{IOTimeout: 30 * time.Millisecond, WriteAttempts: 2}.withTransportDefaults()
-	start := time.Now()
-	_, err := writeFrameRetry(context.Background(), client, []byte("frame"), cfg)
-	if err == nil {
-		t.Fatal("write against a dead peer succeeded")
-	}
-	if !strings.Contains(err.Error(), "2 attempts") {
-		t.Errorf("error %q does not report the attempt budget", err)
-	}
-	if elapsed := time.Since(start); elapsed > 2*time.Second {
-		t.Errorf("bounded retry took %v", elapsed)
-	}
-}
-
 func TestFleet200SensorsRace(t *testing.T) {
 	// The acceptance-scale smoke test: 200 concurrent sensors, one server,
 	// default transport knobs, clean under -race.
@@ -446,5 +337,100 @@ func TestFleetSingleSensorMatchesSocketPath(t *testing.T) {
 	}
 	if res.Messages != 12 {
 		t.Errorf("messages = %d", res.Messages)
+	}
+}
+
+// TestFleetMatchesDirectPipeline is the refactor's equivalence contract: a
+// fixed-seed fleet run through the ingest server must reproduce, exactly,
+// the result a sequential in-process pipeline computes — per-sensor MAE
+// equal bit for bit, and the attacker's pooled size observations equal as
+// multisets (cross-sensor interleaving is the only freedom concurrency
+// gets).
+func TestFleetMatchesDirectPipeline(t *testing.T) {
+	const sensors = 4
+	cfg := fleetConfig(t, EncAGE, sensors)
+	res, err := runBounded(t, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	meta := cfg.Base.Dataset.Meta
+	coreCfg := core.Config{
+		T: meta.SeqLen, D: meta.NumFeatures, Format: meta.Format,
+		TargetBytes: core.TargetBytesForRate(cfg.Base.Rate, meta.SeqLen, meta.NumFeatures, meta.Format.Width),
+	}
+	parts := make([][]int, sensors)
+	for i := range cfg.Base.Dataset.Sequences {
+		parts[i%sensors] = append(parts[i%sensors], i)
+	}
+	wantSizes := map[int][]int{}
+	for s := 0; s < sensors; s++ {
+		encs, err := buildEncoder(cfg.Base.Encoder, coreCfg, cfg.Base.Cipher)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sealer, err := seccomm.NewSealer(cfg.Base.Cipher, fleetKey(s, cfg.Base.Cipher))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opener, err := seccomm.NewSealer(cfg.Base.Cipher, fleetKey(s, cfg.Base.Cipher))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := newSeededRand(cfg.Base.Seed + int64(s))
+		var acc reconstruct.Accumulator
+		for _, si := range parts[s] {
+			seq := cfg.Base.Dataset.Sequences[si]
+			idx := cfg.Base.Policy.Sample(seq.Values, rng)
+			vals := make([][]float64, len(idx))
+			for i, ti := range idx {
+				vals[i] = seq.Values[ti]
+			}
+			payload, err := encs.enc.Encode(core.Batch{Indices: idx, Values: vals})
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg, err := sealer.Seal(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opened, err := opener.Open(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := encs.dec.Decode(opened)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recon, err := reconstruct.Linear(batch.Indices, batch.Values, meta.SeqLen, meta.NumFeatures)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mae, err := reconstruct.MAE(recon, seq.Values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc.Add(mae, 1)
+			wantSizes[seq.Label] = append(wantSizes[seq.Label], len(msg))
+		}
+		if got, want := res.PerSensorMAE[s], acc.MAE(); got != want {
+			t.Errorf("sensor %d MAE = %v, direct pipeline computes %v (must be exactly equal)", s, got, want)
+		}
+	}
+	if len(res.SizesByLabel) != len(wantSizes) {
+		t.Fatalf("SizesByLabel has %d labels, want %d", len(res.SizesByLabel), len(wantSizes))
+	}
+	for label, want := range wantSizes {
+		got := append([]int(nil), res.SizesByLabel[label]...)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("label %d: %d observations, want %d", label, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("label %d: size multiset diverges at %d: %d != %d", label, i, got[i], want[i])
+			}
+		}
 	}
 }

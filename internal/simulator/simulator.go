@@ -14,6 +14,7 @@
 package simulator
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -28,22 +29,20 @@ import (
 	"repro/internal/seccomm"
 )
 
-// EncoderKind names the encoder under test.
-type EncoderKind string
+// EncoderKind names the encoder under test. It aliases core.Kind so the
+// kind-switch lives in one place (core.NewEncoder); this package only adds
+// the paper's target sizing on top.
+type EncoderKind = core.Kind
 
 // The six evaluated encoders.
 const (
-	EncStandard  EncoderKind = "standard"
-	EncPadded    EncoderKind = "padded"
-	EncAGE       EncoderKind = "age"
-	EncSingle    EncoderKind = "single"
-	EncUnshifted EncoderKind = "unshifted"
-	EncPruned    EncoderKind = "pruned"
+	EncStandard  = core.KindStandard
+	EncPadded    = core.KindPadded
+	EncAGE       = core.KindAGE
+	EncSingle    = core.KindSingle
+	EncUnshifted = core.KindUnshifted
+	EncPruned    = core.KindPruned
 )
-
-// FixedSize reports whether the encoder emits same-sized messages (closing
-// the side-channel).
-func (k EncoderKind) FixedSize() bool { return k != EncStandard }
 
 // Mode selects the evaluation testbed behavior.
 type Mode int
@@ -122,33 +121,17 @@ type encoderSet struct {
 
 // buildEncoder constructs the configured encoder with the paper's target
 // sizing: M_B from the budget rate, AGE's §4.5 reduction for all
-// size-standardizing quantizers, and block rounding for block ciphers.
+// size-standardizing quantizers, and block rounding for block ciphers. The
+// construction itself is core.NewEncoder — the kind-switch lives there.
 func buildEncoder(kind EncoderKind, cfg core.Config, cipher seccomm.CipherKind) (encoderSet, error) {
-	switch kind {
-	case EncStandard:
-		s, err := core.NewStandard(cfg)
-		return encoderSet{s, s}, err
-	case EncPadded:
-		p, err := core.NewPadded(cfg)
-		return encoderSet{p, p}, err
+	if kind != EncStandard && kind != EncPadded {
+		cfg.TargetBytes = seccomm.RoundTargetToCipher(core.ReduceTarget(cfg.TargetBytes), cipher)
 	}
-	cfg.TargetBytes = seccomm.RoundTargetToCipher(core.ReduceTarget(cfg.TargetBytes), cipher)
-	switch kind {
-	case EncAGE:
-		a, err := core.NewAGE(cfg)
-		return encoderSet{a, a}, err
-	case EncSingle:
-		s, err := core.NewSingle(cfg)
-		return encoderSet{s, s}, err
-	case EncUnshifted:
-		u, err := core.NewUnshifted(cfg)
-		return encoderSet{u, u}, err
-	case EncPruned:
-		p, err := core.NewPruned(cfg)
-		return encoderSet{p, p}, err
-	default:
-		return encoderSet{}, fmt.Errorf("simulator: unknown encoder %q", kind)
+	enc, dec, err := core.NewEncoder(kind, cfg)
+	if err != nil {
+		return encoderSet{}, fmt.Errorf("simulator: %w", err)
 	}
+	return encoderSet{enc, dec}, nil
 }
 
 // buildInstrumentedEncoder is buildEncoder plus the registry's codec
@@ -187,6 +170,14 @@ func computeKind(kind EncoderKind) energy.EncoderKind {
 // Run executes the configured evaluation in-process (sampling, encoding,
 // sealing, unsealing, decoding, reconstruction, energy accounting).
 func Run(cfg RunConfig) (*RunResult, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a caller context. The in-process pipeline has no
+// transport to sever, so cancellation is checked between sequences; the
+// partial result folded so far is returned alongside the cancellation error,
+// mirroring RunFleetContext.
+func RunContext(ctx context.Context, cfg RunConfig) (*RunResult, error) {
 	if cfg.Dataset == nil || len(cfg.Dataset.Sequences) == 0 {
 		return nil, fmt.Errorf("simulator: empty dataset")
 	}
@@ -237,6 +228,11 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	var acc reconstruct.Accumulator
 	violated := false
 	for _, seq := range cfg.Dataset.Sequences {
+		if cerr := ctx.Err(); cerr != nil {
+			res.MAE = acc.MAE()
+			res.WeightedMAE = acc.WeightedMAE()
+			return res, fmt.Errorf("simulator: run cancelled: %w", cerr)
+		}
 		sr := SequenceResult{Label: seq.Label, Weight: reconstruct.SequenceStdDev(seq.Values)}
 		if violated && cfg.Mode == ModeSimulation {
 			// Out of budget: the server guesses random values.

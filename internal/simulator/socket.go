@@ -1,6 +1,7 @@
 package simulator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -138,6 +139,14 @@ type SocketResult struct {
 // server-side failure closes the connection and waits for the sensor
 // goroutine before returning, so neither side can leak or hang the caller.
 func RunOverSocket(cfg RunConfig) (*SocketResult, error) {
+	return RunOverSocketContext(context.Background(), cfg)
+}
+
+// RunOverSocketContext is RunOverSocket under a caller context, mirroring
+// RunFleetContext: cancellation closes the listener and both live
+// connections, joins the sensor goroutine, and reports the cancellation as
+// the run's error.
+func RunOverSocketContext(ctx context.Context, cfg RunConfig) (*SocketResult, error) {
 	sensor, server, err := NewSensorServer(cfg)
 	if err != nil {
 		return nil, err
@@ -148,10 +157,43 @@ func RunOverSocket(cfg RunConfig) (*SocketResult, error) {
 	}
 	defer ln.Close()
 
+	// Both live connections register here so cancellation and abort can
+	// sever them without racing their setup.
+	var connMu sync.Mutex
+	var conns []net.Conn
+	track := func(c net.Conn) {
+		connMu.Lock()
+		conns = append(conns, c)
+		connMu.Unlock()
+	}
+	sever := func() {
+		ln.Close()
+		connMu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		connMu.Unlock()
+	}
+	watchDone := make(chan struct{})
+	var watchOnce sync.Once
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		select {
+		case <-ctx.Done():
+			sever()
+		case <-watchDone:
+		}
+	}()
+	stopWatch := func() {
+		watchOnce.Do(func() { close(watchDone) })
+		watchWG.Wait()
+	}
+	defer stopWatch()
+
 	var wg sync.WaitGroup
 	var sensorErr error
-	var sensorConnMu sync.Mutex
-	var sensorConn net.Conn
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -160,9 +202,7 @@ func RunOverSocket(cfg RunConfig) (*SocketResult, error) {
 			sensorErr = err
 			return
 		}
-		sensorConnMu.Lock()
-		sensorConn = conn
-		sensorConnMu.Unlock()
+		track(conn)
 		defer conn.Close()
 		for i, seq := range cfg.Dataset.Sequences {
 			if _, _, err := sensor.SendSequence(conn, seq.Values, cfg.Seed+int64(i)); err != nil {
@@ -172,15 +212,14 @@ func RunOverSocket(cfg RunConfig) (*SocketResult, error) {
 		}
 	}()
 	// abort tears the transport down and joins the sensor goroutine so a
-	// server-side failure cannot leak it mid-write.
+	// server-side failure cannot leak it mid-write. A cancelled context wins
+	// the error report: the transport errors are its consequence.
 	abort := func(serverErr error) error {
-		ln.Close()
-		sensorConnMu.Lock()
-		if sensorConn != nil {
-			sensorConn.Close()
-		}
-		sensorConnMu.Unlock()
+		sever()
 		wg.Wait()
+		if cause := ctx.Err(); cause != nil {
+			return fmt.Errorf("simulator: socket run cancelled: %w", cause)
+		}
 		if sensorErr != nil {
 			return errors.Join(
 				fmt.Errorf("simulator: server: %w", serverErr),
@@ -194,6 +233,7 @@ func RunOverSocket(cfg RunConfig) (*SocketResult, error) {
 	if err != nil {
 		return nil, abort(err)
 	}
+	track(conn)
 	defer conn.Close()
 
 	res := &SocketResult{SizesByLabel: map[int][]int{}}
@@ -212,6 +252,9 @@ func RunOverSocket(cfg RunConfig) (*SocketResult, error) {
 	}
 	wg.Wait()
 	if sensorErr != nil {
+		if cause := ctx.Err(); cause != nil {
+			return nil, fmt.Errorf("simulator: socket run cancelled: %w", cause)
+		}
 		return nil, fmt.Errorf("simulator: sensor: %w", sensorErr)
 	}
 	res.MAE = acc.MAE()
