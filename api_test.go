@@ -6,11 +6,15 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
 
 	age "repro"
+	"repro/internal/bitio"
+	"repro/internal/chacha"
 )
 
 func TestFacadeEndToEnd(t *testing.T) {
@@ -185,6 +189,31 @@ func TestFacadeSentinelErrors(t *testing.T) {
 	for _, kind := range age.EncoderKinds() {
 		if _, _, err := age.NewEncoder(kind, goodCfg); err != nil {
 			t.Errorf("NewEncoder(%s) failed: %v", kind, err)
+		}
+	}
+}
+
+// TestSentinelMatchThroughWraps pins the errors.Is contract at every site the
+// sentinelerr analyzer flagged for direct ==/!= comparison: each sentinel must
+// keep matching after a fmt.Errorf %w wrap layer, which is exactly what the
+// removed equality tests silently broke.
+func TestSentinelMatchThroughWraps(t *testing.T) {
+	cases := []struct {
+		name     string
+		sentinel error
+	}{
+		{"age.ErrServerClosed (example_test.go)", age.ErrServerClosed},
+		{"chacha.ErrAuthFailed (aead_test.go)", chacha.ErrAuthFailed},
+		{"bitio.ErrShortBuffer (bitio_test.go)", bitio.ErrShortBuffer},
+		{"io.EOF (dataset/csv.go)", io.EOF},
+	}
+	for _, c := range cases {
+		wrapped := fmt.Errorf("outer layer: %w", c.sentinel)
+		if !errors.Is(wrapped, c.sentinel) {
+			t.Errorf("%s: errors.Is does not match through a wrap", c.name)
+		}
+		if wrapped == c.sentinel {
+			t.Errorf("%s: wrap layer missing — direct equality would have kept working", c.name)
 		}
 	}
 }

@@ -1,0 +1,154 @@
+// Command agevet is the repo's multichecker: it runs every project-specific
+// analyzer (internal/analysis/...) over the packages matching its arguments
+// and fails if any invariant is violated. CI runs it as a blocking step:
+//
+//	go run ./cmd/agevet ./...
+//
+// Flags:
+//
+//	-json       emit diagnostics as a JSON array (file/line/col/analyzer/
+//	            message) for CI artifact upload
+//	-run a,b    run only the named analyzers
+//	-list       print the analyzers and their invariants, then exit
+//	-tests=false  skip _test.go files
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure — the go vet
+// convention.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxdeadline"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockedblock"
+	"repro/internal/analysis/sentinelerr"
+)
+
+// all returns the full analyzer suite in stable order.
+func all() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		hotpathalloc.Analyzer,
+		detrand.Analyzer,
+		lockedblock.Analyzer,
+		sentinelerr.Analyzer,
+		ctxdeadline.Analyzer,
+	}
+}
+
+// jsonDiag is the machine-readable diagnostic shape CI uploads.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("agevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	tests := fs.Bool("tests", true, "also analyze _test.go files")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := all()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runList != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*runList, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		if len(keep) > 0 {
+			for name := range keep {
+				fmt.Fprintf(stderr, "agevet: unknown analyzer %q\n", name)
+			}
+			return 2
+		}
+		analyzers = filtered
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "agevet: %v\n", err)
+		return 2
+	}
+	units, err := load.Load(wd, *tests, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "agevet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(units, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "agevet: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     relPath(wd, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "agevet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n",
+				relPath(wd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relPath shortens absolute diagnostic paths to repo-relative ones.
+func relPath(wd, path string) string {
+	if strings.HasPrefix(path, wd+string(os.PathSeparator)) {
+		return path[len(wd)+1:]
+	}
+	return path
+}

@@ -5,6 +5,7 @@ package age_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	age "repro"
@@ -93,7 +94,7 @@ func ExampleNewServer() {
 	if err := srv.Drain(context.Background()); err != nil {
 		panic(err)
 	}
-	fmt.Println(stats.FramesSent, len(received), <-done == age.ErrServerClosed)
+	fmt.Println(stats.FramesSent, len(received), errors.Is(<-done, age.ErrServerClosed))
 	// Output: 3 3 true
 }
 

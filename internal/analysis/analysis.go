@@ -1,0 +1,215 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: a framework for writing project-specific
+// static analyzers over type-checked Go packages.
+//
+// The repo's security and reproducibility claims rest on invariants the
+// compiler cannot see — fixed-length side-channel-free encoding, byte-identical
+// deterministic sweeps, zero-allocation hot paths, deadline-guarded transport.
+// Each invariant gets an Analyzer (see the subpackages) and cmd/agevet runs
+// them all as a blocking CI step, so a refactor cannot silently reintroduce a
+// leak, a nondeterministic sweep, or a hot-path allocation.
+//
+// The container this repo builds in has no module proxy access, so the
+// framework is built on the standard library alone: packages are loaded with
+// `go list -export` (see the load subpackage) and type-checked with go/types
+// against compiler export data. The Analyzer/Pass surface deliberately mirrors
+// x/tools so analyzers could be ported to a multichecker later with minimal
+// churn.
+//
+// # Annotations
+//
+// Analyzers understand three comment directives:
+//
+//	//age:hotpath            function must be allocation-free (hotpathalloc)
+//	//age:deterministic      function/file must avoid nondeterminism (detrand)
+//	//age:transport          function/file does conn I/O, deadline rules apply
+//	//age:allow <analyzer> — <reason>   suppress one finding on this/next line
+//
+// An age:allow must name the analyzer it silences and should carry a reason;
+// it applies to the line it sits on and the line directly below it, so both
+// end-of-line and stand-alone placements work.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/load"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and age:allow directives.
+	Name string
+	// Doc is a one-paragraph description: the invariant, where it came from
+	// (paper section or PR), and the annotation syntax it honors.
+	Doc string
+	// IncludeTests runs the analyzer over _test.go files too. Analyzers that
+	// enforce production wire/locking discipline leave this false; analyzers
+	// whose invariant extends to tests (sentinel errors, determinism) set it.
+	IncludeTests bool
+	// Run reports diagnostics for one package unit via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one type-checked package unit.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the unit's syntax trees. For an in-package test unit this
+	// includes the non-test files (they shape the types), but diagnostics
+	// are only kept for _test.go files to avoid duplicating the base unit's.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Dirs indexes the unit's //age: directives.
+	Dirs *Directives
+	// TestUnit marks an in-package-test or external-test unit.
+	TestUnit bool
+
+	keepFile func(token.Position) bool
+	sink     *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an age:allow directive for this
+// analyzer covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.keepFile != nil && !p.keepFile(position) {
+		return
+	}
+	if p.Dirs.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer over every loaded unit and returns the combined
+// diagnostics sorted by file, line, and analyzer name.
+func Run(units []*load.Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, u := range units {
+		dirs := NewDirectives(u.Fset, u.Files)
+		for _, a := range analyzers {
+			if u.Test && !a.IncludeTests {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     u.Fset,
+				Files:    u.Files,
+				Pkg:      u.Pkg,
+				Info:     u.Info,
+				Dirs:     dirs,
+				TestUnit: u.Test,
+				sink:     &diags,
+			}
+			if u.Test {
+				// The base unit already covered the non-test files.
+				pass.keepFile = func(pos token.Position) bool {
+					return strings.HasSuffix(pos.Filename, "_test.go")
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, u.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// EnclosingFunc returns the innermost function declaration in file whose body
+// spans pos, or nil.
+func EnclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Pos() <= pos && pos <= fn.End() {
+			return fn
+		}
+	}
+	return nil
+}
+
+// IsConnLike reports whether t structurally looks like a net.Conn: its method
+// set carries Read, Write, and SetReadDeadline. Matching on shape rather than
+// identity means *net.TCPConn, net.Conn, and test doubles all count, without
+// this package needing the net package's type object in scope.
+func IsConnLike(t types.Type) bool {
+	return hasMethod(t, "Read") && hasMethod(t, "Write") && hasMethod(t, "SetReadDeadline")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	if ms.Lookup(nil, name) != nil {
+		return true
+	}
+	// Method sets of non-pointer types omit pointer-receiver methods.
+	if _, ok := t.(*types.Pointer); !ok {
+		if ms := types.NewMethodSet(types.NewPointer(t)); ms.Lookup(nil, name) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeName resolves a call to "pkgpath.Func" for package-level functions or
+// "recvtype.Method" for methods; it returns "" for indirect calls.
+func CalleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return funcName(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return funcName(fn)
+		}
+	}
+	return ""
+}
+
+func funcName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		return types.TypeString(t, nil) + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,13 @@
+package ctxdeadline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxdeadline"
+)
+
+func TestAnalyzer(t *testing.T) {
+	a := ctxdeadline.New(ctxdeadline.Config{Packages: []string{"a"}})
+	analysistest.Run(t, a, "testdata/src/a")
+}

@@ -1,0 +1,22 @@
+package a
+
+import (
+	"io"
+	"net"
+)
+
+// BadRead does raw conn I/O with no deadline anywhere in the function.
+func BadRead(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf) // want `Read on a net.Conn with no Set`
+}
+
+// BadWrite is the write-side twin.
+func BadWrite(c net.Conn, buf []byte) (int, error) {
+	return c.Write(buf) // want `Write on a net.Conn with no Set`
+}
+
+// BadCopy feeds the conn to an unbounded io helper.
+func BadCopy(dst io.Writer, c net.Conn) error {
+	_, err := io.Copy(dst, c) // want `conn fed to unbounded io helper`
+	return err
+}

@@ -1,0 +1,17 @@
+// Package b is outside the configured transport packages: only annotated
+// functions are in scope.
+package b
+
+import "net"
+
+// Marked opts in via the function directive.
+//
+//age:transport
+func Marked(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf) // want `Read on a net.Conn with no Set`
+}
+
+// Unmarked is out of scope; the same call stays silent.
+func Unmarked(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf)
+}

@@ -1,0 +1,35 @@
+package a
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// GoodRead arms a deadline before the read: the whole function is guarded.
+func GoodRead(c net.Conn, buf []byte) (int, error) {
+	if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return c.Read(buf)
+}
+
+// GoodFull is the ReadFull shape used by the frame transport.
+func GoodFull(c net.Conn, buf []byte) error {
+	if err := c.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := io.ReadFull(c, buf)
+	return err
+}
+
+// Allowed defers deadline management to its caller and says so.
+func Allowed(c net.Conn, buf []byte) (int, error) {
+	//age:allow ctxdeadline caller arms the deadline around the retry loop
+	return c.Read(buf)
+}
+
+// PlainReader is not conn-shaped: io.Reader I/O is out of scope.
+func PlainReader(r io.Reader, buf []byte) (int, error) {
+	return r.Read(buf)
+}

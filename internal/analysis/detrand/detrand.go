@@ -1,0 +1,187 @@
+// Package detrand protects the deterministic-sweep contract from PR 2: at a
+// fixed seed, the evaluation sweep's output is byte-identical for any worker
+// count. The contract breaks the moment results depend on wall-clock time,
+// on shared global RNG state (draw order varies with scheduling), or on map
+// iteration order feeding ordered output (the original Figure 1 bug).
+//
+// Inside deterministic scope — the packages in Config.Packages, any file with
+// a //age:deterministic comment above its package clause, and any function
+// annotated //age:deterministic — the analyzer flags:
+//
+//   - time.Now, time.Since, time.Until calls;
+//   - draws from the global math/rand state (rand.Intn, rand.Float64, ...);
+//     seeded *rand.Rand instances via rand.New(rand.NewSource(seed)) are the
+//     approved pattern and stay legal;
+//   - range over a map, unless the body is one of the two order-insensitive
+//     idioms: collecting keys into a slice for sorting (`ks = append(ks, k)`)
+//     or a key-indexed copy (`m2[k] = ...`).
+//
+// Timing measurements that deliberately read the clock (benchmark cells,
+// metrics instrumentation) are annotated //age:allow detrand with a reason.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// Packages lists import paths whose every function is deterministic
+	// scope, annotation or not.
+	Packages []string
+}
+
+// DefaultConfig covers the sweep runner and everything it renders.
+func DefaultConfig() Config {
+	return Config{Packages: []string{"repro/internal/experiments"}}
+}
+
+// Analyzer is the default instance used by agevet.
+var Analyzer = New(DefaultConfig())
+
+// New builds the analyzer for cfg.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:         "detrand",
+		Doc:          "forbids wall-clock, global rand, and order-sensitive map iteration in deterministic code",
+		IncludeTests: true,
+		Run:          func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+// globalRandFuncs are the math/rand package-level draws that mutate shared
+// state. Constructors (New, NewSource, NewZipf) are fine.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	wholePkg := false
+	for _, p := range cfg.Packages {
+		if pass.Pkg.Path() == p {
+			wholePkg = true
+		}
+	}
+	for _, file := range pass.Files {
+		inScope := func(pos ast.Node) bool {
+			return wholePkg || pass.Dirs.ScopeMarked(file, pos.Pos(), analysis.MarkDeterministic)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !inScope(n) {
+					return true
+				}
+				switch analysis.CalleeName(pass.Info, n) {
+				case "time.Now", "time.Since", "time.Until":
+					pass.Reportf(n.Pos(), "wall-clock read in deterministic code; derive values from the seed or annotate //age:allow detrand with a reason")
+				}
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if isMathRandPkg(pass.Info, sel.X) && globalRandFuncs[sel.Sel.Name] {
+						pass.Reportf(n.Pos(), "global math/rand draw order depends on goroutine scheduling; use a seeded *rand.Rand (cfg.newRNG pattern)")
+					}
+				}
+			case *ast.RangeStmt:
+				if !inScope(n) {
+					return true
+				}
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMathRandPkg(info *types.Info, x ast.Expr) bool {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pkg.Imported().Path()
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// checkMapRange flags map iteration unless the body is an order-insensitive
+// idiom.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if orderInsensitiveBody(pass, rng) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order is nondeterministic and the body is order-sensitive; iterate sorted keys or annotate //age:allow detrand with a reason")
+}
+
+// orderInsensitiveBody recognizes the two safe single-statement idioms:
+//
+//	for k := range m        { ks = append(ks, k) }   // keys collected, sorted later
+//	for k, v := range m     { m2[k] = f(v) }         // key-indexed copy
+//
+// Everything else (appending values in iteration order, accumulating floats,
+// collapsing keys) is treated as order-sensitive.
+func orderInsensitiveBody(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	keyObj := identObj(pass, rng.Key)
+	if keyObj == nil {
+		return false
+	}
+
+	// Idiom 1: ks = append(ks, k) — the key alone crosses the loop boundary,
+	// and slices of keys are invariably sorted before use.
+	if call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr); ok && len(call.Args) == 2 {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				if argObj := identObj(pass, call.Args[1]); argObj == keyObj {
+					return true
+				}
+			}
+		}
+	}
+
+	// Idiom 2: m2[k] = expr — writes land at key-determined slots. The value
+	// expression must not read m2 (e.g. m2[k'] = append(m2[k'], ...) with a
+	// collapsed key is order-sensitive; with the loop key it is fine because
+	// each slot is written once).
+	if idx, ok := ast.Unparen(asg.Lhs[0]).(*ast.IndexExpr); ok {
+		if identObj(pass, idx.Index) == keyObj {
+			return true
+		}
+	}
+	return false
+}
+
+func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	if e == nil {
+		return nil
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}

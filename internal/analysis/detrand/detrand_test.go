@@ -1,0 +1,13 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detrand"
+)
+
+func TestAnalyzer(t *testing.T) {
+	a := detrand.New(detrand.Config{Packages: []string{"a"}})
+	analysistest.Run(t, a, "testdata/src/a")
+}

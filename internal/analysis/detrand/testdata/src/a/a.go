@@ -1,0 +1,34 @@
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Cell reads the wall clock and the global RNG: both perturb the
+// deterministic-sweep contract.
+func Cell() float64 {
+	start := time.Now() // want `wall-clock read`
+	_ = start
+	return rand.Float64() // want `global math/rand draw`
+}
+
+// Sums accumulates floats in map order: rounding makes the total
+// order-sensitive.
+func Sums(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// CollapsedKey writes through a folded key, so element order within each bin
+// follows iteration order.
+func CollapsedKey(m map[int][]int) map[int][]int {
+	out := map[int][]int{}
+	for k, vs := range m { // want `map iteration order is nondeterministic`
+		out[k%2] = append(out[k%2], vs...)
+	}
+	return out
+}

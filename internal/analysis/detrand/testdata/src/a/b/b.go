@@ -1,0 +1,17 @@
+// Package b is outside the configured deterministic packages: only annotated
+// functions are in scope.
+package b
+
+import "time"
+
+// Marked opts in via the function directive.
+//
+//age:deterministic
+func Marked() int64 {
+	return time.Now().Unix() // want `wall-clock read`
+}
+
+// Unmarked is out of scope; the same call stays silent.
+func Unmarked() int64 {
+	return time.Now().Unix()
+}

@@ -1,0 +1,42 @@
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Seeded uses the approved pattern: a *rand.Rand derived from a seed.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// SortedSum collects keys (safe idiom 1), sorts, then iterates the slice.
+func SortedSum(m map[int]float64) float64 {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	var total float64
+	for _, k := range ks {
+		total += m[k]
+	}
+	return total
+}
+
+// Copy writes each value at its own key (safe idiom 2).
+func Copy(m map[int]int) map[int]int {
+	out := map[int]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Bench deliberately reads the clock and says why.
+func Bench() int64 {
+	//age:allow detrand stopwatch measurement, not experiment data
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive markers. Mark* apply to whole functions or files; allowPrefix
+// suppresses a single finding.
+const (
+	MarkHotpath       = "hotpath"
+	MarkDeterministic = "deterministic"
+	MarkTransport     = "transport"
+
+	directivePrefix = "age:"
+	allowDirective  = "age:allow"
+)
+
+// Directives indexes the //age: comment directives of one package unit.
+type Directives struct {
+	fset *token.FileSet
+	// allow maps filename -> line -> analyzer names allowed on that line.
+	allow map[string]map[int][]string
+	// marks maps filename -> marker -> true for file-level marks (comments
+	// above the package clause).
+	fileMarks map[string]map[string]bool
+}
+
+// NewDirectives scans the files' comments once and builds the index.
+func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		fset:      fset,
+		allow:     map[string]map[int][]string{},
+		fileMarks: map[string]map[string]bool{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if name, ok := allowName(text); ok {
+					byLine := d.allow[pos.Filename]
+					if byLine == nil {
+						byLine = map[int][]string{}
+						d.allow[pos.Filename] = byLine
+					}
+					// The directive covers its own line (end-of-line form)
+					// and the next line (stand-alone form).
+					byLine[pos.Line] = append(byLine[pos.Line], name)
+					byLine[pos.Line+1] = append(byLine[pos.Line+1], name)
+					continue
+				}
+				// A mark above the package clause scopes to the whole file.
+				if c.End() < f.Package {
+					mark := strings.TrimPrefix(text, directivePrefix)
+					if i := strings.IndexAny(mark, " \t"); i >= 0 {
+						mark = mark[:i]
+					}
+					fm := d.fileMarks[pos.Filename]
+					if fm == nil {
+						fm = map[string]bool{}
+						d.fileMarks[pos.Filename] = fm
+					}
+					fm[mark] = true
+				}
+			}
+		}
+	}
+	return d
+}
+
+// allowName parses "age:allow <analyzer> ..." and returns the analyzer name.
+func allowName(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, allowDirective)
+	if !ok {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// allowed reports whether an age:allow directive for analyzer covers pos.
+func (d *Directives) allowed(analyzer string, pos token.Position) bool {
+	for _, name := range d.allow[pos.Filename][pos.Line] {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncMarked reports whether fn's doc comment carries //age:<mark>.
+func (d *Directives) FuncMarked(fn *ast.FuncDecl, mark string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	want := directivePrefix + mark
+	for _, c := range fn.Doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// FileMarked reports whether the file containing pos carries a file-level
+// //age:<mark> above its package clause.
+func (d *Directives) FileMarked(pos token.Pos, mark string) bool {
+	return d.fileMarks[d.fset.Position(pos).Filename][mark]
+}
+
+// ScopeMarked reports whether pos sits in a marked scope: an enclosing
+// function marked //age:<mark>, or a file-level mark.
+func (d *Directives) ScopeMarked(file *ast.File, pos token.Pos, mark string) bool {
+	if d.FileMarked(pos, mark) {
+		return true
+	}
+	return d.FuncMarked(EnclosingFunc(file, pos), mark)
+}

@@ -1,0 +1,46 @@
+package a
+
+import "fmt"
+
+// Clean appends into caller-owned storage: the capacity decision belongs to
+// the caller, so nothing here is flagged.
+//
+//age:hotpath
+func Clean(dst []byte, vs []uint32) []byte {
+	for _, v := range vs {
+		dst = append(dst, byte(v))
+	}
+	return dst
+}
+
+// ColdPath allocates only on an error path that returns; steady state stays
+// allocation-free.
+//
+//age:hotpath
+func ColdPath(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad n %d", n)
+	}
+	return nil
+}
+
+// Allowed demonstrates a triaged, annotated finding.
+//
+//age:hotpath
+func Allowed(n int) []byte {
+	//age:allow hotpathalloc amortized: called once per session, result cached
+	return make([]byte, n)
+}
+
+// NonCapturing closures (comparator shapes) allocate nothing.
+//
+//age:hotpath
+func NonCapturing(n int) int {
+	f := func(x int) int { return x + 1 }
+	return f(n)
+}
+
+// Unmarked is not annotated and not on the required list: no checks apply.
+func Unmarked(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,223 @@
+// Package load type-checks Go packages for the analysis framework without
+// golang.org/x/tools: it shells out to `go list -export` for package metadata
+// and compiler export data, parses the target packages from source, and
+// type-checks them with go/types resolving imports through the export data.
+// The build cache makes repeat loads cheap, and nothing touches the network
+// (the loader forces GOPROXY=off; this module's dependency graph is
+// stdlib-only by design).
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Unit is one type-checked compilation unit: a package, its in-package test
+// variant, or its external test package.
+type Unit struct {
+	// PkgPath is the unit's import path; external test units carry the
+	// "_test" suffix go list gives them.
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	// Test marks test-variant units (in-package or external).
+	Test bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	DepOnly      bool
+	ForTest      string
+	Error        *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns, resolved relative to dir.
+// Each matched package yields up to three Units: the package itself, its
+// in-package test variant, and its external test package. Tests=false skips
+// the test variants.
+func Load(dir string, tests bool, patterns ...string) ([]*Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := golist(dir, tests, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data index. Plain paths resolve to the plain build; test-variant
+	// entries ("p [p.test]") are indexed under their real path separately so
+	// external test units can see symbols the in-package test files add.
+	exports := map[string]string{}
+	testExports := map[string]string{}
+	var roots []*listPkg
+	for _, p := range pkgs {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		path, variant := splitVariant(p.ImportPath)
+		if variant {
+			if p.Export != "" {
+				testExports[path] = p.Export
+			}
+			continue
+		}
+		if p.Export != "" {
+			exports[path] = p.Export
+		}
+		if !p.DepOnly && !strings.HasSuffix(path, ".test") {
+			roots = append(roots, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	parsed := map[string]*ast.File{}
+	parseAll := func(pkgDir string, names []string) ([]*ast.File, error) {
+		files := make([]*ast.File, 0, len(names))
+		for _, name := range names {
+			path := filepath.Join(pkgDir, name)
+			f, ok := parsed[path]
+			if !ok {
+				var err error
+				f, err = parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+				if err != nil {
+					return nil, err
+				}
+				parsed[path] = f
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+
+	plainImp := importer.ForCompiler(fset, "gc", exportLookup(exports, nil))
+	variantImp := importer.ForCompiler(fset, "gc", exportLookup(exports, testExports))
+
+	var units []*Unit
+	check := func(path string, pkgDir string, names []string, imp types.Importer, test bool) error {
+		if len(names) == 0 {
+			return nil
+		}
+		files, err := parseAll(pkgDir, names)
+		if err != nil {
+			return err
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		}
+		pkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return fmt.Errorf("load: typecheck %s: %w", path, err)
+		}
+		units = append(units, &Unit{
+			PkgPath: path, Fset: fset, Files: files, Pkg: pkg, Info: info, Test: test,
+		})
+		return nil
+	}
+
+	for _, r := range roots {
+		if err := check(r.ImportPath, r.Dir, r.GoFiles, plainImp, false); err != nil {
+			return nil, err
+		}
+		if !tests {
+			continue
+		}
+		if len(r.TestGoFiles) > 0 {
+			names := append(append([]string{}, r.GoFiles...), r.TestGoFiles...)
+			if err := check(r.ImportPath, r.Dir, names, plainImp, true); err != nil {
+				return nil, err
+			}
+		}
+		if len(r.XTestGoFiles) > 0 {
+			if err := check(r.ImportPath+"_test", r.Dir, r.XTestGoFiles, variantImp, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return units, nil
+}
+
+// splitVariant splits "p [p.test]" into ("p", true); plain paths return
+// (path, false).
+func splitVariant(importPath string) (string, bool) {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i], true
+	}
+	return importPath, false
+}
+
+// exportLookup builds the gc importer's lookup function over export files.
+// preferred, when non-nil, is consulted first (test-variant export data).
+func exportLookup(exports, preferred map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if preferred != nil {
+			if file, ok := preferred[path]; ok {
+				return os.Open(file)
+			}
+		}
+		if file, ok := exports[path]; ok {
+			return os.Open(file)
+		}
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+}
+
+// golist runs `go list -export -json -deps [-test] patterns...` in dir.
+func golist(dir string, tests bool, patterns []string) ([]*listPkg, error) {
+	args := []string{"list", "-e", "-export", "-json", "-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOPROXY=off")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list: %w\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

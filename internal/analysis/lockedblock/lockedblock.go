@@ -1,0 +1,313 @@
+// Package lockedblock hunts the PR-1 fleet-deadlock class: blocking
+// operations performed while a sync.Mutex or sync.RWMutex is held. A channel
+// send, an unbuffered receive, a select with no default, conn I/O, or a
+// time.Sleep under a lock turns a slow peer into a stalled server — the exact
+// shape of the transport deadlocks fixed in PR 1 and re-audited in PR 4's
+// ingest server.
+//
+// The analysis is intraprocedural and syntactic: within each function it
+// tracks which mutexes are held (x.Lock() ... x.Unlock(), plus
+// defer x.Unlock() holding to function exit) and flags blocking constructs in
+// the held window. Branches that terminate (return/panic/break/continue)
+// roll their lock-state changes back, so the common
+// `mu.Lock(); if c { mu.Unlock(); return }` shape neither leaks nor
+// false-positives. Intentional blocking under a lock — if any ever appears —
+// is silenced with //age:allow lockedblock and a reason.
+package lockedblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the instance used by agevet.
+var Analyzer = &analysis.Analyzer{
+	Name:         "lockedblock",
+	Doc:          "flags channel operations, conn I/O, and sleeps performed while a mutex is held",
+	IncludeTests: false,
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, held: map[string]bool{}}
+			w.block(fn.Body)
+			// Function literals get their own, independent lock context:
+			// a goroutine body does not inherit the creator's locks.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					lw := &walker{pass: pass, held: map[string]bool{}}
+					lw.block(lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass *analysis.Pass
+	held map[string]bool // mutex expression text -> held
+}
+
+func (w *walker) anyHeld() bool { return len(w.held) > 0 }
+
+func (w *walker) snapshot() map[string]bool {
+	s := make(map[string]bool, len(w.held))
+	for k, v := range w.held {
+		s[k] = v
+	}
+	return s
+}
+
+func (w *walker) restore(s map[string]bool) { w.held = s }
+
+// block scans a statement list in order, updating lock state as it goes.
+func (w *walker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.scanNested(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if name, target, ok := mutexCall(w.pass, call); ok {
+				switch name {
+				case "Lock", "RLock":
+					w.held[target] = true
+				case "Unlock", "RUnlock":
+					delete(w.held, target)
+				}
+				return
+			}
+		}
+		w.checkExpr(s.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps mu held for the rest of the scan — which
+		// is the point: everything below runs under the lock.
+		// Other deferred calls run at exit; skip their bodies.
+		if _, _, ok := mutexCall(w.pass, s.Call); ok {
+			return
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.checkExpr(s.Cond)
+		w.branch(s.Body)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			w.branch(e)
+		case *ast.IfStmt:
+			w.stmt(e)
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.checkExpr(s.Cond)
+		w.branch(s.Body)
+		w.stmt(s.Post)
+	case *ast.RangeStmt:
+		if w.anyHeld() {
+			if tv, ok := w.pass.Info.Types[s.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					w.report(s.Pos(), "range over channel")
+				}
+			}
+		}
+		w.checkExpr(s.X)
+		w.branch(s.Body)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.checkExpr(s.Tag)
+		for _, cc := range s.Body.List {
+			c := cc.(*ast.CaseClause)
+			snap := w.snapshot()
+			for _, st := range c.Body {
+				w.stmt(st)
+			}
+			w.restore(snap)
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		for _, cc := range s.Body.List {
+			c := cc.(*ast.CaseClause)
+			snap := w.snapshot()
+			for _, st := range c.Body {
+				w.stmt(st)
+			}
+			w.restore(snap)
+		}
+	case *ast.SendStmt:
+		if w.anyHeld() {
+			w.report(s.Pos(), "channel send")
+		}
+		w.checkExpr(s.Value)
+	case *ast.SelectStmt:
+		if w.anyHeld() && !hasDefault(s) {
+			w.report(s.Pos(), "select without default")
+		}
+		for _, cc := range s.Body.List {
+			c := cc.(*ast.CommClause)
+			snap := w.snapshot()
+			for _, st := range c.Body {
+				w.stmt(st)
+			}
+			w.restore(snap)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine has its own lock context (handled in run);
+		// starting it does not block.
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.checkExpr(e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// branch scans a nested block; if it terminates early (return, panic, break,
+// continue), its lock-state changes are rolled back — on the fallthrough
+// path the block was either not entered or the terminator left the function.
+func (w *walker) branch(b *ast.BlockStmt) {
+	snap := w.snapshot()
+	w.block(b)
+	if blockTerminates(b) {
+		w.restore(snap)
+	}
+}
+
+func (w *walker) scanNested(b *ast.BlockStmt) { w.branch(b) }
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, cc := range s.Body.List {
+		if cc.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func blockTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkExpr flags blocking expressions (receives, blocking calls) when a
+// lock is held. FuncLit bodies are skipped: they run in their own context.
+func (w *walker) checkExpr(e ast.Expr) {
+	if e == nil || !w.anyHeld() {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				w.report(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			w.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (w *walker) checkCall(call *ast.CallExpr) {
+	switch analysis.CalleeName(w.pass.Info, call) {
+	case "time.Sleep":
+		w.report(call.Pos(), "time.Sleep")
+		return
+	case "sync.WaitGroup.Wait":
+		w.report(call.Pos(), "sync.WaitGroup.Wait")
+		return
+	}
+	// Conn-like I/O: Read/Write/Accept on anything shaped like a net.Conn.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Read", "Write", "ReadFrom", "WriteTo", "Accept":
+			if tv, ok := w.pass.Info.Types[sel.X]; ok && analysis.IsConnLike(tv.Type) {
+				w.report(call.Pos(), "network "+sel.Sel.Name)
+			}
+		}
+	}
+}
+
+func (w *walker) report(pos token.Pos, what string) {
+	w.pass.Reportf(pos, "%s while mutex is held; release the lock first (PR-1 deadlock class) or annotate //age:allow lockedblock with a reason", what)
+}
+
+// mutexCall matches x.Lock/Unlock/RLock/RUnlock where x is a sync.Mutex,
+// sync.RWMutex, or pointer to one; it returns the method name and the
+// receiver's expression text as the tracking key.
+func mutexCall(pass *analysis.Pass, call *ast.CallExpr) (method, target string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, found := pass.Info.Types[sel.X]
+	if !found || !isMutexType(tv.Type) {
+		return "", "", false
+	}
+	return sel.Sel.Name, types.ExprString(sel.X), true
+}
+
+func isMutexType(t types.Type) bool {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,12 @@
+package lockedblock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockedblock"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, lockedblock.Analyzer, "testdata/src/a")
+}

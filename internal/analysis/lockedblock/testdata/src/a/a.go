@@ -1,0 +1,44 @@
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+// BadSend blocks on a channel send with the mutex held.
+func (s *S) BadSend(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while mutex is held`
+	s.mu.Unlock()
+}
+
+// BadSleep sleeps under a deferred unlock, which holds to function exit.
+func (s *S) BadSleep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while mutex is held`
+}
+
+// BadRecv blocks on a receive under the lock.
+func (s *S) BadRecv() int {
+	s.mu.Lock()
+	v := <-s.ch // want `channel receive while mutex is held`
+	s.mu.Unlock()
+	return v
+}
+
+// BadSelect has no default, so it parks under the read lock.
+func (s *S) BadSelect() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	select { // want `select without default while mutex is held`
+	case v := <-s.ch:
+		_ = v
+	}
+}

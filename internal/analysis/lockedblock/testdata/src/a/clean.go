@@ -1,0 +1,49 @@
+package a
+
+import "time"
+
+// Good releases the lock before blocking.
+func (s *S) Good(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// GuardedEarlyReturn unlocks on the early-exit path; the terminating branch
+// must not leak held state onto the fallthrough path.
+func (s *S) GuardedEarlyReturn(v int) {
+	s.mu.Lock()
+	if v < 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// Goroutine bodies run in their own lock context: the send inside the
+// goroutine does not hold the creator's mutex.
+func (s *S) Goroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}
+
+// GoodSelect never parks: the default arm makes it a poll.
+func (s *S) GoodSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// SleepOutside blocks only after the critical section ends.
+func (s *S) SleepOutside() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxdeadline"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockedblock"
+	"repro/internal/analysis/sentinelerr"
+)
+
+// TestRepoIsClean runs the full agevet suite over the repository and requires
+// zero diagnostics — the same gate CI applies with `go run ./cmd/agevet
+// ./...`. A finding here means either new code broke an invariant or an
+// analyzer grew a false positive; both need fixing before merge.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	units, err := load.Load("../..", true, "./...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	diags, err := analysis.Run(units, []*analysis.Analyzer{
+		hotpathalloc.Analyzer,
+		detrand.Analyzer,
+		lockedblock.Analyzer,
+		sentinelerr.Analyzer,
+		ctxdeadline.Analyzer,
+	})
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+}

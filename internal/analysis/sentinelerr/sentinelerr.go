@@ -1,0 +1,141 @@
+// Package sentinelerr enforces the PR-4 error-facade contract: callers branch
+// on sentinel errors with errors.Is, never ==, because every constructor and
+// decoder wraps its sentinels (via %w) into descriptive messages. A direct
+// equality test silently stops matching the moment a wrap layer is added.
+//
+// Two checks:
+//
+//   - ==/!= (and switch cases) comparing against a package-level error
+//     variable — io.EOF, core.ErrPayloadLength, age.ErrServerClosed, ... —
+//     anywhere, including tests;
+//   - fmt.Errorf calls that pass an error argument but whose format string
+//     has no %w verb, which breaks the errors.Is chain for every caller
+//     upstream. Deliberately chain-breaking wraps (none today) would carry
+//     //age:allow sentinelerr with a reason.
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the instance used by agevet.
+var Analyzer = &analysis.Analyzer{
+	Name:         "sentinelerr",
+	Doc:          "flags ==/!= against sentinel errors and fmt.Errorf wraps without %w",
+	IncludeTests: true,
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkComparison(pass, n.OpPos, n.X, n.Y)
+				}
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkComparison(pass *analysis.Pass, opPos token.Pos, x, y ast.Expr) {
+	for _, e := range []ast.Expr{x, y} {
+		if name, ok := sentinel(pass, e); ok {
+			pass.Reportf(opPos, "comparison against sentinel %s breaks once the error is wrapped; use errors.Is", name)
+			return
+		}
+	}
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.Info.Types[sw.Tag]
+	if !ok || !isErrorType(tv.Type) {
+		return
+	}
+	for _, cc := range sw.Body.List {
+		c := cc.(*ast.CaseClause)
+		for _, e := range c.List {
+			if name, ok := sentinel(pass, e); ok {
+				pass.Reportf(e.Pos(), "switch case on sentinel %s breaks once the error is wrapped; use errors.Is", name)
+			}
+		}
+	}
+}
+
+// sentinel reports whether e denotes a package-level variable of type error —
+// the shape of every sentinel (core.ErrPayloadLength, io.EOF, ...).
+func sentinel(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return "", false
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false // local variable, not a sentinel
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	return v.Pkg().Name() + "." + v.Name(), true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// checkErrorf flags fmt.Errorf("...", err) where the constant format string
+// carries no %w: the wrap hides err from errors.Is/As.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if analysis.CalleeName(pass.Info, call) != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		argTV, ok := pass.Info.Types[arg]
+		if !ok {
+			continue
+		}
+		t := argTV.Type
+		if isErrorValue(t) {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w, hiding it from errors.Is; wrap with %%w or annotate //age:allow sentinelerr with a reason")
+			return
+		}
+	}
+}
+
+func isErrorValue(t types.Type) bool {
+	return isErrorType(t)
+}

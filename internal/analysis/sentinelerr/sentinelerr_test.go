@@ -1,0 +1,12 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sentinelerr"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, sentinelerr.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,37 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrTooSmall = errors.New("too small")
+
+// Check compares a sentinel with ==.
+func Check(err error) bool {
+	return err == io.EOF // want `comparison against sentinel io.EOF`
+}
+
+// Check2 compares a local sentinel with !=.
+func Check2(err error) bool {
+	if err != ErrTooSmall { // want `comparison against sentinel a.ErrTooSmall`
+		return false
+	}
+	return true
+}
+
+// Classify switches on an error value with sentinel cases.
+func Classify(err error) string {
+	switch err {
+	case io.EOF: // want `switch case on sentinel io.EOF`
+		return "eof"
+	default:
+		return "other"
+	}
+}
+
+// Wrap hides err from errors.Is by formatting it with %v.
+func Wrap(err error) error {
+	return fmt.Errorf("ingest: %v", err) // want `fmt.Errorf formats an error without %w`
+}

@@ -1,0 +1,34 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Good branches with errors.Is, surviving any wrap layer.
+func Good(err error) bool {
+	return errors.Is(err, io.EOF)
+}
+
+// GoodWrap keeps the chain intact with %w.
+func GoodWrap(err error) error {
+	return fmt.Errorf("ingest: %w", err)
+}
+
+// NilCheck compares against nil, not a sentinel.
+func NilCheck(err error) bool {
+	return err == nil
+}
+
+// LocalCompare compares two local error values: neither is package-level.
+func LocalCompare(e1, e2 error) bool {
+	return e1 == e2
+}
+
+// NonErrorGlobals stay out of scope even at package level.
+var DefaultName = "age"
+
+func NameIs(s string) bool {
+	return s == DefaultName
+}

@@ -28,6 +28,8 @@ func NewWriter(capacityHint int) *Writer {
 }
 
 // WriteBits appends the low n bits of v, MSB-first. n must be in [0, 32].
+//
+//age:hotpath
 func (w *Writer) WriteBits(v uint32, n int) {
 	if n < 0 || n > 32 {
 		panic(fmt.Sprintf("bitio: WriteBits width %d out of range", n))
@@ -59,6 +61,8 @@ func (w *Writer) WriteByte(b byte) error {
 func (w *Writer) WriteUint16(v uint16) { w.WriteBits(uint32(v), 16) }
 
 // Align pads with zero bits to the next byte boundary.
+//
+//age:hotpath
 func (w *Writer) Align() {
 	if w.nbit != 0 {
 		w.WriteBits(0, int(8-w.nbit))
@@ -68,6 +72,8 @@ func (w *Writer) Align() {
 // PadTo extends the buffer with zero bytes until it is exactly n bytes long.
 // It panics if the buffer already exceeds n bytes: callers size their
 // payloads before writing, so overflow is a programming error.
+//
+//age:hotpath
 func (w *Writer) PadTo(n int) {
 	w.Align()
 	if len(w.buf) > n {
@@ -95,6 +101,8 @@ func (w *Writer) BitLen() int {
 func (w *Writer) Bytes() []byte { return w.buf }
 
 // Reset clears the writer for reuse without reallocating.
+//
+//age:hotpath
 func (w *Writer) Reset() {
 	w.buf = w.buf[:0]
 	w.nbit = 0
@@ -104,6 +112,8 @@ func (w *Writer) Reset() {
 // written bits fit in cap(dst) no allocation occurs; past that the buffer
 // grows as usual. Callers hand the writer a buffer they own (typically the
 // previous payload, truncated) to keep steady-state encoding allocation-free.
+//
+//age:hotpath
 func (w *Writer) ResetTo(dst []byte) {
 	w.buf = dst[:0]
 	w.nbit = 0
@@ -121,6 +131,8 @@ func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
 // Reset repoints the reader at buf, restarting at the first bit. It lets hot
 // paths keep a stack-allocated Reader instead of constructing one per payload.
+//
+//age:hotpath
 func (r *Reader) Reset(buf []byte) {
 	r.buf = buf
 	r.pos = 0
@@ -128,6 +140,8 @@ func (r *Reader) Reset(buf []byte) {
 }
 
 // ReadBits reads n bits (0..32) and returns them right-aligned.
+//
+//age:hotpath
 func (r *Reader) ReadBits(n int) (uint32, error) {
 	if n < 0 || n > 32 {
 		panic(fmt.Sprintf("bitio: ReadBits width %d out of range", n))
@@ -167,6 +181,8 @@ func (r *Reader) ReadUint16() (uint16, error) {
 }
 
 // Align skips to the next byte boundary.
+//
+//age:hotpath
 func (r *Reader) Align() {
 	if r.bit != 0 {
 		r.bit = 0

@@ -2,6 +2,7 @@ package bitio
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -101,7 +102,7 @@ func TestPadToPanicsOnOverflow(t *testing.T) {
 
 func TestReadBitsShortBuffer(t *testing.T) {
 	r := NewReader([]byte{0xFF})
-	if _, err := r.ReadBits(9); err != ErrShortBuffer {
+	if _, err := r.ReadBits(9); !errors.Is(err, ErrShortBuffer) {
 		t.Errorf("err = %v, want ErrShortBuffer", err)
 	}
 	// After a failed read the stream must be unchanged.

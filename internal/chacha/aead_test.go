@@ -2,6 +2,7 @@ package chacha
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -78,16 +79,16 @@ func TestAEADRejectsTampering(t *testing.T) {
 	for _, corrupt := range []int{0, len(sealed) / 2, len(sealed) - 1} {
 		bad := append([]byte(nil), sealed...)
 		bad[corrupt] ^= 0x01
-		if _, err := a.Open(nonce, bad, nil); err != ErrAuthFailed {
+		if _, err := a.Open(nonce, bad, nil); !errors.Is(err, ErrAuthFailed) {
 			t.Errorf("tampered byte %d accepted (err=%v)", corrupt, err)
 		}
 	}
 	// Wrong AAD must fail too.
-	if _, err := a.Open(nonce, sealed, []byte("x")); err != ErrAuthFailed {
+	if _, err := a.Open(nonce, sealed, []byte("x")); !errors.Is(err, ErrAuthFailed) {
 		t.Error("wrong AAD accepted")
 	}
 	// Too-short message.
-	if _, err := a.Open(nonce, sealed[:8], nil); err != ErrAuthFailed {
+	if _, err := a.Open(nonce, sealed[:8], nil); !errors.Is(err, ErrAuthFailed) {
 		t.Error("short message accepted")
 	}
 }

@@ -119,6 +119,8 @@ func (a *AGE) Encode(b Batch) ([]byte, error) { return a.AppendEncode(nil, b) }
 
 // AppendEncode implements AppendEncoder: it writes the payload into dst's
 // storage, allocating only when dst cannot hold TargetBytes.
+//
+//age:hotpath
 func (a *AGE) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	if err := b.Validate(a.cfg.T, a.cfg.D); err != nil {
 		return nil, err
@@ -172,6 +174,8 @@ func (a *AGE) Decode(payload []byte) (Batch, error) {
 // DecodeInto implements IntoDecoder: it overwrites *b, reusing its index and
 // value storage when capacities allow. On error *b's contents are
 // unspecified.
+//
+//age:hotpath
 func (a *AGE) DecodeInto(b *Batch, payload []byte) error {
 	if len(payload) != a.cfg.TargetBytes {
 		return fmt.Errorf("core: age decode: payload %dB, want exactly %dB: %w", len(payload), a.cfg.TargetBytes, ErrPayloadLength)

@@ -82,6 +82,8 @@ func (ic *instrumentedCodec) Encode(b Batch) ([]byte, error) {
 }
 
 // AppendEncode implements AppendEncoder.
+//
+//age:hotpath
 func (ic *instrumentedCodec) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	if ic.app == nil {
 		out, err := ic.enc.Encode(b)
@@ -119,6 +121,8 @@ func (ic *instrumentedCodec) Decode(payload []byte) (Batch, error) {
 }
 
 // DecodeInto implements IntoDecoder.
+//
+//age:hotpath
 func (ic *instrumentedCodec) DecodeInto(b *Batch, payload []byte) error {
 	if ic.into == nil {
 		got, err := ic.dec.Decode(payload)

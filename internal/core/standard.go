@@ -38,6 +38,8 @@ func (s *Standard) MaxPayloadBytes() int {
 func (s *Standard) Encode(b Batch) ([]byte, error) { return s.AppendEncode(nil, b) }
 
 // AppendEncode implements AppendEncoder.
+//
+//age:hotpath
 func (s *Standard) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	if err := b.Validate(s.cfg.T, s.cfg.D); err != nil {
 		return nil, err
@@ -64,6 +66,8 @@ func (s *Standard) Decode(payload []byte) (Batch, error) {
 }
 
 // DecodeInto implements IntoDecoder. On error *b's contents are unspecified.
+//
+//age:hotpath
 func (s *Standard) DecodeInto(b *Batch, payload []byte) error {
 	var r bitio.Reader
 	r.Reset(payload)
@@ -210,6 +214,8 @@ func (p *Padded) PayloadBytes() int { return p.max }
 func (p *Padded) Encode(b Batch) ([]byte, error) { return p.AppendEncode(nil, b) }
 
 // AppendEncode implements AppendEncoder.
+//
+//age:hotpath
 func (p *Padded) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	raw, err := p.std.AppendEncode(dst, b)
 	if err != nil {
@@ -233,6 +239,8 @@ func (p *Padded) Decode(payload []byte) (Batch, error) {
 }
 
 // DecodeInto implements IntoDecoder.
+//
+//age:hotpath
 func (p *Padded) DecodeInto(b *Batch, payload []byte) error {
 	if len(payload) != p.max {
 		return fmt.Errorf("core: padded decode: payload %dB, want exactly %dB: %w", len(payload), p.max, ErrPayloadLength)

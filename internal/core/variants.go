@@ -52,6 +52,8 @@ func singleHeaderBits(k, T int) int {
 func (s *Single) Encode(b Batch) ([]byte, error) { return s.AppendEncode(nil, b) }
 
 // AppendEncode implements AppendEncoder.
+//
+//age:hotpath
 func (s *Single) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	if err := b.Validate(s.cfg.T, s.cfg.D); err != nil {
 		return nil, err
@@ -99,6 +101,8 @@ func (s *Single) Decode(payload []byte) (Batch, error) {
 }
 
 // DecodeInto implements IntoDecoder. On error *b's contents are unspecified.
+//
+//age:hotpath
 func (s *Single) DecodeInto(b *Batch, payload []byte) error {
 	if len(payload) != s.cfg.TargetBytes {
 		return fmt.Errorf("core: single decode: payload %dB, want exactly %dB: %w", len(payload), s.cfg.TargetBytes, ErrPayloadLength)
@@ -202,6 +206,8 @@ func (u *Unshifted) headerBits(k, g int) int {
 func (u *Unshifted) Encode(b Batch) ([]byte, error) { return u.AppendEncode(nil, b) }
 
 // AppendEncode implements AppendEncoder.
+//
+//age:hotpath
 func (u *Unshifted) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	if err := b.Validate(u.cfg.T, u.cfg.D); err != nil {
 		return nil, err
@@ -274,6 +280,8 @@ func (u *Unshifted) Decode(payload []byte) (Batch, error) {
 }
 
 // DecodeInto implements IntoDecoder. On error *b's contents are unspecified.
+//
+//age:hotpath
 func (u *Unshifted) DecodeInto(b *Batch, payload []byte) error {
 	if len(payload) != u.cfg.TargetBytes {
 		return fmt.Errorf("core: unshifted decode: payload %dB, want exactly %dB: %w", len(payload), u.cfg.TargetBytes, ErrPayloadLength)
@@ -291,6 +299,7 @@ func (u *Unshifted) DecodeInto(b *Batch, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("core: unshifted decode group count: %w", err)
 	}
+	//age:allow hotpathalloc ablation decoder, outside the zero-alloc pin (alloc_test covers AGE/Standard); pooling here would only complicate the §6.2 comparison
 	groups := make([]group, gc)
 	total := 0
 	for i := range groups {
@@ -382,11 +391,14 @@ func (p *Pruned) maxKeep() int {
 func (p *Pruned) Encode(b Batch) ([]byte, error) { return p.AppendEncode(nil, b) }
 
 // AppendEncode implements AppendEncoder.
+//
+//age:hotpath
 func (p *Pruned) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	if err := b.Validate(p.cfg.T, p.cfg.D); err != nil {
 		return nil, err
 	}
 	sc := p.scratch.Get().(*ageScratch)
+	//age:allow hotpathalloc open-coded defer keeps this non-escaping closure off the heap; Pruned is an ablation outside the zero-alloc pin regardless
 	defer func() {
 		vals := sc.vals[:cap(sc.vals)]
 		clear(vals)
@@ -417,6 +429,8 @@ func (p *Pruned) Decode(payload []byte) (Batch, error) {
 }
 
 // DecodeInto implements IntoDecoder. On error *b's contents are unspecified.
+//
+//age:hotpath
 func (p *Pruned) DecodeInto(b *Batch, payload []byte) error {
 	if len(payload) != p.cfg.TargetBytes {
 		return fmt.Errorf("core: pruned decode: payload %dB, want exactly %dB: %w", len(payload), p.cfg.TargetBytes, ErrPayloadLength)

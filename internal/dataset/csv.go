@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -76,7 +77,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	want := 1 + d.Meta.SeqLen*d.Meta.NumFeatures
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

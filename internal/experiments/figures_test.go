@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestBinarizeSizesDeterministic is the regression test for the Figure 7 bug
+// the detrand analyzer caught: binarization used to range over SizesByLabel
+// directly, so bin 1's element order followed Go's randomized map iteration
+// and perturbed the attack's RNG draws. The helper must now concatenate
+// labels in sorted order on every call.
+func TestBinarizeSizesDeterministic(t *testing.T) {
+	in := map[int][]int{4: {40, 41}, 0: {1, 2}, 2: {20, 21}, 1: {10}, 3: {30}}
+	want0 := []int{1, 2}
+	want1 := []int{10, 20, 21, 30, 40, 41}
+	for i := 0; i < 64; i++ {
+		got := binarizeSizes(in)
+		if !slices.Equal(got[0], want0) {
+			t.Fatalf("run %d: bin 0 = %v, want %v", i, got[0], want0)
+		}
+		if !slices.Equal(got[1], want1) {
+			t.Fatalf("run %d: bin 1 = %v, want %v (order must follow sorted labels)", i, got[1], want1)
+		}
+		if len(got) != 2 {
+			t.Fatalf("run %d: bins = %d, want 2", i, len(got))
+		}
+	}
+}
+
+// TestBinarizeSizesEdges covers empty input and a lone seizure label.
+func TestBinarizeSizesEdges(t *testing.T) {
+	if got := binarizeSizes(map[int][]int{}); len(got) != 0 {
+		t.Errorf("empty input produced bins %v", got)
+	}
+	got := binarizeSizes(map[int][]int{0: {5}})
+	if !slices.Equal(got[0], []int{5}) || got[1] != nil {
+		t.Errorf("lone seizure label binarized to %v", got)
+	}
+}

@@ -77,6 +77,7 @@ func (c Config) sweep(ctx context.Context, labels []string, run func(ctx context
 					return
 				}
 				busy.Add(1)
+				//age:allow detrand cell-latency observability (PR-3 metrics); never feeds experiment results
 				start := time.Now()
 				err := run(cctx, i)
 				cellNs.ObserveSince(start)

@@ -138,6 +138,7 @@ func TestSweepCellContextPropagates(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	cfg := Config{Workers: 2}
+	//age:allow detrand hang-detection stopwatch in a test; not experiment data
 	start := time.Now()
 	err := cfg.sweep(ctx, []string{"a", "b", "c"}, func(ctx context.Context, i int) error {
 		<-ctx.Done() // must already be closed
@@ -146,6 +147,7 @@ func TestSweepCellContextPropagates(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v", err)
 	}
+	//age:allow detrand hang-detection stopwatch in a test; not experiment data
 	if time.Since(start) > 5*time.Second {
 		t.Error("sweep hung on canceled context")
 	}

@@ -66,8 +66,8 @@ func Table1(ctx context.Context, cfg Config) (*Table1Result, error) {
 			return err
 		}
 		perEvent := make([][]float64, len(res.Events))
-		for l, sizes := range run.SizesByLabel {
-			for _, s := range sizes {
+		for l := range perEvent {
+			for _, s := range run.SizesByLabel[l] {
 				perEvent[l] = append(perEvent[l], float64(s))
 			}
 		}
@@ -509,6 +509,7 @@ func Table8(ctx context.Context, cfg Config, datasets []string) (*Table8Result, 
 		}
 	}
 	res := &Table8Result{Pct: map[string]map[string]float64{}}
+	//age:allow detrand every write is keyed by the loop variables, so iteration order cannot change the result
 	for v, byPolicy := range diffs {
 		res.Pct[v] = map[string]float64{}
 		for pk, ds := range byPolicy {
@@ -612,6 +613,7 @@ func TableMCU(ctx context.Context, cfg Config, name string) (*MCUResult, error) 
 // attacker then only sees the remaining labels.
 func attackAccuracy(sizesByLabel map[int][]int, numClasses int, cfg Config, rng *rand.Rand) (acc, majority float64, err error) {
 	present := map[int][]int{}
+	//age:allow detrand key-indexed filter into a map; consumers (attack.BuildSamples) iterate labels in sorted order
 	for l, ss := range sizesByLabel {
 		if len(ss) > 0 {
 			present[l] = ss

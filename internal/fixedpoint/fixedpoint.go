@@ -72,6 +72,8 @@ type Value struct {
 // FromFloat quantizes x into format f, clamping to the representable range
 // and rounding to the nearest representable value (ties away from zero,
 // matching common MCU rounding).
+//
+//age:hotpath
 func FromFloat(x float64, f Format) Value {
 	scaled := x * math.Pow(2, float64(f.FracBits()))
 	r := math.Round(scaled)
@@ -87,6 +89,8 @@ func FromFloat(x float64, f Format) Value {
 }
 
 // Float returns the real value represented by v.
+//
+//age:hotpath
 func (v Value) Float() float64 {
 	return float64(v.Raw) * math.Pow(2, -float64(v.Format.FracBits()))
 }
@@ -103,6 +107,8 @@ func QuantizationError(x float64, f Format) float64 {
 // Bits returns the raw mantissa as an unsigned bit pattern of f.Width bits,
 // suitable for packing into a bit stream. The sign is stored in two's
 // complement truncated to the width.
+//
+//age:hotpath
 func (v Value) Bits() uint32 {
 	mask := uint32(1)<<uint(v.Format.Width) - 1
 	return uint32(v.Raw) & mask
@@ -110,6 +116,8 @@ func (v Value) Bits() uint32 {
 
 // FromBits reconstructs a Value from a two's-complement bit pattern of
 // f.Width bits.
+//
+//age:hotpath
 func FromBits(bits uint32, f Format) Value {
 	w := uint(f.Width)
 	mask := uint32(1)<<w - 1
@@ -124,6 +132,8 @@ func FromBits(bits uint32, f Format) Value {
 // NonFracBitsFor returns the minimum number of non-fractional bits (including
 // the sign bit) needed so that x fits in a signed format without clamping.
 // This is the value's "exponent" in the paper's terminology (§4.3).
+//
+//age:hotpath
 func NonFracBitsFor(x float64) int {
 	a := math.Abs(x)
 	n := 1 // sign bit alone represents [-1, 1)

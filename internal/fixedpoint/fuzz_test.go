@@ -1,0 +1,56 @@
+package fixedpoint
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantizeRoundTrip checks the quantizer across arbitrary values and
+// formats: Bits/FromBits must be lossless for any quantized value, in-range
+// inputs must land within half a resolution step (round-to-nearest), and
+// every output must respect the format's clamp range. This is the §4.1
+// contract the encoders build on — a sign-extension or clamp bug here skews
+// every reconstruction-error figure.
+func FuzzQuantizeRoundTrip(f *testing.F) {
+	// Seeds mirror the formats the paper's datasets use (Table 3) plus the
+	// extremes: 1-bit formats, coarse NonFrac > Width shapes, and boundaries.
+	f.Add(3.14159, uint8(16), uint8(3))
+	f.Add(-0.001, uint8(9), uint8(9))
+	f.Add(1e6, uint8(20), uint8(16))
+	f.Add(-1.0, uint8(1), uint8(1))
+	f.Add(0.0, uint8(32), uint8(1))
+	f.Add(1e300, uint8(16), uint8(3))
+	f.Add(7.5, uint8(8), uint8(12)) // NonFrac > Width: coarse resolution
+	f.Fuzz(func(t *testing.T, x float64, wb, nb uint8) {
+		fm := Format{Width: int(wb%MaxWidth) + 1, NonFrac: int(nb%MaxWidth) + 1}
+		if err := fm.Validate(); err != nil {
+			t.Fatalf("constructed format invalid: %v", err)
+		}
+		v := FromFloat(x, fm)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return // no-panic is the only property for non-finite inputs
+		}
+
+		// Lossless wire round-trip for any quantized value.
+		rt := FromBits(v.Bits(), fm)
+		if rt != v {
+			t.Fatalf("FromBits(Bits(%v)) = %v (x=%g, fmt=%v)", v, rt, x, fm)
+		}
+
+		// Clamp range: the represented value never escapes [Min, Max].
+		got := v.Float()
+		if got < fm.Min() || got > fm.Max() {
+			t.Fatalf("Float() = %g outside [%g, %g] (x=%g, fmt=%v)", got, fm.Min(), fm.Max(), x, fm)
+		}
+
+		// In-range inputs quantize within half a resolution step
+		// (round-to-nearest, ties away from zero). The tiny slack covers
+		// subnormal intermediates in the scale multiply.
+		if x >= fm.Min() && x <= fm.Max() {
+			if qe := QuantizationError(x, fm); qe > fm.Resolution()*0.5000001 {
+				t.Fatalf("quantization error %g > resolution/2 = %g (x=%g, fmt=%v)",
+					qe, fm.Resolution()/2, x, fm)
+			}
+		}
+	})
+}
