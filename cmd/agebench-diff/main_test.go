@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func mustParse(t *testing.T, s string) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(s), &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func defaultLimits() limits { return limits{maxRegress: 0.10, allocTolerance: 0.5} }
+
+const ingestBaseline = `{"frames_per_sec": 100000, "mb_per_sec": 50, "wall_seconds": 1.0}`
+
+func TestIngestWithinBaselinePasses(t *testing.T) {
+	cur := mustParse(t, `{"frames_per_sec": 95000, "mb_per_sec": 47}`)
+	rep, err := compare("ingest", mustParse(t, ingestBaseline), cur, kinds["ingest"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("5%% dip within the 10%% budget should pass: %+v", rep.Results)
+	}
+}
+
+func TestIngestTenPercentRegressionFails(t *testing.T) {
+	// 12% below baseline: past the 10% budget, the gate must go red.
+	cur := mustParse(t, `{"frames_per_sec": 88000, "mb_per_sec": 50}`)
+	rep, err := compare("ingest", mustParse(t, ingestBaseline), cur, kinds["ingest"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("12% throughput regression passed the gate")
+	}
+	var failed []string
+	for _, r := range rep.Results {
+		if !r.Pass {
+			failed = append(failed, r.Metric)
+		}
+	}
+	if len(failed) != 1 || failed[0] != "frames_per_sec" {
+		t.Errorf("failed metrics = %v, want [frames_per_sec]", failed)
+	}
+}
+
+func TestIngestImprovementPasses(t *testing.T) {
+	cur := mustParse(t, `{"frames_per_sec": 300000, "mb_per_sec": 150}`)
+	rep, err := compare("ingest", mustParse(t, ingestBaseline), cur, kinds["ingest"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("improvement flagged as regression: %+v", rep.Results)
+	}
+}
+
+const sweepBaseline = `{
+	"total_seconds": 60,
+	"encoder_ns_per_op": {"standard": 2000, "age": 5000},
+	"encoder_allocs_per_op": {"standard": 0, "age": 0}
+}`
+
+func TestSweepWithinBaselinePasses(t *testing.T) {
+	cur := mustParse(t, `{
+		"total_seconds": 64,
+		"encoder_ns_per_op": {"standard": 2100, "age": 5400},
+		"encoder_allocs_per_op": {"standard": 0, "age": 0.1}
+	}`)
+	rep, err := compare("sweep", mustParse(t, sweepBaseline), cur, kinds["sweep"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("within-budget sweep flagged: %+v", rep.Results)
+	}
+}
+
+func TestSweepLatencyRegressionFails(t *testing.T) {
+	// AGE encode 12% slower than baseline.
+	cur := mustParse(t, `{
+		"total_seconds": 60,
+		"encoder_ns_per_op": {"standard": 2000, "age": 5600},
+		"encoder_allocs_per_op": {"standard": 0, "age": 0}
+	}`)
+	rep, err := compare("sweep", mustParse(t, sweepBaseline), cur, kinds["sweep"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("12% encoder latency regression passed the gate")
+	}
+}
+
+func TestSweepAllocIncreaseFails(t *testing.T) {
+	// One real allocation per op on a zero-alloc pinned path: red even
+	// though every timing metric is fine.
+	cur := mustParse(t, `{
+		"total_seconds": 55,
+		"encoder_ns_per_op": {"standard": 1900, "age": 4800},
+		"encoder_allocs_per_op": {"standard": 0, "age": 1}
+	}`)
+	rep, err := compare("sweep", mustParse(t, sweepBaseline), cur, kinds["sweep"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("allocs/op increase passed the gate")
+	}
+	for _, r := range rep.Results {
+		if r.Metric == "encoder_allocs_per_op.age" && r.Pass {
+			t.Error("age allocs metric not the one that failed")
+		}
+	}
+}
+
+func TestMissingMetricIsAnError(t *testing.T) {
+	// A renamed or dropped field must break the gate loudly, not pass it.
+	cur := mustParse(t, `{"frames_per_sec": 100000}`)
+	if _, err := compare("ingest", mustParse(t, ingestBaseline), cur, kinds["ingest"], defaultLimits()); err == nil {
+		t.Fatal("missing mb_per_sec did not error")
+	}
+	base := mustParse(t, `{"frames_per_sec": 100000}`)
+	cur = mustParse(t, ingestBaseline)
+	if _, err := compare("ingest", base, cur, kinds["ingest"], defaultLimits()); err == nil {
+		t.Fatal("missing baseline metric did not error")
+	}
+}
+
+func TestNestedLookup(t *testing.T) {
+	m := mustParse(t, `{"a": {"b": 3.5}, "s": "x"}`)
+	v, err := lookup(m, "a.b")
+	if err != nil || v != 3.5 {
+		t.Errorf("lookup(a.b) = %v, %v", v, err)
+	}
+	if _, err := lookup(m, "a.c"); err == nil {
+		t.Error("missing nested key did not error")
+	}
+	if _, err := lookup(m, "s"); err == nil {
+		t.Error("non-numeric leaf did not error")
+	}
+	if _, err := lookup(m, "s.t"); err == nil {
+		t.Error("descending through a string did not error")
+	}
+}

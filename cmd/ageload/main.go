@@ -24,6 +24,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/fixedpoint"
 	"repro/internal/ingest"
 	"repro/internal/metrics"
 )
@@ -62,11 +64,97 @@ func (g *genSource) Total() int            { return g.total }
 func (g *genSource) Seek(resume int) error { g.next = resume; return nil }
 
 func (g *genSource) Next(ctx context.Context) ([]byte, error) {
+	// Honor cancellation: without this check a cancelled run would keep
+	// synthesizing frames until the transport noticed the closed socket.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i := range g.buf {
 		g.buf[i] = byte(g.sensorID*31 + g.next*7 + i)
 	}
 	g.next++
 	return g.buf, nil
+}
+
+// encSource synthesizes measurement batches and encodes them through a real
+// core encoder, exercising the production encode kernels inside the load
+// path. Frames are encoded in blocks with AppendEncodeBatchN so the per-
+// encode setup amortizes; payload storage is reused across blocks. Frame i's
+// content is a pure function of (sensor, i) — the LCG is reseeded from both
+// every frame — so Seek satisfies the resume contract exactly.
+type encSource struct {
+	sensorID int
+	total    int
+	next     int
+	enc      core.BatchAppendEncoder
+	cfg      core.Config
+
+	block   []core.Batch // reusable batch templates, len = block size
+	dsts    [][]byte     // payload storage, parallel to block
+	start   int          // frame index of dsts[0], -1 when the cache is cold
+	cached  int          // valid frames in dsts
+	lastErr error
+}
+
+func newEncSource(sensorID, total, block int, enc core.BatchAppendEncoder, cfg core.Config) *encSource {
+	s := &encSource{sensorID: sensorID, total: total, enc: enc, cfg: cfg, start: -1}
+	k := cfg.T / 2
+	if k < 1 {
+		k = 1
+	}
+	s.block = make([]core.Batch, block)
+	for i := range s.block {
+		b := core.Batch{Indices: make([]int, k), Values: make([][]float64, k)}
+		for j := range b.Indices {
+			b.Indices[j] = j * cfg.T / k
+			b.Values[j] = make([]float64, cfg.D)
+		}
+		s.block[i] = b
+	}
+	return s
+}
+
+func (s *encSource) Total() int { return s.total }
+
+func (s *encSource) Seek(resume int) error {
+	s.next = resume
+	return nil
+}
+
+// fillBatch overwrites slot's values deterministically from (sensor, frame).
+func (s *encSource) fillBatch(slot, frame int) {
+	x := uint32(s.sensorID)*2654435761 + uint32(frame)*40503 + 1
+	max := s.cfg.Format.Max()
+	for _, row := range s.block[slot].Values {
+		for j := range row {
+			x = x*1664525 + 1013904223
+			row[j] = (float64(int32(x)) / float64(1<<31)) * max
+		}
+	}
+}
+
+func (s *encSource) Next(ctx context.Context) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.start < 0 || s.next < s.start || s.next >= s.start+s.cached {
+		n := s.total - s.next
+		if n > len(s.block) {
+			n = len(s.block)
+		}
+		for i := 0; i < n; i++ {
+			s.fillBatch(i, s.next+i)
+		}
+		var err error
+		s.dsts, err = s.enc.AppendEncodeBatchN(s.dsts, s.block[:n])
+		if err != nil {
+			return nil, ingest.Terminal(fmt.Errorf("encode frame %d: %w", s.next, err))
+		}
+		s.start, s.cached = s.next, n
+	}
+	msg := s.dsts[s.next-s.start]
+	s.next++
+	return msg, nil
 }
 
 // percentiles summarizes a latency distribution in milliseconds.
@@ -81,6 +169,9 @@ func summarize(durs []time.Duration) percentiles {
 	if len(durs) == 0 {
 		return percentiles{}
 	}
+	// Sort a copy: summarize is an observer, and reordering the caller's
+	// slice would silently corrupt any index-aligned bookkeeping around it.
+	durs = append([]time.Duration(nil), durs...)
 	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
 	at := func(p float64) float64 {
 		idx := int(p*float64(len(durs))+0.5) - 1
@@ -102,12 +193,14 @@ func summarize(durs []time.Duration) percentiles {
 
 // report is the -out JSON payload.
 type report struct {
-	Sensors         int `json:"sensors"`
-	FramesPerSensor int `json:"frames_per_sensor"`
-	FrameBytes      int `json:"frame_bytes"`
-	Shards          int `json:"shards"`
-	WorkersPerShard int `json:"workers_per_shard"`
-	QueueDepth      int `json:"queue_depth"`
+	Sensors         int    `json:"sensors"`
+	FramesPerSensor int    `json:"frames_per_sensor"`
+	FrameBytes      int    `json:"frame_bytes"`
+	Shards          int    `json:"shards"`
+	WorkersPerShard int    `json:"workers_per_shard"`
+	QueueDepth      int    `json:"queue_depth"`
+	WriteBatch      int    `json:"write_batch"`
+	EncodeMode      string `json:"encode_mode"`
 
 	WallSeconds    float64     `json:"wall_seconds"`
 	FramesPerSec   float64     `json:"frames_per_sec"`
@@ -133,6 +226,9 @@ func main() {
 		workers = flag.Int("workers", 64, "workers per shard (concurrent sessions = shards*workers)")
 		queue   = flag.Int("queue", 128, "per-shard pending-connection queue depth")
 
+		writeBatch = flag.Int("write-batch", 8, "frames gathered into one TCP write per client")
+		encode     = flag.String("encode", "none", "frame content: none (stamped bytes), age, or standard (encode synthetic batches through the production kernels)")
+
 		ioTimeout      = flag.Duration("io-timeout", 5*time.Second, "per-frame read/write deadline")
 		rejectAttempts = flag.Int("reject-attempts", 64, "client budget for transient server rejects")
 		reconnects     = flag.Int("reconnect-attempts", 2, "client budget for redial+resume after a dropped link")
@@ -142,6 +238,30 @@ func main() {
 	flag.Parse()
 	if *sensors <= 0 || *frames <= 0 || *frameBytes <= 0 {
 		log.Fatal("ageload: -sensors, -frames, and -frame-bytes must be positive")
+	}
+
+	// In encode mode every frame is a real encoded payload: a Q3.13
+	// activity-style task sized so AGE's fixed message is about -frame-bytes.
+	var encCfg core.Config
+	var newEncoder func() (core.BatchAppendEncoder, error)
+	switch *encode {
+	case "none":
+	case "age", "standard":
+		encCfg = core.Config{
+			T: 50, D: 6,
+			Format:      fixedpoint.Format{Width: 16, NonFrac: 3},
+			TargetBytes: *frameBytes,
+		}
+		if *encode == "age" {
+			newEncoder = func() (core.BatchAppendEncoder, error) { return core.NewAGE(encCfg) }
+		} else {
+			newEncoder = func() (core.BatchAppendEncoder, error) { return core.NewStandard(encCfg) }
+		}
+		if _, err := newEncoder(); err != nil {
+			log.Fatalf("ageload: -encode %s with -frame-bytes %d: %v", *encode, *frameBytes, err)
+		}
+	default:
+		log.Fatalf("ageload: unknown -encode mode %q (want none, age, or standard)", *encode)
 	}
 
 	reg := metrics.NewRegistry()
@@ -186,9 +306,24 @@ func main() {
 				DialAttempts:      6,
 				RejectAttempts:    *rejectAttempts,
 				ReconnectAttempts: *reconnects,
+				WriteBatch:        *writeBatch,
 				Metrics:           reg,
 			})
-			src := &genSource{sensorID: id, total: *frames, buf: make([]byte, *frameBytes)}
+			var src ingest.FrameSource
+			if newEncoder != nil {
+				enc, err := newEncoder()
+				if err != nil {
+					errs[id] = err
+					return
+				}
+				block := *writeBatch
+				if block < 1 {
+					block = 1
+				}
+				src = newEncSource(id, *frames, block, enc, encCfg)
+			} else {
+				src = &genSource{sensorID: id, total: *frames, buf: make([]byte, *frameBytes)}
+			}
 			t0 := time.Now()
 			stats, err := client.Run(ctx, src)
 			durs[id] = time.Since(t0)
@@ -216,6 +351,8 @@ func main() {
 		Shards:          *shards,
 		WorkersPerShard: *workers,
 		QueueDepth:      *queue,
+		WriteBatch:      *writeBatch,
+		EncodeMode:      *encode,
 		WallSeconds:     wall.Seconds(),
 		SoftRejects:     softRejects.Load(),
 		Reconnects:      reconnectCount.Load(),

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fixedpoint"
+)
+
+// TestSummarizeLeavesInputUnsorted is the regression test for summarize
+// reordering the caller's slice: percentile computation must not disturb
+// index-aligned latency bookkeeping.
+func TestSummarizeLeavesInputUnsorted(t *testing.T) {
+	durs := []time.Duration{
+		9 * time.Millisecond, 1 * time.Millisecond, 5 * time.Millisecond,
+		3 * time.Millisecond, 7 * time.Millisecond,
+	}
+	orig := append([]time.Duration(nil), durs...)
+	p := summarize(durs)
+	for i := range durs {
+		if durs[i] != orig[i] {
+			t.Fatalf("summarize reordered its input: %v, want %v", durs, orig)
+		}
+	}
+	if p.Max != 9 {
+		t.Errorf("max = %vms, want 9", p.Max)
+	}
+	if p.P50 != 5 {
+		t.Errorf("p50 = %vms, want 5", p.P50)
+	}
+}
+
+// TestGenSourceHonorsCancellation is the regression test for genSource.Next
+// ignoring its context: a cancelled run must stop producing frames instead
+// of spinning until the transport notices.
+func TestGenSourceHonorsCancellation(t *testing.T) {
+	g := &genSource{sensorID: 1, total: 10, buf: make([]byte, 32)}
+	ctx, cancel := context.WithCancel(context.Background())
+	if _, err := g.Next(ctx); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	cancel()
+	if _, err := g.Next(ctx); err == nil {
+		t.Fatal("Next returned a frame after cancellation")
+	}
+	if g.next != 1 {
+		t.Errorf("cancelled Next advanced the cursor: next = %d, want 1", g.next)
+	}
+}
+
+// TestEncSourceResumeContract pins the FrameSource resume contract for the
+// encoding source: frame i's payload must be a pure function of (sensor, i),
+// so a Seek past delivered frames reproduces the identical byte stream, and
+// distinct sensors or frames must differ.
+func TestEncSourceResumeContract(t *testing.T) {
+	cfg := core.Config{
+		T: 50, D: 6,
+		Format:      fixedpoint.Format{Width: 16, NonFrac: 3},
+		TargetBytes: 64,
+	}
+	mk := func(sensor int) *encSource {
+		enc, err := core.NewAGE(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return newEncSource(sensor, 12, 5, enc, cfg)
+	}
+	ctx := context.Background()
+	a := mk(3)
+	straight := make([][]byte, 12)
+	for i := range straight {
+		msg, err := a.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		straight[i] = append([]byte(nil), msg...)
+		if len(msg) != cfg.TargetBytes {
+			t.Fatalf("frame %d is %dB, want the fixed %dB", i, len(msg), cfg.TargetBytes)
+		}
+	}
+	b := mk(3)
+	if err := b.Seek(7); err != nil {
+		t.Fatal(err)
+	}
+	for i := 7; i < 12; i++ {
+		msg, err := b.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(msg, straight[i]) {
+			t.Fatalf("frame %d after Seek differs from the straight run", i)
+		}
+	}
+	other := mk(4)
+	msg, err := other.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(msg, straight[0]) {
+		t.Error("different sensors produced identical frame 0")
+	}
+	if bytes.Equal(straight[0], straight[1]) {
+		t.Error("consecutive frames identical; generator is not frame-dependent")
+	}
+	ctx2, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mk(5).Next(ctx2); err == nil {
+		t.Error("encSource.Next ignored cancellation")
+	}
+}

@@ -41,11 +41,12 @@ import (
 // benchReport is the -bench-json payload: per-experiment wall-clock plus the
 // Sec 5.8 encoder timings, for CI trend tracking.
 type benchReport struct {
-	Workers           int                `json:"workers"`
-	GOMAXPROCS        int                `json:"gomaxprocs"`
-	ExperimentSeconds map[string]float64 `json:"experiment_seconds"`
-	TotalSeconds      float64            `json:"total_seconds"`
-	EncoderNsPerOp    map[string]float64 `json:"encoder_ns_per_op,omitempty"`
+	Workers            int                `json:"workers"`
+	GOMAXPROCS         int                `json:"gomaxprocs"`
+	ExperimentSeconds  map[string]float64 `json:"experiment_seconds"`
+	TotalSeconds       float64            `json:"total_seconds"`
+	EncoderNsPerOp     map[string]float64 `json:"encoder_ns_per_op,omitempty"`
+	EncoderAllocsPerOp map[string]float64 `json:"encoder_allocs_per_op,omitempty"`
 }
 
 func main() {
@@ -192,6 +193,7 @@ func main() {
 		}
 		report.ExperimentSeconds["sec58"] = time.Since(s58Start).Seconds()
 		report.EncoderNsPerOp = map[string]float64{"standard": res.StandardNs, "age": res.AGENs}
+		report.EncoderAllocsPerOp = map[string]float64{"standard": res.StandardAllocs, "age": res.AGEAllocs}
 		fmt.Println(res.String())
 		ran = true
 	}

@@ -38,12 +38,19 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		Require: map[string][]string{
-			"repro/internal/core": {"AppendEncode", "DecodeInto"},
+			"repro/internal/core": {
+				"AppendEncode", "DecodeInto", "AppendEncodeBatchN", "appendEncode",
+			},
 			"repro/internal/bitio": {
 				"WriteBits", "ReadBits", "Align", "PadTo", "Reset", "ResetTo",
+				// Word-at-a-time kernels and the streaming run accumulator.
+				"WriteBits64", "ReadBits64", "WriteRun", "ReadRun",
+				"StartRun", "Add", "Flush",
 			},
 			"repro/internal/fixedpoint": {
 				"FromFloat", "FromBits", "Bits", "Float", "NonFracBitsFor",
+				// Precomputed quantizer/dequantizer kernels.
+				"Raw",
 			},
 		},
 	}

@@ -4,9 +4,19 @@
 // the encoder needs a stream that can emit, say, 5-bit and 6-bit fields
 // back-to-back with no padding between them. Bits are written MSB-first
 // within each byte, the natural order for radio payload layouts.
+//
+// The kernels are word-at-a-time: writes stage up to 64 bits in a register
+// and append whole bytes with one big-endian store, reads extract fields from
+// a single 64-bit load while at least 8 bytes remain. WriteRun/ReadRun and
+// the streaming RunWriter amortize even that per-field bookkeeping across a
+// fixed-width run, which is the shape of every encoder's value block. The
+// original per-byte scalar loops survive in the test suite as the oracle for
+// the differential fuzz targets; wire output is bit-identical by
+// construction and pinned by fuzzing and core's golden vectors.
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -34,21 +44,145 @@ func (w *Writer) WriteBits(v uint32, n int) {
 	if n < 0 || n > 32 {
 		panic(fmt.Sprintf("bitio: WriteBits width %d out of range", n))
 	}
-	for n > 0 {
-		if w.nbit == 0 {
-			w.buf = append(w.buf, 0)
-		}
-		free := 8 - w.nbit // free bits in the current byte
-		take := uint(n)
+	w.writeWord(uint64(v), uint(n))
+}
+
+// WriteBits64 appends the low n bits of v, MSB-first. n must be in [0, 64].
+//
+//age:hotpath
+func (w *Writer) WriteBits64(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits64 width %d out of range", n))
+	}
+	w.writeWord(v, uint(n))
+}
+
+// writeWord is the word-at-a-time core of every write: it completes the
+// current partial byte, then stages the remaining bits MSB-aligned in one
+// uint64 and appends them as whole bytes with a single big-endian store.
+// Bits of v at positions >= n are ignored.
+//
+//age:hotpath
+func (w *Writer) writeWord(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if w.nbit != 0 {
+		free := 8 - w.nbit
+		take := n
 		if take > free {
 			take = free
 		}
-		// Extract the top `take` of the remaining n bits of v.
-		chunk := byte(v >> uint(n-int(take)) & (1<<take - 1))
+		chunk := byte(v>>(n-take)) & (1<<take - 1)
 		w.buf[len(w.buf)-1] |= chunk << (free - take)
 		w.nbit = (w.nbit + take) % 8
-		n -= int(take)
+		n -= take
+		if n == 0 {
+			return
+		}
 	}
+	// Byte-aligned now; n <= 64 bits remain. A partially filled final byte
+	// keeps its low bits zero, preserving the OR-into-partial invariant.
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v<<(64-n))
+	w.buf = append(w.buf, tmp[:(n+7)/8]...)
+	w.nbit = n % 8
+}
+
+// WriteRun appends every element of vs at the same fixed width, MSB-first.
+// It is equivalent to calling WriteBits64 per element but amortizes the
+// staging across the whole run. width must be in [0, 64].
+//
+//age:hotpath
+func (w *Writer) WriteRun(vs []uint64, width int) {
+	rw := w.StartRun(width)
+	for _, v := range vs {
+		rw.Add(v)
+	}
+	rw.Flush()
+}
+
+// RunWriter streams fixed-width values into a Writer through a 64-bit
+// accumulator, flushing eight bytes at a time. It exists so encoders can
+// fuse quantization and packing: quantize one value, Add it, never build an
+// intermediate slice of bit patterns.
+//
+// Between StartRun and Flush the parent Writer must not be used directly —
+// the pending bits live in the RunWriter. Flush restores the Writer's
+// invariants and must always be called, even after zero Adds.
+type RunWriter struct {
+	w     *Writer
+	width uint
+	mask  uint64
+	acc   uint64 // pending bits, MSB-aligned
+	nacc  uint   // pending bit count (0..63)
+}
+
+// StartRun begins a fixed-width run on w. width must be in [0, 64].
+//
+//age:hotpath
+func (w *Writer) StartRun(width int) RunWriter {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitio: StartRun width %d out of range", width))
+	}
+	rw := RunWriter{w: w, width: uint(width), mask: ^uint64(0)}
+	if width < 64 {
+		rw.mask = 1<<uint(width) - 1
+	}
+	// Absorb the writer's partial byte into the accumulator; its low bits
+	// are zero by invariant.
+	if w.nbit != 0 {
+		last := len(w.buf) - 1
+		rw.acc = uint64(w.buf[last]) << 56
+		rw.nacc = w.nbit
+		w.buf = w.buf[:last]
+		w.nbit = 0
+	}
+	return rw
+}
+
+// Add appends the low width bits of v to the run.
+//
+//age:hotpath
+func (rw *RunWriter) Add(v uint64) {
+	v &= rw.mask
+	n := rw.width
+	if rw.nacc+n < 64 {
+		rw.acc |= v << (64 - rw.nacc - n)
+		rw.nacc += n
+		return
+	}
+	// The value completes (or overflows) the accumulator: emit 64 bits.
+	hi := 64 - rw.nacc // bits of v that fit (1..64)
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], rw.acc|v>>(n-hi))
+	rw.w.buf = append(rw.w.buf, tmp[:]...)
+	rem := n - hi // 0..63
+	rw.acc = v << (64 - rem)
+	if rem == 0 {
+		rw.acc = 0
+	}
+	rw.nacc = rem
+}
+
+// Flush drains the pending bits back into the Writer, re-establishing its
+// invariants. The RunWriter must not be used afterwards.
+//
+//age:hotpath
+func (rw *RunWriter) Flush() {
+	n := rw.nacc
+	if nb := n / 8; nb > 0 {
+		var tmp [8]byte
+		binary.BigEndian.PutUint64(tmp[:], rw.acc)
+		rw.w.buf = append(rw.w.buf, tmp[:nb]...)
+		rw.acc <<= nb * 8
+		n -= nb * 8
+	}
+	if n > 0 {
+		rw.w.buf = append(rw.w.buf, byte(rw.acc>>56))
+	}
+	rw.w.nbit = n
+	rw.acc, rw.nacc = 0, 0
 }
 
 // WriteByte appends a full byte.
@@ -65,7 +199,7 @@ func (w *Writer) WriteUint16(v uint16) { w.WriteBits(uint32(v), 16) }
 //age:hotpath
 func (w *Writer) Align() {
 	if w.nbit != 0 {
-		w.WriteBits(0, int(8-w.nbit))
+		w.nbit = 0
 	}
 }
 
@@ -97,7 +231,10 @@ func (w *Writer) BitLen() int {
 }
 
 // Bytes returns the accumulated buffer. The final partial byte, if any, is
-// zero-padded. The returned slice aliases the Writer's storage.
+// zero-padded. The returned slice aliases the Writer's CURRENT storage: it
+// is only valid until the next write that grows the buffer past its
+// capacity, and is invalidated entirely by Reset/ResetTo. Callers that keep
+// a payload across further writer use must copy it.
 func (w *Writer) Bytes() []byte { return w.buf }
 
 // Reset clears the writer for reuse without reallocating.
@@ -110,8 +247,11 @@ func (w *Writer) Reset() {
 
 // ResetTo clears the writer and makes it write into dst's storage. While the
 // written bits fit in cap(dst) no allocation occurs; past that the buffer
-// grows as usual. Callers hand the writer a buffer they own (typically the
-// previous payload, truncated) to keep steady-state encoding allocation-free.
+// grows as usual — and from that point the writer's storage no longer
+// aliases dst. Callers hand the writer a buffer they own (typically the
+// previous payload, truncated) to keep steady-state encoding allocation-free,
+// and MUST take the result from Bytes() rather than re-reading dst: after
+// growth, dst still holds the stale previous contents.
 //
 //age:hotpath
 func (w *Writer) ResetTo(dst []byte) {
@@ -146,26 +286,99 @@ func (r *Reader) ReadBits(n int) (uint32, error) {
 	if n < 0 || n > 32 {
 		panic(fmt.Sprintf("bitio: ReadBits width %d out of range", n))
 	}
-	if r.Remaining() < n {
+	// Fast path: one 64-bit load covers bit+n <= 39 bits whenever 8 bytes
+	// remain, so no per-byte loop and no separate bounds bookkeeping.
+	if r.pos+8 <= len(r.buf) {
+		word := binary.BigEndian.Uint64(r.buf[r.pos:])
+		v := uint32(word << r.bit >> (64 - uint(n)))
+		t := r.bit + uint(n)
+		r.pos += int(t >> 3)
+		r.bit = t & 7
+		return v, nil
+	}
+	v, err := r.readTail(uint(n))
+	return uint32(v), err
+}
+
+// ReadBits64 reads n bits (0..64) and returns them right-aligned.
+//
+//age:hotpath
+func (r *Reader) ReadBits64(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitio: ReadBits64 width %d out of range", n))
+	}
+	if t := r.bit + uint(n); t <= 64 && r.pos+8 <= len(r.buf) {
+		word := binary.BigEndian.Uint64(r.buf[r.pos:])
+		v := word << r.bit >> (64 - uint(n))
+		r.pos += int(t >> 3)
+		r.bit = t & 7
+		return v, nil
+	} else if t > 64 && r.pos+9 <= len(r.buf) {
+		// The field straddles the 64-bit window: splice in the top bits of
+		// the ninth byte.
+		word := binary.BigEndian.Uint64(r.buf[r.pos:])
+		ex := t - 64 // 1..7
+		v := word<<r.bit>>(64-uint(n)) | uint64(r.buf[r.pos+8])>>(8-ex)
+		r.pos += int(t >> 3)
+		r.bit = t & 7
+		return v, nil
+	}
+	return r.readTail(uint(n))
+}
+
+// readTail is the scalar per-byte read used within the last 8 bytes of the
+// buffer, where a whole-word load would run past the end.
+func (r *Reader) readTail(n uint) (uint64, error) {
+	if uint(r.Remaining()) < n {
 		return 0, ErrShortBuffer
 	}
-	var v uint32
+	var v uint64
 	for n > 0 {
 		avail := 8 - r.bit
-		take := uint(n)
+		take := n
 		if take > avail {
 			take = avail
 		}
-		chunk := uint32(r.buf[r.pos]>>(avail-take)) & (1<<take - 1)
+		chunk := uint64(r.buf[r.pos]>>(avail-take)) & (1<<take - 1)
 		v = v<<take | chunk
 		r.bit += take
 		if r.bit == 8 {
 			r.bit = 0
 			r.pos++
 		}
-		n -= int(take)
+		n -= take
 	}
 	return v, nil
+}
+
+// ReadRun fills dst with len(dst) consecutive fields of the given width.
+// If the stream holds fewer than len(dst)*width bits it fails with
+// ErrShortBuffer before consuming anything. width must be in [0, 64].
+//
+//age:hotpath
+func (r *Reader) ReadRun(dst []uint64, width int) error {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitio: ReadRun width %d out of range", width))
+	}
+	if r.Remaining() < width*len(dst) {
+		return ErrShortBuffer
+	}
+	n := uint(width)
+	for i := range dst {
+		if t := r.bit + n; t <= 64 && r.pos+8 <= len(r.buf) {
+			word := binary.BigEndian.Uint64(r.buf[r.pos:])
+			dst[i] = word << r.bit >> (64 - n)
+			r.pos += int(t >> 3)
+			r.bit = t & 7
+			continue
+		}
+		v, err := r.ReadBits64(width)
+		if err != nil {
+			return err // unreachable: the run was bounds-checked up front
+		}
+		dst[i] = v
+	}
+	return nil
 }
 
 // ReadByte reads 8 bits as a byte.

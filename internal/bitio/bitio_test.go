@@ -262,3 +262,37 @@ func BenchmarkReadBits(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkWriteRun(b *testing.B) {
+	vals := make([]uint64, 1000)
+	for i := range vals {
+		vals[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	w := NewWriter(16 * 1024)
+	b.ReportAllocs()
+	b.SetBytes(13 * 1000 / 8)
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		w.WriteRun(vals, 13)
+	}
+}
+
+func BenchmarkReadRun(b *testing.B) {
+	w := NewWriter(16 * 1024)
+	vals := make([]uint64, 1000)
+	for i := range vals {
+		vals[i] = uint64(i) & (1<<13 - 1)
+	}
+	w.WriteRun(vals, 13)
+	buf := w.Bytes()
+	dst := make([]uint64, 1000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.SetBytes(13 * 1000 / 8)
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		if err := r.ReadRun(dst, 13); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

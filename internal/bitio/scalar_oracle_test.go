@@ -1,0 +1,74 @@
+package bitio
+
+// The pre-rewrite per-byte kernels, kept verbatim (generalized to 64-bit
+// values) as the oracle for the differential fuzz targets. The word-at-a-time
+// production kernels must match this implementation bit-for-bit for every
+// width, value, and alignment; any divergence is a wire-format break.
+
+type scalarWriter struct {
+	buf  []byte
+	nbit uint
+}
+
+func (w *scalarWriter) writeBits(v uint64, n int) {
+	for n > 0 {
+		if w.nbit == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		free := 8 - w.nbit
+		take := uint(n)
+		if take > free {
+			take = free
+		}
+		chunk := byte(v >> uint(n-int(take)) & (1<<take - 1))
+		w.buf[len(w.buf)-1] |= chunk << (free - take)
+		w.nbit = (w.nbit + take) % 8
+		n -= int(take)
+	}
+}
+
+func (w *scalarWriter) align() {
+	if w.nbit != 0 {
+		w.writeBits(0, int(8-w.nbit))
+	}
+}
+
+func (w *scalarWriter) bitLen() int {
+	if w.nbit == 0 {
+		return len(w.buf) * 8
+	}
+	return (len(w.buf)-1)*8 + int(w.nbit)
+}
+
+type scalarReader struct {
+	buf []byte
+	pos int
+	bit uint
+}
+
+func (r *scalarReader) remaining() int {
+	return (len(r.buf)-r.pos)*8 - int(r.bit)
+}
+
+func (r *scalarReader) readBits(n int) (uint64, error) {
+	if r.remaining() < n {
+		return 0, ErrShortBuffer
+	}
+	var v uint64
+	for n > 0 {
+		avail := 8 - r.bit
+		take := uint(n)
+		if take > avail {
+			take = avail
+		}
+		chunk := uint64(r.buf[r.pos]>>(avail-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		r.bit += take
+		if r.bit == 8 {
+			r.bit = 0
+			r.pos++
+		}
+		n -= int(take)
+	}
+	return v, nil
+}

@@ -1,0 +1,170 @@
+package bitio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestWriteBits64RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40) + 1
+		widths := make([]int, n)
+		values := make([]uint64, n)
+		w := NewWriter(0)
+		for i := range widths {
+			widths[i] = rng.Intn(64) + 1
+			values[i] = rng.Uint64() & (^uint64(0) >> (64 - uint(widths[i])))
+			w.WriteBits64(values[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range widths {
+			got, err := r.ReadBits64(widths[i])
+			if err != nil || got != values[i] {
+				t.Fatalf("trial %d field %d (width %d) = %#x, %v; want %#x",
+					trial, i, widths[i], got, err, values[i])
+			}
+		}
+	}
+}
+
+func TestWriteRunReadRunRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, width := range []int{1, 2, 5, 7, 8, 13, 16, 31, 32, 33, 48, 63, 64} {
+		for _, lead := range []int{0, 3} { // aligned and mid-byte starts
+			w := NewWriter(0)
+			if lead > 0 {
+				w.WriteBits(0b101, lead)
+			}
+			vals := make([]uint64, 37)
+			mask := ^uint64(0) >> (64 - uint(width))
+			for i := range vals {
+				vals[i] = rng.Uint64() & mask
+			}
+			w.WriteRun(vals, width)
+			if want := lead + width*len(vals); w.BitLen() != want {
+				t.Fatalf("width %d lead %d: BitLen = %d, want %d", width, lead, w.BitLen(), want)
+			}
+			r := NewReader(w.Bytes())
+			if lead > 0 {
+				if _, err := r.ReadBits(lead); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := make([]uint64, len(vals))
+			if err := r.ReadRun(got, width); err != nil {
+				t.Fatalf("width %d lead %d: %v", width, lead, err)
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					t.Fatalf("width %d lead %d field %d = %#x, want %#x", width, lead, i, got[i], vals[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunWriterMatchesWriteBits pins the fused streaming path to the
+// field-at-a-time path: interleaving runs with ordinary writes must produce
+// the same bytes either way.
+func TestRunWriterMatchesWriteBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 30; trial++ {
+		a, b := NewWriter(0), NewWriter(0)
+		for seg := 0; seg < 5; seg++ {
+			hdr := uint32(rng.Intn(256))
+			a.WriteBits(hdr, 11)
+			b.WriteBits(hdr, 11)
+			width := rng.Intn(64) + 1
+			mask := ^uint64(0) >> (64 - uint(width))
+			n := rng.Intn(20)
+			rw := a.StartRun(width)
+			for i := 0; i < n; i++ {
+				v := rng.Uint64()
+				rw.Add(v)
+				b.WriteBits64(v&mask, width)
+			}
+			rw.Flush()
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) || a.BitLen() != b.BitLen() {
+			t.Fatalf("trial %d: RunWriter bytes diverge from WriteBits64", trial)
+		}
+	}
+}
+
+func TestReadRunShortBuffer(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xABCD, 16)
+	r := NewReader(w.Bytes())
+	dst := make([]uint64, 3)
+	if err := r.ReadRun(dst, 7); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+	if r.Remaining() != 16 {
+		t.Fatalf("failed ReadRun consumed bits: remaining %d, want 16", r.Remaining())
+	}
+	if err := r.ReadRun(dst[:2], 8); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0xAB || dst[1] != 0xCD {
+		t.Fatalf("ReadRun = %#x %#x", dst[0], dst[1])
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewWriter(0).WriteBits64(0, 65) },
+		func() { NewWriter(0).WriteRun(nil, -1) },
+		func() { NewWriter(0).StartRun(65) },
+		func() { NewReader(nil).ReadBits64(65) },        //nolint:errcheck
+		func() { NewReader(nil).ReadRun(nil, 65) },      //nolint:errcheck
+		func() { _, _ = NewReader(nil).ReadBits64(-1) }, // negative widths too
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic on out-of-range width", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestResetToGrowthAliasing is the regression test for the ResetTo aliasing
+// hazard: once the writer grows past cap(dst), the writer's storage detaches
+// from dst — a caller that keeps reading dst instead of Bytes() sees stale
+// bytes. The test pins the documented contract: Bytes() is authoritative,
+// dst is not.
+func TestResetToGrowthAliasing(t *testing.T) {
+	dst := make([]byte, 2, 2)
+	dst[0], dst[1] = 0xEE, 0xEE
+	w := NewWriter(0)
+	w.ResetTo(dst)
+	for i := 0; i < 4; i++ { // 4 bytes: grows past cap(dst)=2
+		w.WriteBits(uint32(0xA0+i), 8)
+	}
+	got := w.Bytes()
+	if len(got) != 4 {
+		t.Fatalf("Len = %d, want 4", len(got))
+	}
+	for i, b := range got {
+		if b != byte(0xA0+i) {
+			t.Fatalf("Bytes() = %x, want a0a1a2a3", got)
+		}
+	}
+	if &got[0] == &dst[0] {
+		t.Fatal("writer still aliases dst after growing past its capacity")
+	}
+	// The hazard itself: dst retains whatever the writer left before the
+	// growth reallocation. Nothing written after the growth lands in dst,
+	// so callers must never treat dst as the payload.
+	if dst[0] == 0xA0 && dst[1] == 0xA1 {
+		// dst may legitimately hold the first two bytes (written pre-growth)
+		// but must NOT be assumed to: this branch documents, not asserts.
+		t.Log("dst holds pre-growth prefix; post-growth bytes are elsewhere")
+	}
+}

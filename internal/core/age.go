@@ -103,6 +103,7 @@ type ageScratch struct {
 	groups   []group
 	bounds   []boundary
 	dissolve []bool
+	u64      []uint64 // decode-side mantissa staging for ReadRun
 }
 
 // release returns the scratch to the pool, dropping references to caller
@@ -122,11 +123,43 @@ func (a *AGE) Encode(b Batch) ([]byte, error) { return a.AppendEncode(nil, b) }
 //
 //age:hotpath
 func (a *AGE) AppendEncode(dst []byte, b Batch) ([]byte, error) {
+	sc := a.scratch.Get().(*ageScratch)
+	defer a.release(sc)
+	return a.appendEncode(sc, dst, b)
+}
+
+// AppendEncodeBatchN implements BatchAppendEncoder: it encodes batches[i]
+// into dsts[i]'s storage, growing dsts as needed, sharing one scratch
+// checkout across the whole run instead of a pool round-trip per batch. On
+// the first failure it returns the successfully encoded prefix alongside the
+// error.
+//
+//age:hotpath
+func (a *AGE) AppendEncodeBatchN(dsts [][]byte, batches []Batch) ([][]byte, error) {
+	sc := a.scratch.Get().(*ageScratch)
+	defer a.release(sc)
+	for len(dsts) < len(batches) {
+		dsts = append(dsts, nil)
+	}
+	dsts = dsts[:len(batches)]
+	for i, b := range batches {
+		out, err := a.appendEncode(sc, dsts[i], b)
+		if err != nil {
+			return dsts[:i], fmt.Errorf("core: age batch %d: %w", i, err)
+		}
+		dsts[i] = out
+	}
+	return dsts, nil
+}
+
+// appendEncode is the scratch-threaded encode body shared by AppendEncode
+// and AppendEncodeBatchN.
+//
+//age:hotpath
+func (a *AGE) appendEncode(sc *ageScratch, dst []byte, b Batch) ([]byte, error) {
 	if err := b.Validate(a.cfg.T, a.cfg.D); err != nil {
 		return nil, err
 	}
-	sc := a.scratch.Get().(*ageScratch)
-	defer a.release(sc)
 	idx, vals := sc.prune(b.Indices, b.Values, a.maxKeep())
 	groups := a.formGroups(sc, vals)
 	groups = a.assignWidths(sc, groups, len(idx))
@@ -148,13 +181,18 @@ func (a *AGE) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	}
 	row := 0
 	for _, g := range groups {
-		f := fixedpoint.Format{Width: g.width, NonFrac: g.exponent}
+		// Fused quantize+pack: one precomputed Quantizer per group and a
+		// RunWriter accumulating whole 64-bit words, instead of a math.Pow
+		// and a bit-by-bit write per value.
+		q := fixedpoint.NewQuantizer(fixedpoint.Format{Width: g.width, NonFrac: g.exponent})
+		rw := w.StartRun(g.width)
 		for i := 0; i < g.count; i++ {
 			for _, v := range vals[row] {
-				w.WriteBits(fixedpoint.FromFloat(v, f).Bits(), g.width)
+				rw.Add(uint64(q.Bits(v)))
 			}
 			row++
 		}
+		rw.Flush()
 	}
 	w.PadTo(a.cfg.TargetBytes)
 	return w.Bytes(), nil
@@ -221,17 +259,23 @@ func (a *AGE) DecodeInto(b *Batch, payload []byte) error {
 			b.Values = vals
 			return fmt.Errorf("core: age decode: group %d has invalid format (w=%d n=%d)", gi, g.width, g.exponent)
 		}
-		f := fixedpoint.Format{Width: g.width, NonFrac: g.exponent}
+		// Fused unpack+dequantize: pull the whole group's mantissas out in
+		// one ReadRun pass, then expand with a precomputed Dequantizer.
+		n := g.count * a.cfg.D
+		buf := slices.Grow(sc.u64[:0], n)[:n]
+		sc.u64 = buf
+		if err := r.ReadRun(buf, g.width); err != nil {
+			b.Values = vals
+			return fmt.Errorf("core: age decode values: %w", err)
+		}
+		dq := fixedpoint.NewDequantizer(fixedpoint.Format{Width: g.width, NonFrac: g.exponent})
+		pos := 0
 		for i := 0; i < g.count; i++ {
 			vals = appendRow(vals, a.cfg.D)
 			row := vals[len(vals)-1]
 			for fi := range row {
-				bitsv, err := r.ReadBits(g.width)
-				if err != nil {
-					b.Values = vals
-					return fmt.Errorf("core: age decode values: %w", err)
-				}
-				row[fi] = fixedpoint.FromBits(bitsv, f).Float()
+				row[fi] = dq.Float(uint32(buf[pos]))
+				pos++
 			}
 		}
 	}

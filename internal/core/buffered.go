@@ -109,6 +109,7 @@ func (b *Buffered) Push(batch Batch) ([]byte, error) {
 	w := bitio.NewWriter(b.cfg.TargetBytes)
 	w.WriteBits(uint32(n), 8)
 	ib := indexBits(b.cfg.T)
+	q := fixedpoint.NewQuantizer(b.cfg.Format)
 	for _, m := range b.queue[:n] {
 		age := b.window - m.window
 		if age > maxAge {
@@ -122,7 +123,7 @@ func (b *Buffered) Push(batch Batch) ([]byte, error) {
 		w.WriteBits(uint32(age), ageBits)
 		w.WriteBits(uint32(m.index), ib)
 		for _, v := range m.values {
-			w.WriteBits(fixedpoint.FromFloat(v, b.cfg.Format).Bits(), b.cfg.Format.Width)
+			w.WriteBits(q.Bits(v), b.cfg.Format.Width)
 		}
 	}
 	b.queue = append(b.queue[:0], b.queue[n:]...)

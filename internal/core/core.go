@@ -115,6 +115,17 @@ type AppendEncoder interface {
 	AppendEncode(dst []byte, b Batch) ([]byte, error)
 }
 
+// BatchAppendEncoder is an AppendEncoder that can encode a run of
+// consecutive batches in one call, amortizing per-encode setup (scratch pool
+// checkouts, quantizer construction) across the run. dsts[i] provides reused
+// storage for payload i exactly as AppendEncode's dst does; the returned
+// slice has len(batches) entries. On the first failing batch the
+// successfully encoded prefix is returned alongside the error.
+type BatchAppendEncoder interface {
+	AppendEncoder
+	AppendEncodeBatchN(dsts [][]byte, batches []Batch) ([][]byte, error)
+}
+
 // IntoDecoder is a Decoder with a reuse path: DecodeInto overwrites *b,
 // reusing its index and value storage (including the per-row slices) when
 // capacities allow. All decoders in this package implement it; Decode is

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/fixedpoint"
+)
+
+// The golden wire vectors pin every encoder's output byte-for-byte across
+// width/exponent edge cases. They were generated from the original scalar
+// bit-packing and quantization kernels; the word-at-a-time and fused kernels
+// must reproduce them exactly, so any wire-format drift — however subtle —
+// fails here before it can corrupt a deployment that mixes old and new
+// binaries. Regenerate with `go test -run TestGoldenWireVectors -update`
+// only for a deliberate, documented wire-format change.
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden wire vectors")
+
+const goldenPath = "testdata/golden_wire.json"
+
+// goldenCase is one (config, batch, encoder) cell. Raw mantissa inputs for
+// the MCU encoders are derived from the float batch via the native format.
+type goldenCase struct {
+	name string
+	cfg  Config
+	b    Batch
+}
+
+// goldenBatch builds a deterministic batch whose values sweep the exponent
+// range of the format: tiny fractions, exact powers of two, boundary values
+// around the clamp limits, negatives, zeros, and out-of-range magnitudes.
+func goldenBatch(rng *rand.Rand, T, d, k int, f fixedpoint.Format) Batch {
+	edge := []float64{
+		0, -0.0, 1, -1, 0.5, -0.5,
+		f.Resolution(), -f.Resolution(), 1.5 * f.Resolution(),
+		f.Max(), f.Min(), f.Max() * 2, f.Min() * 2, // clamp both sides
+		math.Pow(2, float64(f.NonFrac-1)) - 1, // widest in-range exponent
+		1.0 / 3.0, -2.0 / 3.0, math.Pi, -math.E,
+	}
+	perm := rng.Perm(T)[:k]
+	sort.Ints(perm)
+	vals := make([][]float64, k)
+	n := 0
+	for i := range vals {
+		row := make([]float64, d)
+		for fi := range row {
+			if n%3 == 0 {
+				row[fi] = edge[(n/3)%len(edge)]
+			} else {
+				row[fi] = (rng.Float64()*2 - 1) * f.Max() * 1.5
+			}
+			n++
+		}
+		vals[i] = row
+	}
+	return Batch{Indices: perm, Values: vals}
+}
+
+// rawFromBatch quantizes the float batch into native mantissas for the MCU
+// (integer-only) encoders.
+func rawFromBatch(b Batch, f fixedpoint.Format) [][]int32 {
+	raw := make([][]int32, len(b.Values))
+	for i, row := range b.Values {
+		r := make([]int32, len(row))
+		for j, v := range row {
+			r[j] = fixedpoint.FromFloat(v, f).Raw
+		}
+		raw[i] = r
+	}
+	return raw
+}
+
+func goldenCases(t *testing.T) []goldenCase {
+	t.Helper()
+	mk := func(T, d, w, nf, target int) Config {
+		return Config{T: T, D: d, Format: fixedpoint.Format{Width: w, NonFrac: nf}, TargetBytes: target}
+	}
+	var cases []goldenCase
+	add := func(name string, cfg Config, k int, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		cases = append(cases, goldenCase{name: name, cfg: cfg, b: goldenBatch(rng, cfg.T, cfg.D, k, cfg.Format)})
+	}
+	// Activity-like: Q3.13, moderate batch (explicit index encoding).
+	add("activity_q3.13_sparse", mk(50, 6, 16, 3, TargetBytesForRate(0.7, 50, 6, 16)), 12, 101)
+	// Dense batch: bitmask index encoding, heavy pruning pressure.
+	add("activity_q3.13_dense", mk(50, 6, 16, 3, TargetBytesForRate(0.5, 50, 6, 16)), 50, 102)
+	// Long sequence (MNIST-like): T=784 forces the bitmask path.
+	add("mnist_q2.6_long", mk(784, 1, 8, 2, TargetBytesForRate(0.3, 784, 1, 8)), 300, 103)
+	// Wide format at the 32-bit kernel ceiling.
+	add("wide_q8.24_full", mk(40, 2, 32, 8, TargetBytesForRate(0.8, 40, 2, 32)), 30, 104)
+	// Narrow 6-bit native width: widths pinned at tiny values.
+	add("narrow_q3.3", mk(64, 3, 6, 3, TargetBytesForRate(0.6, 64, 3, 6)), 35, 105)
+	// Coarse format (NonFrac > Width): negative fractional bits.
+	add("coarse_q20.16", mk(30, 2, 16, 20, TargetBytesForRate(0.7, 30, 2, 16)), 18, 106)
+	// EOG-like 20-bit wide-exponent format.
+	add("eog_q10.10", mk(96, 4, 20, 10, TargetBytesForRate(0.4, 96, 4, 20)), 40, 107)
+	// Single measurement and empty batch.
+	add("tiny_single_measurement", mk(50, 6, 16, 3, 64), 1, 108)
+	cases = append(cases, goldenCase{name: "empty_batch", cfg: mk(50, 6, 16, 3, 64)})
+	return cases
+}
+
+// goldenEncode runs every encoder over the case and returns name->payload.
+func goldenEncode(t *testing.T, c goldenCase) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	enc := func(label string, payload []byte, err error) {
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.name, label, err)
+		}
+		out[label] = payload
+	}
+
+	age := mustAGE(t, c.cfg)
+	p, err := age.Encode(c.b)
+	enc("age", p, err)
+
+	std, err := NewStandard(c.cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	p, err = std.Encode(c.b)
+	enc("standard", p, err)
+
+	raw := rawFromBatch(c.b, c.cfg.Format)
+	p, err = age.EncodeRaw(c.b.Indices, raw)
+	enc("mcu_age", p, err)
+	p, err = std.EncodeRaw(c.b.Indices, raw)
+	enc("mcu_standard", p, err)
+
+	if pad, err := NewPadded(c.cfg); err == nil {
+		p, err = pad.Encode(c.b)
+		enc("padded", p, err)
+	}
+	single, err := NewSingle(c.cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	p, err = single.Encode(c.b)
+	enc("single", p, err)
+
+	unsh, err := NewUnshifted(c.cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	p, err = unsh.Encode(c.b)
+	enc("unshifted", p, err)
+
+	pruned, err := NewPruned(c.cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	p, err = pruned.Encode(c.b)
+	enc("pruned", p, err)
+	return out
+}
+
+func TestGoldenWireVectors(t *testing.T) {
+	got := map[string]string{}
+	for _, c := range goldenCases(t) {
+		for label, payload := range goldenEncode(t, c) {
+			got[c.name+"/"+label] = hex.EncodeToString(payload)
+		}
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden vectors to %s", len(got), goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden vectors (run with -update to generate): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, wantHex := range want {
+		gotHex, ok := got[name]
+		if !ok {
+			t.Errorf("golden vector %s no longer produced", name)
+			continue
+		}
+		if gotHex != wantHex {
+			t.Errorf("%s: wire bytes changed\n got %s\nwant %s", name, gotHex, wantHex)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("new vector %s not in golden file (run -update deliberately)", name)
+		}
+	}
+	// Every golden payload must still decode through its matching decoder;
+	// byte-stability without decodability would pin a corrupt format.
+	for _, c := range goldenCases(t) {
+		age := mustAGE(t, c.cfg)
+		if _, err := age.Decode(mustHex(t, want[c.name+"/age"])); err != nil {
+			t.Errorf("%s/age: golden payload no longer decodes: %v", c.name, err)
+		}
+		std, _ := NewStandard(c.cfg)
+		if _, err := std.Decode(mustHex(t, want[c.name+"/standard"])); err != nil {
+			t.Errorf("%s/standard: golden payload no longer decodes: %v", c.name, err)
+		}
+	}
+}
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

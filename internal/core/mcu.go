@@ -114,12 +114,14 @@ func (a *AGE) EncodeRaw(indices []int, raw [][]int32) ([]byte, error) {
 	}
 	row := 0
 	for _, g := range groups {
+		rw := w.StartRun(g.width)
 		for i := 0; i < g.count; i++ {
 			for _, v := range vals[row] {
-				w.WriteBits(quantizeRaw(v, frac, g.width, g.exponent), g.width)
+				rw.Add(uint64(quantizeRaw(v, frac, g.width, g.exponent)))
 			}
 			row++
 		}
+		rw.Flush()
 	}
 	w.PadTo(a.cfg.TargetBytes)
 	return w.Bytes(), nil
@@ -131,14 +133,15 @@ func (s *Standard) EncodeRaw(indices []int, raw [][]int32) ([]byte, error) {
 	if err := validateRaw(indices, raw, s.cfg.T, s.cfg.D); err != nil {
 		return nil, err
 	}
-	mask := uint32(1)<<s.cfg.Format.Width - 1
 	w := bitio.NewWriter(StandardPayloadBytes(len(indices), s.cfg.T, s.cfg.D, s.cfg.Format.Width))
 	writeIndexBlock(w, indices, s.cfg.T)
+	rw := w.StartRun(s.cfg.Format.Width) // the RunWriter masks to the width
 	for _, row := range raw {
 		for _, v := range row {
-			w.WriteBits(uint32(v)&mask, s.cfg.Format.Width)
+			rw.Add(uint64(uint32(v)))
 		}
 	}
+	rw.Flush()
 	w.Align()
 	return w.Bytes(), nil
 }

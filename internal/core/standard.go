@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
 
 	"repro/internal/bitio"
@@ -41,17 +42,44 @@ func (s *Standard) Encode(b Batch) ([]byte, error) { return s.AppendEncode(nil, 
 //
 //age:hotpath
 func (s *Standard) AppendEncode(dst []byte, b Batch) ([]byte, error) {
+	return s.appendEncode(fixedpoint.NewQuantizer(s.cfg.Format), dst, b)
+}
+
+// AppendEncodeBatchN implements BatchAppendEncoder, constructing the
+// quantizer once for the whole run.
+//
+//age:hotpath
+func (s *Standard) AppendEncodeBatchN(dsts [][]byte, batches []Batch) ([][]byte, error) {
+	q := fixedpoint.NewQuantizer(s.cfg.Format)
+	for len(dsts) < len(batches) {
+		dsts = append(dsts, nil)
+	}
+	dsts = dsts[:len(batches)]
+	for i, b := range batches {
+		out, err := s.appendEncode(q, dsts[i], b)
+		if err != nil {
+			return dsts[:i], fmt.Errorf("core: standard batch %d: %w", i, err)
+		}
+		dsts[i] = out
+	}
+	return dsts, nil
+}
+
+//age:hotpath
+func (s *Standard) appendEncode(q fixedpoint.Quantizer, dst []byte, b Batch) ([]byte, error) {
 	if err := b.Validate(s.cfg.T, s.cfg.D); err != nil {
 		return nil, err
 	}
 	var w bitio.Writer
 	w.ResetTo(dst)
 	writeIndexBlock(&w, b.Indices, s.cfg.T)
+	rw := w.StartRun(s.cfg.Format.Width)
 	for _, row := range b.Values {
 		for _, v := range row {
-			w.WriteBits(fixedpoint.FromFloat(v, s.cfg.Format).Bits(), s.cfg.Format.Width)
+			rw.Add(uint64(q.Bits(v)))
 		}
 	}
+	rw.Flush()
 	w.Align()
 	return w.Bytes(), nil
 }
@@ -77,16 +105,20 @@ func (s *Standard) DecodeInto(b *Batch, payload []byte) error {
 		return err
 	}
 	vals := b.Values[:0]
+	dq := fixedpoint.NewDequantizer(s.cfg.Format)
+	var tmp [64]uint64
 	for range idx {
 		vals = appendRow(vals, s.cfg.D)
 		row := vals[len(vals)-1]
-		for f := range row {
-			raw, err := r.ReadBits(s.cfg.Format.Width)
-			if err != nil {
+		for off := 0; off < len(row); off += len(tmp) {
+			n := minInt(len(row)-off, len(tmp))
+			if err := r.ReadRun(tmp[:n], s.cfg.Format.Width); err != nil {
 				b.Values = vals
 				return fmt.Errorf("core: standard decode: %w", err)
 			}
-			row[f] = fixedpoint.FromBits(raw, s.cfg.Format).Float()
+			for i := 0; i < n; i++ {
+				row[off+i] = dq.Float(uint32(tmp[i]))
+			}
 		}
 	}
 	b.Values = vals
@@ -114,27 +146,32 @@ func indexBlockBits(k, T int) int {
 	return 8 + explicit
 }
 
-// writeIndexBlock writes the flag byte and the cheaper index encoding.
+// writeIndexBlock writes the flag byte and the cheaper index encoding. Both
+// encodings go through the word-at-a-time kernels: the bitmask is assembled
+// 64 positions per write instead of bit by bit, and the explicit list streams
+// through a RunWriter.
 func writeIndexBlock(w *bitio.Writer, indices []int, T int) {
 	if T < 16+len(indices)*indexBits(T) {
 		w.WriteBits(indexEncodingBitmask, 8)
 		pos := 0
-		for t := 0; t < T; t++ {
-			bit := uint32(0)
-			if pos < len(indices) && indices[pos] == t {
-				bit = 1
+		for t := 0; t < T; t += 64 {
+			n := minInt(T-t, 64)
+			var word uint64
+			for pos < len(indices) && indices[pos] < t+n {
+				word |= 1 << uint(n-1-(indices[pos]-t)) // MSB-first within the field
 				pos++
 			}
-			w.WriteBits(bit, 1)
+			w.WriteBits64(word, n)
 		}
 		return
 	}
 	w.WriteBits(indexEncodingExplicit, 8)
 	w.WriteUint16(uint16(len(indices)))
-	ib := indexBits(T)
+	rw := w.StartRun(indexBits(T))
 	for _, idx := range indices {
-		w.WriteBits(uint32(idx), ib)
+		rw.Add(uint64(idx))
 	}
+	rw.Flush()
 }
 
 // readIndexBlock reads either index encoding written by writeIndexBlock.
@@ -152,13 +189,17 @@ func readIndexBlockInto(r *bitio.Reader, T int, dst []int) ([]int, error) {
 	}
 	switch flag {
 	case indexEncodingBitmask:
-		for t := 0; t < T; t++ {
-			bit, err := r.ReadBits(1)
+		for t := 0; t < T; t += 64 {
+			n := minInt(T-t, 64)
+			word, err := r.ReadBits64(n)
 			if err != nil {
 				return dst, fmt.Errorf("core: reading index bitmask: %w", err)
 			}
-			if bit == 1 {
-				dst = append(dst, t)
+			// MSB-align and scan set bits, cheap for sparse masks.
+			for word <<= 64 - uint(n); word != 0; {
+				j := bits.LeadingZeros64(word)
+				dst = append(dst, t+j)
+				word &^= 1 << uint(63-j)
 			}
 		}
 		return dst, nil
@@ -171,12 +212,15 @@ func readIndexBlockInto(r *bitio.Reader, T int, dst []int) ([]int, error) {
 			return dst, fmt.Errorf("core: count %d exceeds T = %d", k, T)
 		}
 		ib := indexBits(T)
-		for i := 0; i < int(k); i++ {
-			v, err := r.ReadBits(ib)
-			if err != nil {
+		var tmp [64]uint64
+		for i := 0; i < int(k); i += len(tmp) {
+			n := minInt(int(k)-i, len(tmp))
+			if err := r.ReadRun(tmp[:n], ib); err != nil {
 				return dst, fmt.Errorf("core: reading index %d: %w", i, err)
 			}
-			dst = append(dst, int(v))
+			for j := 0; j < n; j++ {
+				dst = append(dst, int(tmp[j]))
+			}
 		}
 		return dst, nil
 	default:

@@ -79,12 +79,14 @@ func (s *Single) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	w.Align()
 	w.WriteBits(uint32(width), 8)
 	if width > 0 {
-		f := fixedpoint.Format{Width: width, NonFrac: s.cfg.Format.NonFrac}
+		q := fixedpoint.NewQuantizer(fixedpoint.Format{Width: width, NonFrac: s.cfg.Format.NonFrac})
+		rw := w.StartRun(width)
 		for _, row := range vals {
 			for _, v := range row {
-				w.WriteBits(fixedpoint.FromFloat(v, f).Bits(), width)
+				rw.Add(uint64(q.Bits(v)))
 			}
 		}
+		rw.Flush()
 	}
 	w.PadTo(s.cfg.TargetBytes)
 	return w.Bytes(), nil
@@ -131,7 +133,7 @@ func (s *Single) DecodeInto(b *Batch, payload []byte) error {
 	if width > fixedpoint.MaxWidth {
 		return fmt.Errorf("core: single decode: width %d out of range", width)
 	}
-	f := fixedpoint.Format{Width: width, NonFrac: s.cfg.Format.NonFrac}
+	dq := fixedpoint.NewDequantizer(fixedpoint.Format{Width: width, NonFrac: s.cfg.Format.NonFrac})
 	vals := b.Values
 	for range idx {
 		vals = appendRow(vals, s.cfg.D)
@@ -142,7 +144,7 @@ func (s *Single) DecodeInto(b *Batch, payload []byte) error {
 				b.Values = vals
 				return fmt.Errorf("core: single decode values: %w", err)
 			}
-			row[fi] = fixedpoint.FromBits(bitsv, f).Float()
+			row[fi] = dq.Float(bitsv)
 		}
 	}
 	b.Values = vals
@@ -257,13 +259,15 @@ func (u *Unshifted) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	}
 	row := 0
 	for _, g := range groups {
-		f := fixedpoint.Format{Width: g.width, NonFrac: u.cfg.Format.NonFrac}
+		q := fixedpoint.NewQuantizer(fixedpoint.Format{Width: g.width, NonFrac: u.cfg.Format.NonFrac})
+		rw := w.StartRun(g.width)
 		for i := 0; i < g.count; i++ {
 			for _, v := range vals[row] {
-				w.WriteBits(fixedpoint.FromFloat(v, f).Bits(), g.width)
+				rw.Add(uint64(q.Bits(v)))
 			}
 			row++
 		}
+		rw.Flush()
 	}
 	w.PadTo(u.cfg.TargetBytes)
 	return w.Bytes(), nil
@@ -320,7 +324,7 @@ func (u *Unshifted) DecodeInto(b *Batch, payload []byte) error {
 			b.Values = vals
 			return fmt.Errorf("core: unshifted decode: bad width %d", g.width)
 		}
-		f := fixedpoint.Format{Width: g.width, NonFrac: u.cfg.Format.NonFrac}
+		dq := fixedpoint.NewDequantizer(fixedpoint.Format{Width: g.width, NonFrac: u.cfg.Format.NonFrac})
 		for i := 0; i < g.count; i++ {
 			vals = appendRow(vals, u.cfg.D)
 			row := vals[len(vals)-1]
@@ -330,7 +334,7 @@ func (u *Unshifted) DecodeInto(b *Batch, payload []byte) error {
 					b.Values = vals
 					return fmt.Errorf("core: unshifted decode values: %w", err)
 				}
-				row[fi] = fixedpoint.FromBits(bitsv, f).Float()
+				row[fi] = dq.Float(bitsv)
 			}
 		}
 	}
@@ -409,11 +413,14 @@ func (p *Pruned) AppendEncode(dst []byte, b Batch) ([]byte, error) {
 	var w bitio.Writer
 	w.ResetTo(dst)
 	writeIndexBlock(&w, idx, p.cfg.T)
+	q := fixedpoint.NewQuantizer(p.cfg.Format)
+	rw := w.StartRun(p.cfg.Format.Width)
 	for _, row := range vals {
 		for _, v := range row {
-			w.WriteBits(fixedpoint.FromFloat(v, p.cfg.Format).Bits(), p.cfg.Format.Width)
+			rw.Add(uint64(q.Bits(v)))
 		}
 	}
+	rw.Flush()
 	w.PadTo(p.cfg.TargetBytes)
 	return w.Bytes(), nil
 }
@@ -443,6 +450,7 @@ func (p *Pruned) DecodeInto(b *Batch, payload []byte) error {
 		return err
 	}
 	vals := b.Values[:0]
+	dq := fixedpoint.NewDequantizer(p.cfg.Format)
 	for range idx {
 		vals = appendRow(vals, p.cfg.D)
 		row := vals[len(vals)-1]
@@ -452,7 +460,7 @@ func (p *Pruned) DecodeInto(b *Batch, payload []byte) error {
 				b.Values = vals
 				return fmt.Errorf("core: pruned decode values: %w", err)
 			}
-			row[fi] = fixedpoint.FromBits(bitsv, p.cfg.Format).Float()
+			row[fi] = dq.Float(bitsv)
 		}
 	}
 	b.Values = vals

@@ -218,5 +218,7 @@ func (r *Sec58Result) String() string {
 		r.ReductionBytes, r.CommSavedMJ)
 	fmt.Fprintf(&b, "measured wall-clock: standard %.0f ns, AGE %.0f ns (%.1fx)\n",
 		r.StandardNs, r.AGENs, r.AGENs/r.StandardNs)
+	fmt.Fprintf(&b, "measured steady-state allocs/op: standard %.2f, AGE %.2f\n",
+		r.StandardAllocs, r.AGEAllocs)
 	return b.String()
 }

@@ -136,11 +136,15 @@ func FromBits(bits uint32, f Format) Value {
 //age:hotpath
 func NonFracBitsFor(x float64) int {
 	a := math.Abs(x)
-	n := 1 // sign bit alone represents [-1, 1)
-	for n < MaxWidth && a >= math.Pow(2, float64(n-1)) {
-		n++
+	if a < 1 { // sign bit alone represents [-1, 1); also catches NaN
+		return 1
 	}
-	return n
+	if a >= 1<<(MaxWidth-1) { // also catches +Inf
+		return MaxWidth
+	}
+	// 2^(exp-1) <= a < 2^exp, so exp+1 bits (incl. sign) avoid clamping.
+	_, exp := math.Frexp(a)
+	return exp + 1
 }
 
 // NonFracBitsForSlice returns the minimum non-fractional bits covering every

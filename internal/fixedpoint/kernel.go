@@ -1,0 +1,96 @@
+package fixedpoint
+
+import "math"
+
+// This file holds the precomputed quantization kernels used by the batch
+// encoders. FromFloat/Float/FromBits recompute math.Pow on every call, which
+// dominates encode cost when a group quantizes hundreds of values into the
+// same format. A Quantizer/Dequantizer hoists those powers out of the loop.
+// Powers of two are exact in float64, so the kernels are bit-identical to the
+// per-value functions for every input — the golden wire vectors and the
+// differential fuzz targets in internal/core pin that equivalence.
+
+// Quantizer converts floats to format f's mantissas with the scale and clamp
+// bounds precomputed. The zero value is not usable; construct with
+// NewQuantizer.
+type Quantizer struct {
+	scale  float64 // 2^FracBits
+	hi, lo float64 // clamp bounds on the scaled mantissa
+	mask   uint32  // low Width bits
+}
+
+// NewQuantizer returns a Quantizer producing output identical to
+// FromFloat(x, f) for every x.
+func NewQuantizer(f Format) Quantizer {
+	return Quantizer{
+		scale: math.Pow(2, float64(f.FracBits())),
+		hi:    math.Pow(2, float64(f.Width-1)) - 1,
+		lo:    -math.Pow(2, float64(f.Width-1)),
+		mask:  uint32(1)<<uint(f.Width) - 1,
+	}
+}
+
+// Raw quantizes x to the signed mantissa, equal to FromFloat(x, f).Raw.
+//
+//age:hotpath
+func (q Quantizer) Raw(x float64) int32 {
+	r := math.Round(x * q.scale)
+	if r > q.hi {
+		r = q.hi
+	}
+	if r < q.lo {
+		r = q.lo
+	}
+	return int32(r)
+}
+
+// Bits quantizes x straight to the packed two's-complement bit pattern,
+// equal to FromFloat(x, f).Bits().
+//
+//age:hotpath
+func (q Quantizer) Bits(x float64) uint32 {
+	return uint32(q.Raw(x)) & q.mask
+}
+
+// Dequantizer converts packed bit patterns back to floats with the inverse
+// scale and sign-extension masks precomputed. Construct with NewDequantizer.
+type Dequantizer struct {
+	inv  float64 // 2^-FracBits
+	mask uint32  // low Width bits
+	sign uint32  // sign bit of the width, 0 when Width == 32
+	ext  uint32  // high bits ORed in to sign-extend
+}
+
+// NewDequantizer returns a Dequantizer producing output identical to
+// FromBits(bits, f).Float() for every bit pattern.
+func NewDequantizer(f Format) Dequantizer {
+	w := uint(f.Width)
+	mask := uint32(1)<<w - 1
+	d := Dequantizer{
+		inv:  math.Pow(2, -float64(f.FracBits())),
+		mask: mask,
+		ext:  ^mask,
+	}
+	if w < 32 { // at 32 bits int32 conversion sign-extends by itself
+		d.sign = 1 << (w - 1)
+	}
+	return d
+}
+
+// Raw sign-extends the packed bit pattern, equal to FromBits(bits, f).Raw.
+//
+//age:hotpath
+func (d Dequantizer) Raw(bits uint32) int32 {
+	bits &= d.mask
+	if bits&d.sign != 0 {
+		return int32(bits | d.ext)
+	}
+	return int32(bits)
+}
+
+// Float reconstructs the real value, equal to FromBits(bits, f).Float().
+//
+//age:hotpath
+func (d Dequantizer) Float(bits uint32) float64 {
+	return float64(d.Raw(bits)) * d.inv
+}

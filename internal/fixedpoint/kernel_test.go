@@ -1,0 +1,120 @@
+package fixedpoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+var kernelFormats = []Format{
+	{Width: 16, NonFrac: 3}, {Width: 8, NonFrac: 2}, {Width: 32, NonFrac: 8},
+	{Width: 6, NonFrac: 3}, {Width: 16, NonFrac: 20}, {Width: 20, NonFrac: 10},
+	{Width: 1, NonFrac: 1}, {Width: 32, NonFrac: 32},
+}
+
+// TestQuantizerMatchesFromFloat pins the precomputed kernel to the per-value
+// reference for edge values and random sweeps: bit-identical, not just close.
+func TestQuantizerMatchesFromFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, f := range kernelFormats {
+		q := NewQuantizer(f)
+		xs := []float64{
+			0, math.Copysign(0, -1), 1, -1, 0.5, -0.5,
+			f.Resolution(), -f.Resolution(), 0.5 * f.Resolution(),
+			f.Max(), f.Min(), f.Max() * 2, f.Min() * 2,
+			math.Pi, -math.E, math.Inf(1), math.Inf(-1),
+		}
+		for i := 0; i < 2000; i++ {
+			xs = append(xs, (rng.Float64()*2-1)*f.Max()*2)
+		}
+		for _, x := range xs {
+			want := FromFloat(x, f)
+			if got := q.Raw(x); got != want.Raw {
+				t.Fatalf("%v: Quantizer.Raw(%g) = %d, FromFloat %d", f, x, got, want.Raw)
+			}
+			if got := q.Bits(x); got != want.Bits() {
+				t.Fatalf("%v: Quantizer.Bits(%g) = %#x, FromFloat %#x", f, x, got, want.Bits())
+			}
+		}
+	}
+}
+
+// TestDequantizerMatchesFromBits sweeps bit patterns including both sign
+// halves and the full-width case where int32 conversion must sign-extend.
+func TestDequantizerMatchesFromBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, f := range kernelFormats {
+		d := NewDequantizer(f)
+		for i := 0; i < 4000; i++ {
+			bits := rng.Uint32()
+			want := FromBits(bits, f)
+			if got := d.Raw(bits); got != want.Raw {
+				t.Fatalf("%v: Dequantizer.Raw(%#x) = %d, FromBits %d", f, bits, got, want.Raw)
+			}
+			got := d.Float(bits)
+			wantF := want.Float()
+			if got != wantF && !(math.IsNaN(got) && math.IsNaN(wantF)) {
+				t.Fatalf("%v: Dequantizer.Float(%#x) = %g, FromBits %g", f, bits, got, wantF)
+			}
+		}
+	}
+}
+
+// TestNonFracBitsForFrexp pins the Frexp rewrite to the old Pow-loop
+// definition across the exact power-of-two boundaries it must honor.
+func TestNonFracBitsForFrexp(t *testing.T) {
+	ref := func(x float64) int {
+		a := math.Abs(x)
+		n := 1
+		for n < MaxWidth && a >= math.Pow(2, float64(n-1)) {
+			n++
+		}
+		return n
+	}
+	xs := []float64{0, 0.25, 0.5, 0.999, 1, 1.0001, -1, 1.5, 2, -2, 3, 4, 7.99, 8,
+		math.Inf(1), math.Inf(-1), math.NaN(), math.MaxFloat64}
+	for e := -4; e < MaxWidth+2; e++ {
+		p := math.Pow(2, float64(e))
+		xs = append(xs, p, -p, p*0.999999, p*1.000001)
+	}
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 5000; i++ {
+		xs = append(xs, (rng.Float64()*2-1)*math.Pow(2, float64(rng.Intn(40)-4)))
+	}
+	for _, x := range xs {
+		if got, want := NonFracBitsFor(x), ref(x); got != want {
+			t.Fatalf("NonFracBitsFor(%g) = %d, reference %d", x, got, want)
+		}
+	}
+}
+
+func BenchmarkQuantizerBits(b *testing.B) {
+	f := Format{Width: 16, NonFrac: 3}
+	q := NewQuantizer(f)
+	xs := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(74))
+	for i := range xs {
+		xs[i] = (rng.Float64()*2 - 1) * f.Max()
+	}
+	b.ReportAllocs()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += q.Bits(xs[i&1023])
+	}
+	_ = sink
+}
+
+func BenchmarkFromFloatBits(b *testing.B) {
+	f := Format{Width: 16, NonFrac: 3}
+	xs := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(74))
+	for i := range xs {
+		xs[i] = (rng.Float64()*2 - 1) * f.Max()
+	}
+	b.ReportAllocs()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += FromFloat(xs[i&1023], f).Bits()
+	}
+	_ = sink
+}

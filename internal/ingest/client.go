@@ -55,6 +55,12 @@ type ClientConfig struct {
 	// DialBackoff). Unlike dial backoff it does not grow: the server
 	// already sheds load; the client only needs to spread retries.
 	RejectBackoff time.Duration
+	// WriteBatch gathers up to this many frames into one TCP write
+	// (default 1: one write per frame). The wire byte stream is identical
+	// either way — frames stay individually length-prefixed — but gathering
+	// amortizes the syscall and deadline bookkeeping, which dominates at
+	// small frame sizes. Capped at maxWriteBatch.
+	WriteBatch int
 
 	// Metrics, when set, receives the ingest.client.* instrument family.
 	Metrics *metrics.Registry
@@ -82,8 +88,18 @@ func (cfg ClientConfig) withDefaults() ClientConfig {
 	if cfg.RejectBackoff <= 0 {
 		cfg.RejectBackoff = cfg.DialBackoff
 	}
+	if cfg.WriteBatch <= 0 {
+		cfg.WriteBatch = 1
+	}
+	if cfg.WriteBatch > maxWriteBatch {
+		cfg.WriteBatch = maxWriteBatch
+	}
 	return cfg
 }
+
+// maxWriteBatch bounds the frames gathered into one write so a single
+// gathered buffer stays well under a megabyte even at MaxFrameSize frames.
+const maxWriteBatch = 16
 
 // FrameSource produces the sealed frames one sensor streams. Run calls
 // Total once per connection, Seek after learning the server's resume
@@ -244,12 +260,26 @@ func (c *Client) stream(ctx context.Context, src FrameSource, st *ClientStats) e
 	if err := src.Seek(resume); err != nil {
 		return Terminal(fmt.Errorf("seek to frame %d: %w", resume, err))
 	}
-	for fi := resume; fi < total; fi++ {
-		msg, err := src.Next(ctx)
-		if err != nil {
-			return err
+	var gather []byte
+	for fi := resume; fi < total; {
+		// Gather up to WriteBatch frames into one length-prefix-framed
+		// buffer and send it in a single write. The receiver sees the same
+		// byte stream as per-frame writes; only the syscall count changes.
+		gather = gather[:0]
+		n := 0
+		payloadBytes := 0
+		for ; n < cfg.WriteBatch && fi+n < total; n++ {
+			msg, err := src.Next(ctx)
+			if err != nil {
+				return err
+			}
+			gather, err = seccomm.AppendFrame(gather, msg)
+			if err != nil {
+				return Terminal(fmt.Errorf("frame %d: %w", fi+n, err))
+			}
+			payloadBytes += len(msg)
 		}
-		attempts, err := writeFrameRetry(ctx, conn, msg, cfg)
+		attempts, err := writeChunkRetry(ctx, conn, gather, cfg)
 		if r := attempts - 1; r > 0 {
 			st.WriteRetries += r
 			// Every retry was preceded by a write deadline expiry.
@@ -262,10 +292,11 @@ func (c *Client) stream(ctx context.Context, src FrameSource, st *ClientStats) e
 			}
 			return fmt.Errorf("frame %d: %w", fi, err)
 		}
-		st.FramesSent++
-		st.WireBytesSent += len(msg)
-		c.m.framesSent.Inc()
-		c.m.wireBytes.Add(int64(len(msg)))
+		st.FramesSent += n
+		st.WireBytesSent += payloadBytes
+		c.m.framesSent.Add(int64(n))
+		c.m.wireBytes.Add(int64(payloadBytes))
+		fi += n
 	}
 	// Delivery confirmation: frame writes can land in the TCP buffer after
 	// the server has dropped the link, so "every write succeeded" does not
@@ -311,15 +342,16 @@ func dialWithBackoff(ctx context.Context, cfg ClientConfig) (net.Conn, int, erro
 	return nil, cfg.DialAttempts, fmt.Errorf("dial: %w", lastErr)
 }
 
-// writeFrameRetry writes one frame with the per-frame deadline, retrying a
-// timed-out write up to cfg.WriteAttempts times in total. WriteFrame sends
-// header and body in one Write, so a timeout that transmitted nothing is
-// safe to retry; any other error aborts immediately. It returns the number
-// of attempts made so callers can account retries and deadline expiries.
-func writeFrameRetry(ctx context.Context, conn net.Conn, msg []byte, cfg ClientConfig) (int, error) {
+// writeChunkRetry writes one gathered buffer of frames under the per-frame
+// deadline, retrying a timed-out write up to cfg.WriteAttempts times in
+// total. The whole buffer goes out in one Write, so a timeout that
+// transmitted nothing is safe to retry; any other error aborts immediately.
+// It returns the number of attempts made so callers can account retries and
+// deadline expiries.
+func writeChunkRetry(ctx context.Context, conn net.Conn, buf []byte, cfg ClientConfig) (int, error) {
 	var err error
 	for attempt := 1; attempt <= cfg.WriteAttempts; attempt++ {
-		err = seccomm.WriteFrameDeadline(conn, msg, cfg.IOTimeout)
+		err = writeFullDeadline(conn, buf, cfg.IOTimeout)
 		if err == nil {
 			return attempt, nil
 		}

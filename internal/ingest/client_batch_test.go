@@ -1,0 +1,56 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestWriteBatchDeliversIdentically pins the gathered-write path: batched
+// clients must deliver the same frames in the same order as per-frame
+// clients, with identical payload byte accounting, for batch sizes that
+// divide the frame count evenly and ones that leave a remainder.
+func TestWriteBatchDeliversIdentically(t *testing.T) {
+	for _, batch := range []int{1, 3, 8, 64} {
+		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
+			h := newTestHandler(10)
+			_, addr, _ := startServer(t, ServerConfig{Handler: h, IOTimeout: 2 * time.Second})
+			client := NewClient(ClientConfig{
+				Addr: addr, SensorID: 7, IOTimeout: 2 * time.Second, WriteBatch: batch,
+			})
+			frames := framesFor(10)
+			stats, err := client.Run(context.Background(), &sliceSource{frames: frames})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.FramesSent != 10 {
+				t.Errorf("FramesSent = %d, want 10", stats.FramesSent)
+			}
+			wantBytes := 0
+			for _, f := range frames {
+				wantBytes += len(f)
+			}
+			if stats.WireBytesSent != wantBytes {
+				t.Errorf("WireBytesSent = %d, want %d", stats.WireBytesSent, wantBytes)
+			}
+			if got := h.delivered(7); got != 10 {
+				t.Fatalf("server delivered %d frames, want 10", got)
+			}
+			for i, f := range frames {
+				if got := string(h.frames[7][i]); got != string(f) {
+					t.Errorf("frame %d = %q, want %q", i, got, f)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteBatchCapped pins the maxWriteBatch bound: an absurd WriteBatch is
+// clamped rather than gathering unbounded buffers.
+func TestWriteBatchCapped(t *testing.T) {
+	cfg := ClientConfig{WriteBatch: 1 << 20}.withDefaults()
+	if cfg.WriteBatch != maxWriteBatch {
+		t.Fatalf("WriteBatch = %d, want cap %d", cfg.WriteBatch, maxWriteBatch)
+	}
+}

@@ -83,6 +83,10 @@ func TestWriteFrameRetryRecoversFromTimeout(t *testing.T) {
 	cfg := ClientConfig{IOTimeout: 100 * time.Millisecond, WriteAttempts: 3}.withDefaults()
 
 	msg := []byte("sealed sensor frame")
+	buf, err := seccomm.AppendFrame(nil, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got := make(chan []byte, 1)
 	go func() {
 		time.Sleep(150 * time.Millisecond) // outlive attempt 1's deadline
@@ -93,7 +97,7 @@ func TestWriteFrameRetryRecoversFromTimeout(t *testing.T) {
 		}
 		got <- frame
 	}()
-	attempts, err := writeFrameRetry(context.Background(), client, msg, cfg)
+	attempts, err := writeChunkRetry(context.Background(), client, buf, cfg)
 	if err != nil {
 		t.Fatalf("bounded retry failed: %v", err)
 	}
@@ -111,7 +115,7 @@ func TestWriteFrameRetryGivesUp(t *testing.T) {
 	defer srv.Close() // no reader ever appears
 	cfg := ClientConfig{IOTimeout: 30 * time.Millisecond, WriteAttempts: 2}.withDefaults()
 	start := time.Now()
-	_, err := writeFrameRetry(context.Background(), client, []byte("frame"), cfg)
+	_, err := writeChunkRetry(context.Background(), client, []byte("frame"), cfg)
 	if err == nil {
 		t.Fatal("write against a dead peer succeeded")
 	}

@@ -530,8 +530,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	total := sess.Total()
+	// Buffered frame reads: clients gather frames into batched writes, and
+	// reading them back one socket read per frame would forfeit the savings.
+	fr := seccomm.NewFrameReader(conn, 0)
 	for fi := delivered; fi < total; fi++ {
-		msg, err := seccomm.ReadFrameDeadline(conn, timeout)
+		msg, err := fr.ReadFrame(timeout)
 		if err != nil {
 			sess.Close(&FrameError{Index: fi, Err: err})
 			return

@@ -12,6 +12,7 @@
 package seccomm
 
 import (
+	"bufio"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/subtle"
@@ -282,14 +283,26 @@ const MaxFrameSize = 1<<16 - 1
 // Header and body go out in a single Write so a timed-out attempt that
 // transmitted nothing can be retried without corrupting the stream.
 func WriteFrame(w io.Writer, msg []byte) error {
-	if len(msg) > MaxFrameSize {
-		return fmt.Errorf("seccomm: frame %dB exceeds max %d", len(msg), MaxFrameSize)
+	buf, err := AppendFrame(nil, msg)
+	if err != nil {
+		return err
 	}
-	buf := make([]byte, 2+len(msg))
-	binary.BigEndian.PutUint16(buf[:2], uint16(len(msg)))
-	copy(buf[2:], msg)
-	_, err := w.Write(buf)
+	_, err = w.Write(buf)
 	return err
+}
+
+// AppendFrame appends msg's wire encoding (2-byte big-endian length prefix
+// plus the bytes) to dst and returns the extended slice. Callers gathering
+// several frames into one Write — the ingest client's batched frame path —
+// build the buffer with repeated AppendFrame calls; a receiver sees the same
+// byte stream as per-frame WriteFrame calls produce.
+func AppendFrame(dst, msg []byte) ([]byte, error) {
+	if len(msg) > MaxFrameSize {
+		return dst, fmt.Errorf("seccomm: frame %dB exceeds max %d", len(msg), MaxFrameSize)
+	}
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(msg)))
+	return append(append(dst, hdr[:]...), msg...), nil
 }
 
 // ReadFrame reads one length-prefixed message.
@@ -340,6 +353,50 @@ func WriteFrameDeadline(conn net.Conn, msg []byte, timeout time.Duration) error 
 	err := WriteFrame(conn, msg)
 	conn.SetWriteDeadline(time.Time{})
 	return err
+}
+
+// FrameReader reads length-prefixed frames from a connection through an
+// internal buffer, coalescing many small frames into one socket read. The
+// ingest server's frame loop uses it: with clients gathering frames into
+// batched writes, per-frame socket reads would throw the syscall savings
+// away on the receive side. Each returned frame is freshly allocated, so
+// callers may retain it — the same contract as ReadFrame.
+type FrameReader struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// NewFrameReader wraps conn with a read buffer of the given size (<= 0
+// selects a default sized for a typical gathered write of small frames).
+// After the first ReadFrame call, conn must not be read directly — buffered
+// bytes would be lost.
+func NewFrameReader(conn net.Conn, size int) *FrameReader {
+	if size <= 0 {
+		size = 4096
+	}
+	return &FrameReader{conn: conn, br: bufio.NewReaderSize(conn, size)}
+}
+
+// ReadFrame reads one frame, failing with a net timeout error if the whole
+// frame has not arrived within timeout (<= 0 reads without a deadline). The
+// deadline governs the underlying socket reads; frames already buffered are
+// returned without touching the socket.
+func (fr *FrameReader) ReadFrame(timeout time.Duration) ([]byte, error) {
+	if timeout > 0 {
+		if err := fr.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+		defer fr.conn.SetReadDeadline(time.Time{})
+	}
+	var hdr [2]byte
+	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	msg := make([]byte, binary.BigEndian.Uint16(hdr[:]))
+	if _, err := io.ReadFull(fr.br, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
 }
 
 // IsTimeout reports whether err is a network timeout (a deadline expiry) —
