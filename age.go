@@ -431,6 +431,53 @@ const (
 // its hello with a reject status.
 type RejectedError = ingest.RejectedError
 
+// ProtocolError reports a malformed wire value from the peer (an unknown
+// ack status or frame marker); it is never retried.
+type ProtocolError = ingest.ProtocolError
+
+// ---- Frame-release pacing (timing side-channel defense) ----
+
+// PaceMode selects a Client's frame-release discipline. AGE's fixed-size
+// frames close the size channel; PaceConstant/PaceJitter close the timing
+// channel too, releasing one wire frame per (optionally jittered) interval
+// and covering empty slots with sealed dummy frames.
+type PaceMode = ingest.PaceMode
+
+// The release disciplines.
+const (
+	PaceOff      = ingest.PaceOff
+	PaceLive     = ingest.PaceLive
+	PaceConstant = ingest.PaceConstant
+	PaceJitter   = ingest.PaceJitter
+)
+
+// PacerConfig configures the client-side pacer (ClientConfig.Pacer): the
+// mode, release interval, jitter fraction, schedule seed, and the sealed
+// dummy-frame generator.
+type PacerConfig = ingest.PacerConfig
+
+// ParsePaceMode parses a mode name ("off", "live", "constant", "jitter").
+func ParsePaceMode(s string) (PaceMode, error) { return ingest.ParsePaceMode(s) }
+
+// TimedFrameSource is a FrameSource with a data-driven availability
+// schedule; pacing modes other than PaceOff consult it to decide when each
+// frame "happened".
+type TimedFrameSource = ingest.TimedSource
+
+// ErrDummyFrame is returned by an IngestSession's Frame to report a pacer
+// dummy: the server drops the frame without advancing the sensor's
+// delivered index.
+var ErrDummyFrame = ingest.ErrDummyFrame
+
+// MarkFrameReal, MarkFrameDummy, and UnmarkFrame implement the pacer's
+// in-payload marker convention: sources seal marked payloads, receiving
+// sessions unmark after unsealing and drop dummies with ErrDummyFrame.
+func MarkFrameReal(payload []byte) []byte { return ingest.MarkReal(payload) }
+func MarkFrameDummy(filler []byte) []byte { return ingest.MarkDummy(filler) }
+func UnmarkFrame(payload []byte) ([]byte, bool, error) {
+	return ingest.Unmark(payload)
+}
+
 // FrameError attributes a server-side session failure to the frame index
 // being read when it happened.
 type FrameError = ingest.FrameError

@@ -1,22 +1,30 @@
 // Command ageattack mounts the §5.4 message-size attack against one
 // configuration and prints the cross-validated accuracy, the majority
-// baseline, and the confusion matrix.
+// baseline, and the confusion matrix. With -timing it instead mounts the
+// inter-frame timing attack on three live ingest links (undefended,
+// constant-rate paced, jitter paced) and prints the attack/defense table;
+// -assert-defense additionally exits non-zero unless the undefended link
+// leaks and the paced links do not, for CI smoke tests.
 //
 // Usage:
 //
 //	ageattack -dataset epilepsy -policy linear -encoder standard -rate 0.7
 //	ageattack -dataset epilepsy -policy linear -encoder age -rate 0.7
+//	ageattack -timing -dataset epilepsy -rate 0.7 -assert-defense
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/energy"
+	"repro/internal/experiments"
 	"repro/internal/policy"
 	"repro/internal/seccomm"
 	"repro/internal/simulator"
@@ -32,8 +40,21 @@ func main() {
 		maxSeq  = flag.Int("max-seq", 96, "sequences to simulate")
 		samples = flag.Int("samples", 1000, "attack windows")
 		seed    = flag.Int64("seed", 1, "random seed")
+
+		timing    = flag.Bool("timing", false, "mount the inter-frame timing attack on live ingest links")
+		sensors   = flag.Int("sensors", 4, "timing: fleet size behind the ingest server")
+		interval  = flag.Duration("interval", 4*time.Millisecond, "timing: paced release interval")
+		paceJit   = flag.Float64("pace-jitter", 0.3, "timing: jitter fraction for the jittered mode")
+		perms     = flag.Int("permutations", 10000, "timing: permutation test iterations")
+		assertDef = flag.Bool("assert-defense", false, "timing: exit non-zero unless undefended leaks and paced does not")
 	)
 	flag.Parse()
+
+	if *timing {
+		runTimingAttack(*dsName, *rate, *maxSeq, *samples, *seed,
+			*sensors, *interval, *paceJit, *perms, *assertDef)
+		return
+	}
 
 	data, err := dataset.Load(*dsName, dataset.Options{Seed: *seed, MaxSequences: *maxSeq})
 	if err != nil {
@@ -111,4 +132,58 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runTimingAttack drives the timing attack/defense evaluation over real
+// loopback ingest links and optionally asserts the defense for CI.
+func runTimingAttack(dsName string, rate float64, maxSeq, samples int, seed int64,
+	sensors int, interval time.Duration, paceJit float64, perms int, assertDef bool) {
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = seed
+	cfg.MaxSequences = maxSeq
+	cfg.TrainSequences = maxSeq / 3
+	cfg.Rates = []float64{rate}
+	cfg.AttackSamples = samples
+	cfg.Permutations = perms
+
+	tcfg := experiments.DefaultTimingConfig()
+	tcfg.Sensors = sensors
+	tcfg.Interval = interval
+	tcfg.JitterFrac = paceJit
+
+	res, err := experiments.TimingLeakage(context.Background(), cfg, tcfg, dsName, rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.String())
+
+	if !assertDef {
+		return
+	}
+	live, constant := res.Mode("live"), res.Mode("constant")
+	if live == nil || constant == nil {
+		log.Fatal("assert-defense: missing live or constant row")
+	}
+	failed := false
+	if !live.Significant {
+		log.Printf("FAIL: undefended link not significant (NMI %.3f, p %.5f, CI high %.5f) — the timing attack should work",
+			live.NMI, live.PValue, live.CIHigh)
+		failed = true
+	}
+	if live.AttackAccuracy < live.Majority+0.2 {
+		log.Printf("FAIL: undefended attack accuracy %.3f vs majority %.3f — the timing attack should work",
+			live.AttackAccuracy, live.Majority)
+		failed = true
+	}
+	for _, mode := range []string{"constant", "jitter"} {
+		if row := res.Mode(mode); row != nil && row.Significant {
+			log.Printf("FAIL: %s pacing still significant (NMI %.3f, p %.5f) — the defense should close the channel",
+				mode, row.NMI, row.PValue)
+			failed = true
+		}
+	}
+	if failed {
+		log.Fatal("assert-defense: timing defense check failed")
+	}
+	fmt.Println("assert-defense: undefended link leaks, paced links do not")
 }

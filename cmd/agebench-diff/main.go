@@ -5,10 +5,13 @@
 //
 // Gated metrics per kind:
 //
-//	ingest  frames_per_sec, mb_per_sec            higher is better
-//	sweep   total_seconds                          lower is better
-//	        encoder_ns_per_op.{standard,age}       lower is better
-//	        encoder_allocs_per_op.{standard,age}   must not increase
+//	ingest       frames_per_sec, mb_per_sec            higher is better
+//	ingest-pace  frames_per_sec                        higher is better
+//	             pacer.goodput_pct                     higher is better
+//	             pacer.mean_aoi_ms                     lower is better
+//	sweep        total_seconds                         lower is better
+//	             encoder_ns_per_op.{standard,age}      lower is better
+//	             encoder_allocs_per_op.{standard,age}  must not increase
 //
 // Throughput/latency metrics fail when they regress more than -max-regress
 // (default 10%) past the baseline. Allocation metrics fail on any increase
@@ -57,6 +60,15 @@ var kinds = map[string][]metricSpec{
 	"ingest": {
 		{"frames_per_sec", higherBetter},
 		{"mb_per_sec", higherBetter},
+	},
+	// A paced ageload run (-pace constant): separate kind because the pacer
+	// section only exists in paced reports, and the interesting failure modes
+	// differ — a pacer that stalls releases shows up as collapsed goodput or
+	// ballooning age of information, not raw throughput.
+	"ingest-pace": {
+		{"frames_per_sec", higherBetter},
+		{"pacer.goodput_pct", higherBetter},
+		{"pacer.mean_aoi_ms", lowerBetter},
 	},
 	"sweep": {
 		{"total_seconds", lowerBetter},
@@ -109,7 +121,7 @@ func main() {
 
 	specs, ok := kinds[*kind]
 	if !ok {
-		log.Fatalf("agebench-diff: -kind %q must be one of: ingest, sweep", *kind)
+		log.Fatalf("agebench-diff: -kind %q must be one of: ingest, ingest-pace, sweep", *kind)
 	}
 	if *baseline == "" || *current == "" {
 		log.Fatal("agebench-diff: -baseline and -current are required")

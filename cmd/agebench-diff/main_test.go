@@ -61,6 +61,64 @@ func TestIngestImprovementPasses(t *testing.T) {
 	}
 }
 
+const pacedBaseline = `{
+	"frames_per_sec": 5000,
+	"pacer": {"goodput_pct": 60, "mean_aoi_ms": 0.6}
+}`
+
+func TestIngestPaceWithinBaselinePasses(t *testing.T) {
+	cur := mustParse(t, `{
+		"frames_per_sec": 5200,
+		"pacer": {"goodput_pct": 66.7, "mean_aoi_ms": 0.5}
+	}`)
+	rep, err := compare("ingest-pace", mustParse(t, pacedBaseline), cur, kinds["ingest-pace"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("healthy paced run flagged: %+v", rep.Results)
+	}
+}
+
+func TestIngestPaceGoodputCollapseFails(t *testing.T) {
+	// Goodput collapsing means the pacer is releasing mostly dummies —
+	// real frames are stalling behind the schedule.
+	cur := mustParse(t, `{
+		"frames_per_sec": 5200,
+		"pacer": {"goodput_pct": 30, "mean_aoi_ms": 0.5}
+	}`)
+	rep, err := compare("ingest-pace", mustParse(t, pacedBaseline), cur, kinds["ingest-pace"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("goodput collapse passed the gate")
+	}
+}
+
+func TestIngestPaceAoIBlowupFails(t *testing.T) {
+	cur := mustParse(t, `{
+		"frames_per_sec": 5200,
+		"pacer": {"goodput_pct": 66.7, "mean_aoi_ms": 5.0}
+	}`)
+	rep, err := compare("ingest-pace", mustParse(t, pacedBaseline), cur, kinds["ingest-pace"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("age-of-information blowup passed the gate")
+	}
+}
+
+func TestIngestPaceMissingPacerSectionErrors(t *testing.T) {
+	// An unpaced report run through the paced gate must error loudly, not
+	// silently pass with the pacer metrics skipped.
+	cur := mustParse(t, `{"frames_per_sec": 5200}`)
+	if _, err := compare("ingest-pace", mustParse(t, pacedBaseline), cur, kinds["ingest-pace"], defaultLimits()); err == nil {
+		t.Fatal("missing pacer section did not error")
+	}
+}
+
 const sweepBaseline = `{
 	"total_seconds": 60,
 	"encoder_ns_per_op": {"standard": 2000, "age": 5000},

@@ -31,9 +31,13 @@ import (
 )
 
 // loadSession discards frames, counting them. One exists per accepted
-// connection; the shared counters aggregate across the whole run.
+// connection; the shared counters aggregate across the whole run. When the
+// fleet is paced, payloads carry the in-payload real/dummy marker: the
+// session unwraps it and drops cover traffic the way a production handler
+// does after unsealing.
 type loadSession struct {
 	total  int
+	paced  bool
 	frames *atomic.Int64
 	bytes  *atomic.Int64
 }
@@ -41,12 +45,41 @@ type loadSession struct {
 func (s *loadSession) Total() int { return s.total }
 
 func (s *loadSession) Frame(index int, msg []byte) error {
+	if s.paced {
+		data, dummy, err := ingest.Unmark(msg)
+		if err != nil {
+			return err
+		}
+		if dummy {
+			return ingest.ErrDummyFrame
+		}
+		msg = data
+	}
 	s.frames.Add(1)
 	s.bytes.Add(int64(len(msg)))
 	return nil
 }
 
 func (s *loadSession) Close(err error) {}
+
+// pacedSource adapts a FrameSource for the release pacer: real payloads gain
+// the in-payload marker, and a synthetic generation clock (a fixed gap per
+// frame) gives the pacer's age-of-information accounting a production time
+// to charge against.
+type pacedSource struct {
+	ingest.FrameSource
+	gap time.Duration
+}
+
+func (p *pacedSource) Next(ctx context.Context) ([]byte, error) {
+	msg, err := p.FrameSource.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ingest.MarkReal(msg), nil
+}
+
+func (p *pacedSource) LastGap() time.Duration { return p.gap }
 
 // genSource synthesizes one sensor's frames on demand: a single reused
 // buffer stamped with the sensor and frame index, so memory stays flat no
@@ -191,6 +224,22 @@ func summarize(durs []time.Duration) percentiles {
 	}
 }
 
+// pacerReport summarizes the frame-release pacer's cost for one run: how
+// much of the wire traffic was real (goodput) and how stale frames were at
+// release (age of information).
+type pacerReport struct {
+	Mode        string  `json:"mode"`
+	IntervalMS  float64 `json:"interval_ms"`
+	JitterFrac  float64 `json:"jitter_frac"`
+	GenGapMS    float64 `json:"gen_gap_ms"`
+	RealFrames  int64   `json:"real_frames"`
+	DummyFrames int64   `json:"dummy_frames"`
+	DummyBytes  int64   `json:"dummy_bytes"`
+	GoodputPct  float64 `json:"goodput_pct"`
+	MeanAoIMS   float64 `json:"mean_aoi_ms"`
+	MaxAoIMS    float64 `json:"max_aoi_ms"`
+}
+
 // report is the -out JSON payload.
 type report struct {
 	Sensors         int    `json:"sensors"`
@@ -202,17 +251,38 @@ type report struct {
 	WriteBatch      int    `json:"write_batch"`
 	EncodeMode      string `json:"encode_mode"`
 
-	WallSeconds    float64     `json:"wall_seconds"`
-	FramesPerSec   float64     `json:"frames_per_sec"`
-	MBPerSec       float64     `json:"mb_per_sec"`
-	SessionLatency percentiles `json:"session_latency"`
+	WallSeconds     float64     `json:"wall_seconds"`
+	DeliveredFrames int64       `json:"delivered_frames"`
+	FramesPerSec    float64     `json:"frames_per_sec"`
+	MBPerSec        float64     `json:"mb_per_sec"`
+	SessionLatency  percentiles `json:"session_latency"`
 
 	Completed   int   `json:"completed_sensors"`
 	Failed      int   `json:"failed_sensors"`
 	SoftRejects int64 `json:"soft_rejects"`
 	Reconnects  int64 `json:"reconnects"`
 
+	Pacer *pacerReport `json:"pacer,omitempty"`
+
 	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// loadOptions collects everything runLoad needs; main fills it from flags
+// and tests fill it directly.
+type loadOptions struct {
+	sensors, frames, frameBytes int
+	shards, workers, queue      int
+	writeBatch                  int
+	encode                      string
+	ioTimeout                   time.Duration
+	rejectAttempts              int
+	reconnects                  int
+	runTimeout                  time.Duration
+
+	pace         ingest.PaceMode
+	paceInterval time.Duration
+	paceJitter   float64
+	genGap       time.Duration
 }
 
 func main() {
@@ -229,6 +299,11 @@ func main() {
 		writeBatch = flag.Int("write-batch", 8, "frames gathered into one TCP write per client")
 		encode     = flag.String("encode", "none", "frame content: none (stamped bytes), age, or standard (encode synthetic batches through the production kernels)")
 
+		pace         = flag.String("pace", "off", "frame-release pacing: off, live, constant, or jitter")
+		paceInterval = flag.Duration("pace-interval", 2*time.Millisecond, "paced release interval (constant/jitter)")
+		paceJitter   = flag.Float64("pace-jitter", 0.3, "release jitter fraction (jitter mode)")
+		genGap       = flag.Duration("pace-gen-gap", 3*time.Millisecond, "synthetic per-frame generation gap charged to age of information (slower than -pace-interval so slots without a pending frame carry cover traffic)")
+
 		ioTimeout      = flag.Duration("io-timeout", 5*time.Second, "per-frame read/write deadline")
 		rejectAttempts = flag.Int("reject-attempts", 64, "client budget for transient server rejects")
 		reconnects     = flag.Int("reconnect-attempts", 2, "client budget for redial+resume after a dropped link")
@@ -239,29 +314,79 @@ func main() {
 	if *sensors <= 0 || *frames <= 0 || *frameBytes <= 0 {
 		log.Fatal("ageload: -sensors, -frames, and -frame-bytes must be positive")
 	}
+	paceMode, err := ingest.ParsePaceMode(*pace)
+	if err != nil {
+		log.Fatalf("ageload: %v", err)
+	}
 
+	rep, err := runLoad(loadOptions{
+		sensors: *sensors, frames: *frames, frameBytes: *frameBytes,
+		shards: *shards, workers: *workers, queue: *queue,
+		writeBatch: *writeBatch, encode: *encode,
+		ioTimeout: *ioTimeout, rejectAttempts: *rejectAttempts,
+		reconnects: *reconnects, runTimeout: *runTimeout,
+		pace: paceMode, paceInterval: *paceInterval,
+		paceJitter: *paceJitter, genGap: *genGap,
+	})
+	if err != nil {
+		log.Fatalf("ageload: %v", err)
+	}
+
+	fmt.Printf("ageload: %d/%d sensors completed, %d frames (%.0f frames/s, %.2f MB/s) in %.2fs\n",
+		rep.Completed, rep.Sensors, rep.DeliveredFrames, rep.FramesPerSec, rep.MBPerSec, rep.WallSeconds)
+	fmt.Printf("ageload: session latency p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms; %d soft rejects, %d reconnects\n",
+		rep.SessionLatency.P50, rep.SessionLatency.P90, rep.SessionLatency.P99, rep.SessionLatency.Max,
+		rep.SoftRejects, rep.Reconnects)
+	if p := rep.Pacer; p != nil {
+		fmt.Printf("ageload: pacer %s: %.1f%% goodput (%d real, %d dummy frames), mean AoI %.2fms max %.2fms\n",
+			p.Mode, p.GoodputPct, p.RealFrames, p.DummyFrames, p.MeanAoIMS, p.MaxAoIMS)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("ageload: report: %v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("ageload: report: %v", err)
+		}
+		fmt.Printf("ageload: wrote %s\n", *out)
+	}
+	if rep.Failed > 0 {
+		log.Fatalf("ageload: %d sensors failed", rep.Failed)
+	}
+}
+
+// runLoad drives one full load run: a production ingest server on loopback,
+// opts.sensors real clients streaming opts.frames each, and the report
+// summarizing what the wire saw.
+func runLoad(opts loadOptions) (*report, error) {
 	// In encode mode every frame is a real encoded payload: a Q3.13
 	// activity-style task sized so AGE's fixed message is about -frame-bytes.
 	var encCfg core.Config
 	var newEncoder func() (core.BatchAppendEncoder, error)
-	switch *encode {
+	switch opts.encode {
 	case "none":
 	case "age", "standard":
 		encCfg = core.Config{
 			T: 50, D: 6,
 			Format:      fixedpoint.Format{Width: 16, NonFrac: 3},
-			TargetBytes: *frameBytes,
+			TargetBytes: opts.frameBytes,
 		}
-		if *encode == "age" {
+		if opts.encode == "age" {
 			newEncoder = func() (core.BatchAppendEncoder, error) { return core.NewAGE(encCfg) }
 		} else {
 			newEncoder = func() (core.BatchAppendEncoder, error) { return core.NewStandard(encCfg) }
 		}
 		if _, err := newEncoder(); err != nil {
-			log.Fatalf("ageload: -encode %s with -frame-bytes %d: %v", *encode, *frameBytes, err)
+			return nil, fmt.Errorf("-encode %s with -frame-bytes %d: %w", opts.encode, opts.frameBytes, err)
 		}
 	default:
-		log.Fatalf("ageload: unknown -encode mode %q (want none, age, or standard)", *encode)
+		return nil, fmt.Errorf("unknown -encode mode %q (want none, age, or standard)", opts.encode)
+	}
+	paced := opts.pace != ingest.PaceOff
+	if paced && opts.pace != ingest.PaceLive && opts.paceInterval <= 0 {
+		return nil, fmt.Errorf("-pace %s needs -pace-interval > 0", opts.pace)
 	}
 
 	reg := metrics.NewRegistry()
@@ -269,46 +394,58 @@ func main() {
 	srv, err := ingest.NewServer(ingest.ServerConfig{
 		Handler: ingest.HandlerFuncs{
 			OpenFunc: func(sensorID, delivered int) (ingest.Session, error) {
-				return &loadSession{total: *frames, frames: &gotFrames, bytes: &gotBytes}, nil
+				return &loadSession{total: opts.frames, paced: paced, frames: &gotFrames, bytes: &gotBytes}, nil
 			},
 		},
-		Shards:          *shards,
-		WorkersPerShard: *workers,
-		QueueDepth:      *queue,
-		IOTimeout:       *ioTimeout,
+		Shards:          opts.shards,
+		WorkersPerShard: opts.workers,
+		QueueDepth:      opts.queue,
+		IOTimeout:       opts.ioTimeout,
 		Metrics:         reg,
 	})
 	if err != nil {
-		log.Fatalf("ageload: %v", err)
+		return nil, err
 	}
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
-		log.Fatalf("ageload: listen: %v", err)
+		return nil, fmt.Errorf("listen: %w", err)
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
 
-	ctx, cancel := context.WithTimeout(context.Background(), *runTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), opts.runTimeout)
 	defer cancel()
 
-	durs := make([]time.Duration, *sensors)
-	errs := make([]error, *sensors)
-	var softRejects, reconnectCount atomic.Int64
+	durs := make([]time.Duration, opts.sensors)
+	errs := make([]error, opts.sensors)
+	allStats := make([]ingest.ClientStats, opts.sensors)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for i := 0; i < *sensors; i++ {
+	for i := 0; i < opts.sensors; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			client := ingest.NewClient(ingest.ClientConfig{
+			ccfg := ingest.ClientConfig{
 				Addr:              srv.Addr().String(),
 				SensorID:          id,
-				IOTimeout:         *ioTimeout,
+				IOTimeout:         opts.ioTimeout,
 				DialAttempts:      6,
-				RejectAttempts:    *rejectAttempts,
-				ReconnectAttempts: *reconnects,
-				WriteBatch:        *writeBatch,
+				RejectAttempts:    opts.rejectAttempts,
+				ReconnectAttempts: opts.reconnects,
+				WriteBatch:        opts.writeBatch,
 				Metrics:           reg,
-			})
+			}
+			if paced {
+				ccfg.Seed = int64(id)*2654435761 + 1
+				ccfg.Pacer = ingest.PacerConfig{
+					Mode:       opts.pace,
+					Interval:   opts.paceInterval,
+					JitterFrac: opts.paceJitter,
+					Dummy: func() ([]byte, error) {
+						return ingest.MarkDummy(make([]byte, opts.frameBytes)), nil
+					},
+				}
+			}
+			client := ingest.NewClient(ccfg)
 			var src ingest.FrameSource
 			if newEncoder != nil {
 				enc, err := newEncoder()
@@ -316,50 +453,62 @@ func main() {
 					errs[id] = err
 					return
 				}
-				block := *writeBatch
+				block := opts.writeBatch
 				if block < 1 {
 					block = 1
 				}
-				src = newEncSource(id, *frames, block, enc, encCfg)
+				src = newEncSource(id, opts.frames, block, enc, encCfg)
 			} else {
-				src = &genSource{sensorID: id, total: *frames, buf: make([]byte, *frameBytes)}
+				src = &genSource{sensorID: id, total: opts.frames, buf: make([]byte, opts.frameBytes)}
+			}
+			if paced {
+				src = &pacedSource{FrameSource: src, gap: opts.genGap}
 			}
 			t0 := time.Now()
 			stats, err := client.Run(ctx, src)
 			durs[id] = time.Since(t0)
 			errs[id] = err
-			softRejects.Add(int64(stats.SoftRejects))
-			reconnectCount.Add(int64(stats.Reconnects))
+			allStats[id] = stats
 		}(i)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	drainCtx, drainCancel := context.WithTimeout(context.Background(), 2*(*ioTimeout))
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 2*opts.ioTimeout)
 	defer drainCancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		log.Fatalf("ageload: drain: %v", err)
+		return nil, fmt.Errorf("drain: %w", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, ingest.ErrClosed) {
-		log.Fatalf("ageload: serve: %v", err)
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 
-	rep := report{
-		Sensors:         *sensors,
-		FramesPerSensor: *frames,
-		FrameBytes:      *frameBytes,
-		Shards:          *shards,
-		WorkersPerShard: *workers,
-		QueueDepth:      *queue,
-		WriteBatch:      *writeBatch,
-		EncodeMode:      *encode,
+	rep := &report{
+		Sensors:         opts.sensors,
+		FramesPerSensor: opts.frames,
+		FrameBytes:      opts.frameBytes,
+		Shards:          opts.shards,
+		WorkersPerShard: opts.workers,
+		QueueDepth:      opts.queue,
+		WriteBatch:      opts.writeBatch,
+		EncodeMode:      opts.encode,
 		WallSeconds:     wall.Seconds(),
-		SoftRejects:     softRejects.Load(),
-		Reconnects:      reconnectCount.Load(),
+		DeliveredFrames: gotFrames.Load(),
 		Metrics:         reg.Snapshot(),
 	}
 	var okDurs []time.Duration
+	var realFrames, dummyFrames, dummyBytes, aoiTotal, aoiMax int64
 	for i, err := range errs {
+		st := allStats[i]
+		rep.SoftRejects += int64(st.SoftRejects)
+		rep.Reconnects += int64(st.Reconnects)
+		realFrames += int64(st.FramesSent)
+		dummyFrames += int64(st.DummyFrames)
+		dummyBytes += int64(st.DummyBytesSent)
+		aoiTotal += st.AoIMicrosTotal
+		if st.AoIMicrosMax > aoiMax {
+			aoiMax = st.AoIMicrosMax
+		}
 		if err != nil {
 			rep.Failed++
 			if rep.Failed <= 3 {
@@ -375,24 +524,24 @@ func main() {
 		rep.FramesPerSec = float64(gotFrames.Load()) / wall.Seconds()
 		rep.MBPerSec = float64(gotBytes.Load()) / wall.Seconds() / 1e6
 	}
-
-	fmt.Printf("ageload: %d/%d sensors completed, %d frames (%.0f frames/s, %.2f MB/s) in %.2fs\n",
-		rep.Completed, rep.Sensors, gotFrames.Load(), rep.FramesPerSec, rep.MBPerSec, rep.WallSeconds)
-	fmt.Printf("ageload: session latency p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms; %d soft rejects, %d reconnects\n",
-		rep.SessionLatency.P50, rep.SessionLatency.P90, rep.SessionLatency.P99, rep.SessionLatency.Max,
-		rep.SoftRejects, rep.Reconnects)
-
-	if *out != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			log.Fatalf("ageload: report: %v", err)
+	if paced {
+		p := &pacerReport{
+			Mode:        opts.pace.String(),
+			IntervalMS:  float64(opts.paceInterval) / float64(time.Millisecond),
+			JitterFrac:  opts.paceJitter,
+			GenGapMS:    float64(opts.genGap) / float64(time.Millisecond),
+			RealFrames:  realFrames,
+			DummyFrames: dummyFrames,
+			DummyBytes:  dummyBytes,
+			MaxAoIMS:    float64(aoiMax) / 1e3,
 		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			log.Fatalf("ageload: report: %v", err)
+		if total := realFrames + dummyFrames; total > 0 {
+			p.GoodputPct = 100 * float64(realFrames) / float64(total)
 		}
-		fmt.Printf("ageload: wrote %s\n", *out)
+		if realFrames > 0 {
+			p.MeanAoIMS = float64(aoiTotal) / float64(realFrames) / 1e3
+		}
+		rep.Pacer = p
 	}
-	if rep.Failed > 0 {
-		log.Fatalf("ageload: %d sensors failed", rep.Failed)
-	}
+	return rep, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fixedpoint"
+	"repro/internal/ingest"
 )
 
 // TestSummarizeLeavesInputUnsorted is the regression test for summarize
@@ -109,5 +110,110 @@ func TestEncSourceResumeContract(t *testing.T) {
 	cancel()
 	if _, err := mk(5).Next(ctx2); err == nil {
 		t.Error("encSource.Next ignored cancellation")
+	}
+}
+
+// loadTestOptions is a small, fast run through the full client/server path.
+func loadTestOptions() loadOptions {
+	return loadOptions{
+		sensors: 8, frames: 10, frameBytes: 48,
+		shards: 2, workers: 8, queue: 16,
+		writeBatch: 4, encode: "none",
+		ioTimeout: 2 * time.Second, rejectAttempts: 16,
+		reconnects: 2, runTimeout: 30 * time.Second,
+	}
+}
+
+// TestRunLoadPacedEndToEnd drives the whole ageload path — real server, real
+// clients, release pacer, dummy cover traffic — and checks the report's
+// pacer accounting against the run geometry. With a 1.5ms generation gap
+// against a 1ms release interval, generation is the bottleneck: every real
+// frame still arrives (delivery identity) and the skipped slots carry
+// dummies.
+func TestRunLoadPacedEndToEnd(t *testing.T) {
+	opts := loadTestOptions()
+	opts.pace = ingest.PaceConstant
+	opts.paceInterval = time.Millisecond
+	opts.genGap = 1500 * time.Microsecond
+
+	rep, err := runLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || rep.Completed != opts.sensors {
+		t.Fatalf("completed %d/%d, %d failed", rep.Completed, opts.sensors, rep.Failed)
+	}
+	want := int64(opts.sensors * opts.frames)
+	if rep.DeliveredFrames != want {
+		t.Errorf("delivered %d frames, want %d", rep.DeliveredFrames, want)
+	}
+	p := rep.Pacer
+	if p == nil {
+		t.Fatal("paced run produced no pacer report")
+	}
+	if p.Mode != "constant" {
+		t.Errorf("pacer mode %q, want constant", p.Mode)
+	}
+	if p.RealFrames != want {
+		t.Errorf("pacer counted %d real frames, want %d", p.RealFrames, want)
+	}
+	if p.DummyFrames <= 0 {
+		t.Error("generation slower than release sent no cover traffic")
+	}
+	if p.DummyBytes != p.DummyFrames*int64(opts.frameBytes+1) {
+		t.Errorf("dummy bytes %d, want %d frames x %dB marked", p.DummyBytes, p.DummyFrames, opts.frameBytes+1)
+	}
+	if p.GoodputPct <= 0 || p.GoodputPct >= 100 {
+		t.Errorf("goodput = %.1f%%, want in (0, 100)", p.GoodputPct)
+	}
+	if p.MeanAoIMS <= 0 || p.MaxAoIMS < p.MeanAoIMS {
+		t.Errorf("AoI accounting: mean %.3fms max %.3fms", p.MeanAoIMS, p.MaxAoIMS)
+	}
+}
+
+// TestRunLoadPacedEncodeMode runs the pacer over real encoded payloads: the
+// in-payload marker must wrap the production encoder's frames without
+// corrupting delivery.
+func TestRunLoadPacedEncodeMode(t *testing.T) {
+	opts := loadTestOptions()
+	opts.sensors, opts.frames, opts.frameBytes = 4, 8, 64
+	opts.encode = "age"
+	opts.pace = ingest.PaceJitter
+	opts.paceInterval = time.Millisecond
+	opts.paceJitter = 0.4
+	opts.genGap = 1500 * time.Microsecond
+
+	rep, err := runLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d sensors failed", rep.Failed)
+	}
+	if want := int64(opts.sensors * opts.frames); rep.DeliveredFrames != want {
+		t.Errorf("delivered %d frames, want %d", rep.DeliveredFrames, want)
+	}
+	if rep.Pacer == nil || rep.Pacer.DummyFrames <= 0 {
+		t.Error("jitter pacing over encoded frames sent no cover traffic")
+	}
+}
+
+// TestRunLoadUnpacedHasNoPacerReport pins the report shape the ingest bench
+// gate relies on: without -pace the pacer section is absent, so the
+// committed BENCH_ingest baseline stays comparable.
+func TestRunLoadUnpacedHasNoPacerReport(t *testing.T) {
+	opts := loadTestOptions()
+	rep, err := runLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d sensors failed", rep.Failed)
+	}
+	if rep.Pacer != nil {
+		t.Errorf("unpaced run produced a pacer report: %+v", rep.Pacer)
+	}
+	if want := int64(opts.sensors * opts.frames); rep.DeliveredFrames != want {
+		t.Errorf("delivered %d frames, want %d", rep.DeliveredFrames, want)
 	}
 }

@@ -1,0 +1,210 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// This file extends the §5.4 adversary to the *timing* side-channel of the
+// live ingest link. AGE's fixed-size frames close the size channel, but a
+// sensor that transmits whenever its adaptive policy has a batch ready still
+// modulates inter-frame timing with the collection rate — a duty-cycled
+// node spends time proportional to the samples it gathered before it can
+// key the radio — so an eavesdropper can classify events from gaps alone
+// (cf. the AoI-eavesdropper attack, arXiv 2306.08475). The machinery here
+// mirrors the size attack: a passive tap records per-sensor inter-frame
+// gaps, windows of same-event gaps are summarized into features, and the
+// same AdaBoost ensemble classifies them.
+
+// TimingWindowSize is the number of same-event inter-frame gaps per timing
+// attack sample, matching the size attack's window of ten.
+const TimingWindowSize = WindowSize
+
+// TimingTap is a passive wire tap on an ingest path: Observe is called once
+// per frame seen on the link (real or dummy — an eavesdropper cannot tell),
+// and the tap accumulates the inter-frame gaps per sensor, grouped by the
+// ground-truth event label the experiment attributes to the observation
+// (known to the attacker at training time, exactly like the size attack's
+// labels). The first observation of each sensor only anchors its clock; it
+// yields no gap. Safe for concurrent use — fleet sensors stream in
+// parallel.
+//
+// The tap stamps its own clock. That keeps wall-clock reads out of the
+// deterministic experiment packages: timing attack results are
+// statistically, not byte-for-byte, reproducible, and are asserted with
+// margins rather than golden values.
+type TimingTap struct {
+	mu   sync.Mutex
+	now  func() time.Time
+	last map[int]time.Time
+	gaps map[int][]float64 // label -> observed gaps in microseconds
+	seen int
+}
+
+// NewTimingTap returns an empty tap.
+func NewTimingTap() *TimingTap {
+	return &TimingTap{now: time.Now, last: map[int]time.Time{}, gaps: map[int][]float64{}}
+}
+
+// newTimingTapClock is NewTimingTap with an injected clock, for tests.
+func newTimingTapClock(now func() time.Time) *TimingTap {
+	t := NewTimingTap()
+	t.now = now
+	return t
+}
+
+// Observe records one frame sighting on sensorID's link, attributed to
+// label.
+func (t *TimingTap) Observe(sensorID, label int) {
+	ts := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seen++
+	if prev, ok := t.last[sensorID]; ok {
+		gap := float64(ts.Sub(prev).Nanoseconds()) / 1e3
+		if gap < 0 {
+			gap = 0
+		}
+		t.gaps[label] = append(t.gaps[label], gap)
+	}
+	t.last[sensorID] = ts
+}
+
+// Frames returns how many frame sightings the tap has recorded (including
+// the per-sensor anchors that produced no gap).
+func (t *TimingTap) Frames() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seen
+}
+
+// GapsByLabel returns a copy of the observed inter-frame gaps (in
+// microseconds) grouped by event label.
+func (t *TimingTap) GapsByLabel() map[int][]float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int][]float64, len(t.gaps))
+	for l, g := range t.gaps {
+		out[l] = append([]float64(nil), g...)
+	}
+	return out
+}
+
+// TimingWindowFeatures summarizes a window of inter-frame gaps (µs) into
+// the timing attack's six features: the four moments the size attack uses
+// (mean, median, standard deviation, IQR), a burst count (gaps shorter than
+// half the window mean — back-to-back transmissions), and the windowed
+// frame rate (frames per second implied by the window's total span).
+func TimingWindowFeatures(gaps []float64) []float64 {
+	mean := stats.Mean(gaps)
+	bursts := 0.0
+	total := 0.0
+	for _, g := range gaps {
+		if g < mean/2 {
+			bursts++
+		}
+		total += g
+	}
+	rate := 0.0
+	if total > 0 {
+		rate = float64(len(gaps)) / (total / 1e6)
+	}
+	return []float64{mean, stats.Median(gaps), stats.StdDev(gaps), stats.IQR(gaps), bursts, rate}
+}
+
+// BuildTimingSamples draws numSamples timing attack observations from
+// per-event gap pools, mirroring BuildSamples: events are drawn
+// proportionally to their share of observed gaps, each sample windows
+// TimingWindowSize same-event gaps with replacement, and the result is
+// shuffled. Every present label must have at least one gap.
+func BuildTimingSamples(gapsByLabel map[int][]float64, numSamples int, rng *rand.Rand) ([]Sample, error) {
+	type labelPool struct {
+		label int
+		gaps  []float64
+	}
+	var pools []labelPool
+	total := 0
+	for l := 0; l <= maxKeyFloat(gapsByLabel); l++ { // deterministic label order
+		gaps, ok := gapsByLabel[l]
+		if !ok {
+			continue
+		}
+		if len(gaps) == 0 {
+			return nil, fmt.Errorf("attack: label %d has no observed gaps", l)
+		}
+		pools = append(pools, labelPool{label: l, gaps: gaps})
+		total += len(gaps)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("attack: no observed gaps")
+	}
+	samples := make([]Sample, 0, numSamples)
+	for pi, p := range pools {
+		n := numSamples * len(p.gaps) / total
+		if pi == len(pools)-1 {
+			n = numSamples - len(samples)
+		}
+		for i := 0; i < n; i++ {
+			window := make([]float64, TimingWindowSize)
+			for j := range window {
+				window[j] = p.gaps[rng.Intn(len(p.gaps))]
+			}
+			samples = append(samples, Sample{Features: TimingWindowFeatures(window), Label: p.label})
+		}
+	}
+	rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+	return samples, nil
+}
+
+func maxKeyFloat(m map[int][]float64) int {
+	max := 0
+	for k := range m {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// QuantizeGaps discretizes per-label gap observations into quantile bins
+// over the pooled distribution and returns parallel label/bin slices, the
+// shape stats.NMI and stats.PermutationTestNMI consume. Quantile (rather
+// than uniform-width) bins keep every bin populated, so the NMI estimate is
+// not dominated by empty cells. bins must be at least 2.
+func QuantizeGaps(gapsByLabel map[int][]float64, bins int) (labels, binned []int, err error) {
+	if bins < 2 {
+		return nil, nil, fmt.Errorf("attack: need at least 2 bins, got %d", bins)
+	}
+	var pooled []float64
+	for l := 0; l <= maxKeyFloat(gapsByLabel); l++ { // deterministic label order
+		gaps, ok := gapsByLabel[l]
+		if !ok {
+			continue
+		}
+		for _, g := range gaps {
+			labels = append(labels, l)
+			pooled = append(pooled, g)
+		}
+	}
+	if len(pooled) == 0 {
+		return nil, nil, fmt.Errorf("attack: no observed gaps")
+	}
+	sorted := append([]float64(nil), pooled...)
+	sort.Float64s(sorted)
+	edges := make([]float64, bins-1)
+	for i := range edges {
+		q := float64(i+1) / float64(bins)
+		edges[i] = sorted[int(q*float64(len(sorted)-1))]
+	}
+	binned = make([]int, len(pooled))
+	for i, g := range pooled {
+		b := sort.SearchFloat64s(edges, g)
+		binned[i] = b
+	}
+	return labels, binned, nil
+}

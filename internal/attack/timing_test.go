@@ -1,0 +1,191 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestTimingTapRecordsGaps(t *testing.T) {
+	clock := time.Unix(0, 0)
+	tap := newTimingTapClock(func() time.Time { return clock })
+
+	// Sensor 0: anchor, then 10ms gap (label 1), then 30ms gap (label 2).
+	tap.Observe(0, 1)
+	clock = clock.Add(10 * time.Millisecond)
+	tap.Observe(0, 1)
+	clock = clock.Add(30 * time.Millisecond)
+	tap.Observe(0, 2)
+	// Sensor 7 interleaves: its anchor is independent of sensor 0's clock.
+	tap.Observe(7, 1)
+	clock = clock.Add(5 * time.Millisecond)
+	tap.Observe(7, 1)
+
+	if got := tap.Frames(); got != 5 {
+		t.Errorf("Frames() = %d, want 5", got)
+	}
+	gaps := tap.GapsByLabel()
+	if want := []float64{10000, 5000}; len(gaps[1]) != 2 || gaps[1][0] != want[0] || gaps[1][1] != want[1] {
+		t.Errorf("label 1 gaps = %v, want %v", gaps[1], want)
+	}
+	if len(gaps[2]) != 1 || gaps[2][0] != 30000 {
+		t.Errorf("label 2 gaps = %v, want [30000]", gaps[2])
+	}
+	// The returned map is a copy.
+	gaps[1][0] = -1
+	if tap.GapsByLabel()[1][0] != 10000 {
+		t.Error("GapsByLabel returned aliased storage")
+	}
+}
+
+func TestTimingWindowFeatures(t *testing.T) {
+	// Eight 10ms gaps and two near-zero "burst" gaps: mean 8.2ms, so the
+	// burst threshold (mean/2 = 4.1ms) catches exactly the two short gaps.
+	gaps := []float64{10000, 10000, 10000, 10000, 10000, 10000, 10000, 10000, 1000, 1000}
+	f := TimingWindowFeatures(gaps)
+	if len(f) != 6 {
+		t.Fatalf("feature count = %d, want 6", len(f))
+	}
+	if math.Abs(f[0]-8200) > 1e-9 {
+		t.Errorf("mean = %v, want 8200", f[0])
+	}
+	if f[4] != 2 {
+		t.Errorf("burst count = %v, want 2", f[4])
+	}
+	// Rate: 10 frames over 82ms total span = ~121.95 frames/s.
+	if math.Abs(f[5]-10/(82000/1e6)) > 1e-6 {
+		t.Errorf("rate = %v, want %v", f[5], 10/(82000/1e6))
+	}
+	// Degenerate window of zero gaps: no span, rate reports 0, not +Inf.
+	z := TimingWindowFeatures([]float64{0, 0, 0})
+	if z[5] != 0 {
+		t.Errorf("zero-span rate = %v, want 0", z[5])
+	}
+}
+
+func TestBuildTimingSamplesDeterministic(t *testing.T) {
+	gaps := map[int][]float64{
+		0: {1000, 1100, 900, 1050},
+		2: {5000, 5200, 4800, 5100},
+	}
+	a, err := BuildTimingSamples(gaps, 40, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildTimingSamples(gaps, 40, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 40 {
+		t.Fatalf("sample count = %d, want 40", len(a))
+	}
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatalf("sample %d label differs across same-seed builds", i)
+		}
+		for j := range a[i].Features {
+			if a[i].Features[j] != b[i].Features[j] {
+				t.Fatalf("sample %d feature %d differs across same-seed builds", i, j)
+			}
+		}
+	}
+	counts := map[int]int{}
+	for _, s := range a {
+		counts[s.Label]++
+	}
+	if counts[0] != 20 || counts[2] != 20 {
+		t.Errorf("proportional allocation = %v, want 20/20", counts)
+	}
+	if _, err := BuildTimingSamples(map[int][]float64{0: {}}, 4, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty label pool accepted")
+	}
+	if _, err := BuildTimingSamples(map[int][]float64{}, 4, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty gap map accepted")
+	}
+}
+
+func TestQuantizeGapsSeparatesDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	leaky := map[int][]float64{0: nil, 1: nil}
+	for i := 0; i < 400; i++ {
+		leaky[0] = append(leaky[0], 1000+rng.Float64()*100)
+		leaky[1] = append(leaky[1], 9000+rng.Float64()*100)
+	}
+	labels, bins, err := QuantizeGaps(leaky, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 8 quantile bins and 2 balanced labels, H(label)=1 bit and
+	// H(bin)=3 bits, so even perfectly separable distributions top out at
+	// NMI = 2·1/(1+3) = 0.5 under the symmetric normalization.
+	if nmi := stats.NMI(labels, bins); nmi < 0.45 {
+		t.Errorf("separable gap distributions scored NMI %v, want ~0.5", nmi)
+	}
+
+	// A paced link: every gap identical regardless of label.
+	flat := map[int][]float64{0: nil, 1: nil}
+	for i := 0; i < 400; i++ {
+		flat[0] = append(flat[0], 5000)
+		flat[1] = append(flat[1], 5000)
+	}
+	labels, bins, err = QuantizeGaps(flat, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi := stats.NMI(labels, bins); nmi > 0.05 {
+		t.Errorf("constant gaps scored NMI %v, want ~0", nmi)
+	}
+
+	if _, _, err := QuantizeGaps(leaky, 1); err == nil {
+		t.Error("bins=1 accepted")
+	}
+	if _, _, err := QuantizeGaps(map[int][]float64{}, 4); err == nil {
+		t.Error("empty gap map accepted")
+	}
+}
+
+func TestTimingAttackEndToEndSynthetic(t *testing.T) {
+	// The full pipeline on synthetic gaps: leaky timing is classified well
+	// above the majority baseline, constant-rate timing is not.
+	rng := rand.New(rand.NewSource(21))
+	leaky := map[int][]float64{0: nil, 1: nil, 2: nil}
+	for i := 0; i < 300; i++ {
+		leaky[0] = append(leaky[0], 2000+rng.NormFloat64()*200)
+		leaky[1] = append(leaky[1], 6000+rng.NormFloat64()*200)
+		leaky[2] = append(leaky[2], 12000+rng.NormFloat64()*200)
+	}
+	samples, err := BuildTimingSamples(leaky, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CrossValidate(samples, 3, 5, DefaultAdaBoostConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanAccuracy < res.Majority+0.3 {
+		t.Errorf("leaky timing: accuracy %.3f vs majority %.3f — attack should win easily",
+			res.MeanAccuracy, res.Majority)
+	}
+
+	paced := map[int][]float64{0: nil, 1: nil, 2: nil}
+	for i := 0; i < 300; i++ {
+		for l := 0; l < 3; l++ {
+			paced[l] = append(paced[l], 5000+rng.NormFloat64()*20) // jitter ≪ interval
+		}
+	}
+	samples, err = BuildTimingSamples(paced, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = CrossValidate(samples, 3, 5, DefaultAdaBoostConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanAccuracy > res.Majority+0.15 {
+		t.Errorf("paced timing: accuracy %.3f vs majority %.3f — defense should flatten the channel",
+			res.MeanAccuracy, res.Majority)
+	}
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/energy"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+)
+
+// This file evaluates the *timing* side-channel of the live ingest link and
+// the frame-release pacer that closes it — the attack/defense pair the size
+// tables cannot see. AGE fixes every frame's size, but a sensor that
+// transmits whenever its adaptive policy has a batch ready modulates
+// inter-frame gaps with the collection rate; the timing sweep mounts the
+// AdaBoost attacker on gaps tapped from real loopback links, quantifies
+// leakage with NMI and the paper's permutation test, and prices the defense
+// in age of information and goodput.
+//
+// Unlike the size tables, timing cells measure real clocks, so results are
+// statistically — not byte-for-byte — reproducible; fixed seeds pin the
+// schedule, sampling, and attacker, while the OS scheduler contributes
+// bounded noise. The modes run sequentially (never inside the parallel
+// sweep pool) so one cell's load cannot distort another's gaps.
+
+// TimingConfig shapes the timing attack/defense evaluation.
+type TimingConfig struct {
+	// Sensors is the fleet size behind one ingest server.
+	Sensors int
+	// Interval is the paced release period; it should sit near the mean
+	// data-driven gap (shorter buys freshness with more dummy traffic).
+	Interval time.Duration
+	// JitterFrac perturbs PaceJitter release slots.
+	JitterFrac float64
+	// BaseGap and PerSample model the data-driven generation schedule: a
+	// batch of k collected samples leaves BaseGap + PerSample×k after its
+	// predecessor. PerSample is the lever that couples timing to the event.
+	BaseGap   time.Duration
+	PerSample time.Duration
+	// Bins discretizes gaps for the NMI/permutation machinery.
+	Bins int
+}
+
+// DefaultTimingConfig returns a configuration sized so data-driven gaps
+// dominate loopback scheduling noise while a full three-mode evaluation
+// stays under a few seconds.
+func DefaultTimingConfig() TimingConfig {
+	return TimingConfig{
+		Sensors:    4,
+		Interval:   4 * time.Millisecond,
+		JitterFrac: 0.3,
+		BaseGap:    500 * time.Microsecond,
+		PerSample:  25 * time.Microsecond,
+		Bins:       8,
+	}
+}
+
+// TimingModeResult is one row of the timing table: the attack mounted on
+// one release discipline, plus the defense's cost on that link.
+type TimingModeResult struct {
+	// Mode names the release discipline ("live", "constant", "jitter").
+	Mode string
+	// AttackAccuracy is the AdaBoost attacker's cross-validated accuracy on
+	// timing features alone; Majority is the no-information baseline.
+	AttackAccuracy float64
+	Majority       float64
+	// NMI is the normalized mutual information between event labels and
+	// binned inter-frame gaps; PValue and its CI come from the permutation
+	// test; Significant applies the paper's criterion (CIHigh < 0.01).
+	NMI         float64
+	PValue      float64
+	CILow       float64
+	CIHigh      float64
+	Significant bool
+	// MeanAoIMicros / MaxAoIMicros price the schedule in freshness: the
+	// age of each real frame when it finally left the sensor.
+	MeanAoIMicros float64
+	MaxAoIMicros  int64
+	// RealFrames and DummyFrames count the wire traffic; GoodputPct is the
+	// real fraction of it.
+	RealFrames  int
+	DummyFrames int
+	GoodputPct  float64
+}
+
+// TimingResult is the timing side-channel table for one dataset and budget.
+type TimingResult struct {
+	Dataset  string
+	Rate     float64
+	Sensors  int
+	Interval time.Duration
+	Modes    []TimingModeResult
+}
+
+// Mode returns the named row, or nil.
+func (r *TimingResult) Mode(name string) *TimingModeResult {
+	for i := range r.Modes {
+		if r.Modes[i].Mode == name {
+			return &r.Modes[i]
+		}
+	}
+	return nil
+}
+
+// TimingLeakage mounts the timing attack on three live links — undefended
+// (PaceLive), constant-rate paced, and jitter paced — and returns the
+// attack/defense table. The undefended link is expected to leak (accuracy
+// well above Majority, permutation test significant); the paced links are
+// expected not to.
+func TimingLeakage(ctx context.Context, cfg Config, tcfg TimingConfig, name string, rate float64) (*TimingResult, error) {
+	if tcfg.Sensors <= 0 || tcfg.Interval <= 0 || tcfg.Bins < 2 {
+		return nil, fmt.Errorf("experiments: timing config needs Sensors > 0, Interval > 0, Bins >= 2")
+	}
+	w, err := PrepareWorkload(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := w.PolicyAt("linear", rate)
+	if err != nil {
+		return nil, err
+	}
+	res := &TimingResult{Dataset: name, Rate: rate, Sensors: tcfg.Sensors, Interval: tcfg.Interval}
+	modes := []struct {
+		name   string
+		pacing simulator.FleetPacing
+	}{
+		{"live", simulator.FleetPacing{Mode: simulator.PaceLive}},
+		{"constant", simulator.FleetPacing{Mode: simulator.PaceConstant, Interval: tcfg.Interval}},
+		{"jitter", simulator.FleetPacing{Mode: simulator.PaceJitter, Interval: tcfg.Interval, JitterFrac: tcfg.JitterFrac}},
+	}
+	for _, m := range modes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tap := attack.NewTimingTap()
+		pacing := m.pacing
+		pacing.BaseGap = tcfg.BaseGap
+		pacing.PerSample = tcfg.PerSample
+		pacing.Observer = tap.Observe
+		fleet, err := simulator.RunFleetContext(ctx, simulator.FleetConfig{
+			Base: simulator.RunConfig{
+				Dataset: w.Data, Policy: p, Encoder: simulator.EncAGE,
+				Cipher: cfg.Cipher, Rate: rate, Model: energy.Default(),
+				Seed: cfg.Seed,
+			},
+			Sensors: tcfg.Sensors,
+			Pacing:  pacing,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: timing fleet (%s): %w", m.name, err)
+		}
+		if fleet.Failed > 0 {
+			return nil, fmt.Errorf("experiments: timing fleet (%s): %d sensors failed", m.name, fleet.Failed)
+		}
+		row, err := scoreTimingRun(cfg, tcfg, m.name, tap, fleet)
+		if err != nil {
+			return nil, err
+		}
+		res.Modes = append(res.Modes, *row)
+	}
+	return res, nil
+}
+
+// scoreTimingRun turns one run's tapped gaps into a table row: attacker
+// accuracy, NMI + permutation test, and the schedule's AoI/goodput cost.
+func scoreTimingRun(cfg Config, tcfg TimingConfig, mode string, tap *attack.TimingTap, fleet *simulator.FleetResult) (*TimingModeResult, error) {
+	gaps := tap.GapsByLabel()
+	samples, err := attack.BuildTimingSamples(gaps, cfg.AttackSamples, cfg.newRNG("timing/samples/"+mode))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: timing samples (%s): %w", mode, err)
+	}
+	labels, bins, err := attack.QuantizeGaps(gaps, tcfg.Bins)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: timing bins (%s): %w", mode, err)
+	}
+	// QuantizeGaps emits labels in ascending order, so the class count is
+	// the last label + 1 — no order-sensitive map walk needed.
+	numClasses := labels[len(labels)-1] + 1
+	cv, err := attack.CrossValidate(samples, numClasses, 5, attack.DefaultAdaBoostConfig(), cfg.newRNG("timing/cv/"+mode))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: timing attack (%s): %w", mode, err)
+	}
+	perm := stats.PermutationTestNMI(labels, bins, cfg.Permutations, cfg.newRNG("timing/perm/"+mode))
+	row := &TimingModeResult{
+		Mode:           mode,
+		AttackAccuracy: cv.MeanAccuracy,
+		Majority:       cv.Majority,
+		NMI:            perm.Observed,
+		PValue:         perm.PValue,
+		CILow:          perm.CILow,
+		CIHigh:         perm.CIHigh,
+		Significant:    perm.Significant(0.01),
+		MeanAoIMicros:  fleet.MeanAoIMicros(),
+		MaxAoIMicros:   fleet.AoIMicrosMax,
+		RealFrames:     fleet.RealFramesSent,
+		DummyFrames:    fleet.DummyFrames,
+	}
+	if total := row.RealFrames + row.DummyFrames; total > 0 {
+		row.GoodputPct = 100 * float64(row.RealFrames) / float64(total)
+	}
+	return row, nil
+}
+
+// String renders the timing table.
+func (r *TimingResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Timing side-channel (%s @ %.0f%% budget, %d sensors, interval %s)\n",
+		r.Dataset, r.Rate*100, r.Sensors, r.Interval)
+	fmt.Fprintf(&b, "  %-9s %9s %9s %7s %9s %6s %11s %9s %8s\n",
+		"mode", "attack", "majority", "NMI", "p-value", "leak?", "meanAoI(ms)", "goodput%", "dummies")
+	for _, m := range r.Modes {
+		leak := "no"
+		if m.Significant {
+			leak = "YES"
+		}
+		fmt.Fprintf(&b, "  %-9s %9.3f %9.3f %7.3f %9.5f %6s %11.2f %9.1f %8d\n",
+			m.Mode, m.AttackAccuracy, m.Majority, m.NMI, m.PValue, leak,
+			m.MeanAoIMicros/1000, m.GoodputPct, m.DummyFrames)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// timingConfig returns an evaluation sized so data-driven gaps dominate
+// loopback scheduling noise: the timing attack needs enough frames per
+// sensor that the bootstrap windows sample genuinely distinct gaps (tiny
+// pools let the attacker memorize per-pool scheduler noise and inflate the
+// defended modes' accuracy).
+func timingConfig() Config {
+	cfg := tinyConfig()
+	cfg.MaxSequences = 96
+	cfg.TrainSequences = 32
+	// Significant(0.01) needs the permutation CI half-width (1.96/(2·√n))
+	// below alpha, which takes ~10k permutations.
+	cfg.Permutations = 10000
+	return cfg
+}
+
+func TestTimingLeakage(t *testing.T) {
+	// Timing cells measure real clocks, so assertions use statistical
+	// margins, not golden values: the undefended link must leak by the
+	// paper's own criterion and the paced links must not.
+	res, err := TimingLeakage(context.Background(), timingConfig(), DefaultTimingConfig(), "epilepsy", 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Modes) != 3 {
+		t.Fatalf("mode count = %d, want 3", len(res.Modes))
+	}
+
+	live := res.Mode("live")
+	if live == nil {
+		t.Fatal("no live row")
+	}
+	if !live.Significant {
+		t.Errorf("undefended link not significant: NMI %.3f, p %.5f [%.5f, %.5f]",
+			live.NMI, live.PValue, live.CILow, live.CIHigh)
+	}
+	if live.AttackAccuracy < live.Majority+0.25 {
+		t.Errorf("undefended attack accuracy %.3f vs majority %.3f — timing should leak",
+			live.AttackAccuracy, live.Majority)
+	}
+	if live.DummyFrames != 0 || live.GoodputPct != 100 {
+		t.Errorf("live mode sent cover traffic: %d dummies, goodput %.1f%%",
+			live.DummyFrames, live.GoodputPct)
+	}
+
+	for _, mode := range []string{"constant", "jitter"} {
+		row := res.Mode(mode)
+		if row == nil {
+			t.Fatalf("no %s row", mode)
+		}
+		if row.Significant {
+			t.Errorf("%s pacing still significant: NMI %.3f, p %.5f [%.5f, %.5f]",
+				mode, row.NMI, row.PValue, row.CILow, row.CIHigh)
+		}
+		if row.NMI > live.NMI/2 {
+			t.Errorf("%s pacing NMI %.3f not well below undefended %.3f", mode, row.NMI, live.NMI)
+		}
+		if row.DummyFrames <= 0 {
+			t.Errorf("%s pacing sent no cover traffic", mode)
+		}
+		if row.GoodputPct >= 100 || row.GoodputPct <= 0 {
+			t.Errorf("%s goodput = %.1f%%, want in (0, 100)", mode, row.GoodputPct)
+		}
+		if row.MeanAoIMicros <= live.MeanAoIMicros {
+			t.Errorf("%s mean AoI %.0fµs not above undefended %.0fµs — pacing must cost freshness",
+				mode, row.MeanAoIMicros, live.MeanAoIMicros)
+		}
+		if row.RealFrames != live.RealFrames {
+			t.Errorf("%s delivered %d real frames, undefended delivered %d",
+				mode, row.RealFrames, live.RealFrames)
+		}
+	}
+
+	s := res.String()
+	for _, want := range []string{"live", "constant", "jitter", "meanAoI", "goodput"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	if res.Mode("nope") != nil {
+		t.Error("unknown mode lookup returned a row")
+	}
+}
+
+func TestTimingLeakageConfigValidation(t *testing.T) {
+	cfg := timingConfig()
+	bad := DefaultTimingConfig()
+	bad.Sensors = 0
+	if _, err := TimingLeakage(context.Background(), cfg, bad, "epilepsy", 0.7); err == nil {
+		t.Error("Sensors=0 accepted")
+	}
+	bad = DefaultTimingConfig()
+	bad.Interval = 0
+	if _, err := TimingLeakage(context.Background(), cfg, bad, "epilepsy", 0.7); err == nil {
+		t.Error("Interval=0 accepted")
+	}
+	bad = DefaultTimingConfig()
+	bad.Bins = 1
+	if _, err := TimingLeakage(context.Background(), cfg, bad, "epilepsy", 0.7); err == nil {
+		t.Error("Bins=1 accepted")
+	}
+	// An unfitted rate surfaces the workload error.
+	if _, err := TimingLeakage(context.Background(), cfg, DefaultTimingConfig(), "epilepsy", 0.95); err == nil {
+		t.Error("unfitted rate accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TimingLeakage(ctx, cfg, DefaultTimingConfig(), "epilepsy", 0.7); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}

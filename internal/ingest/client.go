@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -18,6 +19,7 @@ const (
 	defaultDialTimeout     = 2 * time.Second
 	defaultDialAttempts    = 4
 	defaultDialBackoff     = 25 * time.Millisecond
+	defaultDialBackoffMax  = 2 * time.Second
 	defaultClientIOTimeout = 5 * time.Second
 	defaultWriteAttempts   = 2
 	defaultRejectAttempts  = 8
@@ -34,9 +36,13 @@ type ClientConfig struct {
 	DialTimeout time.Duration
 	// DialAttempts is how many connect attempts one stream makes before
 	// reporting failure (default 4), separated by an exponential backoff
-	// starting at DialBackoff (default 25ms, doubling).
-	DialAttempts int
-	DialBackoff  time.Duration
+	// starting at DialBackoff (default 25ms, doubling) and capped at
+	// DialBackoffMax (default 2s). Each pause is jittered — drawn
+	// uniformly from [backoff/2, backoff] by the client's seeded RNG — so
+	// a fleet that loses its server does not redial in lockstep.
+	DialAttempts   int
+	DialBackoff    time.Duration
+	DialBackoffMax time.Duration
 	// IOTimeout is the per-frame read/write deadline (default 5s).
 	IOTimeout time.Duration
 	// WriteAttempts bounds per-frame write retries on a timeout (default
@@ -59,8 +65,21 @@ type ClientConfig struct {
 	// (default 1: one write per frame). The wire byte stream is identical
 	// either way — frames stay individually length-prefixed — but gathering
 	// amortizes the syscall and deadline bookkeeping, which dominates at
-	// small frame sizes. Capped at maxWriteBatch.
+	// small frame sizes. Capped at maxWriteBatch. Ignored when the Pacer
+	// is active: paced release is one frame per release slot by design.
 	WriteBatch int
+
+	// Seed drives the client's random decisions — dial-backoff jitter and,
+	// unless PacerConfig.Seed overrides it, the pacer's jittered release
+	// schedule. Zero derives a per-sensor seed from SensorID, so every
+	// client is deterministic for a fixed config yet no two sensors share
+	// a jitter stream.
+	Seed int64
+
+	// Pacer decouples frame release timing from frame generation timing,
+	// closing the timing side-channel on the link. The zero value (PaceOff)
+	// preserves the throughput-oriented batched sender.
+	Pacer PacerConfig
 
 	// Metrics, when set, receives the ingest.client.* instrument family.
 	Metrics *metrics.Registry
@@ -75,6 +94,12 @@ func (cfg ClientConfig) withDefaults() ClientConfig {
 	}
 	if cfg.DialBackoff <= 0 {
 		cfg.DialBackoff = defaultDialBackoff
+	}
+	if cfg.DialBackoffMax <= 0 {
+		cfg.DialBackoffMax = defaultDialBackoffMax
+	}
+	if cfg.DialBackoffMax < cfg.DialBackoff {
+		cfg.DialBackoffMax = cfg.DialBackoff
 	}
 	if cfg.IOTimeout <= 0 {
 		cfg.IOTimeout = defaultClientIOTimeout
@@ -93,6 +118,15 @@ func (cfg ClientConfig) withDefaults() ClientConfig {
 	}
 	if cfg.WriteBatch > maxWriteBatch {
 		cfg.WriteBatch = maxWriteBatch
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(cfg.SensorID) + 1
+	}
+	if cfg.Pacer.JitterFrac < 0 {
+		cfg.Pacer.JitterFrac = 0
+	}
+	if cfg.Pacer.JitterFrac > maxJitterFrac {
+		cfg.Pacer.JitterFrac = maxJitterFrac
 	}
 	return cfg
 }
@@ -131,6 +165,26 @@ type ClientStats struct {
 	WriteDeadlineHits int
 	Reconnects        int
 	SoftRejects       int
+
+	// Pacer accounting. FramesSent and WireBytesSent count only real
+	// frames, so delivery accounting is identical with pacing on or off;
+	// dummies are tallied separately.
+	DummyFrames    int
+	DummyBytesSent int
+	// AoIMicrosTotal sums, over real frames, the frame's age of information
+	// at release: how long the pacer held a generated frame before its
+	// release slot arrived. AoIMicrosMax is the worst single frame.
+	AoIMicrosTotal int64
+	AoIMicrosMax   int64
+}
+
+// MeanAoIMicros is the average per-frame age of information at release, in
+// microseconds (0 when no frames were sent).
+func (st ClientStats) MeanAoIMicros() float64 {
+	if st.FramesSent == 0 {
+		return 0
+	}
+	return float64(st.AoIMicrosTotal) / float64(st.FramesSent)
 }
 
 // clientMetrics is the nil-safe ingest.client.* instrument family.
@@ -142,6 +196,8 @@ type clientMetrics struct {
 	writeRetries *metrics.Counter
 	reconnects   *metrics.Counter
 	softRejects  *metrics.Counter
+	dummyFrames  *metrics.Counter
+	aoiNs        *metrics.Histogram
 }
 
 func newClientMetrics(reg *metrics.Registry) clientMetrics {
@@ -153,20 +209,32 @@ func newClientMetrics(reg *metrics.Registry) clientMetrics {
 		writeRetries: reg.Counter("ingest.client.write_retries"),
 		reconnects:   reg.Counter("ingest.client.reconnects"),
 		softRejects:  reg.Counter("ingest.client.soft_rejects"),
+		dummyFrames:  reg.Counter("ingest.client.dummy_frames"),
+		aoiNs:        reg.Histogram("ingest.client.aoi_ns", metrics.LatencyBuckets()...),
 	}
 }
 
 // Client streams one sensor's frames to an ingest Server, redialing and
 // resuming on transport failures and backing off on typed server rejects.
+// A Client runs one stream at a time: Run must not be called concurrently
+// on the same Client (the jitter RNG is not locked).
 type Client struct {
 	cfg ClientConfig
 	m   clientMetrics
+	// rng drives dial-backoff jitter. Seeded from cfg.Seed, so a fixed
+	// config reproduces the same backoff schedule run after run while
+	// distinct sensors spread their redials.
+	rng *rand.Rand
 }
 
 // NewClient returns a Client for cfg (defaults applied).
 func NewClient(cfg ClientConfig) *Client {
 	cfg = cfg.withDefaults()
-	return &Client{cfg: cfg, m: newClientMetrics(cfg.Metrics)}
+	return &Client{
+		cfg: cfg,
+		m:   newClientMetrics(cfg.Metrics),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
 }
 
 // Run streams src's frames until the server confirms full delivery,
@@ -215,7 +283,7 @@ func (c *Client) Run(ctx context.Context, src FrameSource) (ClientStats, error) 
 // loop from the server's resume index, final delivery confirmation.
 func (c *Client) stream(ctx context.Context, src FrameSource, st *ClientStats) error {
 	cfg := c.cfg
-	conn, dials, err := dialWithBackoff(ctx, cfg)
+	conn, dials, err := dialWithBackoff(ctx, cfg, c.rng)
 	st.DialAttempts += dials
 	c.m.dialAttempts.Add(int64(dials))
 	if err != nil {
@@ -239,11 +307,18 @@ func (c *Client) stream(ctx context.Context, src FrameSource, st *ClientStats) e
 	var hello [helloLen]byte
 	hello[0] = helloMagic
 	binary.BigEndian.PutUint32(hello[1:], uint32(cfg.SensorID))
-	if err := writeFullDeadline(conn, hello[:], cfg.IOTimeout); err != nil {
+	if _, err := writeFullDeadline(conn, hello[:], cfg.IOTimeout); err != nil {
 		return fmt.Errorf("hello: %w", err)
 	}
 	status, resume, err := readAck(conn, cfg.IOTimeout)
 	if err != nil {
+		// A protocol violation is not a link hiccup: redialing the same
+		// misbehaving peer cannot fix it, so don't spend the reconnect
+		// budget on it.
+		var pe *ProtocolError
+		if errors.As(err, &pe) {
+			return Terminal(fmt.Errorf("hello ack: %w", err))
+		}
 		return fmt.Errorf("hello ack: %w", err)
 	}
 	if status != StatusAccept {
@@ -260,11 +335,49 @@ func (c *Client) stream(ctx context.Context, src FrameSource, st *ClientStats) e
 	if err := src.Seek(resume); err != nil {
 		return Terminal(fmt.Errorf("seek to frame %d: %w", resume, err))
 	}
+	switch cfg.Pacer.Mode {
+	case PaceOff:
+		err = c.sendBatched(ctx, conn, src, st, resume, total)
+	case PaceLive:
+		err = c.sendLive(ctx, conn, src, st, resume, total)
+	case PaceConstant, PaceJitter:
+		err = c.sendPaced(ctx, conn, src, st, resume, total)
+	default:
+		err = Terminal(fmt.Errorf("unknown pace mode %d", cfg.Pacer.Mode))
+	}
+	if err != nil {
+		return err
+	}
+	// Delivery confirmation: frame writes can land in the TCP buffer after
+	// the server has dropped the link, so "every write succeeded" does not
+	// mean "everything was delivered". A missing or short confirmation is
+	// a transport failure, which a reconnect can resume from the true
+	// delivered index.
+	status, delivered, err := readAck(conn, cfg.IOTimeout)
+	if err != nil {
+		var pe *ProtocolError
+		if errors.As(err, &pe) {
+			return Terminal(fmt.Errorf("final ack: %w", err))
+		}
+		return fmt.Errorf("final ack: %w", err)
+	}
+	if status != StatusAccept {
+		return Terminal(fmt.Errorf("final ack: %w", &RejectedError{Status: status}))
+	}
+	if delivered != total {
+		return fmt.Errorf("final ack: server delivered %d of %d frames", delivered, total)
+	}
+	return nil
+}
+
+// sendBatched is the throughput-oriented frame loop: gather up to
+// WriteBatch frames into one length-prefix-framed buffer and send it in a
+// single write. The receiver sees the same byte stream as per-frame writes;
+// only the syscall count changes.
+func (c *Client) sendBatched(ctx context.Context, conn net.Conn, src FrameSource, st *ClientStats, resume, total int) error {
+	cfg := c.cfg
 	var gather []byte
 	for fi := resume; fi < total; {
-		// Gather up to WriteBatch frames into one length-prefix-framed
-		// buffer and send it in a single write. The receiver sees the same
-		// byte stream as per-frame writes; only the syscall count changes.
 		gather = gather[:0]
 		n := 0
 		payloadBytes := 0
@@ -279,18 +392,8 @@ func (c *Client) stream(ctx context.Context, src FrameSource, st *ClientStats) e
 			}
 			payloadBytes += len(msg)
 		}
-		attempts, err := writeChunkRetry(ctx, conn, gather, cfg)
-		if r := attempts - 1; r > 0 {
-			st.WriteRetries += r
-			// Every retry was preceded by a write deadline expiry.
-			st.WriteDeadlineHits += r
-			c.m.writeRetries.Add(int64(r))
-		}
-		if err != nil {
-			if seccomm.IsTimeout(err) {
-				st.WriteDeadlineHits++
-			}
-			return fmt.Errorf("frame %d: %w", fi, err)
+		if err := c.writeGather(ctx, conn, gather, st, fi); err != nil {
+			return err
 		}
 		st.FramesSent += n
 		st.WireBytesSent += payloadBytes
@@ -298,28 +401,37 @@ func (c *Client) stream(ctx context.Context, src FrameSource, st *ClientStats) e
 		c.m.wireBytes.Add(int64(payloadBytes))
 		fi += n
 	}
-	// Delivery confirmation: frame writes can land in the TCP buffer after
-	// the server has dropped the link, so "every write succeeded" does not
-	// mean "everything was delivered". A missing or short confirmation is
-	// a transport failure, which a reconnect can resume from the true
-	// delivered index.
-	status, delivered, err := readAck(conn, cfg.IOTimeout)
+	return nil
+}
+
+// writeGather sends one gathered buffer with retry accounting; fi names the
+// first frame in the buffer for error context.
+func (c *Client) writeGather(ctx context.Context, conn net.Conn, gather []byte, st *ClientStats, fi int) error {
+	attempts, err := writeChunkRetry(ctx, conn, gather, c.cfg)
+	if r := attempts - 1; r > 0 {
+		st.WriteRetries += r
+		// Every retry was preceded by a write deadline expiry.
+		st.WriteDeadlineHits += r
+		c.m.writeRetries.Add(int64(r))
+	}
 	if err != nil {
-		return fmt.Errorf("final ack: %w", err)
-	}
-	if status != StatusAccept {
-		return Terminal(fmt.Errorf("final ack: %w", &RejectedError{Status: status}))
-	}
-	if delivered != total {
-		return fmt.Errorf("final ack: server delivered %d of %d frames", delivered, total)
+		if seccomm.IsTimeout(err) {
+			st.WriteDeadlineHits++
+		}
+		return fmt.Errorf("frame %d: %w", fi, err)
 	}
 	return nil
 }
 
-// dialWithBackoff connects to cfg.Addr, retrying with exponential backoff
-// up to cfg.DialAttempts times. It returns the connection and the number
+// dialWithBackoff connects to cfg.Addr, retrying up to cfg.DialAttempts
+// times with capped, jittered exponential backoff: the k-th pause is drawn
+// uniformly from [b/2, b] where b doubles from DialBackoff up to
+// DialBackoffMax. The jitter comes from the caller's seeded RNG, so a fixed
+// config reproduces the same schedule while distinct sensors decorrelate —
+// an uncapped, unjittered fleet redials its fallen server in lockstep and
+// thunders it straight back down. It returns the connection and the number
 // of attempts made.
-func dialWithBackoff(ctx context.Context, cfg ClientConfig) (net.Conn, int, error) {
+func dialWithBackoff(ctx context.Context, cfg ClientConfig, rng *rand.Rand) (net.Conn, int, error) {
 	backoff := cfg.DialBackoff
 	var lastErr error
 	for attempt := 1; attempt <= cfg.DialAttempts; attempt++ {
@@ -332,26 +444,46 @@ func dialWithBackoff(ctx context.Context, cfg ClientConfig) (net.Conn, int, erro
 		if ctx.Err() != nil || attempt == cfg.DialAttempts {
 			return nil, attempt, fmt.Errorf("dial (attempt %d/%d): %w", attempt, cfg.DialAttempts, lastErr)
 		}
+		var pause time.Duration
+		pause, backoff = nextDialPause(backoff, cfg.DialBackoffMax, rng)
 		select {
 		case <-ctx.Done():
 			return nil, attempt, fmt.Errorf("dial cancelled after attempt %d: %w", attempt, ctx.Err())
-		case <-time.After(backoff):
+		case <-time.After(pause):
 		}
-		backoff *= 2
 	}
 	return nil, cfg.DialAttempts, fmt.Errorf("dial: %w", lastErr)
 }
 
+// nextDialPause draws one equal-jitter pause, uniform in [backoff/2,
+// backoff], and returns the doubled-and-capped backoff for the next failure.
+func nextDialPause(backoff, ceil time.Duration, rng *rand.Rand) (pause, next time.Duration) {
+	pause = backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+	next = backoff
+	if next < ceil {
+		next *= 2
+		if next > ceil {
+			next = ceil
+		}
+	}
+	return pause, next
+}
+
 // writeChunkRetry writes one gathered buffer of frames under the per-frame
 // deadline, retrying a timed-out write up to cfg.WriteAttempts times in
-// total. The whole buffer goes out in one Write, so a timeout that
-// transmitted nothing is safe to retry; any other error aborts immediately.
-// It returns the number of attempts made so callers can account retries and
-// deadline expiries.
+// total. A single Write can transmit part of the buffer before its deadline
+// expires, so every retry resumes from the first unwritten byte — resending
+// from the start would duplicate the transmitted prefix on the wire and
+// desynchronize the stream's length-prefix framing. Any non-timeout error
+// aborts immediately. It returns the number of attempts made so callers can
+// account retries and deadline expiries.
 func writeChunkRetry(ctx context.Context, conn net.Conn, buf []byte, cfg ClientConfig) (int, error) {
+	off := 0
 	var err error
 	for attempt := 1; attempt <= cfg.WriteAttempts; attempt++ {
-		err = writeFullDeadline(conn, buf, cfg.IOTimeout)
+		var n int
+		n, err = writeFullDeadline(conn, buf[off:], cfg.IOTimeout)
+		off += n
 		if err == nil {
 			return attempt, nil
 		}
@@ -359,5 +491,6 @@ func writeChunkRetry(ctx context.Context, conn net.Conn, buf []byte, cfg ClientC
 			return attempt, err
 		}
 	}
-	return cfg.WriteAttempts, fmt.Errorf("write after %d attempts: %w", cfg.WriteAttempts, err)
+	return cfg.WriteAttempts, fmt.Errorf("write after %d attempts (%d/%d bytes out): %w",
+		cfg.WriteAttempts, off, len(buf), err)
 }

@@ -3,8 +3,10 @@ package ingest
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -43,7 +45,7 @@ func TestDialWithBackoff(t *testing.T) {
 		wantDials   int
 		minDuration time.Duration
 	}{
-		{"dead address retries with backoff", deadAddr, true, 3, 25 * time.Millisecond},
+		{"dead address retries with backoff", deadAddr, true, 3, 15 * time.Millisecond},
 		{"live address connects first try", live.Addr().String(), false, 1, 0},
 	}
 	for _, tc := range cases {
@@ -55,7 +57,7 @@ func TestDialWithBackoff(t *testing.T) {
 				DialBackoff:  10 * time.Millisecond,
 			}.withDefaults()
 			start := time.Now()
-			conn, dials, err := dialWithBackoff(context.Background(), cfg)
+			conn, dials, err := dialWithBackoff(context.Background(), cfg, rand.New(rand.NewSource(1)))
 			elapsed := time.Since(start)
 			if conn != nil {
 				conn.Close()
@@ -66,7 +68,8 @@ func TestDialWithBackoff(t *testing.T) {
 			if dials != tc.wantDials {
 				t.Errorf("dials = %d, want %d", dials, tc.wantDials)
 			}
-			// Two failed attempts sleep 10ms then 20ms before the third.
+			// Two failed attempts pause in [5,10]ms then [10,20]ms (equal
+			// jitter over 10ms and 20ms backoffs) before the third.
 			if elapsed < tc.minDuration {
 				t.Errorf("elapsed %v below backoff floor %v", elapsed, tc.minDuration)
 			}
@@ -124,6 +127,151 @@ func TestWriteFrameRetryGivesUp(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Errorf("bounded retry took %v", elapsed)
+	}
+}
+
+// timeoutError satisfies net.Error with Timeout() == true, the shape
+// seccomm.IsTimeout looks for.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "deadline exceeded (test)" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// partialWriteConn is a net.Conn whose first Write transmits only part of
+// the buffer before reporting a timeout — the failure mode of a real socket
+// whose send buffer drained mid-write as the deadline expired. Every byte
+// it accepts is recorded, so a test can prove the retry path resumed from
+// the offset instead of resending the prefix.
+type partialWriteConn struct {
+	net.Conn // panics on unimplemented methods; Write/deadlines overridden
+
+	mu        sync.Mutex
+	sent      []byte
+	firstCut  int // bytes accepted by the first write before "timing out"
+	wroteOnce bool
+}
+
+func (c *partialWriteConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.wroteOnce {
+		c.wroteOnce = true
+		n := c.firstCut
+		if n > len(p) {
+			n = len(p)
+		}
+		c.sent = append(c.sent, p[:n]...)
+		return n, timeoutError{}
+	}
+	c.sent = append(c.sent, p...)
+	return len(p), nil
+}
+
+func (c *partialWriteConn) SetWriteDeadline(time.Time) error { return nil }
+
+func (c *partialWriteConn) bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.sent...)
+}
+
+func TestWriteChunkRetryResumesFromPartialWrite(t *testing.T) {
+	// Regression: writeChunkRetry used to discard the byte count of a
+	// timed-out write and retry the whole buffer, duplicating the already
+	// transmitted prefix and desynchronizing the length-prefix framing.
+	msg := []byte("a sealed frame long enough to split")
+	buf, err := seccomm.AppendFrame(nil, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 7, len(buf) - 1} {
+		conn := &partialWriteConn{firstCut: cut}
+		cfg := ClientConfig{IOTimeout: 10 * time.Millisecond, WriteAttempts: 3}.withDefaults()
+		attempts, err := writeChunkRetry(context.Background(), conn, buf, cfg)
+		if err != nil {
+			t.Fatalf("cut %d: retry failed: %v", cut, err)
+		}
+		if attempts != 2 {
+			t.Errorf("cut %d: attempts = %d, want 2", cut, attempts)
+		}
+		if got := conn.bytes(); string(got) != string(buf) {
+			t.Errorf("cut %d: wire bytes corrupted:\n got %q\nwant %q", cut, got, buf)
+		}
+	}
+}
+
+func TestNextDialPauseCapsAndJitters(t *testing.T) {
+	const (
+		base = 10 * time.Millisecond
+		ceil = 80 * time.Millisecond
+	)
+	run := func(seed int64) ([]time.Duration, []time.Duration) {
+		rng := rand.New(rand.NewSource(seed))
+		var pauses, backoffs []time.Duration
+		b := base
+		for i := 0; i < 12; i++ {
+			var p time.Duration
+			p, b = nextDialPause(b, ceil, rng)
+			pauses = append(pauses, p)
+			backoffs = append(backoffs, b)
+		}
+		return pauses, backoffs
+	}
+	pauses, backoffs := run(42)
+	b := base
+	for i, p := range pauses {
+		if p < b/2 || p > b {
+			t.Errorf("pause[%d] = %v outside equal-jitter window [%v, %v]", i, p, b/2, b)
+		}
+		b = backoffs[i]
+		if b > ceil {
+			t.Errorf("backoff[%d] = %v exceeds cap %v", i, b, ceil)
+		}
+	}
+	if last := backoffs[len(backoffs)-1]; last != ceil {
+		t.Errorf("backoff never reached its cap: %v != %v", last, ceil)
+	}
+	// The deterministic-seed contract: same seed, same schedule.
+	again, _ := run(42)
+	for i := range pauses {
+		if pauses[i] != again[i] {
+			t.Fatalf("pause[%d] differs across same-seed runs: %v vs %v", i, pauses[i], again[i])
+		}
+	}
+}
+
+func TestReadAckRejectsUnknownStatus(t *testing.T) {
+	for _, status := range []byte{0x00, 0x06, 0x63, 0xFF} {
+		client, srv := net.Pipe()
+		go func() {
+			ack := []byte{status, 0, 0, 0, 7}
+			srv.Write(ack)
+			srv.Close()
+		}()
+		_, _, err := readAck(client, 200*time.Millisecond)
+		client.Close()
+		if err == nil {
+			t.Fatalf("status 0x%02x accepted", status)
+		}
+		var pe *ProtocolError
+		if !errors.As(err, &pe) {
+			t.Fatalf("status 0x%02x: error %v is not a ProtocolError", status, err)
+		}
+		if pe.Value != status {
+			t.Errorf("ProtocolError.Value = 0x%02x, want 0x%02x", pe.Value, status)
+		}
+	}
+	// Known statuses still parse.
+	client, srv := net.Pipe()
+	go func() {
+		srv.Write([]byte{byte(StatusAccept), 0, 0, 0, 9})
+		srv.Close()
+	}()
+	st, idx, err := readAck(client, 200*time.Millisecond)
+	client.Close()
+	if err != nil || st != StatusAccept || idx != 9 {
+		t.Fatalf("readAck = (%v, %d, %v), want (accept, 9, nil)", st, idx, err)
 	}
 }
 

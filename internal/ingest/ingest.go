@@ -122,6 +122,14 @@ func (s Status) Transient() bool {
 	return s == StatusOverloaded || s == StatusDuplicate || s == StatusDraining
 }
 
+// known reports whether s is one of the defined wire statuses. An unknown
+// byte must never be interpreted — Transient() would silently treat it as
+// permanent and a RejectedError would carry a meaningless code — so readers
+// validate with this before converting.
+func (s Status) known() bool {
+	return s >= StatusAccept && s <= StatusRefused
+}
+
 // RejectedError is returned by Client.Run when the server answered the
 // hello with a non-accept status. Transient statuses are retried by the
 // client itself (up to RejectAttempts); a RejectedError that escapes Run
@@ -132,6 +140,20 @@ type RejectedError struct {
 
 func (e *RejectedError) Error() string {
 	return "ingest: server rejected connection: " + e.Status.String()
+}
+
+// ProtocolError reports a malformed wire value from the peer — a protocol
+// violation, as opposed to a transport failure. It is not retryable: a peer
+// that speaks the wrong protocol will keep speaking it.
+type ProtocolError struct {
+	// What names the wire field that was malformed.
+	What string
+	// Value is the offending byte.
+	Value uint8
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("ingest: protocol violation: %s 0x%02x", e.What, e.Value)
 }
 
 // FrameError wraps a server-side failure to read frame Index off the wire.
@@ -244,29 +266,39 @@ func writeAck(conn net.Conn, st Status, index uint32, timeout time.Duration) err
 	var buf [ackLen]byte
 	buf[0] = byte(st)
 	binary.BigEndian.PutUint32(buf[1:], index)
-	return writeFullDeadline(conn, buf[:], timeout)
+	_, err := writeFullDeadline(conn, buf[:], timeout)
+	return err
 }
 
-// readAck reads one [status][index] ack under a read deadline.
+// readAck reads one [status][index] ack under a read deadline. An unknown
+// status byte is a *ProtocolError, never a Status: letting it through would
+// feed garbage into Transient() and RejectedError.
 func readAck(conn net.Conn, timeout time.Duration) (Status, int, error) {
 	var buf [ackLen]byte
 	if err := seccomm.ReadFullDeadline(conn, buf[:], timeout); err != nil {
 		return 0, 0, err
 	}
-	return Status(buf[0]), int(binary.BigEndian.Uint32(buf[1:])), nil
+	st := Status(buf[0])
+	if !st.known() {
+		return 0, 0, &ProtocolError{What: "ack status", Value: buf[0]}
+	}
+	return st, int(binary.BigEndian.Uint32(buf[1:])), nil
 }
 
 // writeFullDeadline writes buf to conn under a write deadline (the raw
-// cleartext hello/ack bytes; frames use seccomm.WriteFrameDeadline).
-func writeFullDeadline(conn net.Conn, buf []byte, timeout time.Duration) error {
+// cleartext hello/ack bytes; frames use seccomm.AppendFrame + this). It
+// returns how many bytes were written: a deadline can expire after a
+// partial write, and a retrying caller must resume from that offset —
+// resending the whole buffer would duplicate the transmitted prefix and
+// corrupt the stream.
+func writeFullDeadline(conn net.Conn, buf []byte, timeout time.Duration) (int, error) {
 	if timeout > 0 {
 		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
-			return err
+			return 0, err
 		}
 		defer conn.SetWriteDeadline(time.Time{})
 	}
-	_, err := conn.Write(buf)
-	return err
+	return conn.Write(buf)
 }
 
 // sleepCtx sleeps for d or until ctx is done; it reports whether the full

@@ -77,6 +77,7 @@ type serverMetrics struct {
 	sessionsStarted   *metrics.Counter
 	sessionsCompleted *metrics.Counter
 	frames            *metrics.Counter
+	dummyFrames       *metrics.Counter
 	wireBytes         *metrics.Counter
 	shedOverload      *metrics.Counter
 	shedDropped       *metrics.Counter
@@ -94,6 +95,7 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 		sessionsStarted:   reg.Counter("ingest.sessions_started"),
 		sessionsCompleted: reg.Counter("ingest.sessions_completed"),
 		frames:            reg.Counter("ingest.frames"),
+		dummyFrames:       reg.Counter("ingest.dummy_frames"),
 		wireBytes:         reg.Counter("ingest.wire_bytes"),
 		shedOverload:      reg.Counter("ingest.shed_overload"),
 		shedDropped:       reg.Counter("ingest.shed_dropped"),
@@ -533,20 +535,29 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Buffered frame reads: clients gather frames into batched writes, and
 	// reading them back one socket read per frame would forfeit the savings.
 	fr := seccomm.NewFrameReader(conn, 0)
-	for fi := delivered; fi < total; fi++ {
+	for fi := delivered; fi < total; {
 		msg, err := fr.ReadFrame(timeout)
 		if err != nil {
 			sess.Close(&FrameError{Index: fi, Err: err})
 			return
 		}
+		s.m.wireBytes.Add(int64(len(msg)))
+		s.m.frameBytes.Observe(int64(len(msg)))
 		if err := sess.Frame(fi, msg); err != nil {
+			// A pacer dummy occupies a wire slot but carries no data: it is
+			// discarded here without advancing the stream index or the
+			// registry, so resume/delivery accounting is identical with
+			// pacing on or off.
+			if errors.Is(err, ErrDummyFrame) {
+				s.m.dummyFrames.Inc()
+				continue
+			}
 			sess.Close(err)
 			return
 		}
 		s.sessions.advance(sensorID)
 		s.m.frames.Inc()
-		s.m.wireBytes.Add(int64(len(msg)))
-		s.m.frameBytes.Observe(int64(len(msg)))
+		fi++
 	}
 	if err := writeAck(conn, StatusAccept, uint32(total), timeout); err != nil {
 		sess.Close(fmt.Errorf("final ack: %w", err))

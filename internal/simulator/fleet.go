@@ -91,7 +91,56 @@ type FleetConfig struct {
 
 	// Faults injects transport failures for resilience testing (nil = none).
 	Faults *FleetFaults
+
+	// Pacing configures the sensors' frame-release schedule and the timing
+	// side-channel instrumentation. The zero value keeps the legacy batched
+	// release (PaceOff), whose fixed-seed results stay byte-identical to the
+	// direct pipeline.
+	Pacing FleetPacing
 }
+
+// FleetPacing models the physical release timing of a duty-cycled sensor
+// and selects the defense applied to it. With Mode == PaceLive the sensor
+// transmits each frame on its data-driven schedule — the gap before a frame
+// is BaseGap + PerSample×k, where k is the number of measurements its
+// adaptive policy collected for that batch (energy recovery and collection
+// time scale with the work done) — which is exactly the timing side-channel:
+// k tracks signal volatility, so gaps classify events even though AGE fixed
+// every frame's size. PaceConstant/PaceJitter release one sealed frame per
+// (jittered) Interval instead, covering empty slots with sealed dummies the
+// server discards after unsealing.
+type FleetPacing struct {
+	// Mode is the release discipline (default PaceOff: batched, as fast as
+	// the link accepts).
+	Mode ingest.PaceMode
+	// Interval and JitterFrac configure PaceConstant/PaceJitter release.
+	Interval   time.Duration
+	JitterFrac float64
+	// BaseGap and PerSample define the data-driven generation schedule used
+	// by PaceLive (enforced on the wire) and by the paced modes (to decide
+	// when the next real frame becomes available).
+	BaseGap   time.Duration
+	PerSample time.Duration
+	// Observer, when non-nil, is the passive wire tap: it is called once
+	// per frame the server reads off the link — real or dummy, before
+	// unsealing, exactly what an eavesdropper sees — with the event label
+	// the observation is attributed to (the label of the in-flight real
+	// frame; ground truth an attacker has at training time).
+	Observer func(sensorID, label int)
+}
+
+// active reports whether frames flow through the pacer (and carry the
+// in-payload real/dummy marker).
+func (p FleetPacing) active() bool { return p.Mode != ingest.PaceOff }
+
+// The pace modes, re-exported so FleetPacing literals don't need an ingest
+// import.
+const (
+	PaceOff      = ingest.PaceOff
+	PaceLive     = ingest.PaceLive
+	PaceConstant = ingest.PaceConstant
+	PaceJitter   = ingest.PaceJitter
+)
 
 // withTransportDefaults fills zero-valued transport knobs.
 func (cfg FleetConfig) withTransportDefaults() FleetConfig {
@@ -195,6 +244,27 @@ type FleetResult struct {
 	// hello identified a sensor (e.g. a peer that connected and went
 	// silent).
 	Unattributed []string
+	// DummyFrames counts pacer cover frames the fleet sent; the server
+	// dropped them after unsealing, so they never appear in Messages.
+	DummyFrames int
+	// RealFramesSent counts real frames the clients released (the
+	// denominator of MeanAoIMicros).
+	RealFramesSent int
+	// AoIMicrosTotal and AoIMicrosMax account the release schedule's
+	// freshness cost: each real frame's age of information (time from
+	// data-driven availability to wire release) in microseconds, summed and
+	// maxed across the fleet. Zero under PaceOff.
+	AoIMicrosTotal int64
+	AoIMicrosMax   int64
+}
+
+// MeanAoIMicros is the fleet-wide mean age of information per real frame at
+// release, in microseconds.
+func (r *FleetResult) MeanAoIMicros() float64 {
+	if r.RealFramesSent == 0 {
+		return 0
+	}
+	return float64(r.AoIMicrosTotal) / float64(r.RealFramesSent)
 }
 
 // fleetMetrics bundles the fleet's resolved instruments. Every field is
@@ -214,6 +284,7 @@ type fleetMetrics struct {
 	writeDeadlineHits *metrics.Counter
 	reconnects        *metrics.Counter
 	unattributed      *metrics.Counter
+	dummyFrames       *metrics.Counter
 	frameBytes        *metrics.Histogram
 
 	sensorFramesSent      *metrics.Series
@@ -240,6 +311,7 @@ func newFleetMetrics(reg *metrics.Registry) *fleetMetrics {
 		writeDeadlineHits: reg.Counter("fleet.write_deadline_hits"),
 		reconnects:        reg.Counter("fleet.reconnects"),
 		unattributed:      reg.Counter("fleet.unattributed"),
+		dummyFrames:       reg.Counter("fleet.dummy_frames"),
 		frameBytes:        reg.Histogram("fleet.frame_bytes", metrics.SizeBuckets()...),
 
 		sensorFramesSent:      reg.Series("fleet.sensor.frames_sent"),
@@ -372,10 +444,16 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 	for s := 0; s < n; s++ {
 		go func(sensorID int) {
 			defer sensorWG.Done()
-			dials, reconnects, err := runFleetSensor(ctx, sensorID, addr, cfg, coreCfg, parts[sensorID], m)
+			stats, err := runFleetSensor(ctx, sensorID, addr, cfg, coreCfg, parts[sensorID], m)
 			mu.Lock()
-			res.Sensors[sensorID].DialAttempts = dials
-			res.Sensors[sensorID].Reconnects = reconnects
+			res.Sensors[sensorID].DialAttempts = stats.DialAttempts
+			res.Sensors[sensorID].Reconnects = stats.Reconnects
+			res.DummyFrames += stats.DummyFrames
+			res.RealFramesSent += stats.FramesSent
+			res.AoIMicrosTotal += stats.AoIMicrosTotal
+			if stats.AoIMicrosMax > res.AoIMicrosMax {
+				res.AoIMicrosMax = stats.AoIMicrosMax
+			}
 			if err != nil {
 				res.Sensors[sensorID].SensorErr = err.Error()
 			}
@@ -550,9 +628,28 @@ func (s *fleetSession) Frame(fi int, msg []byte) error {
 		fleetFrameHook(s.sensorID, msg)
 	}
 	seq := h.cfg.Base.Dataset.Sequences[h.parts[s.sensorID][fi]]
+	// The passive wire tap sees exactly what an eavesdropper sees: every
+	// sealed frame, real or dummy, at arrival — before any unsealing. The
+	// observation is attributed to the in-flight real frame's event label
+	// (ground truth available to the attacker at training time).
+	if obs := h.cfg.Pacing.Observer; obs != nil {
+		obs(s.sensorID, seq.Label)
+	}
 	payload, err := s.opener.Open(msg)
 	if err != nil {
 		return fmt.Errorf("frame %d: %w", fi, err)
+	}
+	if h.cfg.Pacing.active() {
+		data, dummy, err := ingest.Unmark(payload)
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", fi, err)
+		}
+		if dummy {
+			// Cover traffic: only the key holder can tell. The ingest
+			// server discards it without advancing the delivered index.
+			return ingest.ErrDummyFrame
+		}
+		payload = data
 	}
 	batch, err := s.encs.dec.Decode(payload)
 	if err != nil {
@@ -599,26 +696,28 @@ func (s *fleetSession) Close(err error) {
 
 // runFleetSensor streams one sensor's assigned sequences through an
 // ingest.Client, honoring the configured fault plan, then folds the
-// client's transport stats into the fleet metrics. It returns total dial
-// attempts and reconnects.
-func runFleetSensor(ctx context.Context, sensorID int, addr string, cfg FleetConfig, coreCfg core.Config, seqIdx []int, m *fleetMetrics) (int, int, error) {
+// client's transport stats into the fleet metrics. It returns the client's
+// full transport accounting.
+func runFleetSensor(ctx context.Context, sensorID int, addr string, cfg FleetConfig, coreCfg core.Config, seqIdx []int, m *fleetMetrics) (ingest.ClientStats, error) {
 	if cfg.Faults != nil && cfg.Faults.NeverDial[sensorID] {
-		return 0, 0, errors.New("fault injection: sensor never dialed")
+		return ingest.ClientStats{}, errors.New("fault injection: sensor never dialed")
 	}
 	encs, err := buildInstrumentedEncoder(cfg.Base.Encoder, coreCfg, cfg.Base.Cipher, cfg.Base.Metrics)
 	if err != nil {
-		return 0, 0, err
+		return ingest.ClientStats{}, err
 	}
 	// ONE sealer for the sensor's lifetime: the nonce counter advances
 	// monotonically across redials, so resumed streams never reuse a
 	// (key, nonce) pair (seccomm's per-sealer instance prefix is the
-	// structural backstop should a caller ever re-create one).
+	// structural backstop should a caller ever re-create one). With pacing
+	// active, dummy frames consume nonces from the same counter — they are
+	// ordinary sealed messages as far as the cipher is concerned.
 	sealer, err := seccomm.NewSealer(cfg.Base.Cipher, fleetKey(sensorID, cfg.Base.Cipher))
 	if err != nil {
-		return 0, 0, err
+		return ingest.ClientStats{}, err
 	}
 	src := &fleetFrameSource{cfg: cfg, sensorID: sensorID, seqIdx: seqIdx, encs: encs, sealer: sealer}
-	client := ingest.NewClient(ingest.ClientConfig{
+	ccfg := ingest.ClientConfig{
 		Addr:              addr,
 		SensorID:          sensorID,
 		DialTimeout:       cfg.DialTimeout,
@@ -627,7 +726,23 @@ func runFleetSensor(ctx context.Context, sensorID int, addr string, cfg FleetCon
 		IOTimeout:         cfg.IOTimeout,
 		WriteAttempts:     cfg.WriteAttempts,
 		ReconnectAttempts: cfg.ReconnectAttempts,
-	})
+	}
+	if cfg.Pacing.active() {
+		// Pacer decisions (jitter schedule, dial jitter) draw from a seed
+		// derived from the run seed, keeping fixed-seed runs deterministic.
+		ccfg.Seed = cfg.Base.Seed + int64(sensorID)*2654435761 + 1
+		ccfg.Pacer = ingest.PacerConfig{
+			Mode:       cfg.Pacing.Mode,
+			Interval:   cfg.Pacing.Interval,
+			JitterFrac: cfg.Pacing.JitterFrac,
+			// A dummy seals a marked filler of the real payload length, so
+			// real and cover frames are the same size on the wire.
+			Dummy: func() ([]byte, error) {
+				return sealer.Seal(ingest.MarkDummy(make([]byte, coreCfg.TargetBytes)))
+			},
+		}
+	}
+	client := ingest.NewClient(ccfg)
 	stats, err := client.Run(ctx, src)
 
 	// Translate the client's transport accounting into the fleet metric
@@ -651,7 +766,10 @@ func runFleetSensor(ctx context.Context, sensorID int, addr string, cfg FleetCon
 	if stats.Reconnects > 0 {
 		m.sensorReconnects.Counter(label).Add(int64(stats.Reconnects))
 	}
-	return stats.DialAttempts, stats.Reconnects, err
+	if stats.DummyFrames > 0 {
+		m.dummyFrames.Add(int64(stats.DummyFrames))
+	}
+	return stats, err
 }
 
 // fleetFrameSource produces one sensor's sealed frames for the ingest
@@ -666,6 +784,7 @@ type fleetFrameSource struct {
 	sealer   seccomm.Sealer
 	rng      *rand.Rand
 	next     int
+	lastGap  time.Duration
 }
 
 // Total implements ingest.FrameSource.
@@ -702,9 +821,19 @@ func (s *fleetFrameSource) Next(ctx context.Context) ([]byte, error) {
 	for i, t := range idx {
 		vals[i] = seq.Values[t]
 	}
+	// The data-driven generation schedule: a batch of k collected samples
+	// keeps the node busy (collecting, recovering energy) for BaseGap +
+	// PerSample×k before the frame can leave. This is the quantity that
+	// leaks: k tracks the event, and PaceLive puts it on the wire.
+	s.lastGap = s.cfg.Pacing.BaseGap + time.Duration(len(idx))*s.cfg.Pacing.PerSample
 	payload, err := s.encs.enc.Encode(core.Batch{Indices: idx, Values: vals})
 	if err != nil {
 		return nil, ingest.Terminal(err)
+	}
+	if s.cfg.Pacing.active() {
+		// The real/dummy marker travels inside the sealed envelope; the
+		// server-side session strips it after unsealing.
+		payload = ingest.MarkReal(payload)
 	}
 	msg, err := s.sealer.Seal(payload)
 	if err != nil {
@@ -713,6 +842,10 @@ func (s *fleetFrameSource) Next(ctx context.Context) ([]byte, error) {
 	s.next++
 	return msg, nil
 }
+
+// LastGap implements ingest.TimedSource: the generation delay of the frame
+// the latest Next call produced.
+func (s *fleetFrameSource) LastGap() time.Duration { return s.lastGap }
 
 // stallSensor holds the connection open and silent long enough for the
 // server's read deadline to fire, then returns so the run can finish.
