@@ -5,11 +5,13 @@
 //
 // Gated metrics per kind:
 //
-//	ingest       frames_per_sec, mb_per_sec            higher is better
-//	ingest-pace  frames_per_sec                        higher is better
-//	             pacer.goodput_pct                     higher is better
-//	             pacer.mean_aoi_ms                     lower is better
-//	sweep        total_seconds                         lower is better
+//	ingest          frames_per_sec, mb_per_sec            higher is better
+//	ingest-pace     frames_per_sec                        higher is better
+//	                pacer.goodput_pct                     higher is better
+//	                pacer.mean_aoi_ms                     lower is better
+//	ingest-project  frames_per_sec, mb_per_sec            higher is better
+//	                projection.coverage_pct               higher is better
+//	sweep           total_seconds                         lower is better
 //	             encoder_ns_per_op.{standard,age}      lower is better
 //	             encoder_allocs_per_op.{standard,age}  must not increase
 //
@@ -70,6 +72,16 @@ var kinds = map[string][]metricSpec{
 		{"pacer.goodput_pct", higherBetter},
 		{"pacer.mean_aoi_ms", lowerBetter},
 	},
+	// A projected ageload run (-project): the streaming pipeline decodes and
+	// stages every delivered frame, so the gate watches both raw throughput
+	// (the tap must not drag the delivery path down) and projection coverage
+	// (a stalled or lossy stage shows up as staged records falling behind the
+	// fleet's assigned frames).
+	"ingest-project": {
+		{"frames_per_sec", higherBetter},
+		{"mb_per_sec", higherBetter},
+		{"projection.coverage_pct", higherBetter},
+	},
 	"sweep": {
 		{"total_seconds", lowerBetter},
 		{"encoder_ns_per_op.standard", lowerBetter},
@@ -121,7 +133,7 @@ func main() {
 
 	specs, ok := kinds[*kind]
 	if !ok {
-		log.Fatalf("agebench-diff: -kind %q must be one of: ingest, ingest-pace, sweep", *kind)
+		log.Fatalf("agebench-diff: -kind %q must be one of: ingest, ingest-pace, ingest-project, sweep", *kind)
 	}
 	if *baseline == "" || *current == "" {
 		log.Fatal("agebench-diff: -baseline and -current are required")

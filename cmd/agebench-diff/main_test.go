@@ -119,6 +119,66 @@ func TestIngestPaceMissingPacerSectionErrors(t *testing.T) {
 	}
 }
 
+const projectBaseline = `{
+	"frames_per_sec": 40000,
+	"mb_per_sec": 20,
+	"projection": {"coverage_pct": 95}
+}`
+
+func TestIngestProjectWithinBaselinePasses(t *testing.T) {
+	cur := mustParse(t, `{
+		"frames_per_sec": 39000,
+		"mb_per_sec": 19.5,
+		"projection": {"coverage_pct": 100}
+	}`)
+	rep, err := compare("ingest-project", mustParse(t, projectBaseline), cur, kinds["ingest-project"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("healthy projected run flagged: %+v", rep.Results)
+	}
+}
+
+func TestIngestProjectThroughputRegressionFails(t *testing.T) {
+	// The projection tap dragging delivery down past the budget is exactly
+	// what this gate exists to catch.
+	cur := mustParse(t, `{
+		"frames_per_sec": 30000,
+		"mb_per_sec": 19.5,
+		"projection": {"coverage_pct": 100}
+	}`)
+	rep, err := compare("ingest-project", mustParse(t, projectBaseline), cur, kinds["ingest-project"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("25% throughput regression passed the projected gate")
+	}
+}
+
+func TestIngestProjectCoverageCollapseFails(t *testing.T) {
+	cur := mustParse(t, `{
+		"frames_per_sec": 41000,
+		"mb_per_sec": 20.5,
+		"projection": {"coverage_pct": 40}
+	}`)
+	rep, err := compare("ingest-project", mustParse(t, projectBaseline), cur, kinds["ingest-project"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("staged coverage collapse passed the gate")
+	}
+}
+
+func TestIngestProjectMissingSectionErrors(t *testing.T) {
+	cur := mustParse(t, `{"frames_per_sec": 41000, "mb_per_sec": 20.5}`)
+	if _, err := compare("ingest-project", mustParse(t, projectBaseline), cur, kinds["ingest-project"], defaultLimits()); err == nil {
+		t.Fatal("missing projection section did not error")
+	}
+}
+
 const sweepBaseline = `{
 	"total_seconds": 60,
 	"encoder_ns_per_op": {"standard": 2000, "age": 5000},

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/fixedpoint"
 	"repro/internal/ingest"
 	"repro/internal/metrics"
+	"repro/internal/projection"
 )
 
 // loadSession discards frames, counting them. One exists per accepted
@@ -129,17 +131,36 @@ type encSource struct {
 	lastErr error
 }
 
-func newEncSource(sensorID, total, block int, enc core.BatchAppendEncoder, cfg core.Config) *encSource {
-	s := &encSource{sensorID: sensorID, total: total, enc: enc, cfg: cfg, start: -1}
-	k := cfg.T / 2
+// frameK is the adaptive-style sample count for one frame: frames in the
+// "event" label class carry twice the samples of quiet frames, mirroring how
+// an adaptive policy samples densely around events. Under -encode standard
+// the two counts produce two distinct wire sizes perfectly correlated with
+// the label (the leak the live privacy monitor exists to show); under
+// -encode age every frame still lands on the same fixed message size. The
+// label function must match the projection Truth in runLoad.
+func frameK(sensorID, frame, t int) int {
+	k := t / 4
+	if (sensorID+frame)%2 == 1 {
+		k = t / 2
+	}
 	if k < 1 {
 		k = 1
 	}
+	return k
+}
+
+func newEncSource(sensorID, total, block int, enc core.BatchAppendEncoder, cfg core.Config) *encSource {
+	s := &encSource{sensorID: sensorID, total: total, enc: enc, cfg: cfg, start: -1}
+	// Backing arrays sized for the largest per-frame sample count; fillBatch
+	// reslices them to each frame's adaptive count.
+	kMax := cfg.T / 2
+	if kMax < 1 {
+		kMax = 1
+	}
 	s.block = make([]core.Batch, block)
 	for i := range s.block {
-		b := core.Batch{Indices: make([]int, k), Values: make([][]float64, k)}
+		b := core.Batch{Indices: make([]int, kMax), Values: make([][]float64, kMax)}
 		for j := range b.Indices {
-			b.Indices[j] = j * cfg.T / k
 			b.Values[j] = make([]float64, cfg.D)
 		}
 		s.block[i] = b
@@ -156,9 +177,15 @@ func (s *encSource) Seek(resume int) error {
 
 // fillBatch overwrites slot's values deterministically from (sensor, frame).
 func (s *encSource) fillBatch(slot, frame int) {
+	k := frameK(s.sensorID, frame, s.cfg.T)
+	b := &s.block[slot]
+	b.Indices = b.Indices[:k]
+	b.Values = b.Values[:k]
 	x := uint32(s.sensorID)*2654435761 + uint32(frame)*40503 + 1
 	max := s.cfg.Format.Max()
-	for _, row := range s.block[slot].Values {
+	for i := range b.Indices {
+		b.Indices[i] = i * s.cfg.T / k
+		row := b.Values[i]
 		for j := range row {
 			x = x*1664525 + 1013904223
 			row[j] = (float64(int32(x)) / float64(1<<31)) * max
@@ -264,7 +291,23 @@ type report struct {
 
 	Pacer *pacerReport `json:"pacer,omitempty"`
 
+	Projection *projectionReport `json:"projection,omitempty"`
+
 	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// projectionReport summarizes the streaming pipeline's work for one run —
+// how much of the fleet's traffic was staged and projected, and what the
+// live privacy monitor measured.
+type projectionReport struct {
+	StagedRecords   int64   `json:"staged_records"`
+	DecodeErrors    int64   `json:"decode_errors"`
+	CoveragePct     float64 `json:"coverage_pct"`
+	Watermark       int     `json:"watermark"`
+	SizeEntropyBits float64 `json:"size_entropy_bits"`
+	NMI             float64 `json:"nmi"`
+	DistinctSizes   int     `json:"distinct_sizes"`
+	LabelDetections int64   `json:"label_detections"`
 }
 
 // loadOptions collects everything runLoad needs; main fills it from flags
@@ -283,6 +326,10 @@ type loadOptions struct {
 	paceInterval time.Duration
 	paceJitter   float64
 	genGap       time.Duration
+
+	project       bool
+	projectWindow int
+	projectAddr   string
 }
 
 func main() {
@@ -303,6 +350,10 @@ func main() {
 		paceInterval = flag.Duration("pace-interval", 2*time.Millisecond, "paced release interval (constant/jitter)")
 		paceJitter   = flag.Float64("pace-jitter", 0.3, "release jitter fraction (jitter mode)")
 		genGap       = flag.Duration("pace-gen-gap", 3*time.Millisecond, "synthetic per-frame generation gap charged to age of information (slower than -pace-interval so slots without a pending frame carry cover traffic)")
+
+		project       = flag.Bool("project", false, "run the streaming pipeline (decode → stage → project) on the delivery path and report its KPIs")
+		projectWindow = flag.Int("project-window", 64, "rolling-KPI window for -project")
+		projectAddr   = flag.String("project-addr", "", "serve /metrics and /projections on this address during a -project run (empty = off)")
 
 		ioTimeout      = flag.Duration("io-timeout", 5*time.Second, "per-frame read/write deadline")
 		rejectAttempts = flag.Int("reject-attempts", 64, "client budget for transient server rejects")
@@ -327,6 +378,7 @@ func main() {
 		reconnects: *reconnects, runTimeout: *runTimeout,
 		pace: paceMode, paceInterval: *paceInterval,
 		paceJitter: *paceJitter, genGap: *genGap,
+		project: *project, projectWindow: *projectWindow, projectAddr: *projectAddr,
 	})
 	if err != nil {
 		log.Fatalf("ageload: %v", err)
@@ -340,6 +392,10 @@ func main() {
 	if p := rep.Pacer; p != nil {
 		fmt.Printf("ageload: pacer %s: %.1f%% goodput (%d real, %d dummy frames), mean AoI %.2fms max %.2fms\n",
 			p.Mode, p.GoodputPct, p.RealFrames, p.DummyFrames, p.MeanAoIMS, p.MaxAoIMS)
+	}
+	if pr := rep.Projection; pr != nil {
+		fmt.Printf("ageload: projection: %d staged (%.1f%% coverage, %d decode errors), size entropy %.3f bits, NMI %.4f\n",
+			pr.StagedRecords, pr.CoveragePct, pr.DecodeErrors, pr.SizeEntropyBits, pr.NMI)
 	}
 
 	if *out != "" {
@@ -390,6 +446,34 @@ func runLoad(opts loadOptions) (*report, error) {
 	}
 
 	reg := metrics.NewRegistry()
+
+	// -project runs the streaming pipeline on the delivery path: the tap
+	// decodes each delivered frame (through the same codec the fleet
+	// encodes with), stages it, and the projection workers keep the live
+	// KPIs. Labels are synthetic (a deterministic function of sensor and
+	// frame, matching frameK's adaptive sample count) so the NMI monitor
+	// has a marginal to correlate sizes against: standard encoding leaks
+	// the label through the two wire sizes, AGE reads zero.
+	var eng *projection.Engine
+	if opts.project {
+		pcfg := projection.Config{
+			T: encCfg.T, D: encCfg.D,
+			Unmark: paced,
+			Window: opts.projectWindow,
+			Truth: func(sensorID, index int) ([][]float64, int, bool) {
+				return nil, (sensorID + index) % 2, true
+			},
+		}
+		if newEncoder != nil {
+			dec, err := newEncoder()
+			if err != nil {
+				return nil, err
+			}
+			pcfg.Decode = dec.(core.Decoder)
+		}
+		eng = projection.New(pcfg)
+	}
+
 	var gotFrames, gotBytes atomic.Int64
 	srv, err := ingest.NewServer(ingest.ServerConfig{
 		Handler: ingest.HandlerFuncs{
@@ -402,12 +486,23 @@ func runLoad(opts loadOptions) (*report, error) {
 		QueueDepth:      opts.queue,
 		IOTimeout:       opts.ioTimeout,
 		Metrics:         reg,
+		Stager:          stagerOrNil(eng),
 	})
 	if err != nil {
 		return nil, err
 	}
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
 		return nil, fmt.Errorf("listen: %w", err)
+	}
+	if eng != nil && opts.projectAddr != "" {
+		dbg, err := reg.ListenAndServeWith(opts.projectAddr, map[string]http.Handler{
+			"/projections": eng.Handler(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("project-addr: %w", err)
+		}
+		defer dbg.Close()
+		log.Printf("ageload: serving /metrics and /projections on %s", dbg.Addr)
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
@@ -482,6 +577,14 @@ func runLoad(opts loadOptions) (*report, error) {
 	if err := <-serveErr; err != nil && !errors.Is(err, ingest.ErrClosed) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
+	var projSnap *projection.Snapshot
+	if eng != nil {
+		// The server has drained: no more frames can reach the tap, so
+		// Close drains the workers and the snapshot is final.
+		eng.Close()
+		s := eng.Snapshot()
+		projSnap = &s
+	}
 
 	rep := &report{
 		Sensors:         opts.sensors,
@@ -543,5 +646,26 @@ func runLoad(opts loadOptions) (*report, error) {
 		}
 		rep.Pacer = p
 	}
+	if projSnap != nil {
+		rep.Projection = &projectionReport{
+			StagedRecords:   projSnap.StagedRecords,
+			DecodeErrors:    projSnap.DecodeErrors,
+			CoveragePct:     projSnap.CoveragePct,
+			Watermark:       projSnap.Watermark,
+			SizeEntropyBits: projSnap.Privacy.SizeEntropyBits,
+			NMI:             projSnap.Privacy.NMI,
+			DistinctSizes:   projSnap.Privacy.DistinctSizes,
+			LabelDetections: projSnap.Events.LabelDetections,
+		}
+	}
 	return rep, nil
+}
+
+// stagerOrNil avoids handing the server a non-nil interface wrapping a nil
+// engine, which would re-enable the tap on every frame.
+func stagerOrNil(eng *projection.Engine) ingest.Stager {
+	if eng == nil {
+		return nil
+	}
+	return eng
 }

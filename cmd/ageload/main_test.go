@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"math"
 	"testing"
 	"time"
 
@@ -215,5 +216,107 @@ func TestRunLoadUnpacedHasNoPacerReport(t *testing.T) {
 	}
 	if want := int64(opts.sensors * opts.frames); rep.DeliveredFrames != want {
 		t.Errorf("delivered %d frames, want %d", rep.DeliveredFrames, want)
+	}
+}
+
+// TestRunLoadProjectedEndToEnd runs the streaming pipeline on the load
+// path: every delivered frame is decoded through the production codec,
+// staged, and projected, and the report's projection section reflects full
+// coverage.
+func TestRunLoadProjectedEndToEnd(t *testing.T) {
+	opts := loadTestOptions()
+	opts.sensors, opts.frames, opts.frameBytes = 4, 8, 64
+	opts.encode = "standard"
+	opts.project = true
+	opts.projectWindow = 16
+
+	rep, err := runLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d sensors failed", rep.Failed)
+	}
+	pr := rep.Projection
+	if pr == nil {
+		t.Fatal("projected run produced no projection report")
+	}
+	want := int64(opts.sensors * opts.frames)
+	if pr.StagedRecords != want {
+		t.Errorf("staged %d records, want %d", pr.StagedRecords, want)
+	}
+	if pr.DecodeErrors != 0 {
+		t.Errorf("%d decode errors through the production codec", pr.DecodeErrors)
+	}
+	if pr.CoveragePct != 100 {
+		t.Errorf("coverage = %.1f%%, want 100", pr.CoveragePct)
+	}
+	if pr.Watermark != opts.frames {
+		t.Errorf("watermark = %d, want %d", pr.Watermark, opts.frames)
+	}
+	// Synthetic labels alternate, so half the frames are detections.
+	if pr.LabelDetections != want/2 {
+		t.Errorf("label detections = %d, want %d", pr.LabelDetections, want/2)
+	}
+	// The adaptive workload doubles the sample count on labeled frames, and
+	// standard encoding passes that straight through to the wire: the live
+	// monitor must read two sizes split evenly (1 bit of entropy) in perfect
+	// correlation with the labels (NMI 1).
+	if pr.DistinctSizes != 2 {
+		t.Errorf("distinct sizes = %d, want 2 under standard encoding", pr.DistinctSizes)
+	}
+	if math.Abs(pr.SizeEntropyBits-1) > 1e-9 {
+		t.Errorf("size entropy = %.6f bits, want 1", pr.SizeEntropyBits)
+	}
+	if math.Abs(pr.NMI-1) > 1e-9 {
+		t.Errorf("NMI(size,label) = %.6f, want 1", pr.NMI)
+	}
+}
+
+// TestRunLoadProjectedPaced checks the tap unwraps the pacer's in-payload
+// marker before decoding: cover traffic never reaches the stage, and the
+// real frames decode cleanly.
+func TestRunLoadProjectedPaced(t *testing.T) {
+	opts := loadTestOptions()
+	opts.sensors, opts.frames, opts.frameBytes = 3, 6, 64
+	opts.encode = "age"
+	opts.project = true
+	opts.pace = ingest.PaceConstant
+	opts.paceInterval = time.Millisecond
+	opts.genGap = 1500 * time.Microsecond
+
+	rep, err := runLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d sensors failed", rep.Failed)
+	}
+	pr := rep.Projection
+	if pr == nil {
+		t.Fatal("no projection report")
+	}
+	want := int64(opts.sensors * opts.frames)
+	if pr.StagedRecords != want || pr.DecodeErrors != 0 {
+		t.Errorf("staged %d (want %d), %d decode errors", pr.StagedRecords, want, pr.DecodeErrors)
+	}
+	// AGE standardizes message sizes, so the live monitor must measure
+	// zero size entropy (and therefore zero NMI) even with varying labels.
+	if pr.DistinctSizes != 1 || pr.SizeEntropyBits != 0 || pr.NMI != 0 {
+		t.Errorf("AGE leak figures: %d sizes, %.3f bits, NMI %.4f; want 1/0/0",
+			pr.DistinctSizes, pr.SizeEntropyBits, pr.NMI)
+	}
+}
+
+// TestRunLoadUnprojectedHasNoProjectionReport pins the report shape for the
+// unprojected bench baselines.
+func TestRunLoadUnprojectedHasNoProjectionReport(t *testing.T) {
+	opts := loadTestOptions()
+	rep, err := runLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Projection != nil {
+		t.Errorf("unprojected run produced a projection report: %+v", rep.Projection)
 	}
 }

@@ -231,6 +231,24 @@ type Session interface {
 	Close(err error)
 }
 
+// Stager taps the server's delivery path for the streaming pipeline
+// (decode → stage → project, see internal/staging and internal/projection):
+// Admit fires once per accepted session, StageFrame once per delivered real
+// frame — after Session.Frame accepted it, so pacer dummies and failed
+// frames never reach it — and SessionEnd when the connection retires
+// (completed reports whether the final ack went out). A nil
+// ServerConfig.Stager leaves the delivery path exactly as it was.
+//
+// Implementations must be safe for concurrent use: calls for one sensor are
+// ordered (the session registry serializes a sensor's connections) but
+// different sensors call in from different workers at once. msg must not be
+// retained past the call — decode or copy synchronously.
+type Stager interface {
+	Admit(sensorID, resume, total int)
+	StageFrame(sensorID, index int, msg []byte)
+	SessionEnd(sensorID int, completed bool)
+}
+
 // HandlerFuncs adapts plain functions to Handler; nil fields are no-ops
 // (a nil OpenFunc refuses every connection).
 type HandlerFuncs struct {

@@ -22,6 +22,11 @@ const (
 	// defaultRejecters bounds the goroutines that write typed rejects to
 	// shed connections; past that, shed connections are dropped outright.
 	defaultRejecters = 32
+	// defaultSessionTTL is how long a completed (final-acked) sensor's
+	// registry entry survives idle before eviction. Without eviction the
+	// registry grows one entry per sensor id ever seen — unbounded under
+	// sensor churn.
+	defaultSessionTTL = time.Minute
 )
 
 // ServerConfig configures a Server. Handler is required; everything else
@@ -46,6 +51,20 @@ type ServerConfig struct {
 	// id's previous owner to release its claim before the connection is
 	// refused with StatusDuplicate (default IOTimeout).
 	ClaimWait time.Duration
+	// SessionTTL bounds the session registry under sensor churn: an entry
+	// whose stream completed (final ack sent) is evicted once it has sat
+	// idle this long. Incomplete streams are never evicted — their
+	// delivered index is exactly what a resuming sensor needs. A completed
+	// sensor that returns after eviction is re-admitted from scratch via
+	// the ordinary hello handshake (delivered = 0). Zero selects the
+	// default (1 minute); negative keeps every entry forever (the
+	// pre-eviction behavior).
+	SessionTTL time.Duration
+	// Stager, when set, taps the delivery path for the streaming pipeline:
+	// one Admit per accepted session, one StageFrame per delivered real
+	// frame, one SessionEnd per retired connection. Nil (the default)
+	// leaves the delivery path exactly as it was.
+	Stager Stager
 	// Metrics, when set, receives the ingest.* instrument family. Nil is
 	// fine: every instrument degrades to a no-op.
 	Metrics *metrics.Registry
@@ -67,6 +86,9 @@ func (cfg ServerConfig) withDefaults() ServerConfig {
 	if cfg.ClaimWait <= 0 {
 		cfg.ClaimWait = cfg.IOTimeout
 	}
+	if cfg.SessionTTL == 0 {
+		cfg.SessionTTL = defaultSessionTTL
+	}
 	return cfg
 }
 
@@ -85,6 +107,7 @@ type serverMetrics struct {
 	rejectedDraining  *metrics.Counter
 	rejectedRefused   *metrics.Counter
 	unattributed      *metrics.Counter
+	sessionsEvicted   *metrics.Counter
 	activeSessions    *metrics.Gauge
 	frameBytes        *metrics.Histogram
 }
@@ -103,6 +126,7 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 		rejectedDraining:  reg.Counter("ingest.rejected_draining"),
 		rejectedRefused:   reg.Counter("ingest.rejected_refused"),
 		unattributed:      reg.Counter("ingest.unattributed"),
+		sessionsEvicted:   reg.Counter("ingest.sessions_evicted"),
 		activeSessions:    reg.Gauge("ingest.active_sessions"),
 		frameBytes:        reg.Histogram("ingest.frame_bytes", metrics.SizeBuckets()...),
 	}
@@ -112,14 +136,27 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 type sessionEntry struct {
 	delivered int  // frames delivered across all of the sensor's connections
 	active    bool // a live connection currently owns the sensor
+	// done marks the stream complete: the final ack went out, so the entry
+	// exists only to short-circuit a redundant reconnect and is safe to
+	// evict. Incomplete entries hold the resume index and are never evicted.
+	done bool
+	// idleSince is when the entry last lost its owning connection; the
+	// eviction clock for done entries.
+	idleSince time.Time
 }
 
 // sessionRegistry keys session state by sensor id. delivered is the resume
 // index handed to a reconnecting sensor; active serializes connections per
-// sensor so two links can never interleave one stream.
+// sensor so two links can never interleave one stream. Entries whose stream
+// completed are evicted after sitting idle for ttl, so the registry stays
+// bounded by the *live* population under sensor churn instead of growing
+// with every sensor id ever seen.
 type sessionRegistry struct {
-	mu sync.Mutex
-	s  map[int]*sessionEntry
+	mu        sync.Mutex
+	s         map[int]*sessionEntry
+	ttl       time.Duration // idle lifetime of done entries; <= 0 keeps forever
+	lastSweep time.Time
+	evicted   *metrics.Counter
 }
 
 // claim marks sensorID owned and returns its delivered count, waiting up to
@@ -129,6 +166,7 @@ func (r *sessionRegistry) claim(sensorID int, wait time.Duration, abort func() b
 	deadline := time.Now().Add(wait)
 	for {
 		r.mu.Lock()
+		r.sweepLocked(time.Now())
 		e := r.s[sensorID]
 		if e == nil {
 			e = &sessionEntry{}
@@ -136,6 +174,9 @@ func (r *sessionRegistry) claim(sensorID int, wait time.Duration, abort func() b
 		}
 		if !e.active {
 			e.active = true
+			// A fresh connection restarts the completion clock: if it
+			// delivers nothing new, serveConn's final ack re-marks done.
+			e.done = false
 			delivered := e.delivered
 			r.mu.Unlock()
 			return delivered, true
@@ -148,9 +189,27 @@ func (r *sessionRegistry) claim(sensorID int, wait time.Duration, abort func() b
 	}
 }
 
+// sweepLocked evicts entries whose stream completed and whose idle time
+// passed the TTL. Amortized: a full map scan runs at most every ttl/4, so
+// claim stays O(1) between sweeps. Callers hold r.mu.
+func (r *sessionRegistry) sweepLocked(now time.Time) {
+	if r.ttl <= 0 || now.Sub(r.lastSweep) < r.ttl/4 {
+		return
+	}
+	r.lastSweep = now
+	for id, e := range r.s {
+		if e.done && !e.active && now.Sub(e.idleSince) >= r.ttl {
+			delete(r.s, id)
+			r.evicted.Inc()
+		}
+	}
+}
+
 func (r *sessionRegistry) release(sensorID int) {
 	r.mu.Lock()
-	r.s[sensorID].active = false
+	e := r.s[sensorID]
+	e.active = false
+	e.idleSince = time.Now()
 	r.mu.Unlock()
 }
 
@@ -158,6 +217,24 @@ func (r *sessionRegistry) advance(sensorID int) {
 	r.mu.Lock()
 	r.s[sensorID].delivered++
 	r.mu.Unlock()
+}
+
+// complete marks the sensor's stream done — called after the final ack is
+// on the wire, the same signal the sensor itself takes as end-of-stream.
+func (r *sessionRegistry) complete(sensorID int) {
+	r.mu.Lock()
+	if e := r.s[sensorID]; e != nil {
+		e.done = true
+	}
+	r.mu.Unlock()
+}
+
+// size reports the registry's current entry count (for the bounded-registry
+// gauge and tests).
+func (r *sessionRegistry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.s)
 }
 
 // Server is a long-lived, sharded ingest endpoint. Create with NewServer,
@@ -200,11 +277,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:       cfg,
 		m:         newServerMetrics(cfg.Metrics),
 		queues:    make([]chan net.Conn, cfg.Shards),
-		sessions:  sessionRegistry{s: map[int]*sessionEntry{}},
+		sessions:  sessionRegistry{s: map[int]*sessionEntry{}, ttl: cfg.SessionTTL},
 		rejectSem: make(chan struct{}, defaultRejecters),
 		conns:     map[net.Conn]struct{}{},
 		finished:  make(chan struct{}),
 	}
+	s.sessions.evicted = s.m.sessionsEvicted
 	for i := range s.queues {
 		s.queues[i] = make(chan net.Conn, cfg.QueueDepth)
 	}
@@ -215,6 +293,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 				n += int64(len(q))
 			}
 			return n
+		})
+		reg.GaugeFunc("ingest.session_registry_size", func() int64 {
+			return int64(s.sessions.size())
 		})
 	}
 	return s, nil
@@ -526,12 +607,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.m.sessionsStarted.Inc()
 	s.m.activeSessions.Add(1)
 	defer s.m.activeSessions.Add(-1)
+	total := sess.Total()
+	completed := false
+	if stg := s.cfg.Stager; stg != nil {
+		stg.Admit(sensorID, delivered, total)
+		defer func() { stg.SessionEnd(sensorID, completed) }()
+	}
 
 	if err := writeAck(conn, StatusAccept, uint32(delivered), timeout); err != nil {
 		sess.Close(fmt.Errorf("hello ack: %w", err))
 		return
 	}
-	total := sess.Total()
 	// Buffered frame reads: clients gather frames into batched writes, and
 	// reading them back one socket read per frame would forfeit the savings.
 	fr := seccomm.NewFrameReader(conn, 0)
@@ -557,12 +643,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.sessions.advance(sensorID)
 		s.m.frames.Inc()
+		if stg := s.cfg.Stager; stg != nil {
+			stg.StageFrame(sensorID, fi, msg)
+		}
 		fi++
 	}
 	if err := writeAck(conn, StatusAccept, uint32(total), timeout); err != nil {
 		sess.Close(fmt.Errorf("final ack: %w", err))
 		return
 	}
+	// The final ack is on the wire: the stream is complete, and the
+	// registry entry becomes eligible for TTL eviction.
+	s.sessions.complete(sensorID)
+	completed = true
 	s.m.sessionsCompleted.Inc()
 	sess.Close(nil)
 }

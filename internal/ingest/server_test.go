@@ -538,3 +538,176 @@ func TestDrainLeavesNoGoroutines(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestRegistryEvictionBoundsChurn drives many short-lived sensors through
+// the server and asserts the session registry does not grow one entry per
+// sensor id ever seen: completed entries are evicted after the idle TTL, so
+// the registry is bounded by the live population plus the TTL window.
+func TestRegistryEvictionBoundsChurn(t *testing.T) {
+	const ttl = 40 * time.Millisecond
+	h := newTestHandler(3)
+	srv, addr, _ := startServer(t, ServerConfig{
+		Handler: h, IOTimeout: 2 * time.Second, SessionTTL: ttl,
+	})
+
+	// Churn: 60 distinct sensor ids, each completing its stream and leaving.
+	for id := 0; id < 60; id++ {
+		client := NewClient(ClientConfig{Addr: addr, SensorID: id, IOTimeout: 2 * time.Second})
+		if _, err := client.Run(context.Background(), &sliceSource{frames: framesFor(3)}); err != nil {
+			t.Fatalf("sensor %d: %v", id, err)
+		}
+	}
+	if got := srv.sessions.size(); got > 60 {
+		t.Fatalf("registry holds %d entries after 60 sensors", got)
+	}
+
+	// Sweeps run on claim, so keep a trickle of fresh sensors arriving past
+	// the TTL and watch the churned population drain out.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.sessions.size() > 10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("registry still holds %d entries long after the TTL", srv.sessions.size())
+		}
+		time.Sleep(ttl)
+		client := NewClient(ClientConfig{Addr: addr, SensorID: 1000 + int(time.Now().UnixNano()%1000), IOTimeout: 2 * time.Second})
+		if _, err := client.Run(context.Background(), &sliceSource{frames: framesFor(3)}); err != nil {
+			t.Fatalf("trickle sensor: %v", err)
+		}
+	}
+
+	// A completed, evicted sensor that returns is re-admitted from scratch:
+	// its hello ack carries resume index 0, and the stream replays fully.
+	before := h.delivered(7)
+	client := NewClient(ClientConfig{Addr: addr, SensorID: 7, IOTimeout: 2 * time.Second})
+	if _, err := client.Run(context.Background(), &sliceSource{frames: framesFor(3)}); err != nil {
+		t.Fatalf("re-admitted sensor: %v", err)
+	}
+	if got := h.delivered(7); got != before+3 {
+		t.Errorf("re-admitted sensor delivered %d new frames, want 3", got-before)
+	}
+}
+
+// TestEvictionSparesIncompleteStreams pins the resume semantics the TTL must
+// not break: a sensor that dropped mid-stream keeps its registry entry (and
+// delivered index) across the TTL, because only final-acked streams evict.
+func TestEvictionSparesIncompleteStreams(t *testing.T) {
+	const ttl = 30 * time.Millisecond
+	h := newTestHandler(6)
+	srv, addr, _ := startServer(t, ServerConfig{
+		Handler: h, IOTimeout: 2 * time.Second, SessionTTL: ttl,
+	})
+
+	// Deliver half the stream on a raw connection, then drop the link.
+	conn, st, resume := dialHello(t, addr, 42)
+	if st != StatusAccept || resume != 0 {
+		t.Fatalf("hello ack = %v/%d", st, resume)
+	}
+	for _, msg := range framesFor(6)[:3] {
+		if err := seccomm.WriteFrameDeadline(conn, msg, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until the server has registered all three frames, then sever.
+	for h.delivered(42) < 3 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	conn.Close()
+
+	// Age the entry well past the TTL while churn keeps sweeps running.
+	for i := 0; i < 4; i++ {
+		time.Sleep(ttl)
+		client := NewClient(ClientConfig{Addr: addr, SensorID: 9000 + i, IOTimeout: 2 * time.Second})
+		if _, err := client.Run(context.Background(), &sliceSource{frames: framesFor(6)}); err != nil {
+			t.Fatalf("churn sensor: %v", err)
+		}
+	}
+
+	// The incomplete entry must still be there with its delivered index.
+	client := NewClient(ClientConfig{Addr: addr, SensorID: 42, IOTimeout: 2 * time.Second})
+	if _, err := client.Run(context.Background(), &sliceSource{frames: framesFor(6)}); err != nil {
+		t.Fatalf("resuming sensor: %v", err)
+	}
+	if got := h.delivered(42); got != 6 {
+		t.Errorf("sensor 42 delivered %d frames in total, want 6 (3 + 3 resumed)", got)
+	}
+	h.mu.Lock()
+	resumes := append([]int(nil), h.opens...)
+	h.mu.Unlock()
+	found := false
+	for _, r := range resumes {
+		if r == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no session opened at resume index 3; opens = %v", resumes)
+	}
+	_ = srv
+}
+
+// recordingStager captures the delivery-path tap calls for assertions.
+type recordingStager struct {
+	mu      sync.Mutex
+	admits  [][3]int // sensor, resume, total
+	frames  map[int][]string
+	ends    map[int]bool // sensor -> completed flag of last SessionEnd
+	endings int
+}
+
+func (r *recordingStager) Admit(sensorID, resume, total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.admits = append(r.admits, [3]int{sensorID, resume, total})
+}
+
+func (r *recordingStager) StageFrame(sensorID, index int, msg []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.frames == nil {
+		r.frames = map[int][]string{}
+	}
+	r.frames[sensorID] = append(r.frames[sensorID], fmt.Sprintf("%d:%s", index, msg))
+}
+
+func (r *recordingStager) SessionEnd(sensorID int, completed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ends == nil {
+		r.ends = map[int]bool{}
+	}
+	r.ends[sensorID] = completed
+	r.endings++
+}
+
+// TestStagerTapObservesDeliveryPath checks the Stager hook sees exactly the
+// delivered stream — admit with the resume index, every accepted frame in
+// order, and a completed SessionEnd — without altering delivery.
+func TestStagerTapObservesDeliveryPath(t *testing.T) {
+	h := newTestHandler(4)
+	tap := &recordingStager{}
+	_, addr, _ := startServer(t, ServerConfig{Handler: h, IOTimeout: 2 * time.Second, Stager: tap})
+	client := NewClient(ClientConfig{Addr: addr, SensorID: 5, IOTimeout: 2 * time.Second})
+	if _, err := client.Run(context.Background(), &sliceSource{frames: framesFor(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.delivered(5); got != 4 {
+		t.Fatalf("delivery changed under the tap: %d frames", got)
+	}
+	tap.mu.Lock()
+	defer tap.mu.Unlock()
+	if len(tap.admits) != 1 || tap.admits[0] != [3]int{5, 0, 4} {
+		t.Errorf("admits = %v", tap.admits)
+	}
+	want := []string{"0:frame-000", "1:frame-001", "2:frame-002", "3:frame-003"}
+	if len(tap.frames[5]) != len(want) {
+		t.Fatalf("staged frames = %v", tap.frames[5])
+	}
+	for i, w := range want {
+		if tap.frames[5][i] != w {
+			t.Errorf("staged frame %d = %q, want %q", i, tap.frames[5][i], w)
+		}
+	}
+	if done, ok := tap.ends[5]; !ok || !done || tap.endings != 1 {
+		t.Errorf("SessionEnd: ends=%v endings=%d", tap.ends, tap.endings)
+	}
+}

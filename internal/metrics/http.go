@@ -41,12 +41,24 @@ func (s *Server) Close() error {
 // simulation state, so serving it alongside a deterministic sweep cannot
 // change the sweep's output.
 func (r *Registry) ListenAndServe(addr string) (*Server, error) {
+	return r.ListenAndServeWith(addr, nil)
+}
+
+// ListenAndServeWith is ListenAndServe plus extra handlers mounted on the
+// same private mux — how subsystems with their own queryable state (e.g.
+// the projection engine's /projections snapshot) ride along with /metrics
+// on one debug port. Paths must not collide with /metrics or
+// /debug/pprof/.
+func (r *Registry) ListenAndServeWith(addr string, extra map[string]http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
+	for path, h := range extra {
+		mux.Handle(path, h)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -230,16 +230,20 @@ type Registry struct {
 	gaugeFuncs map[string]func() int64
 	hists      map[string]*Histogram
 	series     map[string]*Series
+	// histConflicts counts, per histogram name, how often a later Histogram
+	// call asked for bounds that disagree with the registered instrument.
+	histConflicts map[string]int64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		gaugeFuncs: map[string]func() int64{},
-		hists:      map[string]*Histogram{},
-		series:     map[string]*Series{},
+		counters:      map[string]*Counter{},
+		gauges:        map[string]*Gauge{},
+		gaugeFuncs:    map[string]func() int64{},
+		hists:         map[string]*Histogram{},
+		series:        map[string]*Series{},
+		histConflicts: map[string]int64{},
 	}
 }
 
@@ -286,8 +290,13 @@ func (r *Registry) GaugeFunc(name string, f func() int64) {
 }
 
 // Histogram returns the named histogram, creating it with the given bounds on
-// first use. Later calls return the existing histogram regardless of bounds,
-// so concurrent registrations of one family agree.
+// first use. Later calls return the existing histogram so concurrent
+// registrations of one family agree — but a later call passing *different*
+// bounds is almost certainly a caller bug (two sites disagreeing about a
+// family's bucket layout, with one silently losing). The mismatch is
+// recorded as a conflict: HistogramConflicts reports it, and every snapshot
+// carries a metrics.histogram_bounds_conflict.<name> counter so the
+// disagreement is visible wherever the metrics land.
 func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 	if r == nil {
 		return nil
@@ -298,8 +307,42 @@ func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 	if !ok {
 		h = NewHistogram(bounds...)
 		r.hists[name] = h
+		return h
+	}
+	if !h.sameBounds(bounds) {
+		r.histConflicts[name]++
 	}
 	return h
+}
+
+// sameBounds reports whether the histogram was built with exactly these
+// bounds.
+func (h *Histogram) sameBounds(bounds []int64) bool {
+	if len(h.bounds) != len(bounds) {
+		return false
+	}
+	for i, b := range bounds {
+		if h.bounds[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// HistogramConflicts returns, per histogram name, how many Histogram calls
+// requested bounds that disagreed with the registered instrument. An empty
+// map means every registration site agrees on its family's bucket layout.
+func (r *Registry) HistogramConflicts() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.histConflicts))
+	for name, n := range r.histConflicts {
+		out[name] = n
+	}
+	return out
 }
 
 // Series returns the named labeled-counter family, creating it on first use.
@@ -375,11 +418,18 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.series {
 		series[k] = v
 	}
+	histConflicts := make(map[string]int64, len(r.histConflicts))
+	for k, v := range r.histConflicts {
+		histConflicts[k] = v
+	}
 	r.mu.Unlock()
 
-	snap.Counters = make(map[string]int64, len(counters))
+	snap.Counters = make(map[string]int64, len(counters)+len(histConflicts))
 	for name, c := range counters {
 		snap.Counters[name] = c.Value()
+	}
+	for name, n := range histConflicts {
+		snap.Counters["metrics.histogram_bounds_conflict."+name] = n
 	}
 	snap.Gauges = make(map[string]int64, len(gauges)+len(gaugeFuncs))
 	for name, g := range gauges {

@@ -259,3 +259,45 @@ func TestSizeBucketsCoverFrameRange(t *testing.T) {
 		t.Errorf("size buckets = %v", b)
 	}
 }
+
+// TestHistogramBoundsConflict covers both registration paths: agreeing
+// callers share the instrument silently, and a caller passing different
+// bounds still gets the existing instrument (so updates keep landing in one
+// family) but the disagreement is recorded and surfaces in snapshots.
+func TestHistogramBoundsConflict(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("lat", 10, 20, 30)
+	b := r.Histogram("lat", 10, 20, 30)
+	if a != b {
+		t.Fatal("same bounds must return the same histogram")
+	}
+	if n := len(r.HistogramConflicts()); n != 0 {
+		t.Fatalf("agreeing registrations recorded %d conflicts", n)
+	}
+
+	c := r.Histogram("lat", 10, 20) // mismatched layout
+	if c != a {
+		t.Fatal("mismatched bounds must still return the registered histogram")
+	}
+	r.Histogram("lat", 10, 25, 30) // mismatched values, same length
+	conflicts := r.HistogramConflicts()
+	if conflicts["lat"] != 2 {
+		t.Fatalf("conflicts[lat] = %d, want 2", conflicts["lat"])
+	}
+	snap := r.Snapshot()
+	if got := snap.Counters["metrics.histogram_bounds_conflict.lat"]; got != 2 {
+		t.Fatalf("snapshot conflict counter = %d, want 2", got)
+	}
+
+	// Another family stays clean.
+	r.Histogram("other")
+	r.Histogram("other")
+	if _, ok := r.HistogramConflicts()["other"]; ok {
+		t.Fatal("boundless family recorded a conflict")
+	}
+	// Nil registry degrades like every other lookup.
+	var nilReg *Registry
+	if nilReg.Histogram("x", 1) != nil || nilReg.HistogramConflicts() != nil {
+		t.Fatal("nil registry must no-op")
+	}
+}

@@ -125,9 +125,12 @@ func (a *Accumulator) MAE() float64 {
 
 // WeightedMAE returns the deviation-weighted mean MAE (Table 5): each
 // sequence's error weighted by the standard deviation of its measurements.
+// When every recorded weight is zero — all-flat sequences, whose std-dev
+// weight is 0 — the weighted average is undefined; it falls back to the
+// plain MAE rather than silently reporting a perfect 0.
 func (a *Accumulator) WeightedMAE() float64 {
 	if a.sumWeights == 0 {
-		return 0
+		return a.MAE()
 	}
 	return a.sumWeighted / a.sumWeights
 }

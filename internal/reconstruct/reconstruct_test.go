@@ -222,3 +222,89 @@ func BenchmarkLinearReconstruct(b *testing.B) {
 		}
 	}
 }
+
+// TestWeightedMAEFlatSequences covers the all-flat and mixed weight cases:
+// a flat sequence has zero std-dev weight, and an accumulator holding only
+// flat sequences used to report a silently perfect weighted MAE of 0.
+func TestWeightedMAEFlatSequences(t *testing.T) {
+	cases := []struct {
+		name    string
+		maes    []float64
+		weights []float64
+		want    float64
+	}{
+		// Every weight zero: fall back to the plain MAE instead of 0.
+		{"all flat", []float64{0.5, 0.3}, []float64{0, 0}, 0.4},
+		{"single flat", []float64{0.8}, []float64{0}, 0.8},
+		// Mixed: zero-weight sequences drop out of the weighted average.
+		{"mixed", []float64{0.5, 0.3}, []float64{0, 2}, 0.3},
+		{"weighted", []float64{0.1, 0.4}, []float64{1, 3}, (0.1 + 1.2) / 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var acc Accumulator
+			for i := range tc.maes {
+				acc.Add(tc.maes[i], tc.weights[i])
+			}
+			if got := acc.WeightedMAE(); math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("WeightedMAE = %g, want %g", got, tc.want)
+			}
+		})
+	}
+	// Empty accumulator: both metrics are 0 by convention.
+	var empty Accumulator
+	if got := empty.WeightedMAE(); got != 0 {
+		t.Errorf("empty WeightedMAE = %g, want 0", got)
+	}
+}
+
+// TestLinearDegenerateShapes pins head/tail hold behavior for the smallest
+// sequences the projections replay: T == 1 and a lone collected index inside
+// a longer window. The projections depend on this holding steady.
+func TestLinearDegenerateShapes(t *testing.T) {
+	t.Run("T=1 single index", func(t *testing.T) {
+		recon, err := Linear([]int{0}, [][]float64{{3.5, -1}}, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recon) != 1 || recon[0][0] != 3.5 || recon[0][1] != -1 {
+			t.Fatalf("recon = %v", recon)
+		}
+	})
+	t.Run("T=1 empty batch is zeros", func(t *testing.T) {
+		recon, err := Linear(nil, nil, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recon) != 1 || recon[0][0] != 0 || recon[0][1] != 0 {
+			t.Fatalf("recon = %v", recon)
+		}
+	})
+	t.Run("lone interior index holds both ways", func(t *testing.T) {
+		recon, err := Linear([]int{2}, [][]float64{{7}}, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step, row := range recon {
+			if row[0] != 7 {
+				t.Fatalf("step %d = %g, want held 7", step, row[0])
+			}
+		}
+	})
+	t.Run("lone final index back-fills the head", func(t *testing.T) {
+		recon, err := Linear([]int{4}, [][]float64{{2}}, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step, row := range recon {
+			if row[0] != 2 {
+				t.Fatalf("step %d = %g, want held 2", step, row[0])
+			}
+		}
+	})
+	t.Run("T=1 out-of-range index rejected", func(t *testing.T) {
+		if _, err := Linear([]int{1}, [][]float64{{1}}, 1, 1); err == nil {
+			t.Fatal("want error for index 1 with T=1")
+		}
+	})
+}

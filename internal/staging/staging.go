@@ -1,0 +1,346 @@
+// Package staging implements the middle tier of the streaming pipeline
+// (decode → stage → project): per-sensor append-only logs of decoded
+// records, a visibility watermark that projection workers respect, and the
+// retention/trim policy that keeps memory bounded once every worker has
+// moved past a prefix.
+//
+// # Topology
+//
+// A Stage owns one Log per sensor. Appends for a sensor are ordered (the
+// ingest server serializes a sensor's connections, so the decode tap calls
+// Append in delivery order); appends for different sensors are concurrent.
+// Each record is assigned a per-sensor sequence number at append time —
+// the log's coordinate system, monotonically increasing and never reused,
+// independent of the frame index (which restarts at the resume point on
+// reconnect and can be replayed after an eviction).
+//
+// # Watermark
+//
+// Projections that correlate across sensors (the privacy monitor's NMI
+// over the fleet's message sizes) must not read ahead of the slowest
+// incomplete sensor, or a quiesced snapshot would depend on arrival
+// interleaving. Watermark returns
+//
+//	cutoff = MIN over incomplete logs of (head sequence)
+//
+// — the number of records visible on every still-streaming sensor.
+// Completed logs are exempt so a finished sensor does not pin the cutoff
+// forever; when every log is complete the watermark is the maximum head,
+// making everything visible.
+//
+// # Retention
+//
+// TrimBelow drops record storage below a per-sensor sequence, with a
+// Retain floor so late-starting workers still find a bounded suffix.
+// Trimming releases segment memory but never moves sequence numbers:
+// Get on a trimmed sequence reports ok=false rather than shifting data.
+//
+// # Checkpoint / restore
+//
+// Checkpoint captures per-sensor heads and completion flags. Restore
+// rebuilds a Stage whose logs resume at those heads with all prior
+// storage trimmed — the crash-restart contract is "sequence numbers
+// survive, record storage does not", which is exactly what projection
+// checkpoints (which carry their own aggregates) need.
+package staging
+
+import (
+	"sort"
+	"sync"
+)
+
+// Record is one decoded, staged batch from a sensor — the unit projection
+// workers consume. Indices/Values are the decoded adaptive-sampling batch;
+// Truth is the optional ground-truth window supplied by loopback harnesses
+// (nil in production, where the server cannot know it).
+type Record struct {
+	// Seq is the per-sensor sequence number assigned at append time.
+	Seq int
+	// Index is the frame's lifetime position in the sensor's stream.
+	Index int
+	// WireBytes is the sealed frame's on-the-wire size, the privacy
+	// monitor's observable.
+	WireBytes int
+	// Label is the window's event label when known (-1 otherwise).
+	Label int
+	// RecvUnixNano is the server-side arrival time.
+	RecvUnixNano int64
+	// Indices and Values are the decoded batch (collected time steps and
+	// their measurement rows).
+	Indices []int
+	Values  [][]float64
+	// Truth is the full ground-truth window when a harness supplies one.
+	Truth [][]float64
+}
+
+// segSize is the per-segment record capacity. Appends fill the tail
+// segment and chain a new one when full; TrimBelow frees whole segments.
+const segSize = 64
+
+// segment is one fixed-capacity run of consecutive records.
+type segment struct {
+	base int // sequence number of recs[0]
+	recs []Record
+}
+
+// Log is one sensor's append-only staged log. A Log is safe for one
+// appender and many concurrent readers.
+type Log struct {
+	mu       sync.Mutex
+	segs     []*segment
+	next     int  // sequence the next append receives (head)
+	trimmed  int  // lowest retained sequence
+	complete bool // final ack observed; no more appends expected
+}
+
+// Stage is the set of per-sensor logs plus subscriber plumbing.
+type Stage struct {
+	mu   sync.Mutex
+	logs map[int]*Log
+	subs []chan struct{}
+}
+
+// New creates an empty Stage.
+func New() *Stage {
+	return &Stage{logs: map[int]*Log{}}
+}
+
+// Log returns the sensor's log, creating it on first use.
+func (s *Stage) Log(sensorID int) *Log {
+	s.mu.Lock()
+	l := s.logs[sensorID]
+	if l == nil {
+		l = &Log{}
+		s.logs[sensorID] = l
+	}
+	s.mu.Unlock()
+	return l
+}
+
+// Sensors returns the ids of every known log, sorted.
+func (s *Stage) Sensors() []int {
+	s.mu.Lock()
+	ids := make([]int, 0, len(s.logs))
+	for id := range s.logs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Ints(ids)
+	return ids
+}
+
+// Subscribe returns a channel that receives a (coalesced) signal after
+// every append or completion. Workers block on it instead of polling.
+func (s *Stage) Subscribe() <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	s.mu.Lock()
+	s.subs = append(s.subs, ch)
+	s.mu.Unlock()
+	return ch
+}
+
+// notify pokes every subscriber without blocking. Called with no Stage or
+// Log lock held — channel sends under a mutex are forbidden here
+// (internal/agevet lockedblock).
+func (s *Stage) notify() {
+	s.mu.Lock()
+	subs := append([]chan struct{}(nil), s.subs...)
+	s.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Append assigns the next sequence number to rec, stores it, signals
+// subscribers, and returns the assigned sequence.
+func (s *Stage) Append(sensorID int, rec Record) int {
+	l := s.Log(sensorID)
+	l.mu.Lock()
+	rec.Seq = l.next
+	tail := l.tailLocked()
+	if tail == nil || len(tail.recs) == cap(tail.recs) {
+		tail = &segment{base: l.next, recs: make([]Record, 0, segSize)}
+		l.segs = append(l.segs, tail)
+	}
+	tail.recs = append(tail.recs, rec)
+	l.next++
+	seq := rec.Seq
+	l.mu.Unlock()
+	s.notify()
+	return seq
+}
+
+// Complete marks the sensor's log finished (final ack observed): the
+// watermark stops bounding on it, and subscribers are woken so workers
+// can re-evaluate visibility.
+func (s *Stage) Complete(sensorID int) {
+	l := s.Log(sensorID)
+	l.mu.Lock()
+	l.complete = true
+	l.mu.Unlock()
+	s.notify()
+}
+
+// Reopen clears a log's completion flag — a sensor evicted after a final
+// ack has reconnected and is streaming again, so the watermark must bound
+// on it once more.
+func (s *Stage) Reopen(sensorID int) {
+	l := s.Log(sensorID)
+	l.mu.Lock()
+	l.complete = false
+	l.mu.Unlock()
+}
+
+// Watermark returns the cross-sensor visibility cutoff: the minimum head
+// over incomplete logs, or the maximum head when every log is complete.
+// An empty stage has watermark 0.
+func (s *Stage) Watermark() int {
+	s.mu.Lock()
+	logs := make([]*Log, 0, len(s.logs))
+	for _, l := range s.logs {
+		logs = append(logs, l)
+	}
+	s.mu.Unlock()
+	minIncomplete, maxHead := -1, 0
+	for _, l := range logs {
+		head, complete := l.state()
+		if head > maxHead {
+			maxHead = head
+		}
+		if !complete && (minIncomplete < 0 || head < minIncomplete) {
+			minIncomplete = head
+		}
+	}
+	if minIncomplete >= 0 {
+		return minIncomplete
+	}
+	return maxHead
+}
+
+// TrimBelow releases record storage below seq on the sensor's log, keeping
+// at least retain records below the head. Sequence numbers are unaffected.
+func (s *Stage) TrimBelow(sensorID, seq, retain int) {
+	l := s.Log(sensorID)
+	l.mu.Lock()
+	if floor := l.next - retain; seq > floor {
+		seq = floor
+	}
+	if seq > l.trimmed {
+		l.trimmed = seq
+		// Drop whole segments that lie entirely below the trim point.
+		drop := 0
+		for drop < len(l.segs) && l.segs[drop].base+len(l.segs[drop].recs) <= seq {
+			drop++
+		}
+		if drop > 0 {
+			l.segs = append([]*segment(nil), l.segs[drop:]...)
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Checkpoint captures the stage's durable coordinates.
+type Checkpoint struct {
+	Sensors map[int]LogCheckpoint `json:"sensors"`
+}
+
+// LogCheckpoint is one log's durable state: its head sequence and whether
+// the stream had completed.
+type LogCheckpoint struct {
+	Head     int  `json:"head"`
+	Complete bool `json:"complete"`
+}
+
+// Checkpoint snapshots every log's head and completion flag.
+func (s *Stage) Checkpoint() Checkpoint {
+	cp := Checkpoint{Sensors: map[int]LogCheckpoint{}}
+	s.mu.Lock()
+	logs := make(map[int]*Log, len(s.logs))
+	for id, l := range s.logs {
+		logs[id] = l
+	}
+	s.mu.Unlock()
+	for id, l := range logs {
+		head, complete := l.state()
+		cp.Sensors[id] = LogCheckpoint{Head: head, Complete: complete}
+	}
+	return cp
+}
+
+// Restore builds a Stage whose logs resume at the checkpointed heads with
+// everything below them trimmed: the next append on sensor i receives
+// sequence cp.Sensors[i].Head, and Get on any earlier sequence reports
+// ok=false.
+func Restore(cp Checkpoint) *Stage {
+	s := New()
+	for id, lc := range cp.Sensors {
+		l := &Log{next: lc.Head, trimmed: lc.Head, complete: lc.Complete}
+		s.mu.Lock()
+		s.logs[id] = l
+		s.mu.Unlock()
+	}
+	return s
+}
+
+// tailLocked returns the last segment, or nil. Caller holds l.mu.
+func (l *Log) tailLocked() *segment {
+	if len(l.segs) == 0 {
+		return nil
+	}
+	return l.segs[len(l.segs)-1]
+}
+
+// state returns the log's head sequence and completion flag.
+func (l *Log) state() (head int, complete bool) {
+	l.mu.Lock()
+	head, complete = l.next, l.complete
+	l.mu.Unlock()
+	return head, complete
+}
+
+// Head returns the sequence the next append will receive.
+func (l *Log) Head() int {
+	h, _ := l.state()
+	return h
+}
+
+// Trimmed returns the lowest sequence still retained.
+func (l *Log) Trimmed() int {
+	l.mu.Lock()
+	t := l.trimmed
+	l.mu.Unlock()
+	return t
+}
+
+// Complete reports whether the log has been marked finished.
+func (l *Log) Complete() bool {
+	_, c := l.state()
+	return c
+}
+
+// Get returns the record at seq. ok is false when seq is below the trim
+// point, at or above the head, or inside a trimmed segment.
+func (l *Log) Get(seq int) (Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < l.trimmed || seq >= l.next || len(l.segs) == 0 {
+		return Record{}, false
+	}
+	// Binary search for the owning segment.
+	lo, hi := 0, len(l.segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.segs[mid].base+len(l.segs[mid].recs) <= seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(l.segs) || seq < l.segs[lo].base {
+		return Record{}, false
+	}
+	return l.segs[lo].recs[seq-l.segs[lo].base], true
+}

@@ -1,0 +1,211 @@
+package staging
+
+import (
+	"sync"
+	"testing"
+)
+
+func rec(index, bytes int) Record {
+	return Record{Index: index, WireBytes: bytes, Label: -1}
+}
+
+func TestAppendGetSequencing(t *testing.T) {
+	s := New()
+	for i := 0; i < 200; i++ {
+		if seq := s.Append(3, rec(i, 100+i)); seq != i {
+			t.Fatalf("append %d got seq %d", i, seq)
+		}
+	}
+	l := s.Log(3)
+	if l.Head() != 200 {
+		t.Fatalf("head = %d", l.Head())
+	}
+	for i := 0; i < 200; i++ {
+		r, ok := l.Get(i)
+		if !ok || r.Seq != i || r.Index != i || r.WireBytes != 100+i {
+			t.Fatalf("get %d = %+v ok=%v", i, r, ok)
+		}
+	}
+	if _, ok := l.Get(200); ok {
+		t.Error("read past head succeeded")
+	}
+	if _, ok := l.Get(-1); ok {
+		t.Error("negative read succeeded")
+	}
+}
+
+func TestWatermarkBoundsOnIncomplete(t *testing.T) {
+	s := New()
+	if s.Watermark() != 0 {
+		t.Fatalf("empty watermark = %d", s.Watermark())
+	}
+	for i := 0; i < 5; i++ {
+		s.Append(1, rec(i, 10))
+	}
+	for i := 0; i < 3; i++ {
+		s.Append(2, rec(i, 10))
+	}
+	if got := s.Watermark(); got != 3 {
+		t.Fatalf("watermark = %d, want 3 (slowest incomplete)", got)
+	}
+	// Completing the slow sensor exempts it: the cutoff jumps to the
+	// remaining incomplete log's head.
+	s.Complete(2)
+	if got := s.Watermark(); got != 5 {
+		t.Fatalf("watermark after complete(2) = %d, want 5", got)
+	}
+	// All complete -> max head, everything visible.
+	s.Complete(1)
+	if got := s.Watermark(); got != 5 {
+		t.Fatalf("watermark all-complete = %d, want 5", got)
+	}
+	// Reopen pins it again.
+	s.Reopen(2)
+	if got := s.Watermark(); got != 3 {
+		t.Fatalf("watermark after reopen = %d, want 3", got)
+	}
+}
+
+func TestTrimRetainsSuffixAndSequences(t *testing.T) {
+	s := New()
+	for i := 0; i < 300; i++ {
+		s.Append(7, rec(i, 10))
+	}
+	l := s.Log(7)
+	s.TrimBelow(7, 250, 20)
+	// Retain floor wins: only head-20 = 280 would violate retain, so the
+	// requested 250 stands (250 <= 280).
+	if got := l.Trimmed(); got != 250 {
+		t.Fatalf("trimmed = %d, want 250", got)
+	}
+	if _, ok := l.Get(100); ok {
+		t.Error("trimmed record still readable")
+	}
+	// Segment-granular release: records at/above the trim point whose
+	// segment survives are still readable, and sequences never shift.
+	for seq := 250; seq < 300; seq++ {
+		r, ok := l.Get(seq)
+		if !ok || r.Index != seq {
+			t.Fatalf("get %d after trim = %+v ok=%v", seq, r, ok)
+		}
+	}
+	// A trim past the retain floor is clamped.
+	s.TrimBelow(7, 299, 20)
+	if got := l.Trimmed(); got != 280 {
+		t.Fatalf("trimmed after clamp = %d, want 280 (head-retain)", got)
+	}
+	// Trims never move backwards.
+	s.TrimBelow(7, 0, 0)
+	if got := l.Trimmed(); got != 280 {
+		t.Fatalf("trimmed after backward trim = %d", got)
+	}
+}
+
+func TestSubscribeSignalsAppends(t *testing.T) {
+	s := New()
+	ch := s.Subscribe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Append(1, rec(0, 10))
+	}()
+	<-ch
+	<-done
+	if s.Log(1).Head() != 1 {
+		t.Fatal("signal arrived before append visible")
+	}
+	// Completion signals too.
+	go s.Complete(1)
+	<-ch
+}
+
+func TestCheckpointRestoreResumesSequences(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Append(1, rec(i, 10))
+	}
+	for i := 0; i < 4; i++ {
+		s.Append(2, rec(i, 10))
+	}
+	s.Complete(2)
+	cp := s.Checkpoint()
+	if cp.Sensors[1] != (LogCheckpoint{Head: 10}) {
+		t.Fatalf("cp sensor 1 = %+v", cp.Sensors[1])
+	}
+	if cp.Sensors[2] != (LogCheckpoint{Head: 4, Complete: true}) {
+		t.Fatalf("cp sensor 2 = %+v", cp.Sensors[2])
+	}
+
+	r := Restore(cp)
+	// Sequences resume exactly where they left off; prior storage is gone.
+	if seq := r.Append(1, rec(10, 10)); seq != 10 {
+		t.Fatalf("restored append seq = %d, want 10", seq)
+	}
+	if _, ok := r.Log(1).Get(5); ok {
+		t.Error("pre-checkpoint record readable after restore")
+	}
+	if got, ok := r.Log(1).Get(10); !ok || got.Index != 10 {
+		t.Fatalf("post-restore append unreadable: %+v ok=%v", got, ok)
+	}
+	if !r.Log(2).Complete() {
+		t.Error("completion flag lost across restore")
+	}
+	if got := r.Watermark(); got != 11 {
+		t.Fatalf("restored watermark = %d, want 11", got)
+	}
+}
+
+// TestConcurrentAppendersAndReaders exercises the documented concurrency
+// contract under -race: one appender per sensor, readers chasing the
+// watermark across sensors.
+func TestConcurrentAppendersAndReaders(t *testing.T) {
+	const sensors, perSensor = 8, 500
+	s := New()
+	var wg sync.WaitGroup
+	for id := 0; id < sensors; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perSensor; i++ {
+				s.Append(id, rec(i, 10+id))
+				if i%100 == 0 {
+					s.TrimBelow(id, i-50, 100)
+				}
+			}
+			s.Complete(id)
+		}(id)
+	}
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			ch := s.Subscribe()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ch:
+				}
+				cut := s.Watermark()
+				for _, id := range s.Sensors() {
+					l := s.Log(id)
+					lo := l.Trimmed()
+					for seq := lo; seq < cut && seq < lo+10; seq++ {
+						if r, ok := l.Get(seq); ok && r.Seq != seq {
+							t.Errorf("sensor %d seq %d holds record %d", id, seq, r.Seq)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if got := s.Watermark(); got != perSensor {
+		t.Fatalf("final watermark = %d, want %d", got, perSensor)
+	}
+}

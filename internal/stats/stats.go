@@ -132,6 +132,73 @@ func Entropy(labels []int) float64 {
 	return h
 }
 
+// EntropyCounts returns the Shannon entropy (bits) of the empirical
+// distribution described by a count table — the incremental form of Entropy
+// used by live monitors that maintain counts instead of retaining every
+// observation. Zero and negative counts are ignored.
+func EntropyCounts(counts map[int]int64) float64 {
+	var n int64
+	for _, c := range counts {
+		if c > 0 {
+			n += c
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	var h float64
+	nf := float64(n)
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		p := float64(c) / nf
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// NMICounts returns the normalized mutual information of Eq. 3 computed from
+// a joint count table over (label, size) pairs — the incremental form of
+// NMI for monitors that maintain counts. Marginals are derived from the
+// joint, so both entropies cover exactly the jointly observed population.
+// Zero and negative counts are ignored; an empty (or constant-marginal)
+// table yields 0, matching NMI's convention.
+func NMICounts(joint map[[2]int]int64) float64 {
+	var n int64
+	px := map[int]int64{}
+	py := map[int]int64{}
+	for k, c := range joint {
+		if c <= 0 {
+			continue
+		}
+		n += c
+		px[k[0]] += c
+		py[k[1]] += c
+	}
+	if n == 0 {
+		return 0
+	}
+	hx := EntropyCounts(px)
+	hy := EntropyCounts(py)
+	if hx+hy == 0 {
+		return 0
+	}
+	nf := float64(n)
+	var mi float64
+	for k, c := range joint {
+		if c <= 0 {
+			continue
+		}
+		pj := float64(c) / nf
+		mi += pj * math.Log2(pj/(float64(px[k[0]])/nf*float64(py[k[1]])/nf))
+	}
+	if mi < 0 { // guard tiny negative round-off
+		mi = 0
+	}
+	return 2 * mi / (hx + hy)
+}
+
 // MutualInformation returns the maximum-likelihood estimate of I(X;Y) in bits
 // between two paired discrete observation sequences. It panics if the slices
 // have different lengths.

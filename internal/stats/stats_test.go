@@ -269,3 +269,126 @@ func BenchmarkWelchTTest(b *testing.B) {
 		_ = WelchTTest(x, y)
 	}
 }
+
+// TestQuantileEdgeCases pins the quantile machinery's behavior on the inputs
+// the live projections feed it: single-element slices and slices containing
+// NaN. Go's sort.Float64s orders NaNs before every real number, so a NaN
+// shifts the order statistics left; these tests record that behavior so a
+// future "fix" is a deliberate decision, not an accident.
+func TestQuantileEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64 // NaN means "expect NaN"
+	}{
+		{"single q0", []float64{7}, 0, 7},
+		{"single q0.5", []float64{7}, 0.5, 7},
+		{"single q1", []float64{7}, 1, 7},
+		{"single negative q clamps", []float64{7}, -0.3, 7},
+		{"single q>1 clamps", []float64{7}, 1.7, 7},
+		{"empty", nil, 0.5, 0},
+		{"two-element median interpolates", []float64{1, 3}, 0.5, 2},
+		// NaN sorts first: [NaN 1 2], pos = 0.5*2 = 1 → s[1] = 1.
+		{"nan median picks real value", []float64{1, nan, 2}, 0.5, 1},
+		// q=0 lands exactly on the NaN.
+		{"nan q0 is nan", []float64{1, nan, 2}, 0, nan},
+		// Interpolating against a NaN neighbor poisons the result:
+		// pos = 0.25*2 = 0.5 interpolates s[0]=NaN with s[1]=1.
+		{"nan q0.25 interpolates to nan", []float64{1, nan, 2}, 0.25, nan},
+		{"all nan", []float64{nan, nan}, 0.5, nan},
+		{"single nan", []float64{nan}, 0.5, nan},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Quantile(tc.xs, tc.q)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("Quantile(%v, %v) = %g, want NaN", tc.xs, tc.q, got)
+				}
+				return
+			}
+			if got != tc.want {
+				t.Fatalf("Quantile(%v, %v) = %g, want %g", tc.xs, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMedianIQREdgeCases(t *testing.T) {
+	if got := Median([]float64{42}); got != 42 {
+		t.Errorf("Median([42]) = %g", got)
+	}
+	if got := IQR([]float64{42}); got != 0 {
+		t.Errorf("IQR([42]) = %g, want 0", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %g, want 0", got)
+	}
+	if got := IQR(nil); got != 0 {
+		t.Errorf("IQR(nil) = %g, want 0", got)
+	}
+	// A NaN in the sample poisons IQR whenever either quartile touches it.
+	if got := IQR([]float64{math.NaN(), 1, 2, 3}); !math.IsNaN(got) {
+		t.Errorf("IQR with NaN = %g, want NaN", got)
+	}
+	// Median of an even-length all-real slice stays finite even with a NaN
+	// present elsewhere in the order statistics.
+	if got := Median([]float64{math.NaN(), 1, 5, 9}); got != 3 {
+		t.Errorf("Median([NaN 1 5 9]) = %g, want 3", got)
+	}
+}
+
+// TestEntropyCountsMatchesEntropy checks the incremental count form against
+// the slice form on random data.
+func TestEntropyCountsMatchesEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		labels := make([]int, n)
+		counts := map[int]int64{}
+		for i := range labels {
+			labels[i] = rng.Intn(6)
+			counts[labels[i]]++
+		}
+		if got, want := EntropyCounts(counts), Entropy(labels); !almostEqual(got, want, 1e-12) {
+			t.Fatalf("EntropyCounts = %g, Entropy = %g", got, want)
+		}
+	}
+	if got := EntropyCounts(nil); got != 0 {
+		t.Errorf("EntropyCounts(nil) = %g", got)
+	}
+	// Non-positive counts are ignored, not treated as observations.
+	if got := EntropyCounts(map[int]int64{1: 0, 2: -3, 3: 8}); got != 0 {
+		t.Errorf("EntropyCounts with only one positive bucket = %g, want 0", got)
+	}
+}
+
+// TestNMICountsMatchesNMI checks the joint-count form against the paired
+// slice form on random data.
+func TestNMICountsMatchesNMI(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(300)
+		labels := make([]int, n)
+		sizes := make([]int, n)
+		joint := map[[2]int]int64{}
+		for i := range labels {
+			labels[i] = rng.Intn(4)
+			// Correlate sizes with labels so NMI is not trivially 0.
+			sizes[i] = labels[i]*10 + rng.Intn(12)
+			joint[[2]int{labels[i], sizes[i]}]++
+		}
+		if got, want := NMICounts(joint), NMI(labels, sizes); !almostEqual(got, want, 1e-12) {
+			t.Fatalf("NMICounts = %g, NMI = %g", got, want)
+		}
+	}
+	if got := NMICounts(nil); got != 0 {
+		t.Errorf("NMICounts(nil) = %g", got)
+	}
+	// A constant marginal carries no information.
+	if got := NMICounts(map[[2]int]int64{{1, 10}: 5, {1, 20}: 5}); got != 0 {
+		t.Errorf("NMICounts with constant label marginal = %g, want 0", got)
+	}
+}
