@@ -22,7 +22,9 @@
 //   - the encrypted link (ChaCha20 or AES-128-CBC sealing with framing);
 //   - server-side reconstruction and error metrics;
 //   - the message-size attacker and leakage statistics (NMI);
-//   - the end-to-end simulator with MSP430/BLE energy accounting.
+//   - the end-to-end simulator with MSP430/BLE energy accounting;
+//   - the long-lived ingest server/client and the gateway-fronted
+//     multi-node ingest cluster with session migration (NewCluster).
 //
 // See examples/quickstart for a five-minute tour.
 package age
@@ -33,6 +35,7 @@ import (
 	"math/rand"
 
 	"repro/internal/attack"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/energy"
@@ -303,7 +306,14 @@ type SimulationResult = simulator.RunResult
 type SocketResult = simulator.SocketResult
 
 // Simulate runs the full pipeline in-process under an energy budget.
-func Simulate(cfg SimulationConfig) (*SimulationResult, error) { return simulator.Run(cfg) }
+//
+// Deprecated: Use SimulateContext, which takes a caller context so a long
+// sweep can be cancelled between sequences. Simulate remains as a thin
+// wrapper over SimulateContext with context.Background() and will not be
+// removed.
+func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
+	return SimulateContext(context.Background(), cfg)
+}
 
 // SimulateContext is Simulate under a caller context, mirroring
 // SimulateFleetContext: cancellation is honored between sequences, and the
@@ -315,8 +325,13 @@ func SimulateContext(ctx context.Context, cfg SimulationConfig) (*SimulationResu
 
 // SimulateOverSocket runs the pipeline through a real TCP loopback
 // connection (sensor and server as separate actors).
+//
+// Deprecated: Use SimulateOverSocketContext, which takes a caller context
+// that closes the listener and both live connections on cancellation.
+// SimulateOverSocket remains as a thin wrapper over it with
+// context.Background() and will not be removed.
 func SimulateOverSocket(cfg SimulationConfig) (*SocketResult, error) {
-	return simulator.RunOverSocket(cfg)
+	return SimulateOverSocketContext(context.Background(), cfg)
 }
 
 // SimulateOverSocketContext is SimulateOverSocket under a caller context,
@@ -351,7 +366,14 @@ type FleetFaults = simulator.FleetFaults
 // ZebraNet herds) against one server. Per-sensor failures land in
 // FleetResult.Sensors; it returns an error only when setup fails, every
 // sensor fails, or the run is cancelled.
-func SimulateFleet(cfg FleetConfig) (*FleetResult, error) { return simulator.RunFleet(cfg) }
+//
+// Deprecated: Use SimulateFleetContext, which takes a caller context that
+// closes the listener and every live connection on cancellation and returns
+// the partial FleetResult folded so far. SimulateFleet remains as a thin
+// wrapper over it with context.Background() and will not be removed.
+func SimulateFleet(cfg FleetConfig) (*FleetResult, error) {
+	return SimulateFleetContext(context.Background(), cfg)
+}
 
 // SimulateFleetContext is SimulateFleet under a caller context: cancellation
 // closes the listener and every live connection, and the partial FleetResult
@@ -403,6 +425,32 @@ type FrameSource = ingest.FrameSource
 // NewClient returns a Client for cfg (defaults applied).
 func NewClient(cfg ClientConfig) *Client { return ingest.NewClient(cfg) }
 
+// ClientOptions is the grouped form of ClientConfig: the same fields
+// organized by concern (Dial, Write, Retry, Pace) so call sites read as
+// policy rather than a flat knob list. Config and Options convert between
+// the two surfaces losslessly; existing ClientConfig callers need not move.
+type ClientOptions = ingest.ClientOptions
+
+// DialOptions groups a client's connection-establishment policy: per-attempt
+// timeout, attempt budget, and the jittered backoff between attempts.
+type DialOptions = ingest.DialOptions
+
+// WriteOptions groups a client's frame-write policy: the per-frame I/O
+// deadline, the retry budget for short writes, and the batching factor.
+type WriteOptions = ingest.WriteOptions
+
+// RetryOptions groups a client's recovery budgets: reconnect-and-resume
+// attempts after a dropped link and retry attempts/backoff for typed
+// transient rejects.
+type RetryOptions = ingest.RetryOptions
+
+// PaceOptions is the release-pacing discipline inside ClientOptions; it is
+// the same type as PacerConfig under the grouped naming convention.
+type PaceOptions = ingest.PaceOptions
+
+// NewClientFromOptions is NewClient for the grouped options surface.
+func NewClientFromOptions(opts ClientOptions) *Client { return ingest.NewClientFromOptions(opts) }
+
 // IngestHandler is the server-side application: it opens a Session per
 // accepted sensor connection and hears about rejected and unattributable
 // ones.
@@ -434,6 +482,47 @@ type RejectedError = ingest.RejectedError
 // ProtocolError reports a malformed wire value from the peer (an unknown
 // ack status or frame marker); it is never retried.
 type ProtocolError = ingest.ProtocolError
+
+// ---- Multi-node ingest cluster ----
+
+// Cluster is a gateway fronting N in-process ingest nodes. Sensors connect
+// to the gateway's single address and speak the unmodified ingest wire
+// protocol; the gateway reads each connection's hello, routes the sensor to
+// a node by consistent hash (bounded-load variant) with affinity to
+// wherever the sensor's session already lives, and splices bytes for the
+// rest of the connection. Sessions migrate between nodes on resume, drain,
+// and rebalance, so a sensor that reconnects after a node change continues
+// from its delivered index. Lifecycle: NewCluster, Start, then Drain or
+// Close; AddNode/DrainNode/KillNode reshape the node set live.
+type Cluster = cluster.Cluster
+
+// ClusterConfig sizes a Cluster: node count (or a per-node spec builder),
+// consistent-hash geometry, the gateway's connection cap and I/O deadline,
+// and the shared session TTL/clock every node registry and the gateway's
+// locator map agree on. Zero values select sensible defaults.
+type ClusterConfig = cluster.Config
+
+// ClusterNodeSpec is one node's build recipe: its ingest ServerConfig plus
+// an optional CursorStore migrations carry staged cursors between.
+type ClusterNodeSpec = cluster.NodeSpec
+
+// CursorStore is the staging-tier half of session migration: export
+// captures and removes a sensor's staged cursor, import resumes it on the
+// receiving node. *staging.Stage and the projection engine implement it.
+type CursorStore = cluster.CursorStore
+
+// ClusterStats is a point-in-time snapshot of the cluster's routing state.
+type ClusterStats = cluster.Stats
+
+// ClusterNodeInfo describes one node in a ClusterStats snapshot.
+type ClusterNodeInfo = cluster.NodeInfo
+
+// ErrClusterClosed marks use of a Cluster after Close or Drain.
+var ErrClusterClosed = cluster.ErrClosed
+
+// NewCluster validates cfg and returns an idle Cluster; call Start to bring
+// the nodes up and open the gateway listener.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 
 // ---- Frame-release pacing (timing side-channel defense) ----
 

@@ -334,3 +334,108 @@ func TestFacadeSkipRNN(t *testing.T) {
 		t.Error("skip RNN collected nothing")
 	}
 }
+
+// TestFacadeClientOptionsRoundTrip pins the grouped/flat client-config
+// equivalence at the facade: downstream users can adopt ClientOptions (or
+// stay on ClientConfig) with identical behavior.
+func TestFacadeClientOptionsRoundTrip(t *testing.T) {
+	opts := age.ClientOptions{
+		Addr:     "127.0.0.1:9",
+		SensorID: 5,
+		Dial:     age.DialOptions{Attempts: 3},
+		Write:    age.WriteOptions{Batch: 4},
+		Retry:    age.RetryOptions{ReconnectAttempts: 7},
+		Pace:     age.PaceOptions{Mode: age.PaceConstant},
+	}
+	cfg := opts.Config()
+	if cfg.DialAttempts != 3 || cfg.WriteBatch != 4 || cfg.ReconnectAttempts != 7 ||
+		cfg.Pacer.Mode != age.PaceConstant {
+		t.Fatalf("grouped options flattened wrong: %+v", cfg)
+	}
+	back := cfg.Options()
+	if back.Dial.Attempts != 3 || back.Write.Batch != 4 || back.Retry.ReconnectAttempts != 7 ||
+		back.Pace.Mode != age.PaceConstant {
+		t.Fatalf("flat config regrouped wrong: %+v", back)
+	}
+	if cl := age.NewClientFromOptions(opts); cl == nil {
+		t.Fatal("NewClientFromOptions returned nil")
+	}
+}
+
+// clusterCountSession counts frames per sensor through the facade's cluster.
+type clusterCountSession struct {
+	total  int
+	frames chan<- int
+}
+
+func (s *clusterCountSession) Total() int                        { return s.total }
+func (s *clusterCountSession) Frame(index int, msg []byte) error { s.frames <- index; return nil }
+func (s *clusterCountSession) Close(err error)                   {}
+
+type clusterFrames struct {
+	frames [][]byte
+	next   int
+}
+
+func (s *clusterFrames) Total() int            { return len(s.frames) }
+func (s *clusterFrames) Seek(resume int) error { s.next = resume; return nil }
+func (s *clusterFrames) Next(ctx context.Context) ([]byte, error) {
+	f := s.frames[s.next]
+	s.next++
+	return f, nil
+}
+
+// TestFacadeClusterLifecycle drives the cluster surface end to end through
+// the root package alone: build, start, stream sensors through the gateway,
+// snapshot routing state, drain, and observe the closed sentinel.
+func TestFacadeClusterLifecycle(t *testing.T) {
+	received := make(chan int, 64)
+	cl, err := age.NewCluster(age.ClusterConfig{
+		Nodes: 3,
+		Node: age.ClusterNodeSpec{Server: age.ServerConfig{
+			Handler: age.IngestHandlerFuncs{
+				OpenFunc: func(sensorID, delivered int) (age.IngestSession, error) {
+					return &clusterCountSession{total: 4, frames: received}, nil
+				},
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	const sensors = 6
+	for id := 0; id < sensors; id++ {
+		client := age.NewClient(age.ClientConfig{Addr: cl.Addr().String(), SensorID: id})
+		frames := [][]byte{[]byte("w"), []byte("x"), []byte("y"), []byte("z")}
+		if _, err := client.Run(context.Background(), &clusterFrames{frames: frames}); err != nil {
+			t.Fatalf("sensor %d: %v", id, err)
+		}
+	}
+	if got := len(received); got != sensors*4 {
+		t.Fatalf("cluster delivered %d frames, want %d", got, sensors*4)
+	}
+
+	st := cl.Stats()
+	if st.LocatorSize != sensors {
+		t.Errorf("locator size = %d, want %d", st.LocatorSize, sensors)
+	}
+	if len(st.Nodes) != 3 {
+		t.Fatalf("%d nodes, want 3", len(st.Nodes))
+	}
+	for _, n := range st.Nodes {
+		if n.State != "live" {
+			t.Errorf("node %d state %q, want live", n.ID, n.State)
+		}
+	}
+
+	if err := cl.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Start("127.0.0.1:0"); !errors.Is(err, age.ErrClusterClosed) {
+		t.Errorf("Start after Drain = %v, want ErrClusterClosed", err)
+	}
+}

@@ -11,6 +11,9 @@
 //	                pacer.mean_aoi_ms                     lower is better
 //	ingest-project  frames_per_sec, mb_per_sec            higher is better
 //	                projection.coverage_pct               higher is better
+//	ingest-cluster  frames_per_sec                        higher is better
+//	                cluster.missing_frames                must not increase
+//	                cluster.mismatched_frames             must not increase
 //	sweep           total_seconds                         lower is better
 //	             encoder_ns_per_op.{standard,age}      lower is better
 //	             encoder_allocs_per_op.{standard,age}  must not increase
@@ -82,6 +85,16 @@ var kinds = map[string][]metricSpec{
 		{"mb_per_sec", higherBetter},
 		{"projection.coverage_pct", higherBetter},
 	},
+	// A multi-node ageload run (-nodes -kill-node -verify): throughput through
+	// the gateway plus the zero-loss acceptance figures. The loss metrics are
+	// gated as no-increase against a committed baseline of zero, so any missing
+	// or corrupted frame fails CI outright — there is no regression tolerance
+	// on correctness.
+	"ingest-cluster": {
+		{"frames_per_sec", higherBetter},
+		{"cluster.missing_frames", noIncrease},
+		{"cluster.mismatched_frames", noIncrease},
+	},
 	"sweep": {
 		{"total_seconds", lowerBetter},
 		{"encoder_ns_per_op.standard", lowerBetter},
@@ -133,7 +146,7 @@ func main() {
 
 	specs, ok := kinds[*kind]
 	if !ok {
-		log.Fatalf("agebench-diff: -kind %q must be one of: ingest, ingest-pace, ingest-project, sweep", *kind)
+		log.Fatalf("agebench-diff: -kind %q must be one of: ingest, ingest-pace, ingest-project, ingest-cluster, sweep", *kind)
 	}
 	if *baseline == "" || *current == "" {
 		log.Fatal("agebench-diff: -baseline and -current are required")

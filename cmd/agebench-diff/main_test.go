@@ -267,3 +267,65 @@ func TestNestedLookup(t *testing.T) {
 		t.Error("descending through a string did not error")
 	}
 }
+
+const clusterBaseline = `{
+	"frames_per_sec": 20000,
+	"cluster": {"missing_frames": 0, "mismatched_frames": 0}
+}`
+
+func TestIngestClusterWithinBaselinePasses(t *testing.T) {
+	cur := mustParse(t, `{
+		"frames_per_sec": 19000,
+		"cluster": {"missing_frames": 0, "mismatched_frames": 0}
+	}`)
+	rep, err := compare("ingest-cluster", mustParse(t, clusterBaseline), cur, kinds["ingest-cluster"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("lossless cluster run within throughput budget should pass: %+v", rep.Results)
+	}
+}
+
+// TestIngestClusterAnyLossFails pins the zero-tolerance contract: a single
+// missing frame against the committed zero baseline goes red, regardless of
+// throughput.
+func TestIngestClusterAnyLossFails(t *testing.T) {
+	cur := mustParse(t, `{
+		"frames_per_sec": 40000,
+		"cluster": {"missing_frames": 1, "mismatched_frames": 0}
+	}`)
+	rep, err := compare("ingest-cluster", mustParse(t, clusterBaseline), cur, kinds["ingest-cluster"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("a missing frame passed the zero-loss gate")
+	}
+	for _, r := range rep.Results {
+		if r.Metric == "cluster.missing_frames" && r.Pass {
+			t.Error("missing_frames row passed despite the loss")
+		}
+	}
+}
+
+func TestIngestClusterCorruptionFails(t *testing.T) {
+	cur := mustParse(t, `{
+		"frames_per_sec": 20000,
+		"cluster": {"missing_frames": 0, "mismatched_frames": 3}
+	}`)
+	rep, err := compare("ingest-cluster", mustParse(t, clusterBaseline), cur, kinds["ingest-cluster"], defaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("mismatched frames passed the gate")
+	}
+}
+
+func TestIngestClusterMissingSectionErrors(t *testing.T) {
+	cur := mustParse(t, `{"frames_per_sec": 20000}`)
+	if _, err := compare("ingest-cluster", mustParse(t, clusterBaseline), cur, kinds["ingest-cluster"], defaultLimits()); err == nil {
+		t.Fatal("a report without the cluster section must be an error, not a pass")
+	}
+}

@@ -5,10 +5,17 @@
 // path, so overload shows up as typed soft rejects (and bounded memory)
 // rather than goroutine pileups.
 //
+// With -nodes > 1 the same fleet drives a gateway-fronted ingest cluster
+// (internal/cluster): sensors connect to one address, the gateway routes by
+// consistent hash with session affinity, and -kill-node proves the
+// migration/resume path by killing a node mid-run while -verify checks every
+// delivered stream byte-for-byte.
+//
 // Usage:
 //
 //	ageload -sensors 1000 -frames 20 -frame-bytes 64 -out BENCH_ingest.json
 //	ageload -sensors 2000 -shards 8 -workers 32 -queue 64
+//	ageload -nodes 3 -sensors 50000 -conns 1000 -burst 5 -kill-node 1 -verify
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fixedpoint"
 	"repro/internal/ingest"
@@ -38,10 +46,12 @@ import (
 // session unwraps it and drops cover traffic the way a production handler
 // does after unsealing.
 type loadSession struct {
-	total  int
-	paced  bool
-	frames *atomic.Int64
-	bytes  *atomic.Int64
+	total    int
+	paced    bool
+	sensorID int
+	ver      *verifier
+	frames   *atomic.Int64
+	bytes    *atomic.Int64
 }
 
 func (s *loadSession) Total() int { return s.total }
@@ -57,12 +67,118 @@ func (s *loadSession) Frame(index int, msg []byte) error {
 		}
 		msg = data
 	}
+	if s.ver != nil {
+		s.ver.record(s.sensorID, index, msg)
+	}
 	s.frames.Add(1)
 	s.bytes.Add(int64(len(msg)))
 	return nil
 }
 
 func (s *loadSession) Close(err error) {}
+
+// verifier checks delivered frames byte-for-byte against the generator and
+// tracks which (sensor, frame) pairs have arrived at least once. Frame
+// content is a pure function of (sensor, index) — the genSource contract —
+// so no per-frame storage is needed: a bitset of seen pairs plus content
+// comparison covers loss, corruption, and (after a node kill resets a
+// session) idempotent re-delivery, at any fleet size.
+type verifier struct {
+	frames     int
+	frameBytes int
+	words      int // per-sensor bitset words
+	locks      []sync.Mutex
+	seen       [][]uint64
+	mismatched atomic.Int64
+	duplicates atomic.Int64
+}
+
+const verifierShards = 64
+
+func newVerifier(sensors, frames, frameBytes int) *verifier {
+	v := &verifier{
+		frames:     frames,
+		frameBytes: frameBytes,
+		words:      (frames + 63) / 64,
+		locks:      make([]sync.Mutex, verifierShards),
+		seen:       make([][]uint64, sensors),
+	}
+	for i := range v.seen {
+		v.seen[i] = make([]uint64, v.words)
+	}
+	return v
+}
+
+func (v *verifier) record(sensorID, index int, msg []byte) {
+	if sensorID < 0 || sensorID >= len(v.seen) || index < 0 || index >= v.frames {
+		v.mismatched.Add(1)
+		return
+	}
+	ok := len(msg) == v.frameBytes
+	for i := 0; ok && i < len(msg); i++ {
+		ok = msg[i] == byte(sensorID*31+index*7+i)
+	}
+	if !ok {
+		v.mismatched.Add(1)
+		return
+	}
+	mu := &v.locks[sensorID%verifierShards]
+	mu.Lock()
+	w, bit := index/64, uint64(1)<<uint(index%64)
+	if v.seen[sensorID][w]&bit != 0 {
+		mu.Unlock()
+		v.duplicates.Add(1)
+		return
+	}
+	v.seen[sensorID][w] |= bit
+	mu.Unlock()
+}
+
+// missing counts (sensor, frame) pairs that were never delivered. Call only
+// after the fleet has stopped.
+func (v *verifier) missing() int64 {
+	var n int64
+	for id := range v.seen {
+		for idx := 0; idx < v.frames; idx++ {
+			if v.seen[id][idx/64]&(uint64(1)<<uint(idx%64)) == 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// errBurstPause is the sentinel a burstSource raises after its per-connection
+// frame budget: the client run ends immediately (Terminal skips the reconnect
+// budget) and the fleet loop reconnects later, resuming from the server's
+// delivered index. This duty-cycles connections so a fleet far larger than
+// the descriptor limit can all be mid-stream concurrently.
+var errBurstPause = errors.New("burst budget reached; reconnect to continue")
+
+// burstSource caps how many frames one connection carries. Seek marks the
+// start of a connection (the client seeks to the server's resume index right
+// after the hello), which resets the budget.
+type burstSource struct {
+	ingest.FrameSource
+	limit int
+	sent  int
+}
+
+func (b *burstSource) Seek(resume int) error {
+	b.sent = 0
+	return b.FrameSource.Seek(resume)
+}
+
+func (b *burstSource) Next(ctx context.Context) ([]byte, error) {
+	if b.sent >= b.limit {
+		return nil, ingest.Terminal(errBurstPause)
+	}
+	msg, err := b.FrameSource.Next(ctx)
+	if err == nil {
+		b.sent++
+	}
+	return msg, err
+}
 
 // pacedSource adapts a FrameSource for the release pacer: real payloads gain
 // the in-payload marker, and a synthetic generation clock (a fixed gap per
@@ -293,7 +409,32 @@ type report struct {
 
 	Projection *projectionReport `json:"projection,omitempty"`
 
+	Cluster *clusterReport `json:"cluster,omitempty"`
+
 	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// clusterReport summarizes a multi-node run: how the gateway routed and
+// migrated the fleet, what the mid-run kill cost, and what the byte-exact
+// verifier found. missing_frames and mismatched_frames are the zero-loss
+// acceptance figures the CI gate pins at zero.
+type clusterReport struct {
+	Nodes        int   `json:"nodes"`
+	KilledNode   int   `json:"killed_node"` // -1 when no kill was requested
+	KillAtFrames int64 `json:"kill_at_frames,omitempty"`
+	ConnCap      int   `json:"conn_cap"`
+	BurstFrames  int   `json:"burst_frames"`
+
+	Routed           int64 `json:"routed"`
+	Migrations       int64 `json:"migrations"`
+	GatewayRejects   int64 `json:"gateway_rejects"`
+	NodeDialFailures int64 `json:"node_dial_failures"`
+	LocatorEvicted   int64 `json:"locator_evicted"`
+
+	Verified         bool  `json:"verified"`
+	MissingFrames    int64 `json:"missing_frames"`
+	MismatchedFrames int64 `json:"mismatched_frames"`
+	DuplicateFrames  int64 `json:"duplicate_frames"`
 }
 
 // projectionReport summarizes the streaming pipeline's work for one run —
@@ -330,6 +471,13 @@ type loadOptions struct {
 	project       bool
 	projectWindow int
 	projectAddr   string
+
+	nodes      int
+	killNode   int
+	killAtFrac float64
+	verify     bool
+	conns      int
+	burst      int
 }
 
 func main() {
@@ -355,6 +503,13 @@ func main() {
 		projectWindow = flag.Int("project-window", 64, "rolling-KPI window for -project")
 		projectAddr   = flag.String("project-addr", "", "serve /metrics and /projections on this address during a -project run (empty = off)")
 
+		nodes      = flag.Int("nodes", 1, "ingest nodes behind one gateway (>1 runs the cluster path)")
+		killNode   = flag.Int("kill-node", -1, "kill this node id mid-run to exercise migration/resume (-1 = none)")
+		killAtFrac = flag.Float64("kill-at-frac", 0.5, "kill the node once this fraction of the fleet's frames has been delivered")
+		verify     = flag.Bool("verify", false, "check every delivered frame byte-for-byte against the generator (cluster mode, -encode none)")
+		conns      = flag.Int("conns", 0, "cap on concurrently connected sensors; parked sensors wait for a slot (0 = no cap)")
+		burst      = flag.Int("burst", 0, "frames per connection before a sensor disconnects and rejoins the queue (0 = whole stream in one connection)")
+
 		ioTimeout      = flag.Duration("io-timeout", 5*time.Second, "per-frame read/write deadline")
 		rejectAttempts = flag.Int("reject-attempts", 64, "client budget for transient server rejects")
 		reconnects     = flag.Int("reconnect-attempts", 2, "client budget for redial+resume after a dropped link")
@@ -370,7 +525,7 @@ func main() {
 		log.Fatalf("ageload: %v", err)
 	}
 
-	rep, err := runLoad(loadOptions{
+	opts := loadOptions{
 		sensors: *sensors, frames: *frames, frameBytes: *frameBytes,
 		shards: *shards, workers: *workers, queue: *queue,
 		writeBatch: *writeBatch, encode: *encode,
@@ -379,7 +534,14 @@ func main() {
 		pace: paceMode, paceInterval: *paceInterval,
 		paceJitter: *paceJitter, genGap: *genGap,
 		project: *project, projectWindow: *projectWindow, projectAddr: *projectAddr,
-	})
+		nodes: *nodes, killNode: *killNode, killAtFrac: *killAtFrac,
+		verify: *verify, conns: *conns, burst: *burst,
+	}
+	run := runLoad
+	if opts.nodes > 1 {
+		run = runCluster
+	}
+	rep, err := run(opts)
 	if err != nil {
 		log.Fatalf("ageload: %v", err)
 	}
@@ -397,6 +559,14 @@ func main() {
 		fmt.Printf("ageload: projection: %d staged (%.1f%% coverage, %d decode errors), size entropy %.3f bits, NMI %.4f\n",
 			pr.StagedRecords, pr.CoveragePct, pr.DecodeErrors, pr.SizeEntropyBits, pr.NMI)
 	}
+	if cr := rep.Cluster; cr != nil {
+		fmt.Printf("ageload: cluster: %d nodes, %d routed, %d migrations, %d gateway rejects, %d node dial failures\n",
+			cr.Nodes, cr.Routed, cr.Migrations, cr.GatewayRejects, cr.NodeDialFailures)
+		if cr.Verified {
+			fmt.Printf("ageload: verify: %d missing, %d mismatched, %d duplicate frames\n",
+				cr.MissingFrames, cr.MismatchedFrames, cr.DuplicateFrames)
+		}
+	}
 
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -410,6 +580,10 @@ func main() {
 	}
 	if rep.Failed > 0 {
 		log.Fatalf("ageload: %d sensors failed", rep.Failed)
+	}
+	if cr := rep.Cluster; cr != nil && cr.Verified && (cr.MissingFrames > 0 || cr.MismatchedFrames > 0) {
+		log.Fatalf("ageload: verification failed: %d missing, %d mismatched frames",
+			cr.MissingFrames, cr.MismatchedFrames)
 	}
 }
 
@@ -658,6 +832,229 @@ func runLoad(opts loadOptions) (*report, error) {
 			LabelDetections: projSnap.Events.LabelDetections,
 		}
 	}
+	return rep, nil
+}
+
+// runCluster drives the fleet against a gateway-fronted multi-node ingest
+// cluster. Sensors speak to one address; the gateway routes by consistent
+// hash with session affinity and migrates sessions on drain/rebalance. The
+// optional mid-run kill throws away one node's session state, which clients
+// absorb by resuming (from the killed node's perspective, from frame 0 —
+// idempotent re-delivery the verifier tolerates as duplicates).
+func runCluster(opts loadOptions) (*report, error) {
+	if opts.nodes < 2 {
+		return nil, fmt.Errorf("-nodes %d: the cluster path needs at least 2 nodes", opts.nodes)
+	}
+	if opts.encode != "none" {
+		return nil, fmt.Errorf("-encode %s with -nodes: the cluster path drives stamped frames only", opts.encode)
+	}
+	if opts.project {
+		return nil, errors.New("-project with -nodes: the streaming pipeline is single-node; drop one of the flags")
+	}
+	if opts.pace != ingest.PaceOff {
+		return nil, errors.New("-pace with -nodes: release pacing is measured on the single-node path")
+	}
+	if opts.killNode >= opts.nodes {
+		return nil, fmt.Errorf("-kill-node %d: only %d nodes", opts.killNode, opts.nodes)
+	}
+	if opts.burst < 0 || opts.conns < 0 {
+		return nil, errors.New("-burst and -conns must be >= 0")
+	}
+
+	var ver *verifier
+	if opts.verify {
+		ver = newVerifier(opts.sensors, opts.frames, opts.frameBytes)
+	}
+	reg := metrics.NewRegistry()
+	var gotFrames, gotBytes atomic.Int64
+
+	// The gateway holds two descriptors per proxied sensor and each node one
+	// more, so its connection cap tracks the fleet's duty cycle, not the
+	// fleet size.
+	maxConns := 4 * opts.conns
+	if opts.conns == 0 {
+		maxConns = 2 * opts.sensors
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes: opts.nodes,
+		NewNode: func(i int) cluster.NodeSpec {
+			return cluster.NodeSpec{Server: ingest.ServerConfig{
+				Handler: ingest.HandlerFuncs{
+					OpenFunc: func(sensorID, delivered int) (ingest.Session, error) {
+						return &loadSession{
+							total: opts.frames, sensorID: sensorID, ver: ver,
+							frames: &gotFrames, bytes: &gotBytes,
+						}, nil
+					},
+				},
+				Shards:          opts.shards,
+				WorkersPerShard: opts.workers,
+				QueueDepth:      opts.queue,
+				IOTimeout:       opts.ioTimeout,
+				Metrics:         reg,
+			}}
+		},
+		MaxConns:  maxConns,
+		IOTimeout: opts.ioTimeout,
+		Metrics:   reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Start("127.0.0.1:0"); err != nil {
+		return nil, fmt.Errorf("start cluster: %w", err)
+	}
+	addr := cl.Addr().String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.runTimeout)
+	defer cancel()
+
+	// The kill watcher fires once the fleet has delivered the requested
+	// fraction of its frames, so the node dies with sessions mid-stream.
+	var killAt atomic.Int64
+	killAt.Store(-1)
+	killDone := make(chan struct{})
+	if opts.killNode >= 0 {
+		target := int64(float64(opts.sensors*opts.frames) * opts.killAtFrac)
+		go func() {
+			defer close(killDone)
+			for gotFrames.Load() < target {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
+			at := gotFrames.Load()
+			if err := cl.KillNode(opts.killNode); err != nil {
+				log.Printf("ageload: kill node %d: %v", opts.killNode, err)
+				return
+			}
+			killAt.Store(at)
+			log.Printf("ageload: killed node %d at %d delivered frames", opts.killNode, at)
+		}()
+	} else {
+		close(killDone)
+	}
+
+	var sem chan struct{}
+	if opts.conns > 0 {
+		sem = make(chan struct{}, opts.conns)
+	}
+	durs := make([]time.Duration, opts.sensors)
+	errs := make([]error, opts.sensors)
+	var softRejects, reconnects atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < opts.sensors; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client := ingest.NewClient(ingest.ClientConfig{
+				Addr:              addr,
+				SensorID:          id,
+				IOTimeout:         opts.ioTimeout,
+				DialAttempts:      6,
+				RejectAttempts:    opts.rejectAttempts,
+				ReconnectAttempts: opts.reconnects,
+				WriteBatch:        opts.writeBatch,
+				Metrics:           reg,
+			})
+			var src ingest.FrameSource = &genSource{
+				sensorID: id, total: opts.frames, buf: make([]byte, opts.frameBytes),
+			}
+			if opts.burst > 0 {
+				src = &burstSource{FrameSource: src, limit: opts.burst}
+			}
+			t0 := time.Now()
+			for {
+				if sem != nil {
+					select {
+					case sem <- struct{}{}:
+					case <-ctx.Done():
+						errs[id] = ctx.Err()
+						return
+					}
+				}
+				stats, err := client.Run(ctx, src)
+				if sem != nil {
+					<-sem
+				}
+				softRejects.Add(int64(stats.SoftRejects))
+				reconnects.Add(int64(stats.Reconnects))
+				if errors.Is(err, errBurstPause) {
+					continue // rejoin the queue; the next hello resumes
+				}
+				durs[id] = time.Since(t0)
+				errs[id] = err
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	<-killDone
+
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 2*opts.ioTimeout)
+	defer drainCancel()
+	if err := cl.Drain(drainCtx); err != nil {
+		return nil, fmt.Errorf("drain cluster: %w", err)
+	}
+
+	snap := reg.Snapshot()
+	rep := &report{
+		Sensors:         opts.sensors,
+		FramesPerSensor: opts.frames,
+		FrameBytes:      opts.frameBytes,
+		Shards:          opts.shards,
+		WorkersPerShard: opts.workers,
+		QueueDepth:      opts.queue,
+		WriteBatch:      opts.writeBatch,
+		EncodeMode:      opts.encode,
+		WallSeconds:     wall.Seconds(),
+		DeliveredFrames: gotFrames.Load(),
+		SoftRejects:     softRejects.Load(),
+		Reconnects:      reconnects.Load(),
+		Metrics:         snap,
+	}
+	var okDurs []time.Duration
+	for i, err := range errs {
+		if err != nil {
+			rep.Failed++
+			if rep.Failed <= 3 {
+				log.Printf("ageload: sensor %d: %v", i, err)
+			}
+			continue
+		}
+		rep.Completed++
+		okDurs = append(okDurs, durs[i])
+	}
+	rep.SessionLatency = summarize(okDurs)
+	if wall > 0 {
+		rep.FramesPerSec = float64(gotFrames.Load()) / wall.Seconds()
+		rep.MBPerSec = float64(gotBytes.Load()) / wall.Seconds() / 1e6
+	}
+	cr := &clusterReport{
+		Nodes:            opts.nodes,
+		KilledNode:       opts.killNode,
+		ConnCap:          opts.conns,
+		BurstFrames:      opts.burst,
+		Routed:           snap.Counters["cluster.routed"],
+		Migrations:       snap.Counters["cluster.migrations"],
+		GatewayRejects:   snap.Counters["cluster.rejected"],
+		NodeDialFailures: snap.Counters["cluster.node_dial_failures"],
+		LocatorEvicted:   snap.Counters["cluster.locator_evicted"],
+		Verified:         ver != nil,
+	}
+	if at := killAt.Load(); at >= 0 {
+		cr.KillAtFrames = at
+	}
+	if ver != nil {
+		cr.MissingFrames = ver.missing()
+		cr.MismatchedFrames = ver.mismatched.Load()
+		cr.DuplicateFrames = ver.duplicates.Load()
+	}
+	rep.Cluster = cr
 	return rep, nil
 }
 

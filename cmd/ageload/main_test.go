@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -318,5 +319,150 @@ func TestRunLoadUnprojectedHasNoProjectionReport(t *testing.T) {
 	}
 	if rep.Projection != nil {
 		t.Errorf("unprojected run produced a projection report: %+v", rep.Projection)
+	}
+}
+
+// TestBurstSourceDutyCycle pins the per-connection frame budget: limit
+// frames flow, then the terminal pause sentinel, and the Seek a reconnect
+// performs resets the budget without disturbing the resume position.
+func TestBurstSourceDutyCycle(t *testing.T) {
+	b := &burstSource{
+		FrameSource: &genSource{sensorID: 2, total: 10, buf: make([]byte, 8)},
+		limit:       3,
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := b.Next(ctx); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	_, err := b.Next(ctx)
+	if !errors.Is(err, errBurstPause) {
+		t.Fatalf("4th frame err = %v, want burst pause", err)
+	}
+	if !ingest.IsTerminal(err) {
+		t.Fatal("burst pause is not terminal; it would burn the reconnect budget")
+	}
+	if err := b.Seek(3); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 8)
+	for i := range want {
+		want[i] = byte(2*31 + 3*7 + i)
+	}
+	if !bytes.Equal(msg, want) {
+		t.Fatal("frame after Seek is not frame 3; the budget reset moved the cursor")
+	}
+}
+
+// TestVerifierCatchesLossAndCorruption exercises the byte-exact checker the
+// cluster acceptance run relies on: clean frames pass once, re-deliveries
+// count as duplicates, corrupt bytes as mismatches, and undelivered pairs as
+// missing.
+func TestVerifierCatchesLossAndCorruption(t *testing.T) {
+	frame := func(sensor, index int, n int) []byte {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(sensor*31 + index*7 + i)
+		}
+		return buf
+	}
+	v := newVerifier(2, 70, 16) // >64 frames crosses a bitset word boundary
+	for idx := 0; idx < 70; idx++ {
+		v.record(0, idx, frame(0, idx, 16))
+	}
+	v.record(0, 69, frame(0, 69, 16)) // idempotent re-delivery
+	v.record(1, 0, frame(1, 0, 16))
+	bad := frame(1, 1, 16)
+	bad[7] ^= 0x80
+	v.record(1, 1, bad)               // corrupted payload
+	v.record(1, 2, frame(1, 2, 15))   // truncated payload
+	v.record(5, 0, frame(5, 0, 16))   // unknown sensor
+	v.record(1, 99, frame(1, 99, 16)) // out-of-range frame
+	if got := v.duplicates.Load(); got != 1 {
+		t.Errorf("duplicates = %d, want 1", got)
+	}
+	if got := v.mismatched.Load(); got != 4 {
+		t.Errorf("mismatched = %d, want 4", got)
+	}
+	// Sensor 1 delivered only frame 0 cleanly: 69 of its frames are missing.
+	if got := v.missing(); got != 69 {
+		t.Errorf("missing = %d, want 69", got)
+	}
+}
+
+// TestRunClusterKillNodeZeroLoss is the acceptance path in miniature: a
+// duty-cycled fleet over 3 nodes, one node killed mid-run, and the verifier
+// confirming every stream arrived byte-exact despite the lost session state.
+func TestRunClusterKillNodeZeroLoss(t *testing.T) {
+	opts := loadTestOptions()
+	opts.sensors, opts.frames = 24, 12
+	opts.nodes = 3
+	opts.conns = 8
+	opts.burst = 4
+	opts.killNode = 1
+	opts.killAtFrac = 0.3
+	opts.verify = true
+	opts.reconnects = 8
+	opts.rejectAttempts = 64
+
+	rep, err := runCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || rep.Completed != opts.sensors {
+		t.Fatalf("completed %d/%d, %d failed", rep.Completed, opts.sensors, rep.Failed)
+	}
+	cr := rep.Cluster
+	if cr == nil {
+		t.Fatal("cluster run produced no cluster report")
+	}
+	if !cr.Verified {
+		t.Fatal("verifier did not run")
+	}
+	if cr.MissingFrames != 0 || cr.MismatchedFrames != 0 {
+		t.Fatalf("data loss: %d missing, %d mismatched frames", cr.MissingFrames, cr.MismatchedFrames)
+	}
+	if cr.KilledNode != 1 || cr.KillAtFrames == 0 {
+		t.Fatalf("kill did not fire: killed node %d at %d frames", cr.KilledNode, cr.KillAtFrames)
+	}
+	if cr.Routed == 0 {
+		t.Error("gateway routed no connections")
+	}
+	// Every frame must have arrived at least once; the kill makes extra
+	// deliveries legal (duplicates), never fewer.
+	want := int64(opts.sensors * opts.frames)
+	if rep.DeliveredFrames < want {
+		t.Errorf("delivered %d frames, want >= %d", rep.DeliveredFrames, want)
+	}
+	if rep.DeliveredFrames != want+cr.DuplicateFrames {
+		t.Errorf("delivered %d != %d assigned + %d duplicates",
+			rep.DeliveredFrames, want, cr.DuplicateFrames)
+	}
+}
+
+// TestRunClusterRejectsSingleNodeOnlyFlags pins the flag-compatibility
+// surface: the cluster path refuses modes it cannot honor instead of
+// silently dropping them.
+func TestRunClusterRejectsSingleNodeOnlyFlags(t *testing.T) {
+	base := loadTestOptions()
+	base.nodes = 3
+	for name, mut := range map[string]func(*loadOptions){
+		"project":     func(o *loadOptions) { o.project = true },
+		"pace":        func(o *loadOptions) { o.pace = ingest.PaceConstant },
+		"encode":      func(o *loadOptions) { o.encode = "age" },
+		"kill-range":  func(o *loadOptions) { o.killNode = 3 },
+		"single-node": func(o *loadOptions) { o.nodes = 1 },
+		"neg-burst":   func(o *loadOptions) { o.burst = -1 },
+	} {
+		opts := base
+		mut(&opts)
+		if _, err := runCluster(opts); err == nil {
+			t.Errorf("%s: runCluster accepted an incompatible option set", name)
+		}
 	}
 }

@@ -151,3 +151,58 @@ func ExampleNewClient() {
 	// hello
 	// sensor
 }
+
+func ExampleNewCluster() {
+	// Three ingest nodes behind one gateway address: sensors speak the
+	// ordinary client protocol and the gateway routes each one to a node by
+	// consistent hash, migrating session state if a later reconnect lands
+	// on a different node.
+	received := make(chan []byte, 8)
+	cl, err := age.NewCluster(age.ClusterConfig{
+		Nodes: 3,
+		Node: age.ClusterNodeSpec{Server: age.ServerConfig{
+			Handler: age.IngestHandlerFuncs{
+				OpenFunc: func(sensorID, delivered int) (age.IngestSession, error) {
+					return &captureSession{total: 2, frames: received}, nil
+				},
+			},
+		}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := cl.Start("127.0.0.1:0"); err != nil {
+		panic(err)
+	}
+
+	for id := 1; id <= 4; id++ {
+		client := age.NewClient(age.ClientConfig{Addr: cl.Addr().String(), SensorID: id})
+		if _, err := client.Run(context.Background(), &sliceFrames{
+			frames: [][]byte{[]byte("a"), []byte("b")},
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	stats := cl.Stats()
+	if err := cl.Drain(context.Background()); err != nil {
+		panic(err)
+	}
+	fmt.Println(len(received), stats.LocatorSize, len(stats.Nodes))
+	// Output: 8 4 3
+}
+
+func ExampleNewClientFromOptions() {
+	// The grouped options surface reads as policy; Config/Options convert
+	// losslessly to and from the flat ClientConfig.
+	opts := age.ClientOptions{
+		Addr:     "127.0.0.1:4040",
+		SensorID: 12,
+		Dial:     age.DialOptions{Attempts: 4},
+		Retry:    age.RetryOptions{ReconnectAttempts: 2},
+	}
+	cfg := opts.Config()
+	back := cfg.Options()
+	fmt.Println(cfg.SensorID, cfg.DialAttempts, back.Dial.Attempts, back.Retry.ReconnectAttempts)
+	// Output: 12 4 4 2
+}

@@ -26,13 +26,14 @@ type Config struct {
 	Packages []string
 }
 
-// DefaultConfig covers the frame transport, the ingest server/client, and
-// the fleet/socket simulators.
+// DefaultConfig covers the frame transport, the ingest server/client, the
+// fleet/socket simulators, and the cluster gateway's proxy path.
 func DefaultConfig() Config {
 	return Config{Packages: []string{
 		"repro/internal/seccomm",
 		"repro/internal/ingest",
 		"repro/internal/simulator",
+		"repro/internal/cluster",
 	}}
 }
 

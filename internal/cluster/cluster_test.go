@@ -1,0 +1,613 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ingest"
+)
+
+// frameBytes is the deterministic per-(sensor, index) frame payload the
+// tests verify byte-exactly: content is a pure function of its coordinates,
+// so re-delivery after a node kill is detectable as a harmless duplicate
+// and any corruption or cross-wiring is a mismatch.
+func frameBytes(sensorID, index int) []byte {
+	return []byte(fmt.Sprintf("s%05d-f%05d-x%02x", sensorID, index, byte(sensorID*31+index*7)))
+}
+
+// recHandler is one node's recording ingest handler: every delivered frame
+// is kept by (sensor, index) so tests can reconstruct streams and assert
+// exactness across nodes.
+type recHandler struct {
+	node int
+
+	mu     sync.Mutex
+	opens  map[int][]int // sensor -> delivered values seen at Open
+	frames map[int]map[int][]byte
+	total  int
+}
+
+func newRecHandler(node, total int) *recHandler {
+	return &recHandler{node: node, total: total, opens: map[int][]int{}, frames: map[int]map[int][]byte{}}
+}
+
+func (h *recHandler) Open(sensorID, delivered int) (ingest.Session, error) {
+	h.mu.Lock()
+	h.opens[sensorID] = append(h.opens[sensorID], delivered)
+	h.mu.Unlock()
+	return &recSession{h: h, sensorID: sensorID}, nil
+}
+
+func (h *recHandler) Rejected(sensorID int, status ingest.Status) {}
+func (h *recHandler) Unattributed(err error)                     {}
+
+func (h *recHandler) sensorOpens(sensorID int) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int(nil), h.opens[sensorID]...)
+}
+
+func (h *recHandler) sensors() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.frames)
+}
+
+type recSession struct {
+	h        *recHandler
+	sensorID int
+}
+
+func (s *recSession) Total() int { return s.h.total }
+
+func (s *recSession) Frame(index int, msg []byte) error {
+	h := s.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.frames[s.sensorID]
+	if m == nil {
+		m = map[int][]byte{}
+		h.frames[s.sensorID] = m
+	}
+	m[index] = append([]byte(nil), msg...)
+	return nil
+}
+
+func (s *recSession) Close(err error) {}
+
+func seqIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// verifyStreams reconstructs each listed sensor's stream from the union of
+// all node handlers and asserts byte-exact, gap-free delivery.
+func verifyStreams(t *testing.T, handlers []*recHandler, sensorIDs []int, total int) {
+	t.Helper()
+	missing, mismatched := 0, 0
+	for _, id := range sensorIDs {
+		got := map[int][]byte{}
+		for _, h := range handlers {
+			h.mu.Lock()
+			for idx, msg := range h.frames[id] {
+				if prev, ok := got[idx]; ok && !bytes.Equal(prev, msg) {
+					mismatched++
+				}
+				got[idx] = msg
+			}
+			h.mu.Unlock()
+		}
+		for idx := 0; idx < total; idx++ {
+			msg, ok := got[idx]
+			if !ok {
+				missing++
+				continue
+			}
+			if !bytes.Equal(msg, frameBytes(id, idx)) {
+				mismatched++
+			}
+		}
+	}
+	if missing != 0 || mismatched != 0 {
+		t.Fatalf("reconstructed streams: %d missing, %d mismatched frames", missing, mismatched)
+	}
+}
+
+// gateSource generates frameBytes frames, optionally blocking at gateAt
+// until gate closes and optionally failing (transport-shaped) at failAt.
+type gateSource struct {
+	sensorID int
+	total    int
+	next     int
+	gateAt   int // -1: never
+	gate     <-chan struct{}
+	failAt   int // -1: never
+}
+
+func (s *gateSource) Total() int { return s.total }
+
+func (s *gateSource) Seek(resume int) error {
+	s.next = resume
+	return nil
+}
+
+func (s *gateSource) Next(ctx context.Context) ([]byte, error) {
+	if s.gateAt >= 0 && s.next == s.gateAt {
+		select {
+		case <-s.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if s.failAt >= 0 && s.next == s.failAt {
+		return nil, fmt.Errorf("induced link fault at frame %d", s.failAt)
+	}
+	msg := frameBytes(s.sensorID, s.next)
+	s.next++
+	return msg, nil
+}
+
+// testCluster builds and starts a cluster of n recording nodes.
+func testCluster(t *testing.T, n, total int, clock func() time.Time) (*Cluster, []*recHandler) {
+	t.Helper()
+	handlers := make([]*recHandler, 0, n+4)
+	var hmu sync.Mutex
+	c, err := New(Config{
+		Nodes: n,
+		NewNode: func(i int) NodeSpec {
+			h := newRecHandler(i, total)
+			hmu.Lock()
+			handlers = append(handlers, h)
+			hmu.Unlock()
+			return NodeSpec{Server: ingest.ServerConfig{Handler: h}}
+		},
+		Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, handlers
+}
+
+func clientCfg(addr string, id int) ingest.ClientConfig {
+	return ingest.ClientConfig{
+		Addr:              addr,
+		SensorID:          id,
+		DialBackoff:       2 * time.Millisecond,
+		ReconnectAttempts: 4,
+	}
+}
+
+// runSensors streams each sensor's full assignment concurrently and
+// returns the per-sensor stats; any run error fails the test.
+func runSensors(t *testing.T, addr string, sensors, total int, src func(id int) *gateSource) []ingest.ClientStats {
+	t.Helper()
+	stats := make([]ingest.ClientStats, sensors)
+	errs := make([]error, sensors)
+	var wg sync.WaitGroup
+	for id := 0; id < sensors; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := ingest.NewClient(clientCfg(addr, id))
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			stats[id], errs[id] = cl.Run(ctx, src(id))
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("sensor %d: %v", id, err)
+		}
+	}
+	return stats
+}
+
+func waitQuiet(t *testing.T, c *Cluster) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Stats().ActiveConns == 0 {
+			assertLoadCounters(t, c)
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("proxied connections never went quiet: %+v", c.Stats())
+}
+
+// assertLoadCounters recomputes the bounded-load counters from the locator
+// map and fails when the incremental bookkeeping has drifted — the counters
+// exist so routing never scans the map, which makes silent skew otherwise
+// invisible until placement goes lopsided.
+func assertLoadCounters(t *testing.T, c *Cluster) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	want := make([]int, len(c.nodes))
+	for _, e := range c.locator {
+		if !e.done {
+			want[e.node]++
+		}
+	}
+	for id := range want {
+		if c.loads[id] != want[id] {
+			t.Fatalf("node %d load counter = %d, locator holds %d not-done entries", id, c.loads[id], want[id])
+		}
+	}
+}
+
+func TestClusterRoutesAndCompletes(t *testing.T) {
+	const sensors, total = 48, 6
+	c, handlers := testCluster(t, 3, total, nil)
+	addr := c.Addr().String()
+	runSensors(t, addr, sensors, total, func(id int) *gateSource {
+		return &gateSource{sensorID: id, total: total, gateAt: -1, failAt: -1}
+	})
+	verifyStreams(t, handlers, seqIDs(sensors), total)
+	for _, h := range handlers {
+		if h.sensors() == 0 {
+			t.Errorf("node %d served no sensors; routing did not spread", h.node)
+		}
+	}
+	st := c.Stats()
+	if st.LocatorSize != sensors {
+		t.Errorf("locator holds %d entries, want %d", st.LocatorSize, sensors)
+	}
+}
+
+func TestClusterKillNodeResumesElsewhere(t *testing.T) {
+	const sensors, total, gateAt = 24, 8, 4
+	c, handlers := testCluster(t, 3, total, nil)
+	addr := c.Addr().String()
+
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	stats := make([]ingest.ClientStats, sensors)
+	errs := make([]error, sensors)
+	for id := 0; id < sensors; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := ingest.NewClient(clientCfg(addr, id))
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			stats[id], errs[id] = cl.Run(ctx, &gateSource{
+				sensorID: id, total: total, gateAt: gateAt, gate: gate, failAt: -1,
+			})
+		}(id)
+	}
+
+	// Let every sensor reach the gate (half its frames delivered, the
+	// connection parked mid-stream), then crash one node under them.
+	waitForActive(t, c, sensors)
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("sensor %d after node kill: %v", id, err)
+		}
+	}
+	// Zero data loss: the union of streams across surviving nodes is
+	// byte-exact and gap-free — killed-node sensors re-delivered their
+	// prefix elsewhere (frame indices make the replay idempotent).
+	verifyStreams(t, handlers, seqIDs(sensors), total)
+	reconnected := 0
+	for _, st := range stats {
+		reconnected += st.Reconnects
+	}
+	if reconnected == 0 {
+		t.Error("no sensor reconnected after a node kill; the kill hit nothing")
+	}
+}
+
+// waitForActive blocks until n sensors are routed and carried by a live
+// proxied connection — not merely accepted by the gateway, which happens
+// before the hello is read and the sensor placed.
+func waitForActive(t *testing.T, c *Cluster, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := c.Stats()
+		routed := 0
+		for _, ni := range st.Nodes {
+			routed += ni.Active
+		}
+		if st.LocatorSize >= n && routed >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("never reached %d routed conns: %+v", n, c.Stats())
+}
+
+func TestClusterDrainMigratesSessionExactly(t *testing.T) {
+	const id, total, half = 7, 10, 5
+	c, handlers := testCluster(t, 2, total, nil)
+	addr := c.Addr().String()
+
+	// Phase 1: deliver half the stream, then drop the link (transport
+	// fault, no reconnect budget) so the session parks idle at half.
+	cfg := clientCfg(addr, id)
+	cfg.ReconnectAttempts = 0
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := ingest.NewClient(cfg).Run(ctx, &gateSource{
+		sensorID: id, total: total, gateAt: -1, failAt: half,
+	}); err == nil {
+		t.Fatal("phase 1 should fail at the induced fault")
+	}
+	waitQuiet(t, c)
+
+	c.mu.Lock()
+	e := c.locator[id]
+	c.mu.Unlock()
+	if e == nil {
+		t.Fatal("no locator entry after phase 1")
+	}
+	origin := e.node
+	st, ok := c.nodes[origin].srv.PeekSession(id)
+	if !ok || st.Delivered != half {
+		t.Fatalf("origin node %d session = %+v, %v; want delivered %d", origin, st, ok, half)
+	}
+
+	// Phase 2: drain the origin. The parked session must migrate.
+	if err := c.DrainNode(ctx, origin); err != nil {
+		t.Fatal(err)
+	}
+	other := 1 - origin
+	if st, ok := c.nodes[other].srv.PeekSession(id); !ok || st.Delivered != half {
+		t.Fatalf("migrated session on node %d = %+v, %v; want delivered %d", other, st, ok, half)
+	}
+
+	// Phase 3: resume. The sensor must land on the surviving node and
+	// continue from exactly half — no replayed frames, no gaps.
+	if _, err := ingest.NewClient(clientCfg(addr, id)).Run(ctx, &gateSource{
+		sensorID: id, total: total, gateAt: -1, failAt: -1,
+	}); err != nil {
+		t.Fatalf("phase 3 resume: %v", err)
+	}
+	opens := handlers[other].sensorOpens(id)
+	if len(opens) != 1 || opens[0] != half {
+		t.Fatalf("surviving node opens = %v, want exactly [%d]", opens, half)
+	}
+	handlers[other].mu.Lock()
+	gotIdx := make([]int, 0, total)
+	for idx := range handlers[other].frames[id] {
+		gotIdx = append(gotIdx, idx)
+	}
+	handlers[other].mu.Unlock()
+	if len(gotIdx) != total-half {
+		t.Fatalf("surviving node holds %d frames, want only the resumed suffix %d", len(gotIdx), total-half)
+	}
+	verifyStreams(t, handlers, []int{id}, total) // union across both nodes is complete
+}
+
+func TestClusterDrainUnderLoadNoLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		const sensors, total, gateAt = 16, 6, 3
+		c, handlers := testCluster(t, 3, total, nil)
+		addr := c.Addr().String()
+		gate := make(chan struct{})
+		var wg sync.WaitGroup
+		errs := make([]error, sensors)
+		for id := 0; id < sensors; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				_, errs[id] = ingest.NewClient(clientCfg(addr, id)).Run(ctx, &gateSource{
+					sensorID: id, total: total, gateAt: gateAt, gate: gate, failAt: -1,
+				})
+			}(id)
+		}
+		waitForActive(t, c, sensors)
+
+		// Drain node 2 while its sessions are parked mid-stream: it leaves
+		// the ring immediately, its in-flight sessions run to completion
+		// once the gate opens, and nothing leaks.
+		drainDone := make(chan error, 1)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		go func() { drainDone <- c.DrainNode(ctx, 2) }()
+		time.Sleep(10 * time.Millisecond) // let the drain sever the ring first
+		close(gate)
+		wg.Wait()
+		if err := <-drainDone; err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		for id, err := range errs {
+			if err != nil {
+				t.Fatalf("sensor %d during drain: %v", id, err)
+			}
+		}
+		verifyStreams(t, handlers, seqIDs(sensors), total)
+		if err := c.Drain(ctx); err != nil {
+			t.Fatalf("cluster drain: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after drain", before, runtime.NumGoroutine())
+}
+
+func TestClusterAddNodeRebalancesOnlyAffected(t *testing.T) {
+	const idle, activeN, total, gateAt = 40, 8, 6, 3
+	c, handlers := testCluster(t, 3, total, nil)
+	addr := c.Addr().String()
+
+	// Wave 1: idle sessions — completed streams parked in the locator.
+	runSensors(t, addr, idle, total, func(id int) *gateSource {
+		return &gateSource{sensorID: id, total: total, gateAt: -1, failAt: -1}
+	})
+	waitQuiet(t, c)
+	c.mu.Lock()
+	before := map[int]int{}
+	for id, e := range c.locator {
+		before[id] = e.node
+	}
+	c.mu.Unlock()
+
+	// Wave 2: live sensors parked mid-stream while the node joins.
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	stats := make([]ingest.ClientStats, idle+activeN)
+	errs := make([]error, idle+activeN)
+	for id := idle; id < idle+activeN; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			stats[id], errs[id] = ingest.NewClient(clientCfg(addr, id)).Run(ctx, &gateSource{
+				sensorID: id, total: total, gateAt: gateAt, gate: gate, failAt: -1,
+			})
+		}(id)
+	}
+	waitForActive(t, c, activeN)
+
+	newID, err := c.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	wg.Wait()
+	for id := idle; id < idle+activeN; id++ {
+		if errs[id] != nil {
+			t.Fatalf("live sensor %d across a join: %v", id, errs[id])
+		}
+		// The join must be invisible to live streams: no severed
+		// connections, no forced redials.
+		if stats[id].Reconnects != 0 {
+			t.Errorf("live sensor %d reconnected %d times across a join", id, stats[id].Reconnects)
+		}
+	}
+	verifyStreams(t, handlers, seqIDs(idle+activeN), total)
+
+	// Idle sessions: exactly the ring-affected ones moved to the joined
+	// node; every other mapping is untouched.
+	c.mu.Lock()
+	moved, kept := 0, 0
+	for id := 0; id < idle; id++ {
+		e := c.locator[id]
+		if e == nil {
+			c.mu.Unlock()
+			t.Fatalf("idle sensor %d lost its locator entry on join", id)
+		}
+		primary, _ := c.ring.lookup(id)
+		switch {
+		case primary == newID && e.node == newID:
+			moved++
+		case primary != newID && e.node == before[id]:
+			kept++
+		default:
+			c.mu.Unlock()
+			t.Fatalf("sensor %d: ring primary %d, locator node %d (was %d) — moved without cause",
+				id, primary, e.node, before[id])
+		}
+	}
+	c.mu.Unlock()
+	if moved == 0 {
+		t.Error("no idle session moved to the joined node; rebalance did nothing")
+	}
+	t.Logf("join rebalance: %d moved, %d untouched", moved, kept)
+}
+
+// fakeClock is a settable shared clock for TTL tests: no sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// TestClusterEvictionAgreement is the regression for the locator/registry
+// eviction split: a session evicted on node A must not survive a migration
+// to node B — both tiers run on the shared clock, so the gateway re-admits
+// the sensor from scratch instead of resurrecting expired state.
+func TestClusterEvictionAgreement(t *testing.T) {
+	const id, total = 3, 4
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c, handlers := testCluster(t, 2, total, clk.now)
+	addr := c.Addr().String()
+
+	// Complete one stream; its done entry now sits on some node A.
+	runSensors(t, addr, id+1, total, func(s int) *gateSource {
+		return &gateSource{sensorID: s, total: total, gateAt: -1, failAt: -1}
+	})
+	waitQuiet(t, c)
+	c.mu.Lock()
+	e := c.locator[id]
+	origin := e.node
+	c.mu.Unlock()
+	if _, ok := c.nodes[origin].srv.PeekSession(id); !ok {
+		t.Fatal("no registry entry after completion")
+	}
+
+	// Cross the TTL on the shared clock: registry and locator now both
+	// consider the session gone, with no wall time spent.
+	clk.advance(defaultSessionTTL + time.Second)
+	if _, ok := c.nodes[origin].srv.PeekSession(id); ok {
+		t.Fatal("registry still serves an expired session")
+	}
+	// Force the migration path: point the ring away from the session's
+	// node so the next hello would hand the (expired) state to node B.
+	c.mu.Lock()
+	c.ring.remove(origin)
+	c.mu.Unlock()
+
+	// The sensor returns. Migration must refuse the expired state and the
+	// gateway must re-admit from scratch — delivered 0, stream replayed.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := ingest.NewClient(clientCfg(addr, id)).Run(ctx, &gateSource{
+		sensorID: id, total: total, gateAt: -1, failAt: -1,
+	}); err != nil {
+		t.Fatalf("re-admission run: %v", err)
+	}
+	other := 1 - origin
+	opens := handlers[other].sensorOpens(id)
+	if len(opens) != 1 || opens[0] != 0 {
+		t.Fatalf("node %d opens for sensor %d = %v, want a fresh [0] admission", other, id, opens)
+	}
+	c.mu.Lock()
+	e = c.locator[id]
+	c.mu.Unlock()
+	if e == nil || e.node != other {
+		t.Fatalf("locator after re-admission = %+v, want node %d", e, other)
+	}
+	verifyStreams(t, handlers, seqIDs(id+1), total)
+}

@@ -381,25 +381,38 @@ func (c *Client) sendBatched(ctx context.Context, conn net.Conn, src FrameSource
 		gather = gather[:0]
 		n := 0
 		payloadBytes := 0
+		var srcErr error
 		for ; n < cfg.WriteBatch && fi+n < total; n++ {
 			msg, err := src.Next(ctx)
 			if err != nil {
-				return err
+				// Flush what's already gathered before reporting the
+				// source failure: per-frame writes would have delivered
+				// these frames, and the source has advanced past them. A
+				// source that stops itself mid-batch (a duty-cycled burst)
+				// relies on this for forward progress.
+				srcErr = err
+				break
 			}
 			gather, err = seccomm.AppendFrame(gather, msg)
 			if err != nil {
-				return Terminal(fmt.Errorf("frame %d: %w", fi+n, err))
+				srcErr = Terminal(fmt.Errorf("frame %d: %w", fi+n, err))
+				break
 			}
 			payloadBytes += len(msg)
 		}
-		if err := c.writeGather(ctx, conn, gather, st, fi); err != nil {
-			return err
+		if len(gather) > 0 {
+			if err := c.writeGather(ctx, conn, gather, st, fi); err != nil {
+				return err
+			}
 		}
 		st.FramesSent += n
 		st.WireBytesSent += payloadBytes
 		c.m.framesSent.Add(int64(n))
 		c.m.wireBytes.Add(int64(payloadBytes))
 		fi += n
+		if srcErr != nil {
+			return srcErr
+		}
 	}
 	return nil
 }

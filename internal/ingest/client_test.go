@@ -316,3 +316,73 @@ func TestStatusStringsAndTransience(t *testing.T) {
 		t.Errorf("unknown status prints %q", got)
 	}
 }
+
+// haltingSource yields frames until haltAt, then reports a terminal error.
+// It models a source that stops itself mid-batch (a duty-cycled burst).
+type haltingSource struct {
+	sliceSource
+	haltAt  int
+	haltErr error
+}
+
+func (s *haltingSource) Next(ctx context.Context) ([]byte, error) {
+	if s.next >= s.haltAt {
+		return nil, s.haltErr
+	}
+	return s.sliceSource.Next(ctx)
+}
+
+// TestBatchedFlushesPartialGatherOnSourceError is the regression test for
+// the batched frame loop discarding gathered frames when the source errors
+// mid-batch: frames the source has already handed over must reach the wire
+// (per-frame writes would have delivered them), so a source that stops
+// itself every k frames makes progress even when k < WriteBatch.
+func TestBatchedFlushesPartialGatherOnSourceError(t *testing.T) {
+	h := newTestHandler(8)
+	_, addr, _ := startServer(t, ServerConfig{Handler: h})
+	frames := framesFor(8)
+	pause := errors.New("pause")
+	cl := NewClient(ClientConfig{Addr: addr, SensorID: 1, WriteBatch: 8})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := cl.Run(ctx, &haltingSource{
+		sliceSource: sliceSource{frames: frames},
+		haltAt:      3,
+		haltErr:     Terminal(pause),
+	})
+	if !errors.Is(err, pause) {
+		t.Fatalf("run err = %v, want the source's pause", err)
+	}
+	if st.FramesSent != 3 {
+		t.Fatalf("FramesSent = %d, want the 3 gathered before the halt", st.FramesSent)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.delivered(1) != 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := h.delivered(1); got != 3 {
+		t.Fatalf("server delivered %d frames after the halt, want 3", got)
+	}
+
+	// A fresh run resumes from the server's delivered index — proof the
+	// partial batch reached the session, not just the TCP buffer.
+	if _, err := cl.Run(ctx, &sliceSource{frames: frames}); err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	opens := append([]int(nil), h.opens...)
+	got := h.frames[1]
+	h.mu.Unlock()
+	if len(opens) != 2 || opens[1] != 3 {
+		t.Fatalf("resume opens = %v, want [0 3]", opens)
+	}
+	if len(got) != 8 {
+		t.Fatalf("delivered %d frames, want 8", len(got))
+	}
+	for i, f := range got {
+		if string(f) != string(frames[i]) {
+			t.Fatalf("frame %d = %q, want %q", i, f, frames[i])
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package ingest
+
+// Grouped client options. ClientConfig grew one flat field per PR; the
+// groups below carve that surface into the axes callers actually think
+// about — how to dial, how to write, how to retry, how to pace — without
+// changing any behavior: ClientOptions.Config flattens back to the same
+// ClientConfig the client has always run on, and ClientConfig.Options is
+// its exact inverse for zero-less configs.
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DialOptions groups the knobs governing how a stream's TCP connection is
+// established. The zero value means the client defaults (2s timeout, 4
+// attempts, 25ms..2s jittered exponential backoff).
+type DialOptions struct {
+	// Timeout bounds a single connect attempt.
+	Timeout time.Duration
+	// Attempts is how many connect attempts one stream makes.
+	Attempts int
+	// Backoff is the initial inter-attempt pause; it doubles per attempt,
+	// jittered, and is capped at BackoffMax.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+}
+
+// WriteOptions groups the per-frame write path knobs. The zero value means
+// the client defaults (5s deadline, 2 attempts, no batching).
+type WriteOptions struct {
+	// IOTimeout is the per-frame read/write deadline.
+	IOTimeout time.Duration
+	// Attempts bounds per-frame write retries on a timeout.
+	Attempts int
+	// Batch gathers up to this many frames into one TCP write.
+	Batch int
+}
+
+// RetryOptions groups the stream-level recovery budgets: what happens after
+// a mid-stream transport failure or a soft server reject. The zero value
+// means the client defaults (no reconnects, 8 reject retries).
+type RetryOptions struct {
+	// ReconnectAttempts is how many times a run may redial and resume
+	// after a transport failure mid-stream.
+	ReconnectAttempts int
+	// RejectAttempts is how many transient server rejects a run retries.
+	RejectAttempts int
+	// RejectBackoff is the (non-growing) pause after a transient reject.
+	RejectBackoff time.Duration
+}
+
+// PaceOptions configures paced frame release. It is PacerConfig under a
+// name that matches the other option groups; see PacerConfig for the
+// field-level contract.
+type PaceOptions = PacerConfig
+
+// ClientOptions is the grouped form of ClientConfig. NewClientFromOptions
+// accepts it directly; Config converts to the flat form for callers that
+// need to interoperate with existing ClientConfig plumbing.
+type ClientOptions struct {
+	// Addr is the server's address.
+	Addr string
+	// SensorID identifies the sensor in the cleartext hello.
+	SensorID int
+	// Seed drives the client's random decisions (see ClientConfig.Seed).
+	Seed int64
+
+	Dial  DialOptions
+	Write WriteOptions
+	Retry RetryOptions
+	Pace  PaceOptions
+
+	// Metrics, when set, receives the ingest.client.* instrument family.
+	Metrics *metrics.Registry
+}
+
+// Config flattens the grouped options into the equivalent ClientConfig.
+// Zero fields stay zero, so the flat config applies the same defaults it
+// always has.
+func (o ClientOptions) Config() ClientConfig {
+	return ClientConfig{
+		Addr:              o.Addr,
+		SensorID:          o.SensorID,
+		DialTimeout:       o.Dial.Timeout,
+		DialAttempts:      o.Dial.Attempts,
+		DialBackoff:       o.Dial.Backoff,
+		DialBackoffMax:    o.Dial.BackoffMax,
+		IOTimeout:         o.Write.IOTimeout,
+		WriteAttempts:     o.Write.Attempts,
+		WriteBatch:        o.Write.Batch,
+		ReconnectAttempts: o.Retry.ReconnectAttempts,
+		RejectAttempts:    o.Retry.RejectAttempts,
+		RejectBackoff:     o.Retry.RejectBackoff,
+		Seed:              o.Seed,
+		Pacer:             o.Pace,
+		Metrics:           o.Metrics,
+	}
+}
+
+// Options regroups a flat ClientConfig. It is the exact inverse of
+// ClientOptions.Config: cfg.Options().Config() == cfg for any cfg.
+func (cfg ClientConfig) Options() ClientOptions {
+	return ClientOptions{
+		Addr:     cfg.Addr,
+		SensorID: cfg.SensorID,
+		Seed:     cfg.Seed,
+		Dial: DialOptions{
+			Timeout:    cfg.DialTimeout,
+			Attempts:   cfg.DialAttempts,
+			Backoff:    cfg.DialBackoff,
+			BackoffMax: cfg.DialBackoffMax,
+		},
+		Write: WriteOptions{
+			IOTimeout: cfg.IOTimeout,
+			Attempts:  cfg.WriteAttempts,
+			Batch:     cfg.WriteBatch,
+		},
+		Retry: RetryOptions{
+			ReconnectAttempts: cfg.ReconnectAttempts,
+			RejectAttempts:    cfg.RejectAttempts,
+			RejectBackoff:     cfg.RejectBackoff,
+		},
+		Pace:    cfg.Pacer,
+		Metrics: cfg.Metrics,
+	}
+}
+
+// NewClientFromOptions builds a Client from grouped options. It is
+// equivalent to NewClient(opts.Config()).
+func NewClientFromOptions(opts ClientOptions) *Client {
+	return NewClient(opts.Config())
+}

@@ -1,0 +1,102 @@
+package ingest
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func fullOptions() ClientOptions {
+	return ClientOptions{
+		Addr:     "127.0.0.1:9",
+		SensorID: 42,
+		Seed:     7,
+		Dial: DialOptions{
+			Timeout:    time.Second,
+			Attempts:   3,
+			Backoff:    5 * time.Millisecond,
+			BackoffMax: time.Second,
+		},
+		Write: WriteOptions{
+			IOTimeout: 2 * time.Second,
+			Attempts:  4,
+			Batch:     8,
+		},
+		Retry: RetryOptions{
+			ReconnectAttempts: 2,
+			RejectAttempts:    5,
+			RejectBackoff:     9 * time.Millisecond,
+		},
+		Pace: PaceOptions{
+			Mode:       PaceJitter,
+			Interval:   10 * time.Millisecond,
+			JitterFrac: 0.5,
+			Seed:       11,
+		},
+		Metrics: metrics.NewRegistry(),
+	}
+}
+
+// TestOptionsConfigRoundTrip pins the grouped/flat equivalence both ways:
+// Options() is the exact inverse of Config(), so callers can move between
+// the surfaces without behavior drift.
+func TestOptionsConfigRoundTrip(t *testing.T) {
+	opts := fullOptions()
+	cfg := opts.Config()
+	if got := cfg.Options(); !reflect.DeepEqual(got, opts) {
+		t.Fatalf("Config().Options() round trip drifted:\n got %+v\nwant %+v", got, opts)
+	}
+	if got := cfg.Options().Config(); !reflect.DeepEqual(got, cfg) {
+		t.Fatalf("Options().Config() round trip drifted:\n got %+v\nwant %+v", got, cfg)
+	}
+}
+
+// TestOptionsCoverClientConfig fails when someone adds a ClientConfig field
+// without teaching the grouped options about it: a zero grouped form must
+// flatten to the zero flat form, and a fully-populated flat config must
+// survive the regroup — so every field has a home.
+func TestOptionsCoverClientConfig(t *testing.T) {
+	var zero ClientOptions
+	if !reflect.DeepEqual(zero.Config(), ClientConfig{}) {
+		t.Fatalf("zero options flatten to a non-zero config: %+v", zero.Config())
+	}
+	// Populate every ClientConfig field with a distinguishable non-zero
+	// value via reflection, then round trip.
+	cfg := ClientConfig{}
+	v := reflect.ValueOf(&cfg).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.String:
+			f.SetString("x")
+		case reflect.Int, reflect.Int64:
+			f.SetInt(int64(i + 1))
+		case reflect.Float64:
+			f.SetFloat(float64(i) + 0.5)
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Ptr:
+			if f.Type() == reflect.TypeOf((*metrics.Registry)(nil)) {
+				f.Set(reflect.ValueOf(metrics.NewRegistry()))
+			}
+		case reflect.Struct:
+			if f.Type() == reflect.TypeOf(PacerConfig{}) {
+				f.Set(reflect.ValueOf(PacerConfig{Mode: PaceConstant, Interval: time.Second, Seed: 3}))
+			}
+		}
+	}
+	if got := cfg.Options().Config(); !reflect.DeepEqual(got, cfg) {
+		t.Fatalf("a ClientConfig field is lost in the grouped options:\n got %+v\nwant %+v", got, cfg)
+	}
+}
+
+func TestNewClientFromOptions(t *testing.T) {
+	opts := fullOptions()
+	cl := NewClientFromOptions(opts)
+	want := NewClient(opts.Config())
+	if !reflect.DeepEqual(cl.cfg, want.cfg) {
+		t.Fatalf("NewClientFromOptions cfg drifted:\n got %+v\nwant %+v", cl.cfg, want.cfg)
+	}
+}

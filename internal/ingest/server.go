@@ -65,6 +65,13 @@ type ServerConfig struct {
 	// frame, one SessionEnd per retired connection. Nil (the default)
 	// leaves the delivery path exactly as it was.
 	Stager Stager
+	// Clock supplies the session registry's eviction clock (default
+	// time.Now). A cluster gateway injects one shared clock into every
+	// node's registry and its own session-locator map so the two tiers
+	// agree on when an idle entry dies; tests inject a fake clock so TTL
+	// paths run without sleeping. Only idle/TTL accounting reads it —
+	// I/O deadlines and claim waits stay on the wall clock.
+	Clock func() time.Time
 	// Metrics, when set, receives the ingest.* instrument family. Nil is
 	// fine: every instrument degrades to a no-op.
 	Metrics *metrics.Registry
@@ -88,6 +95,9 @@ func (cfg ServerConfig) withDefaults() ServerConfig {
 	}
 	if cfg.SessionTTL == 0 {
 		cfg.SessionTTL = defaultSessionTTL
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
 	}
 	return cfg
 }
@@ -155,6 +165,7 @@ type sessionRegistry struct {
 	mu        sync.Mutex
 	s         map[int]*sessionEntry
 	ttl       time.Duration // idle lifetime of done entries; <= 0 keeps forever
+	now       func() time.Time
 	lastSweep time.Time
 	evicted   *metrics.Counter
 }
@@ -163,10 +174,12 @@ type sessionRegistry struct {
 // wait for a previous owner (a dying predecessor connection) to release it
 // first. abort short-circuits the wait (server closing).
 func (r *sessionRegistry) claim(sensorID int, wait time.Duration, abort func() bool) (int, bool) {
+	// The wait deadline is real elapsed time (the predecessor connection
+	// tears down on the wall clock); only TTL bookkeeping uses r.now.
 	deadline := time.Now().Add(wait)
 	for {
 		r.mu.Lock()
-		r.sweepLocked(time.Now())
+		r.sweepLocked(r.now())
 		e := r.s[sensorID]
 		if e == nil {
 			e = &sessionEntry{}
@@ -209,8 +222,73 @@ func (r *sessionRegistry) release(sensorID int) {
 	r.mu.Lock()
 	e := r.s[sensorID]
 	e.active = false
-	e.idleSince = time.Now()
+	e.idleSince = r.now()
 	r.mu.Unlock()
+}
+
+// expiredLocked reports whether e would be evicted by the next sweep: done,
+// idle, and past the TTL. Export paths must consult this so a migrating
+// gateway and the sweep agree on whether the entry still exists — without
+// it, an entry the sweep is about to delete could be exported to another
+// node and resurrect a completed stream there. Callers hold r.mu.
+func (r *sessionRegistry) expiredLocked(e *sessionEntry, now time.Time) bool {
+	return r.ttl > 0 && e.done && !e.active && now.Sub(e.idleSince) >= r.ttl
+}
+
+// export removes and returns sensorID's idle entry for migration to another
+// node's registry. It fails when the sensor has no entry, when a live
+// connection still owns it (a stream cannot move mid-flight), or when the
+// entry is already past its eviction TTL (the sweep and the migration must
+// agree the session is gone).
+func (r *sessionRegistry) export(sensorID int) (delivered int, done, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.s[sensorID]
+	if e == nil || e.active || r.expiredLocked(e, r.now()) {
+		return 0, false, false
+	}
+	delete(r.s, sensorID)
+	return e.delivered, e.done, true
+}
+
+// importEntry seeds the registry with a migrated session. An active entry is
+// never overwritten (the live connection's view is authoritative); an idle
+// entry merges by keeping the larger delivered index, so a racing duplicate
+// import cannot rewind a stream.
+func (r *sessionRegistry) importEntry(sensorID, delivered int, done bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.s[sensorID]
+	if e == nil {
+		r.s[sensorID] = &sessionEntry{delivered: delivered, done: done, idleSince: r.now()}
+		return true
+	}
+	if e.active {
+		return false
+	}
+	if delivered > e.delivered {
+		e.delivered = delivered
+		e.done = done
+	}
+	e.idleSince = r.now()
+	return true
+}
+
+// snapshot lists every idle, unexpired entry (sensor id, delivered, done).
+// Active entries are skipped: a drain exports after severing its
+// connections, so anything still active belongs to a racing new owner.
+func (r *sessionRegistry) snapshot() []SessionState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	out := make([]SessionState, 0, len(r.s))
+	for id, e := range r.s {
+		if e.active || r.expiredLocked(e, now) {
+			continue
+		}
+		out = append(out, SessionState{SensorID: id, Delivered: e.delivered, Done: e.done})
+	}
+	return out
 }
 
 func (r *sessionRegistry) advance(sensorID int) {
@@ -277,7 +355,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:       cfg,
 		m:         newServerMetrics(cfg.Metrics),
 		queues:    make([]chan net.Conn, cfg.Shards),
-		sessions:  sessionRegistry{s: map[int]*sessionEntry{}, ttl: cfg.SessionTTL},
+		sessions:  sessionRegistry{s: map[int]*sessionEntry{}, ttl: cfg.SessionTTL, now: cfg.Clock},
 		rejectSem: make(chan struct{}, defaultRejecters),
 		conns:     map[net.Conn]struct{}{},
 		finished:  make(chan struct{}),

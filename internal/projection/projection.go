@@ -257,6 +257,24 @@ func (e *Engine) SessionEnd(sensorID int, completed bool) {
 	}
 }
 
+// ExportCursor removes and returns the sensor's staged coordinate for
+// migration to another node's engine (the cluster gateway's CursorStore
+// hook). The tap's dedupe cursor goes with it: the sensor's frames now
+// stage elsewhere.
+func (e *Engine) ExportCursor(sensorID int) (staging.Cursor, bool) {
+	e.mu.Lock()
+	delete(e.nextIndex, sensorID)
+	delete(e.assigned, sensorID)
+	e.mu.Unlock()
+	return e.stage.ExportCursor(sensorID)
+}
+
+// ImportCursor seeds the sensor's staged log from a migrated cursor; see
+// staging.Stage.ImportCursor for the merge rules.
+func (e *Engine) ImportCursor(c staging.Cursor) {
+	e.stage.ImportCursor(c)
+}
+
 // Close drains the workers — every staged record is projected — and
 // stops them. Call after the ingest server has drained, so no more
 // StageFrame calls arrive; the snapshot taken after Close is then a pure

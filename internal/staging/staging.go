@@ -285,6 +285,59 @@ func Restore(cp Checkpoint) *Stage {
 	return s
 }
 
+// Cursor is one sensor's migratable staging coordinate: the head sequence
+// its log resumes at on another node, plus its completion flag. Record
+// storage does not migrate — the cluster's crash-restart contract is the
+// same as Checkpoint/Restore's ("sequence numbers survive, record storage
+// does not"), so the receiving node's projections start from a trimmed log.
+type Cursor struct {
+	SensorID int  `json:"sensor_id"`
+	Head     int  `json:"head"`
+	Complete bool `json:"complete"`
+}
+
+// ExportCursor captures and removes sensorID's log for migration to
+// another node's stage. ok is false when the sensor has no log. After
+// export the watermark no longer bounds on the sensor here; the importing
+// stage takes over. The exporting node must have severed the sensor's
+// connection first — a racing append would recreate an empty log.
+func (s *Stage) ExportCursor(sensorID int) (Cursor, bool) {
+	s.mu.Lock()
+	l := s.logs[sensorID]
+	delete(s.logs, sensorID)
+	s.mu.Unlock()
+	if l == nil {
+		return Cursor{}, false
+	}
+	head, complete := l.state()
+	return Cursor{SensorID: sensorID, Head: head, Complete: complete}, true
+}
+
+// ImportCursor seeds the sensor's log to resume at the migrated cursor,
+// with all prior storage trimmed (the next append receives sequence
+// c.Head). When a log already exists it merges forward — the head only
+// advances and completion only latches true on a completed cursor — so a
+// duplicated or delayed import can never rewind a log another connection
+// has already appended to.
+func (s *Stage) ImportCursor(c Cursor) {
+	if c.Head < 0 {
+		return
+	}
+	l := s.Log(c.SensorID)
+	l.mu.Lock()
+	if c.Head > l.next {
+		l.next = c.Head
+		if c.Head > l.trimmed {
+			l.trimmed = c.Head
+			l.segs = nil
+		}
+	}
+	if c.Complete {
+		l.complete = true
+	}
+	l.mu.Unlock()
+}
+
 // tailLocked returns the last segment, or nil. Caller holds l.mu.
 func (l *Log) tailLocked() *segment {
 	if len(l.segs) == 0 {

@@ -209,3 +209,143 @@ func TestConcurrentAppendersAndReaders(t *testing.T) {
 		t.Fatalf("final watermark = %d, want %d", got, perSensor)
 	}
 }
+
+// TestExportCursorRemovesLog pins the handoff side of migration: the cursor
+// carries exactly {head, complete}, and after export the sensor no longer
+// exists here — its head stops bounding the watermark and lookups miss.
+func TestExportCursorRemovesLog(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.Append(3, rec(i, 10))
+	}
+	for i := 0; i < 9; i++ {
+		s.Append(4, rec(i, 10))
+	}
+	s.Complete(4)
+	if got := s.Watermark(); got != 5 {
+		t.Fatalf("watermark before export = %d, want 5", got)
+	}
+
+	c, ok := s.ExportCursor(3)
+	if !ok || c.SensorID != 3 || c.Head != 5 || c.Complete {
+		t.Fatalf("cursor = %+v ok=%v, want {3 5 false}", c, ok)
+	}
+	if got := s.Watermark(); got != 9 {
+		t.Fatalf("watermark after export = %d, want 9 (sensor 3 gone)", got)
+	}
+	if ids := s.Sensors(); len(ids) != 1 || ids[0] != 4 {
+		t.Fatalf("sensors after export = %v, want [4]", ids)
+	}
+	if _, ok := s.ExportCursor(3); ok {
+		t.Fatal("second export of a removed sensor succeeded")
+	}
+	if _, ok := s.ExportCursor(99); ok {
+		t.Fatal("export of an unknown sensor succeeded")
+	}
+
+	done, ok := s.ExportCursor(4)
+	if !ok || done.Head != 9 || !done.Complete {
+		t.Fatalf("completed cursor = %+v ok=%v, want {4 9 true}", done, ok)
+	}
+}
+
+// TestImportCursorResumesSequences pins the receiving side: the next append
+// after an import receives sequence Head, storage below Head is absent, and
+// the completion flag carries over.
+func TestImportCursorResumesSequences(t *testing.T) {
+	s := New()
+	s.ImportCursor(Cursor{SensorID: 7, Head: 12})
+	if seq := s.Append(7, rec(12, 10)); seq != 12 {
+		t.Fatalf("first append after import got seq %d, want 12", seq)
+	}
+	l := s.Log(7)
+	if l.Trimmed() != 12 {
+		t.Fatalf("trimmed = %d, want 12: pre-migration storage must be absent", l.Trimmed())
+	}
+	if _, ok := l.Get(11); ok {
+		t.Fatal("read below the imported head succeeded")
+	}
+	if r, ok := l.Get(12); !ok || r.Seq != 12 {
+		t.Fatalf("get(12) = %+v ok=%v", r, ok)
+	}
+	if got := s.Watermark(); got != 13 {
+		t.Fatalf("watermark = %d, want 13", got)
+	}
+
+	s.ImportCursor(Cursor{SensorID: 8, Head: 4, Complete: true})
+	if !s.Log(8).Complete() {
+		t.Fatal("completed cursor imported as incomplete")
+	}
+	// Negative heads are a corrupt handoff; they must be ignored entirely.
+	s.ImportCursor(Cursor{SensorID: 9, Head: -1})
+	if seq := s.Append(9, rec(0, 10)); seq != 0 {
+		t.Fatalf("append after rejected import got seq %d, want 0", seq)
+	}
+}
+
+// TestImportCursorMergesForward is the duplicate-delivery guard: a stale or
+// repeated import never rewinds a log that has advanced past it, and
+// completion only latches true.
+func TestImportCursorMergesForward(t *testing.T) {
+	s := New()
+	for i := 0; i < 8; i++ {
+		s.Append(5, rec(i, 10))
+	}
+	s.ImportCursor(Cursor{SensorID: 5, Head: 3})
+	l := s.Log(5)
+	if l.Head() != 8 {
+		t.Fatalf("head = %d after stale import, want 8", l.Head())
+	}
+	if r, ok := l.Get(6); !ok || r.Seq != 6 {
+		t.Fatalf("stale import dropped live records: get(6) = %+v ok=%v", r, ok)
+	}
+	if l.Complete() {
+		t.Fatal("stale incomplete import should not change completion")
+	}
+
+	// A forward import on a live log advances the head and drops storage.
+	s.ImportCursor(Cursor{SensorID: 5, Head: 20, Complete: true})
+	if l.Head() != 20 || l.Trimmed() != 20 || !l.Complete() {
+		t.Fatalf("forward import: head=%d trimmed=%d complete=%v, want 20/20/true",
+			l.Head(), l.Trimmed(), l.Complete())
+	}
+	// Completion latches: a later incomplete duplicate cannot clear it.
+	s.ImportCursor(Cursor{SensorID: 5, Head: 20})
+	if !l.Complete() {
+		t.Fatal("incomplete duplicate cleared the completion latch")
+	}
+}
+
+// TestCursorRoundTripAcrossStages drives a full node-to-node migration at
+// the staging layer: export from A, import into B, continue appending on B,
+// and the combined sequence space is gapless and byte-consistent.
+func TestCursorRoundTripAcrossStages(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 6; i++ {
+		a.Append(2, rec(i, 100+i))
+	}
+	c, ok := a.ExportCursor(2)
+	if !ok {
+		t.Fatal("export failed")
+	}
+	b.ImportCursor(c)
+	for i := 6; i < 10; i++ {
+		if seq := b.Append(2, rec(i, 100+i)); seq != i {
+			t.Fatalf("append %d on importing stage got seq %d", i, seq)
+		}
+	}
+	b.Complete(2)
+	l := b.Log(2)
+	if l.Head() != 10 || !l.Complete() {
+		t.Fatalf("migrated log head=%d complete=%v, want 10/true", l.Head(), l.Complete())
+	}
+	for i := 6; i < 10; i++ {
+		r, ok := l.Get(i)
+		if !ok || r.Index != i || r.WireBytes != 100+i {
+			t.Fatalf("post-migration record %d = %+v ok=%v", i, r, ok)
+		}
+	}
+	if got := b.Watermark(); got != 10 {
+		t.Fatalf("importing stage watermark = %d, want 10", got)
+	}
+}
