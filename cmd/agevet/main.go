@@ -2,15 +2,26 @@
 // analyzer (internal/analysis/...) over the packages matching its arguments
 // and fails if any invariant is violated. CI runs it as a blocking step:
 //
-//	go run ./cmd/agevet ./...
+//	go run ./cmd/agevet -baseline bench/agevet_baseline.json ./...
 //
 // Flags:
 //
 //	-json       emit diagnostics as a JSON array (file/line/col/analyzer/
 //	            message) for CI artifact upload
-//	-run a,b    run only the named analyzers
+//	-run a,b    run only the named analyzers (case-insensitive; unknown
+//	            names are an error)
 //	-list       print the analyzers and their invariants, then exit
 //	-tests=false  skip _test.go files
+//	-baseline f   gate against a committed findings baseline: findings not
+//	              in f fail, baseline entries with no matching finding are
+//	              stale and also fail (ratchet the file down)
+//	-write-baseline  rewrite the -baseline file from the current findings
+//
+// The baseline is a findings ratchet: triaged findings are committed once,
+// new findings always fail, and fixing an old finding forces a
+// -write-baseline commit so the file only ever shrinks. Entries are keyed
+// by (file, analyzer, message) without line numbers, so unrelated edits to
+// a file don't churn the baseline.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure — the go vet
 // convention.
@@ -22,12 +33,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/ctxdeadline"
 	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/goroutineleak"
 	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/leaktaint"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/lockedblock"
 	"repro/internal/analysis/sentinelerr"
@@ -41,6 +56,9 @@ func all() []*analysis.Analyzer {
 		lockedblock.Analyzer,
 		sentinelerr.Analyzer,
 		ctxdeadline.Analyzer,
+		leaktaint.Analyzer,
+		goroutineleak.Analyzer,
+		atomicmix.Analyzer,
 	}
 }
 
@@ -51,6 +69,18 @@ type jsonDiag struct {
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+}
+
+// baselineEntry is one triaged finding in the ratchet file. No line
+// numbers: unrelated edits to a file must not churn the baseline.
+type baselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (e baselineEntry) key() string {
+	return e.File + "\x00" + e.Analyzer + "\x00" + e.Message
 }
 
 func main() {
@@ -64,7 +94,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	tests := fs.Bool("tests", true, "also analyze _test.go files")
+	baselinePath := fs.String("baseline", "", "gate findings against this baseline file")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the -baseline file from current findings")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "agevet: -write-baseline requires -baseline")
 		return 2
 	}
 
@@ -76,21 +112,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *runList != "" {
-		keep := map[string]bool{}
-		for _, name := range strings.Split(*runList, ",") {
-			keep[strings.TrimSpace(name)] = true
-		}
-		var filtered []*analysis.Analyzer
-		for _, a := range analyzers {
-			if keep[a.Name] {
-				filtered = append(filtered, a)
-				delete(keep, a.Name)
-			}
-		}
-		if len(keep) > 0 {
-			for name := range keep {
-				fmt.Fprintf(stderr, "agevet: unknown analyzer %q\n", name)
-			}
+		filtered, err := selectAnalyzers(analyzers, *runList)
+		if err != nil {
+			fmt.Fprintf(stderr, "agevet: %v\n", err)
 			return 2
 		}
 		analyzers = filtered
@@ -116,11 +140,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	entries := make([]baselineEntry, 0, len(diags))
+	for _, d := range diags {
+		entries = append(entries, baselineEntry{
+			File:     relPath(wd, d.Pos.Filename),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+
 	if *jsonOut {
 		out := make([]jsonDiag, 0, len(diags))
-		for _, d := range diags {
+		for i, d := range diags {
 			out = append(out, jsonDiag{
-				File:     relPath(wd, d.Pos.Filename),
+				File:     entries[i].File,
 				Line:     d.Pos.Line,
 				Col:      d.Pos.Column,
 				Analyzer: d.Analyzer,
@@ -133,7 +166,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "agevet: %v\n", err)
 			return 2
 		}
-	} else {
+	}
+
+	if *writeBaseline {
+		if err := saveBaseline(*baselinePath, entries); err != nil {
+			fmt.Fprintf(stderr, "agevet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "agevet: wrote %d finding(s) to %s\n", len(entries), *baselinePath)
+		return 0
+	}
+
+	if *baselinePath != "" {
+		return gate(stdout, stderr, *baselinePath, diags, entries)
+	}
+
+	if !*jsonOut {
 		for _, d := range diags {
 			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n",
 				relPath(wd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
@@ -143,6 +191,111 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// selectAnalyzers filters the suite by a comma-separated name list,
+// matching case-insensitively and rejecting unknown names so a typo can't
+// silently run nothing.
+func selectAnalyzers(analyzers []*analysis.Analyzer, runList string) ([]*analysis.Analyzer, error) {
+	var filtered []*analysis.Analyzer
+	seen := map[string]bool{}
+	for _, name := range strings.Split(runList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range analyzers {
+			if strings.EqualFold(a.Name, name) {
+				if !seen[a.Name] {
+					seen[a.Name] = true
+					filtered = append(filtered, a)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			known := make([]string, 0, len(analyzers))
+			for _, a := range analyzers {
+				known = append(known, a.Name)
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, strings.Join(known, ", "))
+		}
+	}
+	if len(filtered) == 0 {
+		return nil, fmt.Errorf("-run %q selects no analyzers", runList)
+	}
+	return filtered, nil
+}
+
+// gate compares findings against the committed baseline as a multiset.
+// Findings without a baseline entry are new and fail; baseline entries
+// without a finding are stale and fail until -write-baseline ratchets the
+// file down.
+func gate(stdout, stderr io.Writer, path string, diags []analysis.Diagnostic, entries []baselineEntry) int {
+	base, err := loadBaseline(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "agevet: %v\n", err)
+		return 2
+	}
+	budget := map[string]int{}
+	for _, e := range base {
+		budget[e.key()]++
+	}
+	bad := 0
+	for i, e := range entries {
+		if budget[e.key()] > 0 {
+			budget[e.key()]--
+			continue
+		}
+		d := diags[i]
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", e.File, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		bad++
+	}
+	stale := 0
+	for _, e := range base {
+		if budget[e.key()] > 0 {
+			budget[e.key()]--
+			fmt.Fprintf(stdout, "stale baseline entry (finding no longer reported): %s: %s: %s\n", e.File, e.Analyzer, e.Message)
+			stale++
+		}
+	}
+	switch {
+	case bad > 0 && stale > 0:
+		fmt.Fprintf(stderr, "agevet: %d new finding(s), %d stale baseline entr(ies); fix the new findings and ratchet with -write-baseline\n", bad, stale)
+	case bad > 0:
+		fmt.Fprintf(stderr, "agevet: %d new finding(s) not in %s\n", bad, path)
+	case stale > 0:
+		fmt.Fprintf(stderr, "agevet: %d stale baseline entr(ies); ratchet down with -write-baseline -baseline %s\n", stale, path)
+	}
+	if bad > 0 || stale > 0 {
+		return 1
+	}
+	return 0
+}
+
+func loadBaseline(path string) ([]baselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+func saveBaseline(path string, entries []baselineEntry) error {
+	sorted := make([]baselineEntry, 0, len(entries)) // non-nil: an empty ratchet is [], not null
+	sorted = append(sorted, entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].key() < sorted[j].key() })
+	data, err := json.MarshalIndent(sorted, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // relPath shortens absolute diagnostic paths to repo-relative ones.

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdirTestdata moves into the testdata module (one deliberate detrand
+// finding) for the duration of the test.
+func chdirTestdata(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join(wd, "testdata", "src", "m")); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func runVet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestRunFilterExactName(t *testing.T) {
+	chdirTestdata(t)
+	code, out, _ := runVet(t, "-run", "detrand", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (the seeded finding)\nstdout:\n%s", code, out)
+	}
+	if !strings.Contains(out, "wall-clock read") {
+		t.Fatalf("missing detrand diagnostic in output:\n%s", out)
+	}
+}
+
+func TestRunFilterCaseInsensitive(t *testing.T) {
+	chdirTestdata(t)
+	code, out, _ := runVet(t, "-run", "DetRand", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1: -run must match case-insensitively\nstdout:\n%s", code, out)
+	}
+	if !strings.Contains(out, "wall-clock read") {
+		t.Fatalf("missing detrand diagnostic in output:\n%s", out)
+	}
+}
+
+func TestRunFilterUnknownNameErrors(t *testing.T) {
+	chdirTestdata(t)
+	code, _, errOut := runVet(t, "-run", "nosuchanalyzer", "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2: unknown -run names must error, not silently run nothing", code)
+	}
+	if !strings.Contains(errOut, "unknown analyzer") || !strings.Contains(errOut, "nosuchanalyzer") {
+		t.Fatalf("stderr should name the unknown analyzer:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "detrand") {
+		t.Fatalf("stderr should list the known analyzers:\n%s", errOut)
+	}
+}
+
+func TestRunFilterSkipsEmptySegments(t *testing.T) {
+	chdirTestdata(t)
+	code, _, errOut := runVet(t, "-run", "detrand, ,", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1: empty -run segments are skipped\nstderr:\n%s", code, errOut)
+	}
+}
+
+func TestRunFilterAllEmptyErrors(t *testing.T) {
+	chdirTestdata(t)
+	code, _, errOut := runVet(t, "-run", " ,", "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2: -run selecting nothing is an error\nstderr:\n%s", code, errOut)
+	}
+}
+
+func TestBaselineRatchet(t *testing.T) {
+	chdirTestdata(t)
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	// -write-baseline captures the current finding and exits 0.
+	code, _, errOut := runVet(t, "-baseline", base, "-write-baseline", "-run", "detrand", "./...")
+	if code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0\nstderr:\n%s", code, errOut)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []map[string]string
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("baseline is not JSON: %v\n%s", err, data)
+	}
+	if len(entries) != 1 || entries[0]["analyzer"] != "detrand" {
+		t.Fatalf("baseline = %v, want one detrand entry", entries)
+	}
+	if _, hasLine := entries[0]["line"]; hasLine {
+		t.Fatalf("baseline entries must not carry line numbers: %v", entries[0])
+	}
+
+	// Same findings against the baseline: clean.
+	code, out, errOut := runVet(t, "-baseline", base, "-run", "detrand", "./...")
+	if code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+
+	// A different analyzer selection reports nothing, so the entry is
+	// stale: the ratchet forces a -write-baseline.
+	code, out, errOut = runVet(t, "-baseline", base, "-run", "sentinelerr", "./...")
+	if code != 1 {
+		t.Fatalf("stale-baseline run exit = %d, want 1\nstdout:\n%s", code, out)
+	}
+	if !strings.Contains(out, "stale baseline entry") || !strings.Contains(errOut, "-write-baseline") {
+		t.Fatalf("stale entries must be reported with ratchet advice\nstdout:\n%s\nstderr:\n%s", out, errOut)
+	}
+}
+
+func TestBaselineNewFindingFails(t *testing.T) {
+	chdirTestdata(t)
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, []byte("[]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runVet(t, "-baseline", base, "-run", "detrand", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1: findings outside the baseline must fail", code)
+	}
+	if !strings.Contains(out, "wall-clock read") || !strings.Contains(errOut, "new finding") {
+		t.Fatalf("new findings must be printed and counted\nstdout:\n%s\nstderr:\n%s", out, errOut)
+	}
+}
+
+func TestWriteBaselineRequiresPath(t *testing.T) {
+	code, _, errOut := runVet(t, "-write-baseline")
+	if code != 2 || !strings.Contains(errOut, "-write-baseline requires -baseline") {
+		t.Fatalf("exit = %d, stderr = %q; want usage error", code, errOut)
+	}
+}
+
+func TestJSONWithBaseline(t *testing.T) {
+	chdirTestdata(t)
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	code, _, _ := runVet(t, "-baseline", base, "-write-baseline", "-run", "detrand", "./...")
+	if code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0", code)
+	}
+	// -json still emits the full artifact while the baseline gates the
+	// exit code.
+	code, out, _ := runVet(t, "-json", "-baseline", base, "-run", "detrand", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 with matching baseline", code)
+	}
+	var diags []map[string]any
+	if idx := strings.Index(out, "["); idx < 0 {
+		t.Fatalf("no JSON array in stdout:\n%s", out)
+	} else if err := json.Unmarshal([]byte(out[idx:]), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, out)
+	}
+	if len(diags) != 1 || diags[0]["analyzer"] != "detrand" {
+		t.Fatalf("json artifact = %v, want the one detrand diagnostic", diags)
+	}
+}

@@ -1,0 +1,3 @@
+module m
+
+go 1.22

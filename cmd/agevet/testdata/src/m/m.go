@@ -1,0 +1,12 @@
+// The one deliberate finding the agevet CLI tests pivot on: a wall-clock
+// read inside //age:deterministic scope (a detrand diagnostic).
+
+//age:deterministic
+package m
+
+import "time"
+
+// Stamp breaks the determinism contract on purpose.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

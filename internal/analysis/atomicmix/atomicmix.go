@@ -1,0 +1,161 @@
+// Package atomicmix enforces two memory-access disciplines on counters.
+//
+// First, a field accessed through sync/atomic anywhere in a package must be
+// accessed through sync/atomic everywhere: one plain load racing an
+// atomic.AddInt64 is undefined behavior the race detector only catches when
+// the schedule cooperates. Every plain read or write of such a field is
+// flagged.
+//
+// Second, a field tagged //age:counter is an incrementally maintained
+// aggregate whose correctness depends on every mutation flowing through its
+// maintenance helpers — functions whose doc comment carries //age:counter.
+// This is the exact bug class behind the cluster's load-counter drift: the
+// gateway's per-node load counts are maintained incrementally by
+// putEntry/dropEntry/moveEntry helpers, and one ad-hoc `loads[id]--`
+// elsewhere silently double-counts after a migration replays. Mutating a
+// tagged field (including through an index, like loads[i]++) outside a
+// tagged helper is flagged; reads stay free.
+//
+// //age:allow atomicmix suppresses a finding where a mixed access is provably
+// single-threaded (e.g. constructor code before the value escapes).
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the default instance used by agevet. The discipline is
+// self-contained per package — no scope configuration needed.
+var Analyzer = New()
+
+// New builds the analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:         "atomicmix",
+		Doc:          "flags fields mixing sync/atomic and plain access, and //age:counter field mutations outside //age:counter maintenance helpers",
+		IncludeTests: false,
+		Run:          run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find fields used atomically — &x.f arguments to sync/atomic
+	// functions — remembering those argument positions as sanctioned.
+	atomicFields := map[types.Object]string{} // field -> atomic func name
+	sanctioned := map[token.Pos]bool{}        // SelectorExpr positions inside atomic calls
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := analysis.CalleeName(pass.Info, call)
+			if !strings.HasPrefix(name, "sync/atomic.") {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := fieldObj(pass, sel); obj != nil {
+					atomicFields[obj] = strings.TrimPrefix(name, "sync/atomic.")
+					sanctioned[sel.Pos()] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Files {
+		// Pass 2a: plain accesses of atomic fields.
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sanctioned[sel.Pos()] {
+				return true
+			}
+			obj := fieldObj(pass, sel)
+			if obj == nil {
+				return true
+			}
+			if fn, used := atomicFields[obj]; used {
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed with sync/atomic.%s elsewhere in this package but plainly here: mixed atomic/plain access races; use the atomic API everywhere or drop it",
+					obj.Name(), fn)
+			}
+			return true
+		})
+
+		// Pass 2b: //age:counter field mutations outside tagged helpers.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var targets []ast.Expr
+			var pos token.Pos
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					return true
+				}
+				targets = n.Lhs
+				pos = n.Pos()
+			case *ast.IncDecStmt:
+				targets = []ast.Expr{n.X}
+				pos = n.Pos()
+			default:
+				return true
+			}
+			for _, tgt := range targets {
+				obj := mutationBase(pass, tgt)
+				if obj == nil || !pass.Dirs.LineMarked(obj.Pos(), analysis.MarkCounter) {
+					continue
+				}
+				fn := analysis.EnclosingFunc(file, pos)
+				if fn != nil && pass.Dirs.FuncMarked(fn, analysis.MarkCounter) {
+					continue
+				}
+				pass.Reportf(pos,
+					"counter field %s mutated outside its //age:counter maintenance helpers; route the update through a tagged helper so the incremental invariant holds",
+					obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldObj resolves a selector to the struct field it names, or nil.
+func fieldObj(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}
+
+// mutationBase unwraps an assignment target to the struct field at its
+// base: x.f, x.f[i], *x.f, x.f[i][j] all resolve to f.
+func mutationBase(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			return fieldObj(pass, t)
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicmix"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, atomicmix.New(), "testdata/src/a")
+}

@@ -1,0 +1,47 @@
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	total int64
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) read() int64 {
+	return s.hits // want `field hits is accessed with sync/atomic.AddInt64 elsewhere`
+}
+
+func (s *stats) reset() {
+	s.hits = 0 // want `field hits is accessed with sync/atomic.AddInt64 elsewhere`
+}
+
+// total is plain-only: no finding anywhere.
+func (s *stats) addTotal(n int64) {
+	s.total += n
+}
+
+// gateway mirrors the cluster's incrementally maintained load counters.
+type gateway struct {
+	loads []int //age:counter
+}
+
+// putEntry is a maintenance helper: the one place loads may grow.
+//
+//age:counter
+func (g *gateway) putEntry(id int) {
+	g.loads[id]++
+}
+
+// kill mutates the counter ad hoc — the load-drift bug class.
+func (g *gateway) kill(id int) {
+	g.loads[id]-- // want `counter field loads mutated outside its //age:counter maintenance helpers`
+}
+
+// rebuild overwrites the whole counter outside a helper.
+func (g *gateway) rebuild(n int) {
+	g.loads = make([]int, n) // want `counter field loads mutated outside its //age:counter maintenance helpers`
+}

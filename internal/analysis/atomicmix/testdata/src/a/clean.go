@@ -1,0 +1,51 @@
+package a
+
+import "sync/atomic"
+
+type clean struct {
+	n     int64
+	plain int
+}
+
+func (c *clean) add()        { atomic.AddInt64(&c.n, 1) }
+func (c *clean) load() int64 { return atomic.LoadInt64(&c.n) }
+
+// other touches a plain-only field: no discipline applies.
+func (c *clean) other() { c.plain++ }
+
+// newClean writes the atomic field plainly before the value escapes — a
+// reviewed exception.
+func newClean() *clean {
+	c := &clean{}
+	//age:allow atomicmix single-threaded: value has not escaped the constructor
+	c.n = 0
+	return c
+}
+
+// router keeps its counter discipline: all mutations in tagged helpers,
+// reads anywhere.
+type router struct {
+	counts []int //age:counter
+}
+
+//age:counter grow adds a slot for a new node.
+func (r *router) grow() {
+	r.counts = append(r.counts, 0)
+}
+
+//age:counter inc charges a session to a node.
+func (r *router) inc(i int) {
+	r.counts[i]++
+}
+
+func (r *router) read(i int) int {
+	return r.counts[i]
+}
+
+func (r *router) sum() int {
+	t := 0
+	for _, c := range r.counts {
+		t += c
+	}
+	return t
+}

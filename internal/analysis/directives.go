@@ -7,14 +7,20 @@ import (
 )
 
 // Directive markers. Mark* apply to whole functions or files; allowPrefix
-// suppresses a single finding.
+// suppresses a single finding. MarkSecret and MarkCounter additionally work
+// as *line* marks — placed at the end of (or directly above) a declaration
+// line they tag that declaration: a secret field/var/method for leaktaint,
+// a discipline-guarded counter field for atomicmix.
 const (
 	MarkHotpath       = "hotpath"
 	MarkDeterministic = "deterministic"
 	MarkTransport     = "transport"
+	MarkSecret        = "secret"
+	MarkCounter       = "counter"
 
-	directivePrefix = "age:"
-	allowDirective  = "age:allow"
+	directivePrefix     = "age:"
+	allowDirective      = "age:allow"
+	declassifyDirective = "age:declassify"
 )
 
 // Directives indexes the //age: comment directives of one package unit.
@@ -22,17 +28,25 @@ type Directives struct {
 	fset *token.FileSet
 	// allow maps filename -> line -> analyzer names allowed on that line.
 	allow map[string]map[int][]string
+	// declassify maps filename -> line -> true for reviewed secret flows
+	// (leaktaint stops taint propagation and reporting there).
+	declassify map[string]map[int]bool
 	// marks maps filename -> marker -> true for file-level marks (comments
 	// above the package clause).
 	fileMarks map[string]map[string]bool
+	// lineMarks maps filename -> line -> marker set, covering the
+	// directive's own line and the line below it (mirroring allow).
+	lineMarks map[string]map[int]map[string]bool
 }
 
 // NewDirectives scans the files' comments once and builds the index.
 func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 	d := &Directives{
-		fset:      fset,
-		allow:     map[string]map[int][]string{},
-		fileMarks: map[string]map[string]bool{},
+		fset:       fset,
+		allow:      map[string]map[int][]string{},
+		declassify: map[string]map[int]bool{},
+		fileMarks:  map[string]map[string]bool{},
+		lineMarks:  map[string]map[int]map[string]bool{},
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -54,18 +68,43 @@ func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 					byLine[pos.Line+1] = append(byLine[pos.Line+1], name)
 					continue
 				}
+				if strings.HasPrefix(text, declassifyDirective) {
+					byLine := d.declassify[pos.Filename]
+					if byLine == nil {
+						byLine = map[int]bool{}
+						d.declassify[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = true
+					byLine[pos.Line+1] = true
+					continue
+				}
+				mark := strings.TrimPrefix(text, directivePrefix)
+				if i := strings.IndexAny(mark, " \t"); i >= 0 {
+					mark = mark[:i]
+				}
 				// A mark above the package clause scopes to the whole file.
 				if c.End() < f.Package {
-					mark := strings.TrimPrefix(text, directivePrefix)
-					if i := strings.IndexAny(mark, " \t"); i >= 0 {
-						mark = mark[:i]
-					}
 					fm := d.fileMarks[pos.Filename]
 					if fm == nil {
 						fm = map[string]bool{}
 						d.fileMarks[pos.Filename] = fm
 					}
 					fm[mark] = true
+					continue
+				}
+				// Everywhere else it also tags its line and the next one,
+				// so declarations can be marked in place (//age:secret on a
+				// struct field) or from the line above.
+				byLine := d.lineMarks[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					d.lineMarks[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if byLine[line] == nil {
+						byLine[line] = map[string]bool{}
+					}
+					byLine[line][mark] = true
 				}
 			}
 		}
@@ -94,6 +133,21 @@ func (d *Directives) allowed(analyzer string, pos token.Position) bool {
 		}
 	}
 	return false
+}
+
+// Declassified reports whether an age:declassify directive covers pos — a
+// reviewed, deliberate secret→observable flow (leaktaint neither reports it
+// nor propagates taint through assignments on the line).
+func (d *Directives) Declassified(pos token.Pos) bool {
+	p := d.fset.Position(pos)
+	return d.declassify[p.Filename][p.Line]
+}
+
+// LineMarked reports whether pos's line carries //age:<mark> (end-of-line
+// form, or a stand-alone directive on the line above).
+func (d *Directives) LineMarked(pos token.Pos, mark string) bool {
+	p := d.fset.Position(pos)
+	return d.lineMarks[p.Filename][p.Line][mark]
 }
 
 // FuncMarked reports whether fn's doc comment carries //age:<mark>.

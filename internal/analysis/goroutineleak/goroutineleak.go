@@ -1,0 +1,206 @@
+// Package goroutineleak flags go statements in long-lived packages whose
+// goroutine has no visible termination path.
+//
+// The ingest server, cluster gateway, staging logs, and projection workers
+// are resident processes: a goroutine started there without a shutdown
+// signal outlives Close and accumulates across node restarts — the exact
+// leak class PR 1 fixed in the original transport and that the drain and
+// shutdown tests check dynamically (internal/ingest's post-Close goroutine
+// count assertion). This analyzer encodes the property statically so a new
+// background loop can't merge without one.
+//
+// A goroutine body terminates visibly when it
+//
+//   - selects or receives on a channel (ctx.Done(), a stop latch, a work
+//     queue whose close ends a range loop), or
+//   - ranges over a channel, or
+//   - calls a Wait/Done-style method inside the loop, or
+//   - simply runs off the end — a bounded body with no infinite for loop
+//     needs no signal.
+//
+// Only an infinite `for {}` / `for cond {}`-style loop with none of those
+// in its body is flagged. The check is one hop deep: `go w.run(ctx)`
+// inspects run's body when it is declared in the same unit. Deliberate
+// exceptions (e.g. a loop bounded by per-read conn deadlines) carry
+// //age:allow goroutineleak with a reason.
+package goroutineleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// Packages are the long-lived import paths to enforce in.
+	Packages []string
+}
+
+// DefaultConfig lists the resident layers: everything that survives past a
+// single request/response exchange.
+func DefaultConfig() Config {
+	return Config{Packages: []string{
+		"repro/internal/ingest",
+		"repro/internal/cluster",
+		"repro/internal/staging",
+		"repro/internal/projection",
+	}}
+}
+
+// Analyzer is the default instance used by agevet.
+var Analyzer = New(DefaultConfig())
+
+// New builds the analyzer for cfg.
+func New(cfg Config) *analysis.Analyzer {
+	g := &goroutineleak{cfg: cfg}
+	return &analysis.Analyzer{
+		Name:         "goroutineleak",
+		Doc:          "flags go statements in long-lived packages whose goroutine loops forever with no select/receive/range-over-channel termination path",
+		IncludeTests: false,
+		Run:          g.run,
+	}
+}
+
+type goroutineleak struct {
+	cfg Config
+}
+
+func (g *goroutineleak) run(pass *analysis.Pass) error {
+	inScope := false
+	for _, p := range g.cfg.Packages {
+		if pass.Pkg.Path() == p {
+			inScope = true
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	// Index this unit's function declarations for the one-hop body lookup.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj := pass.Info.Defs[fn.Name]; obj != nil {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gostmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, name := goroutineBody(pass, decls, gostmt.Call)
+			if body == nil {
+				return true // indirect or cross-unit callee: not checkable
+			}
+			if loop := unterminatedLoop(pass, body); loop != nil {
+				pass.Reportf(gostmt.Pos(),
+					"goroutine %s loops forever with no visible termination path (no select, channel receive, channel range, or Wait/Done call in the loop); tie it to a ctx/Done channel or stop latch, or annotate //age:allow goroutineleak with the bound",
+					name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineBody resolves the body the go statement runs: a function
+// literal's own body, or the declaration of a same-unit named callee
+// (function or method).
+func goroutineBody(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) (*ast.BlockStmt, string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, "func literal"
+	case *ast.Ident:
+		if obj := pass.Info.Uses[fun]; obj != nil {
+			if d := decls[obj]; d != nil {
+				return d.Body, fun.Name
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.Info.Uses[fun.Sel]; obj != nil {
+			if d := decls[obj]; d != nil {
+				return d.Body, fun.Sel.Name
+			}
+		}
+	}
+	return nil, ""
+}
+
+// unterminatedLoop returns an infinite for loop in body (transitively,
+// including through same-body nesting) whose own body shows no termination
+// path, or nil. Function literals nested inside are separate goroutine
+// decisions and are skipped.
+func unterminatedLoop(pass *analysis.Pass, body *ast.BlockStmt) *ast.ForStmt {
+	var bad *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		// `for cond {}` terminates when cond flips; only Cond == nil loops
+		// run forever on their own.
+		if loop.Cond != nil {
+			return true
+		}
+		if !hasTermination(pass, loop.Body) {
+			bad = loop
+		}
+		return true
+	})
+	return bad
+}
+
+// hasTermination reports whether the loop body contains a select, channel
+// receive, range over a channel, WaitGroup-style Wait call, or a return —
+// any of which gives the loop an externally drivable exit: close the
+// channel / cancel the ctx / sever the conn and the error return fires.
+func hasTermination(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// Range over a channel blocks until the channel closes; range
+			// over anything else is bounded per-iteration and proves
+			// nothing either way.
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				found = true
+			}
+		case *ast.ReturnStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroutineleak"
+)
+
+func TestAnalyzer(t *testing.T) {
+	a := goroutineleak.New(goroutineleak.Config{Packages: []string{"a"}})
+	analysistest.Run(t, a, "testdata/src/a")
+}

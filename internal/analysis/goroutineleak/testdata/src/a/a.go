@@ -1,0 +1,55 @@
+package a
+
+import "time"
+
+type server struct {
+	n     int
+	stats []int
+	jobs  chan int
+}
+
+func poll() {}
+
+// spinLoop polls forever with nothing tying it to shutdown.
+func spinLoop(s *server) {
+	go func() { // want `goroutine func literal loops forever with no visible termination path`
+		for {
+			poll()
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// namedSpin leaks through a same-unit named callee.
+func namedSpin(s *server) {
+	go s.spin() // want `goroutine spin loops forever with no visible termination path`
+}
+
+func (s *server) spin() {
+	for {
+		s.n++
+	}
+}
+
+// tick is a free function with an unbounded loop.
+func tick(d time.Duration) {
+	for {
+		time.Sleep(d)
+	}
+}
+
+func startTick() {
+	go tick(time.Second) // want `goroutine tick loops forever with no visible termination path`
+}
+
+// sliceRange shows that ranging over a slice inside the loop is not a
+// termination path — only a channel range blocks until close.
+func sliceRange(s *server) {
+	go func() { // want `goroutine func literal loops forever with no visible termination path`
+		for {
+			for _, v := range s.stats {
+				_ = v
+			}
+		}
+	}()
+}

@@ -1,0 +1,3 @@
+module a
+
+go 1.22

@@ -1,0 +1,17 @@
+package leaktaint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/leaktaint"
+)
+
+func TestAnalyzer(t *testing.T) {
+	a := leaktaint.New(leaktaint.Config{
+		Packages:          []string{"a"},
+		SecretCalls:       []string{"MarkReal", "MarkDummy", "Unmark"},
+		SanitizerPrefixes: []string{"Seal"},
+	})
+	analysistest.Run(t, a, "testdata/src/a")
+}

@@ -1,0 +1,118 @@
+package a
+
+import (
+	"fmt"
+	"time"
+)
+
+// Record mirrors staging.Record: the label is the event class the paper's
+// attack recovers, so it must never shape wire behavior.
+type Record struct {
+	Seq   int
+	Label int //age:secret
+}
+
+// TimedSource mirrors ingest.TimedSource: the data-driven generation gap is
+// exactly what the timing attack classifies.
+type TimedSource interface {
+	//age:secret
+	LastGap() time.Duration
+}
+
+// lastLabel is the most recent decoded event class.
+var lastLabel int //age:secret
+
+const baseGap = 10 * time.Millisecond
+
+// slotBranch is the ISSUE-10 gate regression demo: pacer slot timing
+// branching on a sample label. The branch itself is the leak — everything
+// downstream of it (which slot sends, what gets buffered) is modulated by
+// the secret even though the sleep argument is a constant.
+func slotBranch(c *conn, recs []Record) {
+	for _, r := range recs {
+		gap := baseGap
+		if r.Label != 0 { // want `secret-dependent if condition`
+			gap = 2 * baseGap
+		}
+		time.Sleep(gap)
+		c.Write(Seal(nil))
+	}
+}
+
+// sleepOnSecret leaks the generation gap straight into release timing.
+func sleepOnSecret(ts TimedSource) {
+	d := ts.LastGap()
+	time.Sleep(d) // want `secret reaches time.Sleep`
+}
+
+// writeUnsealed lets the payload size vary with the event class.
+func writeUnsealed(c *conn, r Record) {
+	buf := make([]byte, r.Label)
+	c.Write(buf) // want `secret reaches a net.Conn write`
+}
+
+// markLeak lets the real/dummy marker escape without sealing.
+func markLeak(c *conn, payload []byte) {
+	p := MarkReal(payload)
+	c.Write(p) // want `secret reaches a net.Conn write`
+}
+
+// deadlineLeak folds the secret into deadline arithmetic.
+func deadlineLeak(c *conn, ts TimedSource) {
+	c.SetReadDeadline(time.Now().Add(ts.LastGap())) // want `secret reaches SetReadDeadline`
+}
+
+// logLeak prints the label on an operational surface.
+func logLeak(r Record) {
+	fmt.Printf("label=%d\n", r.Label) // want `secret reaches fmt.Printf`
+}
+
+// metricLeak keys a metrics series by the label.
+func metricLeak(s *series, r Record) {
+	s.Counter(fmt.Sprintf("label_%d", r.Label)).Add(1) // want `secret reaches a metrics series label`
+}
+
+// frameLeak appends an unsealed secret-derived payload to a wire frame.
+func frameLeak(dst []byte, r Record) []byte {
+	payload := []byte{byte(r.Label)}
+	return AppendFrame(dst, payload) // want `secret reaches a wire frame payload`
+}
+
+// hopLeak reaches time.Sleep through a one-hop helper.
+func hopLeak(ts TimedSource) {
+	pause(ts.LastGap()) // want `secret reaches time.Sleep .release timing. via pause`
+}
+
+func pause(d time.Duration) {
+	time.Sleep(d)
+}
+
+// switchLeak dispatches transport behavior on the event class.
+func switchLeak(c *conn, r Record) {
+	switch r.Label { // want `secret-dependent switch condition`
+	case 0:
+		c.Write(Seal(nil))
+	default:
+		c.Write(Seal(nil))
+	}
+}
+
+// varLeak sleeps on a package-level secret.
+func varLeak() {
+	time.Sleep(time.Duration(lastLabel) * time.Millisecond) // want `secret reaches time.Sleep`
+}
+
+// classify returns the record's class — callers inherit the secret through
+// the one-hop summary.
+func classify(r Record) int {
+	return r.Label
+}
+
+// summaryBranch branches on a secret-returning helper's result.
+func summaryBranch(c *conn) {
+	var r Record
+	if classify(r) > 0 { // want `secret-dependent if condition`
+		return
+	}
+	c.Write(Seal(nil))
+}

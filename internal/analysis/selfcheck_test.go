@@ -4,9 +4,12 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/ctxdeadline"
 	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/goroutineleak"
 	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/leaktaint"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/lockedblock"
 	"repro/internal/analysis/sentinelerr"
@@ -30,6 +33,9 @@ func TestRepoIsClean(t *testing.T) {
 		lockedblock.Analyzer,
 		sentinelerr.Analyzer,
 		ctxdeadline.Analyzer,
+		leaktaint.Analyzer,
+		goroutineleak.Analyzer,
+		atomicmix.Analyzer,
 	})
 	if err != nil {
 		t.Fatalf("running suite: %v", err)

@@ -21,7 +21,7 @@ const WindowSize = 10
 // plus the true event label (known to the attacker only at training time).
 type Sample struct {
 	Features []float64
-	Label    int
+	Label    int //age:secret
 }
 
 // WindowFeatures summarizes a window of observed message sizes into the

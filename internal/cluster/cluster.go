@@ -1,3 +1,9 @@
+// The gateway proxies client conns to node conns: everything here touches
+// the wire, so the whole file is transport scope for ctxdeadline and
+// leaktaint (belt and braces with the package-level scoping in their
+// default configs).
+//
+//age:transport
 package cluster
 
 import (
@@ -200,7 +206,9 @@ type Cluster struct {
 	// loads[id] counts the not-yet-done locator entries assigned to node id,
 	// maintained incrementally on every entry mutation so the bounded-load
 	// ring lookup never scans the locator map — at fleet scale a per-route
-	// O(locator) scan under mu collapses gateway throughput.
+	// O(locator) scan under mu collapses gateway throughput. atomicmix
+	// rejects mutations outside the //age:counter helpers below.
+	//age:counter
 	loads     []int
 	lastSweep time.Time
 	ln        net.Listener
@@ -247,6 +255,8 @@ func New(cfg Config) (*Cluster, error) {
 }
 
 // buildNode constructs the next node (unstarted, off the ring).
+//
+//age:counter grows loads by one zeroed slot alongside nodes
 func (c *Cluster) buildNode() (*node, error) {
 	id := len(c.nodes)
 	spec := c.cfg.Node
@@ -276,6 +286,8 @@ func (c *Cluster) buildNode() (*node, error) {
 // write would silently skew the bounded-load accounting.
 
 // putEntryLocked installs (or replaces) a sensor's locator entry.
+//
+//age:counter
 func (c *Cluster) putEntryLocked(sensorID int, e *locEntry) {
 	if old := c.locator[sensorID]; old != nil && !old.done {
 		c.loads[old.node]--
@@ -287,6 +299,8 @@ func (c *Cluster) putEntryLocked(sensorID int, e *locEntry) {
 }
 
 // dropEntryLocked removes a sensor's locator entry if present.
+//
+//age:counter
 func (c *Cluster) dropEntryLocked(sensorID int) {
 	if e := c.locator[sensorID]; e != nil {
 		if !e.done {
@@ -297,6 +311,8 @@ func (c *Cluster) dropEntryLocked(sensorID int) {
 }
 
 // moveEntryLocked reassigns an entry to another node.
+//
+//age:counter
 func (c *Cluster) moveEntryLocked(e *locEntry, to int) {
 	if !e.done {
 		c.loads[e.node]--
@@ -306,6 +322,8 @@ func (c *Cluster) moveEntryLocked(e *locEntry, to int) {
 }
 
 // markDoneLocked flips an entry's completion bit.
+//
+//age:counter
 func (c *Cluster) markDoneLocked(e *locEntry, done bool) {
 	if e.done == done {
 		return
@@ -814,12 +832,12 @@ func (c *Cluster) KillNode(id int) error {
 	prev := n.state
 	n.state = nodeDead
 	c.ring.remove(id)
+	// Drop through the counter-maintenance helper, not an inline decrement:
+	// the ad-hoc form silently skewed loads once entries could be done
+	// (atomicmix now rejects it).
 	for sid, e := range c.locator {
 		if e.node == id {
-			if !e.done {
-				c.loads[id]--
-			}
-			delete(c.locator, sid)
+			c.dropEntryLocked(sid)
 		}
 	}
 	c.mu.Unlock()

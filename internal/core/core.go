@@ -21,11 +21,13 @@ import (
 // Batch is one communication window's worth of collected measurements.
 type Batch struct {
 	// Indices holds the original time step of each collected measurement
-	// (the paper's alpha_t), strictly increasing, in [0, T).
-	Indices []int
+	// (the paper's alpha_t), strictly increasing, in [0, T). The sampling
+	// times are data-driven — exactly what the attack reconstructs — so
+	// they are secret for leaktaint.
+	Indices []int //age:secret
 	// Values holds one row per collected measurement, each with d
 	// features.
-	Values [][]float64
+	Values [][]float64 //age:secret
 }
 
 // Len returns the number of collected measurements k.

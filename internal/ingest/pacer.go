@@ -124,6 +124,9 @@ type PacerConfig struct {
 // (every gap zero).
 type TimedSource interface {
 	FrameSource
+	// The data-driven generation gap is the timing side-channel's secret:
+	// leaktaint tracks every value derived from it.
+	//age:secret
 	LastGap() time.Duration
 }
 
@@ -242,6 +245,7 @@ func (c *Client) sendLive(ctx context.Context, conn net.Conn, src FrameSource, s
 			return err
 		}
 		if ts != nil {
+			//age:declassify PaceLive is the undefended baseline: releasing on the data-driven schedule is the leak under study
 			avail = avail.Add(ts.LastGap())
 			if d := time.Until(avail); d > 0 {
 				if !sleepCtx(ctx.Done(), d) {
@@ -318,6 +322,7 @@ func (c *Client) sendPaced(ctx context.Context, conn net.Conn, src FrameSource, 
 		// decides — which keeps the decision reproducible for a fixed
 		// seed and gap sequence.
 		out := pending
+		//age:declassify reviewed: the decision collapses to one bit and both arms emit one sealed same-size frame in this slot
 		real := !pendingAvail.After(slot)
 		if !real {
 			var err error

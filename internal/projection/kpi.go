@@ -1,3 +1,9 @@
+// KPI reductions must be replay-deterministic: a projection rebuilt from a
+// checkpoint (or recomputed after a crash) has to land on byte-identical
+// snapshots, so the count-map folds here are order-independent and detrand
+// enforces the contract file-wide.
+//
+//age:deterministic
 package projection
 
 import (
@@ -337,6 +343,7 @@ func (k *privacyKPI) snapshot(now int64) PrivacySnapshot {
 		PerSensor:        map[string]ArrivalSnapshot{},
 	}
 	joint := make(map[[2]int]int64, len(k.state.Joint))
+	//age:allow detrand each entry lands in a slot derived from its own key; the fold is order-independent
 	for key, c := range k.state.Joint {
 		var label, size int
 		if _, err := fmtSscan(key, &label, &size); err == nil {

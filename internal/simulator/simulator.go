@@ -86,7 +86,7 @@ type RunConfig struct {
 
 // SequenceResult records one sequence's outcome.
 type SequenceResult struct {
-	Label     int
+	Label     int //age:secret
 	Collected int
 	// WireBytes is the attacker-observed message size; 0 when no message
 	// was sent (post-violation in simulation mode).
@@ -109,7 +109,7 @@ type RunResult struct {
 	TotalEnergyMJ float64
 	BudgetMJ      float64
 	// SizesByLabel collects attacker-observed sizes of sent messages.
-	SizesByLabel map[int][]int
+	SizesByLabel map[int][]int //age:secret
 	Violations   int
 }
 

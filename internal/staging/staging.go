@@ -61,8 +61,9 @@ type Record struct {
 	// WireBytes is the sealed frame's on-the-wire size, the privacy
 	// monitor's observable.
 	WireBytes int
-	// Label is the window's event label when known (-1 otherwise).
-	Label int
+	// Label is the window's event label when known (-1 otherwise) — the
+	// class the attack recovers, secret for leaktaint.
+	Label int //age:secret
 	// RecvUnixNano is the server-side arrival time.
 	RecvUnixNano int64
 	// Indices and Values are the decoded batch (collected time steps and
